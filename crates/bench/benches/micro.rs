@@ -1,0 +1,142 @@
+//! Component micro-benchmarks and design ablations:
+//!
+//! * WCG construction and Algorithm 1 in isolation;
+//! * Algorithm 2 (covered-by search) vs Algorithm 5 (partitioned-by
+//!   search) on identical tumbling inputs — the search-space reduction of
+//!   Section IV-D;
+//! * the engine's raw-update vs sub-aggregate-combine paths;
+//! * the per-element work emulation ablation (DESIGN.md §4.9): plan
+//!   speedups with the emulation off collapse toward 1, which is why the
+//!   calibrated default exists.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fw_bench::{bench_events, bench_plans, bench_window_set, semantics_for};
+use fw_core::factor::{find_best_factor_covered, find_best_factor_partitioned};
+use fw_core::{CostModel, Semantics, Wcg, Window, WindowQuery, WindowSet};
+use fw_engine::{execute_with, ExecOptions};
+use fw_workload::{Generator, WindowShape};
+
+fn wcg_and_algorithm1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/wcg");
+    for size in [5usize, 10, 20] {
+        let windows = bench_window_set(Generator::RandomGen, WindowShape::Tumbling, size);
+        group.bench_with_input(BenchmarkId::new("build", size), &windows, |b, ws| {
+            b.iter(|| Wcg::build_augmented(ws, Semantics::PartitionedBy));
+        });
+        let model = CostModel::default();
+        let period = model.period(windows.iter()).expect("period fits");
+        let wcg = Wcg::build_augmented(&windows, Semantics::PartitionedBy);
+        group.bench_function(BenchmarkId::new("algorithm1", size), |b| {
+            b.iter(|| {
+                fw_core::min_cost::minimize(wcg.clone(), &model, period).expect("minimizes")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn factor_search_ablation(c: &mut Criterion) {
+    // Same tumbling downstream set; Algorithm 5's divisor-only search vs
+    // Algorithm 2's slide×range search (which subsumes it for tumbling
+    // inputs but scans a larger space).
+    let model = CostModel::default();
+    let downstream: Vec<Window> = [120u64, 180, 240, 360, 480]
+        .iter()
+        .map(|&r| Window::tumbling(r).expect("valid window"))
+        .collect();
+    let period = model.period(downstream.iter()).expect("period fits");
+    let mut group = c.benchmark_group("micro/factor_search");
+    group.bench_function("algorithm5_partitioned", |b| {
+        b.iter(|| {
+            find_best_factor_partitioned(
+                &model,
+                period,
+                &Window::unit(),
+                true,
+                &downstream,
+                &|_| false,
+            )
+            .expect("search succeeds")
+        });
+    });
+    group.bench_function("algorithm2_covered", |b| {
+        b.iter(|| {
+            find_best_factor_covered(
+                &model,
+                period,
+                &Window::unit(),
+                true,
+                &downstream,
+                &|_| false,
+            )
+            .expect("search succeeds")
+        });
+    });
+    group.finish();
+}
+
+fn element_work_ablation(c: &mut Criterion) {
+    let events = bench_events(50_000, 1);
+    let windows = bench_window_set(Generator::SequentialGen, WindowShape::Tumbling, 5);
+    let (original, _, factored) = bench_plans(&windows, semantics_for(WindowShape::Tumbling));
+    let mut group = c.benchmark_group("micro/element_work");
+    group.sample_size(10);
+    for work in [0u32, 16, 64] {
+        for (name, plan) in [("original", &original), ("factored", &factored)] {
+            group.bench_with_input(
+                BenchmarkId::new(name, work),
+                &(plan, work),
+                |b, (plan, work)| {
+                    b.iter(|| {
+                        execute_with(
+                            plan,
+                            &events,
+                            ExecOptions { collect: false, element_work: *work },
+                        )
+                        .expect("plan executes")
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn engine_paths(c: &mut Criterion) {
+    // Raw-fed single window vs a two-level sub-aggregate chain.
+    let events = bench_events(100_000, 1);
+    let mut group = c.benchmark_group("micro/engine");
+    group.sample_size(10);
+    let raw = WindowSet::new(vec![Window::tumbling(32).expect("valid")]).expect("non-empty");
+    let (raw_plan, _, _) = bench_plans(&raw, Semantics::PartitionedBy);
+    group.bench_function("raw_single_window", |b| {
+        b.iter(|| {
+            execute_with(&raw_plan, &events, ExecOptions { collect: false, element_work: 0 })
+                .expect("plan executes")
+        });
+    });
+    let chain = WindowSet::new(vec![
+        Window::tumbling(32).expect("valid"),
+        Window::tumbling(64).expect("valid"),
+        Window::tumbling(128).expect("valid"),
+    ])
+    .expect("non-empty");
+    let query = WindowQuery::new(chain, fw_core::AggregateFunction::Min);
+    let outcome = fw_core::Optimizer::default()
+        .optimize_with(&query, Semantics::PartitionedBy)
+        .expect("optimizes");
+    group.bench_function("subagg_chain_3", |b| {
+        b.iter(|| {
+            execute_with(
+                &outcome.rewritten.plan,
+                &events,
+                ExecOptions { collect: false, element_work: 0 },
+            )
+            .expect("plan executes")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, wcg_and_algorithm1, factor_search_ablation, element_work_ablation, engine_paths);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figures 17/18 and Table II: plan throughput on the DEBS-2012-like
+//! sensor stream (the Real-32M substitute), |W| ∈ {5, 10}.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fw_bench::{bench_plans, bench_window_set, semantics_for};
+use fw_engine::execute;
+use fw_workload::{debs_stream, DebsConfig, Generator, WindowShape};
+
+fn real_throughput(c: &mut Criterion) {
+    let events = debs_stream(&DebsConfig { events: 100_000, seed: 0xDEB5 });
+    for size in [5usize, 10] {
+        for (generator, shape) in [
+            (Generator::RandomGen, WindowShape::Tumbling),
+            (Generator::RandomGen, WindowShape::Hopping),
+            (Generator::SequentialGen, WindowShape::Tumbling),
+            (Generator::SequentialGen, WindowShape::Hopping),
+        ] {
+            let label = format!("{}-{}-{}", generator.short(), size, shape.name());
+            let windows = bench_window_set(generator, shape, size);
+            let (original, _, factored) = bench_plans(&windows, semantics_for(shape));
+            let mut group = c.benchmark_group(format!("fig17_18/{label}"));
+            group.throughput(Throughput::Elements(events.len() as u64));
+            group.sample_size(10);
+            for (plan_name, plan) in [("original", &original), ("factored", &factored)] {
+                group.bench_with_input(
+                    BenchmarkId::from_parameter(plan_name),
+                    plan,
+                    |b, plan| b.iter(|| execute(plan, &events, false).expect("plan executes")),
+                );
+            }
+            group.finish();
+        }
+    }
+}
+
+criterion_group!(benches, real_throughput);
+criterion_main!(benches);

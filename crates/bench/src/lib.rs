@@ -1,0 +1,77 @@
+//! # fw-bench — shared helpers for the criterion benchmarks
+//!
+//! The benchmarks regenerate the paper's tables and figures as timing
+//! entry points (`cargo bench`); the full multi-run reports come from the
+//! `fw-experiments` binary. This library holds the small amount of setup
+//! code the bench targets share so each target stays focused on one
+//! artifact.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use fw_core::{CostModel, Optimizer, QueryPlan, Semantics, WindowQuery, WindowSet};
+use fw_engine::Event;
+use fw_workload::{generate_window_set, GenConfig, Generator, WindowShape};
+
+/// Deterministic constant-pace stream for benchmarks.
+#[must_use]
+pub fn bench_events(n: u64, keys: u32) -> Vec<Event> {
+    (0..n).map(|t| Event::new(t, (t % u64::from(keys.max(1))) as u32, (t % 997) as f64)).collect()
+}
+
+/// The first window set of a configuration (run 1 of the paper's ten).
+#[must_use]
+pub fn bench_window_set(generator: Generator, shape: WindowShape, size: usize) -> WindowSet {
+    generate_window_set(generator, shape, size, &GenConfig::default(), bench_seed(generator, shape, size))
+}
+
+fn bench_seed(generator: Generator, shape: WindowShape, size: usize) -> u64 {
+    // Mirror fw_workload::generate_runs' seed derivation for run 0.
+    (0x5DEECE66D ^ ((size as u64) << 32))
+        | 0x9E3779B9
+        | match (generator, shape) {
+            (Generator::RandomGen, WindowShape::Tumbling) => 0x1000_0000,
+            (Generator::RandomGen, WindowShape::Hopping) => 0x2000_0000,
+            (Generator::SequentialGen, WindowShape::Tumbling) => 0x3000_0000,
+            (Generator::SequentialGen, WindowShape::Hopping) => 0x4000_0000,
+        }
+}
+
+/// The three plans for a window set under the given semantics.
+#[must_use]
+pub fn bench_plans(
+    windows: &WindowSet,
+    semantics: Semantics,
+) -> (QueryPlan, QueryPlan, QueryPlan) {
+    let query = WindowQuery::new(windows.clone(), fw_core::AggregateFunction::Min);
+    let outcome = Optimizer::new(CostModel::default())
+        .optimize_with(&query, semantics)
+        .expect("benchmark query optimizes");
+    (outcome.original.plan, outcome.rewritten.plan, outcome.factored.plan)
+}
+
+/// Semantics the paper pairs with a window shape.
+#[must_use]
+pub fn semantics_for(shape: WindowShape) -> Semantics {
+    match shape {
+        WindowShape::Tumbling => Semantics::PartitionedBy,
+        WindowShape::Hopping => Semantics::CoveredBy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_produce_consistent_fixtures() {
+        let events = bench_events(100, 4);
+        assert_eq!(events.len(), 100);
+        let ws = bench_window_set(Generator::SequentialGen, WindowShape::Tumbling, 5);
+        assert_eq!(ws.len(), 5);
+        let (orig, rew, fac) = bench_plans(&ws, semantics_for(WindowShape::Tumbling));
+        assert!(orig.validate().is_ok());
+        assert!(rew.validate().is_ok());
+        assert!(fac.validate().is_ok());
+    }
+}

@@ -1,0 +1,199 @@
+//! The cost model of Section III-B.
+//!
+//! For a window set `{W1..Wn}` with ranges `r_i`, the model considers a
+//! period `R = lcm(r_1, …, r_n)` and charges each window
+//! `c_i = n_i · µ_i`, where `n_i = 1 + (R − r_i)/s_i` is the recurrence
+//! count (Equation 1) and the instance cost `µ_i` is either `η·r_i`
+//! (computed from raw events at ingestion rate η) or the covering
+//! multiplier `M(W_i, W′)` when fed from another window's sub-aggregates
+//! (Observation 1).
+
+use crate::coverage::covering_multiplier;
+use crate::error::{Error, Result};
+use crate::window::Window;
+use serde::{Deserialize, Serialize};
+
+/// Costs and periods are 128-bit: `R` is an lcm of up to dozens of ranges
+/// and can exceed `u64` for the paper's RandomGen parameters.
+pub type Cost = u128;
+
+/// Greatest common divisor of two `u64`s.
+#[must_use]
+pub fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// GCD over an iterator; 0 for an empty input.
+pub fn gcd_all<I: IntoIterator<Item = u64>>(values: I) -> u64 {
+    values.into_iter().fold(0, gcd)
+}
+
+/// Checked least common multiple in 128 bits.
+pub fn lcm(a: u128, b: u128) -> Result<u128> {
+    if a == 0 || b == 0 {
+        return Ok(0);
+    }
+    let mut x = a;
+    let mut y = b;
+    while y != 0 {
+        let t = x % y;
+        x = y;
+        y = t;
+    }
+    (a / x).checked_mul(b).ok_or(Error::PeriodOverflow)
+}
+
+/// The cost model, parameterized by the steady ingestion rate `η ≥ 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostModel {
+    rate: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel { rate: 1 }
+    }
+}
+
+impl CostModel {
+    /// Creates a model with ingestion rate `η` (clamped to at least 1).
+    #[must_use]
+    pub fn new(rate: u64) -> Self {
+        CostModel { rate: rate.max(1) }
+    }
+
+    /// The ingestion rate `η`.
+    #[must_use]
+    pub fn rate(&self) -> u64 {
+        self.rate
+    }
+
+    /// `R = lcm` of the ranges of the given (user) windows.
+    pub fn period<'a, I: IntoIterator<Item = &'a Window>>(&self, windows: I) -> Result<Cost> {
+        let mut acc: u128 = 1;
+        for w in windows {
+            acc = lcm(acc, u128::from(w.range()))?;
+        }
+        Ok(acc)
+    }
+
+    /// The unshared cost of `w` over one period: `n · η · r`.
+    pub fn raw_cost(&self, w: &Window, period: Cost) -> Result<Cost> {
+        let n = w.recurrence_count(period)?;
+        n.checked_mul(u128::from(self.rate))
+            .and_then(|c| c.checked_mul(u128::from(w.range())))
+            .ok_or(Error::CostOverflow)
+    }
+
+    /// The cost of `w` when fed from `parent`'s sub-aggregates:
+    /// `n · M(w, parent)` (Observation 1). Requires `w ≤ parent`.
+    pub fn shared_cost(&self, w: &Window, parent: &Window, period: Cost) -> Result<Cost> {
+        let n = w.recurrence_count(period)?;
+        n.checked_mul(u128::from(covering_multiplier(w, parent))).ok_or(Error::CostOverflow)
+    }
+
+    /// Instance cost of feeding `w` from `parent`; `None` parent means the
+    /// raw stream (the virtual root `S`), costing `η·r` per instance.
+    ///
+    /// At η = 1 the raw path coincides with `M(w, S⟨1,1⟩) = r`, which is
+    /// why the paper can treat `S` as an ordinary vertex (see DESIGN.md §4.2).
+    pub fn instance_cost(&self, w: &Window, parent: Option<&Window>) -> Result<Cost> {
+        match parent {
+            None => u128::from(self.rate)
+                .checked_mul(u128::from(w.range()))
+                .ok_or(Error::CostOverflow),
+            Some(p) => Ok(u128::from(covering_multiplier(w, p))),
+        }
+    }
+
+    /// Total unshared cost of a window set (the original plan's cost):
+    /// `Σ n_i · η · r_i`.
+    pub fn baseline_cost<'a, I>(&self, windows: I, period: Cost) -> Result<Cost>
+    where
+        I: IntoIterator<Item = &'a Window>,
+    {
+        let mut total: Cost = 0;
+        for w in windows {
+            total = total.checked_add(self.raw_cost(w, period)?).ok_or(Error::CostOverflow)?;
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(r: u64, s: u64) -> Window {
+        Window::new(r, s).unwrap()
+    }
+
+    #[test]
+    fn gcd_lcm_basics() {
+        assert_eq!(gcd(20, 30), 10);
+        assert_eq!(gcd(0, 7), 7);
+        assert_eq!(gcd_all([20, 30, 40]), 10);
+        assert_eq!(gcd_all(std::iter::empty()), 0);
+        assert_eq!(lcm(4, 6).unwrap(), 12);
+        assert_eq!(lcm(0, 6).unwrap(), 0);
+        assert!(lcm(u128::MAX, u128::MAX - 1).is_err());
+    }
+
+    #[test]
+    fn period_matches_example6() {
+        let model = CostModel::default();
+        let ws = [w(10, 10), w(20, 20), w(30, 30), w(40, 40)];
+        assert_eq!(model.period(ws.iter()).unwrap(), 120);
+    }
+
+    #[test]
+    fn baseline_cost_example6() {
+        // Example 6: C = 4ηR = 480 at η = 1.
+        let model = CostModel::default();
+        let ws = [w(10, 10), w(20, 20), w(30, 30), w(40, 40)];
+        let period = model.period(ws.iter()).unwrap();
+        assert_eq!(model.baseline_cost(ws.iter(), period).unwrap(), 480);
+    }
+
+    #[test]
+    fn baseline_cost_example7() {
+        // Example 7: without W(10,10), C = 3R = 360.
+        let model = CostModel::default();
+        let ws = [w(20, 20), w(30, 30), w(40, 40)];
+        let period = model.period(ws.iter()).unwrap();
+        assert_eq!(period, 120);
+        assert_eq!(model.baseline_cost(ws.iter(), period).unwrap(), 360);
+    }
+
+    #[test]
+    fn shared_cost_matches_figure6() {
+        let model = CostModel::default();
+        let period = 120;
+        assert_eq!(model.shared_cost(&w(20, 20), &w(10, 10), period).unwrap(), 12);
+        assert_eq!(model.shared_cost(&w(30, 30), &w(10, 10), period).unwrap(), 12);
+        assert_eq!(model.shared_cost(&w(40, 40), &w(20, 20), period).unwrap(), 6);
+    }
+
+    #[test]
+    fn instance_cost_raw_vs_root() {
+        let model = CostModel::new(1);
+        // η = 1: raw instance cost equals M(w, S).
+        assert_eq!(model.instance_cost(&w(20, 20), None).unwrap(), 20);
+        assert_eq!(model.instance_cost(&w(20, 20), Some(&Window::unit())).unwrap(), 20);
+        // η = 3: raw path is 3x, the S path stays at M.
+        let model3 = CostModel::new(3);
+        assert_eq!(model3.instance_cost(&w(20, 20), None).unwrap(), 60);
+        assert_eq!(model3.instance_cost(&w(20, 20), Some(&Window::unit())).unwrap(), 20);
+    }
+
+    #[test]
+    fn rate_clamped_to_one() {
+        assert_eq!(CostModel::new(0).rate(), 1);
+        assert_eq!(CostModel::default().rate(), 1);
+    }
+}

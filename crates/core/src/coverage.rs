@@ -1,0 +1,259 @@
+//! Window coverage and partitioning (Section II of the paper).
+//!
+//! `W1 ≤ W2` (read: *W1 is covered by W2*) means every interval of `W1` can
+//! be assembled from intervals of `W2`, so an aggregate over `W1` can be
+//! computed from `W2`'s sub-aggregates. *Partitioning* is the special case
+//! where the covering intervals are disjoint, which is what non
+//! overlap-tolerant functions (SUM, COUNT, AVG) require.
+
+use crate::window::{Interval, Window};
+use serde::{Deserialize, Serialize};
+
+/// Which coverage relation the optimizer may exploit for a given aggregate
+/// function (Section III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Semantics {
+    /// General coverage (Definition 1); sound only for functions that stay
+    /// distributive under overlapping partitions (MIN, MAX — Theorem 6).
+    CoveredBy,
+    /// Partitioning (Definition 5); sound for all distributive and
+    /// algebraic functions (SUM, COUNT, AVG, MIN, MAX).
+    PartitionedBy,
+}
+
+impl Semantics {
+    /// Human-readable name as used in the paper.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Semantics::CoveredBy => "covered-by",
+            Semantics::PartitionedBy => "partitioned-by",
+        }
+    }
+
+    /// Whether `w1 ≤ w2` under these semantics (strict form: `w1 ≠ w2`).
+    #[must_use]
+    pub fn relates(&self, w1: &Window, w2: &Window) -> bool {
+        match self {
+            Semantics::CoveredBy => is_strictly_covered_by(w1, w2),
+            Semantics::PartitionedBy => is_strictly_partitioned_by(w1, w2),
+        }
+    }
+}
+
+/// Theorem 1: `W1` is covered by `W2` iff `s2 | s1` and `s2 | (r1 − r2)`,
+/// with `r1 > r2` (Definition 1); coverage is also reflexive.
+#[must_use]
+pub fn is_covered_by(w1: &Window, w2: &Window) -> bool {
+    w1 == w2 || is_strictly_covered_by(w1, w2)
+}
+
+/// Theorem 1 restricted to distinct windows (`r1 > r2`).
+#[must_use]
+pub fn is_strictly_covered_by(w1: &Window, w2: &Window) -> bool {
+    w1.range() > w2.range()
+        && w1.slide() % w2.slide() == 0
+        && (w1.range() - w2.range()) % w2.slide() == 0
+}
+
+/// Theorem 4: `W1` is partitioned by `W2` iff `s2 | s1`, `s2 | r1`, and
+/// `W2` is tumbling; reflexive like coverage.
+#[must_use]
+pub fn is_partitioned_by(w1: &Window, w2: &Window) -> bool {
+    w1 == w2 || is_strictly_partitioned_by(w1, w2)
+}
+
+/// Theorem 4 restricted to distinct windows.
+#[must_use]
+pub fn is_strictly_partitioned_by(w1: &Window, w2: &Window) -> bool {
+    w2.is_tumbling()
+        && w1.range() > w2.range()
+        && w1.slide() % w2.slide() == 0
+        && w1.range() % w2.slide() == 0
+}
+
+/// Theorem 3: the covering multiplier `M(W1, W2) = 1 + (r1 − r2)/s2`, the
+/// number of `W2` sub-aggregates each `W1` instance consumes.
+///
+/// Requires `is_covered_by(w1, w2)`; `M(W, W) = 1`.
+#[must_use]
+pub fn covering_multiplier(w1: &Window, w2: &Window) -> u64 {
+    debug_assert!(is_covered_by(w1, w2), "M({w1}, {w2}) requires {w1} ≤ {w2}");
+    1 + (w1.range() - w2.range()) / w2.slide()
+}
+
+/// Definition 2: the covering set of interval `iv` (an instance of the
+/// covered window) within `parent`: all parent intervals `[u, v)` with
+/// `iv.start ≤ u` and `v ≤ iv.end`. Returned in increasing order.
+#[must_use]
+pub fn covering_set(parent: &Window, iv: &Interval) -> Vec<Interval> {
+    parent.instances_within_interval(iv).map(|m| parent.interval(m)).collect()
+}
+
+/// Interval-level check of Definition 1 over the first `count` intervals of
+/// `w1`. This is the *specification* the divisibility test of Theorem 1 is
+/// proved equivalent to; it exists for property tests and debugging.
+#[must_use]
+pub fn definition1_covered(w1: &Window, w2: &Window, count: u64) -> bool {
+    if w1 == w2 {
+        return true;
+    }
+    if w1.range() <= w2.range() {
+        return false;
+    }
+    (0..count).all(|m| {
+        let iv = w1.interval(m);
+        // I_a = [a, x) must start exactly at a with x < b.
+        let has_ia = iv.start % w2.slide() == 0 && iv.start + w2.range() < iv.end;
+        // I_b = [y, b) must end exactly at b with y > a.
+        let has_ib = iv.end >= w2.range()
+            && (iv.end - w2.range()) % w2.slide() == 0
+            && iv.end - w2.range() > iv.start;
+        has_ia && has_ib
+    })
+}
+
+/// Interval-level check of Definition 5 over the first `count` intervals:
+/// covered, and every covering set tiles the interval disjointly.
+#[must_use]
+pub fn definition5_partitioned(w1: &Window, w2: &Window, count: u64) -> bool {
+    if w1 == w2 {
+        return true;
+    }
+    if !definition1_covered(w1, w2, count) {
+        return false;
+    }
+    (0..count).all(|m| {
+        let iv = w1.interval(m);
+        let cover = covering_set(w2, &iv);
+        if cover.is_empty() {
+            return false;
+        }
+        // Disjoint and contiguous from iv.start to iv.end.
+        let mut cursor = iv.start;
+        for j in &cover {
+            if j.start != cursor {
+                return false;
+            }
+            cursor = j.end;
+        }
+        cursor == iv.end
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(r: u64, s: u64) -> Window {
+        Window::new(r, s).unwrap()
+    }
+
+    #[test]
+    fn example2_coverage() {
+        // Example 2/3: W1(10, 2) is covered by W2(8, 2).
+        assert!(is_strictly_covered_by(&w(10, 2), &w(8, 2)));
+        assert!(definition1_covered(&w(10, 2), &w(8, 2), 16));
+    }
+
+    #[test]
+    fn example5_not_partitioned() {
+        // W1(10,2) is covered but not partitioned by W2(8,2): W2 not tumbling.
+        assert!(!is_strictly_partitioned_by(&w(10, 2), &w(8, 2)));
+        assert!(!definition5_partitioned(&w(10, 2), &w(8, 2), 16));
+    }
+
+    #[test]
+    fn tumbling_partitioning() {
+        // W(40,40) is partitioned by W(20,20); covering multiplier 2.
+        assert!(is_strictly_partitioned_by(&w(40, 40), &w(20, 20)));
+        assert!(definition5_partitioned(&w(40, 40), &w(20, 20), 16));
+        assert_eq!(covering_multiplier(&w(40, 40), &w(20, 20)), 2);
+    }
+
+    #[test]
+    fn coverage_requires_divisibility() {
+        // W(30,30) is not covered by W(20,20): (30-20) % 20 != 0.
+        assert!(!is_strictly_covered_by(&w(30, 30), &w(20, 20)));
+        assert!(!definition1_covered(&w(30, 30), &w(20, 20), 16));
+        // W(30,30) not covered by W(4,2) either: (30-4) % 2 == 0 and 30 % 2
+        // == 0, so it IS covered.
+        assert!(is_strictly_covered_by(&w(30, 30), &w(4, 2)));
+    }
+
+    #[test]
+    fn coverage_is_reflexive_not_symmetric() {
+        let a = w(20, 20);
+        let b = w(40, 40);
+        assert!(is_covered_by(&a, &a));
+        assert!(is_covered_by(&b, &a));
+        assert!(!is_covered_by(&a, &b));
+    }
+
+    #[test]
+    fn equal_range_different_slide_is_not_coverage() {
+        // Definition 1 requires r1 > r2.
+        assert!(!is_strictly_covered_by(&w(10, 10), &w(10, 5)));
+        assert!(!definition1_covered(&w(10, 10), &w(10, 5), 16));
+    }
+
+    #[test]
+    fn multiplier_matches_paper_examples() {
+        // Example 6 / Figure 6(b).
+        assert_eq!(covering_multiplier(&w(20, 20), &w(10, 10)), 2);
+        assert_eq!(covering_multiplier(&w(30, 30), &w(10, 10)), 3);
+        assert_eq!(covering_multiplier(&w(40, 40), &w(20, 20)), 2);
+        // Figure 4: each interval of W1 covered by two intervals of W2.
+        assert_eq!(covering_multiplier(&w(10, 2), &w(8, 2)), 2);
+        // Against the virtual root S(1,1): M = r.
+        assert_eq!(covering_multiplier(&w(20, 20), &Window::unit()), 20);
+    }
+
+    #[test]
+    fn covering_set_matches_example4() {
+        // Figure 3: first interval [0,10) of W1(10,2) is covered by
+        // [0,8) and [2,10) of W2(8,2).
+        let cover = covering_set(&w(8, 2), &Interval::new(0, 10));
+        assert_eq!(cover, vec![Interval::new(0, 8), Interval::new(2, 10)]);
+        // Second interval [2,12): covered by 2nd and 3rd intervals.
+        let cover = covering_set(&w(8, 2), &Interval::new(2, 12));
+        assert_eq!(cover, vec![Interval::new(2, 10), Interval::new(4, 12)]);
+    }
+
+    #[test]
+    fn covering_set_cardinality_is_multiplier() {
+        let w1 = w(30, 6);
+        let w2 = w(12, 3);
+        assert!(is_strictly_covered_by(&w1, &w2));
+        let m = covering_multiplier(&w1, &w2);
+        for i in 0..8 {
+            let iv = w1.interval(i);
+            assert_eq!(covering_set(&w2, &iv).len() as u64, m);
+        }
+    }
+
+    #[test]
+    fn covering_set_unions_to_interval() {
+        let w1 = w(30, 6);
+        let w2 = w(12, 3);
+        for i in 0..8 {
+            let iv = w1.interval(i);
+            let cover = covering_set(&w2, &iv);
+            assert_eq!(cover.first().unwrap().start, iv.start);
+            assert_eq!(cover.last().unwrap().end, iv.end);
+            // Consecutive intervals overlap or touch, so the union is [a, b).
+            for pair in cover.windows(2) {
+                assert!(pair[1].start <= pair[0].end);
+            }
+        }
+    }
+
+    #[test]
+    fn semantics_relate() {
+        assert!(Semantics::CoveredBy.relates(&w(10, 2), &w(8, 2)));
+        assert!(!Semantics::PartitionedBy.relates(&w(10, 2), &w(8, 2)));
+        assert!(Semantics::PartitionedBy.relates(&w(40, 40), &w(20, 20)));
+        assert_eq!(Semantics::CoveredBy.name(), "covered-by");
+        assert_eq!(Semantics::PartitionedBy.name(), "partitioned-by");
+    }
+}

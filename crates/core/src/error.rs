@@ -1,0 +1,49 @@
+//! Error types for the optimizer core.
+
+use std::fmt;
+
+/// Errors raised while constructing windows or running the optimizer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum Error {
+    /// A window violated `0 < slide <= range`.
+    InvalidWindow { range: u64, slide: u64, reason: &'static str },
+    /// The window set is empty.
+    EmptyWindowSet,
+    /// The least common multiple of the window ranges overflowed 128 bits.
+    PeriodOverflow,
+    /// A cost computation overflowed 128 bits.
+    CostOverflow,
+    /// The requested semantics are unsound for the aggregate function
+    /// (e.g. covered-by for SUM, whose sub-aggregates must not overlap).
+    IncompatibleSemantics { function: &'static str, semantics: &'static str },
+    /// The aggregate function is holistic; sub-aggregate sharing is not
+    /// applicable and the optimizer falls back to the original plan.
+    HolisticFunction { function: &'static str },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidWindow { range, slide, reason } => {
+                write!(f, "invalid window W({range},{slide}): {reason}")
+            }
+            Error::EmptyWindowSet => write!(f, "window set is empty"),
+            Error::PeriodOverflow => {
+                write!(f, "lcm of window ranges overflowed 128-bit arithmetic")
+            }
+            Error::CostOverflow => write!(f, "cost computation overflowed 128-bit arithmetic"),
+            Error::IncompatibleSemantics { function, semantics } => {
+                write!(f, "{semantics} semantics are unsound for {function}")
+            }
+            Error::HolisticFunction { function } => {
+                write!(f, "{function} is holistic; shared sub-aggregation is not applicable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;

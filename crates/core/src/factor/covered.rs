@@ -1,0 +1,244 @@
+//! Algorithm 2: finding the best factor window under covered-by semantics
+//! (Section IV-B).
+
+use crate::cost::{gcd_all, Cost, CostModel};
+use crate::coverage::{covering_multiplier, is_strictly_covered_by};
+use crate::error::{Error, Result};
+use crate::window::Window;
+
+/// Divisors of `n` in ascending order.
+#[must_use]
+pub fn divisors(n: u64) -> Vec<u64> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut small = Vec::new();
+    let mut large = Vec::new();
+    let mut d = 1;
+    while d * d <= n {
+        if n % d == 0 {
+            small.push(d);
+            if d != n / d {
+                large.push(n / d);
+            }
+        }
+        d += 1;
+    }
+    large.reverse();
+    small.extend(large);
+    small
+}
+
+/// The benefit `δ_f = c′ − c` of inserting `factor` between `target` and its
+/// downstream windows (Equation 2, evaluated as the exact cost difference).
+///
+/// `target_is_virtual` selects the raw-stream instance cost `η·r` for edges
+/// out of the virtual root (DESIGN.md §4.2); at η = 1 this equals
+/// `M(·, S⟨1,1⟩)` and the two formulations coincide.
+pub fn factor_benefit(
+    model: &CostModel,
+    period: Cost,
+    target: &Window,
+    target_is_virtual: bool,
+    factor: &Window,
+    downstream: &[Window],
+) -> Result<i128> {
+    let via_target = |w: &Window| -> Result<Cost> {
+        if target_is_virtual {
+            model.instance_cost(w, None)
+        } else {
+            model.instance_cost(w, Some(target))
+        }
+    };
+    let mut delta: i128 = 0;
+    for wj in downstream {
+        let nj = wj.recurrence_count(period)?;
+        let before = nj.checked_mul(via_target(wj)?).ok_or(Error::CostOverflow)?;
+        let after = nj
+            .checked_mul(u128::from(covering_multiplier(wj, factor)))
+            .ok_or(Error::CostOverflow)?;
+        delta += i128::try_from(before).map_err(|_| Error::CostOverflow)?;
+        delta -= i128::try_from(after).map_err(|_| Error::CostOverflow)?;
+    }
+    let nf = factor.recurrence_count(period)?;
+    let factor_cost = nf.checked_mul(via_target(factor)?).ok_or(Error::CostOverflow)?;
+    delta -= i128::try_from(factor_cost).map_err(|_| Error::CostOverflow)?;
+    Ok(delta)
+}
+
+/// Algorithm 2: enumerates candidate factor windows for `target` and its
+/// downstream set, returning the one with the maximum (strictly positive)
+/// benefit, or `None`.
+///
+/// * Eligible slides: divisors of `gcd{s_1..s_K}` that are multiples of
+///   `s_W`.
+/// * Eligible ranges: multiples of the slide up to `min{r_1..r_K}`.
+/// * A candidate must satisfy `W_f ≤ W` and `W_j ≤ W_f` for all `j`
+///   (line 10), and must not duplicate an existing vertex (Definition 6).
+pub fn find_best_factor_covered(
+    model: &CostModel,
+    period: Cost,
+    target: &Window,
+    target_is_virtual: bool,
+    downstream: &[Window],
+    exists: &dyn Fn(&Window) -> bool,
+) -> Result<Option<Window>> {
+    if downstream.is_empty() {
+        return Ok(None);
+    }
+    let sd = gcd_all(downstream.iter().map(Window::slide));
+    let rmin = downstream.iter().map(Window::range).min().expect("non-empty downstream");
+    let mut best: Option<(i128, Window)> = None;
+    for sf in divisors(sd) {
+        if sf % target.slide() != 0 {
+            continue;
+        }
+        let mut rf = sf;
+        while rf <= rmin {
+            // `rf` is a multiple of `sf` by construction, so this cannot fail.
+            let candidate = Window::new(rf, sf).expect("rf is a positive multiple of sf");
+            rf += sf;
+            if exists(&candidate)
+                || !is_strictly_covered_by(&candidate, target)
+                || !downstream.iter().all(|wj| is_strictly_covered_by(wj, &candidate))
+            {
+                continue;
+            }
+            let delta =
+                factor_benefit(model, period, target, target_is_virtual, &candidate, downstream)?;
+            // Line 16: keep only strictly positive improvements, first wins ties.
+            if delta > 0 && best.as_ref().is_none_or(|(b, _)| delta > *b) {
+                best = Some((delta, candidate));
+            }
+        }
+    }
+    Ok(best.map(|(_, w)| w))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(r: u64, s: u64) -> Window {
+        Window::new(r, s).unwrap()
+    }
+
+    fn never_exists(_: &Window) -> bool {
+        false
+    }
+
+    #[test]
+    fn divisor_enumeration() {
+        assert_eq!(divisors(12), vec![1, 2, 3, 4, 6, 12]);
+        assert_eq!(divisors(1), vec![1]);
+        assert_eq!(divisors(7), vec![1, 7]);
+        assert!(divisors(0).is_empty());
+        assert_eq!(divisors(36), vec![1, 2, 3, 4, 6, 9, 12, 18, 36]);
+    }
+
+    #[test]
+    fn example7_benefit_of_w10() {
+        // Inserting W(10,10) between S and {W2(20), W3(30)}:
+        // before: c2 + c3 = 120 + 120 = 240; after: 12 + 12 + cost(Wf) 120
+        // → δ = 240 - 24 - 120 = 96.
+        let model = CostModel::default();
+        let delta = factor_benefit(
+            &model,
+            120,
+            &Window::unit(),
+            true,
+            &w(10, 10),
+            &[w(20, 20), w(30, 30)],
+        )
+        .unwrap();
+        assert_eq!(delta, 96);
+    }
+
+    #[test]
+    fn finds_w10_for_example7_under_covered_by() {
+        let model = CostModel::default();
+        let best = find_best_factor_covered(
+            &model,
+            120,
+            &Window::unit(),
+            true,
+            &[w(20, 20), w(30, 30)],
+            &never_exists,
+        )
+        .unwrap();
+        assert_eq!(best, Some(w(10, 10)));
+    }
+
+    #[test]
+    fn rejects_candidates_that_duplicate_vertices() {
+        let model = CostModel::default();
+        let best = find_best_factor_covered(
+            &model,
+            120,
+            &Window::unit(),
+            true,
+            &[w(20, 20), w(30, 30)],
+            &|cand| *cand == w(10, 10),
+        )
+        .unwrap();
+        // W(10,10) is taken; the next best divisor-aligned candidate wins.
+        assert!(best.is_some());
+        assert_ne!(best, Some(w(10, 10)));
+    }
+
+    #[test]
+    fn no_factor_for_single_tumbling_downstream() {
+        // One tumbling downstream window: any tumbling factor has zero or
+        // negative benefit (Algorithm 4 intuition, case 2).
+        let model = CostModel::default();
+        let best = find_best_factor_covered(
+            &model,
+            40,
+            &Window::unit(),
+            true,
+            &[w(40, 40)],
+            &never_exists,
+        )
+        .unwrap();
+        assert_eq!(best, None);
+    }
+
+    #[test]
+    fn hopping_downstream_can_benefit_from_single_factor() {
+        // W(40, 10) re-reads every event 4 times when fed raw; at period
+        // 120 (m1 = 3) a tumbling factor W(10,10) pays for itself:
+        // δ = 9·40 − 9·4 − 12·10 = 204.
+        let model = CostModel::default();
+        let best = find_best_factor_covered(
+            &model,
+            120,
+            &Window::unit(),
+            true,
+            &[w(40, 10)],
+            &never_exists,
+        )
+        .unwrap();
+        assert_eq!(best, Some(w(10, 10)));
+    }
+
+    #[test]
+    fn empty_downstream_returns_none() {
+        let model = CostModel::default();
+        assert_eq!(
+            find_best_factor_covered(&model, 120, &Window::unit(), true, &[], &never_exists)
+                .unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn benefit_can_be_negative() {
+        // A factor window equal in range to the smallest downstream window
+        // is invalid; a much smaller one with slide 1 may cost more than it
+        // saves when the downstream windows are few and small.
+        let model = CostModel::default();
+        let delta =
+            factor_benefit(&model, 20, &Window::unit(), true, &w(2, 1), &[w(20, 20)]).unwrap();
+        assert!(delta < 0, "delta = {delta}");
+    }
+}

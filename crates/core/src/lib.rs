@@ -1,0 +1,68 @@
+//! # fw-core — Factor Windows: cost-based rewriting of correlated window aggregates
+//!
+//! This crate implements the optimizer of *"Factor Windows: Cost-based
+//! Query Rewriting for Optimizing Correlated Window Aggregates"* (ICDE
+//! 2022): the window coverage model (Theorems 1–6), the window coverage
+//! graph (WCG), the cost model and Algorithm 1 (min-cost WCG), factor
+//! windows (Algorithms 2–5), and the Appendix-B query rewriting that turns
+//! a min-cost WCG into an executable plan DAG.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use fw_core::prelude::*;
+//!
+//! // The query of the paper's Example 7: SUM over tumbling windows of
+//! // 20, 30, and 40 time units.
+//! let windows = WindowSet::new(vec![
+//!     Window::tumbling(20)?,
+//!     Window::tumbling(30)?,
+//!     Window::tumbling(40)?,
+//! ])?;
+//! let query = WindowQuery::new(windows, AggregateFunction::Sum);
+//! let outcome = Optimizer::default().optimize(&query)?;
+//!
+//! assert_eq!(outcome.original.cost, 360);  // unshared plan
+//! assert_eq!(outcome.rewritten.cost, 246); // Algorithm 1
+//! assert_eq!(outcome.factored.cost, 150);  // Algorithm 3: W(10,10) inserted
+//! println!("{}", outcome.factored.plan.to_trill_string());
+//! # Ok::<(), fw_core::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod adaptive;
+pub mod cost;
+pub mod coverage;
+pub mod error;
+pub mod factor;
+pub mod min_cost;
+pub mod optimizer;
+pub mod plan;
+pub mod rational;
+pub mod rewrite;
+pub mod taxonomy;
+pub mod wcg;
+pub mod window;
+
+pub use adaptive::{AdaptivePlanner, RateEstimator};
+pub use cost::{Cost, CostModel};
+pub use coverage::Semantics;
+pub use error::{Error, Result};
+pub use min_cost::{Feed, MinCostWcg};
+pub use optimizer::{OptimizationOutcome, Optimizer, PlanBundle, WindowQuery};
+pub use plan::{NodeId, PlanNode, PlanOp, QueryPlan};
+pub use taxonomy::{AggregateClass, AggregateFunction};
+pub use wcg::{NodeKind, Wcg};
+pub use window::{Interval, Window, WindowSet};
+
+/// One-stop imports for typical users of the crate.
+pub mod prelude {
+    pub use crate::cost::CostModel;
+    pub use crate::coverage::Semantics;
+    pub use crate::optimizer::{OptimizationOutcome, Optimizer, WindowQuery};
+    pub use crate::plan::QueryPlan;
+    pub use crate::taxonomy::AggregateFunction;
+    pub use crate::window::{Interval, Window, WindowSet};
+}

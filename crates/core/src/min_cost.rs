@@ -1,0 +1,307 @@
+//! Algorithm 1: computing the min-cost WCG (Section III-B2).
+//!
+//! Every window is initialized with its unshared cost `n·η·r` and then
+//! revised over its in-edges to `n·M(W, W′)` (Observation 1); only the
+//! in-edge achieving the final cost is kept, so the result is a forest
+//! (Theorem 7).
+
+use crate::cost::{Cost, CostModel};
+use crate::error::Result;
+use crate::wcg::Wcg;
+
+/// Where a window reads its input from in the min-cost plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Feed {
+    /// Directly from the raw event stream.
+    Raw,
+    /// From the sub-aggregates of another vertex (by WCG index).
+    From(usize),
+}
+
+/// The output of Algorithm 1: per-window feeds and costs over a WCG.
+#[derive(Debug, Clone)]
+pub struct MinCostWcg {
+    wcg: Wcg,
+    period: Cost,
+    feeds: Vec<Feed>,
+    costs: Vec<Cost>,
+    children: Vec<Vec<usize>>,
+    active: Vec<bool>,
+    total: Cost,
+}
+
+/// Runs Algorithm 1 over `wcg`.
+///
+/// `period` must be the lcm of the *user* window ranges (factor windows do
+/// not extend the period — DESIGN.md §4.3). Virtual-root in-edges model the
+/// raw stream and cost `n·η·r`, which is also every window's initial cost,
+/// so they never win a revision.
+pub fn minimize(wcg: Wcg, model: &CostModel, period: Cost) -> Result<MinCostWcg> {
+    let n = wcg.len();
+    let mut feeds = vec![Feed::Raw; n];
+    let mut costs = vec![0 as Cost; n];
+    for i in 0..n {
+        if wcg.is_virtual(i) {
+            continue;
+        }
+        let w = wcg.node(i).window;
+        let mut best = model.raw_cost(&w, period)?;
+        let mut feed = Feed::Raw;
+        let count = w.recurrence_count(period)?;
+        for &j in wcg.upstream(i) {
+            if wcg.is_virtual(j) {
+                continue;
+            }
+            let parent = wcg.node(j).window;
+            let candidate = count
+                .checked_mul(u128::from(crate::coverage::covering_multiplier(&w, &parent)))
+                .ok_or(crate::error::Error::CostOverflow)?;
+            if candidate < best {
+                best = candidate;
+                feed = Feed::From(j);
+            }
+        }
+        costs[i] = best;
+        feeds[i] = feed;
+    }
+
+    let mut children = vec![Vec::new(); n];
+    for (i, feed) in feeds.iter().enumerate() {
+        if let Feed::From(p) = feed {
+            children[*p].push(i);
+        }
+    }
+    let active = vec![true; n];
+    let mut result = MinCostWcg { wcg, period, feeds, costs, children, active, total: 0 };
+    result.recompute_total();
+    Ok(result)
+}
+
+impl MinCostWcg {
+    /// The underlying (possibly factor-expanded) WCG.
+    #[must_use]
+    pub fn wcg(&self) -> &Wcg {
+        &self.wcg
+    }
+
+    /// The period `R` the costs were computed over.
+    #[must_use]
+    pub fn period(&self) -> Cost {
+        self.period
+    }
+
+    /// Feed of vertex `i` in the min-cost forest.
+    #[must_use]
+    pub fn feed(&self, i: usize) -> Feed {
+        self.feeds[i]
+    }
+
+    /// Cost of vertex `i` (0 for the virtual root).
+    #[must_use]
+    pub fn cost(&self, i: usize) -> Cost {
+        self.costs[i]
+    }
+
+    /// Children of vertex `i` in the min-cost forest.
+    #[must_use]
+    pub fn children(&self, i: usize) -> &[usize] {
+        &self.children[i]
+    }
+
+    /// Whether vertex `i` survived dead-factor pruning.
+    #[must_use]
+    pub fn is_active(&self, i: usize) -> bool {
+        self.active[i]
+    }
+
+    /// Total plan cost: active, non-virtual vertices only.
+    #[must_use]
+    pub fn total_cost(&self) -> Cost {
+        self.total
+    }
+
+    /// Indices of active, non-virtual vertices.
+    pub fn active_nodes(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.wcg.len()).filter(|&i| self.active[i] && !self.wcg.is_virtual(i))
+    }
+
+    fn recompute_total(&mut self) {
+        self.total = self
+            .active_nodes()
+            .map(|i| self.costs[i])
+            .fold(0 as Cost, |acc, c| acc.saturating_add(c));
+    }
+
+    /// Removes factor windows no surviving vertex reads from. Such vertices
+    /// would compute sub-aggregates nobody consumes; the paper's rewriting
+    /// implicitly assumes they do not exist (DESIGN.md §4.5). Iterates to a
+    /// fixpoint because factor windows can feed other factor windows.
+    pub fn prune_dead_factors(&mut self) {
+        loop {
+            let mut changed = false;
+            for i in 0..self.wcg.len() {
+                if !self.active[i] || self.wcg.node(i).kind != crate::wcg::NodeKind::Factor {
+                    continue;
+                }
+                let has_consumer = self.children[i].iter().any(|&c| self.active[c]);
+                if !has_consumer {
+                    self.active[i] = false;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Pruned factors were fed by someone; detach them so children lists
+        // reflect the surviving forest.
+        for list in &mut self.children {
+            let active = &self.active;
+            list.retain(|&c| active[c]);
+        }
+        self.recompute_total();
+    }
+
+    /// Validates Theorem 7: the active subgraph is a forest (every vertex
+    /// has at most one parent, no cycles). Used by tests and debug builds.
+    #[must_use]
+    pub fn is_forest(&self) -> bool {
+        // Parents are unique by construction; check acyclicity by walking up.
+        for start in self.active_nodes() {
+            let mut hops = 0;
+            let mut cur = start;
+            while let Feed::From(p) = self.feeds[cur] {
+                cur = p;
+                hops += 1;
+                if hops > self.wcg.len() {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coverage::Semantics;
+    use crate::window::{Window, WindowSet};
+
+    fn w(r: u64, s: u64) -> Window {
+        Window::new(r, s).unwrap()
+    }
+
+    fn run(windows: &[Window], semantics: Semantics) -> MinCostWcg {
+        let ws = WindowSet::new(windows.to_vec()).unwrap();
+        let model = CostModel::default();
+        let period = model.period(ws.iter()).unwrap();
+        let wcg = Wcg::build_augmented(&ws, semantics);
+        minimize(wcg, &model, period).unwrap()
+    }
+
+    #[test]
+    fn example6_min_cost() {
+        // Figure 6(b): c1 = 120, c2 = 12, c3 = 12, c4 = 6; total 150.
+        let mc = run(
+            &[w(10, 10), w(20, 20), w(30, 30), w(40, 40)],
+            Semantics::PartitionedBy,
+        );
+        let g = mc.wcg();
+        let id = |r| g.find(&w(r, r)).unwrap();
+        assert_eq!(mc.cost(id(10)), 120);
+        assert_eq!(mc.cost(id(20)), 12);
+        assert_eq!(mc.cost(id(30)), 12);
+        assert_eq!(mc.cost(id(40)), 6);
+        assert_eq!(mc.total_cost(), 150);
+        assert_eq!(mc.feed(id(10)), Feed::Raw);
+        assert_eq!(mc.feed(id(20)), Feed::From(id(10)));
+        assert_eq!(mc.feed(id(30)), Feed::From(id(10)));
+        assert_eq!(mc.feed(id(40)), Feed::From(id(20)));
+        assert!(mc.is_forest());
+    }
+
+    #[test]
+    fn example7_min_cost_without_factors() {
+        // Figure 7(a): c2 = 120, c3 = 120, c4 = 6; total 246.
+        let mc = run(&[w(20, 20), w(30, 30), w(40, 40)], Semantics::PartitionedBy);
+        let g = mc.wcg();
+        let id = |r| g.find(&w(r, r)).unwrap();
+        assert_eq!(mc.cost(id(20)), 120);
+        assert_eq!(mc.cost(id(30)), 120);
+        assert_eq!(mc.cost(id(40)), 6);
+        assert_eq!(mc.total_cost(), 246);
+        assert_eq!(mc.feed(id(20)), Feed::Raw);
+        assert_eq!(mc.feed(id(40)), Feed::From(id(20)));
+    }
+
+    #[test]
+    fn disjoint_windows_all_raw() {
+        let mc = run(&[w(15, 15), w(17, 17), w(19, 19)], Semantics::CoveredBy);
+        let baseline = 3 * 15 * 17 * 19; // 3ηR
+        assert_eq!(mc.total_cost(), baseline as u128);
+        for i in mc.active_nodes() {
+            assert_eq!(mc.feed(i), Feed::Raw);
+        }
+    }
+
+    #[test]
+    fn hopping_covered_by_sharing() {
+        // W(20,10) can be fed from W(10,10): M = 1 + (20-10)/10 = 2.
+        let mc = run(&[w(10, 10), w(20, 10)], Semantics::CoveredBy);
+        let g = mc.wcg();
+        let hop = g.find(&w(20, 10)).unwrap();
+        let tum = g.find(&w(10, 10)).unwrap();
+        assert_eq!(mc.feed(hop), Feed::From(tum));
+        // R = 20, n_hop = 1 + (20-20)/10 = 1, cost = 1*2 = 2.
+        assert_eq!(mc.cost(hop), 2);
+    }
+
+    #[test]
+    fn children_mirror_feeds() {
+        let mc = run(
+            &[w(10, 10), w(20, 20), w(30, 30), w(40, 40)],
+            Semantics::PartitionedBy,
+        );
+        let g = mc.wcg();
+        let id = |r| g.find(&w(r, r)).unwrap();
+        let mut c10 = mc.children(id(10)).to_vec();
+        c10.sort_unstable();
+        assert_eq!(c10, vec![id(20), id(30)]);
+        assert_eq!(mc.children(id(20)), &[id(40)]);
+    }
+
+    #[test]
+    fn brute_force_optimality_small_sets() {
+        // Algorithm 1 is exact per-window (each window independently picks
+        // its cheapest feed), so the total must equal the brute-force
+        // minimum over all valid parent assignments.
+        let sets: Vec<Vec<Window>> = vec![
+            vec![w(10, 10), w(20, 20), w(30, 30), w(40, 40)],
+            vec![w(4, 2), w(8, 2), w(16, 4)],
+            vec![w(6, 3), w(12, 3), w(24, 12), w(30, 3)],
+        ];
+        for windows in sets {
+            for semantics in [Semantics::CoveredBy, Semantics::PartitionedBy] {
+                let ws = WindowSet::new(windows.clone()).unwrap();
+                let model = CostModel::default();
+                let period = model.period(ws.iter()).unwrap();
+                let mc = minimize(Wcg::build_augmented(&ws, semantics), &model, period).unwrap();
+
+                // Brute force: each window picks raw or any strict coverer.
+                let mut best_total: Cost = 0;
+                for wi in ws.iter() {
+                    let mut best = model.raw_cost(wi, period).unwrap();
+                    for wj in ws.iter() {
+                        if wi != wj && semantics.relates(wi, wj) {
+                            let c = model.shared_cost(wi, wj, period).unwrap();
+                            best = best.min(c);
+                        }
+                    }
+                    best_total += best;
+                }
+                assert_eq!(mc.total_cost(), best_total, "set {windows:?} {semantics:?}");
+            }
+        }
+    }
+}

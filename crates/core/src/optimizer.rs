@@ -1,0 +1,268 @@
+//! The cost-based optimizer facade: from a multi-window aggregate query to
+//! the original plan, the Algorithm-1 rewrite, and the Algorithm-3 rewrite
+//! with factor windows.
+
+use crate::cost::{Cost, CostModel};
+use crate::coverage::Semantics;
+use crate::error::Result;
+use crate::factor::minimize_with_factors;
+use crate::min_cost::minimize;
+use crate::plan::QueryPlan;
+use crate::rewrite::{original_plan, rewrite};
+use crate::taxonomy::AggregateFunction;
+use crate::wcg::Wcg;
+use crate::window::{Window, WindowSet};
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// A multi-window aggregate query: one aggregate function over a window
+/// set, optionally with display labels per window (Figure 1(a)).
+#[derive(Debug, Clone)]
+pub struct WindowQuery {
+    windows: WindowSet,
+    function: AggregateFunction,
+    labels: BTreeMap<Window, String>,
+}
+
+impl WindowQuery {
+    /// Creates a query with default labels.
+    #[must_use]
+    pub fn new(windows: WindowSet, function: AggregateFunction) -> Self {
+        WindowQuery { windows, function, labels: BTreeMap::new() }
+    }
+
+    /// Attaches display labels (e.g. `'20 min'`) to windows.
+    #[must_use]
+    pub fn with_labels(mut self, labels: BTreeMap<Window, String>) -> Self {
+        self.labels = labels;
+        self
+    }
+
+    /// The window set.
+    #[must_use]
+    pub fn windows(&self) -> &WindowSet {
+        &self.windows
+    }
+
+    /// The aggregate function.
+    #[must_use]
+    pub fn function(&self) -> AggregateFunction {
+        self.function
+    }
+
+    /// Display label for a window: the user label, or `W(r,s)`.
+    #[must_use]
+    pub fn label_of(&self, w: &Window) -> String {
+        self.labels.get(w).cloned().unwrap_or_else(|| w.to_string())
+    }
+}
+
+/// A plan together with its modeled cost.
+#[derive(Debug, Clone)]
+pub struct PlanBundle {
+    /// The logical plan.
+    pub plan: QueryPlan,
+    /// Modeled cost per period `R` (Section III-B).
+    pub cost: Cost,
+}
+
+/// The optimizer's output: the three plans the paper evaluates against
+/// each other, plus optimization timings (Figure 12).
+#[derive(Debug, Clone)]
+pub struct OptimizationOutcome {
+    /// Semantics used to build the WCG; `None` when the function is
+    /// holistic and the optimizer fell back to the original plan.
+    pub semantics: Option<Semantics>,
+    /// The unshared plan of Figure 2(a).
+    pub original: PlanBundle,
+    /// The Algorithm-1 rewrite (sharing among query windows only).
+    pub rewritten: PlanBundle,
+    /// The Algorithm-3 rewrite (factor windows allowed).
+    pub factored: PlanBundle,
+    /// Wall time of Algorithm 1 (WCG construction + minimization + rewrite).
+    pub rewrite_time: Duration,
+    /// Wall time of Algorithm 3 (candidate search + minimization + rewrite).
+    pub factor_time: Duration,
+}
+
+impl OptimizationOutcome {
+    /// Predicted speedup of the rewritten plan over the original,
+    /// `γ_C = C_orig / C_rewritten`.
+    #[must_use]
+    pub fn predicted_speedup_rewritten(&self) -> f64 {
+        self.original.cost as f64 / self.rewritten.cost as f64
+    }
+
+    /// Predicted speedup of the factored plan over the original.
+    #[must_use]
+    pub fn predicted_speedup_factored(&self) -> f64 {
+        self.original.cost as f64 / self.factored.cost as f64
+    }
+
+    /// Predicted speedup of factored over rewritten (`γ_C` of Figure 19).
+    #[must_use]
+    pub fn predicted_speedup_factored_over_rewritten(&self) -> f64 {
+        self.rewritten.cost as f64 / self.factored.cost as f64
+    }
+}
+
+/// The cost-based optimizer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Optimizer {
+    model: CostModel,
+}
+
+impl Optimizer {
+    /// Creates an optimizer over the given cost model.
+    #[must_use]
+    pub fn new(model: CostModel) -> Self {
+        Optimizer { model }
+    }
+
+    /// The cost model in use.
+    #[must_use]
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Optimizes with the function's default semantics (covered-by for
+    /// MIN/MAX, partitioned-by for SUM/COUNT/AVG); holistic functions fall
+    /// back to the original plan for all three bundles.
+    pub fn optimize(&self, query: &WindowQuery) -> Result<OptimizationOutcome> {
+        match query.function().default_semantics() {
+            Some(semantics) => self.optimize_with(query, semantics),
+            None => self.fallback(query),
+        }
+    }
+
+    /// Optimizes under explicit semantics, validating soundness first
+    /// (covered-by is rejected for overlap-sensitive functions).
+    pub fn optimize_with(
+        &self,
+        query: &WindowQuery,
+        semantics: Semantics,
+    ) -> Result<OptimizationOutcome> {
+        query.function().check_semantics(semantics)?;
+
+        let original = original_plan(query);
+        let original_cost = original.cost(&self.model)?;
+        let period = self.model.period(query.windows().iter())?;
+
+        let start = Instant::now();
+        let wcg = Wcg::build_augmented(query.windows(), semantics);
+        let mc = minimize(wcg, &self.model, period)?;
+        let rewritten = rewrite(&mc, query);
+        let rewrite_time = start.elapsed();
+        let rewritten_cost = mc.total_cost();
+
+        let start = Instant::now();
+        let mc_f = minimize_with_factors(query.windows(), semantics, &self.model)?;
+        let factored = rewrite(&mc_f, query);
+        let factor_time = start.elapsed();
+        let factored_cost = mc_f.total_cost();
+
+        Ok(OptimizationOutcome {
+            semantics: Some(semantics),
+            original: PlanBundle { plan: original, cost: original_cost },
+            rewritten: PlanBundle { plan: rewritten, cost: rewritten_cost },
+            factored: PlanBundle { plan: factored, cost: factored_cost },
+            rewrite_time,
+            factor_time,
+        })
+    }
+
+    fn fallback(&self, query: &WindowQuery) -> Result<OptimizationOutcome> {
+        let original = original_plan(query);
+        let cost = original.cost(&self.model)?;
+        let bundle = PlanBundle { plan: original, cost };
+        Ok(OptimizationOutcome {
+            semantics: None,
+            original: bundle.clone(),
+            rewritten: bundle.clone(),
+            factored: bundle,
+            rewrite_time: Duration::ZERO,
+            factor_time: Duration::ZERO,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::Error;
+
+    fn w(r: u64, s: u64) -> Window {
+        Window::new(r, s).unwrap()
+    }
+
+    fn query(ws: &[Window], f: AggregateFunction) -> WindowQuery {
+        WindowQuery::new(WindowSet::new(ws.to_vec()).unwrap(), f)
+    }
+
+    #[test]
+    fn example7_end_to_end() {
+        let q = query(&[w(20, 20), w(30, 30), w(40, 40)], AggregateFunction::Sum);
+        let out = Optimizer::default().optimize(&q).unwrap();
+        assert_eq!(out.semantics, Some(Semantics::PartitionedBy));
+        assert_eq!(out.original.cost, 360);
+        assert_eq!(out.rewritten.cost, 246);
+        assert_eq!(out.factored.cost, 150);
+        assert!(out.original.plan.validate().is_ok());
+        assert!(out.rewritten.plan.validate().is_ok());
+        assert!(out.factored.plan.validate().is_ok());
+        assert!((out.predicted_speedup_factored() - 2.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_defaults_to_covered_by() {
+        let q = query(&[w(20, 20), w(40, 20)], AggregateFunction::Min);
+        let out = Optimizer::default().optimize(&q).unwrap();
+        assert_eq!(out.semantics, Some(Semantics::CoveredBy));
+        assert!(out.rewritten.cost <= out.original.cost);
+        assert!(out.factored.cost <= out.rewritten.cost);
+    }
+
+    #[test]
+    fn sum_rejects_covered_by() {
+        let q = query(&[w(20, 20), w(40, 40)], AggregateFunction::Sum);
+        let err = Optimizer::default().optimize_with(&q, Semantics::CoveredBy).unwrap_err();
+        assert!(matches!(err, Error::IncompatibleSemantics { .. }));
+    }
+
+    #[test]
+    fn median_falls_back_to_original() {
+        let q = query(&[w(20, 20), w(40, 40)], AggregateFunction::Median);
+        let out = Optimizer::default().optimize(&q).unwrap();
+        assert_eq!(out.semantics, None);
+        assert_eq!(out.original.cost, out.rewritten.cost);
+        assert_eq!(out.original.plan, out.factored.plan);
+        let err = Optimizer::default().optimize_with(&q, Semantics::PartitionedBy).unwrap_err();
+        assert!(matches!(err, Error::HolisticFunction { .. }));
+    }
+
+    #[test]
+    fn labels_flow_into_plans() {
+        let labels =
+            BTreeMap::from([(w(20, 20), "20 min".to_string()), (w(40, 40), "40 min".to_string())]);
+        let q = query(&[w(20, 20), w(40, 40)], AggregateFunction::Min).with_labels(labels);
+        let out = Optimizer::default().optimize(&q).unwrap();
+        let s = out.factored.plan.to_trill_string();
+        assert!(s.contains("'20 min'"), "{s}");
+        assert!(s.contains("'40 min'"), "{s}");
+    }
+
+    #[test]
+    fn costs_are_monotone_across_plans() {
+        let sets = [
+            vec![w(10, 10), w(20, 20), w(30, 30), w(40, 40)],
+            vec![w(15, 15), w(17, 17), w(19, 19)],
+            vec![w(40, 20), w(60, 20), w(80, 20), w(120, 40)],
+        ];
+        for windows in &sets {
+            let q = query(windows, AggregateFunction::Min);
+            let out = Optimizer::default().optimize(&q).unwrap();
+            assert!(out.rewritten.cost <= out.original.cost);
+            assert!(out.factored.cost <= out.rewritten.cost);
+        }
+    }
+}

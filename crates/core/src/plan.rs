@@ -1,0 +1,521 @@
+//! Logical query plans over the operator algebra of Figure 2:
+//! `Source`, `Multicast`, `WindowAgg`, and `Union`.
+//!
+//! Plans are DAGs stored as nodes with explicit input lists. The engine
+//! crate compiles them to physical operators; this module also renders
+//! them as Trill-style and Flink-DataStream-style expressions, the two
+//! targets the paper demonstrates.
+
+use crate::cost::{Cost, CostModel};
+use crate::error::{Error, Result};
+use crate::taxonomy::AggregateFunction;
+use crate::window::Window;
+use serde::{Deserialize, Serialize};
+
+/// Index of a node within a [`QueryPlan`].
+pub type NodeId = usize;
+
+/// A plan operator.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlanOp {
+    /// The input event stream.
+    Source,
+    /// Replicates its input to several consumers.
+    Multicast,
+    /// Windowed, keyed aggregation. `exposed` windows contribute results to
+    /// the final union; factor windows do not (Definition 6).
+    WindowAgg {
+        /// The window to aggregate over.
+        window: Window,
+        /// Display label (e.g. `'20 min'` from the query text).
+        label: String,
+        /// Whether results are part of the query output.
+        exposed: bool,
+    },
+    /// Merges all exposed window outputs into the result stream.
+    Union,
+}
+
+/// A node in the plan DAG.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlanNode {
+    /// The operator at this node.
+    pub op: PlanOp,
+    /// Producer nodes this node consumes.
+    pub inputs: Vec<NodeId>,
+}
+
+/// A logical plan for a multi-window aggregate query.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryPlan {
+    function: AggregateFunction,
+    nodes: Vec<PlanNode>,
+    source: NodeId,
+    union: NodeId,
+}
+
+/// Incremental builder used by the rewriting module.
+#[derive(Debug)]
+pub struct PlanBuilder {
+    function: AggregateFunction,
+    nodes: Vec<PlanNode>,
+    source: NodeId,
+}
+
+impl PlanBuilder {
+    /// Starts a plan containing only the source.
+    #[must_use]
+    pub fn new(function: AggregateFunction) -> Self {
+        let nodes = vec![PlanNode { op: PlanOp::Source, inputs: Vec::new() }];
+        PlanBuilder { function, nodes, source: 0 }
+    }
+
+    /// The source node id.
+    #[must_use]
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Adds a multicast consuming `input`.
+    pub fn multicast(&mut self, input: NodeId) -> NodeId {
+        self.push(PlanNode { op: PlanOp::Multicast, inputs: vec![input] })
+    }
+
+    /// Adds a window aggregate consuming `input`.
+    pub fn window_agg(
+        &mut self,
+        input: NodeId,
+        window: Window,
+        label: String,
+        exposed: bool,
+    ) -> NodeId {
+        self.push(PlanNode { op: PlanOp::WindowAgg { window, label, exposed }, inputs: vec![input] })
+    }
+
+    /// Finishes the plan with a union over `inputs`.
+    #[must_use]
+    pub fn finish(mut self, union_inputs: Vec<NodeId>) -> QueryPlan {
+        let union = self.push(PlanNode { op: PlanOp::Union, inputs: union_inputs });
+        QueryPlan { function: self.function, nodes: self.nodes, source: self.source, union }
+    }
+
+    fn push(&mut self, node: PlanNode) -> NodeId {
+        let id = self.nodes.len();
+        self.nodes.push(node);
+        id
+    }
+}
+
+impl QueryPlan {
+    /// The aggregate function the plan evaluates.
+    #[must_use]
+    pub fn function(&self) -> AggregateFunction {
+        self.function
+    }
+
+    /// All nodes, indexable by [`NodeId`].
+    #[must_use]
+    pub fn nodes(&self) -> &[PlanNode] {
+        &self.nodes
+    }
+
+    /// The source node.
+    #[must_use]
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// The union node.
+    #[must_use]
+    pub fn union(&self) -> NodeId {
+        self.union
+    }
+
+    /// Ids of all window-aggregate nodes, in creation order.
+    pub fn window_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n.op, PlanOp::WindowAgg { .. }))
+            .map(|(i, _)| i)
+    }
+
+    /// The window at `id`, if it is a window-aggregate node.
+    #[must_use]
+    pub fn window_at(&self, id: NodeId) -> Option<&Window> {
+        match &self.nodes[id].op {
+            PlanOp::WindowAgg { window, .. } => Some(window),
+            _ => None,
+        }
+    }
+
+    /// Whether the window node at `id` is exposed.
+    #[must_use]
+    pub fn is_exposed(&self, id: NodeId) -> bool {
+        matches!(self.nodes[id].op, PlanOp::WindowAgg { exposed: true, .. })
+    }
+
+    /// The producing window node feeding window node `id`, traced through
+    /// multicasts; `None` means the node reads the raw stream.
+    #[must_use]
+    pub fn feeding_window(&self, id: NodeId) -> Option<NodeId> {
+        let mut cur = self.nodes[id].inputs[0];
+        loop {
+            match &self.nodes[cur].op {
+                PlanOp::Source => return None,
+                PlanOp::WindowAgg { .. } => return Some(cur),
+                PlanOp::Multicast | PlanOp::Union => {
+                    cur = self.nodes[cur].inputs[0];
+                }
+            }
+        }
+    }
+
+    /// Window nodes that consume `id`'s output (directly or via multicast).
+    #[must_use]
+    pub fn consuming_windows(&self, id: NodeId) -> Vec<NodeId> {
+        self.window_nodes().filter(|&w| self.feeding_window(w) == Some(id)).collect()
+    }
+
+    /// Exposed windows, i.e. the user's query windows.
+    #[must_use]
+    pub fn exposed_windows(&self) -> Vec<Window> {
+        self.window_nodes()
+            .filter(|&i| self.is_exposed(i))
+            .filter_map(|i| self.window_at(i).copied())
+            .collect()
+    }
+
+    /// Number of factor (hidden) window nodes.
+    #[must_use]
+    pub fn factor_window_count(&self) -> usize {
+        self.window_nodes().filter(|&i| !self.is_exposed(i)).count()
+    }
+
+    /// The modeled cost of the plan (Section III-B): the period is the lcm
+    /// of the *exposed* window ranges; each window node costs `n·η·r` when
+    /// raw-fed and `n·M` when fed from another window.
+    pub fn cost(&self, model: &CostModel) -> Result<Cost> {
+        let exposed = self.exposed_windows();
+        if exposed.is_empty() {
+            return Err(Error::EmptyWindowSet);
+        }
+        let period = model.period(exposed.iter())?;
+        let mut total: Cost = 0;
+        for id in self.window_nodes() {
+            let w = self.window_at(id).expect("window node");
+            let c = match self.feeding_window(id) {
+                None => model.raw_cost(w, period)?,
+                Some(p) => {
+                    let parent = self.window_at(p).expect("window node");
+                    model.shared_cost(w, parent, period)?
+                }
+            };
+            total = total.checked_add(c).ok_or(Error::CostOverflow)?;
+        }
+        Ok(total)
+    }
+
+    /// Structural validation: shapes the engine relies on. Returns a
+    /// human-readable description of the first violation.
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        let mut source_count = 0;
+        for (i, n) in self.nodes.iter().enumerate() {
+            match &n.op {
+                PlanOp::Source => {
+                    source_count += 1;
+                    if !n.inputs.is_empty() {
+                        return Err(format!("source {i} has inputs"));
+                    }
+                }
+                PlanOp::Multicast => {
+                    if n.inputs.len() != 1 {
+                        return Err(format!("multicast {i} must have exactly one input"));
+                    }
+                }
+                PlanOp::WindowAgg { .. } => {
+                    if n.inputs.len() != 1 {
+                        return Err(format!("window agg {i} must have exactly one input"));
+                    }
+                }
+                PlanOp::Union => {
+                    if i != self.union {
+                        return Err(format!("unexpected extra union at {i}"));
+                    }
+                }
+            }
+            for &input in &n.inputs {
+                if input >= i {
+                    return Err(format!("node {i} reads from non-earlier node {input}"));
+                }
+            }
+        }
+        if source_count != 1 {
+            return Err(format!("expected one source, found {source_count}"));
+        }
+        // Union must collect exactly the exposed windows' outputs.
+        let mut union_feeds: Vec<NodeId> = self.nodes[self.union]
+            .inputs
+            .iter()
+            .map(|&i| self.resolve_window(i))
+            .collect::<std::result::Result<_, String>>()?;
+        union_feeds.sort_unstable();
+        let mut exposed: Vec<NodeId> = self.window_nodes().filter(|&i| self.is_exposed(i)).collect();
+        exposed.sort_unstable();
+        if union_feeds != exposed {
+            return Err("union inputs do not match exposed windows".to_string());
+        }
+        // Every hidden window must have at least one consumer.
+        for id in self.window_nodes() {
+            if !self.is_exposed(id) && self.consuming_windows(id).is_empty() {
+                return Err(format!("factor window node {id} has no consumers"));
+            }
+        }
+        Ok(())
+    }
+
+    fn resolve_window(&self, mut id: NodeId) -> std::result::Result<NodeId, String> {
+        loop {
+            match &self.nodes[id].op {
+                PlanOp::WindowAgg { .. } => return Ok(id),
+                PlanOp::Multicast => id = self.nodes[id].inputs[0],
+                other => return Err(format!("union input resolves to {other:?}")),
+            }
+        }
+    }
+
+    fn window_expr(w: &Window) -> String {
+        if w.is_tumbling() {
+            format!("Tumbling({})", w.range())
+        } else {
+            format!("Hopping({}, {})", w.range(), w.slide())
+        }
+    }
+
+    fn agg_expr(&self) -> String {
+        match self.function {
+            AggregateFunction::Min => "w => w.Min(e => e.V)".to_string(),
+            AggregateFunction::Max => "w => w.Max(e => e.V)".to_string(),
+            AggregateFunction::Sum => "w => w.Sum(e => e.V)".to_string(),
+            AggregateFunction::Count => "w => w.Count()".to_string(),
+            AggregateFunction::Avg => "w => w.Average(e => e.V)".to_string(),
+            AggregateFunction::Median => "w => w.Median(e => e.V)".to_string(),
+        }
+    }
+
+    /// Renders the plan as a Trill-style expression (Figure 2).
+    #[must_use]
+    pub fn to_trill_string(&self) -> String {
+        let roots: Vec<NodeId> =
+            self.window_nodes().filter(|&i| self.feeding_window(i).is_none()).collect();
+        match roots.as_slice() {
+            [single] => format!("Input.{}", self.render_trill(*single, 1)),
+            many => {
+                let body = many
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &root)| {
+                        let expr = format!("s0.{}", self.render_trill(root, 1));
+                        if i == 0 {
+                            expr
+                        } else {
+                            format!(".Union({expr})")
+                        }
+                    })
+                    .collect::<String>();
+                format!("Input.Multicast(s0 => {body})")
+            }
+        }
+    }
+
+    fn render_trill(&self, id: NodeId, depth: usize) -> String {
+        let (window, label, exposed) = match &self.nodes[id].op {
+            PlanOp::WindowAgg { window, label, exposed } => (window, label, *exposed),
+            _ => unreachable!("render_trill on non-window node"),
+        };
+        let mut expr =
+            format!("{}.GroupAggregate('{}', {})", Self::window_expr(window), label, self.agg_expr());
+        let children = self.consuming_windows(id);
+        if children.is_empty() {
+            return expr;
+        }
+        let var = format!("s{depth}");
+        let mut body = String::new();
+        if exposed {
+            // The window's own results flow on, with children unioned in.
+            body.push_str(&var);
+            for c in &children {
+                body.push_str(&format!(".Union({var}.{})", self.render_trill(*c, depth + 1)));
+            }
+        } else {
+            for (i, c) in children.iter().enumerate() {
+                let child = format!("{var}.{}", self.render_trill(*c, depth + 1));
+                if i == 0 {
+                    body.push_str(&child);
+                } else {
+                    body.push_str(&format!(".Union({child})"));
+                }
+            }
+        }
+        expr.push_str(&format!(".Multicast({var} => {body})"));
+        expr
+    }
+
+    /// Renders the plan as Flink DataStream-style pseudo-code (Section V-F).
+    #[must_use]
+    pub fn to_flink_string(&self) -> String {
+        let mut out = String::from("DataStream<Event> input = env.addSource(source);\n");
+        let mut names: Vec<Option<String>> = vec![None; self.nodes.len()];
+        for id in self.window_nodes() {
+            let (window, exposed) = match &self.nodes[id].op {
+                PlanOp::WindowAgg { window, exposed, .. } => (window, *exposed),
+                _ => unreachable!(),
+            };
+            let name = format!("w{}_{}", window.range(), window.slide());
+            let feed = match self.feeding_window(id) {
+                None => "input".to_string(),
+                Some(p) => names[p].clone().expect("plans are topologically ordered"),
+            };
+            let assigner = if window.is_tumbling() {
+                format!("TumblingEventTimeWindows.of(Time.seconds({}))", window.range())
+            } else {
+                format!(
+                    "SlidingEventTimeWindows.of(Time.seconds({}), Time.seconds({}))",
+                    window.range(),
+                    window.slide()
+                )
+            };
+            let agg = if self.feeding_window(id).is_none() {
+                format!("new {}Aggregate()", self.function.name().to_lowercase())
+            } else {
+                format!("new {}Combine()", self.function.name().to_lowercase())
+            };
+            let vis = if exposed { "" } else { " // factor window (not exposed)" };
+            out.push_str(&format!(
+                "DataStream<Agg> {name} = {feed}.keyBy(e -> e.key).window({assigner}).aggregate({agg});{vis}\n"
+            ));
+            names[id] = Some(name);
+        }
+        let exposed: Vec<String> = self
+            .window_nodes()
+            .filter(|&i| self.is_exposed(i))
+            .map(|i| names[i].clone().expect("named above"))
+            .collect();
+        match exposed.as_slice() {
+            [] => {}
+            [first] => {
+                out.push_str(&format!("DataStream<Agg> result = {first};\n"));
+            }
+            [first, rest @ ..] => {
+                out.push_str(&format!(
+                    "DataStream<Agg> result = {first}.union({});\n",
+                    rest.join(", ")
+                ));
+            }
+        }
+        out
+    }
+
+    /// Renders the plan DAG in Graphviz dot format.
+    #[must_use]
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph plan {\n  rankdir=LR;\n");
+        for (i, n) in self.nodes.iter().enumerate() {
+            let (shape, label) = match &n.op {
+                PlanOp::Source => ("cds", "Input".to_string()),
+                PlanOp::Multicast => ("point", String::new()),
+                PlanOp::WindowAgg { window, exposed, .. } => (
+                    if *exposed { "box" } else { "box, style=dashed" },
+                    format!("{} {}", self.function.name(), window),
+                ),
+                PlanOp::Union => ("invtriangle", "Union".to_string()),
+            };
+            out.push_str(&format!("  n{i} [shape={shape}, label=\"{label}\"];\n"));
+            for &input in &n.inputs {
+                out.push_str(&format!("  n{input} -> n{i};\n"));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(r: u64, s: u64) -> Window {
+        Window::new(r, s).unwrap()
+    }
+
+    fn chain_plan() -> QueryPlan {
+        // Source → W20 → {Union, W40 → Union}; W30 from source too.
+        let mut b = PlanBuilder::new(AggregateFunction::Min);
+        let src = b.source();
+        let m0 = b.multicast(src);
+        let w20 = b.window_agg(m0, w(20, 20), "20".to_string(), true);
+        let m1 = b.multicast(w20);
+        let w40 = b.window_agg(m1, w(40, 40), "40".to_string(), true);
+        let w30 = b.window_agg(m0, w(30, 30), "30".to_string(), true);
+        b.finish(vec![m1, w40, w30])
+    }
+
+    #[test]
+    fn feeding_and_consuming() {
+        let p = chain_plan();
+        let ids: Vec<NodeId> = p.window_nodes().collect();
+        let (w20, w40, w30) = (ids[0], ids[1], ids[2]);
+        assert_eq!(p.feeding_window(w20), None);
+        assert_eq!(p.feeding_window(w30), None);
+        assert_eq!(p.feeding_window(w40), Some(w20));
+        assert_eq!(p.consuming_windows(w20), vec![w40]);
+        assert!(p.consuming_windows(w40).is_empty());
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn plan_cost_matches_model() {
+        // W20 raw: n=6 · 20 = 120; W40 via W20: 3·2 = 6; W30 raw: 4·30=120.
+        let p = chain_plan();
+        assert_eq!(p.cost(&CostModel::default()).unwrap(), 246);
+    }
+
+    #[test]
+    fn trill_rendering_shapes() {
+        let p = chain_plan();
+        let s = p.to_trill_string();
+        assert!(s.starts_with("Input.Multicast(s0 => "), "{s}");
+        assert!(s.contains("Tumbling(20).GroupAggregate('20'"), "{s}");
+        assert!(s.contains(".Multicast(s1 => s1.Union(s1.Tumbling(40)"), "{s}");
+        assert!(s.contains(".Union(s0.Tumbling(30)"), "{s}");
+    }
+
+    #[test]
+    fn flink_rendering_mentions_all_windows() {
+        let p = chain_plan();
+        let s = p.to_flink_string();
+        assert!(s.contains("w20_20 = input.keyBy"), "{s}");
+        assert!(s.contains("w40_40 = w20_20.keyBy"), "{s}");
+        assert!(s.contains("result = w20_20.union(w40_40, w30_30)"), "{s}");
+    }
+
+    #[test]
+    fn validate_rejects_unconsumed_factor() {
+        let mut b = PlanBuilder::new(AggregateFunction::Min);
+        let src = b.source();
+        let f = b.window_agg(src, w(10, 10), "f".to_string(), false);
+        let _ = f;
+        let w20 = b.window_agg(src, w(20, 20), "20".to_string(), true);
+        let p = b.finish(vec![w20]);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn dot_rendering_is_well_formed() {
+        let p = chain_plan();
+        let dot = p.to_dot();
+        assert!(dot.starts_with("digraph plan {"));
+        assert!(dot.contains("MIN W(40,40)"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

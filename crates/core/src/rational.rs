@@ -1,0 +1,193 @@
+//! Exact rational arithmetic over `i128`.
+//!
+//! The optimizer's decision predicates (λ in Equation 4, the Theorem 9
+//! comparison, the benefit inequality in Algorithm 4) are ratios of large
+//! integers; evaluating them in floating point risks flipping decisions
+//! near ties, so all comparisons here are exact.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Sub};
+
+/// An exact rational number with an always-positive denominator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Rational {
+    /// Creates `num / den`, normalizing sign and reducing to lowest terms.
+    /// Panics on a zero denominator (programmer error).
+    #[must_use]
+    pub fn new(num: i128, den: i128) -> Self {
+        assert!(den != 0, "rational with zero denominator");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd(num, den).max(1);
+        Rational { num: sign * num / g, den: sign * den / g }
+    }
+
+    /// The integer `n` as a rational.
+    #[must_use]
+    pub fn integer(n: i128) -> Self {
+        Rational { num: n, den: 1 }
+    }
+
+    /// Zero.
+    #[must_use]
+    pub fn zero() -> Self {
+        Rational::integer(0)
+    }
+
+    /// One.
+    #[must_use]
+    pub fn one() -> Self {
+        Rational::integer(1)
+    }
+
+    /// The numerator (after reduction; sign lives here).
+    #[must_use]
+    pub fn numerator(&self) -> i128 {
+        self.num
+    }
+
+    /// The denominator (always positive).
+    #[must_use]
+    pub fn denominator(&self) -> i128 {
+        self.den
+    }
+
+    /// Whether the value is an integer.
+    #[must_use]
+    pub fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+
+    /// Whether the value is strictly positive.
+    #[must_use]
+    pub fn is_positive(&self) -> bool {
+        self.num > 0
+    }
+
+    /// Whether the value is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Lossy conversion for reporting.
+    #[must_use]
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Denominators are positive, so cross-multiplication preserves order.
+        (self.num * other.den).cmp(&(other.num * self.den))
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        Rational::new(self.num * rhs.den + rhs.num * self.den, self.den * rhs.den)
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        Rational::new(self.num * rhs.den - rhs.num * self.den, self.den * rhs.den)
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        Rational::new(self.num * rhs.num, self.den * rhs.den)
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    fn div(self, rhs: Rational) -> Rational {
+        assert!(rhs.num != 0, "division by zero rational");
+        Rational::new(self.num * rhs.den, self.den * rhs.num)
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduces_and_normalizes_sign() {
+        let r = Rational::new(6, -4);
+        assert_eq!(r.numerator(), -3);
+        assert_eq!(r.denominator(), 2);
+        assert_eq!(r, Rational::new(-3, 2));
+        assert_eq!(Rational::new(0, -7), Rational::zero());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Rational::new(1, 2);
+        let b = Rational::new(1, 3);
+        assert_eq!(a + b, Rational::new(5, 6));
+        assert_eq!(a - b, Rational::new(1, 6));
+        assert_eq!(a * b, Rational::new(1, 6));
+        assert_eq!(a / b, Rational::new(3, 2));
+    }
+
+    #[test]
+    fn ordering_is_exact() {
+        assert!(Rational::new(1, 3) < Rational::new(34, 100));
+        assert!(Rational::new(-1, 2) < Rational::zero());
+        assert!(Rational::new(7, 7) == Rational::one());
+        assert!(Rational::new(2, 1) > Rational::new(199, 100));
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Rational::new(4, 2).is_integer());
+        assert!(!Rational::new(5, 2).is_integer());
+        assert!(Rational::new(1, 9).is_positive());
+        assert!(Rational::zero().is_zero());
+        assert!((Rational::new(1, 4).to_f64() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Rational::new(3, 1).to_string(), "3");
+        assert_eq!(Rational::new(-3, 9).to_string(), "-1/3");
+    }
+}

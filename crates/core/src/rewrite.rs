@@ -1,0 +1,222 @@
+//! Query rewriting (Section III-C and Appendix B): translating a min-cost
+//! WCG forest into an executable plan DAG, plus the original (unshared)
+//! plan every query starts from.
+
+use crate::min_cost::{Feed, MinCostWcg};
+use crate::optimizer::WindowQuery;
+use crate::plan::{NodeId, PlanBuilder, QueryPlan};
+use crate::wcg::NodeKind;
+
+/// The original plan of Figure 2(a): multicast the input to one aggregate
+/// per window and union the results. The multicast is elided when the
+/// query has a single window (Appendix B).
+#[must_use]
+pub fn original_plan(query: &WindowQuery) -> QueryPlan {
+    let mut b = PlanBuilder::new(query.function());
+    let src = b.source();
+    let fan_out =
+        if query.windows().len() > 1 { b.multicast(src) } else { src };
+    let mut union_inputs = Vec::with_capacity(query.windows().len());
+    for w in query.windows().iter() {
+        let id = b.window_agg(fan_out, *w, query.label_of(w), true);
+        union_inputs.push(id);
+    }
+    b.finish(union_inputs)
+}
+
+/// Rewrites the min-cost WCG into a plan per Appendix B:
+///
+/// * forest roots read from the source (through a shared multicast when
+///   there are several);
+/// * a window with children feeds them through a multicast, which also
+///   links to the union when the window is exposed;
+/// * factor windows never link to the union, and a factor window with a
+///   single child skips the multicast (pure pass-through).
+#[must_use]
+pub fn rewrite(min_cost: &MinCostWcg, query: &WindowQuery) -> QueryPlan {
+    let wcg = min_cost.wcg();
+    let mut b = PlanBuilder::new(query.function());
+    let src = b.source();
+
+    let active: Vec<usize> = min_cost.active_nodes().collect();
+    let roots: Vec<usize> =
+        active.iter().copied().filter(|&i| is_root_feed(min_cost, i)).collect();
+    let fan_out = if roots.len() > 1 { b.multicast(src) } else { src };
+
+    // Emit windows in topological order (parents before children); the
+    // forest guarantees termination.
+    let mut agg_node: vec_map::VecMap<NodeId> = vec_map::VecMap::new(wcg.len());
+    let mut mcast_node: vec_map::VecMap<NodeId> = vec_map::VecMap::new(wcg.len());
+    let mut union_inputs = Vec::new();
+    let mut stack: Vec<usize> = roots.clone();
+    // Roots are processed FIFO to keep plan node order aligned with the
+    // min-cost WCG's vertex order (stable output for tests and rendering).
+    stack.reverse();
+    while let Some(i) = stack.pop() {
+        let node = wcg.node(i);
+        let exposed = node.kind == NodeKind::User;
+        let input: NodeId = match min_cost.feed(i) {
+            Feed::From(p) if !wcg.is_virtual(p) => {
+                mcast_node.get(p).or_else(|| agg_node.get(p)).expect("parent emitted first")
+            }
+            _ => fan_out,
+        };
+        let id = b.window_agg(input, node.window, query.label_of(&node.window), exposed);
+        agg_node.set(i, id);
+
+        let children: Vec<usize> =
+            min_cost.children(i).iter().copied().filter(|&c| min_cost.is_active(c)).collect();
+        let consumers = children.len() + usize::from(exposed);
+        if consumers > 1 {
+            let m = b.multicast(id);
+            mcast_node.set(i, m);
+            if exposed {
+                union_inputs.push(m);
+            }
+        } else if exposed {
+            union_inputs.push(id);
+        }
+        for c in children.into_iter().rev() {
+            stack.push(c);
+        }
+    }
+    b.finish(union_inputs)
+}
+
+fn is_root_feed(min_cost: &MinCostWcg, i: usize) -> bool {
+    match min_cost.feed(i) {
+        Feed::Raw => true,
+        Feed::From(p) => min_cost.wcg().is_virtual(p),
+    }
+}
+
+/// A tiny `usize → T` map over a dense index space; avoids hashing in the
+/// rewrite hot path and keeps `Option` handling explicit.
+mod vec_map {
+    #[derive(Debug)]
+    pub struct VecMap<T> {
+        slots: Vec<Option<T>>,
+    }
+
+    impl<T: Copy> VecMap<T> {
+        pub fn new(capacity: usize) -> Self {
+            VecMap { slots: vec![None; capacity] }
+        }
+
+        pub fn set(&mut self, key: usize, value: T) {
+            self.slots[key] = Some(value);
+        }
+
+        pub fn get(&self, key: usize) -> Option<T> {
+            self.slots[key]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coverage::Semantics;
+    use crate::cost::CostModel;
+    use crate::factor::minimize_with_factors;
+    use crate::min_cost::minimize;
+    use crate::taxonomy::AggregateFunction;
+    use crate::wcg::Wcg;
+    use crate::window::{Window, WindowSet};
+
+    fn w(r: u64, s: u64) -> Window {
+        Window::new(r, s).unwrap()
+    }
+
+    fn query(ws: &[Window]) -> WindowQuery {
+        WindowQuery::new(WindowSet::new(ws.to_vec()).unwrap(), AggregateFunction::Min)
+    }
+
+    #[test]
+    fn original_plan_matches_figure2a() {
+        let q = query(&[w(20, 20), w(30, 30), w(40, 40)]);
+        let p = original_plan(&q);
+        assert!(p.validate().is_ok());
+        assert_eq!(p.window_nodes().count(), 3);
+        assert_eq!(p.factor_window_count(), 0);
+        for id in p.window_nodes() {
+            assert_eq!(p.feeding_window(id), None);
+        }
+        let s = p.to_trill_string();
+        assert!(s.starts_with("Input.Multicast(s0 => s0.Tumbling(20)"), "{s}");
+        assert!(s.contains(".Union(s0.Tumbling(30)"), "{s}");
+        assert!(s.contains(".Union(s0.Tumbling(40)"), "{s}");
+    }
+
+    #[test]
+    fn original_plan_single_window_elides_multicast() {
+        let q = query(&[w(20, 20)]);
+        let p = original_plan(&q);
+        assert!(p.validate().is_ok());
+        let s = p.to_trill_string();
+        assert!(s.starts_with("Input.Tumbling(20)"), "{s}");
+    }
+
+    #[test]
+    fn rewrite_matches_figure2b() {
+        // Windows {20,30,40}: min-cost forest is 20→40 and 30 raw.
+        let q = query(&[w(20, 20), w(30, 30), w(40, 40)]);
+        let model = CostModel::default();
+        let period = model.period(q.windows().iter()).unwrap();
+        let mc = minimize(
+            Wcg::build_augmented(q.windows(), Semantics::PartitionedBy),
+            &model,
+            period,
+        )
+        .unwrap();
+        let p = rewrite(&mc, &q);
+        assert!(p.validate().is_ok(), "{:?}", p.validate());
+        assert_eq!(p.cost(&model).unwrap(), mc.total_cost());
+        let s = p.to_trill_string();
+        assert!(s.starts_with("Input.Multicast(s0 => s0.Tumbling(20)"), "{s}");
+        assert!(s.contains(".Multicast(s1 => s1.Union(s1.Tumbling(40)"), "{s}");
+        assert!(s.contains(".Union(s0.Tumbling(30)"), "{s}");
+    }
+
+    #[test]
+    fn rewrite_matches_figure2c_with_factor() {
+        // With factors, the single root is the hidden W(10,10).
+        let q = query(&[w(20, 20), w(30, 30), w(40, 40)]);
+        let model = CostModel::default();
+        let mc = minimize_with_factors(q.windows(), Semantics::PartitionedBy, &model).unwrap();
+        let p = rewrite(&mc, &q);
+        assert!(p.validate().is_ok(), "{:?}", p.validate());
+        assert_eq!(p.cost(&model).unwrap(), 150);
+        assert_eq!(p.factor_window_count(), 1);
+        let s = p.to_trill_string();
+        assert!(s.starts_with("Input.Tumbling(10).GroupAggregate"), "{s}");
+        // The factor multicast body must not union its own stream.
+        assert!(s.contains(".Multicast(s1 => s1.Tumbling(20)"), "{s}");
+        assert!(s.contains(".Union(s1.Tumbling(30)"), "{s}");
+        assert!(s.contains(".Multicast(s2 => s2.Union(s2.Tumbling(40)"), "{s}");
+    }
+
+    #[test]
+    fn rewrite_cost_always_equals_min_cost_total() {
+        let sets = vec![
+            vec![w(10, 10), w(20, 20), w(30, 30), w(40, 40)],
+            vec![w(15, 15), w(17, 17), w(19, 19)],
+            vec![w(40, 20), w(60, 20), w(80, 20)],
+            vec![w(10, 5), w(20, 10), w(40, 20)],
+        ];
+        let model = CostModel::default();
+        for windows in sets {
+            let q = query(&windows);
+            for semantics in [Semantics::CoveredBy, Semantics::PartitionedBy] {
+                let mc = minimize_with_factors(q.windows(), semantics, &model).unwrap();
+                let p = rewrite(&mc, &q);
+                assert!(p.validate().is_ok(), "{windows:?}: {:?}", p.validate());
+                assert_eq!(
+                    p.cost(&model).unwrap(),
+                    mc.total_cost(),
+                    "{windows:?} {semantics:?}"
+                );
+            }
+        }
+    }
+}

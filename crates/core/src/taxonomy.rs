@@ -1,0 +1,171 @@
+//! The Gray et al. aggregate-function taxonomy in the window-set context
+//! (Section III-A of the paper).
+
+use crate::coverage::Semantics;
+use crate::error::{Error, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Classification of aggregate functions by how sub-aggregates compose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggregateClass {
+    /// `f(T) = g({f(T1), …, f(Tn)})` for a disjoint partition of `T`.
+    Distributive,
+    /// `f(T) = h({g(T1), …, g(Tn)})` with bounded-size sub-aggregates.
+    Algebraic,
+    /// Sub-aggregates require unbounded storage (e.g. MEDIAN).
+    Holistic,
+}
+
+/// The aggregate functions supported by this reproduction.
+///
+/// MIN/MAX/SUM/COUNT are distributive; AVG is algebraic; MEDIAN is the
+/// holistic representative used to exercise the paper's fallback path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggregateFunction {
+    /// Minimum value.
+    Min,
+    /// Maximum value.
+    Max,
+    /// Sum of values.
+    Sum,
+    /// Number of events.
+    Count,
+    /// Arithmetic mean (algebraic: carries sum and count).
+    Avg,
+    /// Median (holistic: no bounded sub-aggregate exists).
+    Median,
+}
+
+impl AggregateFunction {
+    /// All supported functions, for enumeration in tests and tools.
+    pub const ALL: [AggregateFunction; 6] = [
+        AggregateFunction::Min,
+        AggregateFunction::Max,
+        AggregateFunction::Sum,
+        AggregateFunction::Count,
+        AggregateFunction::Avg,
+        AggregateFunction::Median,
+    ];
+
+    /// The taxonomy class of the function.
+    #[must_use]
+    pub fn class(&self) -> AggregateClass {
+        match self {
+            AggregateFunction::Min
+            | AggregateFunction::Max
+            | AggregateFunction::Sum
+            | AggregateFunction::Count => AggregateClass::Distributive,
+            AggregateFunction::Avg => AggregateClass::Algebraic,
+            AggregateFunction::Median => AggregateClass::Holistic,
+        }
+    }
+
+    /// Theorem 6: whether the function stays distributive when the
+    /// sub-aggregated subsets overlap. Only such functions may use
+    /// covered-by semantics.
+    #[must_use]
+    pub fn overlap_tolerant(&self) -> bool {
+        matches!(self, AggregateFunction::Min | AggregateFunction::Max)
+    }
+
+    /// The default semantics the optimizer uses for this function
+    /// (paper Section III, footnote 2). `None` for holistic functions,
+    /// which fall back to the unshared plan.
+    #[must_use]
+    pub fn default_semantics(&self) -> Option<Semantics> {
+        match self.class() {
+            AggregateClass::Holistic => None,
+            _ if self.overlap_tolerant() => Some(Semantics::CoveredBy),
+            _ => Some(Semantics::PartitionedBy),
+        }
+    }
+
+    /// Validates that `semantics` are sound for this function.
+    pub fn check_semantics(&self, semantics: Semantics) -> Result<()> {
+        if self.class() == AggregateClass::Holistic {
+            return Err(Error::HolisticFunction { function: self.name() });
+        }
+        if semantics == Semantics::CoveredBy && !self.overlap_tolerant() {
+            return Err(Error::IncompatibleSemantics {
+                function: self.name(),
+                semantics: semantics.name(),
+            });
+        }
+        Ok(())
+    }
+
+    /// SQL name of the function.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggregateFunction::Min => "MIN",
+            AggregateFunction::Max => "MAX",
+            AggregateFunction::Sum => "SUM",
+            AggregateFunction::Count => "COUNT",
+            AggregateFunction::Avg => "AVG",
+            AggregateFunction::Median => "MEDIAN",
+        }
+    }
+
+    /// Parses the SQL name (case-insensitive).
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.to_ascii_uppercase().as_str() {
+            "MIN" => Some(AggregateFunction::Min),
+            "MAX" => Some(AggregateFunction::Max),
+            "SUM" => Some(AggregateFunction::Sum),
+            "COUNT" => Some(AggregateFunction::Count),
+            "AVG" => Some(AggregateFunction::Avg),
+            "MEDIAN" => Some(AggregateFunction::Median),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AggregateFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_match_gray_taxonomy() {
+        assert_eq!(AggregateFunction::Min.class(), AggregateClass::Distributive);
+        assert_eq!(AggregateFunction::Count.class(), AggregateClass::Distributive);
+        assert_eq!(AggregateFunction::Avg.class(), AggregateClass::Algebraic);
+        assert_eq!(AggregateFunction::Median.class(), AggregateClass::Holistic);
+    }
+
+    #[test]
+    fn default_semantics_follow_footnote2() {
+        assert_eq!(AggregateFunction::Min.default_semantics(), Some(Semantics::CoveredBy));
+        assert_eq!(AggregateFunction::Max.default_semantics(), Some(Semantics::CoveredBy));
+        assert_eq!(AggregateFunction::Sum.default_semantics(), Some(Semantics::PartitionedBy));
+        assert_eq!(AggregateFunction::Avg.default_semantics(), Some(Semantics::PartitionedBy));
+        assert_eq!(AggregateFunction::Median.default_semantics(), None);
+    }
+
+    #[test]
+    fn covered_by_rejected_for_overlap_sensitive_functions() {
+        assert!(AggregateFunction::Sum.check_semantics(Semantics::CoveredBy).is_err());
+        assert!(AggregateFunction::Sum.check_semantics(Semantics::PartitionedBy).is_ok());
+        assert!(AggregateFunction::Min.check_semantics(Semantics::CoveredBy).is_ok());
+        // MIN under partitioned-by is also sound (stricter relation).
+        assert!(AggregateFunction::Min.check_semantics(Semantics::PartitionedBy).is_ok());
+        assert!(AggregateFunction::Median.check_semantics(Semantics::PartitionedBy).is_err());
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for f in AggregateFunction::ALL {
+            assert_eq!(AggregateFunction::parse(f.name()), Some(f));
+            assert_eq!(AggregateFunction::parse(&f.name().to_lowercase()), Some(f));
+        }
+        assert_eq!(AggregateFunction::parse("PERCENTILE"), None);
+    }
+}

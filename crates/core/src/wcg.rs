@@ -1,0 +1,348 @@
+//! The Window Coverage Graph (Section II-C) and its augmented form
+//! (Section IV-A).
+//!
+//! Vertices are windows; an edge `(W2, W1)` exists when `W1 ≤ W2` under the
+//! chosen semantics, i.e. sub-aggregates can flow from `W2` to `W1`. The
+//! augmented WCG adds a virtual root `S⟨1,1⟩` (the raw stream) with edges
+//! to every window that has no other in-edge.
+
+use crate::coverage::Semantics;
+use crate::window::{Window, WindowSet};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// How a vertex entered the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// The virtual root `S⟨1,1⟩` representing the raw stream.
+    VirtualRoot,
+    /// A window from the user's query; its results are exposed.
+    User,
+    /// A factor window inserted by the optimizer; results are hidden.
+    Factor,
+}
+
+/// A vertex of the WCG.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WcgNode {
+    /// The window at this vertex.
+    pub window: Window,
+    /// Provenance of the vertex.
+    pub kind: NodeKind,
+}
+
+/// The window coverage graph.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Wcg {
+    semantics: Semantics,
+    nodes: Vec<WcgNode>,
+    out_edges: Vec<Vec<usize>>,
+    in_edges: Vec<Vec<usize>>,
+    /// Index of the root vertex once augmented (virtual, or a user `W(1,1)`).
+    root: Option<usize>,
+    /// Window → vertex index (windows are unique across the graph).
+    index: HashMap<Window, usize>,
+}
+
+impl Wcg {
+    /// Builds the WCG of a window set under the given semantics
+    /// (Section II-C; O(|W|²) coverage checks).
+    #[must_use]
+    pub fn build(windows: &WindowSet, semantics: Semantics) -> Self {
+        let mut wcg = Wcg {
+            semantics,
+            nodes: Vec::with_capacity(windows.len()),
+            out_edges: Vec::with_capacity(windows.len()),
+            in_edges: Vec::with_capacity(windows.len()),
+            root: None,
+            index: HashMap::with_capacity(windows.len()),
+        };
+        for w in windows.iter() {
+            wcg.push_node(*w, NodeKind::User);
+        }
+        for i in 0..wcg.nodes.len() {
+            for j in 0..wcg.nodes.len() {
+                if i == j {
+                    continue;
+                }
+                // Edge (W_j → W_i) when W_i ≤ W_j: data flows coverer → covered.
+                let wi = wcg.nodes[i].window;
+                let wj = wcg.nodes[j].window;
+                if semantics.relates(&wi, &wj) {
+                    wcg.add_edge(j, i);
+                }
+            }
+        }
+        wcg
+    }
+
+    /// Builds the *augmented* WCG: adds the virtual root `S⟨1,1⟩` with
+    /// edges to all vertices lacking an in-edge, unless a user window
+    /// `W(1,1)` already plays that role (Section IV-A).
+    #[must_use]
+    pub fn build_augmented(windows: &WindowSet, semantics: Semantics) -> Self {
+        let mut wcg = Wcg::build(windows, semantics);
+        wcg.augment();
+        wcg
+    }
+
+    fn augment(&mut self) {
+        let unit = Window::unit();
+        if let Some(&existing) = self.index.get(&unit) {
+            // A user W(1,1) covers every other window, so it already has an
+            // edge to each of them; just mark it as the root.
+            self.root = Some(existing);
+            return;
+        }
+        let orphan: Vec<usize> =
+            (0..self.nodes.len()).filter(|&i| self.in_edges[i].is_empty()).collect();
+        let root = self.push_node(unit, NodeKind::VirtualRoot);
+        for target in orphan {
+            self.add_edge(root, target);
+        }
+        self.root = Some(root);
+    }
+
+    fn push_node(&mut self, window: Window, kind: NodeKind) -> usize {
+        debug_assert!(!self.index.contains_key(&window), "duplicate vertex {window}");
+        let id = self.nodes.len();
+        self.nodes.push(WcgNode { window, kind });
+        self.out_edges.push(Vec::new());
+        self.in_edges.push(Vec::new());
+        self.index.insert(window, id);
+        id
+    }
+
+    fn add_edge(&mut self, from: usize, to: usize) {
+        self.out_edges[from].push(to);
+        self.in_edges[to].push(from);
+    }
+
+    /// Inserts a factor window with the Figure-9 edge pattern: an edge from
+    /// `parent` to the factor and edges from the factor to each of
+    /// `children`. Returns `None` (and changes nothing) if the window
+    /// already exists as a vertex (Definition 6 forbids duplicates).
+    pub fn insert_factor(
+        &mut self,
+        window: Window,
+        parent: usize,
+        children: &[usize],
+    ) -> Option<usize> {
+        if self.index.contains_key(&window) {
+            return None;
+        }
+        let id = self.push_node(window, NodeKind::Factor);
+        self.add_edge(parent, id);
+        for &c in children {
+            self.add_edge(id, c);
+        }
+        Some(id)
+    }
+
+    /// The semantics the edges encode.
+    #[must_use]
+    pub fn semantics(&self) -> Semantics {
+        self.semantics
+    }
+
+    /// Number of vertices (including the root once augmented).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no vertices.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The vertex at `id`.
+    #[must_use]
+    pub fn node(&self, id: usize) -> &WcgNode {
+        &self.nodes[id]
+    }
+
+    /// All vertices.
+    #[must_use]
+    pub fn nodes(&self) -> &[WcgNode] {
+        &self.nodes
+    }
+
+    /// Vertex index of `window`, if present.
+    #[must_use]
+    pub fn find(&self, window: &Window) -> Option<usize> {
+        self.index.get(window).copied()
+    }
+
+    /// Out-neighbors of `id` (windows computable from `id`'s sub-aggregates).
+    #[must_use]
+    pub fn downstream(&self, id: usize) -> &[usize] {
+        &self.out_edges[id]
+    }
+
+    /// In-neighbors of `id` (windows that can feed `id`).
+    #[must_use]
+    pub fn upstream(&self, id: usize) -> &[usize] {
+        &self.in_edges[id]
+    }
+
+    /// The root vertex, if the graph has been augmented.
+    #[must_use]
+    pub fn root(&self) -> Option<usize> {
+        self.root
+    }
+
+    /// Whether `id` is the (virtual or user) root vertex.
+    #[must_use]
+    pub fn is_root(&self, id: usize) -> bool {
+        self.root == Some(id)
+    }
+
+    /// Whether `id` is the *virtual* root (excluded from plan costs).
+    #[must_use]
+    pub fn is_virtual(&self, id: usize) -> bool {
+        self.nodes[id].kind == NodeKind::VirtualRoot
+    }
+
+    /// Total number of directed edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.out_edges.iter().map(Vec::len).sum()
+    }
+
+    /// Iterates over `(from, to)` edges.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.out_edges.iter().enumerate().flat_map(|(f, ts)| ts.iter().map(move |&t| (f, t)))
+    }
+
+    /// Renders the graph in Graphviz dot format (virtual root as a point,
+    /// factor windows dashed), matching the paper's Figure 6/7 drawings.
+    #[must_use]
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph wcg {\n  rankdir=TB;\n");
+        for (i, node) in self.nodes.iter().enumerate() {
+            let attrs = match node.kind {
+                NodeKind::VirtualRoot => "shape=point, label=\"\"".to_string(),
+                NodeKind::User => format!("shape=ellipse, label=\"{}\"", node.window),
+                NodeKind::Factor => {
+                    format!("shape=ellipse, style=dashed, label=\"{}\"", node.window)
+                }
+            };
+            out.push_str(&format!("  n{i} [{attrs}];\n"));
+        }
+        for (from, to) in self.edges() {
+            out.push_str(&format!("  n{from} -> n{to};\n"));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::window::WindowSet;
+
+    fn w(r: u64, s: u64) -> Window {
+        Window::new(r, s).unwrap()
+    }
+
+    fn set(ws: &[Window]) -> WindowSet {
+        WindowSet::new(ws.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn figure6_initial_wcg() {
+        // Example 6 / Figure 6(a): W1(10) covers W2(20), W3(30), W4(40);
+        // W2(20) covers W4(40); no other edges.
+        let ws = set(&[w(10, 10), w(20, 20), w(30, 30), w(40, 40)]);
+        let g = Wcg::build(&ws, Semantics::PartitionedBy);
+        let id = |r| g.find(&w(r, r)).unwrap();
+        assert_eq!(g.edge_count(), 4);
+        let mut d10: Vec<_> = g.downstream(id(10)).to_vec();
+        d10.sort_unstable();
+        assert_eq!(d10, vec![id(20), id(30), id(40)]);
+        assert_eq!(g.downstream(id(20)), &[id(40)]);
+        assert!(g.downstream(id(30)).is_empty());
+        assert!(g.downstream(id(40)).is_empty());
+    }
+
+    #[test]
+    fn covered_and_partitioned_coincide_for_tumbling_sets() {
+        let ws = set(&[w(10, 10), w(20, 20), w(30, 30), w(40, 40)]);
+        let a = Wcg::build(&ws, Semantics::PartitionedBy);
+        let b = Wcg::build(&ws, Semantics::CoveredBy);
+        let ea: Vec<_> = a.edges().collect();
+        let eb: Vec<_> = b.edges().collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn hopping_edges_differ_between_semantics() {
+        // W(10,2) ≤ W(8,2) under covered-by but not partitioned-by.
+        let ws = set(&[w(8, 2), w(10, 2)]);
+        let covered = Wcg::build(&ws, Semantics::CoveredBy);
+        let part = Wcg::build(&ws, Semantics::PartitionedBy);
+        assert_eq!(covered.edge_count(), 1);
+        assert_eq!(part.edge_count(), 0);
+    }
+
+    #[test]
+    fn augmentation_adds_virtual_root() {
+        // Example 7 / Figure 7(a): S → W2, S → W3; W4 is fed by W2.
+        let ws = set(&[w(20, 20), w(30, 30), w(40, 40)]);
+        let g = Wcg::build_augmented(&ws, Semantics::PartitionedBy);
+        let root = g.root().unwrap();
+        assert!(g.is_virtual(root));
+        assert_eq!(g.node(root).window, Window::unit());
+        let mut roots: Vec<_> =
+            g.downstream(root).iter().map(|&i| g.node(i).window.range()).collect();
+        roots.sort_unstable();
+        assert_eq!(roots, vec![20, 30]);
+        assert_eq!(g.len(), 4);
+    }
+
+    #[test]
+    fn augmentation_reuses_user_unit_window() {
+        let ws = set(&[w(1, 1), w(20, 20)]);
+        let g = Wcg::build_augmented(&ws, Semantics::PartitionedBy);
+        let root = g.root().unwrap();
+        assert_eq!(g.node(root).kind, NodeKind::User);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.downstream(root), &[g.find(&w(20, 20)).unwrap()]);
+    }
+
+    #[test]
+    fn insert_factor_rejects_duplicates() {
+        let ws = set(&[w(20, 20), w(40, 40)]);
+        let mut g = Wcg::build_augmented(&ws, Semantics::PartitionedBy);
+        let root = g.root().unwrap();
+        let target = g.find(&w(40, 40)).unwrap();
+        assert!(g.insert_factor(w(20, 20), root, &[target]).is_none());
+        let id = g.insert_factor(w(10, 10), root, &[target]).unwrap();
+        assert_eq!(g.node(id).kind, NodeKind::Factor);
+        assert_eq!(g.upstream(id), &[root]);
+        assert_eq!(g.downstream(id), &[target]);
+    }
+
+    #[test]
+    fn dot_rendering_is_well_formed() {
+        let ws = set(&[w(20, 20), w(40, 40)]);
+        let g = Wcg::build_augmented(&ws, Semantics::PartitionedBy);
+        let dot = g.to_dot();
+        assert!(dot.starts_with("digraph wcg {"));
+        assert!(dot.contains("shape=point"), "{dot}");
+        assert!(dot.contains("W(20,20)"), "{dot}");
+        assert!(dot.contains("->"), "{dot}");
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn mutually_prime_ranges_have_no_edges() {
+        // Paper "Limitations": W(15,15), W(17,17), W(19,19).
+        let ws = set(&[w(15, 15), w(17, 17), w(19, 19)]);
+        let g = Wcg::build(&ws, Semantics::CoveredBy);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

@@ -1,0 +1,388 @@
+//! The window model: ranges, slides, and the interval representation.
+//!
+//! A window `W⟨r,s⟩` fires every `s` time units and aggregates the last `r`
+//! time units (Section II-A of the paper). Its *interval representation* is
+//! the sequence of half-open intervals `[m·s, m·s + r)` for `m ≥ 0`.
+
+use crate::error::{Error, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A half-open time interval `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Interval {
+    /// Inclusive start of the interval.
+    pub start: u64,
+    /// Exclusive end of the interval.
+    pub end: u64,
+}
+
+impl Interval {
+    /// Creates `[start, end)`. Panics if `end <= start` (programmer error).
+    #[must_use]
+    pub fn new(start: u64, end: u64) -> Self {
+        assert!(end > start, "interval must be non-empty: [{start}, {end})");
+        Interval { start, end }
+    }
+
+    /// Length of the interval.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Always false; intervals are non-empty by construction.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether `t` falls inside `[start, end)`.
+    #[must_use]
+    pub fn contains(&self, t: u64) -> bool {
+        self.start <= t && t < self.end
+    }
+
+    /// Whether `other` is fully contained in `self`.
+    #[must_use]
+    pub fn contains_interval(&self, other: &Interval) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+
+    /// Whether the two intervals share at least one time point.
+    #[must_use]
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+/// A window `W⟨r,s⟩` with range `r` and slide `s`.
+///
+/// Invariants enforced at construction (paper Section II-A and III-B1):
+/// `0 < s ≤ r` and `s | r` (the latter makes every recurrence count an
+/// integer, an assumption the paper states explicitly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Window {
+    range: u64,
+    slide: u64,
+}
+
+impl Window {
+    /// Creates a window with the given range and slide.
+    pub fn new(range: u64, slide: u64) -> Result<Self> {
+        if slide == 0 {
+            return Err(Error::InvalidWindow { range, slide, reason: "slide must be positive" });
+        }
+        if slide > range {
+            return Err(Error::InvalidWindow {
+                range,
+                slide,
+                reason: "slide must not exceed range",
+            });
+        }
+        if range % slide != 0 {
+            return Err(Error::InvalidWindow {
+                range,
+                slide,
+                reason: "range must be a multiple of slide",
+            });
+        }
+        Ok(Window { range, slide })
+    }
+
+    /// Creates a tumbling window (`s = r`).
+    pub fn tumbling(range: u64) -> Result<Self> {
+        Window::new(range, range)
+    }
+
+    /// Creates a hopping window; errors unless `s < r`.
+    pub fn hopping(range: u64, slide: u64) -> Result<Self> {
+        if slide >= range {
+            return Err(Error::InvalidWindow {
+                range,
+                slide,
+                reason: "hopping window requires slide < range",
+            });
+        }
+        Window::new(range, slide)
+    }
+
+    /// The virtual root window `S⟨1,1⟩` used to augment the WCG.
+    #[must_use]
+    pub fn unit() -> Self {
+        Window { range: 1, slide: 1 }
+    }
+
+    /// The window's range `r` (duration).
+    #[must_use]
+    pub fn range(&self) -> u64 {
+        self.range
+    }
+
+    /// The window's slide `s` (gap between consecutive firings).
+    #[must_use]
+    pub fn slide(&self) -> u64 {
+        self.slide
+    }
+
+    /// Whether `s = r`.
+    #[must_use]
+    pub fn is_tumbling(&self) -> bool {
+        self.slide == self.range
+    }
+
+    /// Whether `s < r`.
+    #[must_use]
+    pub fn is_hopping(&self) -> bool {
+        self.slide < self.range
+    }
+
+    /// `k = r/s`, the number of instances any time point belongs to
+    /// (once the stream has warmed past the first `r` units).
+    #[must_use]
+    pub fn instances_per_point(&self) -> u64 {
+        self.range / self.slide
+    }
+
+    /// The `m`-th interval `[m·s, m·s + r)` of the interval representation.
+    #[must_use]
+    pub fn interval(&self, m: u64) -> Interval {
+        Interval::new(m * self.slide, m * self.slide + self.range)
+    }
+
+    /// Indices `m` of all intervals containing time `t`:
+    /// `m·s ≤ t < m·s + r`, i.e. `m ∈ [⌈(t−r+1)/s⌉, ⌊t/s⌋]` clipped at 0.
+    /// Returned as an inclusive index range.
+    #[must_use]
+    pub fn instances_containing(&self, t: u64) -> std::ops::RangeInclusive<u64> {
+        let hi = t / self.slide;
+        let lo = if t + 1 > self.range { (t + 1 - self.range).div_ceil(self.slide) } else { 0 };
+        lo..=hi
+    }
+
+    /// Indices `m` of all intervals of `self` that fully contain `[u, v)`:
+    /// `m·s ≤ u` and `v ≤ m·s + r`. Empty range when `v − u > r`.
+    #[must_use]
+    pub fn instances_containing_interval(&self, iv: &Interval) -> std::ops::RangeInclusive<u64> {
+        if iv.len() > self.range {
+            #[allow(clippy::reversed_empty_ranges)]
+            return 1..=0; // canonical empty inclusive range
+        }
+        let hi = iv.start / self.slide;
+        let lo = if iv.end > self.range { (iv.end - self.range).div_ceil(self.slide) } else { 0 };
+        lo..=hi
+    }
+
+    /// Indices `m` of all intervals of `self` fully contained in `[u, v)`:
+    /// `u ≤ m·s` and `m·s + r ≤ v`. Empty when the interval is too short.
+    #[must_use]
+    pub fn instances_within_interval(&self, iv: &Interval) -> std::ops::RangeInclusive<u64> {
+        if iv.len() < self.range {
+            #[allow(clippy::reversed_empty_ranges)]
+            return 1..=0;
+        }
+        let lo = iv.start.div_ceil(self.slide);
+        let hi = (iv.end - self.range) / self.slide;
+        if lo > hi {
+            #[allow(clippy::reversed_empty_ranges)]
+            return 1..=0;
+        }
+        lo..=hi
+    }
+
+    /// Recurrence count within a period `R` (Equation 1):
+    /// `n = 1 + (R − r)/s`, the number of instances whose lifetime falls in
+    /// a period of length `R`. Requires `r ≤ R` and `s | (R − r)`.
+    pub fn recurrence_count(&self, period: u128) -> Result<u128> {
+        let r = u128::from(self.range);
+        let s = u128::from(self.slide);
+        if period < r {
+            return Err(Error::CostOverflow);
+        }
+        debug_assert_eq!(
+            (period - r) % s,
+            0,
+            "recurrence count is fractional for W({},{}) at R={period}",
+            self.range,
+            self.slide
+        );
+        Ok(1 + (period - r) / s)
+    }
+}
+
+impl fmt::Display for Window {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "W({},{})", self.range, self.slide)
+    }
+}
+
+/// A duplicate-free, deterministically ordered set of windows.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowSet {
+    windows: Vec<Window>,
+}
+
+impl WindowSet {
+    /// Builds a window set; duplicates are removed, order is normalized
+    /// (ascending by `(range, slide)`). Errors on an empty input.
+    pub fn new(mut windows: Vec<Window>) -> Result<Self> {
+        windows.sort_unstable();
+        windows.dedup();
+        if windows.is_empty() {
+            return Err(Error::EmptyWindowSet);
+        }
+        Ok(WindowSet { windows })
+    }
+
+    /// The windows in normalized order.
+    #[must_use]
+    pub fn windows(&self) -> &[Window] {
+        &self.windows
+    }
+
+    /// Number of windows in the set.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Whether the set is empty (never true after construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Whether the set contains `w`.
+    #[must_use]
+    pub fn contains(&self, w: &Window) -> bool {
+        self.windows.binary_search(w).is_ok()
+    }
+
+    /// Iterates over the windows.
+    pub fn iter(&self) -> impl Iterator<Item = &Window> {
+        self.windows.iter()
+    }
+}
+
+impl fmt::Display for WindowSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, w) in self.windows.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{w}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_slide() {
+        assert!(matches!(Window::new(10, 0), Err(Error::InvalidWindow { .. })));
+    }
+
+    #[test]
+    fn rejects_slide_larger_than_range() {
+        assert!(matches!(Window::new(10, 20), Err(Error::InvalidWindow { .. })));
+    }
+
+    #[test]
+    fn rejects_fractional_recurrence() {
+        // r must be a multiple of s (paper Section III-B1).
+        assert!(matches!(Window::new(10, 4), Err(Error::InvalidWindow { .. })));
+    }
+
+    #[test]
+    fn tumbling_and_hopping_classification() {
+        let t = Window::tumbling(10).unwrap();
+        assert!(t.is_tumbling());
+        assert!(!t.is_hopping());
+        let h = Window::hopping(10, 2).unwrap();
+        assert!(h.is_hopping());
+        assert!(!h.is_tumbling());
+        assert!(Window::hopping(10, 10).is_err());
+    }
+
+    #[test]
+    fn interval_representation_matches_paper_example() {
+        // W(10, 2) has intervals {[0,10), [2,12), ...} (Section II-A1).
+        let w = Window::hopping(10, 2).unwrap();
+        assert_eq!(w.interval(0), Interval::new(0, 10));
+        assert_eq!(w.interval(1), Interval::new(2, 12));
+        assert_eq!(w.interval(5), Interval::new(10, 20));
+    }
+
+    #[test]
+    fn instances_containing_point() {
+        let w = Window::hopping(10, 2).unwrap();
+        // t = 0 only belongs to [0, 10).
+        assert_eq!(w.instances_containing(0), 0..=0);
+        // t = 11 belongs to [2,12), [4,14), [6,16), [8,18), [10,20).
+        assert_eq!(w.instances_containing(11), 1..=5);
+        let t = Window::tumbling(20).unwrap();
+        assert_eq!(t.instances_containing(19), 0..=0);
+        assert_eq!(t.instances_containing(20), 1..=1);
+    }
+
+    #[test]
+    fn instances_containing_interval() {
+        let w = Window::tumbling(40).unwrap();
+        // [20, 40) fits only inside [0, 40).
+        assert_eq!(w.instances_containing_interval(&Interval::new(20, 40)), 0..=0);
+        // [40, 60) fits only inside [40, 80).
+        assert_eq!(w.instances_containing_interval(&Interval::new(40, 60)), 1..=1);
+        // An interval longer than the range fits nowhere.
+        let r = w.instances_containing_interval(&Interval::new(0, 80));
+        assert!(r.is_empty());
+        // A hopping parent: [4, 8) inside W(8, 2) instances starting at 0, 2, 4.
+        let h = Window::hopping(8, 2).unwrap();
+        assert_eq!(h.instances_containing_interval(&Interval::new(4, 8)), 0..=2);
+    }
+
+    #[test]
+    fn recurrence_count_formula() {
+        // Example 6: R = 120; tumbling windows have n = R / r.
+        for (r, n) in [(10u64, 12u128), (20, 6), (30, 4), (40, 3)] {
+            let w = Window::tumbling(r).unwrap();
+            assert_eq!(w.recurrence_count(120).unwrap(), n);
+        }
+        // Hopping: W(10, 2) in R = 20: n = 1 + (20-10)/2 = 6.
+        let w = Window::hopping(10, 2).unwrap();
+        assert_eq!(w.recurrence_count(20).unwrap(), 6);
+    }
+
+    #[test]
+    fn window_set_normalizes() {
+        let a = Window::tumbling(20).unwrap();
+        let b = Window::tumbling(10).unwrap();
+        let ws = WindowSet::new(vec![a, b, a]).unwrap();
+        assert_eq!(ws.len(), 2);
+        assert_eq!(ws.windows()[0], b);
+        assert!(ws.contains(&a));
+        assert!(WindowSet::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn interval_predicates() {
+        let i = Interval::new(2, 10);
+        assert!(i.contains(2));
+        assert!(!i.contains(10));
+        assert_eq!(i.len(), 8);
+        assert!(i.contains_interval(&Interval::new(2, 10)));
+        assert!(i.contains_interval(&Interval::new(4, 6)));
+        assert!(!i.contains_interval(&Interval::new(0, 6)));
+        assert!(i.overlaps(&Interval::new(9, 12)));
+        assert!(!i.overlaps(&Interval::new(10, 12)));
+    }
+}

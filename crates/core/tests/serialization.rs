@@ -1,0 +1,58 @@
+//! Serialization round-trips: windows, window sets, and whole plans are
+//! `serde`-serializable so deployments can persist optimizer decisions
+//! (e.g. ship a rewritten plan to a fleet of stream processors).
+
+use fw_core::prelude::*;
+use fw_core::QueryPlan;
+
+fn example_outcome() -> fw_core::OptimizationOutcome {
+    let windows = WindowSet::new(vec![
+        Window::tumbling(20).unwrap(),
+        Window::tumbling(30).unwrap(),
+        Window::tumbling(40).unwrap(),
+    ])
+    .unwrap();
+    let query = WindowQuery::new(windows, AggregateFunction::Min);
+    Optimizer::default().optimize(&query).unwrap()
+}
+
+#[test]
+fn window_round_trips_through_json() {
+    let w = Window::hopping(40, 10).unwrap();
+    let json = serde_json::to_string(&w).unwrap();
+    let back: Window = serde_json::from_str(&json).unwrap();
+    assert_eq!(w, back);
+}
+
+#[test]
+fn window_set_round_trips_through_json() {
+    let ws = WindowSet::new(vec![
+        Window::tumbling(20).unwrap(),
+        Window::hopping(60, 20).unwrap(),
+    ])
+    .unwrap();
+    let json = serde_json::to_string(&ws).unwrap();
+    let back: WindowSet = serde_json::from_str(&json).unwrap();
+    assert_eq!(ws, back);
+}
+
+#[test]
+fn plans_round_trip_through_json() {
+    let outcome = example_outcome();
+    for bundle in [&outcome.original, &outcome.rewritten, &outcome.factored] {
+        let json = serde_json::to_string_pretty(&bundle.plan).unwrap();
+        let back: QueryPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(bundle.plan, back);
+        assert!(back.validate().is_ok());
+        // A deserialized plan is fully functional.
+        assert_eq!(back.cost(&CostModel::default()).unwrap(), bundle.cost);
+        assert_eq!(back.to_trill_string(), bundle.plan.to_trill_string());
+    }
+}
+
+#[test]
+fn factored_plan_json_marks_hidden_windows() {
+    let outcome = example_outcome();
+    let json = serde_json::to_string(&outcome.factored.plan).unwrap();
+    assert!(json.contains("\"exposed\":false"), "{json}");
+}

@@ -1,0 +1,37 @@
+//! Engine error types.
+
+use std::fmt;
+
+/// Errors raised while compiling or executing a physical plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum EngineError {
+    /// The plan references a holistic function in a sub-aggregate position;
+    /// holistic sub-aggregates do not exist (Section III-A), so such plans
+    /// must be rejected rather than silently mis-executed.
+    HolisticSubAggregate { function: &'static str },
+    /// Events must arrive in non-decreasing timestamp order; the paper's
+    /// model (and this engine) assumes in-order streams.
+    OutOfOrderEvent { at: u64, watermark: u64 },
+    /// The plan failed structural validation.
+    InvalidPlan(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::HolisticSubAggregate { function } => {
+                write!(f, "{function} cannot be computed from sub-aggregates")
+            }
+            EngineError::OutOfOrderEvent { at, watermark } => {
+                write!(f, "out-of-order event at t={at} behind watermark {watermark}")
+            }
+            EngineError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Result alias for engine operations.
+pub type Result<T> = std::result::Result<T, EngineError>;

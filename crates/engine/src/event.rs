@@ -1,0 +1,123 @@
+//! Events and results flowing through the engine.
+
+use fw_core::{Interval, Window};
+
+/// A stream event: a keyed, timestamped scalar reading
+/// (e.g. `DeviceID` + temperature in Figure 1(a)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Event timestamp in abstract time units.
+    pub time: u64,
+    /// Grouping key (`GROUP BY DeviceID`).
+    pub key: u32,
+    /// The aggregated value.
+    pub value: f64,
+}
+
+impl Event {
+    /// Creates an event.
+    #[must_use]
+    pub fn new(time: u64, key: u32, value: f64) -> Self {
+        Event { time, key, value }
+    }
+}
+
+/// One aggregate result: the value of a window instance for one key.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowResult {
+    /// The window that produced the result.
+    pub window: Window,
+    /// The window instance (its lifetime interval).
+    pub interval: Interval,
+    /// The grouping key.
+    pub key: u32,
+    /// The finalized aggregate value (COUNT is reported as `f64`).
+    pub value: f64,
+}
+
+/// Where results go during a run.
+#[derive(Debug)]
+pub enum ResultSink {
+    /// Count results only — used for throughput measurements so the sink
+    /// cost stays constant across plans.
+    CountOnly,
+    /// Collect every result — used by correctness tests.
+    Collect(Vec<WindowResult>),
+}
+
+impl ResultSink {
+    /// Records a result: bumps `counter` and stores the value when
+    /// collecting. Public so alternative executors (e.g. the slicing
+    /// baseline) can reuse the sink.
+    pub fn push(&mut self, result: WindowResult, counter: &mut u64) {
+        *counter += 1;
+        if let ResultSink::Collect(v) = self {
+            v.push(result);
+        }
+    }
+
+    /// The collected results, if collecting.
+    #[must_use]
+    pub fn results(&self) -> &[WindowResult] {
+        match self {
+            ResultSink::CountOnly => &[],
+            ResultSink::Collect(v) => v,
+        }
+    }
+
+    /// Takes ownership of the collected results.
+    #[must_use]
+    pub fn into_results(self) -> Vec<WindowResult> {
+        match self {
+            ResultSink::CountOnly => Vec::new(),
+            ResultSink::Collect(v) => v,
+        }
+    }
+}
+
+/// Canonical ordering for comparing result sets across plans.
+#[must_use]
+pub fn sorted_results(mut results: Vec<WindowResult>) -> Vec<WindowResult> {
+    results.sort_by(|a, b| {
+        (a.window, a.interval.start, a.interval.end, a.key)
+            .cmp(&(b.window, b.interval.start, b.interval.end, b.key))
+    });
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_counts_and_collects() {
+        let w = Window::tumbling(10).unwrap();
+        let r = WindowResult { window: w, interval: Interval::new(0, 10), key: 1, value: 2.0 };
+        let mut count = 0;
+        let mut sink = ResultSink::CountOnly;
+        sink.push(r, &mut count);
+        assert_eq!(count, 1);
+        assert!(sink.results().is_empty());
+
+        let mut sink = ResultSink::Collect(Vec::new());
+        sink.push(r, &mut count);
+        assert_eq!(count, 2);
+        assert_eq!(sink.results().len(), 1);
+        assert_eq!(sink.into_results()[0], r);
+    }
+
+    #[test]
+    fn sorting_is_total_and_stable_across_shuffles() {
+        let w1 = Window::tumbling(10).unwrap();
+        let w2 = Window::tumbling(20).unwrap();
+        let mk = |w, s, k| WindowResult {
+            window: w,
+            interval: Interval::new(s, s + 10),
+            key: k,
+            value: 0.0,
+        };
+        let a = vec![mk(w2, 0, 1), mk(w1, 10, 0), mk(w1, 0, 2), mk(w1, 0, 1)];
+        let b = vec![mk(w1, 0, 1), mk(w1, 0, 2), mk(w2, 0, 1), mk(w1, 10, 0)];
+        assert_eq!(sorted_results(a), sorted_results(b));
+    }
+}

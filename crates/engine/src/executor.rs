@@ -1,0 +1,400 @@
+//! Plan compilation and single-core push execution.
+//!
+//! A [`fw_core::QueryPlan`] compiles into one operator per
+//! window node. Raw-fed operators fold events into their panes; when the
+//! watermark passes an instance's end, the instance seals and its per-key
+//! sub-aggregates cascade to child operators (the Multicast/Union wiring of
+//! the plan collapses into the routing tables here). Exposed operators also
+//! emit user-visible results.
+
+use crate::agg::{Aggregate, AvgAgg, CountAgg, MaxAgg, MedianAgg, MinAgg, SumAgg};
+use crate::error::{EngineError, Result};
+use crate::event::{Event, ResultSink, WindowResult};
+use crate::pane::PaneStore;
+use fw_core::{AggregateFunction, QueryPlan, Window};
+use std::time::{Duration, Instant};
+
+/// Element-level accounting: the quantities the paper's cost model counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Raw-event accumulator updates (`n·η·r` per period, summed over
+    /// raw-fed windows).
+    pub updates: u64,
+    /// Sub-aggregate combines (`n·M` per period, summed over fed windows).
+    pub combines: u64,
+}
+
+impl ExecStats {
+    /// Total cost-model elements processed.
+    #[must_use]
+    pub fn elements(&self) -> u64 {
+        self.updates + self.combines
+    }
+}
+
+/// Outcome of executing a plan over a stream.
+#[derive(Debug)]
+pub struct RunOutput {
+    /// Number of events pushed through the plan.
+    pub events_processed: u64,
+    /// Number of (window, instance, key) results emitted to the union.
+    pub results_emitted: u64,
+    /// Wall time of the processing loop (compilation excluded).
+    pub elapsed: Duration,
+    /// Collected results (empty unless collection was requested).
+    pub results: Vec<WindowResult>,
+    /// Cost-model element counts (updates and combines).
+    pub stats: ExecStats,
+}
+
+impl RunOutput {
+    /// Throughput in events per second (the paper's metric, Karimov et al.).
+    #[must_use]
+    pub fn throughput_eps(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return f64::INFINITY;
+        }
+        self.events_processed as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// Execution options.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOptions {
+    /// Gather results (tests) instead of counting them (throughput runs).
+    pub collect: bool,
+    /// Emulated per-element processing cost
+    /// ([`crate::pane::DEFAULT_ELEMENT_WORK`]); `0` disables it.
+    pub element_work: u32,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions { collect: false, element_work: crate::pane::DEFAULT_ELEMENT_WORK }
+    }
+}
+
+/// Executes `plan` over `events` (must be in non-decreasing time order)
+/// with default element work. Set `collect` to gather results for
+/// correctness checks; leave it off for throughput measurements.
+pub fn execute(plan: &QueryPlan, events: &[Event], collect: bool) -> Result<RunOutput> {
+    execute_with(plan, events, ExecOptions { collect, ..ExecOptions::default() })
+}
+
+/// Executes `plan` with explicit [`ExecOptions`].
+pub fn execute_with(plan: &QueryPlan, events: &[Event], opts: ExecOptions) -> Result<RunOutput> {
+    match plan.function() {
+        AggregateFunction::Min => run_typed::<MinAgg>(plan, events, opts),
+        AggregateFunction::Max => run_typed::<MaxAgg>(plan, events, opts),
+        AggregateFunction::Sum => run_typed::<SumAgg>(plan, events, opts),
+        AggregateFunction::Count => run_typed::<CountAgg>(plan, events, opts),
+        AggregateFunction::Avg => run_typed::<AvgAgg>(plan, events, opts),
+        AggregateFunction::Median => run_typed::<MedianAgg>(plan, events, opts),
+    }
+}
+
+fn run_typed<A: Aggregate>(plan: &QueryPlan, events: &[Event], opts: ExecOptions) -> Result<RunOutput> {
+    let mut pipeline = Pipeline::<A>::compile(plan, opts.element_work)?;
+    let mut sink =
+        if opts.collect { ResultSink::Collect(Vec::new()) } else { ResultSink::CountOnly };
+    let start = Instant::now();
+    pipeline.run(events, &mut sink)?;
+    let elapsed = start.elapsed();
+    std::hint::black_box(
+        pipeline.stores.iter().map(PaneStore::work_sink).fold(0u64, u64::wrapping_add),
+    );
+    let stats = ExecStats {
+        updates: pipeline.stores.iter().map(PaneStore::updates).sum(),
+        combines: pipeline.stores.iter().map(PaneStore::combines).sum(),
+    };
+    Ok(RunOutput {
+        events_processed: events.len() as u64,
+        results_emitted: pipeline.results_emitted,
+        elapsed,
+        results: sink.into_results(),
+        stats,
+    })
+}
+
+/// The compiled physical pipeline, monomorphic over the aggregate.
+struct Pipeline<A: Aggregate> {
+    stores: Vec<PaneStore<A>>,
+    windows: Vec<Window>,
+    exposed: Vec<bool>,
+    children: Vec<Vec<usize>>,
+    roots: Vec<usize>,
+    watermark: u64,
+    /// `min` over stores of the next instance end; events strictly before
+    /// this cannot seal anything, so the per-event fast path is one compare.
+    deadline: u64,
+    results_emitted: u64,
+}
+
+impl<A: Aggregate> Pipeline<A> {
+    fn compile(plan: &QueryPlan, element_work: u32) -> Result<Self> {
+        plan.validate().map_err(EngineError::InvalidPlan)?;
+        let node_ids: Vec<usize> = plan.window_nodes().collect();
+        let op_of = |node: usize| node_ids.iter().position(|&n| n == node).expect("window node");
+
+        let mut windows = Vec::with_capacity(node_ids.len());
+        let mut exposed = Vec::with_capacity(node_ids.len());
+        let mut children = vec![Vec::new(); node_ids.len()];
+        let mut roots = Vec::new();
+        for (op, &node) in node_ids.iter().enumerate() {
+            let window = *plan.window_at(node).expect("window node");
+            windows.push(window);
+            exposed.push(plan.is_exposed(node));
+            match plan.feeding_window(node) {
+                None => roots.push(op),
+                Some(parent) => {
+                    if !A::COMBINABLE {
+                        return Err(EngineError::HolisticSubAggregate {
+                            function: A::function().name(),
+                        });
+                    }
+                    children[op_of(parent)].push(op);
+                }
+            }
+        }
+        let stores =
+            windows.iter().map(|w| PaneStore::<A>::with_element_work(*w, element_work)).collect();
+        let mut pipeline = Pipeline {
+            stores,
+            windows,
+            exposed,
+            children,
+            roots,
+            watermark: 0,
+            deadline: 0,
+            results_emitted: 0,
+        };
+        pipeline.recompute_deadline();
+        Ok(pipeline)
+    }
+
+    fn recompute_deadline(&mut self) {
+        self.deadline = self.stores.iter().map(PaneStore::front_end).min().unwrap_or(u64::MAX);
+    }
+
+    /// Emits the window's results for the pane at the store front.
+    #[inline]
+    fn emit_front(&mut self, op: usize, interval: fw_core::Interval, sink: &mut ResultSink) {
+        let window = self.windows[op];
+        let pane = self.stores[op].front_pane();
+        // Count first to keep the sink borrow simple in the hot path.
+        let mut emitted = 0u64;
+        if let ResultSink::Collect(_) = sink {
+            let results: Vec<WindowResult> = pane
+                .iter()
+                .map(|(&key, acc)| WindowResult { window, interval, key, value: A::finalize(acc) })
+                .collect();
+            for r in results {
+                sink.push(r, &mut emitted);
+            }
+        } else {
+            emitted = pane.len() as u64;
+        }
+        self.results_emitted += emitted;
+    }
+
+    fn run(&mut self, events: &[Event], sink: &mut ResultSink) -> Result<()> {
+        for event in events {
+            if event.time < self.watermark {
+                return Err(EngineError::OutOfOrderEvent {
+                    at: event.time,
+                    watermark: self.watermark,
+                });
+            }
+            if event.time >= self.deadline {
+                self.advance(event.time, sink);
+            }
+            self.watermark = event.time;
+            for &root in &self.roots {
+                self.stores[root].update_point(event.time, event.key, event.value);
+            }
+        }
+        // Seal everything completed by the end of the stream.
+        if let Some(last) = events.last() {
+            self.advance(last.time + 1, sink);
+        }
+        Ok(())
+    }
+
+    /// Seals every instance with `end ≤ watermark`, cascading sub-aggregates
+    /// down the forest. Operators are stored in topological order (parents
+    /// first), so a single pass suffices; the pass also refreshes the
+    /// deadline, so sealing adds no extra scan.
+    fn advance(&mut self, watermark: u64, sink: &mut ResultSink) {
+        let mut deadline = u64::MAX;
+        for op in 0..self.stores.len() {
+            while let Some(interval) = self.stores[op].prepare_due(watermark) {
+                if self.exposed[op] {
+                    self.emit_front(op, interval, sink);
+                }
+                // Children are strictly later ops (plans are topologically
+                // ordered), so a split borrow reaches them without copying
+                // the sealed pane.
+                let (head, tail) = self.stores.split_at_mut(op + 1);
+                let pane = head[op].front_pane();
+                for &child in &self.children[op] {
+                    debug_assert!(child > op, "plan must be topologically ordered");
+                    tail[child - op - 1].combine_pane(&interval, pane);
+                }
+                self.stores[op].retire_front();
+            }
+            deadline = deadline.min(self.stores[op].front_end());
+        }
+        self.deadline = deadline;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::sorted_results;
+    use fw_core::{
+        AggregateFunction, Optimizer, Semantics, Window, WindowQuery, WindowSet,
+    };
+
+    fn w(r: u64, s: u64) -> Window {
+        Window::new(r, s).unwrap()
+    }
+
+    fn events(n: u64, keys: u32) -> Vec<Event> {
+        (0..n).map(|t| Event::new(t, (t % u64::from(keys)) as u32, (t % 17) as f64)).collect()
+    }
+
+    fn query(ws: &[Window], f: AggregateFunction) -> WindowQuery {
+        WindowQuery::new(WindowSet::new(ws.to_vec()).unwrap(), f)
+    }
+
+    #[test]
+    fn single_tumbling_min() {
+        let q = query(&[w(10, 10)], AggregateFunction::Min);
+        let plan = fw_core::rewrite::original_plan(&q);
+        let evs = events(30, 1);
+        let out = execute(&plan, &evs, true).unwrap();
+        // Instances [0,10): min(0..10 % 17) = 0; [10,20): values 10..16,0,1,2 → 0;
+        // [20,30): values 3..12 → 3.
+        let results = sorted_results(out.results);
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].value, 0.0);
+        assert_eq!(results[1].value, 0.0);
+        assert_eq!(results[2].value, 3.0);
+        assert_eq!(out.events_processed, 30);
+    }
+
+    #[test]
+    fn all_three_plans_agree_for_min_covered_by() {
+        let q = query(&[w(20, 20), w(30, 30), w(40, 40)], AggregateFunction::Min);
+        let out = Optimizer::default().optimize(&q).unwrap();
+        let evs = events(500, 4);
+        let a = execute(&out.original.plan, &evs, true).unwrap();
+        let b = execute(&out.rewritten.plan, &evs, true).unwrap();
+        let c = execute(&out.factored.plan, &evs, true).unwrap();
+        let ra = sorted_results(a.results);
+        let rb = sorted_results(b.results);
+        let rc = sorted_results(c.results);
+        assert!(!ra.is_empty());
+        assert_eq!(ra, rb);
+        assert_eq!(ra, rc);
+    }
+
+    #[test]
+    fn all_three_plans_agree_for_sum_partitioned_by() {
+        let q = query(&[w(20, 20), w(30, 30), w(40, 40)], AggregateFunction::Sum);
+        let out = Optimizer::default().optimize_with(&q, Semantics::PartitionedBy).unwrap();
+        let evs = events(600, 3);
+        let a = execute(&out.original.plan, &evs, true).unwrap();
+        let c = execute(&out.factored.plan, &evs, true).unwrap();
+        assert_eq!(sorted_results(a.results), sorted_results(c.results));
+    }
+
+    #[test]
+    fn hopping_windows_agree_for_max() {
+        let q = query(&[w(20, 10), w(40, 10), w(60, 20)], AggregateFunction::Max);
+        let out = Optimizer::default().optimize(&q).unwrap();
+        let evs = events(400, 2);
+        let a = execute(&out.original.plan, &evs, true).unwrap();
+        let c = execute(&out.factored.plan, &evs, true).unwrap();
+        assert_eq!(sorted_results(a.results), sorted_results(c.results));
+    }
+
+    #[test]
+    fn rejects_out_of_order_events() {
+        let q = query(&[w(10, 10)], AggregateFunction::Min);
+        let plan = fw_core::rewrite::original_plan(&q);
+        let evs = vec![Event::new(5, 0, 1.0), Event::new(3, 0, 1.0)];
+        // The watermark only moves on seals; craft times to hit the check.
+        let err = execute(&plan, &evs, true).unwrap_err();
+        assert!(matches!(err, EngineError::OutOfOrderEvent { .. }));
+    }
+
+    #[test]
+    fn rejects_holistic_subaggregation() {
+        // Hand-build a plan that feeds MEDIAN from sub-aggregates.
+        let mut b = fw_core::plan::PlanBuilder::new(AggregateFunction::Median);
+        let src = b.source();
+        let w20 = b.window_agg(src, w(20, 20), "w20".to_string(), true);
+        let w40 = b.window_agg(w20, w(40, 40), "w40".to_string(), true);
+        let plan = b.finish(vec![w20, w40]);
+        let err = execute(&plan, &events(10, 1), false).unwrap_err();
+        assert!(matches!(err, EngineError::HolisticSubAggregate { .. }));
+    }
+
+    #[test]
+    fn median_runs_on_original_plan() {
+        let q = query(&[w(10, 10), w(20, 20)], AggregateFunction::Median);
+        let out = Optimizer::default().optimize(&q).unwrap();
+        let evs = events(40, 1);
+        let run = execute(&out.factored.plan, &evs, true).unwrap();
+        assert!(!run.results.is_empty());
+    }
+
+    #[test]
+    fn count_matches_event_counts() {
+        let q = query(&[w(10, 10), w(20, 20)], AggregateFunction::Count);
+        let out = Optimizer::default().optimize(&q).unwrap();
+        let evs = events(40, 2);
+        let run = execute(&out.factored.plan, &evs, true).unwrap();
+        for r in &run.results {
+            // 2 keys alternating each tick: every instance holds r/2 per key.
+            assert_eq!(r.value, (r.interval.len() / 2) as f64);
+        }
+    }
+
+    #[test]
+    fn exec_stats_count_cost_model_elements() {
+        let q = query(&[w(20, 20), w(30, 30), w(40, 40)], AggregateFunction::Min);
+        let out = Optimizer::default().optimize_with(&q, Semantics::PartitionedBy).unwrap();
+        let evs = events(1200, 1);
+        // Original: every event updates each of the 3 tumbling windows.
+        let orig = execute(&out.original.plan, &evs, false).unwrap();
+        assert_eq!(orig.stats.updates, 3 * 1200);
+        assert_eq!(orig.stats.combines, 0);
+        // Factored (Figure 2(c)): one raw update per event into W(10,10),
+        // everything else arrives as sub-aggregates.
+        let fac = execute(&out.factored.plan, &evs, false).unwrap();
+        assert_eq!(fac.stats.updates, 1200);
+        assert!(fac.stats.combines > 0);
+        assert!(fac.stats.elements() < orig.stats.elements());
+    }
+
+    #[test]
+    fn empty_stream_is_fine() {
+        let q = query(&[w(10, 10)], AggregateFunction::Min);
+        let plan = fw_core::rewrite::original_plan(&q);
+        let out = execute(&plan, &[], true).unwrap();
+        assert_eq!(out.events_processed, 0);
+        assert_eq!(out.results_emitted, 0);
+    }
+
+    #[test]
+    fn out_of_order_check_uses_watermark_not_last_event() {
+        // Equal timestamps are allowed (multiple keys per tick).
+        let q = query(&[w(10, 10)], AggregateFunction::Min);
+        let plan = fw_core::rewrite::original_plan(&q);
+        let evs = vec![Event::new(1, 0, 1.0), Event::new(1, 1, 2.0), Event::new(2, 0, 0.5)];
+        assert!(execute(&plan, &evs, true).is_ok());
+    }
+}

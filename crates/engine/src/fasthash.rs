@@ -1,0 +1,87 @@
+//! A fast multiplicative hasher for small integer keys.
+//!
+//! The default SipHash is robust against adversarial keys but costs tens of
+//! cycles per lookup, which would dominate the per-event work we are trying
+//! to measure. Grouping keys here are small trusted integers (device ids),
+//! so a Fibonacci-multiplicative mix is both sufficient and fast — the same
+//! trade-off `rustc` makes with `FxHash` (that crate is not in our
+//! dependency allowance, so we carry the 10-line equivalent).
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative hasher state.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FastHasher(u64);
+
+const SEED: u64 = 0x9E37_79B9_7F4A_7C15; // 2^64 / φ
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(SEED);
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.0 = (self.0 ^ u64::from(i)).wrapping_mul(SEED);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.0 = (self.0 ^ i).wrapping_mul(SEED);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.write_u64(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FastHasher`].
+pub type FastBuildHasher = BuildHasherDefault<FastHasher>;
+
+/// A `HashMap` keyed by small integers using the fast hasher.
+pub type FastMap<K, V> = std::collections::HashMap<K, V, FastBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_keys_hash_differently() {
+        let mut seen = std::collections::HashSet::new();
+        for k in 0u32..10_000 {
+            let mut h = FastHasher::default();
+            h.write_u32(k);
+            assert!(seen.insert(h.finish()), "collision at {k}");
+        }
+    }
+
+    #[test]
+    fn map_round_trip() {
+        let mut m: FastMap<u32, u64> = FastMap::default();
+        for k in 0..100u32 {
+            m.insert(k, u64::from(k) * 3);
+        }
+        for k in 0..100u32 {
+            assert_eq!(m.get(&k), Some(&(u64::from(k) * 3)));
+        }
+        assert_eq!(m.len(), 100);
+    }
+
+    #[test]
+    fn byte_writes_mix() {
+        let mut a = FastHasher::default();
+        a.write(b"abc");
+        let mut b = FastHasher::default();
+        b.write(b"abd");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -1,0 +1,108 @@
+//! A deliberately naive window-aggregate evaluator used as the correctness
+//! oracle: no sharing, no incremental state, just "for every event, update
+//! every instance that contains it" over plain sorted maps.
+
+use crate::agg::{Aggregate, AvgAgg, CountAgg, MaxAgg, MedianAgg, MinAgg, SumAgg};
+use crate::event::{sorted_results, Event, WindowResult};
+use fw_core::{AggregateFunction, Window};
+use std::collections::BTreeMap;
+
+/// Computes the results of aggregating `function` over each window in
+/// `windows` for the given in-order stream: one result per (window,
+/// instance, key) for every instance that holds at least one event and
+/// whose end is within the stream (`end ≤ last_time + 1`), matching the
+/// engine's sealing rule.
+#[must_use]
+pub fn reference_results(
+    windows: &[Window],
+    function: AggregateFunction,
+    events: &[Event],
+) -> Vec<WindowResult> {
+    match function {
+        AggregateFunction::Min => run::<MinAgg>(windows, events),
+        AggregateFunction::Max => run::<MaxAgg>(windows, events),
+        AggregateFunction::Sum => run::<SumAgg>(windows, events),
+        AggregateFunction::Count => run::<CountAgg>(windows, events),
+        AggregateFunction::Avg => run::<AvgAgg>(windows, events),
+        AggregateFunction::Median => run::<MedianAgg>(windows, events),
+    }
+}
+
+fn run<A: Aggregate>(windows: &[Window], events: &[Event]) -> Vec<WindowResult> {
+    let Some(last) = events.last() else {
+        return Vec::new();
+    };
+    let horizon = last.time + 1;
+    let mut out = Vec::new();
+    for window in windows {
+        let mut accs: BTreeMap<(u64, u32), A::Acc> = BTreeMap::new();
+        for event in events {
+            for m in window.instances_containing(event.time) {
+                let acc = accs.entry((m, event.key)).or_insert_with(A::init);
+                A::update(acc, event.value);
+            }
+        }
+        for ((m, key), acc) in &accs {
+            let interval = window.interval(*m);
+            if interval.end <= horizon {
+                out.push(WindowResult {
+                    window: *window,
+                    interval,
+                    key: *key,
+                    value: A::finalize(acc),
+                });
+            }
+        }
+    }
+    sorted_results(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::execute;
+    use fw_core::{Optimizer, WindowQuery, WindowSet};
+
+    fn w(r: u64, s: u64) -> Window {
+        Window::new(r, s).unwrap()
+    }
+
+    fn stream(n: u64, keys: u32) -> Vec<Event> {
+        (0..n)
+            .map(|t| Event::new(t, (t * 7 % u64::from(keys)) as u32, ((t * 13) % 101) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn engine_matches_reference_all_functions() {
+        let windows = vec![w(20, 20), w(30, 30), w(40, 20), w(60, 20)];
+        let evs = stream(300, 3);
+        for function in AggregateFunction::ALL {
+            let q = WindowQuery::new(WindowSet::new(windows.clone()).unwrap(), function);
+            let out = Optimizer::default().optimize(&q).unwrap();
+            let oracle = reference_results(&windows, function, &evs);
+            for (name, plan) in [
+                ("original", &out.original.plan),
+                ("rewritten", &out.rewritten.plan),
+                ("factored", &out.factored.plan),
+            ] {
+                let run = execute(plan, &evs, true).unwrap();
+                let got = sorted_results(run.results);
+                assert_eq!(got, oracle, "{function} {name} diverges from oracle");
+            }
+        }
+    }
+
+    #[test]
+    fn reference_respects_horizon() {
+        let evs = stream(25, 1);
+        let results = reference_results(&[w(10, 10)], AggregateFunction::Count, &evs);
+        // Instances [0,10) and [10,20) sealed; [20,30) is beyond horizon 25.
+        assert_eq!(results.len(), 2);
+    }
+
+    #[test]
+    fn reference_empty_stream() {
+        assert!(reference_results(&[w(10, 10)], AggregateFunction::Min, &[]).is_empty());
+    }
+}

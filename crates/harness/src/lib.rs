@@ -1,0 +1,27 @@
+//! # fw-harness — the evaluation harness
+//!
+//! Regenerates every table and figure of the paper's Section V (plus the
+//! appendix figures): window-set generation, cost-based optimization,
+//! plan execution, throughput measurement, and report rendering with
+//! paper-vs-measured columns.
+//!
+//! Run `fw-experiments list` for the experiment inventory, or
+//! `fw-experiments all --scale 20` to regenerate everything at 1/20th of
+//! the paper's dataset sizes (throughput *ratios* are scale-invariant; see
+//! EXPERIMENTS.md).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod experiments;
+pub mod paper;
+pub mod report;
+pub mod runner;
+pub mod stats;
+
+pub use experiments::{run_experiment, Experiment, EXPERIMENTS};
+pub use runner::{
+    measure_overhead, measure_slicing_comparison, measure_window_set, run_setup, summarize,
+    BoostSummary, Dataset, HarnessConfig, OverheadMeasurement, RunMeasurement, Setup,
+    SlicingMeasurement,
+};

@@ -1,0 +1,112 @@
+//! `fw-experiments` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! fw-experiments list
+//! fw-experiments all --scale 20 --out results
+//! fw-experiments fig11 table1 --scale 50 --runs 10 --repeats 1
+//! ```
+
+use fw_harness::{run_experiment, HarnessConfig, EXPERIMENTS};
+use std::io::Write;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(message) = run(&args) {
+        eprintln!("error: {message}");
+        std::process::exit(1);
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut config = HarnessConfig::default();
+    let mut out_dir: Option<PathBuf> = None;
+    let mut selected: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                config.scale = parse_value(args, &mut i, "--scale")?;
+            }
+            "--runs" => {
+                config.runs = parse_value(args, &mut i, "--runs")?;
+            }
+            "--repeats" => {
+                config.repeats = parse_value(args, &mut i, "--repeats")?;
+            }
+            "--out" => {
+                i += 1;
+                let dir = args.get(i).ok_or("--out requires a directory")?;
+                out_dir = Some(PathBuf::from(dir));
+            }
+            "--help" | "-h" => {
+                print_help();
+                return Ok(());
+            }
+            "list" => {
+                for e in EXPERIMENTS {
+                    println!("{:<8} {}", e.id, e.description);
+                }
+                return Ok(());
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown option `{other}` (try --help)"));
+            }
+            other => selected.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if config.scale == 0 {
+        return Err("--scale must be at least 1".to_string());
+    }
+    if selected.is_empty() || selected.iter().any(|s| s == "all") {
+        selected = EXPERIMENTS.iter().map(|e| e.id.to_string()).collect();
+    }
+
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
+    }
+
+    println!(
+        "# factor-windows experiment harness — scale 1/{}, {} window sets, {} repeat(s)\n",
+        config.scale, config.runs, config.repeats
+    );
+    for id in &selected {
+        let started = std::time::Instant::now();
+        let report = run_experiment(id, &config)?;
+        println!("{report}");
+        eprintln!("[{id} completed in {:.1}s]", started.elapsed().as_secs_f64());
+        if let Some(dir) = &out_dir {
+            let path = dir.join(format!("{id}.txt"));
+            let mut file =
+                std::fs::File::create(&path).map_err(|e| format!("cannot write {path:?}: {e}"))?;
+            file.write_all(report.as_bytes()).map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+fn parse_value<T: std::str::FromStr>(
+    args: &[String],
+    i: &mut usize,
+    flag: &str,
+) -> Result<T, String> {
+    *i += 1;
+    args.get(*i)
+        .ok_or(format!("{flag} requires a value"))?
+        .parse()
+        .map_err(|_| format!("invalid value for {flag}"))
+}
+
+fn print_help() {
+    println!(
+        "fw-experiments — regenerate the tables and figures of the Factor Windows paper\n\n\
+         USAGE: fw-experiments [OPTIONS] [EXPERIMENT IDS | all | list]\n\n\
+         OPTIONS:\n\
+           --scale N    divide the paper's dataset sizes by N (default 20)\n\
+           --runs N     window sets per configuration (default 10, as in the paper)\n\
+           --repeats N  measured repetitions per throughput number (default 1)\n\
+           --out DIR    also write each report to DIR/<id>.txt\n\n\
+         Run `fw-experiments list` to see every experiment id."
+    );
+}

@@ -1,0 +1,165 @@
+//! Plain-text rendering of figures and tables in the paper's layout, with
+//! paper-vs-measured columns wherever the paper reports a number.
+
+use crate::paper::BoostRow;
+use crate::runner::{BoostSummary, OverheadMeasurement, RunMeasurement, SlicingMeasurement};
+
+/// Renders one throughput panel (Figures 11, 14–18, 20, 21): one row per
+/// window-set run with the three plans' throughput in K events/s.
+#[must_use]
+pub fn render_throughput_panel(title: &str, measurements: &[RunMeasurement]) -> String {
+    let mut out = format!("## {title}\n");
+    out.push_str(&format!(
+        "{:<5} {:>14} {:>18} {:>17}  {:>8} {:>8}\n",
+        "run", "original(K/s)", "w/o FW (K e/s)", "w/ FW (K e/s)", "boost-", "boost+"
+    ));
+    for (i, m) in measurements.iter().enumerate() {
+        out.push_str(&format!(
+            "{:<5} {:>14.0} {:>18.0} {:>17.0}  {:>8.2} {:>8.2}\n",
+            i + 1,
+            m.original_eps / 1e3,
+            m.rewritten_eps / 1e3,
+            m.factored_eps / 1e3,
+            m.boost_rewritten(),
+            m.boost_factored(),
+        ));
+    }
+    out
+}
+
+/// Renders a Tables-I–IV-style summary with the paper's numbers inline.
+#[must_use]
+pub fn render_boost_table(
+    title: &str,
+    rows: &[(String, BoostSummary, Option<&'static BoostRow>)],
+) -> String {
+    let mut out = format!("## {title}\n");
+    out.push_str(&format!(
+        "{:<16} {:>8} {:>8} {:>8} {:>8}   {:>24}\n",
+        "setup", "w/o-mean", "w/o-max", "w/-mean", "w/-max", "paper (w/o m/M, w/ m/M)"
+    ));
+    for (label, summary, paper) in rows {
+        let paper_cell = paper.map_or_else(
+            || "-".to_string(),
+            |p| format!("{:.2}/{:.2}, {:.2}/{:.2}", p.wo_mean, p.wo_max, p.w_mean, p.w_max),
+        );
+        out.push_str(&format!(
+            "{:<16} {:>7.2}x {:>7.2}x {:>7.2}x {:>7.2}x   {:>24}\n",
+            label, summary.wo_mean, summary.wo_max, summary.w_mean, summary.w_max, paper_cell
+        ));
+    }
+    out
+}
+
+/// Renders a Figure-13/22 panel: Flink vs Scotty vs factor windows.
+#[must_use]
+pub fn render_slicing_panel(title: &str, measurements: &[SlicingMeasurement]) -> String {
+    let mut out = format!("## {title}\n");
+    out.push_str(&format!(
+        "{:<5} {:>13} {:>13} {:>19}  {:>10} {:>10}\n",
+        "run", "Flink(K/s)", "Scotty(K/s)", "FactorWin (K e/s)", "FW/Flink", "FW/Scotty"
+    ));
+    for (i, m) in measurements.iter().enumerate() {
+        out.push_str(&format!(
+            "{:<5} {:>13.0} {:>13.0} {:>19.0}  {:>9.2}x {:>9.2}x\n",
+            i + 1,
+            m.flink_eps / 1e3,
+            m.scotty_eps / 1e3,
+            m.factor_eps / 1e3,
+            m.factor_eps / m.flink_eps,
+            m.factor_eps / m.scotty_eps,
+        ));
+    }
+    out
+}
+
+/// Renders the Figure-12 overhead chart data.
+#[must_use]
+pub fn render_overhead(title: &str, rows: &[OverheadMeasurement]) -> String {
+    let mut out = format!("## {title}\n");
+    out.push_str(&format!(
+        "{:<8} {:>22} {:>22}\n",
+        "setting", "partitioned-by (ms)", "covered-by (ms)"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<8} {:>13.3} ± {:>6.3} {:>13.3} ± {:>6.3}\n",
+            r.setup, r.partitioned_mean_ms, r.partitioned_std_ms, r.covered_mean_ms,
+            r.covered_std_ms
+        ));
+    }
+    out
+}
+
+/// Renders one Figure-19 correlation panel: data points, Pearson r, the
+/// best-fit line, and the paper's r.
+#[must_use]
+pub fn render_correlation_panel(
+    title: &str,
+    points: &[(f64, f64)],
+    pearson_r: f64,
+    fit: (f64, f64),
+    paper_r: f64,
+) -> String {
+    let mut out = format!("## {title}\n");
+    out.push_str(&format!("{:>14} {:>14}\n", "predicted γC", "actual γT"));
+    for (x, y) in points {
+        out.push_str(&format!("{x:>14.3} {y:>14.3}\n"));
+    }
+    out.push_str(&format!(
+        "Pearson r = {pearson_r:.3} (paper: {paper_r:.2}); best fit y = {:.3}x + {:.3}\n",
+        fit.0, fit.1
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_measurement() -> RunMeasurement {
+        RunMeasurement {
+            window_set: "{W(20,20)}".to_string(),
+            original_eps: 1_000_000.0,
+            rewritten_eps: 1_500_000.0,
+            factored_eps: 3_000_000.0,
+            cost_original: 30,
+            cost_rewritten: 20,
+            cost_factored: 10,
+            factor_windows: 1,
+            rewrite_micros: 10.0,
+            factor_micros: 20.0,
+        }
+    }
+
+    #[test]
+    fn throughput_panel_contains_boosts() {
+        let s = render_throughput_panel("Fig X", &[sample_measurement()]);
+        assert!(s.contains("Fig X"));
+        assert!(s.contains("1.50"), "{s}");
+        assert!(s.contains("3.00"), "{s}");
+    }
+
+    #[test]
+    fn boost_table_includes_paper_reference() {
+        let summary = BoostSummary { wo_mean: 1.5, wo_max: 2.0, w_mean: 3.0, w_max: 4.0 };
+        let paper = crate::paper::lookup(&crate::paper::TABLE_I, "S-5-tumbling");
+        let s =
+            render_boost_table("Table I", &[("S-5-tumbling".to_string(), summary, paper)]);
+        assert!(s.contains("4.28/4.81"), "{s}");
+        assert!(s.contains("3.00x"), "{s}");
+    }
+
+    #[test]
+    fn correlation_panel_renders() {
+        let s = render_correlation_panel(
+            "Fig 19(a)",
+            &[(1.0, 1.1), (2.0, 1.9)],
+            0.99,
+            (0.8, 0.3),
+            0.98,
+        );
+        assert!(s.contains("Pearson r = 0.990"), "{s}");
+        assert!(s.contains("paper: 0.98"), "{s}");
+    }
+}

@@ -1,0 +1,403 @@
+//! The measurement core: run the three plans (and the slicing baselines)
+//! over a dataset for each generated window set, recording throughput,
+//! modeled costs, and optimization times.
+
+use fw_core::{CostModel, Optimizer, Semantics, WindowQuery, WindowSet};
+use fw_engine::{measure_throughput, Event};
+use fw_slicing::execute_sliced;
+use fw_workload::{
+    debs_stream, generate_runs, synthetic_stream, DebsConfig, GenConfig, Generator,
+    SyntheticConfig, WindowShape,
+};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Harness-wide knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessConfig {
+    /// Dataset scale divisor (1 = the paper's full sizes).
+    pub scale: usize,
+    /// Window sets per configuration (paper: 10).
+    pub runs: usize,
+    /// Measured repetitions per throughput number.
+    pub repeats: u32,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig { scale: 20, runs: 10, repeats: 1 }
+    }
+}
+
+/// The datasets of Section V-A2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// 1M synthetic constant-pace events.
+    Synthetic1M,
+    /// 10M synthetic constant-pace events.
+    Synthetic10M,
+    /// 32M DEBS-like sensor events (substituted; DESIGN.md §5).
+    Real32M,
+}
+
+impl Dataset {
+    /// Display name matching the paper.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dataset::Synthetic1M => "Synthetic-1M",
+            Dataset::Synthetic10M => "Synthetic-10M",
+            Dataset::Real32M => "Real-32M",
+        }
+    }
+
+    /// Materializes the dataset at the given scale divisor.
+    #[must_use]
+    pub fn load(&self, scale: usize) -> Vec<Event> {
+        match self {
+            Dataset::Synthetic1M => synthetic_stream(&SyntheticConfig::synthetic_1m(scale)),
+            Dataset::Synthetic10M => synthetic_stream(&SyntheticConfig::synthetic_10m(scale)),
+            Dataset::Real32M => debs_stream(&DebsConfig::real_32m(scale)),
+        }
+    }
+}
+
+/// One experimental configuration: generator × shape × window-set size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Setup {
+    /// RandomGen or SequentialGen.
+    pub generator: Generator,
+    /// Tumbling (→ partitioned-by) or hopping (→ covered-by).
+    pub shape: WindowShape,
+    /// Window-set size |W|.
+    pub size: usize,
+}
+
+impl Setup {
+    /// Label in the paper's notation, e.g. "R-5-tumbling".
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!("{}-{}-{}", self.generator.short(), self.size, self.shape.name())
+    }
+
+    /// The semantics the paper pairs with this shape: partitioned-by for
+    /// tumbling sets, covered-by for hopping sets (Section V-B1).
+    #[must_use]
+    pub fn semantics(&self) -> Semantics {
+        match self.shape {
+            WindowShape::Tumbling => Semantics::PartitionedBy,
+            WindowShape::Hopping => Semantics::CoveredBy,
+        }
+    }
+
+    /// The ten (or `runs`) window sets for this setup.
+    #[must_use]
+    pub fn window_sets(&self, runs: usize) -> Vec<WindowSet> {
+        generate_runs(self.generator, self.shape, self.size, &GenConfig::default(), runs)
+    }
+}
+
+/// Per-window-set measurement of the three plans.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunMeasurement {
+    /// Window set in display form.
+    pub window_set: String,
+    /// Throughput (events/s) of the original plan.
+    pub original_eps: f64,
+    /// Throughput of the Algorithm-1 rewrite.
+    pub rewritten_eps: f64,
+    /// Throughput of the Algorithm-3 rewrite (factor windows).
+    pub factored_eps: f64,
+    /// Modeled plan costs, same order.
+    pub cost_original: u128,
+    /// Modeled cost of the rewritten plan.
+    pub cost_rewritten: u128,
+    /// Modeled cost of the factored plan.
+    pub cost_factored: u128,
+    /// Number of factor windows in the factored plan.
+    pub factor_windows: usize,
+    /// Algorithm-1 optimization wall time (µs).
+    pub rewrite_micros: f64,
+    /// Algorithm-3 optimization wall time (µs).
+    pub factor_micros: f64,
+}
+
+impl RunMeasurement {
+    /// Throughput boost of the rewritten plan over the original.
+    #[must_use]
+    pub fn boost_rewritten(&self) -> f64 {
+        self.rewritten_eps / self.original_eps
+    }
+
+    /// Throughput boost of the factored plan over the original.
+    #[must_use]
+    pub fn boost_factored(&self) -> f64 {
+        self.factored_eps / self.original_eps
+    }
+
+    /// γ_T of Figure 19: measured speedup of factored over rewritten.
+    #[must_use]
+    pub fn gamma_t(&self) -> f64 {
+        self.factored_eps / self.rewritten_eps
+    }
+
+    /// γ_C of Figure 19: predicted speedup of factored over rewritten.
+    #[must_use]
+    pub fn gamma_c(&self) -> f64 {
+        self.cost_rewritten as f64 / self.cost_factored as f64
+    }
+}
+
+/// Measures one window set against one event stream.
+pub fn measure_window_set(
+    windows: &WindowSet,
+    semantics: Semantics,
+    events: &[Event],
+    repeats: u32,
+) -> fw_core::Result<RunMeasurement> {
+    let query = WindowQuery::new(windows.clone(), fw_core::AggregateFunction::Min);
+    let outcome = Optimizer::new(CostModel::default()).optimize_with(&query, semantics)?;
+
+    let original =
+        measure_throughput(&outcome.original.plan, events, repeats).expect("valid plan");
+    let rewritten =
+        measure_throughput(&outcome.rewritten.plan, events, repeats).expect("valid plan");
+    let factored =
+        measure_throughput(&outcome.factored.plan, events, repeats).expect("valid plan");
+
+    Ok(RunMeasurement {
+        window_set: windows.to_string(),
+        original_eps: original.mean_eps,
+        rewritten_eps: rewritten.mean_eps,
+        factored_eps: factored.mean_eps,
+        cost_original: outcome.original.cost,
+        cost_rewritten: outcome.rewritten.cost,
+        cost_factored: outcome.factored.cost,
+        factor_windows: outcome.factored.plan.factor_window_count(),
+        rewrite_micros: outcome.rewrite_time.as_secs_f64() * 1e6,
+        factor_micros: outcome.factor_time.as_secs_f64() * 1e6,
+    })
+}
+
+/// Runs a full setup (all its window sets) against a dataset.
+pub fn run_setup(
+    setup: &Setup,
+    events: &[Event],
+    config: &HarnessConfig,
+) -> fw_core::Result<Vec<RunMeasurement>> {
+    setup
+        .window_sets(config.runs)
+        .iter()
+        .map(|ws| measure_window_set(ws, setup.semantics(), events, config.repeats))
+        .collect()
+}
+
+/// Mean/max boost summary of one setup (a row of Tables I–IV).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct BoostSummary {
+    /// Mean boost without factor windows.
+    pub wo_mean: f64,
+    /// Max boost without factor windows.
+    pub wo_max: f64,
+    /// Mean boost with factor windows.
+    pub w_mean: f64,
+    /// Max boost with factor windows.
+    pub w_max: f64,
+}
+
+/// Summarizes a setup's measurements.
+#[must_use]
+pub fn summarize(measurements: &[RunMeasurement]) -> BoostSummary {
+    let wo: Vec<f64> = measurements.iter().map(RunMeasurement::boost_rewritten).collect();
+    let with: Vec<f64> = measurements.iter().map(RunMeasurement::boost_factored).collect();
+    BoostSummary {
+        wo_mean: crate::stats::mean(&wo),
+        wo_max: crate::stats::max(&wo),
+        w_mean: crate::stats::mean(&with),
+        w_max: crate::stats::max(&with),
+    }
+}
+
+/// One run of the Section V-F comparison: Flink default (independent
+/// windows), Scotty (general stream slicing), and factor windows.
+#[derive(Debug, Clone, Serialize)]
+pub struct SlicingMeasurement {
+    /// Window set in display form.
+    pub window_set: String,
+    /// Throughput of the Flink-default plan (independent evaluation).
+    pub flink_eps: f64,
+    /// Throughput of general stream slicing.
+    pub scotty_eps: f64,
+    /// Throughput of the factor-window plan.
+    pub factor_eps: f64,
+}
+
+/// Measures one window set under the three systems of Figure 13/22.
+pub fn measure_slicing_comparison(
+    windows: &WindowSet,
+    semantics: Semantics,
+    events: &[Event],
+    repeats: u32,
+) -> fw_core::Result<SlicingMeasurement> {
+    let query = WindowQuery::new(windows.clone(), fw_core::AggregateFunction::Min);
+    let outcome = Optimizer::new(CostModel::default()).optimize_with(&query, semantics)?;
+    let flink = measure_throughput(&outcome.original.plan, events, repeats).expect("valid plan");
+    let factor = measure_throughput(&outcome.factored.plan, events, repeats).expect("valid plan");
+
+    // Scotty: warm-up + repeated measurement, mirroring measure_throughput.
+    let _ = execute_sliced(windows, fw_core::AggregateFunction::Min, events, false)
+        .expect("valid slicing input");
+    let mut total = 0.0;
+    for _ in 0..repeats.max(1) {
+        let out = execute_sliced(windows, fw_core::AggregateFunction::Min, events, false)
+            .expect("valid slicing input");
+        total += out.throughput_eps();
+    }
+    Ok(SlicingMeasurement {
+        window_set: windows.to_string(),
+        flink_eps: flink.mean_eps,
+        scotty_eps: total / f64::from(repeats.max(1)),
+        factor_eps: factor.mean_eps,
+    })
+}
+
+/// Optimization-overhead measurement for one setup (Figure 12):
+/// Algorithm 3 wall time per window set, both semantics.
+#[derive(Debug, Clone, Serialize)]
+pub struct OverheadMeasurement {
+    /// Setup label.
+    pub setup: String,
+    /// Mean optimization time (ms) under partitioned-by.
+    pub partitioned_mean_ms: f64,
+    /// Std-dev (ms) under partitioned-by.
+    pub partitioned_std_ms: f64,
+    /// Mean optimization time (ms) under covered-by.
+    pub covered_mean_ms: f64,
+    /// Std-dev (ms) under covered-by.
+    pub covered_std_ms: f64,
+}
+
+/// Times Algorithm 3 (including WCG construction and rewriting) for the
+/// window sets of `generator` at size `size`, under both semantics.
+/// Tumbling sets exercise partitioned-by; hopping sets covered-by — the
+/// pairing used throughout the paper's evaluation.
+pub fn measure_overhead(
+    generator: Generator,
+    size: usize,
+    config: &HarnessConfig,
+) -> OverheadMeasurement {
+    let optimizer = Optimizer::new(CostModel::default());
+    let mut by_semantics = Vec::with_capacity(2);
+    for (shape, semantics) in [
+        (WindowShape::Tumbling, Semantics::PartitionedBy),
+        (WindowShape::Hopping, Semantics::CoveredBy),
+    ] {
+        let sets = generate_runs(generator, shape, size, &GenConfig::default(), config.runs);
+        let mut times_ms = Vec::with_capacity(sets.len());
+        for ws in &sets {
+            let query = WindowQuery::new(ws.clone(), fw_core::AggregateFunction::Min);
+            let start = Instant::now();
+            let outcome = optimizer.optimize_with(&query, semantics).expect("valid query");
+            let elapsed = start.elapsed();
+            std::hint::black_box(&outcome);
+            times_ms.push(elapsed.as_secs_f64() * 1e3);
+        }
+        by_semantics.push((crate::stats::mean(&times_ms), crate::stats::stddev(&times_ms)));
+    }
+    OverheadMeasurement {
+        setup: format!("{}-{}", generator.short(), size),
+        partitioned_mean_ms: by_semantics[0].0,
+        partitioned_std_ms: by_semantics[0].1,
+        covered_mean_ms: by_semantics[1].0,
+        covered_std_ms: by_semantics[1].1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_events() -> Vec<Event> {
+        (0..30_000u64).map(|t| Event::new(t, (t % 4) as u32, (t % 97) as f64)).collect()
+    }
+
+    #[test]
+    fn setup_labels_and_semantics() {
+        let s = Setup { generator: Generator::RandomGen, shape: WindowShape::Tumbling, size: 5 };
+        assert_eq!(s.label(), "R-5-tumbling");
+        assert_eq!(s.semantics(), Semantics::PartitionedBy);
+        let s = Setup {
+            generator: Generator::SequentialGen,
+            shape: WindowShape::Hopping,
+            size: 10,
+        };
+        assert_eq!(s.label(), "S-10-hopping");
+        assert_eq!(s.semantics(), Semantics::CoveredBy);
+    }
+
+    #[test]
+    fn measurement_produces_sane_numbers() {
+        let setup =
+            Setup { generator: Generator::SequentialGen, shape: WindowShape::Tumbling, size: 5 };
+        let events = tiny_events();
+        let ws = &setup.window_sets(1)[0];
+        let m = measure_window_set(ws, setup.semantics(), &events, 1).unwrap();
+        assert!(m.original_eps > 0.0);
+        assert!(m.rewritten_eps > 0.0);
+        assert!(m.factored_eps > 0.0);
+        assert!(m.cost_rewritten <= m.cost_original);
+        assert!(m.cost_factored <= m.cost_rewritten);
+        assert!(m.gamma_c() >= 1.0);
+    }
+
+    #[test]
+    fn summary_over_two_measurements() {
+        let mk = |o, r, f| RunMeasurement {
+            window_set: String::new(),
+            original_eps: o,
+            rewritten_eps: r,
+            factored_eps: f,
+            cost_original: 3,
+            cost_rewritten: 2,
+            cost_factored: 1,
+            factor_windows: 1,
+            rewrite_micros: 1.0,
+            factor_micros: 2.0,
+        };
+        let s = summarize(&[mk(1.0, 2.0, 4.0), mk(1.0, 1.0, 2.0)]);
+        assert_eq!(s.wo_mean, 1.5);
+        assert_eq!(s.wo_max, 2.0);
+        assert_eq!(s.w_mean, 3.0);
+        assert_eq!(s.w_max, 4.0);
+    }
+
+    #[test]
+    fn slicing_comparison_runs() {
+        let ws = WindowSet::new(vec![
+            fw_core::Window::tumbling(20).unwrap(),
+            fw_core::Window::tumbling(40).unwrap(),
+        ])
+        .unwrap();
+        let m =
+            measure_slicing_comparison(&ws, Semantics::PartitionedBy, &tiny_events(), 1).unwrap();
+        assert!(m.flink_eps > 0.0 && m.scotty_eps > 0.0 && m.factor_eps > 0.0);
+    }
+
+    #[test]
+    fn overhead_measurement_runs() {
+        let config = HarnessConfig { scale: 1, runs: 3, repeats: 1 };
+        let m = measure_overhead(Generator::RandomGen, 5, &config);
+        assert_eq!(m.setup, "R-5");
+        assert!(m.partitioned_mean_ms >= 0.0);
+        assert!(m.covered_mean_ms >= 0.0);
+    }
+
+    #[test]
+    fn dataset_names_and_loading() {
+        assert_eq!(Dataset::Synthetic10M.name(), "Synthetic-10M");
+        let events = Dataset::Synthetic1M.load(100);
+        assert_eq!(events.len(), 10_000);
+        let events = Dataset::Real32M.load(3200);
+        assert_eq!(events.len(), 10_000);
+    }
+}

@@ -1,0 +1,110 @@
+//! Summary statistics used by the evaluation: mean/max boosts
+//! (Tables I–IV), standard deviation (Figure 12), and Pearson correlation
+//! (Figure 19).
+
+/// Arithmetic mean; 0 for an empty slice.
+#[must_use]
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Maximum; 0 for an empty slice.
+#[must_use]
+pub fn max(values: &[f64]) -> f64 {
+    values.iter().copied().fold(0.0, f64::max)
+}
+
+/// Sample standard deviation (n − 1 denominator); 0 for fewer than two
+/// samples.
+#[must_use]
+pub fn stddev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var =
+        values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Pearson correlation coefficient of paired samples; `NaN` when either
+/// side has zero variance or the slices are empty/mismatched.
+#[must_use]
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return f64::NAN;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    sxy / (sxx.sqrt() * syy.sqrt())
+}
+
+/// Least-squares slope and intercept for the best-fit lines of Figure 19.
+#[must_use]
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64) {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return (f64::NAN, f64::NAN);
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+    }
+    let slope = sxy / sxx;
+    (slope, my - slope * mx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_moments() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&v), 2.5);
+        assert_eq!(max(&v), 4.0);
+        assert!((stddev(&v) - 1.2909944487358056).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(stddev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn pearson_perfect_and_inverse() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+        let z = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&x, &z) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate() {
+        assert!(pearson(&[1.0, 2.0], &[1.0]).is_nan());
+        assert!(pearson(&[1.0, 1.0], &[1.0, 2.0]).is_nan());
+    }
+
+    #[test]
+    fn fit_recovers_line() {
+        let x = [0.0, 1.0, 2.0, 3.0];
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v + 0.5).collect();
+        let (slope, intercept) = linear_fit(&x, &y);
+        assert!((slope - 3.0).abs() < 1e-12);
+        assert!((intercept - 0.5).abs() < 1e-12);
+    }
+}

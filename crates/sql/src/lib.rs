@@ -1,0 +1,28 @@
+//! # fw-sql — the declarative frontend
+//!
+//! Parses the ASA-flavored SQL dialect of the paper's Figure 1(a) into a
+//! [`fw_core::WindowQuery`] the cost-based optimizer consumes. The paper's
+//! optimization is *query rewriting*, so any engine with a SQL-like
+//! frontend can adopt it — this crate is the reproduction's stand-in for
+//! the ASA compiler.
+//!
+//! ```
+//! let sql = "SELECT DeviceID, MIN(T) AS MinTemp \
+//!            FROM Input TIMESTAMP BY EntryTime \
+//!            GROUP BY DeviceID, Windows( \
+//!                Window('20 min', TumblingWindow(minute, 20)), \
+//!                Window('40 min', TumblingWindow(minute, 40)))";
+//! let parsed = fw_sql::parse_query(sql).unwrap();
+//! let query = parsed.to_window_query().unwrap();
+//! let outcome = fw_core::Optimizer::default().optimize(&query).unwrap();
+//! assert!(outcome.rewritten.cost < outcome.original.cost);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod parser;
+pub mod token;
+
+pub use parser::{parse_query, ParsedQuery, TimeUnit};
+pub use token::{tokenize, ParseError, Spanned, Token};

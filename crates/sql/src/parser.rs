@@ -1,0 +1,508 @@
+//! Recursive-descent parser for the ASA-flavored dialect:
+//!
+//! ```sql
+//! SELECT DeviceID, System.Window().Id, MIN(T) AS MinTemp
+//! FROM Input TIMESTAMP BY EntryTime
+//! GROUP BY DeviceID, Windows(
+//!     Window('20 min', TumblingWindow(minute, 20)),
+//!     Window('30 min', HoppingWindow(minute, 30, 10)))
+//! ```
+
+use crate::token::{tokenize, ParseError, Spanned, Token};
+use fw_core::{AggregateFunction, Window};
+
+/// Time units accepted in window specifications, normalized to seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeUnit {
+    /// 1 second.
+    Second,
+    /// 60 seconds.
+    Minute,
+    /// 3600 seconds.
+    Hour,
+    /// 86400 seconds.
+    Day,
+}
+
+impl TimeUnit {
+    /// Seconds per unit.
+    #[must_use]
+    pub fn seconds(&self) -> u64 {
+        match self {
+            TimeUnit::Second => 1,
+            TimeUnit::Minute => 60,
+            TimeUnit::Hour => 3600,
+            TimeUnit::Day => 86_400,
+        }
+    }
+
+    fn parse(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "second" | "seconds" => Some(TimeUnit::Second),
+            "minute" | "minutes" => Some(TimeUnit::Minute),
+            "hour" | "hours" => Some(TimeUnit::Hour),
+            "day" | "days" => Some(TimeUnit::Day),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed multi-window aggregate query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedQuery {
+    /// Stream name in `FROM`.
+    pub source: String,
+    /// Column named in `TIMESTAMP BY`, if present.
+    pub timestamp_column: Option<String>,
+    /// Grouping key column (first plain identifier in `GROUP BY`).
+    pub key_column: String,
+    /// The aggregate function.
+    pub aggregate: AggregateFunction,
+    /// The aggregated column (`*` for `COUNT(*)`).
+    pub value_column: String,
+    /// `AS` alias of the aggregate, if present.
+    pub alias: Option<String>,
+    /// Non-aggregate projection expressions (kept verbatim).
+    pub projections: Vec<String>,
+    /// Labeled windows, normalized to seconds.
+    pub windows: Vec<(String, Window)>,
+}
+
+impl ParsedQuery {
+    /// Converts to the optimizer's query type, carrying labels along.
+    pub fn to_window_query(&self) -> fw_core::Result<fw_core::WindowQuery> {
+        let windows = fw_core::WindowSet::new(self.windows.iter().map(|(_, w)| *w).collect())?;
+        let labels = self.windows.iter().map(|(l, w)| (*w, l.clone())).collect();
+        Ok(fw_core::WindowQuery::new(windows, self.aggregate).with_labels(labels))
+    }
+}
+
+/// Parses a query; errors carry byte offsets renderable with
+/// [`ParseError::render`].
+pub fn parse_query(source: &str) -> Result<ParsedQuery, ParseError> {
+    let tokens = tokenize(source)?;
+    Parser { tokens, pos: 0 }.parse()
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn parse(mut self) -> Result<ParsedQuery, ParseError> {
+        self.expect_keyword("SELECT")?;
+        let mut aggregate: Option<(AggregateFunction, String, Option<String>)> = None;
+        let mut projections = Vec::new();
+        loop {
+            if let Some(f) = self.peek_aggregate() {
+                let offset = self.here().offset;
+                if aggregate.is_some() {
+                    return Err(self.error_at(offset, "only one aggregate function is supported"));
+                }
+                self.advance(); // function name
+                self.expect(&Token::LParen)?;
+                let column = match self.here().token.clone() {
+                    Token::Star => {
+                        self.advance();
+                        "*".to_string()
+                    }
+                    Token::Ident(_) => self.parse_path()?,
+                    other => {
+                        return Err(self.error_here(&format!(
+                            "expected a column or `*` inside {}(), found {other}",
+                            f.name()
+                        )))
+                    }
+                };
+                self.expect(&Token::RParen)?;
+                let alias = if self.eat_keyword("AS") { Some(self.expect_ident()?) } else { None };
+                aggregate = Some((f, column, alias));
+            } else {
+                projections.push(self.parse_path()?);
+                if self.eat_keyword("AS") {
+                    let _ = self.expect_ident()?;
+                }
+            }
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        let (aggregate, value_column, alias) = aggregate.ok_or_else(|| {
+            self.error_here("the SELECT list must contain an aggregate function")
+        })?;
+
+        self.expect_keyword("FROM")?;
+        let source_name = self.expect_ident()?;
+        let timestamp_column = if self.eat_keyword("TIMESTAMP") {
+            self.expect_keyword("BY")?;
+            Some(self.expect_ident()?)
+        } else {
+            None
+        };
+
+        self.expect_keyword("GROUP")?;
+        self.expect_keyword("BY")?;
+        let mut key_column: Option<String> = None;
+        let mut windows: Option<Vec<(String, Window)>> = None;
+        loop {
+            if self.peek_keyword("Windows") {
+                let offset = self.here().offset;
+                if windows.is_some() {
+                    return Err(self.error_at(offset, "duplicate Windows(...) clause"));
+                }
+                windows = Some(self.parse_windows_clause()?);
+            } else {
+                let col = self.expect_ident()?;
+                if key_column.is_none() {
+                    key_column = Some(col);
+                }
+            }
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(&Token::Eof)?;
+
+        let windows = windows
+            .ok_or_else(|| self.error_here("GROUP BY must contain a Windows(...) clause"))?;
+        let key_column = key_column
+            .ok_or_else(|| self.error_here("GROUP BY must name a grouping key column"))?;
+        Ok(ParsedQuery {
+            source: source_name,
+            timestamp_column,
+            key_column,
+            aggregate,
+            value_column,
+            alias,
+            projections,
+            windows,
+        })
+    }
+
+    fn parse_windows_clause(&mut self) -> Result<Vec<(String, Window)>, ParseError> {
+        self.expect_keyword("Windows")?;
+        self.expect(&Token::LParen)?;
+        let mut out: Vec<(String, Window)> = Vec::new();
+        loop {
+            let (label, window, offset) = self.parse_window_def()?;
+            if out.iter().any(|(l, _)| *l == label) {
+                return Err(self.error_at(offset, &format!("duplicate window label '{label}'")));
+            }
+            if out.iter().any(|(_, w)| *w == window) {
+                return Err(self.error_at(offset, &format!("duplicate window {window}")));
+            }
+            out.push((label, window));
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(&Token::RParen)?;
+        Ok(out)
+    }
+
+    fn parse_window_def(&mut self) -> Result<(String, Window, usize), ParseError> {
+        let offset = self.here().offset;
+        self.expect_keyword("Window")?;
+        self.expect(&Token::LParen)?;
+        let label = match self.here().token.clone() {
+            Token::Str(s) => {
+                self.advance();
+                s
+            }
+            other => {
+                return Err(self.error_here(&format!("expected a window label string, found {other}")))
+            }
+        };
+        self.expect(&Token::Comma)?;
+        let kind = self.expect_ident()?;
+        self.expect(&Token::LParen)?;
+        let unit_name = self.expect_ident()?;
+        let unit_offset = self.tokens[self.pos - 1].offset;
+        let unit = TimeUnit::parse(&unit_name)
+            .ok_or_else(|| self.error_at(unit_offset, &format!("unknown time unit `{unit_name}`")))?;
+        let window = match kind.to_ascii_lowercase().as_str() {
+            "tumblingwindow" => {
+                self.expect(&Token::Comma)?;
+                let (size, size_offset) = self.expect_number()?;
+                Window::tumbling(size * unit.seconds())
+                    .map_err(|e| self.error_at(size_offset, &e.to_string()))?
+            }
+            // ASA names the same construct HoppingWindow; SlidingWindow is
+            // accepted as the common synonym.
+            "hoppingwindow" | "slidingwindow" => {
+                self.expect(&Token::Comma)?;
+                let (range, range_offset) = self.expect_number()?;
+                self.expect(&Token::Comma)?;
+                let (slide, _) = self.expect_number()?;
+                Window::new(range * unit.seconds(), slide * unit.seconds())
+                    .map_err(|e| self.error_at(range_offset, &e.to_string()))?
+            }
+            other => {
+                return Err(self.error_at(
+                    offset,
+                    &format!("unknown window type `{other}` (expected TumblingWindow or HoppingWindow)"),
+                ))
+            }
+        };
+        self.expect(&Token::RParen)?;
+        self.expect(&Token::RParen)?;
+        Ok((label, window, offset))
+    }
+
+    /// Parses a dotted path expression, e.g. `DeviceID` or `System.Window().Id`.
+    fn parse_path(&mut self) -> Result<String, ParseError> {
+        let mut path = self.expect_ident()?;
+        loop {
+            if self.eat(&Token::Dot) {
+                path.push('.');
+                path.push_str(&self.expect_ident()?);
+            } else if self.here().token == Token::LParen {
+                self.advance();
+                self.expect(&Token::RParen)?;
+                path.push_str("()");
+            } else {
+                break;
+            }
+        }
+        Ok(path)
+    }
+
+    fn peek_aggregate(&self) -> Option<AggregateFunction> {
+        if let Token::Ident(name) = &self.here().token {
+            if self.tokens.get(self.pos + 1).map(|s| &s.token) == Some(&Token::LParen) {
+                return AggregateFunction::parse(name);
+            }
+        }
+        None
+    }
+
+    fn here(&self) -> &Spanned {
+        &self.tokens[self.pos]
+    }
+
+    fn advance(&mut self) {
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, token: &Token) -> bool {
+        if &self.here().token == token {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, token: &Token) -> Result<(), ParseError> {
+        if self.eat(token) {
+            Ok(())
+        } else {
+            Err(self.error_here(&format!("expected {token}, found {}", self.here().token)))
+        }
+    }
+
+    fn peek_keyword(&self, keyword: &str) -> bool {
+        matches!(&self.here().token, Token::Ident(s) if s.eq_ignore_ascii_case(keyword))
+    }
+
+    fn eat_keyword(&mut self, keyword: &str) -> bool {
+        if self.peek_keyword(keyword) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, keyword: &str) -> Result<(), ParseError> {
+        if self.eat_keyword(keyword) {
+            Ok(())
+        } else {
+            Err(self.error_here(&format!("expected `{keyword}`, found {}", self.here().token)))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.here().token.clone() {
+            Token::Ident(s) => {
+                self.advance();
+                Ok(s)
+            }
+            other => Err(self.error_here(&format!("expected an identifier, found {other}"))),
+        }
+    }
+
+    fn expect_number(&mut self) -> Result<(u64, usize), ParseError> {
+        match self.here().token {
+            Token::Number(n) => {
+                let offset = self.here().offset;
+                self.advance();
+                Ok((n, offset))
+            }
+            ref other => Err(self.error_here(&format!("expected a number, found {other}"))),
+        }
+    }
+
+    fn error_here(&self, message: &str) -> ParseError {
+        self.error_at(self.here().offset, message)
+    }
+
+    fn error_at(&self, offset: usize, message: &str) -> ParseError {
+        ParseError { message: message.to_string(), offset }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIGURE_1A: &str = "SELECT DeviceID, System.Window().Id, MIN(T) AS MinTemp \
+         FROM Input TIMESTAMP BY EntryTime \
+         GROUP BY DeviceID, Windows( \
+             Window('20 min', TumblingWindow(minute, 20)), \
+             Window('30 min', TumblingWindow(minute, 30)), \
+             Window('40 min', TumblingWindow(minute, 40)))";
+
+    #[test]
+    fn parses_figure_1a() {
+        let q = parse_query(FIGURE_1A).unwrap();
+        assert_eq!(q.source, "Input");
+        assert_eq!(q.timestamp_column.as_deref(), Some("EntryTime"));
+        assert_eq!(q.key_column, "DeviceID");
+        assert_eq!(q.aggregate, AggregateFunction::Min);
+        assert_eq!(q.value_column, "T");
+        assert_eq!(q.alias.as_deref(), Some("MinTemp"));
+        assert_eq!(q.projections, vec!["DeviceID".to_string(), "System.Window().Id".to_string()]);
+        assert_eq!(q.windows.len(), 3);
+        assert_eq!(q.windows[0].0, "20 min");
+        assert_eq!(q.windows[0].1, Window::tumbling(1200).unwrap());
+        assert_eq!(q.windows[2].1, Window::tumbling(2400).unwrap());
+    }
+
+    #[test]
+    fn converts_to_window_query() {
+        let q = parse_query(FIGURE_1A).unwrap();
+        let wq = q.to_window_query().unwrap();
+        assert_eq!(wq.windows().len(), 3);
+        assert_eq!(wq.function(), AggregateFunction::Min);
+        assert_eq!(wq.label_of(&Window::tumbling(1200).unwrap()), "20 min");
+    }
+
+    #[test]
+    fn hopping_windows_and_units() {
+        let q = parse_query(
+            "SELECT k, SUM(v) FROM S GROUP BY k, Windows(\
+                Window('h', HoppingWindow(second, 30, 10)),\
+                Window('t', TumblingWindow(hour, 2)))",
+        )
+        .unwrap();
+        assert_eq!(q.windows[0].1, Window::new(30, 10).unwrap());
+        assert_eq!(q.windows[1].1, Window::tumbling(7200).unwrap());
+    }
+
+    #[test]
+    fn sliding_window_is_a_hopping_alias() {
+        let q = parse_query(
+            "SELECT k, MIN(v) FROM S GROUP BY k, Windows(\
+                Window('w', SlidingWindow(second, 30, 10)))",
+        )
+        .unwrap();
+        assert_eq!(q.windows[0].1, Window::new(30, 10).unwrap());
+    }
+
+    #[test]
+    fn count_star() {
+        let q =
+            parse_query("SELECT k, COUNT(*) FROM S GROUP BY k, Windows(Window('w', TumblingWindow(second, 5)))")
+                .unwrap();
+        assert_eq!(q.aggregate, AggregateFunction::Count);
+        assert_eq!(q.value_column, "*");
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let q = parse_query(
+            "select k, min(v) from s group by k, windows(window('w', tumblingwindow(minute, 5)))",
+        )
+        .unwrap();
+        assert_eq!(q.aggregate, AggregateFunction::Min);
+        assert_eq!(q.windows[0].1, Window::tumbling(300).unwrap());
+    }
+
+    #[test]
+    fn missing_aggregate_is_an_error() {
+        let err = parse_query("SELECT k FROM S GROUP BY k, Windows(Window('w', TumblingWindow(minute, 5)))")
+            .unwrap_err();
+        assert!(err.message.contains("aggregate"), "{}", err.message);
+    }
+
+    #[test]
+    fn duplicate_labels_and_windows_are_errors() {
+        let err = parse_query(
+            "SELECT k, MIN(v) FROM S GROUP BY k, Windows(\
+                Window('a', TumblingWindow(minute, 5)),\
+                Window('a', TumblingWindow(minute, 10)))",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("duplicate window label"), "{}", err.message);
+        let err = parse_query(
+            "SELECT k, MIN(v) FROM S GROUP BY k, Windows(\
+                Window('a', TumblingWindow(minute, 5)),\
+                Window('b', TumblingWindow(minute, 5)))",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("duplicate window"), "{}", err.message);
+    }
+
+    #[test]
+    fn invalid_window_parameters_surface_core_errors() {
+        let err = parse_query(
+            "SELECT k, MIN(v) FROM S GROUP BY k, Windows(Window('w', HoppingWindow(minute, 10, 4)))",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("multiple of slide"), "{}", err.message);
+    }
+
+    #[test]
+    fn unknown_window_type() {
+        let err = parse_query(
+            "SELECT k, MIN(v) FROM S GROUP BY k, Windows(Window('w', SessionWindow(minute, 5)))",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("unknown window type"), "{}", err.message);
+    }
+
+    #[test]
+    fn unknown_unit_points_at_unit() {
+        let src = "SELECT k, MIN(v) FROM S GROUP BY k, Windows(Window('w', TumblingWindow(fortnight, 5)))";
+        let err = parse_query(src).unwrap_err();
+        assert!(err.message.contains("unknown time unit"), "{}", err.message);
+        assert_eq!(&src[err.offset..err.offset + 9], "fortnight");
+    }
+
+    #[test]
+    fn two_aggregates_rejected() {
+        let err = parse_query(
+            "SELECT MIN(v), MAX(v) FROM S GROUP BY k, Windows(Window('w', TumblingWindow(minute, 5)))",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("only one aggregate"), "{}", err.message);
+    }
+
+    #[test]
+    fn missing_windows_clause() {
+        let err = parse_query("SELECT k, MIN(v) FROM S GROUP BY k").unwrap_err();
+        assert!(err.message.contains("Windows"), "{}", err.message);
+    }
+
+    #[test]
+    fn error_positions_render() {
+        let src = "SELECT k, MIN(v) FROM S GROUP BY k, Windows(Window('w', TumblingWindow(minute 5)))";
+        let err = parse_query(src).unwrap_err();
+        let rendered = err.render(src);
+        assert!(rendered.contains("expected `,`"), "{rendered}");
+    }
+}

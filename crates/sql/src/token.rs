@@ -1,0 +1,265 @@
+//! Lexer for the ASA-flavored query dialect of Figure 1(a).
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier or keyword (keywords are case-insensitive identifiers).
+    Ident(String),
+    /// Single-quoted string literal, quotes stripped.
+    Str(String),
+    /// Unsigned integer literal.
+    Number(u64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "identifier `{s}`"),
+            Token::Str(s) => write!(f, "string '{s}'"),
+            Token::Number(n) => write!(f, "number {n}"),
+            Token::LParen => write!(f, "`(`"),
+            Token::RParen => write!(f, "`)`"),
+            Token::Comma => write!(f, "`,`"),
+            Token::Dot => write!(f, "`.`"),
+            Token::Star => write!(f, "`*`"),
+            Token::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token plus its byte offset in the source (for error reporting).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Byte offset of the token's first character.
+    pub offset: usize,
+}
+
+/// A lexing/parsing error with source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable message.
+    pub message: String,
+    /// Byte offset in the source text.
+    pub offset: usize,
+}
+
+impl ParseError {
+    /// Renders the error with a line/column locator and a caret.
+    #[must_use]
+    pub fn render(&self, source: &str) -> String {
+        let upto = &source[..self.offset.min(source.len())];
+        let line_no = upto.matches('\n').count() + 1;
+        let line_start = upto.rfind('\n').map_or(0, |i| i + 1);
+        let col = self.offset.saturating_sub(line_start) + 1;
+        let line_end =
+            source[line_start..].find('\n').map_or(source.len(), |i| line_start + i);
+        let line = &source[line_start..line_end];
+        format!(
+            "error at line {line_no}, column {col}: {}\n  | {line}\n  | {:>width$}",
+            self.message,
+            "^",
+            width = col
+        )
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (at byte {})", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Tokenizes `source`; the final element is always [`Token::Eof`].
+pub fn tokenize(source: &str) -> Result<Vec<Spanned>, ParseError> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '(' => {
+                tokens.push(Spanned { token: Token::LParen, offset: i });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Spanned { token: Token::RParen, offset: i });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Spanned { token: Token::Comma, offset: i });
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Spanned { token: Token::Dot, offset: i });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Spanned { token: Token::Star, offset: i });
+                i += 1;
+            }
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                // SQL line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(ParseError {
+                                message: "unterminated string literal".to_string(),
+                                offset: start,
+                            })
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Spanned { token: Token::Str(s), offset: start });
+            }
+            '0'..='9' => {
+                let start = i;
+                let mut value: u64 = 0;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    value = value
+                        .checked_mul(10)
+                        .and_then(|v| v.checked_add(u64::from(bytes[i] - b'0')))
+                        .ok_or_else(|| ParseError {
+                            message: "integer literal overflows u64".to_string(),
+                            offset: start,
+                        })?;
+                    i += 1;
+                }
+                tokens.push(Spanned { token: Token::Number(value), offset: start });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Spanned {
+                    token: Token::Ident(source[start..i].to_string()),
+                    offset: start,
+                });
+            }
+            other => {
+                return Err(ParseError {
+                    message: format!("unexpected character `{other}`"),
+                    offset: i,
+                })
+            }
+        }
+    }
+    tokens.push(Spanned { token: Token::Eof, offset: source.len() });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Token> {
+        tokenize(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("MIN(T), 'x y'"),
+            vec![
+                Token::Ident("MIN".to_string()),
+                Token::LParen,
+                Token::Ident("T".to_string()),
+                Token::RParen,
+                Token::Comma,
+                Token::Str("x y".to_string()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_paths() {
+        assert_eq!(
+            kinds("System.Window().Id 42"),
+            vec![
+                Token::Ident("System".to_string()),
+                Token::Dot,
+                Token::Ident("Window".to_string()),
+                Token::LParen,
+                Token::RParen,
+                Token::Dot,
+                Token::Ident("Id".to_string()),
+                Token::Number(42),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("a -- comment, with ( tokens\nb"),
+            vec![Token::Ident("a".to_string()), Token::Ident("b".to_string()), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors_at_open_quote() {
+        let err = tokenize("abc 'oops").unwrap_err();
+        assert_eq!(err.offset, 4);
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn unexpected_character() {
+        let err = tokenize("a ; b").unwrap_err();
+        assert_eq!(err.offset, 2);
+    }
+
+    #[test]
+    fn overflowing_number() {
+        let err = tokenize("99999999999999999999999999").unwrap_err();
+        assert!(err.message.contains("overflows"));
+    }
+
+    #[test]
+    fn error_rendering_points_at_offset() {
+        let src = "SELECT x\nFROM ; y";
+        let err = tokenize(src).unwrap_err();
+        let rendered = err.render(src);
+        assert!(rendered.contains("line 2, column 6"), "{rendered}");
+        assert!(rendered.ends_with('^'), "{rendered}");
+    }
+}

@@ -1,0 +1,17 @@
+//! # fw-workload — datasets and window-set generators for the evaluation
+//!
+//! Implements Section V-A of the paper: the RandomGen (Algorithm 6) and
+//! SequentialGen window-set generators, constant-pace synthetic streams
+//! (Synthetic-1M / Synthetic-10M), and a DEBS-2012-like manufacturing
+//! sensor stream substituting for Real-32M (see DESIGN.md §5).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod debs;
+pub mod synthetic;
+pub mod window_sets;
+
+pub use debs::{debs_stream, DebsConfig};
+pub use synthetic::{synthetic_stream, SyntheticConfig};
+pub use window_sets::{generate_runs, generate_window_set, GenConfig, Generator, WindowShape};

@@ -1,0 +1,262 @@
+//! Window-set generators from Section V-A3: RandomGen (Algorithm 6) and
+//! SequentialGen.
+//!
+//! Paper parameters: "seed" slides `S = {5, 10, 20}` (hopping), "seed"
+//! ranges `R = {2, 5, 10}` (tumbling), multipliers `k_s = k_r = 50`, and
+//! window-set sizes `N ∈ {5, 10, 15, 20}`. Ten sets are generated per
+//! configuration; we derive per-set RNG seeds deterministically so every
+//! experiment is reproducible.
+
+use fw_core::{Window, WindowSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Whether a generated set contains tumbling or hopping windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WindowShape {
+    /// `s = r`; evaluated under partitioned-by semantics in the paper.
+    Tumbling,
+    /// `r = 2s`; evaluated under covered-by semantics in the paper.
+    Hopping,
+}
+
+impl WindowShape {
+    /// Short name used in experiment labels.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            WindowShape::Tumbling => "tumbling",
+            WindowShape::Hopping => "hopping",
+        }
+    }
+}
+
+/// Which generator produced a set ("R" and "S" in Tables I–IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Generator {
+    /// Algorithm 6: fully random ranges/slides.
+    RandomGen,
+    /// Sequential multiples of one seed: the correlated pattern common in
+    /// production dashboards (Figure 1).
+    SequentialGen,
+}
+
+impl Generator {
+    /// Short name used in experiment labels ("R" / "S").
+    #[must_use]
+    pub fn short(&self) -> &'static str {
+        match self {
+            Generator::RandomGen => "R",
+            Generator::SequentialGen => "S",
+        }
+    }
+}
+
+/// Generator configuration (paper defaults via [`Default`]).
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Seed slides for hopping windows (paper: {5, 10, 20}).
+    pub seed_slides: Vec<u64>,
+    /// Seed ranges for tumbling windows (paper: {2, 5, 10}).
+    pub seed_ranges: Vec<u64>,
+    /// Multiplier bound `k_s = k_r` (paper: 50).
+    pub multiplier: u64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig { seed_slides: vec![5, 10, 20], seed_ranges: vec![2, 5, 10], multiplier: 50 }
+    }
+}
+
+/// Generates one window set.
+///
+/// RandomGen follows Algorithm 6: tumbling windows pick a seed range `r0`
+/// and then `r` uniformly from `{2·r0, …, k_r·r0}`; hopping windows pick a
+/// seed slide `s0`, `s` uniformly from `{2·s0, …, k_s·s0}`, and `r = 2s`.
+/// SequentialGen instead walks the multiples `2·x0, 3·x0, …` in order.
+/// Duplicates are regenerated (window sets are duplicate-free).
+#[must_use]
+pub fn generate_window_set(
+    generator: Generator,
+    shape: WindowShape,
+    size: usize,
+    config: &GenConfig,
+    seed: u64,
+) -> WindowSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut windows: Vec<Window> = Vec::with_capacity(size);
+    match generator {
+        Generator::RandomGen => {
+            while windows.len() < size {
+                let w = match shape {
+                    WindowShape::Tumbling => {
+                        let r0 = config.seed_ranges[rng.gen_range(0..config.seed_ranges.len())];
+                        let k = rng.gen_range(2..=config.multiplier);
+                        Window::tumbling(k * r0).expect("positive range")
+                    }
+                    WindowShape::Hopping => {
+                        let s0 = config.seed_slides[rng.gen_range(0..config.seed_slides.len())];
+                        let k = rng.gen_range(2..=config.multiplier);
+                        let s = k * s0;
+                        Window::hopping(2 * s, s).expect("r = 2s > s")
+                    }
+                };
+                if !windows.contains(&w) {
+                    windows.push(w);
+                }
+            }
+        }
+        Generator::SequentialGen => {
+            let x0 = match shape {
+                WindowShape::Tumbling => {
+                    config.seed_ranges[rng.gen_range(0..config.seed_ranges.len())]
+                }
+                WindowShape::Hopping => {
+                    config.seed_slides[rng.gen_range(0..config.seed_slides.len())]
+                }
+            };
+            for i in 0..size as u64 {
+                let x = (i + 2) * x0; // 2·x0, 3·x0, ...
+                let w = match shape {
+                    WindowShape::Tumbling => Window::tumbling(x).expect("positive range"),
+                    WindowShape::Hopping => Window::hopping(2 * x, x).expect("r = 2s > s"),
+                };
+                windows.push(w);
+            }
+        }
+    }
+    WindowSet::new(windows).expect("non-empty, deduplicated set")
+}
+
+/// The ten window sets of one experimental configuration, with seeds
+/// derived from the configuration so runs are reproducible.
+#[must_use]
+pub fn generate_runs(
+    generator: Generator,
+    shape: WindowShape,
+    size: usize,
+    config: &GenConfig,
+    runs: usize,
+) -> Vec<WindowSet> {
+    (0..runs as u64)
+        .map(|run| {
+            // Stable per-configuration seed: mix the label parameters.
+            let seed = (0x5DEECE66D ^ ((size as u64) << 32))
+                | ((run + 1) * 0x9E3779B9)
+                | match (generator, shape) {
+                    (Generator::RandomGen, WindowShape::Tumbling) => 0x1000_0000,
+                    (Generator::RandomGen, WindowShape::Hopping) => 0x2000_0000,
+                    (Generator::SequentialGen, WindowShape::Tumbling) => 0x3000_0000,
+                    (Generator::SequentialGen, WindowShape::Hopping) => 0x4000_0000,
+                };
+            generate_window_set(generator, shape, size, config, seed)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_tumbling_sets_respect_algorithm6() {
+        let config = GenConfig::default();
+        for seed in 0..20 {
+            let ws = generate_window_set(
+                Generator::RandomGen,
+                WindowShape::Tumbling,
+                5,
+                &config,
+                seed,
+            );
+            assert_eq!(ws.len(), 5);
+            for w in ws.iter() {
+                assert!(w.is_tumbling());
+                // r = k·r0 with r0 ∈ {2,5,10}, k ∈ [2,50] ⇒ 4 ≤ r ≤ 500 and
+                // r is a multiple of some seed with multiplier ≥ 2.
+                assert!(w.range() >= 4 && w.range() <= 500, "{w}");
+                assert!(
+                    [2u64, 5, 10].iter().any(|r0| w.range() % r0 == 0 && w.range() / r0 >= 2),
+                    "{w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_hopping_sets_have_r_equal_2s() {
+        let config = GenConfig::default();
+        for seed in 0..20 {
+            let ws =
+                generate_window_set(Generator::RandomGen, WindowShape::Hopping, 5, &config, seed);
+            for w in ws.iter() {
+                assert_eq!(w.range(), 2 * w.slide(), "{w}");
+                assert!(w.slide() >= 10 && w.slide() <= 1000, "{w}");
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_tumbling_walks_multiples() {
+        let config = GenConfig::default();
+        let ws = generate_window_set(
+            Generator::SequentialGen,
+            WindowShape::Tumbling,
+            5,
+            &config,
+            7,
+        );
+        let ranges: Vec<u64> = ws.iter().map(Window::range).collect();
+        let r0 = ranges[0] / 2;
+        assert!([2u64, 5, 10].contains(&r0), "seed {r0}");
+        let expect: Vec<u64> = (2..7).map(|k| k * r0).collect();
+        assert_eq!(ranges, expect);
+    }
+
+    #[test]
+    fn sequential_sets_chain_under_coverage() {
+        // 2r0 covers 4r0 and 6r0, etc: the sequential pattern is exactly
+        // what factor windows exploit (Figure 1's motivation).
+        let config = GenConfig::default();
+        let ws = generate_window_set(
+            Generator::SequentialGen,
+            WindowShape::Tumbling,
+            10,
+            &config,
+            3,
+        );
+        // Multiples 2r0..11r0: divisible pairs (4,2),(6,2),(8,2),(10,2),
+        // (6,3),(9,3),(8,4),(10,5) — exactly 8.
+        let covered_pairs = ws
+            .iter()
+            .flat_map(|a| ws.iter().map(move |b| (a, b)))
+            .filter(|(a, b)| fw_core::coverage::is_strictly_covered_by(a, b))
+            .count();
+        assert_eq!(covered_pairs, 8);
+    }
+
+    #[test]
+    fn runs_are_deterministic_and_distinct() {
+        let config = GenConfig::default();
+        let a = generate_runs(Generator::RandomGen, WindowShape::Tumbling, 5, &config, 10);
+        let b = generate_runs(Generator::RandomGen, WindowShape::Tumbling, 5, &config, 10);
+        assert_eq!(a.len(), 10);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x, y);
+        }
+        // At least some of the ten sets differ from each other.
+        let distinct: std::collections::HashSet<String> =
+            a.iter().map(|ws| ws.to_string()).collect();
+        assert!(distinct.len() >= 8, "{distinct:?}");
+    }
+
+    #[test]
+    fn large_sets_generate_without_duplicates() {
+        let config = GenConfig::default();
+        for shape in [WindowShape::Tumbling, WindowShape::Hopping] {
+            let ws = generate_window_set(Generator::RandomGen, shape, 20, &config, 42);
+            assert_eq!(ws.len(), 20);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # factor-windows — umbrella crate
+//!
+//! Re-exports the full Factor Windows reproduction workspace:
+//!
+//! * [`core`] (`fw-core`) — the paper's optimizer: window coverage graphs,
+//!   the cost model, Algorithms 1–5, factor windows, and query rewriting.
+//! * [`engine`] (`fw-engine`) — a Trill-like single-core streaming engine
+//!   that executes the plans.
+//! * [`sql`] (`fw-sql`) — the ASA-flavored declarative frontend.
+//! * [`slicing`] (`fw-slicing`) — a Scotty-style general stream slicing
+//!   baseline.
+//! * [`workload`] (`fw-workload`) — window-set generators and datasets.
+//! * [`harness`] (`fw-harness`) — the experiment harness regenerating every
+//!   table and figure of the paper's evaluation.
+//!
+//! See the repository README for a quickstart and `DESIGN.md` for the
+//! system inventory.
+
+pub use fw_core as core;
+pub use fw_engine as engine;
+pub use fw_harness as harness;
+pub use fw_slicing as slicing;
+pub use fw_sql as sql;
+pub use fw_workload as workload;
+
+pub use fw_core::prelude;

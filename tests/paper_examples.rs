@@ -1,0 +1,146 @@
+//! End-to-end checks of the paper's worked examples through the public
+//! API: Examples 1, 6, 7, 8, and the plan shapes of Figure 2.
+
+use factor_windows::prelude::*;
+use fw_core::{NodeKind, Wcg};
+
+fn w(r: u64, s: u64) -> Window {
+    Window::new(r, s).unwrap()
+}
+
+fn tumbling_query(ranges: &[u64], f: AggregateFunction) -> WindowQuery {
+    let windows =
+        WindowSet::new(ranges.iter().map(|&r| Window::tumbling(r).unwrap()).collect()).unwrap();
+    WindowQuery::new(windows, f)
+}
+
+#[test]
+fn example6_costs_480_to_150() {
+    // Four tumbling windows 10/20/30/40: baseline 4ηR = 480, min-cost 150
+    // (a 62.5% reduction).
+    let query = tumbling_query(&[10, 20, 30, 40], AggregateFunction::Min);
+    let outcome = Optimizer::default().optimize_with(&query, Semantics::PartitionedBy).unwrap();
+    assert_eq!(outcome.original.cost, 480);
+    assert_eq!(outcome.rewritten.cost, 150);
+    // W(10,10) is already a user window; no factor window improves further.
+    assert_eq!(outcome.factored.cost, 150);
+    assert_eq!(outcome.factored.plan.factor_window_count(), 0);
+}
+
+#[test]
+fn example7_costs_360_246_150() {
+    // Windows 20/30/40: baseline 360, Algorithm 1 gives 246 (31.7% less),
+    // Algorithm 3 inserts W(10,10) and reaches 150 (58.3% less, 39% below
+    // the plan without factor windows).
+    let query = tumbling_query(&[20, 30, 40], AggregateFunction::Min);
+    let outcome = Optimizer::default().optimize_with(&query, Semantics::PartitionedBy).unwrap();
+    assert_eq!(outcome.original.cost, 360);
+    assert_eq!(outcome.rewritten.cost, 246);
+    assert_eq!(outcome.factored.cost, 150);
+    assert_eq!(outcome.factored.plan.factor_window_count(), 1);
+    let factors: Vec<Window> = outcome
+        .factored
+        .plan
+        .window_nodes()
+        .filter(|&i| !outcome.factored.plan.is_exposed(i))
+        .map(|i| *outcome.factored.plan.window_at(i).unwrap())
+        .collect();
+    assert_eq!(factors, vec![w(10, 10)]);
+}
+
+#[test]
+fn example8_best_candidate_is_w10() {
+    // Candidates {W(10,10), W(5,5), W(2,2)} are all beneficial; the finer
+    // two are dependent (they cover W(10,10)) and W(10,10) wins.
+    let best = fw_core::factor::find_best_factor_partitioned(
+        &CostModel::default(),
+        120,
+        &Window::unit(),
+        true,
+        &[w(20, 20), w(30, 30)],
+        &|_| false,
+    )
+    .unwrap();
+    assert_eq!(best, Some(w(10, 10)));
+}
+
+#[test]
+fn figure2_plan_shapes() {
+    let query = tumbling_query(&[20, 30, 40], AggregateFunction::Min);
+    let outcome = Optimizer::default().optimize_with(&query, Semantics::PartitionedBy).unwrap();
+
+    // Figure 2(a): original plan multicasts the input to each aggregate.
+    let original = outcome.original.plan.to_trill_string();
+    assert!(original.starts_with("Input.Multicast(s0 => s0.Tumbling(20)"), "{original}");
+
+    // Figure 2(b)-equivalent rewrite: 40 is fed from 20.
+    let rewritten = outcome.rewritten.plan.to_trill_string();
+    assert!(rewritten.contains("Tumbling(20)"), "{rewritten}");
+    assert!(rewritten.contains(".Multicast(s1 => s1.Union(s1.Tumbling(40)"), "{rewritten}");
+
+    // Figure 2(c): the factor window is the sole root and is not unioned.
+    let factored = outcome.factored.plan.to_trill_string();
+    assert!(factored.starts_with("Input.Tumbling(10).GroupAggregate"), "{factored}");
+    assert!(factored.contains(".Multicast(s1 => s1.Tumbling(20)"), "{factored}");
+    assert!(factored.contains(".Union(s1.Tumbling(30)"), "{factored}");
+}
+
+#[test]
+fn figure7_wcg_structure() {
+    // Figure 7(a): the augmented WCG of {20,30,40} has S → {20, 30} and
+    // 20 → 40.
+    let windows = WindowSet::new(vec![w(20, 20), w(30, 30), w(40, 40)]).unwrap();
+    let wcg = Wcg::build_augmented(&windows, Semantics::PartitionedBy);
+    let root = wcg.root().unwrap();
+    assert_eq!(wcg.node(root).kind, NodeKind::VirtualRoot);
+    let mut fed_by_root: Vec<u64> =
+        wcg.downstream(root).iter().map(|&i| wcg.node(i).window.range()).collect();
+    fed_by_root.sort_unstable();
+    assert_eq!(fed_by_root, vec![20, 30]);
+    let w20 = wcg.find(&w(20, 20)).unwrap();
+    let w40 = wcg.find(&w(40, 40)).unwrap();
+    assert_eq!(wcg.downstream(w20), &[w40]);
+}
+
+#[test]
+fn example1_query_through_sql_frontend() {
+    // Figure 1(a), minutes normalized to seconds.
+    let sql = "SELECT DeviceID, System.Window().Id, MIN(T) AS MinTemp \
+               FROM Input TIMESTAMP BY EntryTime \
+               GROUP BY DeviceID, Windows( \
+                   Window('20 min', TumblingWindow(minute, 20)), \
+                   Window('30 min', TumblingWindow(minute, 30)), \
+                   Window('40 min', TumblingWindow(minute, 40)))";
+    let query = fw_sql::parse_query(sql).unwrap().to_window_query().unwrap();
+    let outcome = Optimizer::default().optimize(&query).unwrap();
+    // Raw costs scale with the time unit (n·η·r, ×60 at seconds
+    // granularity), shared costs n·M do not, so sharing pays off even more
+    // than in the minutes-granularity Example 7: 21600 → 7230 with the
+    // factor window W(600,600) = the '10 min' window of Figure 2(c).
+    assert_eq!(outcome.original.cost, 21_600);
+    assert_eq!(outcome.rewritten.cost, 14_406); // 7200 + 7200 + 6
+    assert_eq!(outcome.factored.cost, 7_230); // 7200 + 12 + 12 + 6
+    let s = outcome.factored.plan.to_trill_string();
+    assert!(s.contains("'20 min'"), "{s}");
+    assert!(s.starts_with("Input.Tumbling(600)"), "{s}");
+}
+
+#[test]
+fn limitations_mutually_prime_ranges() {
+    // Section III-B "Limitations": W(15), W(17), W(19) cannot be improved.
+    let query = tumbling_query(&[15, 17, 19], AggregateFunction::Min);
+    let outcome = Optimizer::default().optimize_with(&query, Semantics::PartitionedBy).unwrap();
+    assert_eq!(outcome.original.cost, outcome.rewritten.cost);
+    assert_eq!(outcome.original.cost, outcome.factored.cost);
+}
+
+#[test]
+fn use_fw_core_via_umbrella_crate() {
+    // The umbrella crate re-exports the workspace under stable names.
+    let windows =
+        factor_windows::core::WindowSet::new(vec![factor_windows::core::Window::tumbling(10)
+            .unwrap()])
+        .unwrap();
+    assert_eq!(windows.len(), 1);
+    let _ = factor_windows::workload::GenConfig::default();
+}

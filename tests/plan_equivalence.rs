@@ -1,0 +1,124 @@
+//! Property-based end-to-end equivalence: for random window sets, aggregate
+//! functions, and streams, the original, rewritten, and factored plans —
+//! and the naive reference evaluator — all produce identical results.
+//!
+//! This is the core soundness property of the whole paper: rewriting may
+//! change *cost*, never *answers*.
+
+use fw_core::prelude::*;
+use fw_engine::{execute_with, reference_results, sorted_results, Event, ExecOptions};
+use proptest::prelude::*;
+
+/// Windows with slide 1..=24 and rate r/s in 1..=5 keep periods small
+/// enough for fast streams while exercising tumbling and hopping shapes.
+fn arb_window() -> impl Strategy<Value = Window> {
+    (1u64..=24, 1u64..=5).prop_map(|(s, k)| Window::new(s * k, s).expect("valid by construction"))
+}
+
+fn arb_window_set() -> impl Strategy<Value = WindowSet> {
+    proptest::collection::vec(arb_window(), 2..=6)
+        .prop_map(|ws| WindowSet::new(ws).expect("non-empty"))
+}
+
+fn arb_function() -> impl Strategy<Value = AggregateFunction> {
+    prop_oneof![
+        Just(AggregateFunction::Min),
+        Just(AggregateFunction::Max),
+        Just(AggregateFunction::Sum),
+        Just(AggregateFunction::Count),
+        Just(AggregateFunction::Avg),
+        Just(AggregateFunction::Median),
+    ]
+}
+
+/// Constant-pace stream with integer-valued readings (SUM/AVG stay exact
+/// in f64) over a couple of keys.
+fn arb_stream() -> impl Strategy<Value = Vec<Event>> {
+    (50u64..400, 1u32..=3, 0u64..1000).prop_map(|(n, keys, salt)| {
+        (0..n)
+            .map(|t| {
+                Event::new(t, (t % u64::from(keys)) as u32, ((t * 31 + salt) % 257) as f64)
+            })
+            .collect()
+    })
+}
+
+fn exec(plan: &fw_core::QueryPlan, events: &[Event]) -> Vec<fw_engine::WindowResult> {
+    let out = execute_with(plan, events, ExecOptions { collect: true, element_work: 0 })
+        .expect("valid plan executes");
+    sorted_results(out.results)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn three_plans_and_oracle_agree(
+        windows in arb_window_set(),
+        function in arb_function(),
+        events in arb_stream(),
+    ) {
+        let query = WindowQuery::new(windows.clone(), function);
+        let outcome = Optimizer::default().optimize(&query).expect("optimizes");
+        let oracle = reference_results(windows.windows(), function, &events);
+
+        prop_assert_eq!(exec(&outcome.original.plan, &events), oracle.clone());
+        prop_assert_eq!(exec(&outcome.rewritten.plan, &events), oracle.clone());
+        prop_assert_eq!(exec(&outcome.factored.plan, &events), oracle);
+    }
+
+    #[test]
+    fn costs_are_monotone(windows in arb_window_set()) {
+        // Algorithm 1 never beats the original; Algorithm 3 never beats
+        // Algorithm 1 (Section IV-C).
+        for semantics in [Semantics::CoveredBy, Semantics::PartitionedBy] {
+            let query = WindowQuery::new(windows.clone(), AggregateFunction::Min);
+            let outcome =
+                Optimizer::default().optimize_with(&query, semantics).expect("optimizes");
+            prop_assert!(outcome.rewritten.cost <= outcome.original.cost);
+            prop_assert!(outcome.factored.cost <= outcome.rewritten.cost);
+        }
+    }
+
+    #[test]
+    fn min_under_both_semantics_agrees(
+        windows in arb_window_set(),
+        events in arb_stream(),
+    ) {
+        // MIN is legal under both relations; results must not depend on
+        // which one the optimizer exploited.
+        let query = WindowQuery::new(windows.clone(), AggregateFunction::Min);
+        let covered =
+            Optimizer::default().optimize_with(&query, Semantics::CoveredBy).expect("optimizes");
+        let partitioned = Optimizer::default()
+            .optimize_with(&query, Semantics::PartitionedBy)
+            .expect("optimizes");
+        prop_assert_eq!(
+            exec(&covered.factored.plan, &events),
+            exec(&partitioned.factored.plan, &events)
+        );
+        // Covered-by explores a superset of sharing opportunities.
+        prop_assert!(covered.rewritten.cost <= partitioned.rewritten.cost);
+    }
+
+    #[test]
+    fn plans_validate_and_render(windows in arb_window_set(), function in arb_function()) {
+        let query = WindowQuery::new(windows, function);
+        let outcome = Optimizer::default().optimize(&query).expect("optimizes");
+        for bundle in [&outcome.original, &outcome.rewritten, &outcome.factored] {
+            prop_assert!(bundle.plan.validate().is_ok(), "{:?}", bundle.plan.validate());
+            // Renderers must not panic and must mention every exposed window.
+            let trill = bundle.plan.to_trill_string();
+            let flink = bundle.plan.to_flink_string();
+            for w in bundle.plan.exposed_windows() {
+                let tag = if w.is_tumbling() {
+                    format!("Tumbling({})", w.range())
+                } else {
+                    format!("Hopping({}, {})", w.range(), w.slide())
+                };
+                prop_assert!(trill.contains(&tag), "{trill} missing {tag}");
+                prop_assert!(flink.contains(&format!("w{}_{}", w.range(), w.slide())), "{flink}");
+            }
+        }
+    }
+}
