@@ -9,33 +9,34 @@
 //!   speedups with the emulation off collapse toward 1, which is why the
 //!   calibrated default exists.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fw_bench::{bench_events, bench_plans, bench_window_set, semantics_for};
+use fw_bench::{bench_events, bench_plans, bench_window_set, report, semantics_for, DEFAULT_ITERS};
 use fw_core::factor::{find_best_factor_covered, find_best_factor_partitioned};
 use fw_core::{CostModel, Semantics, Wcg, Window, WindowQuery, WindowSet};
-use fw_engine::{execute_with, ExecOptions};
+use fw_engine::{PipelineOptions, PlanPipeline};
 use fw_workload::{Generator, WindowShape};
 
-fn wcg_and_algorithm1(c: &mut Criterion) {
-    let mut group = c.benchmark_group("micro/wcg");
+fn wcg_and_algorithm1() {
     for size in [5usize, 10, 20] {
         let windows = bench_window_set(Generator::RandomGen, WindowShape::Tumbling, size);
-        group.bench_with_input(BenchmarkId::new("build", size), &windows, |b, ws| {
-            b.iter(|| Wcg::build_augmented(ws, Semantics::PartitionedBy));
+        report(&format!("micro/wcg/build/{size}"), DEFAULT_ITERS, || {
+            std::hint::black_box(Wcg::build_augmented(&windows, Semantics::PartitionedBy));
         });
         let model = CostModel::default();
         let period = model.period(windows.iter()).expect("period fits");
         let wcg = Wcg::build_augmented(&windows, Semantics::PartitionedBy);
-        group.bench_function(BenchmarkId::new("algorithm1", size), |b| {
-            b.iter(|| {
-                fw_core::min_cost::minimize(wcg.clone(), &model, period).expect("minimizes")
-            });
-        });
+        report(
+            &format!("micro/wcg/algorithm1/{size}"),
+            DEFAULT_ITERS,
+            || {
+                std::hint::black_box(
+                    fw_core::min_cost::minimize(wcg.clone(), &model, period).expect("minimizes"),
+                );
+            },
+        );
     }
-    group.finish();
 }
 
-fn factor_search_ablation(c: &mut Criterion) {
+fn factor_search_ablation() {
     // Same tumbling downstream set; Algorithm 5's divisor-only search vs
     // Algorithm 2's slide×range search (which subsumes it for tumbling
     // inputs but scans a larger space).
@@ -45,75 +46,76 @@ fn factor_search_ablation(c: &mut Criterion) {
         .map(|&r| Window::tumbling(r).expect("valid window"))
         .collect();
     let period = model.period(downstream.iter()).expect("period fits");
-    let mut group = c.benchmark_group("micro/factor_search");
-    group.bench_function("algorithm5_partitioned", |b| {
-        b.iter(|| {
-            find_best_factor_partitioned(
-                &model,
-                period,
-                &Window::unit(),
-                true,
-                &downstream,
-                &|_| false,
-            )
-            .expect("search succeeds")
-        });
-    });
-    group.bench_function("algorithm2_covered", |b| {
-        b.iter(|| {
-            find_best_factor_covered(
-                &model,
-                period,
-                &Window::unit(),
-                true,
-                &downstream,
-                &|_| false,
-            )
-            .expect("search succeeds")
-        });
-    });
-    group.finish();
+    report(
+        "micro/factor_search/algorithm5_partitioned",
+        DEFAULT_ITERS,
+        || {
+            std::hint::black_box(
+                find_best_factor_partitioned(
+                    &model,
+                    period,
+                    &Window::unit(),
+                    true,
+                    &downstream,
+                    &|_| false,
+                )
+                .expect("search succeeds"),
+            );
+        },
+    );
+    report(
+        "micro/factor_search/algorithm2_covered",
+        DEFAULT_ITERS,
+        || {
+            std::hint::black_box(
+                find_best_factor_covered(
+                    &model,
+                    period,
+                    &Window::unit(),
+                    true,
+                    &downstream,
+                    &|_| false,
+                )
+                .expect("search succeeds"),
+            );
+        },
+    );
 }
 
-fn element_work_ablation(c: &mut Criterion) {
+fn element_work_ablation() {
     let events = bench_events(50_000, 1);
     let windows = bench_window_set(Generator::SequentialGen, WindowShape::Tumbling, 5);
     let (original, _, factored) = bench_plans(&windows, semantics_for(WindowShape::Tumbling));
-    let mut group = c.benchmark_group("micro/element_work");
-    group.sample_size(10);
     for work in [0u32, 16, 64] {
         for (name, plan) in [("original", &original), ("factored", &factored)] {
-            group.bench_with_input(
-                BenchmarkId::new(name, work),
-                &(plan, work),
-                |b, (plan, work)| {
-                    b.iter(|| {
-                        execute_with(
-                            plan,
-                            &events,
-                            ExecOptions { collect: false, element_work: *work },
-                        )
-                        .expect("plan executes")
-                    });
+            let opts = PipelineOptions {
+                collect: false,
+                element_work: work,
+                out_of_order: 0,
+            };
+            report(
+                &format!("micro/element_work/{name}/{work}"),
+                DEFAULT_ITERS,
+                || {
+                    PlanPipeline::run(plan, &events, opts).expect("plan executes");
                 },
             );
         }
     }
-    group.finish();
 }
 
-fn engine_paths(c: &mut Criterion) {
+fn engine_paths() {
     // Raw-fed single window vs a two-level sub-aggregate chain.
     let events = bench_events(100_000, 1);
-    let mut group = c.benchmark_group("micro/engine");
-    group.sample_size(10);
+    let opts = PipelineOptions {
+        collect: false,
+        element_work: 0,
+        out_of_order: 0,
+    };
     let raw = WindowSet::new(vec![Window::tumbling(32).expect("valid")]).expect("non-empty");
     let (raw_plan, _, _) = bench_plans(&raw, Semantics::PartitionedBy);
-    group.bench_function("raw_single_window", |b| {
-        b.iter(|| {
-            execute_with(&raw_plan, &events, ExecOptions { collect: false, element_work: 0 })
-                .expect("plan executes")
-        });
+    report("micro/engine/raw_single_window", DEFAULT_ITERS, || {
+        PlanPipeline::run(&raw_plan, &events, opts).expect("plan executes");
     });
     let chain = WindowSet::new(vec![
         Window::tumbling(32).expect("valid"),
@@ -125,18 +127,15 @@ fn engine_paths(c: &mut Criterion) {
     let outcome = fw_core::Optimizer::default()
         .optimize_with(&query, Semantics::PartitionedBy)
         .expect("optimizes");
-    group.bench_function("subagg_chain_3", |b| {
-        b.iter(|| {
-            execute_with(
-                &outcome.rewritten.plan,
-                &events,
-                ExecOptions { collect: false, element_work: 0 },
-            )
-            .expect("plan executes")
-        });
+    report("micro/engine/subagg_chain_3", DEFAULT_ITERS, || {
+        PlanPipeline::run(&outcome.rewritten.plan, &events, opts).expect("plan executes");
     });
-    group.finish();
 }
 
-criterion_group!(benches, wcg_and_algorithm1, factor_search_ablation, element_work_ablation, engine_paths);
-criterion_main!(benches);
+fn main() {
+    println!("# micro: component benchmarks and ablations");
+    wcg_and_algorithm1();
+    factor_search_ablation();
+    element_work_ablation();
+    engine_paths();
+}

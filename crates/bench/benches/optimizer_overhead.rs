@@ -2,14 +2,13 @@
 //! WCG construction, candidate search, minimization, rewriting) as the
 //! window-set size grows from 5 to 20, under both semantics.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fw_bench::bench_window_set;
+use fw_bench::{bench_window_set, report, DEFAULT_ITERS};
 use fw_core::{AggregateFunction, Optimizer, Semantics, WindowQuery};
 use fw_workload::{Generator, WindowShape};
 
-fn optimizer_overhead(c: &mut Criterion) {
+fn main() {
     let optimizer = Optimizer::default();
-    let mut group = c.benchmark_group("fig12");
+    println!("# fig12: optimization overhead");
     for size in [5usize, 10, 15, 20] {
         for generator in [Generator::RandomGen, Generator::SequentialGen] {
             // Tumbling sets exercise partitioned-by; hopping sets
@@ -20,16 +19,15 @@ fn optimizer_overhead(c: &mut Criterion) {
             ] {
                 let windows = bench_window_set(generator, shape, size);
                 let query = WindowQuery::new(windows, AggregateFunction::Min);
-                let label =
-                    format!("{}-{}/{}", generator.short(), size, semantics.name());
-                group.bench_with_input(BenchmarkId::from_parameter(label), &query, |b, q| {
-                    b.iter(|| optimizer.optimize_with(q, semantics).expect("query optimizes"));
+                let label = format!("fig12/{}-{}/{}", generator.short(), size, semantics.name());
+                report(&label, DEFAULT_ITERS, || {
+                    std::hint::black_box(
+                        optimizer
+                            .optimize_with(&query, semantics)
+                            .expect("query optimizes"),
+                    );
                 });
             }
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, optimizer_overhead);
-criterion_main!(benches);

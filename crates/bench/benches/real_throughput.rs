@@ -1,37 +1,35 @@
 //! Figures 17/18 and Table II: plan throughput on the DEBS-2012-like
-//! sensor stream (the Real-32M substitute), |W| ∈ {5, 10}.
+//! sensor stream (the Real-32M substitute), |W| ∈ {5, 10}, through the
+//! `Session` façade.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use fw_bench::{bench_plans, bench_window_set, semantics_for};
-use fw_engine::execute;
-use fw_workload::{debs_stream, DebsConfig, Generator, WindowShape};
+use fw_bench::{
+    bench_session, bench_window_set, panel_label, panels, report_throughput, semantics_for,
+    DEFAULT_ITERS,
+};
+use fw_core::PlanChoice;
+use fw_workload::{debs_stream, DebsConfig};
 
-fn real_throughput(c: &mut Criterion) {
-    let events = debs_stream(&DebsConfig { events: 100_000, seed: 0xDEB5 });
+fn main() {
+    let events = debs_stream(&DebsConfig {
+        events: 100_000,
+        seed: 0xDEB5,
+    });
+    println!("# fig17_18: real (DEBS-like) throughput, |W| in {{5, 10}}");
     for size in [5usize, 10] {
-        for (generator, shape) in [
-            (Generator::RandomGen, WindowShape::Tumbling),
-            (Generator::RandomGen, WindowShape::Hopping),
-            (Generator::SequentialGen, WindowShape::Tumbling),
-            (Generator::SequentialGen, WindowShape::Hopping),
-        ] {
-            let label = format!("{}-{}-{}", generator.short(), size, shape.name());
+        for (generator, shape) in panels() {
+            let label = panel_label(generator, shape, size);
             let windows = bench_window_set(generator, shape, size);
-            let (original, _, factored) = bench_plans(&windows, semantics_for(shape));
-            let mut group = c.benchmark_group(format!("fig17_18/{label}"));
-            group.throughput(Throughput::Elements(events.len() as u64));
-            group.sample_size(10);
-            for (plan_name, plan) in [("original", &original), ("factored", &factored)] {
-                group.bench_with_input(
-                    BenchmarkId::from_parameter(plan_name),
-                    plan,
-                    |b, plan| b.iter(|| execute(plan, &events, false).expect("plan executes")),
+            for choice in [PlanChoice::Original, PlanChoice::Factored] {
+                let session = bench_session(&windows, semantics_for(shape), choice);
+                report_throughput(
+                    &format!("fig17_18/{label}/{choice}"),
+                    events.len() as u64,
+                    DEFAULT_ITERS,
+                    || {
+                        session.run_batch(&events).expect("plan executes");
+                    },
                 );
             }
-            group.finish();
         }
     }
 }
-
-criterion_group!(benches, real_throughput);
-criterion_main!(benches);

@@ -1,46 +1,50 @@
 //! Figures 13 and 22: Flink-default (independent evaluation) vs
-//! Scotty-style general stream slicing vs the factor-window rewrite.
+//! Scotty-style general stream slicing vs the factor-window rewrite. The
+//! plan-based systems run through the `Session` façade.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use fw_bench::{bench_events, bench_plans, bench_window_set, semantics_for};
-use fw_core::AggregateFunction;
-use fw_engine::execute;
+use fw_bench::{
+    bench_events, bench_session, bench_window_set, panel_label, panels, report_throughput,
+    semantics_for, DEFAULT_ITERS,
+};
+use fw_core::{AggregateFunction, PlanChoice};
 use fw_slicing::execute_sliced;
-use fw_workload::{Generator, WindowShape};
 
 const EVENTS: u64 = 100_000;
 
-fn slicing_comparison(c: &mut Criterion) {
+fn main() {
     let events = bench_events(EVENTS, 1);
+    println!("# fig13_22: Flink vs Scotty vs factor windows");
     for size in [5usize, 10] {
-        for (generator, shape) in [
-            (Generator::RandomGen, WindowShape::Tumbling),
-            (Generator::RandomGen, WindowShape::Hopping),
-            (Generator::SequentialGen, WindowShape::Tumbling),
-            (Generator::SequentialGen, WindowShape::Hopping),
-        ] {
-            let label = format!("{}-{}-{}", generator.short(), size, shape.name());
+        for (generator, shape) in panels() {
+            let label = panel_label(generator, shape, size);
             let windows = bench_window_set(generator, shape, size);
-            let (original, _, factored) = bench_plans(&windows, semantics_for(shape));
-            let mut group = c.benchmark_group(format!("fig13_22/{label}"));
-            group.throughput(Throughput::Elements(EVENTS));
-            group.sample_size(10);
-            group.bench_function(BenchmarkId::from_parameter("flink"), |b| {
-                b.iter(|| execute(&original, &events, false).expect("plan executes"));
-            });
-            group.bench_function(BenchmarkId::from_parameter("scotty"), |b| {
-                b.iter(|| {
+            let flink = bench_session(&windows, semantics_for(shape), PlanChoice::Original);
+            let factor = bench_session(&windows, semantics_for(shape), PlanChoice::Factored);
+            report_throughput(
+                &format!("fig13_22/{label}/flink"),
+                EVENTS,
+                DEFAULT_ITERS,
+                || {
+                    flink.run_batch(&events).expect("plan executes");
+                },
+            );
+            report_throughput(
+                &format!("fig13_22/{label}/scotty"),
+                EVENTS,
+                DEFAULT_ITERS,
+                || {
                     execute_sliced(&windows, AggregateFunction::Min, &events, false)
-                        .expect("slicing executes")
-                });
-            });
-            group.bench_function(BenchmarkId::from_parameter("factor_windows"), |b| {
-                b.iter(|| execute(&factored, &events, false).expect("plan executes"));
-            });
-            group.finish();
+                        .expect("slicing executes");
+                },
+            );
+            report_throughput(
+                &format!("fig13_22/{label}/factor_windows"),
+                EVENTS,
+                DEFAULT_ITERS,
+                || {
+                    factor.run_batch(&events).expect("plan executes");
+                },
+            );
         }
     }
 }
-
-criterion_group!(benches, slicing_comparison);
-criterion_main!(benches);

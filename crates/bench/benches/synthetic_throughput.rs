@@ -1,46 +1,36 @@
 //! Figures 11 and 14–16, Tables I and IV: plan throughput on the synthetic
 //! constant-pace stream, |W| ∈ {5, 10}, all four generator/shape panels.
 //!
-//! Criterion times one representative window set (the paper's "run 1") per
-//! configuration; the full ten-run figures come from `fw-experiments`.
+//! Times one representative window set (the paper's "run 1") per
+//! configuration through the `Session` façade; the full ten-run figures
+//! come from `fw-experiments`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use fw_bench::{bench_events, bench_plans, bench_window_set, semantics_for};
-use fw_engine::execute;
-use fw_workload::{Generator, WindowShape};
+use fw_bench::{
+    bench_events, bench_session, bench_window_set, panel_label, panels, report_throughput,
+    semantics_for, DEFAULT_ITERS,
+};
+use fw_core::PlanChoice;
 
 const EVENTS: u64 = 100_000;
 
-fn synthetic_throughput(c: &mut Criterion) {
+fn main() {
     let events = bench_events(EVENTS, 1);
+    println!("# fig11_14: synthetic throughput, |W| in {{5, 10}}");
     for size in [5usize, 10] {
-        for (generator, shape) in [
-            (Generator::RandomGen, WindowShape::Tumbling),
-            (Generator::RandomGen, WindowShape::Hopping),
-            (Generator::SequentialGen, WindowShape::Tumbling),
-            (Generator::SequentialGen, WindowShape::Hopping),
-        ] {
-            let label = format!("{}-{}-{}", generator.short(), size, shape.name());
+        for (generator, shape) in panels() {
+            let label = panel_label(generator, shape, size);
             let windows = bench_window_set(generator, shape, size);
-            let (original, rewritten, factored) = bench_plans(&windows, semantics_for(shape));
-            let mut group = c.benchmark_group(format!("fig11_14/{label}"));
-            group.throughput(Throughput::Elements(EVENTS));
-            group.sample_size(10);
-            for (plan_name, plan) in [
-                ("original", &original),
-                ("rewritten", &rewritten),
-                ("factored", &factored),
-            ] {
-                group.bench_with_input(
-                    BenchmarkId::from_parameter(plan_name),
-                    plan,
-                    |b, plan| b.iter(|| execute(plan, &events, false).expect("plan executes")),
+            for choice in PlanChoice::CONCRETE {
+                let session = bench_session(&windows, semantics_for(shape), choice);
+                report_throughput(
+                    &format!("fig11_14/{label}/{choice}"),
+                    EVENTS,
+                    DEFAULT_ITERS,
+                    || {
+                        session.run_batch(&events).expect("plan executes");
+                    },
                 );
             }
-            group.finish();
         }
     }
 }
-
-criterion_group!(benches, synthetic_throughput);
-criterion_main!(benches);

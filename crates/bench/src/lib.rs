@@ -1,28 +1,99 @@
-//! # fw-bench — shared helpers for the criterion benchmarks
+//! # fw-bench — shared helpers for the benchmark targets
 //!
 //! The benchmarks regenerate the paper's tables and figures as timing
 //! entry points (`cargo bench`); the full multi-run reports come from the
-//! `fw-experiments` binary. This library holds the small amount of setup
-//! code the bench targets share so each target stays focused on one
-//! artifact.
+//! `fw-experiments` binary. This library holds the fixture setup the
+//! bench targets share plus a small, dependency-free timing harness
+//! (mean/best over a fixed iteration count with one warm-up run) so the
+//! targets run `harness = false` without an external bench framework.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
-use fw_core::{CostModel, Optimizer, QueryPlan, Semantics, WindowQuery, WindowSet};
+use factor_windows::Session;
+use fw_core::{CostModel, Optimizer, PlanChoice, QueryPlan, Semantics, WindowQuery, WindowSet};
 use fw_engine::Event;
 use fw_workload::{generate_window_set, GenConfig, Generator, WindowShape};
+
+pub use fw_workload::{evaluation_panels as panels, setup_label as panel_label};
+use std::time::{Duration, Instant};
+
+/// Default measured iterations per benchmark entry.
+pub const DEFAULT_ITERS: u32 = 10;
+
+/// One benchmark measurement: wall times over repeated runs.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Mean wall time per iteration.
+    pub mean: Duration,
+    /// Best (minimum) wall time over the iterations.
+    pub best: Duration,
+    /// Measured iterations.
+    pub iters: u32,
+}
+
+/// Times `f` over `iters` iterations after one warm-up run.
+pub fn time<F: FnMut()>(iters: u32, mut f: F) -> Measurement {
+    let iters = iters.max(1);
+    f(); // warm-up: page in data, train branches
+    let mut total = Duration::ZERO;
+    let mut best = Duration::MAX;
+    for _ in 0..iters {
+        let start = Instant::now();
+        f();
+        let elapsed = start.elapsed();
+        total += elapsed;
+        best = best.min(elapsed);
+    }
+    Measurement {
+        mean: total / iters,
+        best,
+        iters,
+    }
+}
+
+/// Times `f` and prints one aligned report line.
+pub fn report<F: FnMut()>(label: &str, iters: u32, f: F) -> Measurement {
+    let m = time(iters, f);
+    println!(
+        "{label:<48} mean {:>10.3?}  best {:>10.3?}  ({} iters)",
+        m.mean, m.best, m.iters
+    );
+    m
+}
+
+/// Times `f` (which processes `events` events per call) and prints a
+/// throughput report line in K events/s, the paper's metric.
+pub fn report_throughput<F: FnMut()>(label: &str, events: u64, iters: u32, f: F) -> Measurement {
+    let m = time(iters, f);
+    let eps = events as f64 / m.mean.as_secs_f64();
+    println!(
+        "{label:<48} {:>10.0} K events/s  (mean {:>9.3?}, {} iters)",
+        eps / 1e3,
+        m.mean,
+        m.iters
+    );
+    m
+}
 
 /// Deterministic constant-pace stream for benchmarks.
 #[must_use]
 pub fn bench_events(n: u64, keys: u32) -> Vec<Event> {
-    (0..n).map(|t| Event::new(t, (t % u64::from(keys.max(1))) as u32, (t % 997) as f64)).collect()
+    (0..n)
+        .map(|t| Event::new(t, (t % u64::from(keys.max(1))) as u32, (t % 997) as f64))
+        .collect()
 }
 
 /// The first window set of a configuration (run 1 of the paper's ten).
 #[must_use]
 pub fn bench_window_set(generator: Generator, shape: WindowShape, size: usize) -> WindowSet {
-    generate_window_set(generator, shape, size, &GenConfig::default(), bench_seed(generator, shape, size))
+    generate_window_set(
+        generator,
+        shape,
+        size,
+        &GenConfig::default(),
+        bench_seed(generator, shape, size),
+    )
 }
 
 fn bench_seed(generator: Generator, shape: WindowShape, size: usize) -> u64 {
@@ -37,17 +108,28 @@ fn bench_seed(generator: Generator, shape: WindowShape, size: usize) -> u64 {
         }
 }
 
+/// A session over the benchmark query for a window set: MIN under the
+/// paper's semantics pairing, with the plan pinned by `choice`.
+#[must_use]
+pub fn bench_session(windows: &WindowSet, semantics: Semantics, choice: PlanChoice) -> Session {
+    let query = WindowQuery::new(windows.clone(), fw_core::AggregateFunction::Min);
+    Session::from_query(query)
+        .semantics(semantics)
+        .plan_choice(choice)
+}
+
 /// The three plans for a window set under the given semantics.
 #[must_use]
-pub fn bench_plans(
-    windows: &WindowSet,
-    semantics: Semantics,
-) -> (QueryPlan, QueryPlan, QueryPlan) {
+pub fn bench_plans(windows: &WindowSet, semantics: Semantics) -> (QueryPlan, QueryPlan, QueryPlan) {
     let query = WindowQuery::new(windows.clone(), fw_core::AggregateFunction::Min);
     let outcome = Optimizer::new(CostModel::default())
         .optimize_with(&query, semantics)
         .expect("benchmark query optimizes");
-    (outcome.original.plan, outcome.rewritten.plan, outcome.factored.plan)
+    (
+        outcome.original.plan,
+        outcome.rewritten.plan,
+        outcome.factored.plan,
+    )
 }
 
 /// Semantics the paper pairs with a window shape.
@@ -73,5 +155,27 @@ mod tests {
         assert!(orig.validate().is_ok());
         assert!(rew.validate().is_ok());
         assert!(fac.validate().is_ok());
+    }
+
+    #[test]
+    fn sessions_pin_their_plan_choice() {
+        let ws = bench_window_set(Generator::SequentialGen, WindowShape::Tumbling, 5);
+        let session = bench_session(
+            &ws,
+            semantics_for(WindowShape::Tumbling),
+            PlanChoice::Original,
+        );
+        let pipeline = session.build().unwrap();
+        assert_eq!(pipeline.choice(), PlanChoice::Original);
+    }
+
+    #[test]
+    fn timer_reports_positive_durations() {
+        let m = time(3, || {
+            std::hint::black_box((0..1000u64).sum::<u64>());
+        });
+        assert!(m.mean > Duration::ZERO);
+        assert!(m.best <= m.mean);
+        assert_eq!(m.iters, 3);
     }
 }

@@ -13,8 +13,8 @@
 //! `{W(10), W(20), W(94), W(100), W(300)}` the best plan at η = 1 differs
 //! from the best plan at η = 2 (see tests).
 
-use crate::coverage::Semantics;
 use crate::cost::CostModel;
+use crate::coverage::Semantics;
 use crate::error::Result;
 use crate::optimizer::{OptimizationOutcome, Optimizer, WindowQuery};
 
@@ -139,7 +139,11 @@ impl AdaptivePlanner {
             return Ok(None);
         }
         let planned = self.planned_rate as f64;
-        let drift = if observed > planned { observed / planned } else { planned / observed };
+        let drift = if observed > planned {
+            observed / planned
+        } else {
+            planned / observed
+        };
         if drift < self.threshold {
             return Ok(None);
         }
@@ -165,7 +169,9 @@ mod tests {
         // Found by search: the best factor structure at η = 1 differs from
         // the one at η = 2 (raw costs double, combine costs do not).
         let windows = WindowSet::new(
-            [10u64, 20, 94, 100, 300].map(|r| Window::tumbling(r).unwrap()).to_vec(),
+            [10u64, 20, 94, 100, 300]
+                .map(|r| Window::tumbling(r).unwrap())
+                .to_vec(),
         )
         .unwrap();
         WindowQuery::new(windows, AggregateFunction::Min)

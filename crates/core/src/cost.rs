@@ -11,7 +11,6 @@
 use crate::coverage::covering_multiplier;
 use crate::error::{Error, Result};
 use crate::window::Window;
-use serde::{Deserialize, Serialize};
 
 /// Costs and periods are 128-bit: `R` is an lcm of up to dozens of ranges
 /// and can exceed `u64` for the paper's RandomGen parameters.
@@ -49,7 +48,7 @@ pub fn lcm(a: u128, b: u128) -> Result<u128> {
 }
 
 /// The cost model, parameterized by the steady ingestion rate `η ≥ 1`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CostModel {
     rate: u64,
 }
@@ -94,7 +93,8 @@ impl CostModel {
     /// `n · M(w, parent)` (Observation 1). Requires `w ≤ parent`.
     pub fn shared_cost(&self, w: &Window, parent: &Window, period: Cost) -> Result<Cost> {
         let n = w.recurrence_count(period)?;
-        n.checked_mul(u128::from(covering_multiplier(w, parent))).ok_or(Error::CostOverflow)
+        n.checked_mul(u128::from(covering_multiplier(w, parent)))
+            .ok_or(Error::CostOverflow)
     }
 
     /// Instance cost of feeding `w` from `parent`; `None` parent means the
@@ -119,7 +119,9 @@ impl CostModel {
     {
         let mut total: Cost = 0;
         for w in windows {
-            total = total.checked_add(self.raw_cost(w, period)?).ok_or(Error::CostOverflow)?;
+            total = total
+                .checked_add(self.raw_cost(w, period)?)
+                .ok_or(Error::CostOverflow)?;
         }
         Ok(total)
     }
@@ -174,9 +176,18 @@ mod tests {
     fn shared_cost_matches_figure6() {
         let model = CostModel::default();
         let period = 120;
-        assert_eq!(model.shared_cost(&w(20, 20), &w(10, 10), period).unwrap(), 12);
-        assert_eq!(model.shared_cost(&w(30, 30), &w(10, 10), period).unwrap(), 12);
-        assert_eq!(model.shared_cost(&w(40, 40), &w(20, 20), period).unwrap(), 6);
+        assert_eq!(
+            model.shared_cost(&w(20, 20), &w(10, 10), period).unwrap(),
+            12
+        );
+        assert_eq!(
+            model.shared_cost(&w(30, 30), &w(10, 10), period).unwrap(),
+            12
+        );
+        assert_eq!(
+            model.shared_cost(&w(40, 40), &w(20, 20), period).unwrap(),
+            6
+        );
     }
 
     #[test]
@@ -184,11 +195,21 @@ mod tests {
         let model = CostModel::new(1);
         // η = 1: raw instance cost equals M(w, S).
         assert_eq!(model.instance_cost(&w(20, 20), None).unwrap(), 20);
-        assert_eq!(model.instance_cost(&w(20, 20), Some(&Window::unit())).unwrap(), 20);
+        assert_eq!(
+            model
+                .instance_cost(&w(20, 20), Some(&Window::unit()))
+                .unwrap(),
+            20
+        );
         // η = 3: raw path is 3x, the S path stays at M.
         let model3 = CostModel::new(3);
         assert_eq!(model3.instance_cost(&w(20, 20), None).unwrap(), 60);
-        assert_eq!(model3.instance_cost(&w(20, 20), Some(&Window::unit())).unwrap(), 20);
+        assert_eq!(
+            model3
+                .instance_cost(&w(20, 20), Some(&Window::unit()))
+                .unwrap(),
+            20
+        );
     }
 
     #[test]

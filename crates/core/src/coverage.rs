@@ -7,11 +7,10 @@
 //! overlap-tolerant functions (SUM, COUNT, AVG) require.
 
 use crate::window::{Interval, Window};
-use serde::{Deserialize, Serialize};
 
 /// Which coverage relation the optimizer may exploit for a given aggregate
 /// function (Section III-A).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Semantics {
     /// General coverage (Definition 1); sound only for functions that stay
     /// distributive under overlapping partitions (MIN, MAX — Theorem 6).
@@ -52,8 +51,8 @@ pub fn is_covered_by(w1: &Window, w2: &Window) -> bool {
 #[must_use]
 pub fn is_strictly_covered_by(w1: &Window, w2: &Window) -> bool {
     w1.range() > w2.range()
-        && w1.slide() % w2.slide() == 0
-        && (w1.range() - w2.range()) % w2.slide() == 0
+        && w1.slide().is_multiple_of(w2.slide())
+        && (w1.range() - w2.range()).is_multiple_of(w2.slide())
 }
 
 /// Theorem 4: `W1` is partitioned by `W2` iff `s2 | s1`, `s2 | r1`, and
@@ -68,8 +67,8 @@ pub fn is_partitioned_by(w1: &Window, w2: &Window) -> bool {
 pub fn is_strictly_partitioned_by(w1: &Window, w2: &Window) -> bool {
     w2.is_tumbling()
         && w1.range() > w2.range()
-        && w1.slide() % w2.slide() == 0
-        && w1.range() % w2.slide() == 0
+        && w1.slide().is_multiple_of(w2.slide())
+        && w1.range().is_multiple_of(w2.slide())
 }
 
 /// Theorem 3: the covering multiplier `M(W1, W2) = 1 + (r1 − r2)/s2`, the
@@ -87,7 +86,10 @@ pub fn covering_multiplier(w1: &Window, w2: &Window) -> u64 {
 /// `iv.start ≤ u` and `v ≤ iv.end`. Returned in increasing order.
 #[must_use]
 pub fn covering_set(parent: &Window, iv: &Interval) -> Vec<Interval> {
-    parent.instances_within_interval(iv).map(|m| parent.interval(m)).collect()
+    parent
+        .instances_within_interval(iv)
+        .map(|m| parent.interval(m))
+        .collect()
 }
 
 /// Interval-level check of Definition 1 over the first `count` intervals of
@@ -104,10 +106,10 @@ pub fn definition1_covered(w1: &Window, w2: &Window, count: u64) -> bool {
     (0..count).all(|m| {
         let iv = w1.interval(m);
         // I_a = [a, x) must start exactly at a with x < b.
-        let has_ia = iv.start % w2.slide() == 0 && iv.start + w2.range() < iv.end;
+        let has_ia = iv.start.is_multiple_of(w2.slide()) && iv.start + w2.range() < iv.end;
         // I_b = [y, b) must end exactly at b with y > a.
         let has_ib = iv.end >= w2.range()
-            && (iv.end - w2.range()) % w2.slide() == 0
+            && (iv.end - w2.range()).is_multiple_of(w2.slide())
             && iv.end - w2.range() > iv.start;
         has_ia && has_ib
     })

@@ -7,7 +7,11 @@ use std::fmt;
 #[allow(missing_docs)] // variant fields are self-describing
 pub enum Error {
     /// A window violated `0 < slide <= range`.
-    InvalidWindow { range: u64, slide: u64, reason: &'static str },
+    InvalidWindow {
+        range: u64,
+        slide: u64,
+        reason: &'static str,
+    },
     /// The window set is empty.
     EmptyWindowSet,
     /// The least common multiple of the window ranges overflowed 128 bits.
@@ -16,7 +20,10 @@ pub enum Error {
     CostOverflow,
     /// The requested semantics are unsound for the aggregate function
     /// (e.g. covered-by for SUM, whose sub-aggregates must not overlap).
-    IncompatibleSemantics { function: &'static str, semantics: &'static str },
+    IncompatibleSemantics {
+        function: &'static str,
+        semantics: &'static str,
+    },
     /// The aggregate function is holistic; sub-aggregate sharing is not
     /// applicable and the optimizer falls back to the original plan.
     HolisticFunction { function: &'static str },
@@ -25,7 +32,11 @@ pub enum Error {
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Error::InvalidWindow { range, slide, reason } => {
+            Error::InvalidWindow {
+                range,
+                slide,
+                reason,
+            } => {
                 write!(f, "invalid window W({range},{slide}): {reason}")
             }
             Error::EmptyWindowSet => write!(f, "window set is empty"),
@@ -33,11 +44,17 @@ impl fmt::Display for Error {
                 write!(f, "lcm of window ranges overflowed 128-bit arithmetic")
             }
             Error::CostOverflow => write!(f, "cost computation overflowed 128-bit arithmetic"),
-            Error::IncompatibleSemantics { function, semantics } => {
+            Error::IncompatibleSemantics {
+                function,
+                semantics,
+            } => {
                 write!(f, "{semantics} semantics are unsound for {function}")
             }
             Error::HolisticFunction { function } => {
-                write!(f, "{function} is holistic; shared sub-aggregation is not applicable")
+                write!(
+                    f,
+                    "{function} is holistic; shared sub-aggregation is not applicable"
+                )
             }
         }
     }

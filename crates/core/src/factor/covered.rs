@@ -16,7 +16,7 @@ pub fn divisors(n: u64) -> Vec<u64> {
     let mut large = Vec::new();
     let mut d = 1;
     while d * d <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             small.push(d);
             if d != n / d {
                 large.push(n / d);
@@ -61,7 +61,9 @@ pub fn factor_benefit(
         delta -= i128::try_from(after).map_err(|_| Error::CostOverflow)?;
     }
     let nf = factor.recurrence_count(period)?;
-    let factor_cost = nf.checked_mul(via_target(factor)?).ok_or(Error::CostOverflow)?;
+    let factor_cost = nf
+        .checked_mul(via_target(factor)?)
+        .ok_or(Error::CostOverflow)?;
     delta -= i128::try_from(factor_cost).map_err(|_| Error::CostOverflow)?;
     Ok(delta)
 }
@@ -87,7 +89,11 @@ pub fn find_best_factor_covered(
         return Ok(None);
     }
     let sd = gcd_all(downstream.iter().map(Window::slide));
-    let rmin = downstream.iter().map(Window::range).min().expect("non-empty downstream");
+    let rmin = downstream
+        .iter()
+        .map(Window::range)
+        .min()
+        .expect("non-empty downstream");
     let mut best: Option<(i128, Window)> = None;
     for sf in divisors(sd) {
         if sf % target.slide() != 0 {
@@ -100,12 +106,20 @@ pub fn find_best_factor_covered(
             rf += sf;
             if exists(&candidate)
                 || !is_strictly_covered_by(&candidate, target)
-                || !downstream.iter().all(|wj| is_strictly_covered_by(wj, &candidate))
+                || !downstream
+                    .iter()
+                    .all(|wj| is_strictly_covered_by(wj, &candidate))
             {
                 continue;
             }
-            let delta =
-                factor_benefit(model, period, target, target_is_virtual, &candidate, downstream)?;
+            let delta = factor_benefit(
+                model,
+                period,
+                target,
+                target_is_virtual,
+                &candidate,
+                downstream,
+            )?;
             // Line 16: keep only strictly positive improvements, first wins ties.
             if delta > 0 && best.as_ref().is_none_or(|(b, _)| delta > *b) {
                 best = Some((delta, candidate));

@@ -159,8 +159,7 @@ mod tests {
             let ws = set(&windows);
             for semantics in [Semantics::CoveredBy, Semantics::PartitionedBy] {
                 let period = model.period(ws.iter()).unwrap();
-                let plain =
-                    minimize(Wcg::build_augmented(&ws, semantics), &model, period).unwrap();
+                let plain = minimize(Wcg::build_augmented(&ws, semantics), &model, period).unwrap();
                 let with = minimize_with_factors(&ws, semantics, &model).unwrap();
                 assert!(
                     with.total_cost() <= plain.total_cost(),
@@ -184,7 +183,9 @@ mod tests {
             .baseline_cost(ws.iter(), model.period(ws.iter()).unwrap())
             .unwrap();
         assert_eq!(mc.total_cost(), baseline);
-        assert!(mc.active_nodes().all(|i| mc.wcg().node(i).kind != NodeKind::Factor));
+        assert!(mc
+            .active_nodes()
+            .all(|i| mc.wcg().node(i).kind != NodeKind::Factor));
     }
 
     #[test]

@@ -16,7 +16,11 @@ pub fn lambda(downstream: &[Window], period: Cost) -> Result<Rational> {
     let mut acc = Rational::zero();
     for wj in downstream {
         let nj = wj.recurrence_count(period)?;
-        debug_assert_eq!(period % u128::from(wj.range()), 0, "user range must divide R");
+        debug_assert_eq!(
+            period % u128::from(wj.range()),
+            0,
+            "user range must divide R"
+        );
         let mj = period / u128::from(wj.range());
         let nj = i128::try_from(nj).map_err(|_| Error::CostOverflow)?;
         let mj = i128::try_from(mj).map_err(|_| Error::CostOverflow)?;
@@ -69,7 +73,9 @@ pub fn is_beneficial_partitioned(
     let lhs = u128::from(factor.range())
         .checked_mul(n1 - m1)
         .ok_or(Error::CostOverflow)?;
-    let rhs = u128::from(target.range()).checked_mul(n1).ok_or(Error::CostOverflow)?;
+    let rhs = u128::from(target.range())
+        .checked_mul(n1)
+        .ok_or(Error::CostOverflow)?;
     Ok(lhs >= rhs)
 }
 
@@ -185,7 +191,9 @@ pub fn find_best_factor_partitioned(
         let cand = Window::tumbling(rf).expect("positive range");
         if exists(&cand)
             || !is_strictly_partitioned_by(&cand, target)
-            || !downstream.iter().all(|wj| is_strictly_partitioned_by(wj, &cand))
+            || !downstream
+                .iter()
+                .all(|wj| is_strictly_partitioned_by(wj, &cand))
         {
             continue;
         }
@@ -198,7 +206,9 @@ pub fn find_best_factor_partitioned(
     let kept: Vec<Window> = candidates
         .iter()
         .filter(|wf| {
-            !candidates.iter().any(|other| other != *wf && is_strictly_covered_by(other, wf))
+            !candidates
+                .iter()
+                .any(|other| other != *wf && is_strictly_covered_by(other, wf))
         })
         .copied()
         .collect();
@@ -250,22 +260,21 @@ mod tests {
 
     #[test]
     fn algorithm4_single_tumbling_downstream_is_not() {
-        assert!(!is_beneficial_partitioned(&w(20, 20), &Window::unit(), &[w(40, 40)], 120)
-            .unwrap());
+        assert!(
+            !is_beneficial_partitioned(&w(20, 20), &Window::unit(), &[w(40, 40)], 120).unwrap()
+        );
     }
 
     #[test]
     fn algorithm4_single_instance_period_is_not() {
         // m1 = 1: the factor cannot amortize.
-        assert!(!is_beneficial_partitioned(&w(10, 10), &Window::unit(), &[w(40, 10)], 40)
-            .unwrap());
+        assert!(!is_beneficial_partitioned(&w(10, 10), &Window::unit(), &[w(40, 10)], 40).unwrap());
     }
 
     #[test]
     fn algorithm4_large_k1_m1_is_beneficial() {
         // k1 = 4, m1 = 3 ⇒ true without the ratio test.
-        assert!(is_beneficial_partitioned(&w(10, 10), &Window::unit(), &[w(40, 10)], 120)
-            .unwrap());
+        assert!(is_beneficial_partitioned(&w(10, 10), &Window::unit(), &[w(40, 10)], 120).unwrap());
     }
 
     #[test]
@@ -337,7 +346,10 @@ mod tests {
         )
         .unwrap();
         if let Some(wf) = best {
-            assert!(is_strictly_partitioned_by(&w(20, 10), &wf), "unsound candidate {wf}");
+            assert!(
+                is_strictly_partitioned_by(&w(20, 10), &wf),
+                "unsound candidate {wf}"
+            );
         }
         // K = 2 makes candidates beneficial, and r_f ∈ {2, 5, 10} all
         // partition both windows; the coarsest independent one is W(10,10).
@@ -356,10 +368,8 @@ mod tests {
                 if a == b {
                     continue;
                 }
-                let ca =
-                    pattern_cost_with_factor(&model, period, &target, true, a, &down).unwrap();
-                let cb =
-                    pattern_cost_with_factor(&model, period, &target, true, b, &down).unwrap();
+                let ca = pattern_cost_with_factor(&model, period, &target, true, a, &down).unwrap();
+                let cb = pattern_cost_with_factor(&model, period, &target, true, b, &down).unwrap();
                 let t9 = theorem9_prefers(a, b, &target, &down, period).unwrap();
                 assert_eq!(t9, ca <= cb, "a={a} b={b} ca={ca} cb={cb}");
             }
@@ -382,10 +392,8 @@ mod tests {
                     continue;
                 }
                 let lit = theorem9_literal(a, b, &target, &down, period).unwrap();
-                let ca =
-                    pattern_cost_with_factor(&model, period, &target, true, a, &down).unwrap();
-                let cb =
-                    pattern_cost_with_factor(&model, period, &target, true, b, &down).unwrap();
+                let ca = pattern_cost_with_factor(&model, period, &target, true, a, &down).unwrap();
+                let cb = pattern_cost_with_factor(&model, period, &target, true, b, &down).unwrap();
                 assert_eq!(lit, Some(ca <= cb), "a={a} b={b}");
             }
         }

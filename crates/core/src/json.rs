@@ -1,0 +1,649 @@
+//! Dependency-free JSON encoding/decoding for optimizer artifacts.
+//!
+//! Deployments persist optimizer decisions — e.g. ship a rewritten
+//! [`QueryPlan`] to a fleet of stream processors — so windows, window
+//! sets, and whole plans round-trip through a small, self-contained JSON
+//! codec. The encoding mirrors what a derive-based serializer would
+//! produce: structs as objects, unit enum variants as strings, and data
+//! variants as single-key objects.
+
+use crate::plan::{NodeId, PlanNode, PlanOp, QueryPlan};
+use crate::taxonomy::AggregateFunction;
+use crate::window::{Window, WindowSet};
+use std::fmt;
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Numbers; all artifact fields are integers, kept exact in `i128`.
+    Number(i128),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, in insertion order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Looks up a key in an object.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn expect_u64(&self, what: &str) -> Result<u64, JsonError> {
+        match self {
+            JsonValue::Number(n) => u64::try_from(*n).map_err(|_| JsonError::shape(what, "a u64")),
+            _ => Err(JsonError::shape(what, "a number")),
+        }
+    }
+
+    fn expect_bool(&self, what: &str) -> Result<bool, JsonError> {
+        match self {
+            JsonValue::Bool(b) => Ok(*b),
+            _ => Err(JsonError::shape(what, "a bool")),
+        }
+    }
+
+    fn expect_str(&self, what: &str) -> Result<&str, JsonError> {
+        match self {
+            JsonValue::String(s) => Ok(s),
+            _ => Err(JsonError::shape(what, "a string")),
+        }
+    }
+
+    fn expect_array(&self, what: &str) -> Result<&[JsonValue], JsonError> {
+        match self {
+            JsonValue::Array(items) => Ok(items),
+            _ => Err(JsonError::shape(what, "an array")),
+        }
+    }
+
+    fn field<'a>(&'a self, key: &str) -> Result<&'a JsonValue, JsonError> {
+        self.get(key).ok_or_else(|| JsonError {
+            message: format!("missing field `{key}`"),
+        })
+    }
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonValue::Null => write!(f, "null"),
+            JsonValue::Bool(b) => write!(f, "{b}"),
+            JsonValue::Number(n) => write!(f, "{n}"),
+            JsonValue::String(s) => write_escaped(f, s),
+            JsonValue::Array(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            JsonValue::Object(fields) => {
+                write!(f, "{{")?;
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write_escaped(f, key)?;
+                    write!(f, ":{value}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    write!(f, "\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => write!(f, "\\\"")?,
+            '\\' => write!(f, "\\\\")?,
+            '\n' => write!(f, "\\n")?,
+            '\r' => write!(f, "\\r")?,
+            '\t' => write!(f, "\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    write!(f, "\"")
+}
+
+/// A JSON decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl JsonError {
+    fn shape(what: &str, expected: &str) -> Self {
+        JsonError {
+            message: format!("{what}: expected {expected}"),
+        }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses a JSON document.
+pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(JsonError {
+            message: format!("trailing input at byte {}", p.pos),
+        });
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, JsonError> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied().ok_or_else(|| JsonError {
+            message: "unexpected end of input".to_string(),
+        })
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(JsonError {
+                message: format!("expected `{}` at byte {}", b as char, self.pos),
+            })
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonError> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(JsonValue::String(self.string()?)),
+            b't' => self.literal("true", JsonValue::Bool(true)),
+            b'f' => self.literal("false", JsonValue::Bool(false)),
+            b'n' => self.literal("null", JsonValue::Null),
+            b'-' | b'0'..=b'9' => self.number(),
+            other => Err(JsonError {
+                message: format!("unexpected byte `{}` at {}", other as char, self.pos),
+            }),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: JsonValue) -> Result<JsonValue, JsonError> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(JsonError {
+                message: format!("expected `{text}` at byte {}", self.pos),
+            })
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        text.parse::<i128>()
+            .map(JsonValue::Number)
+            .map_err(|_| JsonError {
+                message: format!("invalid number `{text}`"),
+            })
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err(JsonError {
+                    message: "unterminated string".to_string(),
+                });
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err(JsonError {
+                            message: "dangling escape".to_string(),
+                        });
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let code = self.hex_escape()?;
+                            // UTF-16 surrogate pair: standard encoders
+                            // (ensure_ascii-style) emit non-BMP characters
+                            // as \uD800-\uDBFF followed by \uDC00-\uDFFF.
+                            let code = if (0xD800..=0xDBFF).contains(&code) {
+                                if self.bytes.get(self.pos..self.pos + 2) != Some(b"\\u") {
+                                    return Err(JsonError {
+                                        message: "lone high surrogate".to_string(),
+                                    });
+                                }
+                                self.pos += 2;
+                                let low = self.hex_escape()?;
+                                if !(0xDC00..=0xDFFF).contains(&low) {
+                                    return Err(JsonError {
+                                        message: format!("invalid low surrogate {low:#06x}"),
+                                    });
+                                }
+                                0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
+                            } else {
+                                code
+                            };
+                            out.push(char::from_u32(code).ok_or_else(|| JsonError {
+                                message: format!("invalid code point {code}"),
+                            })?);
+                        }
+                        other => {
+                            return Err(JsonError {
+                                message: format!("unknown escape `\\{}`", other as char),
+                            })
+                        }
+                    }
+                }
+                // Multi-byte UTF-8: copy the raw bytes through.
+                _ => {
+                    let start = self.pos - 1;
+                    while self
+                        .bytes
+                        .get(self.pos)
+                        .is_some_and(|&b| b != b'"' && b != b'\\')
+                    {
+                        self.pos += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).map_err(
+                        |_| JsonError {
+                            message: "invalid utf-8 in string".to_string(),
+                        },
+                    )?);
+                }
+            }
+        }
+    }
+
+    /// Reads the four hex digits of a `\u` escape (cursor past the `\u`).
+    fn hex_escape(&mut self) -> Result<u32, JsonError> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .ok_or_else(|| JsonError {
+                message: "truncated \\u escape".to_string(),
+            })?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| JsonError {
+            message: format!("invalid \\u escape `{hex}`"),
+        })?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonError> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.eat(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                other => {
+                    return Err(JsonError {
+                        message: format!("expected `,` or `}}`, found `{}`", other as char),
+                    })
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                other => {
+                    return Err(JsonError {
+                        message: format!("expected `,` or `]`, found `{}`", other as char),
+                    })
+                }
+            }
+        }
+    }
+}
+
+/// Types encodable as JSON.
+pub trait ToJson {
+    /// The JSON value representation.
+    fn to_json_value(&self) -> JsonValue;
+
+    /// The compact JSON text representation.
+    fn to_json(&self) -> String {
+        self.to_json_value().to_string()
+    }
+}
+
+/// Types decodable from JSON.
+pub trait FromJson: Sized {
+    /// Decodes from a parsed JSON value.
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError>;
+
+    /// Decodes from JSON text.
+    fn from_json(text: &str) -> Result<Self, JsonError> {
+        Self::from_json_value(&parse(text)?)
+    }
+}
+
+impl ToJson for Window {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            (
+                "range".to_string(),
+                JsonValue::Number(i128::from(self.range())),
+            ),
+            (
+                "slide".to_string(),
+                JsonValue::Number(i128::from(self.slide())),
+            ),
+        ])
+    }
+}
+
+impl FromJson for Window {
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+        let range = value.field("range")?.expect_u64("range")?;
+        let slide = value.field("slide")?.expect_u64("slide")?;
+        Window::new(range, slide).map_err(|e| JsonError {
+            message: e.to_string(),
+        })
+    }
+}
+
+impl ToJson for WindowSet {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Object(vec![(
+            "windows".to_string(),
+            JsonValue::Array(self.iter().map(ToJson::to_json_value).collect()),
+        )])
+    }
+}
+
+impl FromJson for WindowSet {
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+        let windows = value
+            .field("windows")?
+            .expect_array("windows")?
+            .iter()
+            .map(Window::from_json_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        WindowSet::new(windows).map_err(|e| JsonError {
+            message: e.to_string(),
+        })
+    }
+}
+
+impl ToJson for AggregateFunction {
+    fn to_json_value(&self) -> JsonValue {
+        let tag = match self {
+            AggregateFunction::Min => "Min",
+            AggregateFunction::Max => "Max",
+            AggregateFunction::Sum => "Sum",
+            AggregateFunction::Count => "Count",
+            AggregateFunction::Avg => "Avg",
+            AggregateFunction::Median => "Median",
+        };
+        JsonValue::String(tag.to_string())
+    }
+}
+
+impl FromJson for AggregateFunction {
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+        let tag = value.expect_str("aggregate function")?;
+        AggregateFunction::parse(tag).ok_or_else(|| JsonError {
+            message: format!("unknown aggregate `{tag}`"),
+        })
+    }
+}
+
+impl ToJson for PlanOp {
+    fn to_json_value(&self) -> JsonValue {
+        match self {
+            PlanOp::Source => JsonValue::String("Source".to_string()),
+            PlanOp::Multicast => JsonValue::String("Multicast".to_string()),
+            PlanOp::Union => JsonValue::String("Union".to_string()),
+            PlanOp::WindowAgg {
+                window,
+                label,
+                exposed,
+            } => JsonValue::Object(vec![(
+                "WindowAgg".to_string(),
+                JsonValue::Object(vec![
+                    ("window".to_string(), window.to_json_value()),
+                    ("label".to_string(), JsonValue::String(label.clone())),
+                    ("exposed".to_string(), JsonValue::Bool(*exposed)),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for PlanOp {
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+        match value {
+            JsonValue::String(tag) => match tag.as_str() {
+                "Source" => Ok(PlanOp::Source),
+                "Multicast" => Ok(PlanOp::Multicast),
+                "Union" => Ok(PlanOp::Union),
+                other => Err(JsonError {
+                    message: format!("unknown plan op `{other}`"),
+                }),
+            },
+            JsonValue::Object(_) => {
+                let body = value.field("WindowAgg")?;
+                Ok(PlanOp::WindowAgg {
+                    window: Window::from_json_value(body.field("window")?)?,
+                    label: body.field("label")?.expect_str("label")?.to_string(),
+                    exposed: body.field("exposed")?.expect_bool("exposed")?,
+                })
+            }
+            _ => Err(JsonError::shape("plan op", "a string or object")),
+        }
+    }
+}
+
+impl ToJson for PlanNode {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("op".to_string(), self.op.to_json_value()),
+            (
+                "inputs".to_string(),
+                JsonValue::Array(
+                    self.inputs
+                        .iter()
+                        .map(|&i| JsonValue::Number(i as i128))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl FromJson for PlanNode {
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+        let op = PlanOp::from_json_value(value.field("op")?)?;
+        let inputs = value
+            .field("inputs")?
+            .expect_array("inputs")?
+            .iter()
+            .map(|v| v.expect_u64("input id").map(|n| n as NodeId))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(PlanNode { op, inputs })
+    }
+}
+
+impl ToJson for QueryPlan {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("function".to_string(), self.function().to_json_value()),
+            (
+                "nodes".to_string(),
+                JsonValue::Array(self.nodes().iter().map(ToJson::to_json_value).collect()),
+            ),
+            (
+                "source".to_string(),
+                JsonValue::Number(self.source() as i128),
+            ),
+            ("union".to_string(), JsonValue::Number(self.union() as i128)),
+        ])
+    }
+}
+
+impl FromJson for QueryPlan {
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+        let function = AggregateFunction::from_json_value(value.field("function")?)?;
+        let nodes = value
+            .field("nodes")?
+            .expect_array("nodes")?
+            .iter()
+            .map(PlanNode::from_json_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        let source = value.field("source")?.expect_u64("source")? as NodeId;
+        let union = value.field("union")?.expect_u64("union")? as NodeId;
+        QueryPlan::from_parts(function, nodes, source, union)
+            .map_err(|message| JsonError { message })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        for text in [
+            "null",
+            "true",
+            "false",
+            "0",
+            "-12",
+            "\"hi\\n\\\"there\\\"\"",
+        ] {
+            let v = parse(text).unwrap();
+            assert_eq!(parse(&v.to_string()).unwrap(), v, "{text}");
+        }
+    }
+
+    #[test]
+    fn nested_document_round_trips() {
+        let text = r#"{"a":[1,2,{"b":true}],"c":"x y"}"#;
+        let v = parse(text).unwrap();
+        assert_eq!(v.to_string(), text);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for text in ["{", "[1,", "\"open", "{\"a\" 1}", "12 34", ""] {
+            assert!(parse(text).is_err(), "{text} should fail");
+        }
+    }
+
+    #[test]
+    fn unicode_strings_survive() {
+        let v = JsonValue::String("γ_C ≥ 1 — ok".to_string());
+        assert_eq!(parse(&v.to_string()).unwrap(), v);
+        assert_eq!(
+            parse("\"\\u0041\\u03b3\"").unwrap(),
+            JsonValue::String("Aγ".to_string())
+        );
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        // ensure_ascii-style encoders emit non-BMP chars as UTF-16 pairs.
+        assert_eq!(
+            parse("\"\\ud83d\\ude00\"").unwrap(),
+            JsonValue::String("😀".to_string())
+        );
+        assert!(parse("\"\\ud83d\"").is_err(), "lone high surrogate");
+        assert!(parse("\"\\ud83dx\"").is_err(), "high surrogate + junk");
+        assert!(
+            parse("\"\\ud83d\\u0041\"").is_err(),
+            "invalid low surrogate"
+        );
+        assert!(parse("\"\\udc00\"").is_err(), "lone low surrogate");
+    }
+}

@@ -37,6 +37,7 @@ pub mod cost;
 pub mod coverage;
 pub mod error;
 pub mod factor;
+pub mod json;
 pub mod min_cost;
 pub mod optimizer;
 pub mod plan;
@@ -50,8 +51,9 @@ pub use adaptive::{AdaptivePlanner, RateEstimator};
 pub use cost::{Cost, CostModel};
 pub use coverage::Semantics;
 pub use error::{Error, Result};
+pub use json::{FromJson, ToJson};
 pub use min_cost::{Feed, MinCostWcg};
-pub use optimizer::{OptimizationOutcome, Optimizer, PlanBundle, WindowQuery};
+pub use optimizer::{OptimizationOutcome, Optimizer, PlanBundle, PlanChoice, WindowQuery};
 pub use plan::{NodeId, PlanNode, PlanOp, QueryPlan};
 pub use taxonomy::{AggregateClass, AggregateFunction};
 pub use wcg::{NodeKind, Wcg};
@@ -61,7 +63,7 @@ pub use window::{Interval, Window, WindowSet};
 pub mod prelude {
     pub use crate::cost::CostModel;
     pub use crate::coverage::Semantics;
-    pub use crate::optimizer::{OptimizationOutcome, Optimizer, WindowQuery};
+    pub use crate::optimizer::{OptimizationOutcome, Optimizer, PlanChoice, WindowQuery};
     pub use crate::plan::QueryPlan;
     pub use crate::taxonomy::AggregateFunction;
     pub use crate::window::{Interval, Window, WindowSet};

@@ -54,7 +54,9 @@ pub fn minimize(wcg: Wcg, model: &CostModel, period: Cost) -> Result<MinCostWcg>
             }
             let parent = wcg.node(j).window;
             let candidate = count
-                .checked_mul(u128::from(crate::coverage::covering_multiplier(&w, &parent)))
+                .checked_mul(u128::from(crate::coverage::covering_multiplier(
+                    &w, &parent,
+                )))
                 .ok_or(crate::error::Error::CostOverflow)?;
             if candidate < best {
                 best = candidate;
@@ -72,7 +74,15 @@ pub fn minimize(wcg: Wcg, model: &CostModel, period: Cost) -> Result<MinCostWcg>
         }
     }
     let active = vec![true; n];
-    let mut result = MinCostWcg { wcg, period, feeds, costs, children, active, total: 0 };
+    let mut result = MinCostWcg {
+        wcg,
+        period,
+        feeds,
+        costs,
+        children,
+        active,
+        total: 0,
+    };
     result.recompute_total();
     Ok(result)
 }

@@ -28,7 +28,11 @@ impl WindowQuery {
     /// Creates a query with default labels.
     #[must_use]
     pub fn new(windows: WindowSet, function: AggregateFunction) -> Self {
-        WindowQuery { windows, function, labels: BTreeMap::new() }
+        WindowQuery {
+            windows,
+            function,
+            labels: BTreeMap::new(),
+        }
     }
 
     /// Attaches display labels (e.g. `'20 min'`) to windows.
@@ -66,6 +70,51 @@ pub struct PlanBundle {
     pub cost: Cost,
 }
 
+/// Which of the optimizer's plans a session should execute.
+///
+/// The policy every consumer (the `Session` façade, the harness, the
+/// benches) threads through: `Auto` trusts the cost model; the concrete
+/// choices pin a plan for A/B comparisons and regression tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PlanChoice {
+    /// The cheapest plan under the cost model (ties resolve to the
+    /// structurally simplest plan: original, then rewritten, then factored).
+    #[default]
+    Auto,
+    /// The unshared plan of Figure 2(a).
+    Original,
+    /// The Algorithm-1 rewrite (sharing among query windows only).
+    Rewritten,
+    /// The Algorithm-3 rewrite (factor windows allowed).
+    Factored,
+}
+
+impl PlanChoice {
+    /// Display name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            PlanChoice::Auto => "auto",
+            PlanChoice::Original => "original",
+            PlanChoice::Rewritten => "rewritten",
+            PlanChoice::Factored => "factored",
+        }
+    }
+
+    /// The three concrete (non-`Auto`) choices.
+    pub const CONCRETE: [PlanChoice; 3] = [
+        PlanChoice::Original,
+        PlanChoice::Rewritten,
+        PlanChoice::Factored,
+    ];
+}
+
+impl std::fmt::Display for PlanChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// The optimizer's output: the three plans the paper evaluates against
 /// each other, plus optimization timings (Figure 12).
 #[derive(Debug, Clone)]
@@ -86,6 +135,41 @@ pub struct OptimizationOutcome {
 }
 
 impl OptimizationOutcome {
+    /// Resolves `choice` to a concrete plan: `Auto` picks the cheapest
+    /// plan, breaking ties toward the structurally simplest (original
+    /// before rewritten before factored), so a no-win optimization runs
+    /// the plan with the fewest operators.
+    #[must_use]
+    pub fn resolve(&self, choice: PlanChoice) -> PlanChoice {
+        match choice {
+            PlanChoice::Auto => {
+                let min = self
+                    .original
+                    .cost
+                    .min(self.rewritten.cost)
+                    .min(self.factored.cost);
+                if self.original.cost == min {
+                    PlanChoice::Original
+                } else if self.rewritten.cost == min {
+                    PlanChoice::Rewritten
+                } else {
+                    PlanChoice::Factored
+                }
+            }
+            concrete => concrete,
+        }
+    }
+
+    /// The bundle `choice` designates (after [`Self::resolve`]).
+    #[must_use]
+    pub fn select(&self, choice: PlanChoice) -> &PlanBundle {
+        match self.resolve(choice) {
+            PlanChoice::Original => &self.original,
+            PlanChoice::Rewritten => &self.rewritten,
+            PlanChoice::Factored | PlanChoice::Auto => &self.factored,
+        }
+    }
+
     /// Predicted speedup of the rewritten plan over the original,
     /// `γ_C = C_orig / C_rewritten`.
     #[must_use]
@@ -163,18 +247,46 @@ impl Optimizer {
 
         Ok(OptimizationOutcome {
             semantics: Some(semantics),
-            original: PlanBundle { plan: original, cost: original_cost },
-            rewritten: PlanBundle { plan: rewritten, cost: rewritten_cost },
-            factored: PlanBundle { plan: factored, cost: factored_cost },
+            original: PlanBundle {
+                plan: original,
+                cost: original_cost,
+            },
+            rewritten: PlanBundle {
+                plan: rewritten,
+                cost: rewritten_cost,
+            },
+            factored: PlanBundle {
+                plan: factored,
+                cost: factored_cost,
+            },
             rewrite_time,
             factor_time,
         })
     }
 
+    /// Optimizes and selects a single plan per the [`PlanChoice`] policy.
+    /// `semantics: None` uses the function's default semantics (with the
+    /// holistic fallback); the returned bundle is the resolved plan.
+    pub fn optimize_choice(
+        &self,
+        query: &WindowQuery,
+        semantics: Option<Semantics>,
+        choice: PlanChoice,
+    ) -> Result<PlanBundle> {
+        let outcome = match semantics {
+            Some(semantics) => self.optimize_with(query, semantics)?,
+            None => self.optimize(query)?,
+        };
+        Ok(outcome.select(choice).clone())
+    }
+
     fn fallback(&self, query: &WindowQuery) -> Result<OptimizationOutcome> {
         let original = original_plan(query);
         let cost = original.cost(&self.model)?;
-        let bundle = PlanBundle { plan: original, cost };
+        let bundle = PlanBundle {
+            plan: original,
+            cost,
+        };
         Ok(OptimizationOutcome {
             semantics: None,
             original: bundle.clone(),
@@ -225,7 +337,9 @@ mod tests {
     #[test]
     fn sum_rejects_covered_by() {
         let q = query(&[w(20, 20), w(40, 40)], AggregateFunction::Sum);
-        let err = Optimizer::default().optimize_with(&q, Semantics::CoveredBy).unwrap_err();
+        let err = Optimizer::default()
+            .optimize_with(&q, Semantics::CoveredBy)
+            .unwrap_err();
         assert!(matches!(err, Error::IncompatibleSemantics { .. }));
     }
 
@@ -236,14 +350,18 @@ mod tests {
         assert_eq!(out.semantics, None);
         assert_eq!(out.original.cost, out.rewritten.cost);
         assert_eq!(out.original.plan, out.factored.plan);
-        let err = Optimizer::default().optimize_with(&q, Semantics::PartitionedBy).unwrap_err();
+        let err = Optimizer::default()
+            .optimize_with(&q, Semantics::PartitionedBy)
+            .unwrap_err();
         assert!(matches!(err, Error::HolisticFunction { .. }));
     }
 
     #[test]
     fn labels_flow_into_plans() {
-        let labels =
-            BTreeMap::from([(w(20, 20), "20 min".to_string()), (w(40, 40), "40 min".to_string())]);
+        let labels = BTreeMap::from([
+            (w(20, 20), "20 min".to_string()),
+            (w(40, 40), "40 min".to_string()),
+        ]);
         let q = query(&[w(20, 20), w(40, 40)], AggregateFunction::Min).with_labels(labels);
         let out = Optimizer::default().optimize(&q).unwrap();
         let s = out.factored.plan.to_trill_string();

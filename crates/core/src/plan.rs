@@ -10,13 +10,12 @@ use crate::cost::{Cost, CostModel};
 use crate::error::{Error, Result};
 use crate::taxonomy::AggregateFunction;
 use crate::window::Window;
-use serde::{Deserialize, Serialize};
 
 /// Index of a node within a [`QueryPlan`].
 pub type NodeId = usize;
 
 /// A plan operator.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PlanOp {
     /// The input event stream.
     Source,
@@ -37,7 +36,7 @@ pub enum PlanOp {
 }
 
 /// A node in the plan DAG.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PlanNode {
     /// The operator at this node.
     pub op: PlanOp,
@@ -46,7 +45,7 @@ pub struct PlanNode {
 }
 
 /// A logical plan for a multi-window aggregate query.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QueryPlan {
     function: AggregateFunction,
     nodes: Vec<PlanNode>,
@@ -66,8 +65,15 @@ impl PlanBuilder {
     /// Starts a plan containing only the source.
     #[must_use]
     pub fn new(function: AggregateFunction) -> Self {
-        let nodes = vec![PlanNode { op: PlanOp::Source, inputs: Vec::new() }];
-        PlanBuilder { function, nodes, source: 0 }
+        let nodes = vec![PlanNode {
+            op: PlanOp::Source,
+            inputs: Vec::new(),
+        }];
+        PlanBuilder {
+            function,
+            nodes,
+            source: 0,
+        }
     }
 
     /// The source node id.
@@ -78,7 +84,10 @@ impl PlanBuilder {
 
     /// Adds a multicast consuming `input`.
     pub fn multicast(&mut self, input: NodeId) -> NodeId {
-        self.push(PlanNode { op: PlanOp::Multicast, inputs: vec![input] })
+        self.push(PlanNode {
+            op: PlanOp::Multicast,
+            inputs: vec![input],
+        })
     }
 
     /// Adds a window aggregate consuming `input`.
@@ -89,14 +98,29 @@ impl PlanBuilder {
         label: String,
         exposed: bool,
     ) -> NodeId {
-        self.push(PlanNode { op: PlanOp::WindowAgg { window, label, exposed }, inputs: vec![input] })
+        self.push(PlanNode {
+            op: PlanOp::WindowAgg {
+                window,
+                label,
+                exposed,
+            },
+            inputs: vec![input],
+        })
     }
 
     /// Finishes the plan with a union over `inputs`.
     #[must_use]
     pub fn finish(mut self, union_inputs: Vec<NodeId>) -> QueryPlan {
-        let union = self.push(PlanNode { op: PlanOp::Union, inputs: union_inputs });
-        QueryPlan { function: self.function, nodes: self.nodes, source: self.source, union }
+        let union = self.push(PlanNode {
+            op: PlanOp::Union,
+            inputs: union_inputs,
+        });
+        QueryPlan {
+            function: self.function,
+            nodes: self.nodes,
+            source: self.source,
+            union,
+        }
     }
 
     fn push(&mut self, node: PlanNode) -> NodeId {
@@ -107,6 +131,33 @@ impl PlanBuilder {
 }
 
 impl QueryPlan {
+    /// Reassembles a plan from its raw parts (the inverse of the accessor
+    /// set, used by [`crate::json`] deserialization). The reassembled plan
+    /// is structurally validated.
+    pub fn from_parts(
+        function: AggregateFunction,
+        nodes: Vec<PlanNode>,
+        source: NodeId,
+        union: NodeId,
+    ) -> std::result::Result<Self, String> {
+        if source >= nodes.len() || union >= nodes.len() {
+            return Err("source/union id out of bounds".to_string());
+        }
+        for node in &nodes {
+            if node.inputs.iter().any(|&i| i >= nodes.len()) {
+                return Err("node input out of bounds".to_string());
+            }
+        }
+        let plan = QueryPlan {
+            function,
+            nodes,
+            source,
+            union,
+        };
+        plan.validate()?;
+        Ok(plan)
+    }
+
     /// The aggregate function the plan evaluates.
     #[must_use]
     pub fn function(&self) -> AggregateFunction {
@@ -174,7 +225,9 @@ impl QueryPlan {
     /// Window nodes that consume `id`'s output (directly or via multicast).
     #[must_use]
     pub fn consuming_windows(&self, id: NodeId) -> Vec<NodeId> {
-        self.window_nodes().filter(|&w| self.feeding_window(w) == Some(id)).collect()
+        self.window_nodes()
+            .filter(|&w| self.feeding_window(w) == Some(id))
+            .collect()
     }
 
     /// Exposed windows, i.e. the user's query windows.
@@ -260,7 +313,10 @@ impl QueryPlan {
             .map(|&i| self.resolve_window(i))
             .collect::<std::result::Result<_, String>>()?;
         union_feeds.sort_unstable();
-        let mut exposed: Vec<NodeId> = self.window_nodes().filter(|&i| self.is_exposed(i)).collect();
+        let mut exposed: Vec<NodeId> = self
+            .window_nodes()
+            .filter(|&i| self.is_exposed(i))
+            .collect();
         exposed.sort_unstable();
         if union_feeds != exposed {
             return Err("union inputs do not match exposed windows".to_string());
@@ -306,8 +362,10 @@ impl QueryPlan {
     /// Renders the plan as a Trill-style expression (Figure 2).
     #[must_use]
     pub fn to_trill_string(&self) -> String {
-        let roots: Vec<NodeId> =
-            self.window_nodes().filter(|&i| self.feeding_window(i).is_none()).collect();
+        let roots: Vec<NodeId> = self
+            .window_nodes()
+            .filter(|&i| self.feeding_window(i).is_none())
+            .collect();
         match roots.as_slice() {
             [single] => format!("Input.{}", self.render_trill(*single, 1)),
             many => {
@@ -330,11 +388,19 @@ impl QueryPlan {
 
     fn render_trill(&self, id: NodeId, depth: usize) -> String {
         let (window, label, exposed) = match &self.nodes[id].op {
-            PlanOp::WindowAgg { window, label, exposed } => (window, label, *exposed),
+            PlanOp::WindowAgg {
+                window,
+                label,
+                exposed,
+            } => (window, label, *exposed),
             _ => unreachable!("render_trill on non-window node"),
         };
-        let mut expr =
-            format!("{}.GroupAggregate('{}', {})", Self::window_expr(window), label, self.agg_expr());
+        let mut expr = format!(
+            "{}.GroupAggregate('{}', {})",
+            Self::window_expr(window),
+            label,
+            self.agg_expr()
+        );
         let children = self.consuming_windows(id);
         if children.is_empty() {
             return expr;
@@ -345,7 +411,10 @@ impl QueryPlan {
             // The window's own results flow on, with children unioned in.
             body.push_str(&var);
             for c in &children {
-                body.push_str(&format!(".Union({var}.{})", self.render_trill(*c, depth + 1)));
+                body.push_str(&format!(
+                    ".Union({var}.{})",
+                    self.render_trill(*c, depth + 1)
+                ));
             }
         } else {
             for (i, c) in children.iter().enumerate() {
@@ -368,7 +437,9 @@ impl QueryPlan {
         let mut names: Vec<Option<String>> = vec![None; self.nodes.len()];
         for id in self.window_nodes() {
             let (window, exposed) = match &self.nodes[id].op {
-                PlanOp::WindowAgg { window, exposed, .. } => (window, *exposed),
+                PlanOp::WindowAgg {
+                    window, exposed, ..
+                } => (window, *exposed),
                 _ => unreachable!(),
             };
             let name = format!("w{}_{}", window.range(), window.slide());
@@ -377,7 +448,10 @@ impl QueryPlan {
                 Some(p) => names[p].clone().expect("plans are topologically ordered"),
             };
             let assigner = if window.is_tumbling() {
-                format!("TumblingEventTimeWindows.of(Time.seconds({}))", window.range())
+                format!(
+                    "TumblingEventTimeWindows.of(Time.seconds({}))",
+                    window.range()
+                )
             } else {
                 format!(
                     "SlidingEventTimeWindows.of(Time.seconds({}), Time.seconds({}))",
@@ -390,7 +464,11 @@ impl QueryPlan {
             } else {
                 format!("new {}Combine()", self.function.name().to_lowercase())
             };
-            let vis = if exposed { "" } else { " // factor window (not exposed)" };
+            let vis = if exposed {
+                ""
+            } else {
+                " // factor window (not exposed)"
+            };
             out.push_str(&format!(
                 "DataStream<Agg> {name} = {feed}.keyBy(e -> e.key).window({assigner}).aggregate({agg});{vis}\n"
             ));
@@ -424,7 +502,9 @@ impl QueryPlan {
             let (shape, label) = match &n.op {
                 PlanOp::Source => ("cds", "Input".to_string()),
                 PlanOp::Multicast => ("point", String::new()),
-                PlanOp::WindowAgg { window, exposed, .. } => (
+                PlanOp::WindowAgg {
+                    window, exposed, ..
+                } => (
                     if *exposed { "box" } else { "box, style=dashed" },
                     format!("{} {}", self.function.name(), window),
                 ),
@@ -486,7 +566,10 @@ mod tests {
         let s = p.to_trill_string();
         assert!(s.starts_with("Input.Multicast(s0 => "), "{s}");
         assert!(s.contains("Tumbling(20).GroupAggregate('20'"), "{s}");
-        assert!(s.contains(".Multicast(s1 => s1.Union(s1.Tumbling(40)"), "{s}");
+        assert!(
+            s.contains(".Multicast(s1 => s1.Union(s1.Tumbling(40)"),
+            "{s}"
+        );
         assert!(s.contains(".Union(s0.Tumbling(30)"), "{s}");
     }
 

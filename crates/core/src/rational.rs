@@ -35,7 +35,10 @@ impl Rational {
         assert!(den != 0, "rational with zero denominator");
         let sign = if den < 0 { -1 } else { 1 };
         let g = gcd(num, den).max(1);
-        Rational { num: sign * num / g, den: sign * den / g }
+        Rational {
+            num: sign * num / g,
+            den: sign * den / g,
+        }
     }
 
     /// The integer `n` as a rational.

@@ -14,8 +14,11 @@ use crate::wcg::NodeKind;
 pub fn original_plan(query: &WindowQuery) -> QueryPlan {
     let mut b = PlanBuilder::new(query.function());
     let src = b.source();
-    let fan_out =
-        if query.windows().len() > 1 { b.multicast(src) } else { src };
+    let fan_out = if query.windows().len() > 1 {
+        b.multicast(src)
+    } else {
+        src
+    };
     let mut union_inputs = Vec::with_capacity(query.windows().len());
     for w in query.windows().iter() {
         let id = b.window_agg(fan_out, *w, query.label_of(w), true);
@@ -39,9 +42,16 @@ pub fn rewrite(min_cost: &MinCostWcg, query: &WindowQuery) -> QueryPlan {
     let src = b.source();
 
     let active: Vec<usize> = min_cost.active_nodes().collect();
-    let roots: Vec<usize> =
-        active.iter().copied().filter(|&i| is_root_feed(min_cost, i)).collect();
-    let fan_out = if roots.len() > 1 { b.multicast(src) } else { src };
+    let roots: Vec<usize> = active
+        .iter()
+        .copied()
+        .filter(|&i| is_root_feed(min_cost, i))
+        .collect();
+    let fan_out = if roots.len() > 1 {
+        b.multicast(src)
+    } else {
+        src
+    };
 
     // Emit windows in topological order (parents before children); the
     // forest guarantees termination.
@@ -56,16 +66,21 @@ pub fn rewrite(min_cost: &MinCostWcg, query: &WindowQuery) -> QueryPlan {
         let node = wcg.node(i);
         let exposed = node.kind == NodeKind::User;
         let input: NodeId = match min_cost.feed(i) {
-            Feed::From(p) if !wcg.is_virtual(p) => {
-                mcast_node.get(p).or_else(|| agg_node.get(p)).expect("parent emitted first")
-            }
+            Feed::From(p) if !wcg.is_virtual(p) => mcast_node
+                .get(p)
+                .or_else(|| agg_node.get(p))
+                .expect("parent emitted first"),
             _ => fan_out,
         };
         let id = b.window_agg(input, node.window, query.label_of(&node.window), exposed);
         agg_node.set(i, id);
 
-        let children: Vec<usize> =
-            min_cost.children(i).iter().copied().filter(|&c| min_cost.is_active(c)).collect();
+        let children: Vec<usize> = min_cost
+            .children(i)
+            .iter()
+            .copied()
+            .filter(|&c| min_cost.is_active(c))
+            .collect();
         let consumers = children.len() + usize::from(exposed);
         if consumers > 1 {
             let m = b.multicast(id);
@@ -100,7 +115,9 @@ mod vec_map {
 
     impl<T: Copy> VecMap<T> {
         pub fn new(capacity: usize) -> Self {
-            VecMap { slots: vec![None; capacity] }
+            VecMap {
+                slots: vec![None; capacity],
+            }
         }
 
         pub fn set(&mut self, key: usize, value: T) {
@@ -116,8 +133,8 @@ mod vec_map {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::coverage::Semantics;
     use crate::cost::CostModel;
+    use crate::coverage::Semantics;
     use crate::factor::minimize_with_factors;
     use crate::min_cost::minimize;
     use crate::taxonomy::AggregateFunction;
@@ -143,7 +160,10 @@ mod tests {
             assert_eq!(p.feeding_window(id), None);
         }
         let s = p.to_trill_string();
-        assert!(s.starts_with("Input.Multicast(s0 => s0.Tumbling(20)"), "{s}");
+        assert!(
+            s.starts_with("Input.Multicast(s0 => s0.Tumbling(20)"),
+            "{s}"
+        );
         assert!(s.contains(".Union(s0.Tumbling(30)"), "{s}");
         assert!(s.contains(".Union(s0.Tumbling(40)"), "{s}");
     }
@@ -173,8 +193,14 @@ mod tests {
         assert!(p.validate().is_ok(), "{:?}", p.validate());
         assert_eq!(p.cost(&model).unwrap(), mc.total_cost());
         let s = p.to_trill_string();
-        assert!(s.starts_with("Input.Multicast(s0 => s0.Tumbling(20)"), "{s}");
-        assert!(s.contains(".Multicast(s1 => s1.Union(s1.Tumbling(40)"), "{s}");
+        assert!(
+            s.starts_with("Input.Multicast(s0 => s0.Tumbling(20)"),
+            "{s}"
+        );
+        assert!(
+            s.contains(".Multicast(s1 => s1.Union(s1.Tumbling(40)"),
+            "{s}"
+        );
         assert!(s.contains(".Union(s0.Tumbling(30)"), "{s}");
     }
 
@@ -193,7 +219,10 @@ mod tests {
         // The factor multicast body must not union its own stream.
         assert!(s.contains(".Multicast(s1 => s1.Tumbling(20)"), "{s}");
         assert!(s.contains(".Union(s1.Tumbling(30)"), "{s}");
-        assert!(s.contains(".Multicast(s2 => s2.Union(s2.Tumbling(40)"), "{s}");
+        assert!(
+            s.contains(".Multicast(s2 => s2.Union(s2.Tumbling(40)"),
+            "{s}"
+        );
     }
 
     #[test]

@@ -3,11 +3,10 @@
 
 use crate::coverage::Semantics;
 use crate::error::{Error, Result};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Classification of aggregate functions by how sub-aggregates compose.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AggregateClass {
     /// `f(T) = g({f(T1), …, f(Tn)})` for a disjoint partition of `T`.
     Distributive,
@@ -21,7 +20,7 @@ pub enum AggregateClass {
 ///
 /// MIN/MAX/SUM/COUNT are distributive; AVG is algebraic; MEDIAN is the
 /// holistic representative used to exercise the paper's fallback path.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AggregateFunction {
     /// Minimum value.
     Min,
@@ -84,7 +83,9 @@ impl AggregateFunction {
     /// Validates that `semantics` are sound for this function.
     pub fn check_semantics(&self, semantics: Semantics) -> Result<()> {
         if self.class() == AggregateClass::Holistic {
-            return Err(Error::HolisticFunction { function: self.name() });
+            return Err(Error::HolisticFunction {
+                function: self.name(),
+            });
         }
         if semantics == Semantics::CoveredBy && !self.overlap_tolerant() {
             return Err(Error::IncompatibleSemantics {
@@ -136,28 +137,53 @@ mod tests {
     #[test]
     fn classes_match_gray_taxonomy() {
         assert_eq!(AggregateFunction::Min.class(), AggregateClass::Distributive);
-        assert_eq!(AggregateFunction::Count.class(), AggregateClass::Distributive);
+        assert_eq!(
+            AggregateFunction::Count.class(),
+            AggregateClass::Distributive
+        );
         assert_eq!(AggregateFunction::Avg.class(), AggregateClass::Algebraic);
         assert_eq!(AggregateFunction::Median.class(), AggregateClass::Holistic);
     }
 
     #[test]
     fn default_semantics_follow_footnote2() {
-        assert_eq!(AggregateFunction::Min.default_semantics(), Some(Semantics::CoveredBy));
-        assert_eq!(AggregateFunction::Max.default_semantics(), Some(Semantics::CoveredBy));
-        assert_eq!(AggregateFunction::Sum.default_semantics(), Some(Semantics::PartitionedBy));
-        assert_eq!(AggregateFunction::Avg.default_semantics(), Some(Semantics::PartitionedBy));
+        assert_eq!(
+            AggregateFunction::Min.default_semantics(),
+            Some(Semantics::CoveredBy)
+        );
+        assert_eq!(
+            AggregateFunction::Max.default_semantics(),
+            Some(Semantics::CoveredBy)
+        );
+        assert_eq!(
+            AggregateFunction::Sum.default_semantics(),
+            Some(Semantics::PartitionedBy)
+        );
+        assert_eq!(
+            AggregateFunction::Avg.default_semantics(),
+            Some(Semantics::PartitionedBy)
+        );
         assert_eq!(AggregateFunction::Median.default_semantics(), None);
     }
 
     #[test]
     fn covered_by_rejected_for_overlap_sensitive_functions() {
-        assert!(AggregateFunction::Sum.check_semantics(Semantics::CoveredBy).is_err());
-        assert!(AggregateFunction::Sum.check_semantics(Semantics::PartitionedBy).is_ok());
-        assert!(AggregateFunction::Min.check_semantics(Semantics::CoveredBy).is_ok());
+        assert!(AggregateFunction::Sum
+            .check_semantics(Semantics::CoveredBy)
+            .is_err());
+        assert!(AggregateFunction::Sum
+            .check_semantics(Semantics::PartitionedBy)
+            .is_ok());
+        assert!(AggregateFunction::Min
+            .check_semantics(Semantics::CoveredBy)
+            .is_ok());
         // MIN under partitioned-by is also sound (stricter relation).
-        assert!(AggregateFunction::Min.check_semantics(Semantics::PartitionedBy).is_ok());
-        assert!(AggregateFunction::Median.check_semantics(Semantics::PartitionedBy).is_err());
+        assert!(AggregateFunction::Min
+            .check_semantics(Semantics::PartitionedBy)
+            .is_ok());
+        assert!(AggregateFunction::Median
+            .check_semantics(Semantics::PartitionedBy)
+            .is_err());
     }
 
     #[test]

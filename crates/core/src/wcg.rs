@@ -8,11 +8,10 @@
 
 use crate::coverage::Semantics;
 use crate::window::{Window, WindowSet};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// How a vertex entered the graph.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NodeKind {
     /// The virtual root `S⟨1,1⟩` representing the raw stream.
     VirtualRoot,
@@ -23,7 +22,7 @@ pub enum NodeKind {
 }
 
 /// A vertex of the WCG.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WcgNode {
     /// The window at this vertex.
     pub window: Window,
@@ -32,7 +31,7 @@ pub struct WcgNode {
 }
 
 /// The window coverage graph.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Wcg {
     semantics: Semantics,
     nodes: Vec<WcgNode>,
@@ -94,8 +93,9 @@ impl Wcg {
             self.root = Some(existing);
             return;
         }
-        let orphan: Vec<usize> =
-            (0..self.nodes.len()).filter(|&i| self.in_edges[i].is_empty()).collect();
+        let orphan: Vec<usize> = (0..self.nodes.len())
+            .filter(|&i| self.in_edges[i].is_empty())
+            .collect();
         let root = self.push_node(unit, NodeKind::VirtualRoot);
         for target in orphan {
             self.add_edge(root, target);
@@ -104,7 +104,10 @@ impl Wcg {
     }
 
     fn push_node(&mut self, window: Window, kind: NodeKind) -> usize {
-        debug_assert!(!self.index.contains_key(&window), "duplicate vertex {window}");
+        debug_assert!(
+            !self.index.contains_key(&window),
+            "duplicate vertex {window}"
+        );
         let id = self.nodes.len();
         self.nodes.push(WcgNode { window, kind });
         self.out_edges.push(Vec::new());
@@ -213,7 +216,10 @@ impl Wcg {
 
     /// Iterates over `(from, to)` edges.
     pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        self.out_edges.iter().enumerate().flat_map(|(f, ts)| ts.iter().map(move |&t| (f, t)))
+        self.out_edges
+            .iter()
+            .enumerate()
+            .flat_map(|(f, ts)| ts.iter().map(move |&t| (f, t)))
     }
 
     /// Renders the graph in Graphviz dot format (virtual root as a point,
@@ -296,8 +302,11 @@ mod tests {
         let root = g.root().unwrap();
         assert!(g.is_virtual(root));
         assert_eq!(g.node(root).window, Window::unit());
-        let mut roots: Vec<_> =
-            g.downstream(root).iter().map(|&i| g.node(i).window.range()).collect();
+        let mut roots: Vec<_> = g
+            .downstream(root)
+            .iter()
+            .map(|&i| g.node(i).window.range())
+            .collect();
         roots.sort_unstable();
         assert_eq!(roots, vec![20, 30]);
         assert_eq!(g.len(), 4);

@@ -5,11 +5,10 @@
 //! the sequence of half-open intervals `[m·s, m·s + r)` for `m ≥ 0`.
 
 use crate::error::{Error, Result};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A half-open time interval `[start, end)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Interval {
     /// Inclusive start of the interval.
     pub start: u64,
@@ -67,7 +66,7 @@ impl fmt::Display for Interval {
 /// Invariants enforced at construction (paper Section II-A and III-B1):
 /// `0 < s ≤ r` and `s | r` (the latter makes every recurrence count an
 /// integer, an assumption the paper states explicitly).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Window {
     range: u64,
     slide: u64,
@@ -77,7 +76,11 @@ impl Window {
     /// Creates a window with the given range and slide.
     pub fn new(range: u64, slide: u64) -> Result<Self> {
         if slide == 0 {
-            return Err(Error::InvalidWindow { range, slide, reason: "slide must be positive" });
+            return Err(Error::InvalidWindow {
+                range,
+                slide,
+                reason: "slide must be positive",
+            });
         }
         if slide > range {
             return Err(Error::InvalidWindow {
@@ -86,7 +89,7 @@ impl Window {
                 reason: "slide must not exceed range",
             });
         }
-        if range % slide != 0 {
+        if !range.is_multiple_of(slide) {
             return Err(Error::InvalidWindow {
                 range,
                 slide,
@@ -162,7 +165,11 @@ impl Window {
     #[must_use]
     pub fn instances_containing(&self, t: u64) -> std::ops::RangeInclusive<u64> {
         let hi = t / self.slide;
-        let lo = if t + 1 > self.range { (t + 1 - self.range).div_ceil(self.slide) } else { 0 };
+        let lo = if t + 1 > self.range {
+            (t + 1 - self.range).div_ceil(self.slide)
+        } else {
+            0
+        };
         lo..=hi
     }
 
@@ -175,7 +182,11 @@ impl Window {
             return 1..=0; // canonical empty inclusive range
         }
         let hi = iv.start / self.slide;
-        let lo = if iv.end > self.range { (iv.end - self.range).div_ceil(self.slide) } else { 0 };
+        let lo = if iv.end > self.range {
+            (iv.end - self.range).div_ceil(self.slide)
+        } else {
+            0
+        };
         lo..=hi
     }
 
@@ -223,7 +234,7 @@ impl fmt::Display for Window {
 }
 
 /// A duplicate-free, deterministically ordered set of windows.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WindowSet {
     windows: Vec<Window>,
 }
@@ -289,18 +300,27 @@ mod tests {
 
     #[test]
     fn rejects_zero_slide() {
-        assert!(matches!(Window::new(10, 0), Err(Error::InvalidWindow { .. })));
+        assert!(matches!(
+            Window::new(10, 0),
+            Err(Error::InvalidWindow { .. })
+        ));
     }
 
     #[test]
     fn rejects_slide_larger_than_range() {
-        assert!(matches!(Window::new(10, 20), Err(Error::InvalidWindow { .. })));
+        assert!(matches!(
+            Window::new(10, 20),
+            Err(Error::InvalidWindow { .. })
+        ));
     }
 
     #[test]
     fn rejects_fractional_recurrence() {
         // r must be a multiple of s (paper Section III-B1).
-        assert!(matches!(Window::new(10, 4), Err(Error::InvalidWindow { .. })));
+        assert!(matches!(
+            Window::new(10, 4),
+            Err(Error::InvalidWindow { .. })
+        ));
     }
 
     #[test]
@@ -339,9 +359,15 @@ mod tests {
     fn instances_containing_interval() {
         let w = Window::tumbling(40).unwrap();
         // [20, 40) fits only inside [0, 40).
-        assert_eq!(w.instances_containing_interval(&Interval::new(20, 40)), 0..=0);
+        assert_eq!(
+            w.instances_containing_interval(&Interval::new(20, 40)),
+            0..=0
+        );
         // [40, 60) fits only inside [40, 80).
-        assert_eq!(w.instances_containing_interval(&Interval::new(40, 60)), 1..=1);
+        assert_eq!(
+            w.instances_containing_interval(&Interval::new(40, 60)),
+            1..=1
+        );
         // An interval longer than the range fits nowhere.
         let r = w.instances_containing_interval(&Interval::new(0, 80));
         assert!(r.is_empty());

@@ -1,104 +1,160 @@
-//! Property-based tests of the paper's theory: the divisibility
+//! Randomized tests of the paper's theory: the divisibility
 //! characterizations (Theorems 1 and 4) against the interval-level
 //! definitions, the partial-order structure (Theorem 2), the covering
 //! multiplier (Theorem 3), cost-model identities, and optimizer
-//! invariants.
+//! invariants. Cases are drawn from a deterministic PRNG so every run
+//! checks the same (large) sample.
 
 use fw_core::coverage::{
-    covering_multiplier, covering_set, definition1_covered, definition5_partitioned,
-    is_covered_by, is_partitioned_by, is_strictly_covered_by, is_strictly_partitioned_by,
+    covering_multiplier, covering_set, definition1_covered, definition5_partitioned, is_covered_by,
+    is_partitioned_by, is_strictly_covered_by, is_strictly_partitioned_by,
 };
 use fw_core::factor::{factor_benefit, minimize_with_factors};
 use fw_core::min_cost::minimize;
 use fw_core::rational::Rational;
 use fw_core::{CostModel, Semantics, Wcg, Window, WindowSet};
-use proptest::prelude::*;
 
-fn arb_window() -> impl Strategy<Value = Window> {
-    (1u64..=30, 1u64..=6).prop_map(|(s, k)| Window::new(s * k, s).expect("valid"))
-}
+/// Minimal deterministic PRNG (SplitMix64) — fw-core has no dependencies,
+/// so the test carries its own generator.
+struct Rng(u64);
 
-fn arb_window_set(max: usize) -> impl Strategy<Value = WindowSet> {
-    proptest::collection::vec(arb_window(), 1..=max)
-        .prop_map(|ws| WindowSet::new(ws).expect("non-empty"))
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[lo, hi]`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo + 1)
+    }
+
+    fn window(&mut self) -> Window {
+        let s = self.range(1, 30);
+        let k = self.range(1, 6);
+        Window::new(s * k, s).expect("valid")
+    }
+
+    fn window_set(&mut self, max: usize) -> WindowSet {
+        let n = self.range(1, max as u64) as usize;
+        WindowSet::new((0..n).map(|_| self.window()).collect()).expect("non-empty")
+    }
 }
 
 const CHECK_INTERVALS: u64 = 24;
+const CASES: u64 = 256;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn theorem1_matches_definition1(a in arb_window(), b in arb_window()) {
-        // The O(1) divisibility test is exactly the interval-level
-        // Definition 1.
-        prop_assert_eq!(is_covered_by(&a, &b), definition1_covered(&a, &b, CHECK_INTERVALS));
-    }
-
-    #[test]
-    fn theorem4_matches_definition5(a in arb_window(), b in arb_window()) {
-        prop_assert_eq!(
-            is_partitioned_by(&a, &b),
-            definition5_partitioned(&a, &b, CHECK_INTERVALS)
+#[test]
+fn theorem1_matches_definition1() {
+    // The O(1) divisibility test is exactly the interval-level
+    // Definition 1.
+    let mut rng = Rng(0x71);
+    for _ in 0..CASES {
+        let (a, b) = (rng.window(), rng.window());
+        assert_eq!(
+            is_covered_by(&a, &b),
+            definition1_covered(&a, &b, CHECK_INTERVALS),
+            "{a} vs {b}"
         );
     }
+}
 
-    #[test]
-    fn partitioning_implies_coverage(a in arb_window(), b in arb_window()) {
+#[test]
+fn theorem4_matches_definition5() {
+    let mut rng = Rng(0x74);
+    for _ in 0..CASES {
+        let (a, b) = (rng.window(), rng.window());
+        assert_eq!(
+            is_partitioned_by(&a, &b),
+            definition5_partitioned(&a, &b, CHECK_INTERVALS),
+            "{a} vs {b}"
+        );
+    }
+}
+
+#[test]
+fn partitioning_implies_coverage() {
+    let mut rng = Rng(0x75);
+    for _ in 0..CASES {
+        let (a, b) = (rng.window(), rng.window());
         if is_partitioned_by(&a, &b) {
-            prop_assert!(is_covered_by(&a, &b));
+            assert!(is_covered_by(&a, &b), "{a} vs {b}");
         }
     }
+}
 
-    #[test]
-    fn coverage_is_antisymmetric(a in arb_window(), b in arb_window()) {
-        // Theorem 2: W1 ≤ W2 and W2 ≤ W1 imply W1 = W2.
+#[test]
+fn coverage_is_antisymmetric() {
+    // Theorem 2: W1 ≤ W2 and W2 ≤ W1 imply W1 = W2.
+    let mut rng = Rng(0x72);
+    for _ in 0..CASES {
+        let (a, b) = (rng.window(), rng.window());
         if is_covered_by(&a, &b) && is_covered_by(&b, &a) {
-            prop_assert_eq!(a, b);
+            assert_eq!(a, b);
         }
     }
+}
 
-    #[test]
-    fn coverage_is_transitive(a in arb_window(), b in arb_window(), c in arb_window()) {
+#[test]
+fn coverage_is_transitive() {
+    let mut rng = Rng(0x73);
+    for _ in 0..CASES {
+        let (a, b, c) = (rng.window(), rng.window(), rng.window());
         if is_covered_by(&a, &b) && is_covered_by(&b, &c) {
-            prop_assert!(is_covered_by(&a, &c), "{a} ≤ {b} ≤ {c}");
+            assert!(is_covered_by(&a, &c), "{a} ≤ {b} ≤ {c}");
         }
     }
+}
 
-    #[test]
-    fn theorem3_multiplier_counts_covering_set(a in arb_window(), b in arb_window()) {
+#[test]
+fn theorem3_multiplier_counts_covering_set() {
+    let mut rng = Rng(0x30);
+    for _ in 0..CASES {
+        let (a, b) = (rng.window(), rng.window());
         if is_strictly_covered_by(&a, &b) {
             let m = covering_multiplier(&a, &b);
             for i in 0..CHECK_INTERVALS {
                 let iv = a.interval(i);
                 let cover = covering_set(&b, &iv);
-                prop_assert_eq!(cover.len() as u64, m);
+                assert_eq!(cover.len() as u64, m);
                 // The covering set assembles exactly the interval.
-                prop_assert_eq!(cover.first().expect("non-empty").start, iv.start);
-                prop_assert_eq!(cover.last().expect("non-empty").end, iv.end);
+                assert_eq!(cover.first().expect("non-empty").start, iv.start);
+                assert_eq!(cover.last().expect("non-empty").end, iv.end);
                 for pair in cover.windows(2) {
-                    prop_assert!(pair[1].start <= pair[0].end, "gap in covering set");
-                    prop_assert!(pair[1].start > pair[0].start);
+                    assert!(pair[1].start <= pair[0].end, "gap in covering set");
+                    assert!(pair[1].start > pair[0].start);
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn partition_covering_sets_are_disjoint(a in arb_window(), b in arb_window()) {
+#[test]
+fn partition_covering_sets_are_disjoint() {
+    let mut rng = Rng(0x31);
+    for _ in 0..CASES {
+        let (a, b) = (rng.window(), rng.window());
         if is_strictly_partitioned_by(&a, &b) {
             for i in 0..CHECK_INTERVALS {
                 let cover = covering_set(&b, &a.interval(i));
                 for pair in cover.windows(2) {
-                    prop_assert_eq!(pair[1].start, pair[0].end);
+                    assert_eq!(pair[1].start, pair[0].end);
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn recurrence_count_matches_enumeration(w in arb_window(), mult in 1u128..5) {
-        // n = 1 + (R − r)/s counts the instances wholly inside [0, R).
+#[test]
+fn recurrence_count_matches_enumeration() {
+    // n = 1 + (R − r)/s counts the instances wholly inside [0, R).
+    let mut rng = Rng(0x42);
+    for _ in 0..CASES {
+        let w = rng.window();
+        let mult = u128::from(rng.range(1, 4));
         let period = u128::from(w.range()) * mult;
         let n = w.recurrence_count(period).expect("period >= range");
         let mut enumerated = 0u128;
@@ -111,15 +167,21 @@ proptest! {
             enumerated += 1;
             m += 1;
         }
-        prop_assert_eq!(n, enumerated);
+        assert_eq!(n, enumerated, "{w} over {period}");
     }
+}
 
-    #[test]
-    fn minimize_is_per_window_optimal(windows in arb_window_set(5)) {
-        // Algorithm 1 equals the brute-force minimum over parent choices.
+#[test]
+fn minimize_is_per_window_optimal() {
+    // Algorithm 1 equals the brute-force minimum over parent choices.
+    let mut rng = Rng(0xA1);
+    for _ in 0..128 {
+        let windows = rng.window_set(5);
         let model = CostModel::default();
         for semantics in [Semantics::CoveredBy, Semantics::PartitionedBy] {
-            let Ok(period) = model.period(windows.iter()) else { return Ok(()); };
+            let Ok(period) = model.period(windows.iter()) else {
+                continue;
+            };
             let mc = minimize(Wcg::build_augmented(&windows, semantics), &model, period)
                 .expect("minimizes");
             let mut brute = 0u128;
@@ -132,20 +194,26 @@ proptest! {
                 }
                 brute += best;
             }
-            prop_assert_eq!(mc.total_cost(), brute);
-            prop_assert!(mc.is_forest());
+            assert_eq!(mc.total_cost(), brute, "{windows} {semantics:?}");
+            assert!(mc.is_forest());
         }
     }
+}
 
-    #[test]
-    fn factors_never_regress(windows in arb_window_set(6)) {
+#[test]
+fn factors_never_regress() {
+    let mut rng = Rng(0xFA);
+    for _ in 0..128 {
+        let windows = rng.window_set(6);
         let model = CostModel::default();
         for semantics in [Semantics::CoveredBy, Semantics::PartitionedBy] {
-            let Ok(period) = model.period(windows.iter()) else { return Ok(()); };
+            let Ok(period) = model.period(windows.iter()) else {
+                continue;
+            };
             let plain = minimize(Wcg::build_augmented(&windows, semantics), &model, period)
                 .expect("minimizes");
             let with = minimize_with_factors(&windows, semantics, &model).expect("minimizes");
-            prop_assert!(
+            assert!(
                 with.total_cost() <= plain.total_cost(),
                 "{windows} {semantics:?}: {} > {}",
                 with.total_cost(),
@@ -153,18 +221,22 @@ proptest! {
             );
         }
     }
+}
 
-    #[test]
-    fn benefit_is_realized_by_insertion(
-        windows in arb_window_set(4),
-        rf_idx in 0usize..8,
-    ) {
-        // For any valid factor candidate between the virtual root and the
-        // raw-fed windows, δ_f equals the exact cost change of the local
-        // pattern — and the full Algorithm-1 rerun can only do better.
+#[test]
+fn benefit_is_realized_by_insertion() {
+    // For any valid factor candidate between the virtual root and the
+    // raw-fed windows, δ_f equals the exact cost change of the local
+    // pattern — and the full Algorithm-1 rerun can only do better.
+    let mut rng = Rng(0xBE);
+    for _ in 0..CASES {
+        let windows = rng.window_set(4);
+        let rf_idx = rng.range(0, 7) as usize;
         let model = CostModel::default();
         let semantics = Semantics::CoveredBy;
-        let Ok(period) = model.period(windows.iter()) else { return Ok(()); };
+        let Ok(period) = model.period(windows.iter()) else {
+            continue;
+        };
         let wcg = Wcg::build_augmented(&windows, semantics);
         let mc = minimize(wcg.clone(), &model, period).expect("minimizes");
         let raw_fed: Vec<Window> = mc
@@ -173,32 +245,38 @@ proptest! {
             .map(|i| wcg.node(i).window)
             .collect();
         if raw_fed.is_empty() {
-            return Ok(());
+            continue;
         }
         // Enumerate a few candidate factors; skip invalid ones.
-        let sd = raw_fed.iter().map(Window::slide).fold(0, fw_core::cost::gcd);
+        let sd = raw_fed
+            .iter()
+            .map(Window::slide)
+            .fold(0, fw_core::cost::gcd);
         let rmin = raw_fed.iter().map(Window::range).min().expect("non-empty");
         let sf = sd;
         let rf = sf * (rf_idx as u64 + 1);
         if rf > rmin || sf == 0 {
-            return Ok(());
+            continue;
         }
         let cand = Window::new(rf, sf).expect("rf multiple of sf");
         let valid = wcg.find(&cand).is_none()
             && is_strictly_covered_by(&cand, &Window::unit())
             && raw_fed.iter().all(|wj| is_strictly_covered_by(wj, &cand));
         if !valid {
-            return Ok(());
+            continue;
         }
-        let delta =
-            factor_benefit(&model, period, &Window::unit(), true, &cand, &raw_fed)
-                .expect("benefit computes");
+        let delta = factor_benefit(&model, period, &Window::unit(), true, &cand, &raw_fed)
+            .expect("benefit computes");
         // Manually expand and re-minimize.
         let mut expanded = wcg.clone();
         let root = expanded.root().expect("augmented");
-        let children: Vec<usize> =
-            raw_fed.iter().map(|w| expanded.find(w).expect("vertex")).collect();
-        expanded.insert_factor(cand, root, &children).expect("fresh vertex");
+        let children: Vec<usize> = raw_fed
+            .iter()
+            .map(|w| expanded.find(w).expect("vertex"))
+            .collect();
+        expanded
+            .insert_factor(cand, root, &children)
+            .expect("fresh vertex");
         let mut re = minimize(expanded, &model, period).expect("minimizes");
         re.prune_dead_factors();
         // The local pattern move realizes exactly δ_f; the Algorithm-1
@@ -206,25 +284,31 @@ proptest! {
         // candidates are force-inserted here — Algorithm 3 itself filters
         // them — so `realized` may be negative, but never below δ_f.
         let realized = mc.total_cost() as i128 - re.total_cost() as i128;
-        prop_assert!(
+        assert!(
             realized >= delta,
             "realized {realized} < promised {delta} for {cand} over {windows}"
         );
     }
+}
 
-    #[test]
-    fn rational_ordering_matches_f64(a in -1000i128..1000, b in 1i128..1000,
-                                     c in -1000i128..1000, d in 1i128..1000) {
+#[test]
+fn rational_ordering_matches_f64() {
+    let mut rng = Rng(0x4A);
+    for _ in 0..CASES {
+        let a = rng.range(0, 2000) as i128 - 1000;
+        let b = rng.range(1, 1000) as i128;
+        let c = rng.range(0, 2000) as i128 - 1000;
+        let d = rng.range(1, 1000) as i128;
         let x = Rational::new(a, b);
         let y = Rational::new(c, d);
         let fx = a as f64 / b as f64;
         let fy = c as f64 / d as f64;
         if (fx - fy).abs() > 1e-9 {
-            prop_assert_eq!(x < y, fx < fy);
+            assert_eq!(x < y, fx < fy, "{a}/{b} vs {c}/{d}");
         }
         // Field laws on small values.
-        prop_assert_eq!(x + y, y + x);
-        prop_assert_eq!((x - y) + y, x);
-        prop_assert_eq!(x * y, y * x);
+        assert_eq!(x + y, y + x);
+        assert_eq!((x - y) + y, x);
+        assert_eq!(x * y, y * x);
     }
 }

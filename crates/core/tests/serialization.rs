@@ -1,7 +1,9 @@
 //! Serialization round-trips: windows, window sets, and whole plans are
-//! `serde`-serializable so deployments can persist optimizer decisions
-//! (e.g. ship a rewritten plan to a fleet of stream processors).
+//! JSON-serializable (via the crate's dependency-free [`fw_core::json`]
+//! codec) so deployments can persist optimizer decisions — e.g. ship a
+//! rewritten plan to a fleet of stream processors.
 
+use fw_core::json::{FromJson, ToJson};
 use fw_core::prelude::*;
 use fw_core::QueryPlan;
 
@@ -19,9 +21,10 @@ fn example_outcome() -> fw_core::OptimizationOutcome {
 #[test]
 fn window_round_trips_through_json() {
     let w = Window::hopping(40, 10).unwrap();
-    let json = serde_json::to_string(&w).unwrap();
-    let back: Window = serde_json::from_str(&json).unwrap();
+    let json = w.to_json();
+    let back = Window::from_json(&json).unwrap();
     assert_eq!(w, back);
+    assert_eq!(json, r#"{"range":40,"slide":10}"#);
 }
 
 #[test]
@@ -31,8 +34,8 @@ fn window_set_round_trips_through_json() {
         Window::hopping(60, 20).unwrap(),
     ])
     .unwrap();
-    let json = serde_json::to_string(&ws).unwrap();
-    let back: WindowSet = serde_json::from_str(&json).unwrap();
+    let json = ws.to_json();
+    let back = WindowSet::from_json(&json).unwrap();
     assert_eq!(ws, back);
 }
 
@@ -40,8 +43,8 @@ fn window_set_round_trips_through_json() {
 fn plans_round_trip_through_json() {
     let outcome = example_outcome();
     for bundle in [&outcome.original, &outcome.rewritten, &outcome.factored] {
-        let json = serde_json::to_string_pretty(&bundle.plan).unwrap();
-        let back: QueryPlan = serde_json::from_str(&json).unwrap();
+        let json = bundle.plan.to_json();
+        let back = QueryPlan::from_json(&json).unwrap();
         assert_eq!(bundle.plan, back);
         assert!(back.validate().is_ok());
         // A deserialized plan is fully functional.
@@ -53,6 +56,38 @@ fn plans_round_trip_through_json() {
 #[test]
 fn factored_plan_json_marks_hidden_windows() {
     let outcome = example_outcome();
-    let json = serde_json::to_string(&outcome.factored.plan).unwrap();
+    let json = outcome.factored.plan.to_json();
     assert!(json.contains("\"exposed\":false"), "{json}");
+}
+
+#[test]
+fn invalid_plan_json_is_rejected() {
+    // Structurally broken documents fail decoding, not later execution.
+    assert!(QueryPlan::from_json("{").is_err());
+    assert!(QueryPlan::from_json(r#"{"function":"MIN","nodes":[],"source":0,"union":0}"#).is_err());
+    // A union that skips an exposed window fails plan validation.
+    let json = r#"{"function":"Min","nodes":[{"op":"Source","inputs":[]},
+        {"op":{"WindowAgg":{"window":{"range":10,"slide":10},"label":"a","exposed":true}},"inputs":[0]},
+        {"op":{"WindowAgg":{"window":{"range":20,"slide":20},"label":"b","exposed":true}},"inputs":[0]},
+        {"op":"Union","inputs":[1]}],"source":0,"union":3}"#;
+    let err = QueryPlan::from_json(json).unwrap_err();
+    assert!(err.message.contains("union"), "{err}");
+}
+
+#[test]
+fn labels_survive_the_round_trip() {
+    let mut labels = std::collections::BTreeMap::new();
+    labels.insert(
+        Window::tumbling(20).unwrap(),
+        "20 min \"quoted\"".to_string(),
+    );
+    let windows = WindowSet::new(vec![
+        Window::tumbling(20).unwrap(),
+        Window::tumbling(40).unwrap(),
+    ])
+    .unwrap();
+    let query = WindowQuery::new(windows, AggregateFunction::Min).with_labels(labels);
+    let outcome = Optimizer::default().optimize(&query).unwrap();
+    let back = QueryPlan::from_json(&outcome.factored.plan.to_json()).unwrap();
+    assert!(back.to_trill_string().contains("20 min \"quoted\""));
 }

@@ -24,7 +24,10 @@ impl fmt::Display for EngineError {
                 write!(f, "{function} cannot be computed from sub-aggregates")
             }
             EngineError::OutOfOrderEvent { at, watermark } => {
-                write!(f, "out-of-order event at t={at} behind watermark {watermark}")
+                write!(
+                    f,
+                    "out-of-order event at t={at} behind watermark {watermark}"
+                )
             }
             EngineError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
         }

@@ -79,8 +79,12 @@ impl ResultSink {
 #[must_use]
 pub fn sorted_results(mut results: Vec<WindowResult>) -> Vec<WindowResult> {
     results.sort_by(|a, b| {
-        (a.window, a.interval.start, a.interval.end, a.key)
-            .cmp(&(b.window, b.interval.start, b.interval.end, b.key))
+        (a.window, a.interval.start, a.interval.end, a.key).cmp(&(
+            b.window,
+            b.interval.start,
+            b.interval.end,
+            b.key,
+        ))
     });
     results
 }
@@ -92,7 +96,12 @@ mod tests {
     #[test]
     fn sink_counts_and_collects() {
         let w = Window::tumbling(10).unwrap();
-        let r = WindowResult { window: w, interval: Interval::new(0, 10), key: 1, value: 2.0 };
+        let r = WindowResult {
+            window: w,
+            interval: Interval::new(0, 10),
+            key: 1,
+            value: 2.0,
+        };
         let mut count = 0;
         let mut sink = ResultSink::CountOnly;
         sink.push(r, &mut count);

@@ -6,11 +6,20 @@
 //! sub-aggregates cascade to child operators (the Multicast/Union wiring of
 //! the plan collapses into the routing tables here). Exposed operators also
 //! emit user-visible results.
+//!
+//! Compilation and feeding are split: [`PlanPipeline::compile`] builds a
+//! long-lived pipeline once, and [`PlanPipeline::push`] /
+//! [`PlanPipeline::advance_watermark`] / [`PlanPipeline::poll_results`] /
+//! [`PlanPipeline::finish`] drive it incrementally. The free functions
+//! [`execute`] / [`execute_with`] remain as thin batch wrappers and are
+//! deprecated in favor of the pipeline (or the `factor_windows::Session`
+//! façade one level up).
 
 use crate::agg::{Aggregate, AvgAgg, CountAgg, MaxAgg, MedianAgg, MinAgg, SumAgg};
 use crate::error::{EngineError, Result};
 use crate::event::{Event, ResultSink, WindowResult};
 use crate::pane::PaneStore;
+use crate::reorder::ReorderBuffer;
 use fw_core::{AggregateFunction, QueryPlan, Window};
 use std::time::{Duration, Instant};
 
@@ -35,13 +44,15 @@ impl ExecStats {
 /// Outcome of executing a plan over a stream.
 #[derive(Debug)]
 pub struct RunOutput {
-    /// Number of events pushed through the plan.
+    /// Number of events fed through the plan.
     pub events_processed: u64,
     /// Number of (window, instance, key) results emitted to the union.
     pub results_emitted: u64,
-    /// Wall time of the processing loop (compilation excluded).
+    /// Wall time of the processing (compilation excluded).
     pub elapsed: Duration,
-    /// Collected results (empty unless collection was requested).
+    /// Collected results not yet drained by
+    /// [`PlanPipeline::poll_results`] (empty unless collection was
+    /// requested).
     pub results: Vec<WindowResult>,
     /// Cost-model element counts (updates and combines).
     pub stats: ExecStats,
@@ -58,7 +69,7 @@ impl RunOutput {
     }
 }
 
-/// Execution options.
+/// Execution options for the deprecated batch entry points.
 #[derive(Debug, Clone, Copy)]
 pub struct ExecOptions {
     /// Gather results (tests) instead of counting them (throughput runs).
@@ -70,54 +81,315 @@ pub struct ExecOptions {
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        ExecOptions { collect: false, element_work: crate::pane::DEFAULT_ELEMENT_WORK }
+        ExecOptions {
+            collect: false,
+            element_work: crate::pane::DEFAULT_ELEMENT_WORK,
+        }
+    }
+}
+
+/// Options for compiling a [`PlanPipeline`].
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineOptions {
+    /// Gather results for [`PlanPipeline::poll_results`] /
+    /// [`RunOutput::results`] (tests and consumers) instead of counting
+    /// them (throughput runs).
+    pub collect: bool,
+    /// Emulated per-element processing cost
+    /// ([`crate::pane::DEFAULT_ELEMENT_WORK`]); `0` disables it.
+    pub element_work: u32,
+    /// Bounded out-of-order tolerance in time units: events may lag the
+    /// observed maximum timestamp by up to this much and are repaired
+    /// through a [`ReorderBuffer`]; `0` demands in-order input.
+    pub out_of_order: u64,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions {
+            collect: false,
+            element_work: crate::pane::DEFAULT_ELEMENT_WORK,
+            out_of_order: 0,
+        }
+    }
+}
+
+impl PipelineOptions {
+    /// Options for correctness checks: collect results, no emulated work.
+    #[must_use]
+    pub fn collecting() -> Self {
+        PipelineOptions {
+            collect: true,
+            ..PipelineOptions::default()
+        }
     }
 }
 
 /// Executes `plan` over `events` (must be in non-decreasing time order)
 /// with default element work. Set `collect` to gather results for
 /// correctness checks; leave it off for throughput measurements.
+#[deprecated(
+    since = "0.2.0",
+    note = "compile a `PlanPipeline` (or use `factor_windows::Session`) and push events instead"
+)]
 pub fn execute(plan: &QueryPlan, events: &[Event], collect: bool) -> Result<RunOutput> {
-    execute_with(plan, events, ExecOptions { collect, ..ExecOptions::default() })
+    let opts = PipelineOptions {
+        collect,
+        element_work: crate::pane::DEFAULT_ELEMENT_WORK,
+        out_of_order: 0,
+    };
+    PlanPipeline::run(plan, events, opts)
 }
 
 /// Executes `plan` with explicit [`ExecOptions`].
+#[deprecated(
+    since = "0.2.0",
+    note = "compile a `PlanPipeline` (or use `factor_windows::Session`) and push events instead"
+)]
 pub fn execute_with(plan: &QueryPlan, events: &[Event], opts: ExecOptions) -> Result<RunOutput> {
-    match plan.function() {
-        AggregateFunction::Min => run_typed::<MinAgg>(plan, events, opts),
-        AggregateFunction::Max => run_typed::<MaxAgg>(plan, events, opts),
-        AggregateFunction::Sum => run_typed::<SumAgg>(plan, events, opts),
-        AggregateFunction::Count => run_typed::<CountAgg>(plan, events, opts),
-        AggregateFunction::Avg => run_typed::<AvgAgg>(plan, events, opts),
-        AggregateFunction::Median => run_typed::<MedianAgg>(plan, events, opts),
+    let opts = PipelineOptions {
+        collect: opts.collect,
+        element_work: opts.element_work,
+        out_of_order: 0,
+    };
+    PlanPipeline::run(plan, events, opts)
+}
+
+/// A compiled, long-lived physical pipeline with an incremental push API.
+///
+/// ```
+/// use fw_core::prelude::*;
+/// use fw_engine::{Event, PipelineOptions, PlanPipeline};
+///
+/// let windows = WindowSet::new(vec![Window::tumbling(10)?])?;
+/// let query = WindowQuery::new(windows, AggregateFunction::Sum);
+/// let plan = fw_core::rewrite::original_plan(&query);
+///
+/// let mut pipeline = PlanPipeline::compile(&plan, PipelineOptions::collecting()).unwrap();
+/// for t in 0..25u64 {
+///     pipeline.push(Event::new(t, 0, 1.0)).unwrap();
+/// }
+/// pipeline.advance_watermark(20).unwrap();
+/// assert_eq!(pipeline.poll_results().len(), 2); // [0,10) and [10,20) sealed
+/// let out = pipeline.finish().unwrap();
+/// assert_eq!(out.events_processed, 25);
+/// # Ok::<(), fw_core::Error>(())
+/// ```
+pub struct PlanPipeline {
+    core: Box<dyn PipelineCore>,
+    sink: ResultSink,
+    reorder: Option<ReorderBuffer>,
+    staging: Vec<Event>,
+    events_processed: u64,
+    /// Maximum event time fed to the core (the end-of-stream seal point).
+    last_time: u64,
+    elapsed: Duration,
+}
+
+impl std::fmt::Debug for PlanPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanPipeline")
+            .field("events_processed", &self.events_processed)
+            .field("watermark", &self.core.watermark())
+            .field("buffered", &self.buffered())
+            .finish_non_exhaustive()
     }
 }
 
-fn run_typed<A: Aggregate>(plan: &QueryPlan, events: &[Event], opts: ExecOptions) -> Result<RunOutput> {
-    let mut pipeline = Pipeline::<A>::compile(plan, opts.element_work)?;
-    let mut sink =
-        if opts.collect { ResultSink::Collect(Vec::new()) } else { ResultSink::CountOnly };
-    let start = Instant::now();
-    pipeline.run(events, &mut sink)?;
-    let elapsed = start.elapsed();
-    std::hint::black_box(
-        pipeline.stores.iter().map(PaneStore::work_sink).fold(0u64, u64::wrapping_add),
-    );
-    let stats = ExecStats {
-        updates: pipeline.stores.iter().map(PaneStore::updates).sum(),
-        combines: pipeline.stores.iter().map(PaneStore::combines).sum(),
-    };
-    Ok(RunOutput {
-        events_processed: events.len() as u64,
-        results_emitted: pipeline.results_emitted,
-        elapsed,
-        results: sink.into_results(),
-        stats,
-    })
+impl PlanPipeline {
+    /// Compiles `plan` into a pipeline. Holistic functions in sub-aggregate
+    /// position and structurally invalid plans are rejected here, before
+    /// any event flows.
+    pub fn compile(plan: &QueryPlan, opts: PipelineOptions) -> Result<Self> {
+        let core: Box<dyn PipelineCore> = match plan.function() {
+            AggregateFunction::Min => Box::new(Typed::<MinAgg>::compile(plan, opts.element_work)?),
+            AggregateFunction::Max => Box::new(Typed::<MaxAgg>::compile(plan, opts.element_work)?),
+            AggregateFunction::Sum => Box::new(Typed::<SumAgg>::compile(plan, opts.element_work)?),
+            AggregateFunction::Count => {
+                Box::new(Typed::<CountAgg>::compile(plan, opts.element_work)?)
+            }
+            AggregateFunction::Avg => Box::new(Typed::<AvgAgg>::compile(plan, opts.element_work)?),
+            AggregateFunction::Median => {
+                Box::new(Typed::<MedianAgg>::compile(plan, opts.element_work)?)
+            }
+        };
+        Ok(PlanPipeline {
+            core,
+            sink: if opts.collect {
+                ResultSink::Collect(Vec::new())
+            } else {
+                ResultSink::CountOnly
+            },
+            reorder: (opts.out_of_order > 0).then(|| ReorderBuffer::new(opts.out_of_order)),
+            staging: Vec::new(),
+            events_processed: 0,
+            last_time: 0,
+            elapsed: Duration::ZERO,
+        })
+    }
+
+    /// Compiles and runs `plan` over a whole in-order batch — the
+    /// non-deprecated replacement for [`execute_with`].
+    pub fn run(plan: &QueryPlan, events: &[Event], opts: PipelineOptions) -> Result<RunOutput> {
+        let mut pipeline = PlanPipeline::compile(plan, opts)?;
+        pipeline.push_batch(events)?;
+        pipeline.finish()
+    }
+
+    /// Pushes one event. With an out-of-order tolerance configured, the
+    /// event may lag the observed maximum timestamp by up to the
+    /// tolerance; otherwise it must not precede the current watermark.
+    pub fn push(&mut self, event: Event) -> Result<()> {
+        self.push_batch(std::slice::from_ref(&event))
+    }
+
+    /// Pushes a batch of events (timed once around the whole batch, so
+    /// batch callers pay no per-event clock overhead).
+    pub fn push_batch(&mut self, events: &[Event]) -> Result<()> {
+        let start = Instant::now();
+        let result = self.push_inner(events);
+        self.elapsed += start.elapsed();
+        result
+    }
+
+    fn push_inner(&mut self, events: &[Event]) -> Result<()> {
+        match &mut self.reorder {
+            None => {
+                let result = self.core.feed_batch(events, &mut self.sink);
+                self.sync_accounting();
+                result
+            }
+            Some(buffer) => {
+                for &event in events {
+                    buffer.push(event, &mut self.staging)?;
+                }
+                self.feed_staged()
+            }
+        }
+    }
+
+    /// Feeds everything the reorder buffer released.
+    fn feed_staged(&mut self) -> Result<()> {
+        if self.staging.is_empty() {
+            return Ok(());
+        }
+        let staged = std::mem::take(&mut self.staging);
+        let result = self.core.feed_batch(&staged, &mut self.sink);
+        self.sync_accounting();
+        self.staging = staged;
+        self.staging.clear();
+        result
+    }
+
+    /// Mirrors the core's feed counters. The core counts per event, so a
+    /// batch that errors mid-way leaves the accounting consistent with the
+    /// events actually aggregated (the prefix before the error).
+    fn sync_accounting(&mut self) {
+        self.events_processed = self.core.events_fed();
+        self.last_time = self.core.last_event_time();
+    }
+
+    /// Declares that no event with `time < watermark` will arrive: releases
+    /// everything the reorder buffer held before `watermark`, seals every
+    /// window instance ending at or before it, and emits their results.
+    pub fn advance_watermark(&mut self, watermark: u64) -> Result<()> {
+        let start = Instant::now();
+        if let Some(buffer) = &mut self.reorder {
+            buffer.advance_to(watermark, &mut self.staging);
+        }
+        let result = self.feed_staged();
+        self.core.advance_to(watermark, &mut self.sink);
+        self.elapsed += start.elapsed();
+        result
+    }
+
+    /// Drains the results collected since the last poll. Always empty when
+    /// the pipeline was compiled without `collect`.
+    pub fn poll_results(&mut self) -> Vec<WindowResult> {
+        match &mut self.sink {
+            ResultSink::Collect(results) => std::mem::take(results),
+            ResultSink::CountOnly => Vec::new(),
+        }
+    }
+
+    /// Ends the stream: flushes the reorder buffer, seals everything the
+    /// stream completed, and returns the run's accounting (plus any
+    /// results not yet drained by [`Self::poll_results`]).
+    pub fn finish(mut self) -> Result<RunOutput> {
+        let start = Instant::now();
+        if let Some(buffer) = &mut self.reorder {
+            buffer.flush(&mut self.staging);
+        }
+        self.feed_staged()?;
+        if self.events_processed > 0 {
+            self.core.advance_to(self.last_time + 1, &mut self.sink);
+        }
+        self.elapsed += start.elapsed();
+        // Keep the emulated element work observable so it is not optimized
+        // away (see `pane::element_work`).
+        std::hint::black_box(self.core.work_total());
+        Ok(RunOutput {
+            events_processed: self.events_processed,
+            results_emitted: self.core.results_emitted(),
+            elapsed: self.elapsed,
+            results: self.sink.into_results(),
+            stats: self.core.stats(),
+        })
+    }
+
+    /// Number of events fed into the operators so far (events still held in
+    /// the reorder buffer are not counted).
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Number of results emitted so far (including polled ones).
+    #[must_use]
+    pub fn results_emitted(&self) -> u64 {
+        self.core.results_emitted()
+    }
+
+    /// Current ordering watermark of the operators.
+    #[must_use]
+    pub fn watermark(&self) -> u64 {
+        self.core.watermark()
+    }
+
+    /// Events currently held in the reorder buffer.
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.reorder.as_ref().map_or(0, ReorderBuffer::buffered)
+    }
+
+    /// Cost-model element counts so far.
+    #[must_use]
+    pub fn stats(&self) -> ExecStats {
+        self.core.stats()
+    }
+
+    /// Processing wall time accumulated so far (compilation excluded).
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.elapsed
+    }
+}
+
+/// Object-safe interface over the aggregate-monomorphic pipeline core, so
+/// one [`PlanPipeline`] type serves every aggregate function.
+trait PipelineCore {
+    fn feed_batch(&mut self, events: &[Event], sink: &mut ResultSink) -> Result<()>;
+    fn advance_to(&mut self, watermark: u64, sink: &mut ResultSink);
+    fn watermark(&self) -> u64;
+    fn events_fed(&self) -> u64;
+    fn last_event_time(&self) -> u64;
+    fn results_emitted(&self) -> u64;
+    fn stats(&self) -> ExecStats;
+    fn work_total(&self) -> u64;
 }
 
 /// The compiled physical pipeline, monomorphic over the aggregate.
-struct Pipeline<A: Aggregate> {
+struct Typed<A: Aggregate> {
     stores: Vec<PaneStore<A>>,
     windows: Vec<Window>,
     exposed: Vec<bool>,
@@ -128,13 +400,23 @@ struct Pipeline<A: Aggregate> {
     /// this cannot seal anything, so the per-event fast path is one compare.
     deadline: u64,
     results_emitted: u64,
+    /// Events successfully folded into the operators.
+    fed: u64,
+    /// Maximum event time among fed events (the end-of-stream seal point;
+    /// unlike `watermark`, never moved by explicit announcements).
+    last_event_time: u64,
 }
 
-impl<A: Aggregate> Pipeline<A> {
+impl<A: Aggregate> Typed<A> {
     fn compile(plan: &QueryPlan, element_work: u32) -> Result<Self> {
         plan.validate().map_err(EngineError::InvalidPlan)?;
         let node_ids: Vec<usize> = plan.window_nodes().collect();
-        let op_of = |node: usize| node_ids.iter().position(|&n| n == node).expect("window node");
+        let op_of = |node: usize| {
+            node_ids
+                .iter()
+                .position(|&n| n == node)
+                .expect("window node")
+        };
 
         let mut windows = Vec::with_capacity(node_ids.len());
         let mut exposed = Vec::with_capacity(node_ids.len());
@@ -156,9 +438,11 @@ impl<A: Aggregate> Pipeline<A> {
                 }
             }
         }
-        let stores =
-            windows.iter().map(|w| PaneStore::<A>::with_element_work(*w, element_work)).collect();
-        let mut pipeline = Pipeline {
+        let stores = windows
+            .iter()
+            .map(|w| PaneStore::<A>::with_element_work(*w, element_work))
+            .collect();
+        let mut pipeline = Typed {
             stores,
             windows,
             exposed,
@@ -167,13 +451,20 @@ impl<A: Aggregate> Pipeline<A> {
             watermark: 0,
             deadline: 0,
             results_emitted: 0,
+            fed: 0,
+            last_event_time: 0,
         };
         pipeline.recompute_deadline();
         Ok(pipeline)
     }
 
     fn recompute_deadline(&mut self) {
-        self.deadline = self.stores.iter().map(PaneStore::front_end).min().unwrap_or(u64::MAX);
+        self.deadline = self
+            .stores
+            .iter()
+            .map(PaneStore::front_end)
+            .min()
+            .unwrap_or(u64::MAX);
     }
 
     /// Emits the window's results for the pane at the store front.
@@ -186,7 +477,12 @@ impl<A: Aggregate> Pipeline<A> {
         if let ResultSink::Collect(_) = sink {
             let results: Vec<WindowResult> = pane
                 .iter()
-                .map(|(&key, acc)| WindowResult { window, interval, key, value: A::finalize(acc) })
+                .map(|(&key, acc)| WindowResult {
+                    window,
+                    interval,
+                    key,
+                    value: A::finalize(acc),
+                })
                 .collect();
             for r in results {
                 sink.push(r, &mut emitted);
@@ -197,26 +493,23 @@ impl<A: Aggregate> Pipeline<A> {
         self.results_emitted += emitted;
     }
 
-    fn run(&mut self, events: &[Event], sink: &mut ResultSink) -> Result<()> {
-        for event in events {
-            if event.time < self.watermark {
-                return Err(EngineError::OutOfOrderEvent {
-                    at: event.time,
-                    watermark: self.watermark,
-                });
-            }
-            if event.time >= self.deadline {
-                self.advance(event.time, sink);
-            }
-            self.watermark = event.time;
-            for &root in &self.roots {
-                self.stores[root].update_point(event.time, event.key, event.value);
-            }
+    #[inline]
+    fn feed(&mut self, event: &Event, sink: &mut ResultSink) -> Result<()> {
+        if event.time < self.watermark {
+            return Err(EngineError::OutOfOrderEvent {
+                at: event.time,
+                watermark: self.watermark,
+            });
         }
-        // Seal everything completed by the end of the stream.
-        if let Some(last) = events.last() {
-            self.advance(last.time + 1, sink);
+        if event.time >= self.deadline {
+            self.advance(event.time, sink);
         }
+        self.watermark = event.time;
+        for &root in &self.roots {
+            self.stores[root].update_point(event.time, event.key, event.value);
+        }
+        self.fed += 1;
+        self.last_event_time = self.last_event_time.max(event.time);
         Ok(())
     }
 
@@ -248,24 +541,81 @@ impl<A: Aggregate> Pipeline<A> {
     }
 }
 
+impl<A: Aggregate> PipelineCore for Typed<A> {
+    fn feed_batch(&mut self, events: &[Event], sink: &mut ResultSink) -> Result<()> {
+        for event in events {
+            self.feed(event, sink)?;
+        }
+        Ok(())
+    }
+
+    fn advance_to(&mut self, watermark: u64, sink: &mut ResultSink) {
+        self.advance(watermark, sink);
+        // Later events behind an announced watermark can no longer be
+        // ordered with the sealed instances.
+        self.watermark = self.watermark.max(watermark);
+    }
+
+    fn watermark(&self) -> u64 {
+        self.watermark
+    }
+
+    fn events_fed(&self) -> u64 {
+        self.fed
+    }
+
+    fn last_event_time(&self) -> u64 {
+        self.last_event_time
+    }
+
+    fn results_emitted(&self) -> u64 {
+        self.results_emitted
+    }
+
+    fn stats(&self) -> ExecStats {
+        ExecStats {
+            updates: self.stores.iter().map(PaneStore::updates).sum(),
+            combines: self.stores.iter().map(PaneStore::combines).sum(),
+        }
+    }
+
+    fn work_total(&self) -> u64 {
+        self.stores
+            .iter()
+            .map(PaneStore::work_sink)
+            .fold(0u64, u64::wrapping_add)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::event::sorted_results;
-    use fw_core::{
-        AggregateFunction, Optimizer, Semantics, Window, WindowQuery, WindowSet,
-    };
+    use fw_core::{AggregateFunction, Optimizer, Semantics, Window, WindowQuery, WindowSet};
 
     fn w(r: u64, s: u64) -> Window {
         Window::new(r, s).unwrap()
     }
 
     fn events(n: u64, keys: u32) -> Vec<Event> {
-        (0..n).map(|t| Event::new(t, (t % u64::from(keys)) as u32, (t % 17) as f64)).collect()
+        (0..n)
+            .map(|t| Event::new(t, (t % u64::from(keys)) as u32, (t % 17) as f64))
+            .collect()
     }
 
     fn query(ws: &[Window], f: AggregateFunction) -> WindowQuery {
         WindowQuery::new(WindowSet::new(ws.to_vec()).unwrap(), f)
+    }
+
+    fn run_collect(plan: &QueryPlan, evs: &[Event]) -> Result<RunOutput> {
+        PlanPipeline::run(
+            plan,
+            evs,
+            PipelineOptions {
+                collect: true,
+                ..Default::default()
+            },
+        )
     }
 
     #[test]
@@ -273,7 +623,7 @@ mod tests {
         let q = query(&[w(10, 10)], AggregateFunction::Min);
         let plan = fw_core::rewrite::original_plan(&q);
         let evs = events(30, 1);
-        let out = execute(&plan, &evs, true).unwrap();
+        let out = run_collect(&plan, &evs).unwrap();
         // Instances [0,10): min(0..10 % 17) = 0; [10,20): values 10..16,0,1,2 → 0;
         // [20,30): values 3..12 → 3.
         let results = sorted_results(out.results);
@@ -289,9 +639,9 @@ mod tests {
         let q = query(&[w(20, 20), w(30, 30), w(40, 40)], AggregateFunction::Min);
         let out = Optimizer::default().optimize(&q).unwrap();
         let evs = events(500, 4);
-        let a = execute(&out.original.plan, &evs, true).unwrap();
-        let b = execute(&out.rewritten.plan, &evs, true).unwrap();
-        let c = execute(&out.factored.plan, &evs, true).unwrap();
+        let a = run_collect(&out.original.plan, &evs).unwrap();
+        let b = run_collect(&out.rewritten.plan, &evs).unwrap();
+        let c = run_collect(&out.factored.plan, &evs).unwrap();
         let ra = sorted_results(a.results);
         let rb = sorted_results(b.results);
         let rc = sorted_results(c.results);
@@ -303,10 +653,12 @@ mod tests {
     #[test]
     fn all_three_plans_agree_for_sum_partitioned_by() {
         let q = query(&[w(20, 20), w(30, 30), w(40, 40)], AggregateFunction::Sum);
-        let out = Optimizer::default().optimize_with(&q, Semantics::PartitionedBy).unwrap();
+        let out = Optimizer::default()
+            .optimize_with(&q, Semantics::PartitionedBy)
+            .unwrap();
         let evs = events(600, 3);
-        let a = execute(&out.original.plan, &evs, true).unwrap();
-        let c = execute(&out.factored.plan, &evs, true).unwrap();
+        let a = run_collect(&out.original.plan, &evs).unwrap();
+        let c = run_collect(&out.factored.plan, &evs).unwrap();
         assert_eq!(sorted_results(a.results), sorted_results(c.results));
     }
 
@@ -315,8 +667,8 @@ mod tests {
         let q = query(&[w(20, 10), w(40, 10), w(60, 20)], AggregateFunction::Max);
         let out = Optimizer::default().optimize(&q).unwrap();
         let evs = events(400, 2);
-        let a = execute(&out.original.plan, &evs, true).unwrap();
-        let c = execute(&out.factored.plan, &evs, true).unwrap();
+        let a = run_collect(&out.original.plan, &evs).unwrap();
+        let c = run_collect(&out.factored.plan, &evs).unwrap();
         assert_eq!(sorted_results(a.results), sorted_results(c.results));
     }
 
@@ -326,7 +678,7 @@ mod tests {
         let plan = fw_core::rewrite::original_plan(&q);
         let evs = vec![Event::new(5, 0, 1.0), Event::new(3, 0, 1.0)];
         // The watermark only moves on seals; craft times to hit the check.
-        let err = execute(&plan, &evs, true).unwrap_err();
+        let err = run_collect(&plan, &evs).unwrap_err();
         assert!(matches!(err, EngineError::OutOfOrderEvent { .. }));
     }
 
@@ -338,7 +690,9 @@ mod tests {
         let w20 = b.window_agg(src, w(20, 20), "w20".to_string(), true);
         let w40 = b.window_agg(w20, w(40, 40), "w40".to_string(), true);
         let plan = b.finish(vec![w20, w40]);
-        let err = execute(&plan, &events(10, 1), false).unwrap_err();
+        let err = PlanPipeline::compile(&plan, PipelineOptions::default())
+            .err()
+            .unwrap();
         assert!(matches!(err, EngineError::HolisticSubAggregate { .. }));
     }
 
@@ -347,7 +701,7 @@ mod tests {
         let q = query(&[w(10, 10), w(20, 20)], AggregateFunction::Median);
         let out = Optimizer::default().optimize(&q).unwrap();
         let evs = events(40, 1);
-        let run = execute(&out.factored.plan, &evs, true).unwrap();
+        let run = run_collect(&out.factored.plan, &evs).unwrap();
         assert!(!run.results.is_empty());
     }
 
@@ -356,7 +710,7 @@ mod tests {
         let q = query(&[w(10, 10), w(20, 20)], AggregateFunction::Count);
         let out = Optimizer::default().optimize(&q).unwrap();
         let evs = events(40, 2);
-        let run = execute(&out.factored.plan, &evs, true).unwrap();
+        let run = run_collect(&out.factored.plan, &evs).unwrap();
         for r in &run.results {
             // 2 keys alternating each tick: every instance holds r/2 per key.
             assert_eq!(r.value, (r.interval.len() / 2) as f64);
@@ -366,15 +720,17 @@ mod tests {
     #[test]
     fn exec_stats_count_cost_model_elements() {
         let q = query(&[w(20, 20), w(30, 30), w(40, 40)], AggregateFunction::Min);
-        let out = Optimizer::default().optimize_with(&q, Semantics::PartitionedBy).unwrap();
+        let out = Optimizer::default()
+            .optimize_with(&q, Semantics::PartitionedBy)
+            .unwrap();
         let evs = events(1200, 1);
         // Original: every event updates each of the 3 tumbling windows.
-        let orig = execute(&out.original.plan, &evs, false).unwrap();
+        let orig = PlanPipeline::run(&out.original.plan, &evs, PipelineOptions::default()).unwrap();
         assert_eq!(orig.stats.updates, 3 * 1200);
         assert_eq!(orig.stats.combines, 0);
         // Factored (Figure 2(c)): one raw update per event into W(10,10),
         // everything else arrives as sub-aggregates.
-        let fac = execute(&out.factored.plan, &evs, false).unwrap();
+        let fac = PlanPipeline::run(&out.factored.plan, &evs, PipelineOptions::default()).unwrap();
         assert_eq!(fac.stats.updates, 1200);
         assert!(fac.stats.combines > 0);
         assert!(fac.stats.elements() < orig.stats.elements());
@@ -384,7 +740,7 @@ mod tests {
     fn empty_stream_is_fine() {
         let q = query(&[w(10, 10)], AggregateFunction::Min);
         let plan = fw_core::rewrite::original_plan(&q);
-        let out = execute(&plan, &[], true).unwrap();
+        let out = run_collect(&plan, &[]).unwrap();
         assert_eq!(out.events_processed, 0);
         assert_eq!(out.results_emitted, 0);
     }
@@ -394,7 +750,138 @@ mod tests {
         // Equal timestamps are allowed (multiple keys per tick).
         let q = query(&[w(10, 10)], AggregateFunction::Min);
         let plan = fw_core::rewrite::original_plan(&q);
-        let evs = vec![Event::new(1, 0, 1.0), Event::new(1, 1, 2.0), Event::new(2, 0, 0.5)];
-        assert!(execute(&plan, &evs, true).is_ok());
+        let evs = vec![
+            Event::new(1, 0, 1.0),
+            Event::new(1, 1, 2.0),
+            Event::new(2, 0, 0.5),
+        ];
+        assert!(run_collect(&plan, &evs).is_ok());
+    }
+
+    #[test]
+    fn deprecated_wrappers_match_pipeline_run() {
+        let q = query(&[w(20, 20), w(40, 40)], AggregateFunction::Min);
+        let out = Optimizer::default().optimize(&q).unwrap();
+        let evs = events(200, 2);
+        #[allow(deprecated)]
+        let old = execute(&out.factored.plan, &evs, true).unwrap();
+        let new = run_collect(&out.factored.plan, &evs).unwrap();
+        assert_eq!(sorted_results(old.results), sorted_results(new.results));
+        assert_eq!(old.events_processed, new.events_processed);
+        assert_eq!(old.stats, new.stats);
+    }
+
+    #[test]
+    fn incremental_push_matches_batch_run() {
+        let q = query(&[w(20, 20), w(30, 30), w(40, 40)], AggregateFunction::Sum);
+        let out = Optimizer::default().optimize(&q).unwrap();
+        let evs = events(500, 3);
+        let batch = run_collect(&out.factored.plan, &evs).unwrap();
+
+        let mut pipeline =
+            PlanPipeline::compile(&out.factored.plan, PipelineOptions::collecting()).unwrap();
+        let mut collected = Vec::new();
+        for (i, &e) in evs.iter().enumerate() {
+            pipeline.push(e).unwrap();
+            if i % 100 == 99 {
+                collected.extend(pipeline.poll_results());
+            }
+        }
+        let tail = pipeline.finish().unwrap();
+        collected.extend(tail.results);
+        assert_eq!(sorted_results(collected), sorted_results(batch.results));
+        assert_eq!(tail.events_processed, 500);
+        assert_eq!(tail.results_emitted, batch.results_emitted);
+    }
+
+    #[test]
+    fn watermark_advance_seals_incrementally() {
+        let q = query(&[w(10, 10)], AggregateFunction::Count);
+        let plan = fw_core::rewrite::original_plan(&q);
+        let mut pipeline = PlanPipeline::compile(&plan, PipelineOptions::collecting()).unwrap();
+        for t in 0..10u64 {
+            pipeline.push(Event::new(t, 0, 1.0)).unwrap();
+        }
+        // Nothing sealed yet: the instance [0,10) ends exactly at the
+        // maximum pushed time + 1.
+        assert!(pipeline.poll_results().is_empty());
+        pipeline.advance_watermark(10).unwrap();
+        let sealed = pipeline.poll_results();
+        assert_eq!(sealed.len(), 1);
+        assert_eq!(sealed[0].value, 10.0);
+        // An event behind the announced watermark is rejected.
+        let err = pipeline.push(Event::new(5, 0, 1.0)).unwrap_err();
+        assert!(matches!(err, EngineError::OutOfOrderEvent { .. }));
+        // The stream continues past the watermark.
+        pipeline.push(Event::new(15, 0, 1.0)).unwrap();
+        let out = pipeline.finish().unwrap();
+        assert_eq!(out.events_processed, 11);
+    }
+
+    #[test]
+    fn out_of_order_tolerance_repairs_jitter() {
+        let q = query(&[w(10, 10), w(20, 20)], AggregateFunction::Min);
+        let out = Optimizer::default().optimize(&q).unwrap();
+        let ordered = events(200, 2);
+        let mut jittered = ordered.clone();
+        for chunk in jittered.chunks_mut(4) {
+            chunk.reverse();
+        }
+        // Strict pipeline rejects the jitter...
+        let strict =
+            PlanPipeline::run(&out.factored.plan, &jittered, PipelineOptions::collecting());
+        assert!(strict.is_err());
+        // ...a tolerant pipeline repairs it losslessly.
+        let opts = PipelineOptions {
+            out_of_order: 4,
+            ..PipelineOptions::collecting()
+        };
+        let mut pipeline = PlanPipeline::compile(&out.factored.plan, opts).unwrap();
+        for &e in &jittered {
+            pipeline.push(e).unwrap();
+        }
+        let repaired = pipeline.finish().unwrap();
+        let reference = run_collect(&out.factored.plan, &ordered).unwrap();
+        assert_eq!(
+            sorted_results(repaired.results),
+            sorted_results(reference.results)
+        );
+        assert_eq!(repaired.events_processed, 200);
+    }
+
+    #[test]
+    fn mid_batch_error_keeps_accounting_consistent() {
+        // A batch that errors part-way must leave events_processed equal
+        // to the prefix actually aggregated, so finish() still seals it.
+        let q = query(&[w(10, 10)], AggregateFunction::Sum);
+        let plan = fw_core::rewrite::original_plan(&q);
+        let mut pipeline = PlanPipeline::compile(&plan, PipelineOptions::collecting()).unwrap();
+        let batch = vec![
+            Event::new(12, 0, 1.0),
+            Event::new(19, 0, 2.0),
+            Event::new(3, 0, 4.0),
+        ];
+        let err = pipeline.push_batch(&batch).unwrap_err();
+        assert!(matches!(err, EngineError::OutOfOrderEvent { at: 3, .. }));
+        // The two in-order events were fed; the late one was not.
+        assert_eq!(pipeline.events_processed(), 2);
+        let out = pipeline.finish().unwrap();
+        assert_eq!(out.events_processed, 2);
+        assert_eq!(out.results.len(), 1);
+        assert_eq!(out.results[0].value, 3.0); // 1.0 + 2.0, not 7.0
+    }
+
+    #[test]
+    fn tolerance_still_rejects_excess_disorder() {
+        let q = query(&[w(10, 10)], AggregateFunction::Min);
+        let plan = fw_core::rewrite::original_plan(&q);
+        let opts = PipelineOptions {
+            out_of_order: 5,
+            ..PipelineOptions::default()
+        };
+        let mut pipeline = PlanPipeline::compile(&plan, opts).unwrap();
+        pipeline.push(Event::new(100, 0, 1.0)).unwrap();
+        let err = pipeline.push(Event::new(10, 0, 1.0)).unwrap_err();
+        assert!(matches!(err, EngineError::OutOfOrderEvent { at: 10, .. }));
     }
 }

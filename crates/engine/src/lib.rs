@@ -12,15 +12,16 @@
 //!
 //! ```
 //! use fw_core::prelude::*;
-//! use fw_engine::{execute, Event};
+//! use fw_engine::{Event, PipelineOptions, PlanPipeline};
 //!
 //! let windows = WindowSet::new(vec![Window::tumbling(20)?, Window::tumbling(40)?])?;
 //! let query = WindowQuery::new(windows, AggregateFunction::Min);
 //! let outcome = Optimizer::default().optimize(&query)?;
 //! let events: Vec<Event> = (0..200).map(|t| Event::new(t, 0, f64::from(t as u32))).collect();
 //!
-//! let original = execute(&outcome.original.plan, &events, true).unwrap();
-//! let factored = execute(&outcome.factored.plan, &events, true).unwrap();
+//! let opts = PipelineOptions::collecting();
+//! let original = PlanPipeline::run(&outcome.original.plan, &events, opts).unwrap();
+//! let factored = PlanPipeline::run(&outcome.factored.plan, &events, opts).unwrap();
 //! assert_eq!(
 //!     fw_engine::sorted_results(original.results),
 //!     fw_engine::sorted_results(factored.results),
@@ -44,7 +45,9 @@ pub mod throughput;
 pub use agg::{Aggregate, AvgAgg, CountAgg, MaxAgg, MedianAgg, MinAgg, SumAgg};
 pub use error::{EngineError, Result};
 pub use event::{sorted_results, Event, ResultSink, WindowResult};
-pub use executor::{execute, execute_with, ExecOptions, ExecStats, RunOutput};
+#[allow(deprecated)]
+pub use executor::{execute, execute_with};
+pub use executor::{ExecOptions, ExecStats, PipelineOptions, PlanPipeline, RunOutput};
 pub use fasthash::{FastBuildHasher, FastMap};
 pub use pane::DEFAULT_ELEMENT_WORK;
 pub use reference::reference_results;

@@ -118,7 +118,8 @@ impl<A: Aggregate> PaneStore<A> {
     /// End timestamp of instance `m` (saturating; used as a deadline).
     #[inline]
     fn instance_end(&self, m: u64) -> u64 {
-        m.saturating_mul(self.window.slide()).saturating_add(self.window.range())
+        m.saturating_mul(self.window.slide())
+            .saturating_add(self.window.range())
     }
 
     /// The earliest unsealed instance's end — the store's next deadline.
@@ -136,7 +137,11 @@ impl<A: Aggregate> PaneStore<A> {
 
     #[inline]
     fn pane_mut(&mut self, m: u64) -> &mut Pane<A::Acc> {
-        debug_assert!(m >= self.front_m, "update behind sealed instance {m} < {}", self.front_m);
+        debug_assert!(
+            m >= self.front_m,
+            "update behind sealed instance {m} < {}",
+            self.front_m
+        );
         let want = (m - self.front_m) as usize;
         while self.panes.len() <= want {
             self.panes.push_back(self.spare.pop().unwrap_or_default());
@@ -234,7 +239,10 @@ impl<A: Aggregate> PaneStore<A> {
     /// the spare pool and advances the cursor.
     #[inline]
     pub fn retire_front(&mut self) {
-        let mut pane = self.panes.pop_front().expect("prepare_due positioned a pane");
+        let mut pane = self
+            .panes
+            .pop_front()
+            .expect("prepare_due positioned a pane");
         pane.clear();
         self.spare.push(pane);
         self.front_m += 1;
@@ -355,6 +363,10 @@ mod tests {
             }
             store.update_point(t, 0, 1.0);
         }
-        assert!(store.open_panes() <= 11, "{} panes open", store.open_panes());
+        assert!(
+            store.open_panes() <= 11,
+            "{} panes open",
+            store.open_panes()
+        );
     }
 }

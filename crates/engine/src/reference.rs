@@ -60,7 +60,7 @@ fn run<A: Aggregate>(windows: &[Window], events: &[Event]) -> Vec<WindowResult> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::executor::execute;
+    use crate::executor::{PipelineOptions, PlanPipeline};
     use fw_core::{Optimizer, WindowQuery, WindowSet};
 
     fn w(r: u64, s: u64) -> Window {
@@ -86,7 +86,7 @@ mod tests {
                 ("rewritten", &out.rewritten.plan),
                 ("factored", &out.factored.plan),
             ] {
-                let run = execute(plan, &evs, true).unwrap();
+                let run = PlanPipeline::run(plan, &evs, PipelineOptions::collecting()).unwrap();
                 let got = sorted_results(run.results);
                 assert_eq!(got, oracle, "{function} {name} diverges from oracle");
             }

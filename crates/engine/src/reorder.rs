@@ -61,16 +61,28 @@ impl ReorderBuffer {
         // ordered correctly any more.
         let horizon = self.high_watermark.saturating_sub(self.slack);
         if event.time < horizon {
-            return Err(EngineError::OutOfOrderEvent { at: event.time, watermark: horizon });
+            return Err(EngineError::OutOfOrderEvent {
+                at: event.time,
+                watermark: horizon,
+            });
         }
         self.high_watermark = self.high_watermark.max(event.time);
         self.heap.push(Reverse((
-            Slot { time: event.time, seq: self.seq },
+            Slot {
+                time: event.time,
+                seq: self.seq,
+            },
             event.key,
             event.value.to_bits(),
         )));
         self.seq += 1;
 
+        self.release(out);
+        Ok(())
+    }
+
+    /// Releases every buffered event strictly before the current horizon.
+    fn release(&mut self, out: &mut Vec<Event>) {
         let release_up_to = self.high_watermark.saturating_sub(self.slack);
         while let Some(Reverse((slot, _, _))) = self.heap.peek() {
             if slot.time >= release_up_to {
@@ -80,7 +92,17 @@ impl ReorderBuffer {
             self.released_watermark = self.released_watermark.max(slot.time);
             out.push(Event::new(slot.time, key, f64::from_bits(bits)));
         }
-        Ok(())
+    }
+
+    /// Processes a watermark announcement: no event with
+    /// `time < watermark` will be pushed any more, so every buffered event
+    /// before `watermark` is released to `out` in timestamp order, and
+    /// later arrivals behind it become hard errors.
+    pub fn advance_to(&mut self, watermark: u64, out: &mut Vec<Event>) {
+        self.high_watermark = self
+            .high_watermark
+            .max(watermark.saturating_add(self.slack));
+        self.release(out);
     }
 
     /// Drains everything still buffered, in order (end of stream).
@@ -172,21 +194,46 @@ mod tests {
         let query = WindowQuery::new(windows, AggregateFunction::Sum);
         let plan = fw_core::rewrite::original_plan(&query);
 
-        let ordered: Vec<Event> =
-            (0..500).map(|t| Event::new(t, 0, ((t * 7) % 23) as f64)).collect();
+        let ordered: Vec<Event> = (0..500)
+            .map(|t| Event::new(t, 0, ((t * 7) % 23) as f64))
+            .collect();
         let mut jittered = ordered.clone();
         for chunk in jittered.chunks_mut(3) {
             chunk.reverse();
         }
         // The jittered stream itself is rejected...
-        assert!(crate::executor::execute(&plan, &jittered, true).is_err());
+        let opts = crate::executor::PipelineOptions::collecting();
+        assert!(crate::executor::PlanPipeline::run(&plan, &jittered, opts).is_err());
         // ...but repairs losslessly through the buffer.
         let repaired = ReorderBuffer::reorder(4, &jittered).unwrap();
-        let a = crate::executor::execute(&plan, &ordered, true).unwrap();
-        let b = crate::executor::execute(&plan, &repaired, true).unwrap();
+        let a = crate::executor::PlanPipeline::run(&plan, &ordered, opts).unwrap();
+        let b = crate::executor::PlanPipeline::run(&plan, &repaired, opts).unwrap();
         assert_eq!(
             crate::event::sorted_results(a.results),
             crate::event::sorted_results(b.results)
+        );
+    }
+
+    #[test]
+    fn watermark_announcement_releases_early() {
+        let mut buffer = ReorderBuffer::new(100);
+        let mut out = Vec::new();
+        buffer.push(ev(3), &mut out).unwrap();
+        buffer.push(ev(1), &mut out).unwrap();
+        buffer.push(ev(7), &mut out).unwrap();
+        // Well within slack: nothing released yet.
+        assert!(out.is_empty());
+        buffer.advance_to(5, &mut out);
+        assert_eq!(out.iter().map(|e| e.time).collect::<Vec<_>>(), vec![1, 3]);
+        // An arrival behind the announced watermark is now a hard error.
+        let err = buffer.push(ev(2), &mut out).unwrap_err();
+        assert!(matches!(err, EngineError::OutOfOrderEvent { at: 2, .. }));
+        // At or past the watermark is still fine.
+        buffer.push(ev(5), &mut out).unwrap();
+        buffer.flush(&mut out);
+        assert_eq!(
+            out.iter().map(|e| e.time).collect::<Vec<_>>(),
+            vec![1, 3, 5, 7]
         );
     }
 }

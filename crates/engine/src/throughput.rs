@@ -3,7 +3,7 @@
 
 use crate::error::Result;
 use crate::event::Event;
-use crate::executor::execute;
+use crate::executor::{PipelineOptions, PlanPipeline};
 use fw_core::QueryPlan;
 
 /// Throughput statistics over repeated runs of one plan.
@@ -21,16 +21,21 @@ pub struct Throughput {
 /// followed by `runs` measured runs with a count-only sink.
 pub fn measure_throughput(plan: &QueryPlan, events: &[Event], runs: u32) -> Result<Throughput> {
     let runs = runs.max(1);
-    execute(plan, events, false)?; // warm-up: page in data, train branches
+    let opts = PipelineOptions::default();
+    PlanPipeline::run(plan, events, opts)?; // warm-up: page in data, train branches
     let mut total = 0.0;
     let mut best = 0.0f64;
     for _ in 0..runs {
-        let out = execute(plan, events, false)?;
+        let out = PlanPipeline::run(plan, events, opts)?;
         let eps = out.throughput_eps();
         total += eps;
         best = best.max(eps);
     }
-    Ok(Throughput { mean_eps: total / f64::from(runs), best_eps: best, runs })
+    Ok(Throughput {
+        mean_eps: total / f64::from(runs),
+        best_eps: best,
+        runs,
+    })
 }
 
 #[cfg(test)]
@@ -43,8 +48,9 @@ mod tests {
         let ws = WindowSet::new(vec![Window::tumbling(20).unwrap()]).unwrap();
         let q = WindowQuery::new(ws, AggregateFunction::Min);
         let plan = fw_core::rewrite::original_plan(&q);
-        let events: Vec<Event> =
-            (0..20_000).map(|t| Event::new(t, (t % 4) as u32, t as f64)).collect();
+        let events: Vec<Event> = (0..20_000)
+            .map(|t| Event::new(t, (t % 4) as u32, t as f64))
+            .collect();
         let tp = measure_throughput(&plan, &events, 2).unwrap();
         assert!(tp.mean_eps > 0.0 && tp.mean_eps.is_finite());
         assert!(tp.best_eps >= tp.mean_eps * 0.5);

@@ -4,11 +4,11 @@
 use crate::paper;
 use crate::report;
 use crate::runner::{
-    measure_slicing_comparison, measure_overhead, run_setup, summarize, Dataset, HarnessConfig,
+    measure_overhead, measure_slicing_comparison, run_setup, summarize, Dataset, HarnessConfig,
     RunMeasurement, Setup,
 };
 use crate::stats;
-use fw_workload::{Generator, WindowShape};
+use fw_workload::{evaluation_panels as panels, Generator};
 
 /// A runnable experiment tied to a paper artifact.
 pub struct Experiment {
@@ -20,63 +20,150 @@ pub struct Experiment {
 
 /// Every regenerable table and figure.
 pub const EXPERIMENTS: &[Experiment] = &[
-    Experiment { id: "fig11", description: "Throughput, Synthetic-10M, |W|=5 (4 panels)" },
-    Experiment { id: "fig12", description: "Optimization overhead vs window-set size" },
-    Experiment { id: "fig13", description: "Flink vs Scotty vs factor windows, |W|=10" },
-    Experiment { id: "fig14", description: "Throughput, Synthetic-10M, |W|=10" },
-    Experiment { id: "fig15", description: "Throughput, Synthetic-1M, |W|=5" },
-    Experiment { id: "fig16", description: "Throughput, Synthetic-1M, |W|=10" },
-    Experiment { id: "fig17", description: "Throughput, Real-32M, |W|=5" },
-    Experiment { id: "fig18", description: "Throughput, Real-32M, |W|=10" },
-    Experiment { id: "fig19", description: "Cost-model correlation (γC vs γT), Pearson r" },
-    Experiment { id: "fig20", description: "Throughput, Synthetic-10M, |W|=15" },
-    Experiment { id: "fig21", description: "Throughput, Synthetic-10M, |W|=20" },
-    Experiment { id: "fig22", description: "Flink vs Scotty vs factor windows, |W|=5" },
-    Experiment { id: "table1", description: "Boost summary, Synthetic-10M, |W| in {5,10}" },
-    Experiment { id: "table2", description: "Boost summary, Real-32M, |W| in {5,10}" },
-    Experiment { id: "table3", description: "Boost summary (scalability), |W| in {15,20}" },
-    Experiment { id: "table4", description: "Boost summary, Synthetic-1M, |W| in {5,10}" },
+    Experiment {
+        id: "fig11",
+        description: "Throughput, Synthetic-10M, |W|=5 (4 panels)",
+    },
+    Experiment {
+        id: "fig12",
+        description: "Optimization overhead vs window-set size",
+    },
+    Experiment {
+        id: "fig13",
+        description: "Flink vs Scotty vs factor windows, |W|=10",
+    },
+    Experiment {
+        id: "fig14",
+        description: "Throughput, Synthetic-10M, |W|=10",
+    },
+    Experiment {
+        id: "fig15",
+        description: "Throughput, Synthetic-1M, |W|=5",
+    },
+    Experiment {
+        id: "fig16",
+        description: "Throughput, Synthetic-1M, |W|=10",
+    },
+    Experiment {
+        id: "fig17",
+        description: "Throughput, Real-32M, |W|=5",
+    },
+    Experiment {
+        id: "fig18",
+        description: "Throughput, Real-32M, |W|=10",
+    },
+    Experiment {
+        id: "fig19",
+        description: "Cost-model correlation (γC vs γT), Pearson r",
+    },
+    Experiment {
+        id: "fig20",
+        description: "Throughput, Synthetic-10M, |W|=15",
+    },
+    Experiment {
+        id: "fig21",
+        description: "Throughput, Synthetic-10M, |W|=20",
+    },
+    Experiment {
+        id: "fig22",
+        description: "Flink vs Scotty vs factor windows, |W|=5",
+    },
+    Experiment {
+        id: "table1",
+        description: "Boost summary, Synthetic-10M, |W| in {5,10}",
+    },
+    Experiment {
+        id: "table2",
+        description: "Boost summary, Real-32M, |W| in {5,10}",
+    },
+    Experiment {
+        id: "table3",
+        description: "Boost summary (scalability), |W| in {15,20}",
+    },
+    Experiment {
+        id: "table4",
+        description: "Boost summary, Synthetic-1M, |W| in {5,10}",
+    },
 ];
-
-/// The four (generator, shape) panels every throughput figure uses.
-fn panels() -> [(Generator, WindowShape); 4] {
-    [
-        (Generator::RandomGen, WindowShape::Tumbling),
-        (Generator::RandomGen, WindowShape::Hopping),
-        (Generator::SequentialGen, WindowShape::Tumbling),
-        (Generator::SequentialGen, WindowShape::Hopping),
-    ]
-}
 
 /// Runs the experiment with the given id; returns the rendered report.
 pub fn run_experiment(id: &str, config: &HarnessConfig) -> Result<String, String> {
     match id {
-        "fig11" => Ok(throughput_figure("Figure 11", Dataset::Synthetic10M, 5, config)),
-        "fig14" => Ok(throughput_figure("Figure 14", Dataset::Synthetic10M, 10, config)),
-        "fig15" => Ok(throughput_figure("Figure 15", Dataset::Synthetic1M, 5, config)),
-        "fig16" => Ok(throughput_figure("Figure 16", Dataset::Synthetic1M, 10, config)),
+        "fig11" => Ok(throughput_figure(
+            "Figure 11",
+            Dataset::Synthetic10M,
+            5,
+            config,
+        )),
+        "fig14" => Ok(throughput_figure(
+            "Figure 14",
+            Dataset::Synthetic10M,
+            10,
+            config,
+        )),
+        "fig15" => Ok(throughput_figure(
+            "Figure 15",
+            Dataset::Synthetic1M,
+            5,
+            config,
+        )),
+        "fig16" => Ok(throughput_figure(
+            "Figure 16",
+            Dataset::Synthetic1M,
+            10,
+            config,
+        )),
         "fig17" => Ok(throughput_figure("Figure 17", Dataset::Real32M, 5, config)),
         "fig18" => Ok(throughput_figure("Figure 18", Dataset::Real32M, 10, config)),
-        "fig20" => Ok(throughput_figure("Figure 20", Dataset::Synthetic10M, 15, config)),
-        "fig21" => Ok(throughput_figure("Figure 21", Dataset::Synthetic10M, 20, config)),
+        "fig20" => Ok(throughput_figure(
+            "Figure 20",
+            Dataset::Synthetic10M,
+            15,
+            config,
+        )),
+        "fig21" => Ok(throughput_figure(
+            "Figure 21",
+            Dataset::Synthetic10M,
+            20,
+            config,
+        )),
         "fig12" => Ok(overhead_figure(config)),
         "fig13" => Ok(slicing_figure("Figure 13", 10, config)),
         "fig22" => Ok(slicing_figure("Figure 22", 5, config)),
         "fig19" => Ok(correlation_figure(config)),
-        "table1" => Ok(boost_table("Table I (Synthetic-10M)", Dataset::Synthetic10M, &[5, 10], &paper::TABLE_I, config)),
-        "table2" => Ok(boost_table("Table II (Real-32M)", Dataset::Real32M, &[5, 10], &paper::TABLE_II, config)),
-        "table3" => Ok(boost_table("Table III (scalability, Synthetic-10M)", Dataset::Synthetic10M, &[15, 20], &paper::TABLE_III, config)),
-        "table4" => Ok(boost_table("Table IV (Synthetic-1M)", Dataset::Synthetic1M, &[5, 10], &paper::TABLE_IV, config)),
+        "table1" => Ok(boost_table(
+            "Table I (Synthetic-10M)",
+            Dataset::Synthetic10M,
+            &[5, 10],
+            &paper::TABLE_I,
+            config,
+        )),
+        "table2" => Ok(boost_table(
+            "Table II (Real-32M)",
+            Dataset::Real32M,
+            &[5, 10],
+            &paper::TABLE_II,
+            config,
+        )),
+        "table3" => Ok(boost_table(
+            "Table III (scalability, Synthetic-10M)",
+            Dataset::Synthetic10M,
+            &[15, 20],
+            &paper::TABLE_III,
+            config,
+        )),
+        "table4" => Ok(boost_table(
+            "Table IV (Synthetic-1M)",
+            Dataset::Synthetic1M,
+            &[5, 10],
+            &paper::TABLE_IV,
+            config,
+        )),
         other => Err(format!("unknown experiment `{other}`; see `list`")),
     }
 }
 
-fn throughput_figure(
-    title: &str,
-    dataset: Dataset,
-    size: usize,
-    config: &HarnessConfig,
-) -> String {
+fn throughput_figure(title: &str, dataset: Dataset, size: usize, config: &HarnessConfig) -> String {
     let events = dataset.load(config.scale);
     let mut out = format!(
         "# {title} — {} ({} events, scale 1/{}), |W| = {size}\n\n",
@@ -85,16 +172,27 @@ fn throughput_figure(
         config.scale
     );
     for (generator, shape) in panels() {
-        let setup = Setup { generator, shape, size };
+        let setup = Setup {
+            generator,
+            shape,
+            size,
+        };
         let semantics = setup.semantics();
         let measurements = run_setup(&setup, &events, config).expect("setup runs");
         let panel_title = format!(
             "{}Gen, {} ({})",
-            if generator == Generator::RandomGen { "Random" } else { "Sequential" },
+            if generator == Generator::RandomGen {
+                "Random"
+            } else {
+                "Sequential"
+            },
             semantics.name(),
             setup.label()
         );
-        out.push_str(&report::render_throughput_panel(&panel_title, &measurements));
+        out.push_str(&report::render_throughput_panel(
+            &panel_title,
+            &measurements,
+        ));
         out.push('\n');
     }
     out
@@ -111,7 +209,11 @@ fn boost_table(
     let mut rows = Vec::new();
     for &size in sizes {
         for (generator, shape) in panels() {
-            let setup = Setup { generator, shape, size };
+            let setup = Setup {
+                generator,
+                shape,
+                size,
+            };
             let measurements = run_setup(&setup, &events, config).expect("setup runs");
             let label = setup.label();
             let paper_row = paper::lookup(table, &label);
@@ -152,7 +254,11 @@ fn slicing_figure(title: &str, size: usize, config: &HarnessConfig) -> String {
         events.len()
     );
     for (generator, shape) in panels() {
-        let setup = Setup { generator, shape, size };
+        let setup = Setup {
+            generator,
+            shape,
+            size,
+        };
         let semantics = setup.semantics();
         let sets = setup.window_sets(config.runs);
         let measurements: Vec<_> = sets
@@ -177,17 +283,25 @@ fn correlation_figure(config: &HarnessConfig) -> String {
     for (i, (generator, shape)) in panels().into_iter().enumerate() {
         let mut measurements: Vec<RunMeasurement> = Vec::new();
         for size in [5usize, 10] {
-            let setup = Setup { generator, shape, size };
+            let setup = Setup {
+                generator,
+                shape,
+                size,
+            };
             measurements.extend(run_setup(&setup, &events, config).expect("setup runs"));
         }
-        let points: Vec<(f64, f64)> =
-            measurements.iter().map(|m| (m.gamma_c(), m.gamma_t())).collect();
+        let points: Vec<(f64, f64)> = measurements
+            .iter()
+            .map(|m| (m.gamma_c(), m.gamma_t()))
+            .collect();
         let xs: Vec<f64> = points.iter().map(|p| p.0).collect();
         let ys: Vec<f64> = points.iter().map(|p| p.1).collect();
         let r = stats::pearson(&xs, &ys);
         let fit = stats::linear_fit(&xs, &ys);
         let (panel_name, paper_r) = paper::FIGURE_19_R[i];
-        out.push_str(&report::render_correlation_panel(panel_name, &points, r, fit, paper_r));
+        out.push_str(&report::render_correlation_panel(
+            panel_name, &points, r, fit, paper_r,
+        ));
         out.push('\n');
     }
     out
@@ -218,7 +332,11 @@ mod tests {
     #[test]
     fn tiny_scale_table_runs_end_to_end() {
         // A drastically scaled-down run to keep the test fast.
-        let config = HarnessConfig { scale: 500, runs: 2, repeats: 1 };
+        let config = HarnessConfig {
+            scale: 500,
+            runs: 2,
+            repeats: 1,
+        };
         let report = run_experiment("table1", &config).unwrap();
         assert!(report.contains("R-5-tumbling"), "{report}");
         assert!(report.contains("S-10-hopping"), "{report}");
@@ -227,7 +345,11 @@ mod tests {
 
     #[test]
     fn tiny_scale_overhead_runs() {
-        let config = HarnessConfig { scale: 1000, runs: 2, repeats: 1 };
+        let config = HarnessConfig {
+            scale: 1000,
+            runs: 2,
+            repeats: 1,
+        };
         let report = run_experiment("fig12", &config).unwrap();
         assert!(report.contains("R-5"), "{report}");
         assert!(report.contains("S-20"), "{report}");
@@ -235,7 +357,11 @@ mod tests {
 
     #[test]
     fn tiny_scale_throughput_figure_runs() {
-        let config = HarnessConfig { scale: 1000, runs: 1, repeats: 1 };
+        let config = HarnessConfig {
+            scale: 1000,
+            runs: 1,
+            repeats: 1,
+        };
         let report = run_experiment("fig15", &config).unwrap();
         assert!(report.contains("Figure 15"), "{report}");
         assert!(report.contains("RandomGen, partitioned-by"), "{report}");
@@ -246,7 +372,11 @@ mod tests {
 
     #[test]
     fn tiny_scale_slicing_figure_runs() {
-        let config = HarnessConfig { scale: 1000, runs: 1, repeats: 1 };
+        let config = HarnessConfig {
+            scale: 1000,
+            runs: 1,
+            repeats: 1,
+        };
         let report = run_experiment("fig22", &config).unwrap();
         assert!(report.contains("Scotty"), "{report}");
         assert!(report.contains("FW/Flink"), "{report}");
@@ -254,7 +384,11 @@ mod tests {
 
     #[test]
     fn tiny_scale_correlation_figure_runs() {
-        let config = HarnessConfig { scale: 1000, runs: 2, repeats: 1 };
+        let config = HarnessConfig {
+            scale: 1000,
+            runs: 2,
+            repeats: 1,
+        };
         let report = run_experiment("fig19", &config).unwrap();
         assert!(report.contains("Pearson r ="), "{report}");
         assert!(report.contains("paper: 0.98"), "{report}");

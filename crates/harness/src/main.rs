@@ -75,12 +75,16 @@ fn run(args: &[String]) -> Result<(), String> {
         let started = std::time::Instant::now();
         let report = run_experiment(id, &config)?;
         println!("{report}");
-        eprintln!("[{id} completed in {:.1}s]", started.elapsed().as_secs_f64());
+        eprintln!(
+            "[{id} completed in {:.1}s]",
+            started.elapsed().as_secs_f64()
+        );
         if let Some(dir) = &out_dir {
             let path = dir.join(format!("{id}.txt"));
             let mut file =
                 std::fs::File::create(&path).map_err(|e| format!("cannot write {path:?}: {e}"))?;
-            file.write_all(report.as_bytes()).map_err(|e| e.to_string())?;
+            file.write_all(report.as_bytes())
+                .map_err(|e| e.to_string())?;
         }
     }
     Ok(())

@@ -18,50 +18,242 @@ pub struct BoostRow {
 
 /// Table I: throughput boosts on Synthetic-10M.
 pub const TABLE_I: [BoostRow; 8] = [
-    BoostRow { setup: "R-5-tumbling", wo_mean: 1.21, wo_max: 1.92, w_mean: 1.85, w_max: 2.54 },
-    BoostRow { setup: "R-10-tumbling", wo_mean: 1.34, wo_max: 1.77, w_mean: 1.88, w_max: 3.38 },
-    BoostRow { setup: "R-5-hopping", wo_mean: 1.18, wo_max: 1.82, w_mean: 3.26, w_max: 4.29 },
-    BoostRow { setup: "R-10-hopping", wo_mean: 1.34, wo_max: 1.71, w_mean: 3.20, w_max: 6.15 },
-    BoostRow { setup: "S-5-tumbling", wo_mean: 1.63, wo_max: 1.67, w_mean: 4.28, w_max: 4.81 },
-    BoostRow { setup: "S-10-tumbling", wo_mean: 1.98, wo_max: 2.05, w_mean: 7.91, w_max: 9.38 },
-    BoostRow { setup: "S-5-hopping", wo_mean: 1.34, wo_max: 1.48, w_mean: 2.17, w_max: 2.81 },
-    BoostRow { setup: "S-10-hopping", wo_mean: 1.58, wo_max: 1.73, w_mean: 2.92, w_max: 3.79 },
+    BoostRow {
+        setup: "R-5-tumbling",
+        wo_mean: 1.21,
+        wo_max: 1.92,
+        w_mean: 1.85,
+        w_max: 2.54,
+    },
+    BoostRow {
+        setup: "R-10-tumbling",
+        wo_mean: 1.34,
+        wo_max: 1.77,
+        w_mean: 1.88,
+        w_max: 3.38,
+    },
+    BoostRow {
+        setup: "R-5-hopping",
+        wo_mean: 1.18,
+        wo_max: 1.82,
+        w_mean: 3.26,
+        w_max: 4.29,
+    },
+    BoostRow {
+        setup: "R-10-hopping",
+        wo_mean: 1.34,
+        wo_max: 1.71,
+        w_mean: 3.20,
+        w_max: 6.15,
+    },
+    BoostRow {
+        setup: "S-5-tumbling",
+        wo_mean: 1.63,
+        wo_max: 1.67,
+        w_mean: 4.28,
+        w_max: 4.81,
+    },
+    BoostRow {
+        setup: "S-10-tumbling",
+        wo_mean: 1.98,
+        wo_max: 2.05,
+        w_mean: 7.91,
+        w_max: 9.38,
+    },
+    BoostRow {
+        setup: "S-5-hopping",
+        wo_mean: 1.34,
+        wo_max: 1.48,
+        w_mean: 2.17,
+        w_max: 2.81,
+    },
+    BoostRow {
+        setup: "S-10-hopping",
+        wo_mean: 1.58,
+        wo_max: 1.73,
+        w_mean: 2.92,
+        w_max: 3.79,
+    },
 ];
 
 /// Table II: throughput boosts on Real-32M.
 pub const TABLE_II: [BoostRow; 8] = [
-    BoostRow { setup: "R-5-tumbling", wo_mean: 1.19, wo_max: 1.78, w_mean: 1.43, w_max: 1.91 },
-    BoostRow { setup: "R-10-tumbling", wo_mean: 1.30, wo_max: 1.71, w_mean: 1.53, w_max: 2.86 },
-    BoostRow { setup: "R-5-hopping", wo_mean: 1.09, wo_max: 1.39, w_mean: 1.54, w_max: 2.63 },
-    BoostRow { setup: "R-10-hopping", wo_mean: 1.18, wo_max: 1.39, w_mean: 1.46, w_max: 3.53 },
-    BoostRow { setup: "S-5-tumbling", wo_mean: 1.63, wo_max: 1.67, w_mean: 4.12, w_max: 4.85 },
-    BoostRow { setup: "S-10-tumbling", wo_mean: 1.90, wo_max: 1.97, w_mean: 7.53, w_max: 9.14 },
-    BoostRow { setup: "S-5-hopping", wo_mean: 1.12, wo_max: 1.30, w_mean: 1.22, w_max: 1.77 },
-    BoostRow { setup: "S-10-hopping", wo_mean: 1.22, wo_max: 1.51, w_mean: 1.45, w_max: 2.31 },
+    BoostRow {
+        setup: "R-5-tumbling",
+        wo_mean: 1.19,
+        wo_max: 1.78,
+        w_mean: 1.43,
+        w_max: 1.91,
+    },
+    BoostRow {
+        setup: "R-10-tumbling",
+        wo_mean: 1.30,
+        wo_max: 1.71,
+        w_mean: 1.53,
+        w_max: 2.86,
+    },
+    BoostRow {
+        setup: "R-5-hopping",
+        wo_mean: 1.09,
+        wo_max: 1.39,
+        w_mean: 1.54,
+        w_max: 2.63,
+    },
+    BoostRow {
+        setup: "R-10-hopping",
+        wo_mean: 1.18,
+        wo_max: 1.39,
+        w_mean: 1.46,
+        w_max: 3.53,
+    },
+    BoostRow {
+        setup: "S-5-tumbling",
+        wo_mean: 1.63,
+        wo_max: 1.67,
+        w_mean: 4.12,
+        w_max: 4.85,
+    },
+    BoostRow {
+        setup: "S-10-tumbling",
+        wo_mean: 1.90,
+        wo_max: 1.97,
+        w_mean: 7.53,
+        w_max: 9.14,
+    },
+    BoostRow {
+        setup: "S-5-hopping",
+        wo_mean: 1.12,
+        wo_max: 1.30,
+        w_mean: 1.22,
+        w_max: 1.77,
+    },
+    BoostRow {
+        setup: "S-10-hopping",
+        wo_mean: 1.22,
+        wo_max: 1.51,
+        w_mean: 1.45,
+        w_max: 2.31,
+    },
 ];
 
 /// Table III: scalability (|W| ∈ {15, 20}) on Synthetic-10M.
 pub const TABLE_III: [BoostRow; 8] = [
-    BoostRow { setup: "R-15-tumbling", wo_mean: 1.55, wo_max: 1.96, w_mean: 2.97, w_max: 4.34 },
-    BoostRow { setup: "R-20-tumbling", wo_mean: 1.49, wo_max: 2.29, w_mean: 2.10, w_max: 4.83 },
-    BoostRow { setup: "R-15-hopping", wo_mean: 1.55, wo_max: 1.95, w_mean: 4.67, w_max: 6.59 },
-    BoostRow { setup: "R-20-hopping", wo_mean: 1.68, wo_max: 2.20, w_mean: 4.23, w_max: 7.65 },
-    BoostRow { setup: "S-15-tumbling", wo_mean: 2.43, wo_max: 2.49, w_mean: 11.29, w_max: 13.83 },
-    BoostRow { setup: "S-20-tumbling", wo_mean: 2.42, wo_max: 2.53, w_mean: 14.28, w_max: 16.82 },
-    BoostRow { setup: "S-15-hopping", wo_mean: 1.85, wo_max: 2.09, w_mean: 3.51, w_max: 4.68 },
-    BoostRow { setup: "S-20-hopping", wo_mean: 1.91, wo_max: 2.15, w_mean: 4.02, w_max: 5.32 },
+    BoostRow {
+        setup: "R-15-tumbling",
+        wo_mean: 1.55,
+        wo_max: 1.96,
+        w_mean: 2.97,
+        w_max: 4.34,
+    },
+    BoostRow {
+        setup: "R-20-tumbling",
+        wo_mean: 1.49,
+        wo_max: 2.29,
+        w_mean: 2.10,
+        w_max: 4.83,
+    },
+    BoostRow {
+        setup: "R-15-hopping",
+        wo_mean: 1.55,
+        wo_max: 1.95,
+        w_mean: 4.67,
+        w_max: 6.59,
+    },
+    BoostRow {
+        setup: "R-20-hopping",
+        wo_mean: 1.68,
+        wo_max: 2.20,
+        w_mean: 4.23,
+        w_max: 7.65,
+    },
+    BoostRow {
+        setup: "S-15-tumbling",
+        wo_mean: 2.43,
+        wo_max: 2.49,
+        w_mean: 11.29,
+        w_max: 13.83,
+    },
+    BoostRow {
+        setup: "S-20-tumbling",
+        wo_mean: 2.42,
+        wo_max: 2.53,
+        w_mean: 14.28,
+        w_max: 16.82,
+    },
+    BoostRow {
+        setup: "S-15-hopping",
+        wo_mean: 1.85,
+        wo_max: 2.09,
+        w_mean: 3.51,
+        w_max: 4.68,
+    },
+    BoostRow {
+        setup: "S-20-hopping",
+        wo_mean: 1.91,
+        wo_max: 2.15,
+        w_mean: 4.02,
+        w_max: 5.32,
+    },
 ];
 
 /// Table IV: throughput boosts on Synthetic-1M.
 pub const TABLE_IV: [BoostRow; 8] = [
-    BoostRow { setup: "R-5-tumbling", wo_mean: 1.21, wo_max: 2.01, w_mean: 1.85, w_max: 2.41 },
-    BoostRow { setup: "R-10-tumbling", wo_mean: 1.36, wo_max: 1.72, w_mean: 1.94, w_max: 3.13 },
-    BoostRow { setup: "R-5-hopping", wo_mean: 1.19, wo_max: 1.76, w_mean: 2.90, w_max: 3.78 },
-    BoostRow { setup: "R-10-hopping", wo_mean: 1.31, wo_max: 1.54, w_mean: 2.94, w_max: 5.14 },
-    BoostRow { setup: "S-5-tumbling", wo_mean: 1.63, wo_max: 1.79, w_mean: 3.82, w_max: 4.43 },
-    BoostRow { setup: "S-10-tumbling", wo_mean: 1.91, wo_max: 2.07, w_mean: 6.27, w_max: 7.27 },
-    BoostRow { setup: "S-5-hopping", wo_mean: 1.33, wo_max: 1.51, w_mean: 2.10, w_max: 2.73 },
-    BoostRow { setup: "S-10-hopping", wo_mean: 1.54, wo_max: 1.69, w_mean: 2.75, w_max: 3.65 },
+    BoostRow {
+        setup: "R-5-tumbling",
+        wo_mean: 1.21,
+        wo_max: 2.01,
+        w_mean: 1.85,
+        w_max: 2.41,
+    },
+    BoostRow {
+        setup: "R-10-tumbling",
+        wo_mean: 1.36,
+        wo_max: 1.72,
+        w_mean: 1.94,
+        w_max: 3.13,
+    },
+    BoostRow {
+        setup: "R-5-hopping",
+        wo_mean: 1.19,
+        wo_max: 1.76,
+        w_mean: 2.90,
+        w_max: 3.78,
+    },
+    BoostRow {
+        setup: "R-10-hopping",
+        wo_mean: 1.31,
+        wo_max: 1.54,
+        w_mean: 2.94,
+        w_max: 5.14,
+    },
+    BoostRow {
+        setup: "S-5-tumbling",
+        wo_mean: 1.63,
+        wo_max: 1.79,
+        w_mean: 3.82,
+        w_max: 4.43,
+    },
+    BoostRow {
+        setup: "S-10-tumbling",
+        wo_mean: 1.91,
+        wo_max: 2.07,
+        w_mean: 6.27,
+        w_max: 7.27,
+    },
+    BoostRow {
+        setup: "S-5-hopping",
+        wo_mean: 1.33,
+        wo_max: 1.51,
+        w_mean: 2.10,
+        w_max: 2.73,
+    },
+    BoostRow {
+        setup: "S-10-hopping",
+        wo_mean: 1.54,
+        wo_max: 1.69,
+        w_mean: 2.75,
+        w_max: 3.65,
+    },
 ];
 
 /// Figure 19: Pearson correlation coefficients (γ_C vs γ_T) the paper

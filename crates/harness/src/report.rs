@@ -41,7 +41,12 @@ pub fn render_boost_table(
     for (label, summary, paper) in rows {
         let paper_cell = paper.map_or_else(
             || "-".to_string(),
-            |p| format!("{:.2}/{:.2}, {:.2}/{:.2}", p.wo_mean, p.wo_max, p.w_mean, p.w_max),
+            |p| {
+                format!(
+                    "{:.2}/{:.2}, {:.2}/{:.2}",
+                    p.wo_mean, p.wo_max, p.w_mean, p.w_max
+                )
+            },
         );
         out.push_str(&format!(
             "{:<16} {:>7.2}x {:>7.2}x {:>7.2}x {:>7.2}x   {:>24}\n",
@@ -84,7 +89,10 @@ pub fn render_overhead(title: &str, rows: &[OverheadMeasurement]) -> String {
     for r in rows {
         out.push_str(&format!(
             "{:<8} {:>13.3} ± {:>6.3} {:>13.3} ± {:>6.3}\n",
-            r.setup, r.partitioned_mean_ms, r.partitioned_std_ms, r.covered_mean_ms,
+            r.setup,
+            r.partitioned_mean_ms,
+            r.partitioned_std_ms,
+            r.covered_mean_ms,
             r.covered_std_ms
         ));
     }
@@ -142,10 +150,14 @@ mod tests {
 
     #[test]
     fn boost_table_includes_paper_reference() {
-        let summary = BoostSummary { wo_mean: 1.5, wo_max: 2.0, w_mean: 3.0, w_max: 4.0 };
+        let summary = BoostSummary {
+            wo_mean: 1.5,
+            wo_max: 2.0,
+            w_mean: 3.0,
+            w_max: 4.0,
+        };
         let paper = crate::paper::lookup(&crate::paper::TABLE_I, "S-5-tumbling");
-        let s =
-            render_boost_table("Table I", &[("S-5-tumbling".to_string(), summary, paper)]);
+        let s = render_boost_table("Table I", &[("S-5-tumbling".to_string(), summary, paper)]);
         assert!(s.contains("4.28/4.81"), "{s}");
         assert!(s.contains("3.00x"), "{s}");
     }

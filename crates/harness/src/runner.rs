@@ -1,15 +1,19 @@
 //! The measurement core: run the three plans (and the slicing baselines)
 //! over a dataset for each generated window set, recording throughput,
 //! modeled costs, and optimization times.
+//!
+//! Execution goes through the `factor_windows::Session` façade: one
+//! session per window set, with [`fw_core::PlanChoice`] pinning which of
+//! the three plans each throughput number measures.
 
-use fw_core::{CostModel, Optimizer, Semantics, WindowQuery, WindowSet};
-use fw_engine::{measure_throughput, Event};
+use factor_windows::Session;
+use fw_core::{CostModel, Optimizer, PlanChoice, Semantics, WindowQuery, WindowSet};
+use fw_engine::Event;
 use fw_slicing::execute_sliced;
 use fw_workload::{
     debs_stream, generate_runs, synthetic_stream, DebsConfig, GenConfig, Generator,
     SyntheticConfig, WindowShape,
 };
-use serde::Serialize;
 use std::time::Instant;
 
 /// Harness-wide knobs.
@@ -25,7 +29,11 @@ pub struct HarnessConfig {
 
 impl Default for HarnessConfig {
     fn default() -> Self {
-        HarnessConfig { scale: 20, runs: 10, repeats: 1 }
+        HarnessConfig {
+            scale: 20,
+            runs: 10,
+            repeats: 1,
+        }
     }
 }
 
@@ -77,7 +85,12 @@ impl Setup {
     /// Label in the paper's notation, e.g. "R-5-tumbling".
     #[must_use]
     pub fn label(&self) -> String {
-        format!("{}-{}-{}", self.generator.short(), self.size, self.shape.name())
+        format!(
+            "{}-{}-{}",
+            self.generator.short(),
+            self.size,
+            self.shape.name()
+        )
     }
 
     /// The semantics the paper pairs with this shape: partitioned-by for
@@ -93,12 +106,18 @@ impl Setup {
     /// The ten (or `runs`) window sets for this setup.
     #[must_use]
     pub fn window_sets(&self, runs: usize) -> Vec<WindowSet> {
-        generate_runs(self.generator, self.shape, self.size, &GenConfig::default(), runs)
+        generate_runs(
+            self.generator,
+            self.shape,
+            self.size,
+            &GenConfig::default(),
+            runs,
+        )
     }
 }
 
 /// Per-window-set measurement of the three plans.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RunMeasurement {
     /// Window set in display form.
     pub window_set: String,
@@ -148,7 +167,9 @@ impl RunMeasurement {
     }
 }
 
-/// Measures one window set against one event stream.
+/// Measures one window set against one event stream through the session
+/// façade (the optimizer runs once; the three throughput numbers pin the
+/// plan with [`PlanChoice`]).
 pub fn measure_window_set(
     windows: &WindowSet,
     semantics: Semantics,
@@ -156,20 +177,26 @@ pub fn measure_window_set(
     repeats: u32,
 ) -> fw_core::Result<RunMeasurement> {
     let query = WindowQuery::new(windows.clone(), fw_core::AggregateFunction::Min);
-    let outcome = Optimizer::new(CostModel::default()).optimize_with(&query, semantics)?;
+    let session = Session::from_query(query).semantics(semantics);
+    let outcome = session.optimize().map_err(unwrap_optimize_error)?.clone();
 
-    let original =
-        measure_throughput(&outcome.original.plan, events, repeats).expect("valid plan");
-    let rewritten =
-        measure_throughput(&outcome.rewritten.plan, events, repeats).expect("valid plan");
-    let factored =
-        measure_throughput(&outcome.factored.plan, events, repeats).expect("valid plan");
+    let throughput = |choice: PlanChoice| {
+        session
+            .clone()
+            .plan_choice(choice)
+            .measure_throughput(events, repeats)
+            .expect("valid plan")
+            .mean_eps
+    };
+    let original_eps = throughput(PlanChoice::Original);
+    let rewritten_eps = throughput(PlanChoice::Rewritten);
+    let factored_eps = throughput(PlanChoice::Factored);
 
     Ok(RunMeasurement {
         window_set: windows.to_string(),
-        original_eps: original.mean_eps,
-        rewritten_eps: rewritten.mean_eps,
-        factored_eps: factored.mean_eps,
+        original_eps,
+        rewritten_eps,
+        factored_eps,
         cost_original: outcome.original.cost,
         cost_rewritten: outcome.rewritten.cost,
         cost_factored: outcome.factored.cost,
@@ -177,6 +204,16 @@ pub fn measure_window_set(
         rewrite_micros: outcome.rewrite_time.as_secs_f64() * 1e6,
         factor_micros: outcome.factor_time.as_secs_f64() * 1e6,
     })
+}
+
+/// The harness speaks `fw_core::Result`; execution-side façade failures
+/// ("engine rejected a plan the optimizer produced") are bugs, not
+/// conditions a measurement run should survive.
+fn unwrap_optimize_error(e: factor_windows::ApiError) -> fw_core::Error {
+    match e {
+        factor_windows::ApiError::Optimize(e) => e,
+        other => unreachable!("query-built session cannot fail outside the optimizer: {other}"),
+    }
 }
 
 /// Runs a full setup (all its window sets) against a dataset.
@@ -193,7 +230,7 @@ pub fn run_setup(
 }
 
 /// Mean/max boost summary of one setup (a row of Tables I–IV).
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct BoostSummary {
     /// Mean boost without factor windows.
     pub wo_mean: f64,
@@ -208,8 +245,14 @@ pub struct BoostSummary {
 /// Summarizes a setup's measurements.
 #[must_use]
 pub fn summarize(measurements: &[RunMeasurement]) -> BoostSummary {
-    let wo: Vec<f64> = measurements.iter().map(RunMeasurement::boost_rewritten).collect();
-    let with: Vec<f64> = measurements.iter().map(RunMeasurement::boost_factored).collect();
+    let wo: Vec<f64> = measurements
+        .iter()
+        .map(RunMeasurement::boost_rewritten)
+        .collect();
+    let with: Vec<f64> = measurements
+        .iter()
+        .map(RunMeasurement::boost_factored)
+        .collect();
     BoostSummary {
         wo_mean: crate::stats::mean(&wo),
         wo_max: crate::stats::max(&wo),
@@ -220,7 +263,7 @@ pub fn summarize(measurements: &[RunMeasurement]) -> BoostSummary {
 
 /// One run of the Section V-F comparison: Flink default (independent
 /// windows), Scotty (general stream slicing), and factor windows.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SlicingMeasurement {
     /// Window set in display form.
     pub window_set: String,
@@ -240,9 +283,18 @@ pub fn measure_slicing_comparison(
     repeats: u32,
 ) -> fw_core::Result<SlicingMeasurement> {
     let query = WindowQuery::new(windows.clone(), fw_core::AggregateFunction::Min);
-    let outcome = Optimizer::new(CostModel::default()).optimize_with(&query, semantics)?;
-    let flink = measure_throughput(&outcome.original.plan, events, repeats).expect("valid plan");
-    let factor = measure_throughput(&outcome.factored.plan, events, repeats).expect("valid plan");
+    let session = Session::from_query(query).semantics(semantics);
+    session.optimize().map_err(unwrap_optimize_error)?;
+    let flink = session
+        .clone()
+        .plan_choice(PlanChoice::Original)
+        .measure_throughput(events, repeats)
+        .expect("valid plan");
+    let factor = session
+        .clone()
+        .plan_choice(PlanChoice::Factored)
+        .measure_throughput(events, repeats)
+        .expect("valid plan");
 
     // Scotty: warm-up + repeated measurement, mirroring measure_throughput.
     let _ = execute_sliced(windows, fw_core::AggregateFunction::Min, events, false)
@@ -263,7 +315,7 @@ pub fn measure_slicing_comparison(
 
 /// Optimization-overhead measurement for one setup (Figure 12):
 /// Algorithm 3 wall time per window set, both semantics.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct OverheadMeasurement {
     /// Setup label.
     pub setup: String,
@@ -297,12 +349,17 @@ pub fn measure_overhead(
         for ws in &sets {
             let query = WindowQuery::new(ws.clone(), fw_core::AggregateFunction::Min);
             let start = Instant::now();
-            let outcome = optimizer.optimize_with(&query, semantics).expect("valid query");
+            let outcome = optimizer
+                .optimize_with(&query, semantics)
+                .expect("valid query");
             let elapsed = start.elapsed();
             std::hint::black_box(&outcome);
             times_ms.push(elapsed.as_secs_f64() * 1e3);
         }
-        by_semantics.push((crate::stats::mean(&times_ms), crate::stats::stddev(&times_ms)));
+        by_semantics.push((
+            crate::stats::mean(&times_ms),
+            crate::stats::stddev(&times_ms),
+        ));
     }
     OverheadMeasurement {
         setup: format!("{}-{}", generator.short(), size),
@@ -318,12 +375,18 @@ mod tests {
     use super::*;
 
     fn tiny_events() -> Vec<Event> {
-        (0..30_000u64).map(|t| Event::new(t, (t % 4) as u32, (t % 97) as f64)).collect()
+        (0..30_000u64)
+            .map(|t| Event::new(t, (t % 4) as u32, (t % 97) as f64))
+            .collect()
     }
 
     #[test]
     fn setup_labels_and_semantics() {
-        let s = Setup { generator: Generator::RandomGen, shape: WindowShape::Tumbling, size: 5 };
+        let s = Setup {
+            generator: Generator::RandomGen,
+            shape: WindowShape::Tumbling,
+            size: 5,
+        };
         assert_eq!(s.label(), "R-5-tumbling");
         assert_eq!(s.semantics(), Semantics::PartitionedBy);
         let s = Setup {
@@ -337,8 +400,11 @@ mod tests {
 
     #[test]
     fn measurement_produces_sane_numbers() {
-        let setup =
-            Setup { generator: Generator::SequentialGen, shape: WindowShape::Tumbling, size: 5 };
+        let setup = Setup {
+            generator: Generator::SequentialGen,
+            shape: WindowShape::Tumbling,
+            size: 5,
+        };
         let events = tiny_events();
         let ws = &setup.window_sets(1)[0];
         let m = measure_window_set(ws, setup.semantics(), &events, 1).unwrap();
@@ -385,7 +451,11 @@ mod tests {
 
     #[test]
     fn overhead_measurement_runs() {
-        let config = HarnessConfig { scale: 1, runs: 3, repeats: 1 };
+        let config = HarnessConfig {
+            scale: 1,
+            runs: 3,
+            repeats: 1,
+        };
         let m = measure_overhead(Generator::RandomGen, 5, &config);
         assert_eq!(m.setup, "R-5");
         assert!(m.partitioned_mean_ms >= 0.0);

@@ -25,8 +25,7 @@ pub fn stddev(values: &[f64]) -> f64 {
         return 0.0;
     }
     let m = mean(values);
-    let var =
-        values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64;
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64;
     var.sqrt()
 }
 

@@ -38,15 +38,17 @@ pub fn execute_sliced(
         AggregateFunction::Sum => run::<SumAgg>(windows, events, collect),
         AggregateFunction::Count => run::<CountAgg>(windows, events, collect),
         AggregateFunction::Avg => run::<AvgAgg>(windows, events, collect),
-        AggregateFunction::Median => {
-            Err(EngineError::HolisticSubAggregate { function: "MEDIAN" })
-        }
+        AggregateFunction::Median => Err(EngineError::HolisticSubAggregate { function: "MEDIAN" }),
     }
 }
 
 fn run<A: Aggregate>(windows: &WindowSet, events: &[Event], collect: bool) -> Result<RunOutput> {
     let mut slicer = Slicer::<A>::new(windows);
-    let mut sink = if collect { ResultSink::Collect(Vec::new()) } else { ResultSink::CountOnly };
+    let mut sink = if collect {
+        ResultSink::Collect(Vec::new())
+    } else {
+        ResultSink::CountOnly
+    };
     let start = Instant::now();
     slicer.run(events, &mut sink)?;
     let elapsed = start.elapsed();
@@ -97,7 +99,11 @@ impl<A: Aggregate> Slicer<A> {
         Slicer {
             windows,
             sealed: VecDeque::new(),
-            current: Slice { start: 0, end: first_end, accs: FastMap::default() },
+            current: Slice {
+                start: 0,
+                end: first_end,
+                accs: FastMap::default(),
+            },
             cursors,
             watermark: 0,
             results_emitted: 0,
@@ -110,7 +116,11 @@ impl<A: Aggregate> Slicer<A> {
     /// The next slice edge strictly after `t`: the earliest window-instance
     /// start point beyond it.
     fn next_edge(&self, t: u64) -> u64 {
-        self.windows.iter().map(|w| (t / w.slide() + 1) * w.slide()).min().expect("windows")
+        self.windows
+            .iter()
+            .map(|w| (t / w.slide() + 1) * w.slide())
+            .min()
+            .expect("windows")
     }
 
     fn run(&mut self, events: &[Event], sink: &mut ResultSink) -> Result<()> {
@@ -146,7 +156,11 @@ impl<A: Aggregate> Slicer<A> {
         let next_end = self.next_edge(end);
         let finished = std::mem::replace(
             &mut self.current,
-            Slice { start: end, end: next_end, accs: FastMap::default() },
+            Slice {
+                start: end,
+                end: next_end,
+                accs: FastMap::default(),
+            },
         );
         if !finished.accs.is_empty() {
             self.sealed.push_back(finished);
@@ -212,8 +226,12 @@ impl<A: Aggregate> Slicer<A> {
             }
         }
         for (key, acc) in &out {
-            let result =
-                WindowResult { window, interval, key: *key, value: A::finalize(acc) };
+            let result = WindowResult {
+                window,
+                interval,
+                key: *key,
+                value: A::finalize(acc),
+            };
             sink.push(result, &mut self.results_emitted);
         }
     }
@@ -272,7 +290,9 @@ mod tests {
     #[test]
     fn sparse_streams_with_gaps() {
         let windows = WindowSet::new(vec![w(10, 5), w(20, 10)]).unwrap();
-        let evs: Vec<Event> = (0..40u64).map(|i| Event::new(i * 13, 0, i as f64)).collect();
+        let evs: Vec<Event> = (0..40u64)
+            .map(|i| Event::new(i * 13, 0, i as f64))
+            .collect();
         let out = execute_sliced(&windows, AggregateFunction::Max, &evs, true).unwrap();
         let oracle = reference_results(windows.windows(), AggregateFunction::Max, &evs);
         assert_eq!(sorted_results(out.results), oracle);
@@ -287,7 +307,11 @@ mod tests {
         let mut slicer = Slicer::<MinAgg>::new(&windows);
         let mut sink = ResultSink::CountOnly;
         slicer.run(&evs, &mut sink).unwrap();
-        assert!(slicer.sealed.len() <= 16, "{} sealed slices retained", slicer.sealed.len());
+        assert!(
+            slicer.sealed.len() <= 16,
+            "{} sealed slices retained",
+            slicer.sealed.len()
+        );
     }
 
     #[test]

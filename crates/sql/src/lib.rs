@@ -6,14 +6,19 @@
 //! frontend can adopt it — this crate is the reproduction's stand-in for
 //! the ASA compiler.
 //!
+//! Most consumers should go through `factor_windows::Session::from_sql`,
+//! which chains this parser, the optimizer, and the engine behind one
+//! builder. The crate-level entry point for that chain is
+//! [`parse_to_query`]; [`parse_query`] exposes the raw [`ParsedQuery`]
+//! (projections, aliases, source names) for EXPLAIN-style tools.
+//!
 //! ```
 //! let sql = "SELECT DeviceID, MIN(T) AS MinTemp \
 //!            FROM Input TIMESTAMP BY EntryTime \
 //!            GROUP BY DeviceID, Windows( \
 //!                Window('20 min', TumblingWindow(minute, 20)), \
 //!                Window('40 min', TumblingWindow(minute, 40)))";
-//! let parsed = fw_sql::parse_query(sql).unwrap();
-//! let query = parsed.to_window_query().unwrap();
+//! let query = fw_sql::parse_to_query(sql).unwrap();
 //! let outcome = fw_core::Optimizer::default().optimize(&query).unwrap();
 //! assert!(outcome.rewritten.cost < outcome.original.cost);
 //! ```
@@ -26,3 +31,46 @@ pub mod token;
 
 pub use parser::{parse_query, ParsedQuery, TimeUnit};
 pub use token::{tokenize, ParseError, Spanned, Token};
+
+/// The query of the paper's Figure 1(a): MIN over tumbling windows of 20,
+/// 30, and 40 minutes, keyed by device. The canonical end-to-end fixture
+/// for examples and integration tests.
+pub const FIG1_SQL: &str = "SELECT DeviceID, System.Window().Id, MIN(T) AS MinTemp \
+     FROM Input TIMESTAMP BY EntryTime \
+     GROUP BY DeviceID, Windows( \
+         Window('20 min', TumblingWindow(minute, 20)), \
+         Window('30 min', TumblingWindow(minute, 30)), \
+         Window('40 min', TumblingWindow(minute, 40)))";
+
+/// Parses SQL text straight to the optimizer's [`fw_core::WindowQuery`]
+/// (labels preserved). SQL-level failures surface as [`ParseError`] with
+/// byte offsets; window-model violations (e.g. a range that is not a
+/// multiple of its slide) surface as [`fw_core::Error`] wrapped into the
+/// same error type by the parser.
+pub fn parse_to_query(sql: &str) -> Result<fw_core::WindowQuery, ParseError> {
+    let parsed = parse_query(sql)?;
+    parsed.to_window_query().map_err(|e| ParseError {
+        message: e.to_string(),
+        offset: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_fixture_parses() {
+        let query = parse_to_query(FIG1_SQL).unwrap();
+        assert_eq!(query.windows().len(), 3);
+        assert_eq!(query.function(), fw_core::AggregateFunction::Min);
+        // Minutes normalize to seconds.
+        let ranges: Vec<u64> = query.windows().iter().map(fw_core::Window::range).collect();
+        assert_eq!(ranges, vec![1200, 1800, 2400]);
+    }
+
+    #[test]
+    fn parse_to_query_surfaces_sql_errors() {
+        assert!(parse_to_query("SELECT nope").is_err());
+    }
+}

@@ -116,7 +116,11 @@ impl Parser {
                     }
                 };
                 self.expect(&Token::RParen)?;
-                let alias = if self.eat_keyword("AS") { Some(self.expect_ident()?) } else { None };
+                let alias = if self.eat_keyword("AS") {
+                    Some(self.expect_ident()?)
+                } else {
+                    None
+                };
                 aggregate = Some((f, column, alias));
             } else {
                 projections.push(self.parse_path()?);
@@ -128,9 +132,8 @@ impl Parser {
                 break;
             }
         }
-        let (aggregate, value_column, alias) = aggregate.ok_or_else(|| {
-            self.error_here("the SELECT list must contain an aggregate function")
-        })?;
+        let (aggregate, value_column, alias) = aggregate
+            .ok_or_else(|| self.error_here("the SELECT list must contain an aggregate function"))?;
 
         self.expect_keyword("FROM")?;
         let source_name = self.expect_ident()?;
@@ -211,7 +214,9 @@ impl Parser {
                 s
             }
             other => {
-                return Err(self.error_here(&format!("expected a window label string, found {other}")))
+                return Err(
+                    self.error_here(&format!("expected a window label string, found {other}"))
+                )
             }
         };
         self.expect(&Token::Comma)?;
@@ -219,8 +224,9 @@ impl Parser {
         self.expect(&Token::LParen)?;
         let unit_name = self.expect_ident()?;
         let unit_offset = self.tokens[self.pos - 1].offset;
-        let unit = TimeUnit::parse(&unit_name)
-            .ok_or_else(|| self.error_at(unit_offset, &format!("unknown time unit `{unit_name}`")))?;
+        let unit = TimeUnit::parse(&unit_name).ok_or_else(|| {
+            self.error_at(unit_offset, &format!("unknown time unit `{unit_name}`"))
+        })?;
         let window = match kind.to_ascii_lowercase().as_str() {
             "tumblingwindow" => {
                 self.expect(&Token::Comma)?;
@@ -241,7 +247,9 @@ impl Parser {
             other => {
                 return Err(self.error_at(
                     offset,
-                    &format!("unknown window type `{other}` (expected TumblingWindow or HoppingWindow)"),
+                    &format!(
+                        "unknown window type `{other}` (expected TumblingWindow or HoppingWindow)"
+                    ),
                 ))
             }
         };
@@ -321,7 +329,10 @@ impl Parser {
         if self.eat_keyword(keyword) {
             Ok(())
         } else {
-            Err(self.error_here(&format!("expected `{keyword}`, found {}", self.here().token)))
+            Err(self.error_here(&format!(
+                "expected `{keyword}`, found {}",
+                self.here().token
+            )))
         }
     }
 
@@ -351,7 +362,10 @@ impl Parser {
     }
 
     fn error_at(&self, offset: usize, message: &str) -> ParseError {
-        ParseError { message: message.to_string(), offset }
+        ParseError {
+            message: message.to_string(),
+            offset,
+        }
     }
 }
 
@@ -375,7 +389,10 @@ mod tests {
         assert_eq!(q.aggregate, AggregateFunction::Min);
         assert_eq!(q.value_column, "T");
         assert_eq!(q.alias.as_deref(), Some("MinTemp"));
-        assert_eq!(q.projections, vec!["DeviceID".to_string(), "System.Window().Id".to_string()]);
+        assert_eq!(
+            q.projections,
+            vec!["DeviceID".to_string(), "System.Window().Id".to_string()]
+        );
         assert_eq!(q.windows.len(), 3);
         assert_eq!(q.windows[0].0, "20 min");
         assert_eq!(q.windows[0].1, Window::tumbling(1200).unwrap());
@@ -415,9 +432,10 @@ mod tests {
 
     #[test]
     fn count_star() {
-        let q =
-            parse_query("SELECT k, COUNT(*) FROM S GROUP BY k, Windows(Window('w', TumblingWindow(second, 5)))")
-                .unwrap();
+        let q = parse_query(
+            "SELECT k, COUNT(*) FROM S GROUP BY k, Windows(Window('w', TumblingWindow(second, 5)))",
+        )
+        .unwrap();
         assert_eq!(q.aggregate, AggregateFunction::Count);
         assert_eq!(q.value_column, "*");
     }
@@ -434,8 +452,10 @@ mod tests {
 
     #[test]
     fn missing_aggregate_is_an_error() {
-        let err = parse_query("SELECT k FROM S GROUP BY k, Windows(Window('w', TumblingWindow(minute, 5)))")
-            .unwrap_err();
+        let err = parse_query(
+            "SELECT k FROM S GROUP BY k, Windows(Window('w', TumblingWindow(minute, 5)))",
+        )
+        .unwrap_err();
         assert!(err.message.contains("aggregate"), "{}", err.message);
     }
 
@@ -447,7 +467,11 @@ mod tests {
                 Window('a', TumblingWindow(minute, 10)))",
         )
         .unwrap_err();
-        assert!(err.message.contains("duplicate window label"), "{}", err.message);
+        assert!(
+            err.message.contains("duplicate window label"),
+            "{}",
+            err.message
+        );
         let err = parse_query(
             "SELECT k, MIN(v) FROM S GROUP BY k, Windows(\
                 Window('a', TumblingWindow(minute, 5)),\
@@ -472,7 +496,11 @@ mod tests {
             "SELECT k, MIN(v) FROM S GROUP BY k, Windows(Window('w', SessionWindow(minute, 5)))",
         )
         .unwrap_err();
-        assert!(err.message.contains("unknown window type"), "{}", err.message);
+        assert!(
+            err.message.contains("unknown window type"),
+            "{}",
+            err.message
+        );
     }
 
     #[test]
@@ -489,7 +517,11 @@ mod tests {
             "SELECT MIN(v), MAX(v) FROM S GROUP BY k, Windows(Window('w', TumblingWindow(minute, 5)))",
         )
         .unwrap_err();
-        assert!(err.message.contains("only one aggregate"), "{}", err.message);
+        assert!(
+            err.message.contains("only one aggregate"),
+            "{}",
+            err.message
+        );
     }
 
     #[test]
@@ -500,7 +532,8 @@ mod tests {
 
     #[test]
     fn error_positions_render() {
-        let src = "SELECT k, MIN(v) FROM S GROUP BY k, Windows(Window('w', TumblingWindow(minute 5)))";
+        let src =
+            "SELECT k, MIN(v) FROM S GROUP BY k, Windows(Window('w', TumblingWindow(minute 5)))";
         let err = parse_query(src).unwrap_err();
         let rendered = err.render(src);
         assert!(rendered.contains("expected `,`"), "{rendered}");

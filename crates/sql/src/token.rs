@@ -67,8 +67,9 @@ impl ParseError {
         let line_no = upto.matches('\n').count() + 1;
         let line_start = upto.rfind('\n').map_or(0, |i| i + 1);
         let col = self.offset.saturating_sub(line_start) + 1;
-        let line_end =
-            source[line_start..].find('\n').map_or(source.len(), |i| line_start + i);
+        let line_end = source[line_start..]
+            .find('\n')
+            .map_or(source.len(), |i| line_start + i);
         let line = &source[line_start..line_end];
         format!(
             "error at line {line_no}, column {col}: {}\n  | {line}\n  | {:>width$}",
@@ -97,23 +98,38 @@ pub fn tokenize(source: &str) -> Result<Vec<Spanned>, ParseError> {
         match c {
             ' ' | '\t' | '\r' | '\n' => i += 1,
             '(' => {
-                tokens.push(Spanned { token: Token::LParen, offset: i });
+                tokens.push(Spanned {
+                    token: Token::LParen,
+                    offset: i,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(Spanned { token: Token::RParen, offset: i });
+                tokens.push(Spanned {
+                    token: Token::RParen,
+                    offset: i,
+                });
                 i += 1;
             }
             ',' => {
-                tokens.push(Spanned { token: Token::Comma, offset: i });
+                tokens.push(Spanned {
+                    token: Token::Comma,
+                    offset: i,
+                });
                 i += 1;
             }
             '.' => {
-                tokens.push(Spanned { token: Token::Dot, offset: i });
+                tokens.push(Spanned {
+                    token: Token::Dot,
+                    offset: i,
+                });
                 i += 1;
             }
             '*' => {
-                tokens.push(Spanned { token: Token::Star, offset: i });
+                tokens.push(Spanned {
+                    token: Token::Star,
+                    offset: i,
+                });
                 i += 1;
             }
             '-' if bytes.get(i + 1) == Some(&b'-') => {
@@ -144,7 +160,10 @@ pub fn tokenize(source: &str) -> Result<Vec<Spanned>, ParseError> {
                         }
                     }
                 }
-                tokens.push(Spanned { token: Token::Str(s), offset: start });
+                tokens.push(Spanned {
+                    token: Token::Str(s),
+                    offset: start,
+                });
             }
             '0'..='9' => {
                 let start = i;
@@ -159,7 +178,10 @@ pub fn tokenize(source: &str) -> Result<Vec<Spanned>, ParseError> {
                         })?;
                     i += 1;
                 }
-                tokens.push(Spanned { token: Token::Number(value), offset: start });
+                tokens.push(Spanned {
+                    token: Token::Number(value),
+                    offset: start,
+                });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
@@ -181,7 +203,10 @@ pub fn tokenize(source: &str) -> Result<Vec<Spanned>, ParseError> {
             }
         }
     }
-    tokens.push(Spanned { token: Token::Eof, offset: source.len() });
+    tokens.push(Spanned {
+        token: Token::Eof,
+        offset: source.len(),
+    });
     Ok(tokens)
 }
 
@@ -190,7 +215,11 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<Token> {
-        tokenize(src).unwrap().into_iter().map(|s| s.token).collect()
+        tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.token)
+            .collect()
     }
 
     #[test]
@@ -231,7 +260,11 @@ mod tests {
     fn comments_are_skipped() {
         assert_eq!(
             kinds("a -- comment, with ( tokens\nb"),
-            vec![Token::Ident("a".to_string()), Token::Ident("b".to_string()), Token::Eof]
+            vec![
+                Token::Ident("a".to_string()),
+                Token::Ident("b".to_string()),
+                Token::Eof
+            ]
         );
     }
 

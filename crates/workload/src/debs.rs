@@ -10,9 +10,8 @@
 //! per-event work is value-independent, so throughput depends only on
 //! arrival pace and key cardinality, both of which are preserved.
 
+use crate::rng::SplitMix64;
 use fw_engine::Event;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Configuration for the DEBS-like generator.
 #[derive(Debug, Clone, Copy)]
@@ -27,7 +26,10 @@ impl DebsConfig {
     /// Real-32M at a given scale divisor.
     #[must_use]
     pub fn real_32m(scale: usize) -> Self {
-        DebsConfig { events: 32_000_000 / scale.max(1), seed: 0xDEB5 }
+        DebsConfig {
+            events: 32_000_000 / scale.max(1),
+            seed: 0xDEB5,
+        }
     }
 }
 
@@ -35,7 +37,7 @@ impl DebsConfig {
 /// pace, values in watts around a 1.2 kW base load.
 #[must_use]
 pub fn debs_stream(config: &DebsConfig) -> Vec<Event> {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = SplitMix64::seed_from_u64(config.seed);
     let mut events = Vec::with_capacity(config.events);
     let mut spike_remaining = 0u32;
     for t in 0..config.events as u64 {
@@ -45,10 +47,10 @@ pub fn debs_stream(config: &DebsConfig) -> Vec<Event> {
         let drift = 80.0 * (tf * std::f64::consts::TAU / 86_400.0).sin();
         // Machine duty cycle: ~300 ticks on, ~300 ticks off.
         let duty = if (t / 300) % 2 == 0 { 450.0 } else { 0.0 };
-        let noise: f64 = rng.gen_range(-1.0..1.0) + rng.gen_range(-1.0..1.0); // ~triangular
+        let noise: f64 = rng.gen_range_f64(-1.0..1.0) + rng.gen_range_f64(-1.0..1.0); // ~triangular
         let noise = noise * 15.0;
-        if spike_remaining == 0 && rng.gen_range(0..100_000) == 0 {
-            spike_remaining = rng.gen_range(5..40);
+        if spike_remaining == 0 && rng.gen_range_u64(0..100_000) == 0 {
+            spike_remaining = rng.gen_range_u64(5..40) as u32;
         }
         let spike = if spike_remaining > 0 {
             spike_remaining -= 1;
@@ -67,7 +69,10 @@ mod tests {
 
     #[test]
     fn constant_pace_single_key() {
-        let events = debs_stream(&DebsConfig { events: 5000, seed: 1 });
+        let events = debs_stream(&DebsConfig {
+            events: 5000,
+            seed: 1,
+        });
         assert_eq!(events.len(), 5000);
         for (i, e) in events.iter().enumerate() {
             assert_eq!(e.time, i as u64);
@@ -77,7 +82,10 @@ mod tests {
 
     #[test]
     fn signal_has_duty_cycle_structure() {
-        let events = debs_stream(&DebsConfig { events: 1200, seed: 2 });
+        let events = debs_stream(&DebsConfig {
+            events: 1200,
+            seed: 2,
+        });
         // First "on" phase (ticks 0..300) should sit well above the first
         // "off" phase (ticks 300..600).
         let on: f64 = events[..300].iter().map(|e| e.value).sum::<f64>() / 300.0;
@@ -87,7 +95,10 @@ mod tests {
 
     #[test]
     fn values_stay_physical() {
-        let events = debs_stream(&DebsConfig { events: 100_000, seed: 3 });
+        let events = debs_stream(&DebsConfig {
+            events: 100_000,
+            seed: 3,
+        });
         for e in &events {
             assert!(e.value > 800.0 && e.value < 3200.0, "value {}", e.value);
         }
@@ -95,8 +106,14 @@ mod tests {
 
     #[test]
     fn deterministic_by_seed() {
-        let a = debs_stream(&DebsConfig { events: 1000, seed: 9 });
-        let b = debs_stream(&DebsConfig { events: 1000, seed: 9 });
+        let a = debs_stream(&DebsConfig {
+            events: 1000,
+            seed: 9,
+        });
+        let b = debs_stream(&DebsConfig {
+            events: 1000,
+            seed: 9,
+        });
         assert_eq!(a, b);
     }
 

@@ -9,9 +9,14 @@
 #![warn(clippy::all)]
 
 pub mod debs;
+pub mod rng;
 pub mod synthetic;
 pub mod window_sets;
 
 pub use debs::{debs_stream, DebsConfig};
+pub use rng::SplitMix64;
 pub use synthetic::{synthetic_stream, SyntheticConfig};
-pub use window_sets::{generate_runs, generate_window_set, GenConfig, Generator, WindowShape};
+pub use window_sets::{
+    evaluation_panels, generate_runs, generate_window_set, setup_label, GenConfig, Generator,
+    WindowShape,
+};

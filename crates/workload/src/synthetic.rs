@@ -2,9 +2,8 @@
 //! cost model's steady ingestion-rate assumption (η = 1 event per time
 //! unit), keyed by a small device-id space.
 
+use crate::rng::SplitMix64;
 use fw_engine::Event;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Configuration for the synthetic generator.
 #[derive(Debug, Clone, Copy)]
@@ -21,13 +20,21 @@ impl SyntheticConfig {
     /// Synthetic-1M at a given scale divisor.
     #[must_use]
     pub fn synthetic_1m(scale: usize) -> Self {
-        SyntheticConfig { events: 1_000_000 / scale.max(1), keys: 1, seed: 0xA11CE }
+        SyntheticConfig {
+            events: 1_000_000 / scale.max(1),
+            keys: 1,
+            seed: 0xA11CE,
+        }
     }
 
     /// Synthetic-10M at a given scale divisor.
     #[must_use]
     pub fn synthetic_10m(scale: usize) -> Self {
-        SyntheticConfig { events: 10_000_000 / scale.max(1), keys: 1, seed: 0xB0B }
+        SyntheticConfig {
+            events: 10_000_000 / scale.max(1),
+            keys: 1,
+            seed: 0xB0B,
+        }
     }
 }
 
@@ -36,10 +43,16 @@ impl SyntheticConfig {
 /// time unit is exactly the cost model's η = 1.
 #[must_use]
 pub fn synthetic_stream(config: &SyntheticConfig) -> Vec<Event> {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = SplitMix64::seed_from_u64(config.seed);
     let keys = config.keys.max(1);
     (0..config.events as u64)
-        .map(|t| Event::new(t, (t % u64::from(keys)) as u32, rng.gen_range(0.0..100.0)))
+        .map(|t| {
+            Event::new(
+                t,
+                (t % u64::from(keys)) as u32,
+                rng.gen_range_f64(0.0..100.0),
+            )
+        })
         .collect()
 }
 
@@ -49,7 +62,11 @@ mod tests {
 
     #[test]
     fn constant_pace_and_round_robin_keys() {
-        let config = SyntheticConfig { events: 1000, keys: 4, seed: 1 };
+        let config = SyntheticConfig {
+            events: 1000,
+            keys: 4,
+            seed: 1,
+        };
         let events = synthetic_stream(&config);
         assert_eq!(events.len(), 1000);
         for (i, e) in events.iter().enumerate() {
@@ -61,7 +78,11 @@ mod tests {
 
     #[test]
     fn deterministic_by_seed() {
-        let config = SyntheticConfig { events: 100, keys: 2, seed: 7 };
+        let config = SyntheticConfig {
+            events: 100,
+            keys: 2,
+            seed: 7,
+        };
         assert_eq!(synthetic_stream(&config), synthetic_stream(&config));
         let other = SyntheticConfig { seed: 8, ..config };
         assert_ne!(synthetic_stream(&config), synthetic_stream(&other));

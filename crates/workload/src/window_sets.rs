@@ -7,9 +7,8 @@
 //! configuration; we derive per-set RNG seeds deterministically so every
 //! experiment is reproducible.
 
+use crate::rng::SplitMix64;
 use fw_core::{Window, WindowSet};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Whether a generated set contains tumbling or hopping windows.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -65,7 +64,11 @@ pub struct GenConfig {
 
 impl Default for GenConfig {
     fn default() -> Self {
-        GenConfig { seed_slides: vec![5, 10, 20], seed_ranges: vec![2, 5, 10], multiplier: 50 }
+        GenConfig {
+            seed_slides: vec![5, 10, 20],
+            seed_ranges: vec![2, 5, 10],
+            multiplier: 50,
+        }
     }
 }
 
@@ -84,20 +87,20 @@ pub fn generate_window_set(
     config: &GenConfig,
     seed: u64,
 ) -> WindowSet {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut windows: Vec<Window> = Vec::with_capacity(size);
     match generator {
         Generator::RandomGen => {
             while windows.len() < size {
                 let w = match shape {
                     WindowShape::Tumbling => {
-                        let r0 = config.seed_ranges[rng.gen_range(0..config.seed_ranges.len())];
-                        let k = rng.gen_range(2..=config.multiplier);
+                        let r0 = config.seed_ranges[rng.gen_index(config.seed_ranges.len())];
+                        let k = rng.gen_range_inclusive_u64(2..=config.multiplier);
                         Window::tumbling(k * r0).expect("positive range")
                     }
                     WindowShape::Hopping => {
-                        let s0 = config.seed_slides[rng.gen_range(0..config.seed_slides.len())];
-                        let k = rng.gen_range(2..=config.multiplier);
+                        let s0 = config.seed_slides[rng.gen_index(config.seed_slides.len())];
+                        let k = rng.gen_range_inclusive_u64(2..=config.multiplier);
                         let s = k * s0;
                         Window::hopping(2 * s, s).expect("r = 2s > s")
                     }
@@ -110,11 +113,9 @@ pub fn generate_window_set(
         Generator::SequentialGen => {
             let x0 = match shape {
                 WindowShape::Tumbling => {
-                    config.seed_ranges[rng.gen_range(0..config.seed_ranges.len())]
+                    config.seed_ranges[rng.gen_index(config.seed_ranges.len())]
                 }
-                WindowShape::Hopping => {
-                    config.seed_slides[rng.gen_range(0..config.seed_slides.len())]
-                }
+                WindowShape::Hopping => config.seed_slides[rng.gen_index(config.seed_slides.len())],
             };
             for i in 0..size as u64 {
                 let x = (i + 2) * x0; // 2·x0, 3·x0, ...
@@ -127,6 +128,24 @@ pub fn generate_window_set(
         }
     }
     WindowSet::new(windows).expect("non-empty, deduplicated set")
+}
+
+/// The four (generator, shape) panels every throughput figure of the
+/// paper's evaluation uses, in the paper's order.
+#[must_use]
+pub fn evaluation_panels() -> [(Generator, WindowShape); 4] {
+    [
+        (Generator::RandomGen, WindowShape::Tumbling),
+        (Generator::RandomGen, WindowShape::Hopping),
+        (Generator::SequentialGen, WindowShape::Tumbling),
+        (Generator::SequentialGen, WindowShape::Hopping),
+    ]
+}
+
+/// Configuration label in the paper's notation, e.g. "R-5-tumbling".
+#[must_use]
+pub fn setup_label(generator: Generator, shape: WindowShape, size: usize) -> String {
+    format!("{}-{}-{}", generator.short(), size, shape.name())
 }
 
 /// The ten window sets of one experimental configuration, with seeds
@@ -177,7 +196,9 @@ mod tests {
                 // r is a multiple of some seed with multiplier ≥ 2.
                 assert!(w.range() >= 4 && w.range() <= 500, "{w}");
                 assert!(
-                    [2u64, 5, 10].iter().any(|r0| w.range() % r0 == 0 && w.range() / r0 >= 2),
+                    [2u64, 5, 10]
+                        .iter()
+                        .any(|r0| w.range() % r0 == 0 && w.range() / r0 >= 2),
                     "{w}"
                 );
             }

@@ -2,24 +2,26 @@
 //! estimator watches the stream, and when the ingestion rate drifts, the
 //! planner re-runs the cost-based optimizer — higher rates justify finer
 //! factor windows because raw costs scale with η while sub-aggregate
-//! costs do not.
+//! costs do not. Execution goes through `Session`, whose `cost_model`
+//! knob is exactly the seam the planner turns.
 //!
 //! ```sh
 //! cargo run --release --example adaptive_rates
 //! ```
 
+use factor_windows::prelude::*;
 use fw_core::adaptive::{AdaptivePlanner, RateEstimator};
-use fw_core::prelude::*;
-use fw_engine::{execute, Event};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A rate-sensitive window set: the best factor structure at 1 event
     // per time unit differs from the one at 2+ events per unit.
     let windows = WindowSet::new(
-        [10u64, 20, 94, 100, 300].map(|r| Window::tumbling(r).unwrap()).to_vec(),
+        [10u64, 20, 94, 100, 300]
+            .map(|r| Window::tumbling(r).unwrap())
+            .to_vec(),
     )?;
     let query = WindowQuery::new(windows, AggregateFunction::Min);
-    let mut planner = AdaptivePlanner::new(query, Semantics::CoveredBy, 1, 1.5)?;
+    let mut planner = AdaptivePlanner::new(query.clone(), Semantics::CoveredBy, 1, 1.5)?;
     let mut estimator = RateEstimator::new(0.05);
 
     println!("plan at η=1 (cost {}):", planner.current().factored.cost);
@@ -55,14 +57,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("\nre-optimizations: {}", planner.replans());
 
-    // Whatever the planner chose, results are identical to the unshared plan.
-    let outcome = planner.current();
-    let a = execute(&outcome.original.plan, &events, true)?;
-    let b = execute(&outcome.factored.plan, &events, true)?;
+    // Whatever rate the planner converged on, a session configured with
+    // that cost model compiles the same factored plan — and its results
+    // are identical to the unshared plan.
+    let session = Session::from_query(query)
+        .semantics(Semantics::CoveredBy)
+        .cost_model(CostModel::new(planner.planned_rate()))
+        .collect_results(true);
+    assert_eq!(
+        session.selected_plan()?.plan,
+        planner.current().factored.plan,
+        "the session's Auto choice matches the adaptive planner",
+    );
+    let a = session
+        .clone()
+        .plan_choice(PlanChoice::Original)
+        .run_batch(&events)?;
+    let b = session
+        .clone()
+        .plan_choice(PlanChoice::Auto)
+        .run_batch(&events)?;
     assert_eq!(
         fw_engine::sorted_results(a.results),
         fw_engine::sorted_results(b.results),
     );
-    println!("correctness: adaptive plan matches the unshared plan on {} results", a.results_emitted);
+    println!(
+        "correctness: adaptive plan matches the unshared plan on {} results",
+        a.results_emitted
+    );
     Ok(())
 }

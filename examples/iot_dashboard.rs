@@ -1,13 +1,15 @@
 //! The paper's motivating scenario (Section I): an IoT dashboard service
 //! where several downstream users watch the same device telemetry over
 //! different window sizes. One declarative query, many windows — the
-//! optimizer shares the work.
+//! optimizer shares the work, and the dashboard consumes results
+//! incrementally through the `Session`/`Pipeline` streaming API.
 //!
 //! ```sh
 //! cargo run --release --example iot_dashboard
 //! ```
 
-use fw_engine::{execute, sorted_results, Event};
+use factor_windows::{PlanChoice, Session};
+use fw_engine::{sorted_results, Event, WindowResult};
 
 const DASHBOARD_QUERY: &str = "\
     SELECT DeviceID, System.Window().Id, MIN(T) AS MinTemp \
@@ -21,28 +23,49 @@ const DASHBOARD_QUERY: &str = "\
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("dashboard query:\n{DASHBOARD_QUERY}\n");
-    let parsed = fw_sql::parse_query(DASHBOARD_QUERY).map_err(|e| e.render(DASHBOARD_QUERY))?;
-    println!(
-        "parsed: {} over {} windows of `{}`, keyed by {}",
-        parsed.aggregate,
-        parsed.windows.len(),
-        parsed.source,
-        parsed.key_column
-    );
+    let session = Session::from_sql(DASHBOARD_QUERY)?.collect_results(true);
 
-    let query = parsed.to_window_query()?;
-    let outcome = fw_core::Optimizer::default().optimize(&query)?;
-    println!("\noptimized plan (factor windows allowed):");
+    let outcome = session.optimize()?;
+    println!("optimized plan (factor windows allowed):");
     println!("{}", outcome.factored.plan.to_trill_string());
     println!(
         "\ncost: {} -> {} -> {} (original -> rewritten -> factored)",
         outcome.original.cost, outcome.rewritten.cost, outcome.factored.cost
     );
 
-    // Simulate 12 devices reporting once a second for two hours.
+    // Simulate 12 devices reporting once a second for two hours, streamed
+    // minute by minute into the pipeline — the dashboard polls for fresh
+    // tiles after each minute of data.
     // Window units are seconds after SQL normalization (minute = 60s).
     let devices = 12u32;
     let horizon = 2 * 60 * 60u64;
+    let mut pipeline = session.build()?;
+    let mut dashboard: Vec<WindowResult> = Vec::new();
+    let mut refreshes = 0u64;
+    for t in 0..horizon {
+        for d in 0..devices {
+            let base = 20.0 + f64::from(d);
+            let swing = 5.0 * ((t as f64 / 700.0) + f64::from(d)).sin();
+            pipeline.push(Event::new(t, d, base + swing))?;
+        }
+        if t % 60 == 59 {
+            let fresh = pipeline.poll_results();
+            if !fresh.is_empty() {
+                refreshes += 1;
+                dashboard.extend(fresh);
+            }
+        }
+    }
+    let tail = pipeline.finish()?;
+    dashboard.extend(tail.results);
+    println!(
+        "\nstreamed {} events; {} dashboard refreshes delivered {} tile updates",
+        tail.events_processed,
+        refreshes,
+        dashboard.len()
+    );
+
+    // The incremental feed matches a batch run of the unshared plan.
     let mut events = Vec::with_capacity((horizon as usize) * devices as usize);
     for t in 0..horizon {
         for d in 0..devices {
@@ -51,28 +74,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             events.push(Event::new(t, d, base + swing));
         }
     }
-
-    let original = execute(&outcome.original.plan, &events, true)?;
-    let factored = execute(&outcome.factored.plan, &events, true)?;
+    let original = session
+        .clone()
+        .plan_choice(PlanChoice::Original)
+        .run_batch(&events)?;
     assert_eq!(
+        sorted_results(dashboard.clone()),
         sorted_results(original.results.clone()),
-        sorted_results(factored.results.clone()),
+        "incremental factored pipeline must match the batch original plan",
     );
     println!(
-        "\n{} device-window results identical across plans; throughput {:.0}K -> {:.0}K events/s ({:.2}x)",
-        original.results_emitted,
-        original.throughput_eps() / 1e3,
-        factored.throughput_eps() / 1e3,
-        factored.throughput_eps() / original.throughput_eps()
+        "results identical to the unshared batch plan ({} tiles)",
+        dashboard.len()
     );
 
     // Show one dashboard tile: the 10-minute panel of device 3.
     let ten_min = fw_core::Window::tumbling(600)?;
     println!("\ndevice 3, '10 min' panel (first 5 windows):");
     let mut shown = 0;
-    for r in sorted_results(factored.results) {
+    for r in sorted_results(dashboard) {
         if r.window == ten_min && r.key == 3 && shown < 5 {
-            println!("  [{:>5}..{:>5}) min temp {:.2}", r.interval.start, r.interval.end, r.value);
+            println!(
+                "  [{:>5}..{:>5}) min temp {:.2}",
+                r.interval.start, r.interval.end, r.value
+            );
             shown += 1;
         }
     }

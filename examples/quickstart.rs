@@ -1,12 +1,13 @@
-//! Quickstart: optimize a multi-window MIN query, inspect the three plans,
-//! and verify they compute identical results at very different costs.
+//! Quickstart: one `Session` from query to execution — optimize a
+//! multi-window MIN query, inspect the three plans, and verify they
+//! compute identical results at very different costs.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
 use factor_windows::prelude::*;
-use fw_engine::{execute, sorted_results, Event};
+use fw_engine::sorted_results;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The window set of the paper's Example 7: every 20, 30, and 40 time
@@ -17,23 +18,44 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Window::tumbling(40)?,
     ])?;
     let query = WindowQuery::new(windows, AggregateFunction::Min);
+    let session = Session::from_query(query).collect_results(true);
 
-    let outcome = Optimizer::default().optimize(&query)?;
+    let outcome = session.optimize()?;
     println!("=== plans (Trill expressions) ===");
-    println!("original  (cost {:>4}): {}", outcome.original.cost, outcome.original.plan.to_trill_string());
-    println!("rewritten (cost {:>4}): {}", outcome.rewritten.cost, outcome.rewritten.plan.to_trill_string());
-    println!("factored  (cost {:>4}): {}", outcome.factored.cost, outcome.factored.plan.to_trill_string());
     println!(
-        "\npredicted speedup with factor windows: {:.2}x",
-        outcome.predicted_speedup_factored()
+        "original  (cost {:>4}): {}",
+        outcome.original.cost,
+        outcome.original.plan.to_trill_string()
+    );
+    println!(
+        "rewritten (cost {:>4}): {}",
+        outcome.rewritten.cost,
+        outcome.rewritten.plan.to_trill_string()
+    );
+    println!(
+        "factored  (cost {:>4}): {}",
+        outcome.factored.cost,
+        outcome.factored.plan.to_trill_string()
+    );
+    println!(
+        "\npredicted speedup with factor windows: {:.2}x (PlanChoice::Auto picks `{}`)",
+        outcome.predicted_speedup_factored(),
+        session.resolved_choice()?,
     );
 
     // A small constant-pace stream: one reading per time unit.
-    let events: Vec<Event> =
-        (0..100_000u64).map(|t| Event::new(t, 0, ((t * 37) % 1000) as f64)).collect();
+    let events: Vec<Event> = (0..100_000u64)
+        .map(|t| Event::new(t, 0, ((t * 37) % 1000) as f64))
+        .collect();
 
-    let mut original = execute(&outcome.original.plan, &events, true)?;
-    let mut factored = execute(&outcome.factored.plan, &events, true)?;
+    let mut original = session
+        .clone()
+        .plan_choice(PlanChoice::Original)
+        .run_batch(&events)?;
+    let mut factored = session
+        .clone()
+        .plan_choice(PlanChoice::Factored)
+        .run_batch(&events)?;
 
     assert_eq!(
         sorted_results(std::mem::take(&mut original.results)),

@@ -1,14 +1,15 @@
 //! The Section V-F comparison on one window set: Flink-default
 //! (independent evaluation), Scotty-style general stream slicing, and the
 //! cost-based factor-window rewrite — all three computing identical
-//! results.
+//! results. The plan-based systems run through the `Session` façade; the
+//! slicing baseline keeps its own executor (it has no logical plan).
 //!
 //! ```sh
 //! cargo run --release --example slicing_comparison
 //! ```
 
-use fw_core::prelude::*;
-use fw_engine::{execute, sorted_results, Event};
+use factor_windows::prelude::*;
+use fw_engine::sorted_results;
 use fw_slicing::execute_sliced;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -20,22 +21,41 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Window::hopping(240, 40)?,
     ])?;
     let query = WindowQuery::new(windows.clone(), AggregateFunction::Min);
-    let outcome = Optimizer::default().optimize(&query)?;
+    let session = Session::from_query(query).collect_results(true);
+    let outcome = session.optimize()?;
 
-    let events: Vec<Event> =
-        (0..400_000u64).map(|t| Event::new(t, 0, ((t * 131) % 4099) as f64)).collect();
+    let events: Vec<Event> = (0..400_000u64)
+        .map(|t| Event::new(t, 0, ((t * 131) % 4099) as f64))
+        .collect();
 
-    let flink = execute(&outcome.original.plan, &events, true)?;
+    let flink = session
+        .clone()
+        .plan_choice(PlanChoice::Original)
+        .run_batch(&events)?;
     let scotty = execute_sliced(&windows, AggregateFunction::Min, &events, true)?;
-    let factor = execute(&outcome.factored.plan, &events, true)?;
+    let factor = session
+        .clone()
+        .plan_choice(PlanChoice::Factored)
+        .run_batch(&events)?;
 
     let reference = sorted_results(flink.results.clone());
-    assert_eq!(reference, sorted_results(scotty.results.clone()), "slicing must agree");
-    assert_eq!(reference, sorted_results(factor.results.clone()), "factor windows must agree");
+    assert_eq!(
+        reference,
+        sorted_results(scotty.results.clone()),
+        "slicing must agree"
+    );
+    assert_eq!(
+        reference,
+        sorted_results(factor.results.clone()),
+        "factor windows must agree"
+    );
 
     println!("window set: {windows}");
     println!("factored plan: {}", outcome.factored.plan.to_trill_string());
-    println!("\nall three systems produced {} identical results\n", reference.len());
+    println!(
+        "\nall three systems produced {} identical results\n",
+        reference.len()
+    );
     println!("{:<22} {:>14}", "system", "K events/s");
     for (name, out) in [
         ("Flink (independent)", &flink),

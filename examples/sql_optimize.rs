@@ -1,7 +1,7 @@
 //! EXPLAIN-style tool: parse an ASA-flavored query (from the command line
-//! or a built-in default), run the cost-based optimizer, and print the
-//! original/rewritten/factored plans as Trill expressions, Flink
-//! DataStream pseudo-code, and Graphviz dot.
+//! or a built-in default) into a `Session`, run the cost-based optimizer,
+//! and print the original/rewritten/factored plans as Trill expressions,
+//! Flink DataStream pseudo-code, and Graphviz dot.
 //!
 //! ```sh
 //! cargo run --release --example sql_optimize
@@ -10,6 +10,8 @@
 //!      Window('fast', TumblingWindow(second, 20)), \
 //!      Window('slow', TumblingWindow(second, 60)))"
 //! ```
+
+use factor_windows::Session;
 
 const DEFAULT_QUERY: &str = "\
     SELECT DeviceID, MIN(T) AS MinTemp \
@@ -20,20 +22,30 @@ const DEFAULT_QUERY: &str = "\
         Window('40 min', TumblingWindow(minute, 40)))";
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let sql = std::env::args().nth(1).unwrap_or_else(|| DEFAULT_QUERY.to_string());
+    let sql = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| DEFAULT_QUERY.to_string());
     println!("-- query\n{sql}\n");
 
-    let parsed = match fw_sql::parse_query(&sql) {
-        Ok(parsed) => parsed,
-        Err(e) => {
+    let session = match Session::from_sql(&sql) {
+        Ok(session) => session,
+        Err(factor_windows::ApiError::Parse(e)) => {
             eprintln!("{}", e.render(&sql));
             std::process::exit(1);
         }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
     };
-    let query = parsed.to_window_query()?;
-    let outcome = fw_core::Optimizer::default().optimize(&query)?;
+    let outcome = session.optimize()?;
 
-    println!("-- semantics: {}", outcome.semantics.map_or("none (holistic fallback)", |s| s.name()));
+    println!(
+        "-- semantics: {}",
+        outcome
+            .semantics
+            .map_or("none (holistic fallback)", |s| s.name())
+    );
     for (name, bundle) in [
         ("original", &outcome.original),
         ("rewritten (Algorithm 1)", &outcome.rewritten),
@@ -47,15 +59,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     println!(
-        "\n-- speedup predictions: rewritten {:.2}x, factored {:.2}x",
+        "\n-- speedup predictions: rewritten {:.2}x, factored {:.2}x; Auto picks `{}`",
         outcome.predicted_speedup_rewritten(),
-        outcome.predicted_speedup_factored()
+        outcome.predicted_speedup_factored(),
+        session.resolved_choice()?,
     );
     println!(
         "-- optimization time: {:.1} µs (Algorithm 1) + {:.1} µs (Algorithm 3)",
         outcome.rewrite_time.as_secs_f64() * 1e6,
         outcome.factor_time.as_secs_f64() * 1e6
     );
-    println!("\n-- factored plan, Graphviz dot:\n{}", outcome.factored.plan.to_dot());
+    println!(
+        "\n-- factored plan, Graphviz dot:\n{}",
+        outcome.factored.plan.to_dot()
+    );
     Ok(())
 }

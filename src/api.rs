@@ -1,0 +1,508 @@
+//! The `Session`/`Pipeline` façade: one API from SQL text (or a built
+//! [`WindowQuery`]) to incremental streaming execution.
+//!
+//! The paper's pitch is that factor-window rewriting is a drop-in
+//! optimization for any engine with a declarative frontend. This module is
+//! that drop-in surface for the reproduction: a [`Session`] builder runs
+//! the cost-based optimizer once, selects a plan per the [`PlanChoice`]
+//! policy, and compiles it into a long-lived [`Pipeline`] with a push API
+//! ([`Pipeline::push`], [`Pipeline::advance_watermark`],
+//! [`Pipeline::poll_results`], [`Pipeline::finish`]). Out-of-order input
+//! within a configured tolerance is repaired transparently.
+//!
+//! ```
+//! use factor_windows::{PlanChoice, Session};
+//! use factor_windows::engine::Event;
+//!
+//! let sql = "SELECT DeviceID, MIN(T) FROM Input GROUP BY DeviceID, Windows( \
+//!                Window('fast', TumblingWindow(second, 10)), \
+//!                Window('slow', TumblingWindow(second, 30)))";
+//! let mut pipeline = Session::from_sql(sql)?
+//!     .plan_choice(PlanChoice::Auto)
+//!     .collect_results(true)
+//!     .build()?;
+//!
+//! for t in 0..35u64 {
+//!     pipeline.push(Event::new(t, 0, (t % 7) as f64))?;
+//! }
+//! pipeline.advance_watermark(30)?; // everything ending by t=30 seals
+//! let sealed = pipeline.poll_results();
+//! assert_eq!(sealed.len(), 4); // three 10s instances + one 30s instance
+//! let out = pipeline.finish()?;
+//! assert_eq!(out.events_processed, 35);
+//! # Ok::<(), factor_windows::ApiError>(())
+//! ```
+
+use fw_core::{
+    CostModel, Error as CoreError, OptimizationOutcome, Optimizer, PlanBundle, PlanChoice,
+    QueryPlan, Semantics, WindowQuery,
+};
+use fw_engine::{
+    EngineError, Event, PipelineOptions, PlanPipeline, RunOutput, Throughput, WindowResult,
+};
+use fw_sql::ParseError;
+use std::cell::OnceCell;
+use std::fmt;
+
+/// Any failure on the SQL → optimizer → engine path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ApiError {
+    /// The SQL text did not parse (or violated the window model).
+    Parse(ParseError),
+    /// The optimizer rejected the query (semantics, overflow, ...).
+    Optimize(CoreError),
+    /// The engine rejected the plan or the stream.
+    Engine(EngineError),
+}
+
+impl fmt::Display for ApiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApiError::Parse(e) => write!(f, "parse error: {} (byte {})", e.message, e.offset),
+            ApiError::Optimize(e) => write!(f, "optimizer error: {e}"),
+            ApiError::Engine(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+impl From<ParseError> for ApiError {
+    fn from(e: ParseError) -> Self {
+        ApiError::Parse(e)
+    }
+}
+
+impl From<CoreError> for ApiError {
+    fn from(e: CoreError) -> Self {
+        ApiError::Optimize(e)
+    }
+}
+
+impl From<EngineError> for ApiError {
+    fn from(e: EngineError) -> Self {
+        ApiError::Engine(e)
+    }
+}
+
+/// Result alias for the façade.
+pub type ApiResult<T> = std::result::Result<T, ApiError>;
+
+/// A configured query session: the single entry point from a declarative
+/// query to an executing pipeline.
+///
+/// The session is a builder. Construction ([`Session::from_sql`] /
+/// [`Session::from_query`]) captures the query; the setters configure the
+/// cost model, coverage semantics, plan-choice policy, out-of-order
+/// tolerance, and result collection; [`Session::build`] runs the optimizer
+/// (once — the outcome is cached across repeated builds) and compiles the
+/// chosen plan into a [`Pipeline`].
+#[derive(Debug, Clone)]
+pub struct Session {
+    query: WindowQuery,
+    model: CostModel,
+    semantics: Option<Semantics>,
+    choice: PlanChoice,
+    out_of_order: u64,
+    collect: bool,
+    element_work: u32,
+    outcome: OnceCell<OptimizationOutcome>,
+}
+
+impl Session {
+    /// Starts a session from ASA-flavored SQL (see [`fw_sql`]).
+    pub fn from_sql(sql: &str) -> ApiResult<Self> {
+        Ok(Session::from_query(fw_sql::parse_to_query(sql)?))
+    }
+
+    /// Starts a session from an already-built [`WindowQuery`].
+    #[must_use]
+    pub fn from_query(query: WindowQuery) -> Self {
+        Session {
+            query,
+            model: CostModel::default(),
+            semantics: None,
+            choice: PlanChoice::Auto,
+            out_of_order: 0,
+            collect: false,
+            element_work: fw_engine::DEFAULT_ELEMENT_WORK,
+            outcome: OnceCell::new(),
+        }
+    }
+
+    /// Sets the cost model (ingestion rate η). Resets any cached
+    /// optimization.
+    #[must_use]
+    pub fn cost_model(mut self, model: CostModel) -> Self {
+        self.model = model;
+        self.outcome = OnceCell::new();
+        self
+    }
+
+    /// Pins the coverage semantics instead of the function's default
+    /// (covered-by for MIN/MAX, partitioned-by for SUM/COUNT/AVG). Resets
+    /// any cached optimization.
+    #[must_use]
+    pub fn semantics(mut self, semantics: Semantics) -> Self {
+        self.semantics = Some(semantics);
+        self.outcome = OnceCell::new();
+        self
+    }
+
+    /// Sets the plan-choice policy (default [`PlanChoice::Auto`]). Does
+    /// not re-run the optimizer: all three plans are produced once and the
+    /// policy only selects among them.
+    #[must_use]
+    pub fn plan_choice(mut self, choice: PlanChoice) -> Self {
+        self.choice = choice;
+        self
+    }
+
+    /// Tolerates events arriving up to `tolerance` time units behind the
+    /// observed maximum timestamp (repaired via the engine's reorder
+    /// buffer). `0` (the default) demands in-order input.
+    #[must_use]
+    pub fn out_of_order(mut self, tolerance: u64) -> Self {
+        self.out_of_order = tolerance;
+        self
+    }
+
+    /// Collects results for [`Pipeline::poll_results`] /
+    /// [`RunOutput::results`]. Off by default (count-only sink) so
+    /// throughput measurements pay a constant sink cost.
+    #[must_use]
+    pub fn collect_results(mut self, collect: bool) -> Self {
+        self.collect = collect;
+        self
+    }
+
+    /// Overrides the emulated per-element work
+    /// ([`fw_engine::DEFAULT_ELEMENT_WORK`]); `0` disables the emulation.
+    #[must_use]
+    pub fn element_work(mut self, element_work: u32) -> Self {
+        self.element_work = element_work;
+        self
+    }
+
+    /// The query this session serves.
+    #[must_use]
+    pub fn query(&self) -> &WindowQuery {
+        &self.query
+    }
+
+    /// Runs the cost-based optimizer (cached after the first call) and
+    /// returns the full outcome: all three plan bundles, their costs, and
+    /// the optimization timings.
+    pub fn optimize(&self) -> ApiResult<&OptimizationOutcome> {
+        if let Some(outcome) = self.outcome.get() {
+            return Ok(outcome);
+        }
+        let outcome = match self.semantics {
+            Some(semantics) => self
+                .model_optimizer()
+                .optimize_with(&self.query, semantics)?,
+            None => self.model_optimizer().optimize(&self.query)?,
+        };
+        let _ = self.outcome.set(outcome);
+        Ok(self.outcome.get().expect("just set"))
+    }
+
+    fn model_optimizer(&self) -> Optimizer {
+        Optimizer::new(self.model)
+    }
+
+    /// The plan bundle the current policy selects.
+    pub fn selected_plan(&self) -> ApiResult<&PlanBundle> {
+        Ok(self.optimize()?.select(self.choice))
+    }
+
+    /// The concrete plan choice the current policy resolves to.
+    pub fn resolved_choice(&self) -> ApiResult<PlanChoice> {
+        Ok(self.optimize()?.resolve(self.choice))
+    }
+
+    /// Optimizes (once) and compiles the chosen plan into a long-lived
+    /// [`Pipeline`]. Repeated builds reuse the cached optimization and
+    /// only recompile operator state, so measuring several fresh pipelines
+    /// is cheap.
+    pub fn build(&self) -> ApiResult<Pipeline> {
+        let outcome = self.optimize()?;
+        let bundle = outcome.select(self.choice).clone();
+        let choice = outcome.resolve(self.choice);
+        let semantics = outcome.semantics;
+        let options = PipelineOptions {
+            collect: self.collect,
+            element_work: self.element_work,
+            out_of_order: self.out_of_order,
+        };
+        let inner = PlanPipeline::compile(&bundle.plan, options)?;
+        Ok(Pipeline {
+            inner,
+            bundle,
+            choice,
+            semantics,
+        })
+    }
+
+    /// Convenience: build a pipeline, feed a whole in-order batch, finish.
+    pub fn run_batch(&self, events: &[Event]) -> ApiResult<RunOutput> {
+        let mut pipeline = self.build()?;
+        pipeline.push_batch(events)?;
+        pipeline.finish()
+    }
+
+    /// Measures the chosen plan's throughput over `events`: one warm-up
+    /// run plus `repeats` measured runs, each on a freshly compiled
+    /// pipeline with a count-only sink (the collect flag is ignored so
+    /// sink costs stay constant across plans).
+    pub fn measure_throughput(&self, events: &[Event], repeats: u32) -> ApiResult<Throughput> {
+        let repeats = repeats.max(1);
+        let session = self.clone().collect_results(false);
+        session.optimize()?; // do not charge optimization to the warm-up
+        session.run_batch(events)?; // warm-up: page in data, train branches
+        let mut total = 0.0;
+        let mut best = 0.0f64;
+        for _ in 0..repeats {
+            let eps = session.run_batch(events)?.throughput_eps();
+            total += eps;
+            best = best.max(eps);
+        }
+        Ok(Throughput {
+            mean_eps: total / f64::from(repeats),
+            best_eps: best,
+            runs: repeats,
+        })
+    }
+}
+
+/// A compiled, long-lived execution pipeline produced by
+/// [`Session::build`].
+///
+/// Wraps the engine's [`PlanPipeline`] together with the provenance of
+/// the plan it runs (which [`PlanChoice`] won, at what modeled cost,
+/// under which semantics).
+#[derive(Debug)]
+pub struct Pipeline {
+    inner: PlanPipeline,
+    bundle: PlanBundle,
+    choice: PlanChoice,
+    semantics: Option<Semantics>,
+}
+
+impl Pipeline {
+    /// Pushes one event. Out-of-order input within the session's tolerance
+    /// is repaired; anything later is an [`EngineError::OutOfOrderEvent`].
+    pub fn push(&mut self, event: Event) -> ApiResult<()> {
+        Ok(self.inner.push(event)?)
+    }
+
+    /// Pushes a batch of in-order events (timed once around the batch).
+    pub fn push_batch(&mut self, events: &[Event]) -> ApiResult<()> {
+        Ok(self.inner.push_batch(events)?)
+    }
+
+    /// Declares that no event before `watermark` will arrive: flushes the
+    /// reorder buffer up to it and seals every window instance ending at
+    /// or before it.
+    pub fn advance_watermark(&mut self, watermark: u64) -> ApiResult<()> {
+        Ok(self.inner.advance_watermark(watermark)?)
+    }
+
+    /// Drains the results collected since the last poll (always empty
+    /// unless the session enabled [`Session::collect_results`]).
+    #[must_use]
+    pub fn poll_results(&mut self) -> Vec<WindowResult> {
+        self.inner.poll_results()
+    }
+
+    /// Ends the stream and returns the run's accounting plus any results
+    /// not yet polled.
+    pub fn finish(self) -> ApiResult<RunOutput> {
+        Ok(self.inner.finish()?)
+    }
+
+    /// The logical plan this pipeline executes.
+    #[must_use]
+    pub fn plan(&self) -> &QueryPlan {
+        &self.bundle.plan
+    }
+
+    /// The modeled cost of the executing plan.
+    #[must_use]
+    pub fn cost(&self) -> fw_core::Cost {
+        self.bundle.cost
+    }
+
+    /// The concrete plan choice that was compiled (never
+    /// [`PlanChoice::Auto`]).
+    #[must_use]
+    pub fn choice(&self) -> PlanChoice {
+        self.choice
+    }
+
+    /// The coverage semantics the optimizer exploited (`None` when a
+    /// holistic function fell back to the unshared plan).
+    #[must_use]
+    pub fn semantics(&self) -> Option<Semantics> {
+        self.semantics
+    }
+
+    /// Events fed into the operators so far.
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.inner.events_processed()
+    }
+
+    /// Results emitted so far (including polled ones).
+    #[must_use]
+    pub fn results_emitted(&self) -> u64 {
+        self.inner.results_emitted()
+    }
+
+    /// Current ordering watermark.
+    #[must_use]
+    pub fn watermark(&self) -> u64 {
+        self.inner.watermark()
+    }
+
+    /// Events currently held in the reorder buffer.
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.inner.buffered()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fw_core::{AggregateFunction, Window, WindowSet};
+    use fw_engine::sorted_results;
+
+    fn demo_query() -> WindowQuery {
+        let windows = WindowSet::new(vec![
+            Window::tumbling(20).unwrap(),
+            Window::tumbling(30).unwrap(),
+            Window::tumbling(40).unwrap(),
+        ])
+        .unwrap();
+        WindowQuery::new(windows, AggregateFunction::Min)
+    }
+
+    fn stream(n: u64) -> Vec<Event> {
+        (0..n)
+            .map(|t| Event::new(t, (t % 3) as u32, ((t * 7) % 23) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn auto_resolves_to_the_cheapest_plan() {
+        let session = Session::from_query(demo_query());
+        assert_eq!(session.resolved_choice().unwrap(), PlanChoice::Factored);
+        let pipeline = session.build().unwrap();
+        assert_eq!(pipeline.choice(), PlanChoice::Factored);
+        assert_eq!(pipeline.cost(), 150); // Example 7
+    }
+
+    #[test]
+    fn all_choices_agree_on_results() {
+        let events = stream(300);
+        let mut all = Vec::new();
+        for choice in PlanChoice::CONCRETE {
+            let session = Session::from_query(demo_query())
+                .plan_choice(choice)
+                .collect_results(true);
+            let out = session.run_batch(&events).unwrap();
+            all.push(sorted_results(out.results));
+        }
+        assert!(!all[0].is_empty());
+        assert_eq!(all[0], all[1]);
+        assert_eq!(all[0], all[2]);
+    }
+
+    #[test]
+    fn optimization_is_cached_across_builds() {
+        let session = Session::from_query(demo_query());
+        let first = session.optimize().unwrap() as *const OptimizationOutcome;
+        let _ = session.build().unwrap();
+        let _ = session.build().unwrap();
+        let second = session.optimize().unwrap() as *const OptimizationOutcome;
+        assert_eq!(first, second, "optimizer must run once per configuration");
+    }
+
+    #[test]
+    fn cost_model_reset_invalidates_cache() {
+        let session = Session::from_query(demo_query());
+        let cost_at_1 = session.selected_plan().unwrap().cost;
+        let session = session.cost_model(CostModel::new(4));
+        let cost_at_4 = session.selected_plan().unwrap().cost;
+        assert!(cost_at_4 > cost_at_1, "{cost_at_4} vs {cost_at_1}");
+    }
+
+    #[test]
+    fn from_sql_round_trips_figure_one() {
+        let session = Session::from_sql(fw_sql::FIG1_SQL).unwrap();
+        assert_eq!(session.optimize().unwrap().original.cost, 21_600);
+        let pipeline = session.build().unwrap();
+        assert_eq!(pipeline.choice(), PlanChoice::Factored);
+    }
+
+    #[test]
+    fn parse_errors_surface_as_api_errors() {
+        let err = Session::from_sql("SELECT broken").unwrap_err();
+        assert!(matches!(err, ApiError::Parse(_)), "{err}");
+        assert!(err.to_string().contains("parse error"), "{err}");
+    }
+
+    #[test]
+    fn semantics_violations_surface_as_api_errors() {
+        let windows = WindowSet::new(vec![
+            Window::tumbling(20).unwrap(),
+            Window::tumbling(40).unwrap(),
+        ])
+        .unwrap();
+        let query = WindowQuery::new(windows, AggregateFunction::Sum);
+        let err = Session::from_query(query)
+            .semantics(Semantics::CoveredBy)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ApiError::Optimize(_)), "{err}");
+    }
+
+    #[test]
+    fn out_of_order_within_tolerance_is_repaired() {
+        let ordered = stream(200);
+        let mut jittered = ordered.clone();
+        for chunk in jittered.chunks_mut(3) {
+            chunk.reverse();
+        }
+        let session = Session::from_query(demo_query()).collect_results(true);
+        let reference = session.run_batch(&ordered).unwrap();
+
+        let tolerant = session.clone().out_of_order(4);
+        let mut pipeline = tolerant.build().unwrap();
+        for &e in &jittered {
+            pipeline.push(e).unwrap();
+        }
+        let repaired = pipeline.finish().unwrap();
+        assert_eq!(
+            sorted_results(repaired.results),
+            sorted_results(reference.results)
+        );
+
+        // Without tolerance the jitter is a hard error.
+        let strict = session.run_batch(&jittered).unwrap_err();
+        assert!(matches!(
+            strict,
+            ApiError::Engine(EngineError::OutOfOrderEvent { .. })
+        ));
+    }
+
+    #[test]
+    fn throughput_measurement_reports_sane_numbers() {
+        let session = Session::from_query(demo_query()).element_work(0);
+        let tp = session.measure_throughput(&stream(5_000), 2).unwrap();
+        assert!(tp.mean_eps > 0.0 && tp.mean_eps.is_finite());
+        assert!(tp.best_eps >= tp.mean_eps * 0.5);
+        assert_eq!(tp.runs, 2);
+    }
+}

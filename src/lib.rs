@@ -1,7 +1,11 @@
 //! # factor-windows — umbrella crate
 //!
-//! Re-exports the full Factor Windows reproduction workspace:
+//! One façade from SQL to incremental execution, plus re-exports of the
+//! full Factor Windows reproduction workspace:
 //!
+//! * [`Session`] / [`Pipeline`] (the [`api`] module) — the streaming API:
+//!   parse (or accept) a query, run the cost-based optimizer once, pick a
+//!   plan per [`PlanChoice`], and push events incrementally.
 //! * [`core`] (`fw-core`) — the paper's optimizer: window coverage graphs,
 //!   the cost model, Algorithms 1–5, factor windows, and query rewriting.
 //! * [`engine`] (`fw-engine`) — a Trill-like single-core streaming engine
@@ -10,17 +14,49 @@
 //! * [`slicing`] (`fw-slicing`) — a Scotty-style general stream slicing
 //!   baseline.
 //! * [`workload`] (`fw-workload`) — window-set generators and datasets.
-//! * [`harness`] (`fw-harness`) — the experiment harness regenerating every
-//!   table and figure of the paper's evaluation.
+//!
+//! The experiment harness (`fw-harness`, binary `fw-experiments`) sits on
+//! top of this crate rather than inside it: it regenerates every table and
+//! figure of the paper's evaluation through the same [`Session`] API every
+//! other consumer uses.
 //!
 //! See the repository README for a quickstart and `DESIGN.md` for the
 //! system inventory.
+//!
+//! ```
+//! use factor_windows::{PlanChoice, Session};
+//! use factor_windows::engine::Event;
+//!
+//! let mut pipeline = Session::from_sql(factor_windows::sql::FIG1_SQL)?
+//!     .plan_choice(PlanChoice::Auto)
+//!     .collect_results(true)
+//!     .build()?;
+//! for t in 0..3600u64 {
+//!     pipeline.push(Event::new(t, t as u32 % 4, (t % 37) as f64))?;
+//! }
+//! let out = pipeline.finish()?;
+//! assert!(out.results_emitted > 0);
+//! # Ok::<(), factor_windows::ApiError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod api;
 
 pub use fw_core as core;
 pub use fw_engine as engine;
-pub use fw_harness as harness;
 pub use fw_slicing as slicing;
 pub use fw_sql as sql;
 pub use fw_workload as workload;
 
-pub use fw_core::prelude;
+pub use api::{ApiError, ApiResult, Pipeline, Session};
+pub use fw_core::PlanChoice;
+
+/// One-stop imports for typical users: the session façade plus the
+/// optimizer-level types it is configured with.
+pub mod prelude {
+    pub use crate::api::{ApiError, ApiResult, Pipeline, Session};
+    pub use fw_core::prelude::*;
+    pub use fw_engine::{Event, RunOutput, WindowResult};
+}

@@ -2,7 +2,7 @@
 //! unsound requests must be rejected loudly, never mis-executed.
 
 use fw_core::prelude::*;
-use fw_engine::{execute, EngineError, Event};
+use fw_engine::{EngineError, Event, PipelineOptions, PlanPipeline};
 
 #[test]
 fn invalid_windows_are_rejected_at_construction() {
@@ -18,25 +18,37 @@ fn out_of_order_streams_are_rejected() {
     let query = WindowQuery::new(windows, AggregateFunction::Min);
     let plan = fw_core::rewrite::original_plan(&query);
     let events = vec![Event::new(10, 0, 1.0), Event::new(9, 0, 1.0)];
-    let err = execute(&plan, &events, false).unwrap_err();
-    assert!(matches!(err, EngineError::OutOfOrderEvent { at: 9, watermark: 10 }));
+    let err = PlanPipeline::run(&plan, &events, PipelineOptions::default()).unwrap_err();
+    assert!(matches!(
+        err,
+        EngineError::OutOfOrderEvent {
+            at: 9,
+            watermark: 10
+        }
+    ));
 }
 
 #[test]
 fn covered_by_for_sum_is_refused_end_to_end() {
-    let windows =
-        WindowSet::new(vec![Window::tumbling(20).unwrap(), Window::tumbling(40).unwrap()])
-            .unwrap();
+    let windows = WindowSet::new(vec![
+        Window::tumbling(20).unwrap(),
+        Window::tumbling(40).unwrap(),
+    ])
+    .unwrap();
     let query = WindowQuery::new(windows, AggregateFunction::Sum);
-    let err = Optimizer::default().optimize_with(&query, Semantics::CoveredBy).unwrap_err();
+    let err = Optimizer::default()
+        .optimize_with(&query, Semantics::CoveredBy)
+        .unwrap_err();
     assert!(matches!(err, fw_core::Error::IncompatibleSemantics { .. }));
 }
 
 #[test]
 fn holistic_functions_never_get_subaggregate_plans() {
-    let windows =
-        WindowSet::new(vec![Window::tumbling(20).unwrap(), Window::tumbling(40).unwrap()])
-            .unwrap();
+    let windows = WindowSet::new(vec![
+        Window::tumbling(20).unwrap(),
+        Window::tumbling(40).unwrap(),
+    ])
+    .unwrap();
     let query = WindowQuery::new(windows, AggregateFunction::Median);
     // The optimizer falls back...
     let outcome = Optimizer::default().optimize(&query).unwrap();
@@ -50,7 +62,8 @@ fn holistic_functions_never_get_subaggregate_plans() {
     let a = builder.window_agg(src, Window::tumbling(20).unwrap(), "a".into(), true);
     let b = builder.window_agg(a, Window::tumbling(40).unwrap(), "b".into(), true);
     let plan = builder.finish(vec![a, b]);
-    let err = execute(&plan, &[Event::new(0, 0, 1.0)], false).unwrap_err();
+    let err =
+        PlanPipeline::run(&plan, &[Event::new(0, 0, 1.0)], PipelineOptions::default()).unwrap_err();
     assert!(matches!(err, EngineError::HolisticSubAggregate { .. }));
 }
 
@@ -64,7 +77,8 @@ fn corrupted_plans_fail_validation_not_execution() {
     let _ = b;
     let plan = builder.finish(vec![a]);
     assert!(plan.validate().is_err());
-    let err = execute(&plan, &[Event::new(0, 0, 1.0)], false).unwrap_err();
+    let err =
+        PlanPipeline::run(&plan, &[Event::new(0, 0, 1.0)], PipelineOptions::default()).unwrap_err();
     assert!(matches!(err, EngineError::InvalidPlan(_)));
 }
 
@@ -75,8 +89,8 @@ fn slicing_rejects_what_the_engine_rejects() {
     let err =
         fw_slicing::execute_sliced(&windows, AggregateFunction::Min, &events, false).unwrap_err();
     assert!(matches!(err, EngineError::OutOfOrderEvent { .. }));
-    let err = fw_slicing::execute_sliced(&windows, AggregateFunction::Median, &[], false)
-        .unwrap_err();
+    let err =
+        fw_slicing::execute_sliced(&windows, AggregateFunction::Median, &[], false).unwrap_err();
     assert!(matches!(err, EngineError::HolisticSubAggregate { .. }));
 }
 
@@ -84,28 +98,34 @@ fn slicing_rejects_what_the_engine_rejects() {
 fn period_overflow_is_reported_not_wrapped() {
     // Ranges chosen so the lcm exceeds 128 bits.
     let primes: [u64; 16] = [
-        9973, 9967, 9949, 9941, 9931, 9929, 9923, 9907, 9901, 9887, 9883, 9871, 9859, 9857,
-        9851, 9839,
+        9973, 9967, 9949, 9941, 9931, 9929, 9923, 9907, 9901, 9887, 9883, 9871, 9859, 9857, 9851,
+        9839,
     ];
     let mut windows: Vec<Window> = primes
         .iter()
-        .map(|&p| Window::tumbling(p * p * p * 31) .unwrap())
+        .map(|&p| Window::tumbling(p * p * p * 31).unwrap())
         .collect();
     windows.push(Window::tumbling(2u64.pow(62)).unwrap());
     let set = WindowSet::new(windows).unwrap();
     let query = WindowQuery::new(set, AggregateFunction::Min);
     let err = Optimizer::default().optimize(&query).unwrap_err();
-    assert!(matches!(err, fw_core::Error::PeriodOverflow | fw_core::Error::CostOverflow));
+    assert!(matches!(
+        err,
+        fw_core::Error::PeriodOverflow | fw_core::Error::CostOverflow
+    ));
 }
 
 #[test]
 fn empty_streams_are_harmless_everywhere() {
-    let windows =
-        WindowSet::new(vec![Window::tumbling(20).unwrap(), Window::hopping(40, 20).unwrap()])
-            .unwrap();
+    let windows = WindowSet::new(vec![
+        Window::tumbling(20).unwrap(),
+        Window::hopping(40, 20).unwrap(),
+    ])
+    .unwrap();
     let query = WindowQuery::new(windows.clone(), AggregateFunction::Min);
     let outcome = Optimizer::default().optimize(&query).unwrap();
-    let run = execute(&outcome.factored.plan, &[], true).unwrap();
+    let run =
+        PlanPipeline::run(&outcome.factored.plan, &[], PipelineOptions::collecting()).unwrap();
     assert_eq!(run.results_emitted, 0);
     let sliced = fw_slicing::execute_sliced(&windows, AggregateFunction::Min, &[], true).unwrap();
     assert_eq!(sliced.results_emitted, 0);

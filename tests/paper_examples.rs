@@ -9,8 +9,13 @@ fn w(r: u64, s: u64) -> Window {
 }
 
 fn tumbling_query(ranges: &[u64], f: AggregateFunction) -> WindowQuery {
-    let windows =
-        WindowSet::new(ranges.iter().map(|&r| Window::tumbling(r).unwrap()).collect()).unwrap();
+    let windows = WindowSet::new(
+        ranges
+            .iter()
+            .map(|&r| Window::tumbling(r).unwrap())
+            .collect(),
+    )
+    .unwrap();
     WindowQuery::new(windows, f)
 }
 
@@ -19,7 +24,9 @@ fn example6_costs_480_to_150() {
     // Four tumbling windows 10/20/30/40: baseline 4ηR = 480, min-cost 150
     // (a 62.5% reduction).
     let query = tumbling_query(&[10, 20, 30, 40], AggregateFunction::Min);
-    let outcome = Optimizer::default().optimize_with(&query, Semantics::PartitionedBy).unwrap();
+    let outcome = Optimizer::default()
+        .optimize_with(&query, Semantics::PartitionedBy)
+        .unwrap();
     assert_eq!(outcome.original.cost, 480);
     assert_eq!(outcome.rewritten.cost, 150);
     // W(10,10) is already a user window; no factor window improves further.
@@ -33,7 +40,9 @@ fn example7_costs_360_246_150() {
     // Algorithm 3 inserts W(10,10) and reaches 150 (58.3% less, 39% below
     // the plan without factor windows).
     let query = tumbling_query(&[20, 30, 40], AggregateFunction::Min);
-    let outcome = Optimizer::default().optimize_with(&query, Semantics::PartitionedBy).unwrap();
+    let outcome = Optimizer::default()
+        .optimize_with(&query, Semantics::PartitionedBy)
+        .unwrap();
     assert_eq!(outcome.original.cost, 360);
     assert_eq!(outcome.rewritten.cost, 246);
     assert_eq!(outcome.factored.cost, 150);
@@ -67,21 +76,35 @@ fn example8_best_candidate_is_w10() {
 #[test]
 fn figure2_plan_shapes() {
     let query = tumbling_query(&[20, 30, 40], AggregateFunction::Min);
-    let outcome = Optimizer::default().optimize_with(&query, Semantics::PartitionedBy).unwrap();
+    let outcome = Optimizer::default()
+        .optimize_with(&query, Semantics::PartitionedBy)
+        .unwrap();
 
     // Figure 2(a): original plan multicasts the input to each aggregate.
     let original = outcome.original.plan.to_trill_string();
-    assert!(original.starts_with("Input.Multicast(s0 => s0.Tumbling(20)"), "{original}");
+    assert!(
+        original.starts_with("Input.Multicast(s0 => s0.Tumbling(20)"),
+        "{original}"
+    );
 
     // Figure 2(b)-equivalent rewrite: 40 is fed from 20.
     let rewritten = outcome.rewritten.plan.to_trill_string();
     assert!(rewritten.contains("Tumbling(20)"), "{rewritten}");
-    assert!(rewritten.contains(".Multicast(s1 => s1.Union(s1.Tumbling(40)"), "{rewritten}");
+    assert!(
+        rewritten.contains(".Multicast(s1 => s1.Union(s1.Tumbling(40)"),
+        "{rewritten}"
+    );
 
     // Figure 2(c): the factor window is the sole root and is not unioned.
     let factored = outcome.factored.plan.to_trill_string();
-    assert!(factored.starts_with("Input.Tumbling(10).GroupAggregate"), "{factored}");
-    assert!(factored.contains(".Multicast(s1 => s1.Tumbling(20)"), "{factored}");
+    assert!(
+        factored.starts_with("Input.Tumbling(10).GroupAggregate"),
+        "{factored}"
+    );
+    assert!(
+        factored.contains(".Multicast(s1 => s1.Tumbling(20)"),
+        "{factored}"
+    );
     assert!(factored.contains(".Union(s1.Tumbling(30)"), "{factored}");
 }
 
@@ -93,8 +116,11 @@ fn figure7_wcg_structure() {
     let wcg = Wcg::build_augmented(&windows, Semantics::PartitionedBy);
     let root = wcg.root().unwrap();
     assert_eq!(wcg.node(root).kind, NodeKind::VirtualRoot);
-    let mut fed_by_root: Vec<u64> =
-        wcg.downstream(root).iter().map(|&i| wcg.node(i).window.range()).collect();
+    let mut fed_by_root: Vec<u64> = wcg
+        .downstream(root)
+        .iter()
+        .map(|&i| wcg.node(i).window.range())
+        .collect();
     fed_by_root.sort_unstable();
     assert_eq!(fed_by_root, vec![20, 30]);
     let w20 = wcg.find(&w(20, 20)).unwrap();
@@ -129,7 +155,9 @@ fn example1_query_through_sql_frontend() {
 fn limitations_mutually_prime_ranges() {
     // Section III-B "Limitations": W(15), W(17), W(19) cannot be improved.
     let query = tumbling_query(&[15, 17, 19], AggregateFunction::Min);
-    let outcome = Optimizer::default().optimize_with(&query, Semantics::PartitionedBy).unwrap();
+    let outcome = Optimizer::default()
+        .optimize_with(&query, Semantics::PartitionedBy)
+        .unwrap();
     assert_eq!(outcome.original.cost, outcome.rewritten.cost);
     assert_eq!(outcome.original.cost, outcome.factored.cost);
 }
@@ -137,10 +165,10 @@ fn limitations_mutually_prime_ranges() {
 #[test]
 fn use_fw_core_via_umbrella_crate() {
     // The umbrella crate re-exports the workspace under stable names.
-    let windows =
-        factor_windows::core::WindowSet::new(vec![factor_windows::core::Window::tumbling(10)
-            .unwrap()])
-        .unwrap();
+    let windows = factor_windows::core::WindowSet::new(vec![
+        factor_windows::core::Window::tumbling(10).unwrap(),
+    ])
+    .unwrap();
     assert_eq!(windows.len(), 1);
     let _ = factor_windows::workload::GenConfig::default();
 }

@@ -1,112 +1,134 @@
-//! Property-based end-to-end equivalence: for random window sets, aggregate
-//! functions, and streams, the original, rewritten, and factored plans —
-//! and the naive reference evaluator — all produce identical results.
+//! Randomized end-to-end equivalence: for pseudo-random window sets,
+//! aggregate functions, and streams, the original, rewritten, and factored
+//! plans — and the naive reference evaluator — all produce identical
+//! results.
 //!
 //! This is the core soundness property of the whole paper: rewriting may
-//! change *cost*, never *answers*.
+//! change *cost*, never *answers*. The cases are generated from a
+//! deterministic PRNG so every run checks the same (large) sample.
 
-use fw_core::prelude::*;
-use fw_engine::{execute_with, reference_results, sorted_results, Event, ExecOptions};
-use proptest::prelude::*;
+use factor_windows::prelude::*;
+use factor_windows::workload::SplitMix64;
+use fw_engine::{reference_results, sorted_results, WindowResult};
 
 /// Windows with slide 1..=24 and rate r/s in 1..=5 keep periods small
 /// enough for fast streams while exercising tumbling and hopping shapes.
-fn arb_window() -> impl Strategy<Value = Window> {
-    (1u64..=24, 1u64..=5).prop_map(|(s, k)| Window::new(s * k, s).expect("valid by construction"))
+fn random_window(rng: &mut SplitMix64) -> Window {
+    let s = rng.gen_range_inclusive_u64(1..=24);
+    let k = rng.gen_range_inclusive_u64(1..=5);
+    Window::new(s * k, s).expect("valid by construction")
 }
 
-fn arb_window_set() -> impl Strategy<Value = WindowSet> {
-    proptest::collection::vec(arb_window(), 2..=6)
-        .prop_map(|ws| WindowSet::new(ws).expect("non-empty"))
+fn random_window_set(rng: &mut SplitMix64) -> WindowSet {
+    let n = rng.gen_range_inclusive_u64(2..=6) as usize;
+    WindowSet::new((0..n).map(|_| random_window(rng)).collect()).expect("non-empty")
 }
 
-fn arb_function() -> impl Strategy<Value = AggregateFunction> {
-    prop_oneof![
-        Just(AggregateFunction::Min),
-        Just(AggregateFunction::Max),
-        Just(AggregateFunction::Sum),
-        Just(AggregateFunction::Count),
-        Just(AggregateFunction::Avg),
-        Just(AggregateFunction::Median),
-    ]
+fn random_function(rng: &mut SplitMix64) -> AggregateFunction {
+    AggregateFunction::ALL[rng.gen_index(AggregateFunction::ALL.len())]
 }
 
 /// Constant-pace stream with integer-valued readings (SUM/AVG stay exact
 /// in f64) over a couple of keys.
-fn arb_stream() -> impl Strategy<Value = Vec<Event>> {
-    (50u64..400, 1u32..=3, 0u64..1000).prop_map(|(n, keys, salt)| {
-        (0..n)
-            .map(|t| {
-                Event::new(t, (t % u64::from(keys)) as u32, ((t * 31 + salt) % 257) as f64)
-            })
-            .collect()
-    })
+fn random_stream(rng: &mut SplitMix64) -> Vec<Event> {
+    let n = rng.gen_range_u64(50..400);
+    let keys = rng.gen_range_inclusive_u64(1..=3);
+    let salt = rng.gen_range_u64(0..1000);
+    (0..n)
+        .map(|t| Event::new(t, (t % keys) as u32, ((t * 31 + salt) % 257) as f64))
+        .collect()
 }
 
-fn exec(plan: &fw_core::QueryPlan, events: &[Event]) -> Vec<fw_engine::WindowResult> {
-    let out = execute_with(plan, events, ExecOptions { collect: true, element_work: 0 })
+fn exec(session: &Session, choice: PlanChoice, events: &[Event]) -> Vec<WindowResult> {
+    let out = session
+        .clone()
+        .plan_choice(choice)
+        .run_batch(events)
         .expect("valid plan executes");
     sorted_results(out.results)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn session_for(windows: &WindowSet, function: AggregateFunction) -> Session {
+    Session::from_query(WindowQuery::new(windows.clone(), function))
+        .collect_results(true)
+        .element_work(0)
+}
 
-    #[test]
-    fn three_plans_and_oracle_agree(
-        windows in arb_window_set(),
-        function in arb_function(),
-        events in arb_stream(),
-    ) {
-        let query = WindowQuery::new(windows.clone(), function);
-        let outcome = Optimizer::default().optimize(&query).expect("optimizes");
+#[test]
+fn three_plans_and_oracle_agree() {
+    let mut rng = SplitMix64::seed_from_u64(0xE0E0);
+    for case in 0..64 {
+        let windows = random_window_set(&mut rng);
+        let function = random_function(&mut rng);
+        let events = random_stream(&mut rng);
+        let session = session_for(&windows, function);
         let oracle = reference_results(windows.windows(), function, &events);
 
-        prop_assert_eq!(exec(&outcome.original.plan, &events), oracle.clone());
-        prop_assert_eq!(exec(&outcome.rewritten.plan, &events), oracle.clone());
-        prop_assert_eq!(exec(&outcome.factored.plan, &events), oracle);
-    }
-
-    #[test]
-    fn costs_are_monotone(windows in arb_window_set()) {
-        // Algorithm 1 never beats the original; Algorithm 3 never beats
-        // Algorithm 1 (Section IV-C).
-        for semantics in [Semantics::CoveredBy, Semantics::PartitionedBy] {
-            let query = WindowQuery::new(windows.clone(), AggregateFunction::Min);
-            let outcome =
-                Optimizer::default().optimize_with(&query, semantics).expect("optimizes");
-            prop_assert!(outcome.rewritten.cost <= outcome.original.cost);
-            prop_assert!(outcome.factored.cost <= outcome.rewritten.cost);
+        for choice in PlanChoice::CONCRETE {
+            assert_eq!(
+                exec(&session, choice, &events),
+                oracle,
+                "case {case}: {function} {choice} diverges on {windows}"
+            );
         }
     }
+}
 
-    #[test]
-    fn min_under_both_semantics_agrees(
-        windows in arb_window_set(),
-        events in arb_stream(),
-    ) {
-        // MIN is legal under both relations; results must not depend on
-        // which one the optimizer exploited.
-        let query = WindowQuery::new(windows.clone(), AggregateFunction::Min);
-        let covered =
-            Optimizer::default().optimize_with(&query, Semantics::CoveredBy).expect("optimizes");
-        let partitioned = Optimizer::default()
-            .optimize_with(&query, Semantics::PartitionedBy)
-            .expect("optimizes");
-        prop_assert_eq!(
-            exec(&covered.factored.plan, &events),
-            exec(&partitioned.factored.plan, &events)
+#[test]
+fn costs_are_monotone() {
+    // Algorithm 1 never beats the original; Algorithm 3 never beats
+    // Algorithm 1 (Section IV-C).
+    let mut rng = SplitMix64::seed_from_u64(0xC0575);
+    for _ in 0..64 {
+        let windows = random_window_set(&mut rng);
+        for semantics in [Semantics::CoveredBy, Semantics::PartitionedBy] {
+            let query = WindowQuery::new(windows.clone(), AggregateFunction::Min);
+            let outcome = Optimizer::default()
+                .optimize_with(&query, semantics)
+                .expect("optimizes");
+            assert!(outcome.rewritten.cost <= outcome.original.cost, "{windows}");
+            assert!(outcome.factored.cost <= outcome.rewritten.cost, "{windows}");
+        }
+    }
+}
+
+#[test]
+fn min_under_both_semantics_agrees() {
+    // MIN is legal under both relations; results must not depend on
+    // which one the optimizer exploited.
+    let mut rng = SplitMix64::seed_from_u64(0x5E3A);
+    for _ in 0..32 {
+        let windows = random_window_set(&mut rng);
+        let events = random_stream(&mut rng);
+        let covered = session_for(&windows, AggregateFunction::Min).semantics(Semantics::CoveredBy);
+        let partitioned =
+            session_for(&windows, AggregateFunction::Min).semantics(Semantics::PartitionedBy);
+        assert_eq!(
+            exec(&covered, PlanChoice::Factored, &events),
+            exec(&partitioned, PlanChoice::Factored, &events),
+            "{windows}"
         );
         // Covered-by explores a superset of sharing opportunities.
-        prop_assert!(covered.rewritten.cost <= partitioned.rewritten.cost);
+        let c = covered.optimize().unwrap().rewritten.cost;
+        let p = partitioned.optimize().unwrap().rewritten.cost;
+        assert!(c <= p, "{windows}: covered {c} > partitioned {p}");
     }
+}
 
-    #[test]
-    fn plans_validate_and_render(windows in arb_window_set(), function in arb_function()) {
+#[test]
+fn plans_validate_and_render() {
+    let mut rng = SplitMix64::seed_from_u64(0x9E9D);
+    for _ in 0..64 {
+        let windows = random_window_set(&mut rng);
+        let function = random_function(&mut rng);
         let query = WindowQuery::new(windows, function);
         let outcome = Optimizer::default().optimize(&query).expect("optimizes");
         for bundle in [&outcome.original, &outcome.rewritten, &outcome.factored] {
-            prop_assert!(bundle.plan.validate().is_ok(), "{:?}", bundle.plan.validate());
+            assert!(
+                bundle.plan.validate().is_ok(),
+                "{:?}",
+                bundle.plan.validate()
+            );
             // Renderers must not panic and must mention every exposed window.
             let trill = bundle.plan.to_trill_string();
             let flink = bundle.plan.to_flink_string();
@@ -116,8 +138,11 @@ proptest! {
                 } else {
                     format!("Hopping({}, {})", w.range(), w.slide())
                 };
-                prop_assert!(trill.contains(&tag), "{trill} missing {tag}");
-                prop_assert!(flink.contains(&format!("w{}_{}", w.range(), w.slide())), "{flink}");
+                assert!(trill.contains(&tag), "{trill} missing {tag}");
+                assert!(
+                    flink.contains(&format!("w{}_{}", w.range(), w.slide())),
+                    "{flink}"
+                );
             }
         }
     }

@@ -1,0 +1,221 @@
+//! End-to-end integration of the `Session`/`Pipeline` façade: SQL string →
+//! `Session` → incremental event streaming (including out-of-order
+//! arrivals within tolerance) → results identical across all plan choices
+//! and equal to the naive reference evaluator.
+
+use factor_windows::prelude::*;
+use factor_windows::workload::SplitMix64;
+use fw_engine::{reference_results, sorted_results};
+use fw_sql::FIG1_SQL;
+
+/// A keyed sensor stream at one event per second, in order.
+fn stream(n: u64, keys: u32) -> Vec<Event> {
+    (0..n)
+        .map(|t| Event::new(t, (t % u64::from(keys)) as u32, ((t * 7) % 113) as f64))
+        .collect()
+}
+
+/// Shuffles a stream within a disorder bound: the stream is cut into
+/// blocks of `jitter` events (one event per time unit here) and each
+/// block is Fisher-Yates-shuffled independently, so no event lags the
+/// running maximum by `jitter` or more. Deterministic by seed.
+fn jittered(events: &[Event], jitter: usize, seed: u64) -> Vec<Event> {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let mut out = events.to_vec();
+    for block in out.chunks_mut(jitter) {
+        for i in (1..block.len()).rev() {
+            let j = rng.gen_index(i + 1);
+            block.swap(i, j);
+        }
+    }
+    out
+}
+
+#[test]
+fn fig1_sql_runs_identically_across_all_plan_choices() {
+    let events = stream(3600 * 3, 4);
+    let session = Session::from_sql(FIG1_SQL)
+        .expect("Figure 1(a) parses")
+        .collect_results(true)
+        .element_work(0);
+    let windows: Vec<Window> = session.query().windows().windows().to_vec();
+    let oracle = reference_results(&windows, AggregateFunction::Min, &events);
+    assert!(!oracle.is_empty());
+
+    // Auto must pick the factored plan for the correlated Figure-1 set...
+    let auto = session.clone().plan_choice(PlanChoice::Auto);
+    assert_eq!(auto.resolved_choice().unwrap(), PlanChoice::Factored);
+
+    // ...and every choice (pinned or auto) computes the oracle's answers.
+    for choice in [
+        PlanChoice::Auto,
+        PlanChoice::Original,
+        PlanChoice::Rewritten,
+        PlanChoice::Factored,
+    ] {
+        let out = session
+            .clone()
+            .plan_choice(choice)
+            .run_batch(&events)
+            .unwrap();
+        assert_eq!(sorted_results(out.results), oracle, "{choice} diverges");
+        assert_eq!(out.events_processed, events.len() as u64);
+    }
+}
+
+#[test]
+fn incremental_push_with_watermarks_matches_batch() {
+    let events = stream(2000, 3);
+    let session = Session::from_sql(
+        "SELECT k, SUM(v) FROM S GROUP BY k, Windows( \
+             Window('a', TumblingWindow(second, 20)), \
+             Window('b', TumblingWindow(second, 30)), \
+             Window('c', TumblingWindow(second, 60)))",
+    )
+    .unwrap()
+    .collect_results(true)
+    .element_work(0);
+    let batch = session.run_batch(&events).unwrap();
+
+    let mut pipeline = session.build().unwrap();
+    let mut collected = Vec::new();
+    for (i, &e) in events.iter().enumerate() {
+        pipeline.push(e).unwrap();
+        // Periodic punctuation, as an upstream source would emit it.
+        if i % 250 == 249 {
+            pipeline.advance_watermark(e.time).unwrap();
+            collected.extend(pipeline.poll_results());
+        }
+    }
+    let tail = pipeline.finish().unwrap();
+    collected.extend(tail.results);
+    assert_eq!(sorted_results(collected), sorted_results(batch.results));
+    assert_eq!(tail.results_emitted, batch.results_emitted);
+}
+
+#[test]
+fn out_of_order_arrivals_within_tolerance_are_transparent() {
+    let ordered = stream(1500, 2);
+    let session = Session::from_sql(
+        "SELECT k, MIN(v) FROM S GROUP BY k, Windows( \
+             Window('fast', TumblingWindow(second, 10)), \
+             Window('slow', HoppingWindow(second, 40, 10)))",
+    )
+    .unwrap()
+    .collect_results(true)
+    .element_work(0);
+    let reference = session.run_batch(&ordered).unwrap();
+
+    for seed in 0..5u64 {
+        let shuffled = jittered(&ordered, 6, seed);
+        assert_ne!(shuffled, ordered, "seed {seed} must actually shuffle");
+        let mut pipeline = session.clone().out_of_order(8).build().unwrap();
+        for &e in &shuffled {
+            pipeline.push(e).unwrap();
+        }
+        let out = pipeline.finish().unwrap();
+        assert_eq!(
+            sorted_results(out.results),
+            sorted_results(reference.results.clone()),
+            "seed {seed}"
+        );
+        assert_eq!(out.events_processed, ordered.len() as u64);
+    }
+}
+
+#[test]
+fn all_plan_choices_survive_out_of_order_input() {
+    let ordered = stream(1200, 3);
+    let shuffled = jittered(&ordered, 5, 42);
+    let session = Session::from_sql(FIG1_SQL)
+        .unwrap()
+        .collect_results(true)
+        .element_work(0);
+    let windows: Vec<Window> = session.query().windows().windows().to_vec();
+    let oracle = reference_results(&windows, AggregateFunction::Min, &ordered);
+
+    for choice in PlanChoice::CONCRETE {
+        let mut pipeline = session
+            .clone()
+            .plan_choice(choice)
+            .out_of_order(8)
+            .build()
+            .unwrap();
+        for &e in &shuffled {
+            pipeline.push(e).unwrap();
+        }
+        let out = pipeline.finish().unwrap();
+        assert_eq!(
+            sorted_results(out.results),
+            oracle,
+            "{choice} diverges on disorder"
+        );
+    }
+}
+
+#[test]
+fn watermark_gates_result_delivery() {
+    let session = Session::from_sql(
+        "SELECT k, COUNT(*) FROM S GROUP BY k, Windows(Window('w', TumblingWindow(second, 10)))",
+    )
+    .unwrap()
+    .collect_results(true);
+    let mut pipeline = session.build().unwrap();
+    for t in 0..10u64 {
+        pipeline.push(Event::new(t, 0, 1.0)).unwrap();
+    }
+    // The instance [0,10) ends exactly one past the last event, so it is
+    // still open: only a watermark can prove it complete.
+    assert!(pipeline.poll_results().is_empty());
+    pipeline.advance_watermark(10).unwrap();
+    let sealed = pipeline.poll_results();
+    assert_eq!(sealed.len(), 1);
+    assert_eq!(sealed[0].value, 10.0);
+    // The watermark is also a barrier for late data.
+    assert!(pipeline.push(Event::new(3, 0, 1.0)).is_err());
+    // Data flowing past an instance end seals it without any watermark:
+    // the event at t=20 proves [10,20) complete.
+    for t in 10..25u64 {
+        pipeline.push(Event::new(t, 0, 1.0)).unwrap();
+    }
+    assert_eq!(pipeline.poll_results().len(), 1);
+    let out = pipeline.finish().unwrap();
+    // The stream ended at t=24, so [20,30) is incomplete and withheld,
+    // matching the batch sealing rule.
+    assert_eq!(out.results.len(), 0);
+    assert_eq!(out.results_emitted, 2);
+}
+
+#[test]
+fn sessions_report_plan_provenance() {
+    let session = Session::from_sql(FIG1_SQL).unwrap();
+    let outcome = session.optimize().unwrap();
+    assert_eq!(outcome.original.cost, 21_600);
+    assert_eq!(outcome.factored.cost, 7_230);
+    let pipeline = session.build().unwrap();
+    assert_eq!(pipeline.choice(), PlanChoice::Factored);
+    assert_eq!(pipeline.cost(), 7_230);
+    assert_eq!(pipeline.semantics(), Some(Semantics::CoveredBy));
+    assert!(pipeline.plan().factor_window_count() > 0);
+}
+
+#[test]
+fn holistic_functions_fall_back_but_still_stream() {
+    let session = Session::from_sql(
+        "SELECT k, MEDIAN(v) FROM S GROUP BY k, Windows( \
+             Window('a', TumblingWindow(second, 10)), \
+             Window('b', TumblingWindow(second, 20)))",
+    )
+    .unwrap()
+    .collect_results(true);
+    assert_eq!(session.optimize().unwrap().semantics, None);
+    let pipeline = session.build().unwrap();
+    // All three plans collapse to the original for holistic functions, and
+    // Auto's tie-break picks the structurally simplest.
+    assert_eq!(pipeline.choice(), PlanChoice::Original);
+    let events = stream(100, 2);
+    let out = session.run_batch(&events).unwrap();
+    let windows: Vec<Window> = session.query().windows().windows().to_vec();
+    let oracle = reference_results(&windows, AggregateFunction::Median, &events);
+    assert_eq!(sorted_results(out.results), oracle);
+}

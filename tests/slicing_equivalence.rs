@@ -1,61 +1,78 @@
-//! Property-based equivalence of the Scotty-style slicing baseline with
-//! the engine and the naive reference: every system in the Section V-F
-//! comparison must compute the same answers.
+//! Randomized equivalence of the Scotty-style slicing baseline with the
+//! engine and the naive reference: every system in the Section V-F
+//! comparison must compute the same answers. Cases come from a
+//! deterministic PRNG so every run checks the same sample.
 
-use fw_core::prelude::*;
-use fw_engine::{reference_results, sorted_results, Event};
+use factor_windows::prelude::*;
+use factor_windows::workload::SplitMix64;
+use fw_engine::{reference_results, sorted_results};
 use fw_slicing::execute_sliced;
-use proptest::prelude::*;
 
-fn arb_window() -> impl Strategy<Value = Window> {
-    (1u64..=20, 1u64..=4).prop_map(|(s, k)| Window::new(s * k, s).expect("valid"))
+fn random_window(rng: &mut SplitMix64) -> Window {
+    let s = rng.gen_range_inclusive_u64(1..=20);
+    let k = rng.gen_range_inclusive_u64(1..=4);
+    Window::new(s * k, s).expect("valid")
 }
 
-fn arb_window_set() -> impl Strategy<Value = WindowSet> {
-    proptest::collection::vec(arb_window(), 1..=5)
-        .prop_map(|ws| WindowSet::new(ws).expect("non-empty"))
+fn random_window_set(rng: &mut SplitMix64) -> WindowSet {
+    let n = rng.gen_range_inclusive_u64(1..=5) as usize;
+    WindowSet::new((0..n).map(|_| random_window(rng)).collect()).expect("non-empty")
 }
 
-fn arb_stream() -> impl Strategy<Value = Vec<Event>> {
-    // Bursty arrivals: some ticks empty, some with several keyed events.
-    proptest::collection::vec((0u64..8, 0u32..3, -50i32..50), 10..300).prop_map(|specs| {
-        let mut t = 0;
-        let mut events = Vec::with_capacity(specs.len());
-        for (gap, key, value) in specs {
-            t += gap;
-            events.push(Event::new(t, key, f64::from(value)));
-        }
-        events
-    })
+/// Bursty arrivals: some ticks empty, some with several keyed events.
+fn random_stream(rng: &mut SplitMix64) -> Vec<Event> {
+    let n = rng.gen_range_u64(10..300) as usize;
+    let mut t = 0;
+    let mut events = Vec::with_capacity(n);
+    for _ in 0..n {
+        t += rng.gen_range_u64(0..8);
+        let key = rng.gen_index(3) as u32;
+        let value = rng.gen_range_u64(0..100) as f64 - 50.0;
+        events.push(Event::new(t, key, value));
+    }
+    events
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+const SLICEABLE: [AggregateFunction; 5] = [
+    AggregateFunction::Min,
+    AggregateFunction::Max,
+    AggregateFunction::Sum,
+    AggregateFunction::Count,
+    AggregateFunction::Avg,
+];
 
-    #[test]
-    fn slicing_matches_oracle(
-        windows in arb_window_set(),
-        events in arb_stream(),
-        function in prop_oneof![
-            Just(AggregateFunction::Min),
-            Just(AggregateFunction::Max),
-            Just(AggregateFunction::Sum),
-            Just(AggregateFunction::Count),
-            Just(AggregateFunction::Avg),
-        ],
-    ) {
+#[test]
+fn slicing_matches_oracle() {
+    let mut rng = SplitMix64::seed_from_u64(0x51DE);
+    for case in 0..96 {
+        let windows = random_window_set(&mut rng);
+        let events = random_stream(&mut rng);
+        let function = SLICEABLE[rng.gen_index(SLICEABLE.len())];
         let out = execute_sliced(&windows, function, &events, true).expect("slicing runs");
         let oracle = reference_results(windows.windows(), function, &events);
-        prop_assert_eq!(sorted_results(out.results), oracle);
+        assert_eq!(
+            sorted_results(out.results),
+            oracle,
+            "case {case}: {function} over {windows}"
+        );
     }
+}
 
-    #[test]
-    fn result_counts_match_engine(windows in arb_window_set(), events in arb_stream()) {
-        let query = WindowQuery::new(windows.clone(), AggregateFunction::Min);
-        let outcome = Optimizer::default().optimize(&query).expect("optimizes");
-        let engine = fw_engine::execute(&outcome.factored.plan, &events, false).expect("runs");
+#[test]
+fn result_counts_match_engine() {
+    let mut rng = SplitMix64::seed_from_u64(0xC0347);
+    for case in 0..64 {
+        let windows = random_window_set(&mut rng);
+        let events = random_stream(&mut rng);
+        let session =
+            Session::from_query(WindowQuery::new(windows.clone(), AggregateFunction::Min))
+                .element_work(0);
+        let engine = session.run_batch(&events).expect("runs");
         let sliced =
             execute_sliced(&windows, AggregateFunction::Min, &events, false).expect("runs");
-        prop_assert_eq!(engine.results_emitted, sliced.results_emitted);
+        assert_eq!(
+            engine.results_emitted, sliced.results_emitted,
+            "case {case}: {windows}"
+        );
     }
 }

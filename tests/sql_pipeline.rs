@@ -1,10 +1,13 @@
-//! Integration: SQL text → parser → optimizer → engine → results, plus
+//! Integration: SQL text → `Session` → optimizer → engine → results, plus
 //! parser failure modes surfaced with positions.
 
-use fw_engine::{execute, reference_results, sorted_results, Event};
+use factor_windows::{ApiError, PlanChoice, Session};
+use fw_engine::{reference_results, sorted_results, Event};
 
 fn stream(n: u64, keys: u32) -> Vec<Event> {
-    (0..n).map(|t| Event::new(t, (t % u64::from(keys)) as u32, ((t * 7) % 113) as f64)).collect()
+    (0..n)
+        .map(|t| Event::new(t, (t % u64::from(keys)) as u32, ((t * 7) % 113) as f64))
+        .collect()
 }
 
 #[test]
@@ -15,38 +18,53 @@ fn sql_to_results_round_trip() {
                    Window('fast', TumblingWindow(second, 15)), \
                    Window('medium', TumblingWindow(second, 30)), \
                    Window('slow', HoppingWindow(second, 60, 15)))";
-    let query = fw_sql::parse_query(sql).unwrap().to_window_query().unwrap();
-    let outcome = fw_core::Optimizer::default().optimize(&query).unwrap();
+    let session = Session::from_sql(sql)
+        .unwrap()
+        .collect_results(true)
+        .element_work(0);
 
     let events = stream(600, 2);
-    let windows: Vec<fw_core::Window> = query.windows().windows().to_vec();
+    let windows: Vec<fw_core::Window> = session.query().windows().windows().to_vec();
     let oracle = reference_results(&windows, fw_core::AggregateFunction::Max, &events);
 
-    for bundle in [&outcome.original, &outcome.rewritten, &outcome.factored] {
-        let run = execute(&bundle.plan, &events, true).unwrap();
-        assert_eq!(sorted_results(run.results), oracle);
+    for choice in PlanChoice::CONCRETE {
+        let run = session
+            .clone()
+            .plan_choice(choice)
+            .run_batch(&events)
+            .unwrap();
+        assert_eq!(sorted_results(run.results), oracle, "{choice}");
     }
 }
 
 #[test]
 fn every_supported_aggregate_parses_and_runs() {
-    for (name, holistic) in
-        [("MIN", false), ("MAX", false), ("SUM", false), ("COUNT", false), ("AVG", false), ("MEDIAN", true)]
-    {
+    for (name, holistic) in [
+        ("MIN", false),
+        ("MAX", false),
+        ("SUM", false),
+        ("COUNT", false),
+        ("AVG", false),
+        ("MEDIAN", true),
+    ] {
         let sql = format!(
             "SELECT k, {name}(v) FROM S GROUP BY k, Windows( \
                  Window('a', TumblingWindow(second, 10)), \
                  Window('b', TumblingWindow(second, 20)))"
         );
-        let query = fw_sql::parse_query(&sql).unwrap().to_window_query().unwrap();
-        let outcome = fw_core::Optimizer::default().optimize(&query).unwrap();
+        let session = Session::from_sql(&sql).unwrap().collect_results(true);
+        let outcome = session.optimize().unwrap();
         if holistic {
             assert_eq!(outcome.semantics, None, "{name} must fall back");
             assert_eq!(outcome.original.cost, outcome.factored.cost);
         } else {
             assert!(outcome.rewritten.cost < outcome.original.cost, "{name}");
         }
-        let run = execute(&outcome.factored.plan, &stream(100, 2), true).unwrap();
+        let run = session
+            .clone()
+            .plan_choice(PlanChoice::Factored)
+            .run_batch(&stream(100, 2))
+            .unwrap();
         assert!(!run.results.is_empty(), "{name} produced no results");
     }
 }
@@ -56,15 +74,19 @@ fn sum_query_uses_partitioned_semantics_automatically() {
     let sql = "SELECT k, SUM(v) FROM S GROUP BY k, Windows( \
                    Window('a', TumblingWindow(second, 20)), \
                    Window('b', TumblingWindow(second, 40)))";
-    let query = fw_sql::parse_query(sql).unwrap().to_window_query().unwrap();
-    let outcome = fw_core::Optimizer::default().optimize(&query).unwrap();
+    let session = Session::from_sql(sql).unwrap();
+    let outcome = session.optimize().unwrap();
     assert_eq!(outcome.semantics, Some(fw_core::Semantics::PartitionedBy));
 }
 
 #[test]
 fn parse_errors_carry_usable_positions() {
-    let sql = "SELECT k, MIN(v) FROM S GROUP BY k, Windows(Window('w', TumblingWindow(lightyear, 5)))";
-    let err = fw_sql::parse_query(sql).unwrap_err();
+    let sql =
+        "SELECT k, MIN(v) FROM S GROUP BY k, Windows(Window('w', TumblingWindow(lightyear, 5)))";
+    let err = Session::from_sql(sql).unwrap_err();
+    let ApiError::Parse(err) = err else {
+        panic!("expected a parse error, got {err}");
+    };
     let rendered = err.render(sql);
     assert!(rendered.contains("unknown time unit"), "{rendered}");
     assert!(rendered.contains('^'), "{rendered}");
@@ -76,7 +98,12 @@ fn windows_in_hours_scale_costs() {
     let sql = "SELECT k, MIN(v) FROM S GROUP BY k, Windows( \
                    Window('1h', TumblingWindow(hour, 1)), \
                    Window('2h', TumblingWindow(hour, 2)))";
-    let query = fw_sql::parse_query(sql).unwrap().to_window_query().unwrap();
-    let ranges: Vec<u64> = query.windows().iter().map(fw_core::Window::range).collect();
+    let session = Session::from_sql(sql).unwrap();
+    let ranges: Vec<u64> = session
+        .query()
+        .windows()
+        .iter()
+        .map(fw_core::Window::range)
+        .collect();
     assert_eq!(ranges, vec![3600, 7200]);
 }
