@@ -3,7 +3,7 @@
 
 use fw_bench::{
     bench_events, bench_session, bench_window_set, panel_label, panels, report_throughput,
-    semantics_for, DEFAULT_ITERS,
+    semantics_for, write_throughput_json, ThroughputRecord, DEFAULT_ITERS,
 };
 use fw_core::PlanChoice;
 
@@ -12,21 +12,30 @@ const EVENTS: u64 = 50_000;
 fn main() {
     let events = bench_events(EVENTS, 1);
     println!("# fig20_21: scalability, |W| in {{15, 20}}");
+    let mut records = Vec::new();
     for size in [15usize, 20] {
         for (generator, shape) in panels() {
             let label = panel_label(generator, shape, size);
             let windows = bench_window_set(generator, shape, size);
             for choice in PlanChoice::CONCRETE {
                 let session = bench_session(&windows, semantics_for(shape), choice);
-                report_throughput(
-                    &format!("fig20_21/{label}/{choice}"),
+                let line = format!("fig20_21/{label}/{choice}");
+                let m = report_throughput(&line, EVENTS, DEFAULT_ITERS, || {
+                    session.run_batch(&events).expect("plan executes");
+                });
+                records.push(ThroughputRecord::from_measurement(
+                    &line,
+                    &choice.to_string(),
+                    0,
                     EVENTS,
-                    DEFAULT_ITERS,
-                    || {
-                        session.run_batch(&events).expect("plan executes");
-                    },
-                );
+                    1,
+                    m,
+                ));
             }
         }
+    }
+    match write_throughput_json("scalability", &records) {
+        Ok(path) => println!("# wrote {}", path.display()),
+        Err(e) => eprintln!("# could not write BENCH_scalability.json: {e}"),
     }
 }

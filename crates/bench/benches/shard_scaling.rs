@@ -1,0 +1,94 @@
+//! Shard scaling: `ShardedPipeline` throughput vs worker count, per plan
+//! choice, on the synthetic constant-pace stream (64 keys, default
+//! element work).
+//!
+//! Emits `BENCH_shard_scaling.json` (events/sec per configuration; see
+//! `fw_bench::write_throughput_json`) so CI and future PRs can track the
+//! scaling trajectory. `shards = 0` rows are the single-threaded
+//! `PlanPipeline` baseline; `shards = 1` is the sharded backend with one
+//! worker — the denominator for the scaling factor.
+//!
+//! Environment knobs: `SHARD_SCALING_SMOKE=1` shrinks the sweep for CI;
+//! `SHARD_SCALING_EVENTS` / `SHARD_SCALING_ITERS` override the stream
+//! length and iteration count.
+
+use factor_windows::{Parallelism, Session};
+use fw_bench::{bench_events, report_throughput, write_throughput_json, ThroughputRecord};
+use fw_core::{AggregateFunction, PlanChoice, Window, WindowQuery, WindowSet};
+
+const KEYS: u32 = 64;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn session(choice: PlanChoice, parallelism: Parallelism) -> Session {
+    let windows = WindowSet::new(vec![
+        Window::tumbling(20).unwrap(),
+        Window::tumbling(30).unwrap(),
+        Window::tumbling(40).unwrap(),
+    ])
+    .unwrap();
+    let query = WindowQuery::new(windows, AggregateFunction::Sum);
+    Session::from_query(query)
+        .plan_choice(choice)
+        .parallelism(parallelism)
+}
+
+fn main() {
+    let smoke = std::env::var_os("SHARD_SCALING_SMOKE").is_some();
+    let events_n = env_u64("SHARD_SCALING_EVENTS", if smoke { 80_000 } else { 400_000 });
+    let iters = env_u64("SHARD_SCALING_ITERS", if smoke { 2 } else { 5 }) as u32;
+    let events = bench_events(events_n, KEYS);
+
+    println!("# shard_scaling: key-partitioned workers, {events_n} events, {KEYS} keys");
+    let mut records = Vec::new();
+    for choice in PlanChoice::CONCRETE {
+        for shards in [0usize, 1, 2, 4, 8] {
+            let parallelism = match shards {
+                0 => Parallelism::Sequential,
+                n => Parallelism::Fixed(n),
+            };
+            let session = session(choice, parallelism);
+            session.optimize().expect("query optimizes");
+            let label = format!("shard_scaling/{choice}/shards={shards}");
+            let m = report_throughput(&label, events_n, iters, || {
+                session.run_batch(&events).expect("plan executes");
+            });
+            records.push(ThroughputRecord::from_measurement(
+                &label,
+                &choice.to_string(),
+                shards,
+                events_n,
+                KEYS,
+                m,
+            ));
+        }
+    }
+
+    match write_throughput_json("shard_scaling", &records) {
+        Ok(path) => println!("# wrote {}", path.display()),
+        Err(e) => eprintln!("# could not write BENCH_shard_scaling.json: {e}"),
+    }
+
+    // Scaling summary: 4-way speedup over one shard, per plan.
+    for choice in PlanChoice::CONCRETE {
+        let eps = |shards: usize| {
+            records
+                .iter()
+                .find(|r| r.plan == choice.to_string() && r.shards == shards)
+                .map_or(0.0, |r| r.mean_eps as f64)
+        };
+        let base = eps(1);
+        if base > 0.0 {
+            println!(
+                "# {choice}: 4-shard speedup {:.2}x, 8-shard {:.2}x (vs 1 shard)",
+                eps(4) / base,
+                eps(8) / base
+            );
+        }
+    }
+}

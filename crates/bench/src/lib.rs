@@ -76,6 +76,109 @@ pub fn report_throughput<F: FnMut()>(label: &str, events: u64, iters: u32, f: F)
     m
 }
 
+/// One machine-readable throughput measurement: events/sec for one bench
+/// configuration. Rates are rounded to whole events/sec so the documents
+/// stay parseable by the workspace's integer-only `fw_core::json` codec.
+#[derive(Debug, Clone)]
+pub struct ThroughputRecord {
+    /// Human-readable configuration label (also the report line's label).
+    pub label: String,
+    /// Plan choice executed (`original`/`rewritten`/`factored`).
+    pub plan: String,
+    /// Shard worker count; `0` means the single-threaded backend.
+    pub shards: usize,
+    /// Events per measured run.
+    pub events: u64,
+    /// Distinct grouping keys in the stream.
+    pub keys: u32,
+    /// Measured iterations.
+    pub iters: u32,
+    /// Mean throughput in events/sec.
+    pub mean_eps: u64,
+    /// Best (max) throughput in events/sec.
+    pub best_eps: u64,
+}
+
+impl ThroughputRecord {
+    /// Builds a record from a [`Measurement`] of a run over `events`
+    /// events.
+    #[must_use]
+    pub fn from_measurement(
+        label: &str,
+        plan: &str,
+        shards: usize,
+        events: u64,
+        keys: u32,
+        m: Measurement,
+    ) -> Self {
+        let rate = |d: Duration| {
+            if d.is_zero() {
+                0
+            } else {
+                (events as f64 / d.as_secs_f64()).round() as u64
+            }
+        };
+        ThroughputRecord {
+            label: label.to_string(),
+            plan: plan.to_string(),
+            shards,
+            events,
+            keys,
+            iters: m.iters,
+            mean_eps: rate(m.mean),
+            best_eps: rate(m.best),
+        }
+    }
+}
+
+/// Renders a bench run as a JSON document (via the workspace's
+/// [`fw_core::json`] codec):
+/// `{"bench": …, "records": [{label, plan, shards, events, keys, iters,
+/// mean_eps, best_eps}, …]}`.
+#[must_use]
+pub fn render_throughput_json(bench: &str, records: &[ThroughputRecord]) -> String {
+    use fw_core::json::JsonValue;
+    let number = |n: u64| JsonValue::Number(i128::from(n));
+    let doc = JsonValue::Object(vec![
+        ("bench".to_string(), JsonValue::String(bench.to_string())),
+        (
+            "records".to_string(),
+            JsonValue::Array(
+                records
+                    .iter()
+                    .map(|r| {
+                        JsonValue::Object(vec![
+                            ("label".to_string(), JsonValue::String(r.label.clone())),
+                            ("plan".to_string(), JsonValue::String(r.plan.clone())),
+                            ("shards".to_string(), number(r.shards as u64)),
+                            ("events".to_string(), number(r.events)),
+                            ("keys".to_string(), number(u64::from(r.keys))),
+                            ("iters".to_string(), number(u64::from(r.iters))),
+                            ("mean_eps".to_string(), number(r.mean_eps)),
+                            ("best_eps".to_string(), number(r.best_eps)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    format!("{doc}\n")
+}
+
+/// Writes `BENCH_<bench>.json` into `$BENCH_JSON_DIR` (default: the
+/// current directory) so CI and future PRs have a perf trajectory to
+/// compare against. Returns the written path.
+pub fn write_throughput_json(
+    bench: &str,
+    records: &[ThroughputRecord],
+) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::env::var_os("BENCH_JSON_DIR")
+        .map_or_else(|| std::path::PathBuf::from("."), std::path::PathBuf::from);
+    let path = dir.join(format!("BENCH_{bench}.json"));
+    std::fs::write(&path, render_throughput_json(bench, records))?;
+    Ok(path)
+}
+
 /// Deterministic constant-pace stream for benchmarks.
 #[must_use]
 pub fn bench_events(n: u64, keys: u32) -> Vec<Event> {
@@ -167,6 +270,39 @@ mod tests {
         );
         let pipeline = session.build().unwrap();
         assert_eq!(pipeline.choice(), PlanChoice::Original);
+    }
+
+    #[test]
+    fn throughput_json_is_parseable_and_complete() {
+        let m = Measurement {
+            mean: Duration::from_millis(10),
+            best: Duration::from_millis(8),
+            iters: 3,
+        };
+        let records = vec![
+            ThroughputRecord::from_measurement("a/b \"q\"", "factored", 4, 50_000, 64, m),
+            ThroughputRecord::from_measurement("seq", "original", 0, 50_000, 64, m),
+        ];
+        let doc = render_throughput_json("shard_scaling", &records);
+        let parsed = fw_core::json::parse(&doc).expect("valid JSON");
+        assert_eq!(
+            parsed.get("bench"),
+            Some(&fw_core::json::JsonValue::String("shard_scaling".into()))
+        );
+        let rendered = parsed.get("records").unwrap();
+        if let fw_core::json::JsonValue::Array(items) = rendered {
+            assert_eq!(items.len(), 2);
+            assert_eq!(
+                items[0].get("mean_eps"),
+                Some(&fw_core::json::JsonValue::Number(5_000_000))
+            );
+            assert_eq!(
+                items[1].get("shards"),
+                Some(&fw_core::json::JsonValue::Number(0))
+            );
+        } else {
+            panic!("records must be an array: {rendered:?}");
+        }
     }
 
     #[test]

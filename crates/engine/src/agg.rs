@@ -14,8 +14,10 @@ use fw_core::AggregateFunction;
 /// accumulator in (used by sub-aggregate-fed operators); `finalize`
 /// produces the result value.
 pub trait Aggregate: 'static {
-    /// Accumulator state per (window instance, key).
-    type Acc: Clone + std::fmt::Debug;
+    /// Accumulator state per (window instance, key). `Send` so operator
+    /// state can live on shard worker threads
+    /// (see [`crate::shard::ShardedPipeline`]).
+    type Acc: Clone + std::fmt::Debug + Send;
 
     /// Whether `combine` is meaningful: false for holistic functions, whose
     /// sub-aggregates would be unbounded (Section III-A).

@@ -184,7 +184,17 @@ pub struct PlanPipeline {
     /// Maximum event time fed to the core (the end-of-stream seal point).
     last_time: u64,
     elapsed: Duration,
+    /// Open timing burst for single-event pushes (see [`Self::push`]):
+    /// the clock is read once per [`PUSH_CLOCK_STRIDE`] pushes instead of
+    /// twice per event.
+    burst_start: Option<Instant>,
+    burst_len: u32,
 }
+
+/// Single-event pushes sample the wall clock once per this many events;
+/// any batch push, watermark, poll-free accounting read, or finish closes
+/// the open burst exactly.
+const PUSH_CLOCK_STRIDE: u32 = 64;
 
 impl std::fmt::Debug for PlanPipeline {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -225,6 +235,8 @@ impl PlanPipeline {
             events_processed: 0,
             last_time: 0,
             elapsed: Duration::ZERO,
+            burst_start: None,
+            burst_len: 0,
         })
     }
 
@@ -239,13 +251,38 @@ impl PlanPipeline {
     /// Pushes one event. With an out-of-order tolerance configured, the
     /// event may lag the observed maximum timestamp by up to the
     /// tolerance; otherwise it must not precede the current watermark.
+    ///
+    /// Timing is amortized: the wall clock is read once per
+    /// [`PUSH_CLOCK_STRIDE`] single-event pushes (a hot push loop pays no
+    /// per-event clock cost), and any `push_batch`, watermark, or finish
+    /// closes the open sample exactly. Caller think-time *between* pushes
+    /// inside one stride is attributed to `elapsed`, so tight loops are
+    /// measured accurately while interactive trickles are approximate —
+    /// use [`Self::push_batch`] where exact timing matters.
     pub fn push(&mut self, event: Event) -> Result<()> {
-        self.push_batch(std::slice::from_ref(&event))
+        if self.burst_start.is_none() {
+            self.burst_start = Some(Instant::now());
+        }
+        let result = self.push_inner(std::slice::from_ref(&event));
+        self.burst_len += 1;
+        if self.burst_len >= PUSH_CLOCK_STRIDE {
+            self.close_burst();
+        }
+        result
+    }
+
+    /// Folds the open single-push timing burst into `elapsed`.
+    fn close_burst(&mut self) {
+        if let Some(start) = self.burst_start.take() {
+            self.elapsed += start.elapsed();
+        }
+        self.burst_len = 0;
     }
 
     /// Pushes a batch of events (timed once around the whole batch, so
     /// batch callers pay no per-event clock overhead).
     pub fn push_batch(&mut self, events: &[Event]) -> Result<()> {
+        self.close_burst();
         let start = Instant::now();
         let result = self.push_inner(events);
         self.elapsed += start.elapsed();
@@ -293,6 +330,7 @@ impl PlanPipeline {
     /// everything the reorder buffer held before `watermark`, seals every
     /// window instance ending at or before it, and emits their results.
     pub fn advance_watermark(&mut self, watermark: u64) -> Result<()> {
+        self.close_burst();
         let start = Instant::now();
         if let Some(buffer) = &mut self.reorder {
             buffer.advance_to(watermark, &mut self.staging);
@@ -316,6 +354,7 @@ impl PlanPipeline {
     /// stream completed, and returns the run's accounting (plus any
     /// results not yet drained by [`Self::poll_results`]).
     pub fn finish(mut self) -> Result<RunOutput> {
+        self.close_burst();
         let start = Instant::now();
         if let Some(buffer) = &mut self.reorder {
             buffer.flush(&mut self.staging);
@@ -368,7 +407,8 @@ impl PlanPipeline {
         self.core.stats()
     }
 
-    /// Processing wall time accumulated so far (compilation excluded).
+    /// Processing wall time accumulated so far (compilation excluded; a
+    /// single-push timing burst still open is not yet folded in).
     #[must_use]
     pub fn elapsed(&self) -> Duration {
         self.elapsed
@@ -376,8 +416,10 @@ impl PlanPipeline {
 }
 
 /// Object-safe interface over the aggregate-monomorphic pipeline core, so
-/// one [`PlanPipeline`] type serves every aggregate function.
-trait PipelineCore {
+/// one [`PlanPipeline`] type serves every aggregate function. `Send` so a
+/// compiled pipeline can move onto a shard worker thread
+/// (see [`crate::shard::ShardedPipeline`]).
+trait PipelineCore: Send {
     fn feed_batch(&mut self, events: &[Event], sink: &mut ResultSink) -> Result<()>;
     fn advance_to(&mut self, watermark: u64, sink: &mut ResultSink);
     fn watermark(&self) -> u64;
@@ -616,6 +658,14 @@ mod tests {
                 ..Default::default()
             },
         )
+    }
+
+    #[test]
+    fn plan_pipeline_is_send() {
+        // Shard workers move compiled pipelines across threads; this must
+        // hold for every aggregate's accumulator type.
+        fn assert_send<T: Send>() {}
+        assert_send::<PlanPipeline>();
     }
 
     #[test]

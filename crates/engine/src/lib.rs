@@ -1,8 +1,10 @@
-//! # fw-engine — a Trill-like single-core streaming engine
+//! # fw-engine — a Trill-like streaming engine
 //!
 //! Executes the logical plans produced by [`fw_core`]: raw-fed and
 //! sub-aggregate-fed window operators with grouped (keyed) state, multicast
-//! routing, and union result collection, over in-order event streams.
+//! routing, and union result collection, over in-order event streams —
+//! single-threaded through [`PlanPipeline`], or key-partitioned across
+//! worker threads through [`ShardedPipeline`].
 //!
 //! The engine is the substrate standing in for Trill in the paper's
 //! evaluation: per-event work matches the paper's cost model (one
@@ -40,6 +42,7 @@ pub mod fasthash;
 pub mod pane;
 pub mod reference;
 pub mod reorder;
+pub mod shard;
 pub mod throughput;
 
 pub use agg::{Aggregate, AvgAgg, CountAgg, MaxAgg, MedianAgg, MinAgg, SumAgg};
@@ -52,4 +55,5 @@ pub use fasthash::{FastBuildHasher, FastMap};
 pub use pane::DEFAULT_ELEMENT_WORK;
 pub use reference::reference_results;
 pub use reorder::ReorderBuffer;
+pub use shard::{Parallelism, ShardedPipeline};
 pub use throughput::{measure_throughput, Throughput};

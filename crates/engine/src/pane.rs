@@ -54,8 +54,14 @@ pub struct PaneStore<A: Aggregate> {
     /// Absolute instance index of `panes.front()`; also the next instance
     /// to seal (sealing is strictly in order).
     front_m: u64,
-    /// Cleared maps ready for reuse (allocation-free steady state).
+    /// Cleared maps ready for reuse (allocation-free steady state). Capped
+    /// at `spare_cap`: an in-order stream needs at most the maximum
+    /// concurrently-open instance count, and a disorder or time-gap burst
+    /// that retires a long run of panes must not pin their memory forever.
     spare: Vec<Pane<A::Acc>>,
+    /// Maximum spare panes retained: `r/s + 1`, the most instances ever
+    /// open at once.
+    spare_cap: usize,
     /// Per-element emulated work (see [`DEFAULT_ELEMENT_WORK`]).
     work: u32,
     /// Sink for the emulated work so it is not optimized away.
@@ -81,6 +87,8 @@ impl<A: Aggregate> PaneStore<A> {
             panes: VecDeque::new(),
             front_m: 0,
             spare: Vec::new(),
+            // s | r is enforced at window construction, so r/s is exact.
+            spare_cap: (window.range() / window.slide()) as usize + 1,
             work,
             work_sink: 0,
             updates: 0,
@@ -220,7 +228,7 @@ impl<A: Aggregate> PaneStore<A> {
                 }
                 Some(pane) if pane.is_empty() => {
                     let empty = self.panes.pop_front().expect("checked non-empty deque");
-                    self.spare.push(empty);
+                    self.recycle(empty);
                     self.front_m += 1;
                 }
                 Some(_) => return Some(self.window.interval(self.front_m)),
@@ -244,8 +252,18 @@ impl<A: Aggregate> PaneStore<A> {
             .pop_front()
             .expect("prepare_due positioned a pane");
         pane.clear();
-        self.spare.push(pane);
+        self.recycle(pane);
         self.front_m += 1;
+    }
+
+    /// Returns a cleared pane to the spare pool, bounded at `spare_cap`
+    /// so a retirement burst cannot grow retired-pane memory without
+    /// bound.
+    #[inline]
+    fn recycle(&mut self, pane: Pane<A::Acc>) {
+        if self.spare.len() < self.spare_cap {
+            self.spare.push(pane);
+        }
     }
 
     /// Convenience wrapper for tests: seals and returns a copy of the next
@@ -352,6 +370,40 @@ mod tests {
         // One open pane plus at most a couple of spares — not 100 maps.
         assert!(store.open_panes() <= 2, "{}", store.open_panes());
         assert!(store.spare.len() <= 3, "{} spares", store.spare.len());
+    }
+
+    #[test]
+    fn spare_pool_is_bounded_after_a_burst() {
+        // A large time gap opens (and then retires) a long run of panes;
+        // the spare pool must keep at most the steady-state count, not
+        // the whole burst.
+        let mut store: PaneStore<SumAgg> = PaneStore::new(w(10, 10));
+        store.update_point(0, 0, 1.0);
+        store.update_point(100_000, 0, 1.0); // gap-fills ~10k instances
+        let mut sealed = 0;
+        while store.prepare_due(u64::MAX).is_some() {
+            store.retire_front();
+            sealed += 1;
+        }
+        assert_eq!(sealed, 2); // only the two non-empty instances emit
+        assert!(
+            store.spare.len() <= 2,
+            "{} spares retained",
+            store.spare.len()
+        );
+
+        // Same bound for a hopping window (r/s + 1 = 11).
+        let mut store: PaneStore<SumAgg> = PaneStore::new(w(100, 10));
+        store.update_point(0, 0, 1.0);
+        store.update_point(50_000, 0, 1.0);
+        while store.prepare_due(u64::MAX).is_some() {
+            store.retire_front();
+        }
+        assert!(
+            store.spare.len() <= 11,
+            "{} spares retained",
+            store.spare.len()
+        );
     }
 
     #[test]

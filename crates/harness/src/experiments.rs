@@ -264,8 +264,14 @@ fn slicing_figure(title: &str, size: usize, config: &HarnessConfig) -> String {
         let measurements: Vec<_> = sets
             .iter()
             .map(|ws| {
-                measure_slicing_comparison(ws, semantics, &events, config.repeats)
-                    .expect("comparison runs")
+                measure_slicing_comparison(
+                    ws,
+                    semantics,
+                    &events,
+                    config.repeats,
+                    config.parallelism_choice(),
+                )
+                .expect("comparison runs")
             })
             .collect();
         let panel_title = format!("{} ({})", semantics.name(), setup.label());
@@ -336,6 +342,7 @@ mod tests {
             scale: 500,
             runs: 2,
             repeats: 1,
+            parallelism: 1,
         };
         let report = run_experiment("table1", &config).unwrap();
         assert!(report.contains("R-5-tumbling"), "{report}");
@@ -349,6 +356,7 @@ mod tests {
             scale: 1000,
             runs: 2,
             repeats: 1,
+            parallelism: 1,
         };
         let report = run_experiment("fig12", &config).unwrap();
         assert!(report.contains("R-5"), "{report}");
@@ -361,6 +369,7 @@ mod tests {
             scale: 1000,
             runs: 1,
             repeats: 1,
+            parallelism: 1,
         };
         let report = run_experiment("fig15", &config).unwrap();
         assert!(report.contains("Figure 15"), "{report}");
@@ -376,6 +385,7 @@ mod tests {
             scale: 1000,
             runs: 1,
             repeats: 1,
+            parallelism: 1,
         };
         let report = run_experiment("fig22", &config).unwrap();
         assert!(report.contains("Scotty"), "{report}");
@@ -388,6 +398,7 @@ mod tests {
             scale: 1000,
             runs: 2,
             repeats: 1,
+            parallelism: 1,
         };
         let report = run_experiment("fig19", &config).unwrap();
         assert!(report.contains("Pearson r ="), "{report}");

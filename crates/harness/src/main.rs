@@ -34,6 +34,9 @@ fn run(args: &[String]) -> Result<(), String> {
             "--repeats" => {
                 config.repeats = parse_value(args, &mut i, "--repeats")?;
             }
+            "--parallelism" => {
+                config.parallelism = parse_value(args, &mut i, "--parallelism")?;
+            }
             "--out" => {
                 i += 1;
                 let dir = args.get(i).ok_or("--out requires a directory")?;
@@ -67,8 +70,13 @@ fn run(args: &[String]) -> Result<(), String> {
         std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
     }
 
+    let parallelism = match config.parallelism {
+        0 => "auto".to_string(),
+        1 => "sequential".to_string(),
+        n => format!("{n} shards"),
+    };
     println!(
-        "# factor-windows experiment harness — scale 1/{}, {} window sets, {} repeat(s)\n",
+        "# factor-windows experiment harness — scale 1/{}, {} window sets, {} repeat(s), {parallelism}\n",
         config.scale, config.runs, config.repeats
     );
     for id in &selected {
@@ -107,10 +115,13 @@ fn print_help() {
         "fw-experiments — regenerate the tables and figures of the Factor Windows paper\n\n\
          USAGE: fw-experiments [OPTIONS] [EXPERIMENT IDS | all | list]\n\n\
          OPTIONS:\n\
-           --scale N    divide the paper's dataset sizes by N (default 20)\n\
-           --runs N     window sets per configuration (default 10, as in the paper)\n\
-           --repeats N  measured repetitions per throughput number (default 1)\n\
-           --out DIR    also write each report to DIR/<id>.txt\n\n\
+           --scale N        divide the paper's dataset sizes by N (default 20)\n\
+           --runs N         window sets per configuration (default 10, as in the paper)\n\
+           --repeats N      measured repetitions per throughput number (default 1)\n\
+           --parallelism N  shard workers per pipeline: 1 = single-threaded\n\
+                            (default, the paper's setting), 0 = one per core,\n\
+                            N = exactly N workers\n\
+           --out DIR        also write each report to DIR/<id>.txt\n\n\
          Run `fw-experiments list` to see every experiment id."
     );
 }

@@ -8,7 +8,7 @@
 
 use factor_windows::Session;
 use fw_core::{CostModel, Optimizer, PlanChoice, Semantics, WindowQuery, WindowSet};
-use fw_engine::Event;
+use fw_engine::{Event, Parallelism};
 use fw_slicing::execute_sliced;
 use fw_workload::{
     debs_stream, generate_runs, synthetic_stream, DebsConfig, GenConfig, Generator,
@@ -25,6 +25,18 @@ pub struct HarnessConfig {
     pub runs: usize,
     /// Measured repetitions per throughput number.
     pub repeats: u32,
+    /// Shard workers per pipeline: `1` = single-threaded (the paper's
+    /// setting), `0` = one worker per available core, `n` = exactly `n`
+    /// workers.
+    pub parallelism: usize,
+}
+
+impl HarnessConfig {
+    /// The engine-level parallelism this configuration maps to.
+    #[must_use]
+    pub fn parallelism_choice(&self) -> Parallelism {
+        Parallelism::from_workers(self.parallelism)
+    }
 }
 
 impl Default for HarnessConfig {
@@ -33,6 +45,7 @@ impl Default for HarnessConfig {
             scale: 20,
             runs: 10,
             repeats: 1,
+            parallelism: 1,
         }
     }
 }
@@ -175,9 +188,12 @@ pub fn measure_window_set(
     semantics: Semantics,
     events: &[Event],
     repeats: u32,
+    parallelism: Parallelism,
 ) -> fw_core::Result<RunMeasurement> {
     let query = WindowQuery::new(windows.clone(), fw_core::AggregateFunction::Min);
-    let session = Session::from_query(query).semantics(semantics);
+    let session = Session::from_query(query)
+        .semantics(semantics)
+        .parallelism(parallelism);
     let outcome = session.optimize().map_err(unwrap_optimize_error)?.clone();
 
     let throughput = |choice: PlanChoice| {
@@ -225,7 +241,15 @@ pub fn run_setup(
     setup
         .window_sets(config.runs)
         .iter()
-        .map(|ws| measure_window_set(ws, setup.semantics(), events, config.repeats))
+        .map(|ws| {
+            measure_window_set(
+                ws,
+                setup.semantics(),
+                events,
+                config.repeats,
+                config.parallelism_choice(),
+            )
+        })
         .collect()
 }
 
@@ -281,9 +305,15 @@ pub fn measure_slicing_comparison(
     semantics: Semantics,
     events: &[Event],
     repeats: u32,
+    parallelism: Parallelism,
 ) -> fw_core::Result<SlicingMeasurement> {
     let query = WindowQuery::new(windows.clone(), fw_core::AggregateFunction::Min);
-    let session = Session::from_query(query).semantics(semantics);
+    // The slicing baseline is single-threaded; sharding applies to the
+    // Flink-default and factor-window pipelines, which both go through
+    // the session.
+    let session = Session::from_query(query)
+        .semantics(semantics)
+        .parallelism(parallelism);
     session.optimize().map_err(unwrap_optimize_error)?;
     let flink = session
         .clone()
@@ -407,7 +437,8 @@ mod tests {
         };
         let events = tiny_events();
         let ws = &setup.window_sets(1)[0];
-        let m = measure_window_set(ws, setup.semantics(), &events, 1).unwrap();
+        let m =
+            measure_window_set(ws, setup.semantics(), &events, 1, Parallelism::Sequential).unwrap();
         assert!(m.original_eps > 0.0);
         assert!(m.rewritten_eps > 0.0);
         assert!(m.factored_eps > 0.0);
@@ -444,8 +475,14 @@ mod tests {
             fw_core::Window::tumbling(40).unwrap(),
         ])
         .unwrap();
-        let m =
-            measure_slicing_comparison(&ws, Semantics::PartitionedBy, &tiny_events(), 1).unwrap();
+        let m = measure_slicing_comparison(
+            &ws,
+            Semantics::PartitionedBy,
+            &tiny_events(),
+            1,
+            Parallelism::Sequential,
+        )
+        .unwrap();
         assert!(m.flink_eps > 0.0 && m.scotty_eps > 0.0 && m.factor_eps > 0.0);
     }
 
@@ -455,6 +492,7 @@ mod tests {
             scale: 1,
             runs: 3,
             repeats: 1,
+            parallelism: 1,
         };
         let m = measure_overhead(Generator::RandomGen, 5, &config);
         assert_eq!(m.setup, "R-5");

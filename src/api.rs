@@ -8,7 +8,9 @@
 //! policy, and compiles it into a long-lived [`Pipeline`] with a push API
 //! ([`Pipeline::push`], [`Pipeline::advance_watermark`],
 //! [`Pipeline::poll_results`], [`Pipeline::finish`]). Out-of-order input
-//! within a configured tolerance is repaired transparently.
+//! within a configured tolerance is repaired transparently, and
+//! [`Session::parallelism`] shards execution by key across worker threads
+//! without changing the API or the results.
 //!
 //! ```
 //! use factor_windows::{PlanChoice, Session};
@@ -38,7 +40,8 @@ use fw_core::{
     QueryPlan, Semantics, WindowQuery,
 };
 use fw_engine::{
-    EngineError, Event, PipelineOptions, PlanPipeline, RunOutput, Throughput, WindowResult,
+    EngineError, Event, Parallelism, PipelineOptions, PlanPipeline, RunOutput, ShardedPipeline,
+    Throughput, WindowResult,
 };
 use fw_sql::ParseError;
 use std::cell::OnceCell;
@@ -106,6 +109,7 @@ pub struct Session {
     out_of_order: u64,
     collect: bool,
     element_work: u32,
+    parallelism: Parallelism,
     outcome: OnceCell<OptimizationOutcome>,
 }
 
@@ -126,6 +130,7 @@ impl Session {
             out_of_order: 0,
             collect: false,
             element_work: fw_engine::DEFAULT_ELEMENT_WORK,
+            parallelism: Parallelism::Sequential,
             outcome: OnceCell::new(),
         }
     }
@@ -184,6 +189,19 @@ impl Session {
         self
     }
 
+    /// Shards execution by key across worker threads
+    /// ([`fw_engine::ShardedPipeline`]). The default,
+    /// [`Parallelism::Sequential`], keeps the single-threaded in-process
+    /// engine; [`Parallelism::Auto`] spawns one worker per available
+    /// core; [`Parallelism::Fixed`]`(n)` pins the worker count. Results
+    /// are identical across all settings (canonically ordered for the
+    /// sharded backends).
+    #[must_use]
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
     /// The query this session serves.
     #[must_use]
     pub fn query(&self) -> &WindowQuery {
@@ -224,7 +242,8 @@ impl Session {
     /// Optimizes (once) and compiles the chosen plan into a long-lived
     /// [`Pipeline`]. Repeated builds reuse the cached optimization and
     /// only recompile operator state, so measuring several fresh pipelines
-    /// is cheap.
+    /// is cheap. With [`Session::parallelism`] set, the pipeline
+    /// transparently runs on the key-sharded multi-core backend.
     pub fn build(&self) -> ApiResult<Pipeline> {
         let outcome = self.optimize()?;
         let bundle = outcome.select(self.choice).clone();
@@ -235,9 +254,12 @@ impl Session {
             element_work: self.element_work,
             out_of_order: self.out_of_order,
         };
-        let inner = PlanPipeline::compile(&bundle.plan, options)?;
+        let backend = match self.parallelism.shard_count() {
+            0 => Backend::Single(PlanPipeline::compile(&bundle.plan, options)?),
+            shards => Backend::Sharded(ShardedPipeline::compile(&bundle.plan, options, shards)?),
+        };
         Ok(Pipeline {
-            inner,
+            backend,
             bundle,
             choice,
             semantics,
@@ -275,15 +297,27 @@ impl Session {
     }
 }
 
+/// The execution backend a [`Pipeline`] runs on: the single-threaded
+/// in-process engine, or the key-sharded multi-core engine.
+#[derive(Debug)]
+enum Backend {
+    Single(PlanPipeline),
+    Sharded(ShardedPipeline),
+}
+
 /// A compiled, long-lived execution pipeline produced by
 /// [`Session::build`].
 ///
-/// Wraps the engine's [`PlanPipeline`] together with the provenance of
-/// the plan it runs (which [`PlanChoice`] won, at what modeled cost,
-/// under which semantics).
+/// Wraps the engine's [`PlanPipeline`] (or, with [`Session::parallelism`],
+/// a [`ShardedPipeline`]) together with the provenance of the plan it runs
+/// (which [`PlanChoice`] won, at what modeled cost, under which
+/// semantics). The two backends produce identical results; on the sharded
+/// backend, engine errors may surface one call later than the event that
+/// caused them (feeding is asynchronous), and polls are merged into
+/// canonical `(window, instance, key)` order.
 #[derive(Debug)]
 pub struct Pipeline {
-    inner: PlanPipeline,
+    backend: Backend,
     bundle: PlanBundle,
     choice: PlanChoice,
     semantics: Option<Semantics>,
@@ -293,32 +327,50 @@ impl Pipeline {
     /// Pushes one event. Out-of-order input within the session's tolerance
     /// is repaired; anything later is an [`EngineError::OutOfOrderEvent`].
     pub fn push(&mut self, event: Event) -> ApiResult<()> {
-        Ok(self.inner.push(event)?)
+        match &mut self.backend {
+            Backend::Single(p) => Ok(p.push(event)?),
+            Backend::Sharded(p) => Ok(p.push(event)?),
+        }
     }
 
-    /// Pushes a batch of in-order events (timed once around the batch).
+    /// Pushes a batch of in-order events (timed once around the batch;
+    /// scattered by key in one pass on the sharded backend).
     pub fn push_batch(&mut self, events: &[Event]) -> ApiResult<()> {
-        Ok(self.inner.push_batch(events)?)
+        match &mut self.backend {
+            Backend::Single(p) => Ok(p.push_batch(events)?),
+            Backend::Sharded(p) => Ok(p.push_batch(events)?),
+        }
     }
 
     /// Declares that no event before `watermark` will arrive: flushes the
     /// reorder buffer up to it and seals every window instance ending at
-    /// or before it.
+    /// or before it (broadcast to every shard on the sharded backend).
     pub fn advance_watermark(&mut self, watermark: u64) -> ApiResult<()> {
-        Ok(self.inner.advance_watermark(watermark)?)
+        match &mut self.backend {
+            Backend::Single(p) => Ok(p.advance_watermark(watermark)?),
+            Backend::Sharded(p) => Ok(p.advance_watermark(watermark)?),
+        }
     }
 
     /// Drains the results collected since the last poll (always empty
-    /// unless the session enabled [`Session::collect_results`]).
+    /// unless the session enabled [`Session::collect_results`]). On the
+    /// sharded backend this is a synchronizing barrier and the merged
+    /// results come back canonically ordered.
     #[must_use]
     pub fn poll_results(&mut self) -> Vec<WindowResult> {
-        self.inner.poll_results()
+        match &mut self.backend {
+            Backend::Single(p) => p.poll_results(),
+            Backend::Sharded(p) => p.poll_results(),
+        }
     }
 
     /// Ends the stream and returns the run's accounting plus any results
     /// not yet polled.
     pub fn finish(self) -> ApiResult<RunOutput> {
-        Ok(self.inner.finish()?)
+        match self.backend {
+            Backend::Single(p) => Ok(p.finish()?),
+            Backend::Sharded(p) => Ok(p.finish()?),
+        }
     }
 
     /// The logical plan this pipeline executes.
@@ -347,28 +399,54 @@ impl Pipeline {
         self.semantics
     }
 
-    /// Events fed into the operators so far.
+    /// Events fed into the operators so far. On the sharded backend this
+    /// counts events routed (staged and in-flight included); the exact
+    /// fed count is in [`RunOutput::events_processed`].
     #[must_use]
     pub fn events_processed(&self) -> u64 {
-        self.inner.events_processed()
+        match &self.backend {
+            Backend::Single(p) => p.events_processed(),
+            Backend::Sharded(p) => p.events_pushed(),
+        }
     }
 
-    /// Results emitted so far (including polled ones).
+    /// Results emitted so far (including polled ones). A synchronizing
+    /// snapshot on the sharded backend.
     #[must_use]
     pub fn results_emitted(&self) -> u64 {
-        self.inner.results_emitted()
+        match &self.backend {
+            Backend::Single(p) => p.results_emitted(),
+            Backend::Sharded(p) => p.snapshot().1,
+        }
     }
 
     /// Current ordering watermark.
     #[must_use]
     pub fn watermark(&self) -> u64 {
-        self.inner.watermark()
+        match &self.backend {
+            Backend::Single(p) => p.watermark(),
+            Backend::Sharded(p) => p.watermark(),
+        }
     }
 
-    /// Events currently held in the reorder buffer.
+    /// Events currently held in the reorder buffer (single-threaded) or
+    /// the ingest-side scatter buffers (sharded).
     #[must_use]
     pub fn buffered(&self) -> usize {
-        self.inner.buffered()
+        match &self.backend {
+            Backend::Single(p) => p.buffered(),
+            Backend::Sharded(p) => p.buffered(),
+        }
+    }
+
+    /// Number of shard worker threads (`0` on the single-threaded
+    /// backend).
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        match &self.backend {
+            Backend::Single(_) => 0,
+            Backend::Sharded(p) => p.shards(),
+        }
     }
 }
 
@@ -495,6 +573,58 @@ mod tests {
             strict,
             ApiError::Engine(EngineError::OutOfOrderEvent { .. })
         ));
+    }
+
+    #[test]
+    fn sharded_backends_match_sequential_results() {
+        let events = stream(400);
+        let sequential = Session::from_query(demo_query())
+            .collect_results(true)
+            .element_work(0)
+            .run_batch(&events)
+            .unwrap();
+        for parallelism in [
+            Parallelism::Auto,
+            Parallelism::Fixed(1),
+            Parallelism::Fixed(3),
+        ] {
+            let session = Session::from_query(demo_query())
+                .collect_results(true)
+                .element_work(0)
+                .parallelism(parallelism);
+            let mut pipeline = session.build().unwrap();
+            assert!(pipeline.shards() >= 1, "{parallelism:?}");
+            pipeline.push_batch(&events).unwrap();
+            let out = pipeline.finish().unwrap();
+            assert_eq!(out.events_processed, 400);
+            assert_eq!(
+                sorted_results(sequential.results.clone()),
+                out.results,
+                "{parallelism:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_incremental_push_with_watermarks_matches_batch() {
+        let events = stream(300);
+        let session = Session::from_query(demo_query())
+            .collect_results(true)
+            .element_work(0);
+        let batch = session.run_batch(&events).unwrap();
+
+        let mut pipeline = session.parallelism(Parallelism::Fixed(2)).build().unwrap();
+        let mut collected = Vec::new();
+        for (i, &event) in events.iter().enumerate() {
+            pipeline.push(event).unwrap();
+            if i % 120 == 119 {
+                pipeline.advance_watermark(event.time).unwrap();
+                collected.extend(pipeline.poll_results());
+            }
+        }
+        let tail = pipeline.finish().unwrap();
+        collected.extend(tail.results);
+        assert_eq!(sorted_results(batch.results), sorted_results(collected));
     }
 
     #[test]

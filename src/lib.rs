@@ -52,11 +52,12 @@ pub use fw_workload as workload;
 
 pub use api::{ApiError, ApiResult, Pipeline, Session};
 pub use fw_core::PlanChoice;
+pub use fw_engine::Parallelism;
 
 /// One-stop imports for typical users: the session façade plus the
 /// optimizer-level types it is configured with.
 pub mod prelude {
     pub use crate::api::{ApiError, ApiResult, Pipeline, Session};
     pub use fw_core::prelude::*;
-    pub use fw_engine::{Event, RunOutput, WindowResult};
+    pub use fw_engine::{Event, Parallelism, RunOutput, WindowResult};
 }
