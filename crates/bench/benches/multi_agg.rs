@@ -1,0 +1,107 @@
+//! Multi-aggregate scaling: throughput vs number of aggregate terms per
+//! query (1/2/4) × plan choice, on the synthetic constant-pace stream.
+//!
+//! The point of shared factor-window execution is that pane maintenance is
+//! paid once per query, not once per term, so per-event cost should grow
+//! **sublinearly** in the term count. Emits `BENCH_multi_agg.json`
+//! (events/sec per configuration; see `fw_bench::write_throughput_json`)
+//! so CI and future PRs can track that trajectory; record labels carry the
+//! term count (`aggs=N`).
+//!
+//! Environment knobs: `MULTI_AGG_SMOKE=1` shrinks the sweep for CI;
+//! `MULTI_AGG_EVENTS` / `MULTI_AGG_ITERS` override the stream length and
+//! iteration count.
+
+use factor_windows::Session;
+use fw_bench::{bench_events, report_throughput, write_throughput_json, ThroughputRecord};
+use fw_core::{AggregateFunction, AggregateSpec, PlanChoice, Window, WindowQuery, WindowSet};
+
+const KEYS: u32 = 64;
+
+/// Term lists whose joint semantics stay partitioned-by at every size, so
+/// every sweep point optimizes to the same pane topology and the only
+/// variable is the accumulator fan-out.
+const SWEEP: [&[AggregateFunction]; 3] = [
+    &[AggregateFunction::Sum],
+    &[AggregateFunction::Sum, AggregateFunction::Count],
+    &[
+        AggregateFunction::Sum,
+        AggregateFunction::Count,
+        AggregateFunction::Min,
+        AggregateFunction::Max,
+    ],
+];
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn session(funcs: &[AggregateFunction], choice: PlanChoice) -> Session {
+    let windows = WindowSet::new(vec![
+        Window::tumbling(20).unwrap(),
+        Window::tumbling(30).unwrap(),
+        Window::tumbling(40).unwrap(),
+    ])
+    .unwrap();
+    let specs = funcs.iter().map(|&f| AggregateSpec::new(f)).collect();
+    let query = WindowQuery::with_aggregates(windows, specs).expect("valid aggregate list");
+    Session::from_query(query).plan_choice(choice)
+}
+
+fn main() {
+    let smoke = std::env::var_os("MULTI_AGG_SMOKE").is_some();
+    let events_n = env_u64("MULTI_AGG_EVENTS", if smoke { 60_000 } else { 300_000 });
+    let iters = env_u64("MULTI_AGG_ITERS", if smoke { 2 } else { 5 }) as u32;
+    let events = bench_events(events_n, KEYS);
+
+    println!("# multi_agg: aggregate terms per query, {events_n} events, {KEYS} keys");
+    let mut records = Vec::new();
+    for choice in PlanChoice::CONCRETE {
+        for funcs in SWEEP {
+            let session = session(funcs, choice);
+            session.optimize().expect("query optimizes");
+            let label = format!("multi_agg/{choice}/aggs={}", funcs.len());
+            let m = report_throughput(&label, events_n, iters, || {
+                session.run_batch(&events).expect("plan executes");
+            });
+            records.push(ThroughputRecord::from_measurement(
+                &label,
+                &choice.to_string(),
+                0,
+                events_n,
+                KEYS,
+                m,
+            ));
+        }
+    }
+
+    match write_throughput_json("multi_agg", &records) {
+        Ok(path) => println!("# wrote {}", path.display()),
+        Err(e) => eprintln!("# could not write BENCH_multi_agg.json: {e}"),
+    }
+
+    // Sharing summary: per-event cost relative to one term. An unshared
+    // engine would pay ~N× per event for N terms; shared pane maintenance
+    // keeps the growth well under that.
+    for choice in PlanChoice::CONCRETE {
+        let eps = |aggs: usize| {
+            records
+                .iter()
+                .find(|r| {
+                    r.plan == choice.to_string() && r.label.ends_with(&format!("aggs={aggs}"))
+                })
+                .map_or(0.0, |r| r.mean_eps as f64)
+        };
+        let base = eps(1);
+        if base > 0.0 {
+            println!(
+                "# {choice}: per-event cost ×{:.2} at 2 terms, ×{:.2} at 4 terms (vs ×2 / ×4 unshared)",
+                base / eps(2).max(1.0),
+                base / eps(4).max(1.0)
+            );
+        }
+    }
+}

@@ -47,15 +47,26 @@ pub fn lcm(a: u128, b: u128) -> Result<u128> {
     (a / x).checked_mul(b).ok_or(Error::PeriodOverflow)
 }
 
-/// The cost model, parameterized by the steady ingestion rate `η ≥ 1`.
+/// Default relative weight (percent of a full pane element) of one
+/// *additional* per-function accumulator operation in a multi-aggregate
+/// plan. See [`CostModel::extra_agg_percent`].
+pub const DEFAULT_EXTRA_AGG_PERCENT: u64 = 25;
+
+/// The cost model, parameterized by the steady ingestion rate `η ≥ 1` and
+/// the relative weight of extra per-function accumulator work in
+/// multi-aggregate plans.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CostModel {
     rate: u64,
+    extra_agg_percent: u64,
 }
 
 impl Default for CostModel {
     fn default() -> Self {
-        CostModel { rate: 1 }
+        CostModel {
+            rate: 1,
+            extra_agg_percent: DEFAULT_EXTRA_AGG_PERCENT,
+        }
     }
 }
 
@@ -63,13 +74,48 @@ impl CostModel {
     /// Creates a model with ingestion rate `η` (clamped to at least 1).
     #[must_use]
     pub fn new(rate: u64) -> Self {
-        CostModel { rate: rate.max(1) }
+        CostModel {
+            rate: rate.max(1),
+            extra_agg_percent: DEFAULT_EXTRA_AGG_PERCENT,
+        }
+    }
+
+    /// Overrides the multi-aggregate surcharge weight: each accumulator
+    /// slot beyond the first at a plan node is priced at `percent`% of a
+    /// full pane element. `0` models free extra slots; `100` models fully
+    /// unshared per-function work.
+    #[must_use]
+    pub fn with_extra_agg_percent(mut self, percent: u64) -> Self {
+        self.extra_agg_percent = percent.min(100);
+        self
     }
 
     /// The ingestion rate `η`.
     #[must_use]
     pub fn rate(&self) -> u64 {
         self.rate
+    }
+
+    /// The multi-aggregate surcharge weight in percent (see
+    /// [`Self::with_extra_agg_percent`]).
+    #[must_use]
+    pub fn extra_agg_percent(&self) -> u64 {
+        self.extra_agg_percent
+    }
+
+    /// Prices `base` pane elements fanned out to `slots` accumulator
+    /// slots: pane maintenance is charged once (the full `base`), and each
+    /// slot beyond the first adds `extra_agg_percent`% of it. With one
+    /// slot this is exactly `base`, so single-aggregate plans price
+    /// identically to the paper's model.
+    pub fn fan_out_cost(&self, base: Cost, slots: usize) -> Result<Cost> {
+        let extra_slots = slots.saturating_sub(1) as u128;
+        let extra = base
+            .checked_mul(extra_slots)
+            .and_then(|c| c.checked_mul(u128::from(self.extra_agg_percent)))
+            .ok_or(Error::CostOverflow)?
+            / 100;
+        base.checked_add(extra).ok_or(Error::CostOverflow)
     }
 
     /// `R = lcm` of the ranges of the given (user) windows.

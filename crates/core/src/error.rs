@@ -27,6 +27,11 @@ pub enum Error {
     /// The aggregate function is holistic; sub-aggregate sharing is not
     /// applicable and the optimizer falls back to the original plan.
     HolisticFunction { function: &'static str },
+    /// A query's aggregate list is empty.
+    EmptyAggregateList,
+    /// Two aggregate terms share a label; results are tagged by label, so
+    /// labels must be unique within a query.
+    DuplicateAggregateLabel { label: String },
 }
 
 impl fmt::Display for Error {
@@ -55,6 +60,10 @@ impl fmt::Display for Error {
                     f,
                     "{function} is holistic; shared sub-aggregation is not applicable"
                 )
+            }
+            Error::EmptyAggregateList => write!(f, "aggregate list is empty"),
+            Error::DuplicateAggregateLabel { label } => {
+                write!(f, "duplicate aggregate label '{label}'")
             }
         }
     }

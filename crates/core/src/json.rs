@@ -8,7 +8,7 @@
 //! variants as single-key objects.
 
 use crate::plan::{NodeId, PlanNode, PlanOp, QueryPlan};
-use crate::taxonomy::AggregateFunction;
+use crate::taxonomy::{AggregateFunction, AggregateSpec};
 use crate::window::{Window, WindowSet};
 use std::fmt;
 
@@ -479,6 +479,31 @@ impl FromJson for AggregateFunction {
     }
 }
 
+impl ToJson for AggregateSpec {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("function".to_string(), self.function().to_json_value()),
+            (
+                "column".to_string(),
+                JsonValue::String(self.column().to_string()),
+            ),
+            (
+                "label".to_string(),
+                JsonValue::String(self.label().to_string()),
+            ),
+        ])
+    }
+}
+
+impl FromJson for AggregateSpec {
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+        let function = AggregateFunction::from_json_value(value.field("function")?)?;
+        let column = value.field("column")?.expect_str("column")?;
+        let label = value.field("label")?.expect_str("label")?;
+        Ok(AggregateSpec::over_column(function, column).with_label(label))
+    }
+}
+
 impl ToJson for PlanOp {
     fn to_json_value(&self) -> JsonValue {
         match self {
@@ -558,7 +583,18 @@ impl FromJson for PlanNode {
 impl ToJson for QueryPlan {
     fn to_json_value(&self) -> JsonValue {
         JsonValue::Object(vec![
+            // `function` is kept for forward/backward readability of the
+            // documents; `aggregates` is authoritative on decode.
             ("function".to_string(), self.function().to_json_value()),
+            (
+                "aggregates".to_string(),
+                JsonValue::Array(
+                    self.aggregates()
+                        .iter()
+                        .map(ToJson::to_json_value)
+                        .collect(),
+                ),
+            ),
             (
                 "nodes".to_string(),
                 JsonValue::Array(self.nodes().iter().map(ToJson::to_json_value).collect()),
@@ -574,7 +610,18 @@ impl ToJson for QueryPlan {
 
 impl FromJson for QueryPlan {
     fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
-        let function = AggregateFunction::from_json_value(value.field("function")?)?;
+        // Documents written before multi-aggregate support carry only a
+        // `function` tag; treat that as a single-term list.
+        let aggregates = match value.get("aggregates") {
+            Some(list) => list
+                .expect_array("aggregates")?
+                .iter()
+                .map(AggregateSpec::from_json_value)
+                .collect::<Result<Vec<_>, _>>()?,
+            None => vec![AggregateSpec::new(AggregateFunction::from_json_value(
+                value.field("function")?,
+            )?)],
+        };
         let nodes = value
             .field("nodes")?
             .expect_array("nodes")?
@@ -583,7 +630,7 @@ impl FromJson for QueryPlan {
             .collect::<Result<Vec<_>, _>>()?;
         let source = value.field("source")?.expect_u64("source")? as NodeId;
         let union = value.field("union")?.expect_u64("union")? as NodeId;
-        QueryPlan::from_parts(function, nodes, source, union)
+        QueryPlan::from_parts(aggregates, nodes, source, union)
             .map_err(|message| JsonError { message })
     }
 }

@@ -55,7 +55,9 @@ pub use json::{FromJson, ToJson};
 pub use min_cost::{Feed, MinCostWcg};
 pub use optimizer::{OptimizationOutcome, Optimizer, PlanBundle, PlanChoice, WindowQuery};
 pub use plan::{NodeId, PlanNode, PlanOp, QueryPlan};
-pub use taxonomy::{AggregateClass, AggregateFunction};
+pub use taxonomy::{
+    check_joint_semantics, joint_semantics, AggregateClass, AggregateFunction, AggregateSpec,
+};
 pub use wcg::{NodeKind, Wcg};
 pub use window::{Interval, Window, WindowSet};
 
@@ -65,6 +67,6 @@ pub mod prelude {
     pub use crate::coverage::Semantics;
     pub use crate::optimizer::{OptimizationOutcome, Optimizer, PlanChoice, WindowQuery};
     pub use crate::plan::QueryPlan;
-    pub use crate::taxonomy::AggregateFunction;
+    pub use crate::taxonomy::{AggregateFunction, AggregateSpec};
     pub use crate::window::{Interval, Window, WindowSet};
 }

@@ -4,35 +4,62 @@
 
 use crate::cost::{Cost, CostModel};
 use crate::coverage::Semantics;
-use crate::error::Result;
+use crate::error::{Error, Result};
 use crate::factor::minimize_with_factors;
 use crate::min_cost::minimize;
 use crate::plan::QueryPlan;
 use crate::rewrite::{original_plan, rewrite};
-use crate::taxonomy::AggregateFunction;
+use crate::taxonomy::{check_joint_semantics, joint_semantics, AggregateFunction, AggregateSpec};
 use crate::wcg::Wcg;
 use crate::window::{Window, WindowSet};
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
-/// A multi-window aggregate query: one aggregate function over a window
-/// set, optionally with display labels per window (Figure 1(a)).
+/// A multi-window aggregate query: a list of aggregate terms evaluated
+/// over one shared window set, optionally with display labels per window
+/// (Figure 1(a)).
+///
+/// The common single-aggregate case is [`WindowQuery::new`]; a
+/// multi-aggregate SELECT list (`MIN(T), MAX(T), AVG(T)`) is built with
+/// [`WindowQuery::with_aggregates`] and shares pane maintenance across all
+/// terms in one plan.
 #[derive(Debug, Clone)]
 pub struct WindowQuery {
     windows: WindowSet,
-    function: AggregateFunction,
+    aggregates: Vec<AggregateSpec>,
     labels: BTreeMap<Window, String>,
 }
 
 impl WindowQuery {
-    /// Creates a query with default labels.
+    /// Creates a single-aggregate query with default labels.
     #[must_use]
     pub fn new(windows: WindowSet, function: AggregateFunction) -> Self {
         WindowQuery {
             windows,
-            function,
+            aggregates: vec![AggregateSpec::new(function)],
             labels: BTreeMap::new(),
         }
+    }
+
+    /// Creates a query over a list of aggregate terms sharing the window
+    /// set. Errors on an empty list or duplicate term labels (results are
+    /// tagged by label, so labels must be unique).
+    pub fn with_aggregates(windows: WindowSet, aggregates: Vec<AggregateSpec>) -> Result<Self> {
+        if aggregates.is_empty() {
+            return Err(Error::EmptyAggregateList);
+        }
+        for (i, spec) in aggregates.iter().enumerate() {
+            if aggregates[..i].iter().any(|s| s.label() == spec.label()) {
+                return Err(Error::DuplicateAggregateLabel {
+                    label: spec.label().to_string(),
+                });
+            }
+        }
+        Ok(WindowQuery {
+            windows,
+            aggregates,
+            labels: BTreeMap::new(),
+        })
     }
 
     /// Attaches display labels (e.g. `'20 min'`) to windows.
@@ -48,10 +75,32 @@ impl WindowQuery {
         &self.windows
     }
 
-    /// The aggregate function.
+    /// The aggregate terms, in SELECT-list order. Never empty; a result's
+    /// `agg` index points into this slice.
+    #[must_use]
+    pub fn aggregates(&self) -> &[AggregateSpec] {
+        &self.aggregates
+    }
+
+    /// The first aggregate term's function — the whole query's function
+    /// for the (common) single-aggregate case.
     #[must_use]
     pub fn function(&self) -> AggregateFunction {
-        self.function
+        self.aggregates[0].function()
+    }
+
+    /// The default coverage semantics for the whole term list: the
+    /// strictest requirement among the combinable terms, or `None` when
+    /// every term is holistic (the unshared fallback). See
+    /// [`joint_semantics`].
+    #[must_use]
+    pub fn default_semantics(&self) -> Option<Semantics> {
+        joint_semantics(&self.aggregates)
+    }
+
+    /// Validates explicit semantics against every combinable term.
+    pub fn check_semantics(&self, semantics: Semantics) -> Result<()> {
+        check_joint_semantics(&self.aggregates, semantics)
     }
 
     /// Display label for a window: the user label, or `W(r,s)`.
@@ -209,24 +258,27 @@ impl Optimizer {
         &self.model
     }
 
-    /// Optimizes with the function's default semantics (covered-by for
-    /// MIN/MAX, partitioned-by for SUM/COUNT/AVG); holistic functions fall
-    /// back to the original plan for all three bundles.
+    /// Optimizes with the query's default semantics (the strictest
+    /// requirement among its combinable terms: covered-by for MIN/MAX,
+    /// partitioned-by once SUM/COUNT/AVG participate); queries whose terms
+    /// are all holistic fall back to the original plan for all three
+    /// bundles.
     pub fn optimize(&self, query: &WindowQuery) -> Result<OptimizationOutcome> {
-        match query.function().default_semantics() {
+        match query.default_semantics() {
             Some(semantics) => self.optimize_with(query, semantics),
             None => self.fallback(query),
         }
     }
 
     /// Optimizes under explicit semantics, validating soundness first
-    /// (covered-by is rejected for overlap-sensitive functions).
+    /// (covered-by is rejected when any combinable term is
+    /// overlap-sensitive).
     pub fn optimize_with(
         &self,
         query: &WindowQuery,
         semantics: Semantics,
     ) -> Result<OptimizationOutcome> {
-        query.function().check_semantics(semantics)?;
+        query.check_semantics(semantics)?;
 
         let original = original_plan(query);
         let original_cost = original.cost(&self.model)?;
@@ -237,13 +289,17 @@ impl Optimizer {
         let mc = minimize(wcg, &self.model, period)?;
         let rewritten = rewrite(&mc, query);
         let rewrite_time = start.elapsed();
-        let rewritten_cost = mc.total_cost();
+        // Price the *plan*, not the WCG: for a single aggregate the two
+        // coincide (the rewrite preserves total cost); for a multi-term
+        // list the plan additionally charges the per-function combine /
+        // finalize work and the raw panes holistic terms ride.
+        let rewritten_cost = rewritten.cost(&self.model)?;
 
         let start = Instant::now();
         let mc_f = minimize_with_factors(query.windows(), semantics, &self.model)?;
         let factored = rewrite(&mc_f, query);
         let factor_time = start.elapsed();
-        let factored_cost = mc_f.total_cost();
+        let factored_cost = factored.cost(&self.model)?;
 
         Ok(OptimizationOutcome {
             semantics: Some(semantics),
@@ -367,6 +423,97 @@ mod tests {
         let s = out.factored.plan.to_trill_string();
         assert!(s.contains("'20 min'"), "{s}");
         assert!(s.contains("'40 min'"), "{s}");
+    }
+
+    #[test]
+    fn with_aggregates_validates_the_list() {
+        use crate::taxonomy::AggregateSpec;
+        let ws = WindowSet::new(vec![w(20, 20)]).unwrap();
+        assert!(matches!(
+            WindowQuery::with_aggregates(ws.clone(), vec![]),
+            Err(Error::EmptyAggregateList)
+        ));
+        let dup = vec![
+            AggregateSpec::new(AggregateFunction::Min),
+            AggregateSpec::new(AggregateFunction::Min),
+        ];
+        assert!(matches!(
+            WindowQuery::with_aggregates(ws.clone(), dup),
+            Err(Error::DuplicateAggregateLabel { .. })
+        ));
+        let ok = vec![
+            AggregateSpec::new(AggregateFunction::Min),
+            AggregateSpec::new(AggregateFunction::Max),
+        ];
+        let q = WindowQuery::with_aggregates(ws, ok).unwrap();
+        assert_eq!(q.aggregates().len(), 2);
+        assert_eq!(q.function(), AggregateFunction::Min);
+    }
+
+    #[test]
+    fn multi_aggregate_shares_pane_maintenance_in_the_cost_model() {
+        use crate::taxonomy::AggregateSpec;
+        let windows = || WindowSet::new(vec![w(20, 20), w(30, 30), w(40, 40)]).unwrap();
+        let specs: Vec<AggregateSpec> = [
+            AggregateFunction::Min,
+            AggregateFunction::Max,
+            AggregateFunction::Avg,
+            AggregateFunction::Count,
+        ]
+        .into_iter()
+        .map(AggregateSpec::new)
+        .collect();
+        let multi = WindowQuery::with_aggregates(windows(), specs.clone()).unwrap();
+        // MIN/MAX alone would allow covered-by; AVG/COUNT force the joint
+        // default down to partitioned-by.
+        assert_eq!(multi.default_semantics(), Some(Semantics::PartitionedBy));
+        let out = Optimizer::default().optimize(&multi).unwrap();
+        assert!(out.factored.cost <= out.rewritten.cost);
+        assert!(out.rewritten.cost <= out.original.cost);
+
+        // The shared 4-term plan must be far cheaper than 4 independent
+        // single-term plans (pane maintenance once, not 4×), yet at least
+        // as expensive as a single-term plan (extra slots are not free).
+        let single_cost = |f: AggregateFunction| {
+            let q = WindowQuery::new(windows(), f);
+            Optimizer::default()
+                .optimize_with(&q, Semantics::PartitionedBy)
+                .unwrap()
+                .factored
+                .cost
+        };
+        let independent: Cost = specs.iter().map(|s| single_cost(s.function())).sum();
+        let single = single_cost(AggregateFunction::Min);
+        assert!(multi.aggregates().len() > 1);
+        assert!(out.factored.cost < independent, "{}", out.factored.cost);
+        assert!(out.factored.cost >= single);
+    }
+
+    #[test]
+    fn holistic_rider_optimizes_with_combinable_terms() {
+        use crate::taxonomy::AggregateSpec;
+        let ws = WindowSet::new(vec![w(20, 20), w(30, 30), w(40, 40)]).unwrap();
+        let q = WindowQuery::with_aggregates(
+            ws,
+            vec![
+                AggregateSpec::new(AggregateFunction::Median),
+                AggregateSpec::new(AggregateFunction::Min),
+            ],
+        )
+        .unwrap();
+        // MEDIAN rides raw panes; MIN still drives a covered-by rewrite.
+        assert_eq!(q.default_semantics(), Some(Semantics::CoveredBy));
+        let out = Optimizer::default().optimize(&q).unwrap();
+        assert_eq!(out.semantics, Some(Semantics::CoveredBy));
+        assert!(out.factored.plan.factor_window_count() > 0);
+        // Every exposed window pays the holistic raw feed regardless of
+        // topology, so sharing can stop paying off — the honest pricing
+        // lets `Auto` notice. Here the extra factor window is pure
+        // overhead and the rewritten plan (W40 fed from exposed W20) wins.
+        assert!(out.rewritten.cost < out.original.cost);
+        assert!(out.factored.cost > out.rewritten.cost);
+        let resolved = out.resolve(PlanChoice::Auto);
+        assert_eq!(resolved, PlanChoice::Rewritten);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use crate::cost::{Cost, CostModel};
 use crate::error::{Error, Result};
-use crate::taxonomy::AggregateFunction;
+use crate::taxonomy::{AggregateFunction, AggregateSpec};
 use crate::window::Window;
 
 /// Index of a node within a [`QueryPlan`].
@@ -45,9 +45,13 @@ pub struct PlanNode {
 }
 
 /// A logical plan for a multi-window aggregate query.
+///
+/// The plan's window/multicast/union topology describes *pane flow* and is
+/// shared by every aggregate term; `aggregates` lists the terms each
+/// sealed pane fans out to (one accumulator slot per term in the engine).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QueryPlan {
-    function: AggregateFunction,
+    aggregates: Vec<AggregateSpec>,
     nodes: Vec<PlanNode>,
     source: NodeId,
     union: NodeId,
@@ -56,21 +60,28 @@ pub struct QueryPlan {
 /// Incremental builder used by the rewriting module.
 #[derive(Debug)]
 pub struct PlanBuilder {
-    function: AggregateFunction,
+    aggregates: Vec<AggregateSpec>,
     nodes: Vec<PlanNode>,
     source: NodeId,
 }
 
 impl PlanBuilder {
-    /// Starts a plan containing only the source.
+    /// Starts a single-aggregate plan containing only the source.
     #[must_use]
     pub fn new(function: AggregateFunction) -> Self {
+        PlanBuilder::with_aggregates(vec![AggregateSpec::new(function)])
+    }
+
+    /// Starts a plan over a list of aggregate terms (must be non-empty).
+    #[must_use]
+    pub fn with_aggregates(aggregates: Vec<AggregateSpec>) -> Self {
+        assert!(!aggregates.is_empty(), "plans need at least one aggregate");
         let nodes = vec![PlanNode {
             op: PlanOp::Source,
             inputs: Vec::new(),
         }];
         PlanBuilder {
-            function,
+            aggregates,
             nodes,
             source: 0,
         }
@@ -116,7 +127,7 @@ impl PlanBuilder {
             inputs: union_inputs,
         });
         QueryPlan {
-            function: self.function,
+            aggregates: self.aggregates,
             nodes: self.nodes,
             source: self.source,
             union,
@@ -135,11 +146,14 @@ impl QueryPlan {
     /// set, used by [`crate::json`] deserialization). The reassembled plan
     /// is structurally validated.
     pub fn from_parts(
-        function: AggregateFunction,
+        aggregates: Vec<AggregateSpec>,
         nodes: Vec<PlanNode>,
         source: NodeId,
         union: NodeId,
     ) -> std::result::Result<Self, String> {
+        if aggregates.is_empty() {
+            return Err("plan has no aggregate terms".to_string());
+        }
         if source >= nodes.len() || union >= nodes.len() {
             return Err("source/union id out of bounds".to_string());
         }
@@ -149,7 +163,7 @@ impl QueryPlan {
             }
         }
         let plan = QueryPlan {
-            function,
+            aggregates,
             nodes,
             source,
             union,
@@ -158,10 +172,18 @@ impl QueryPlan {
         Ok(plan)
     }
 
-    /// The aggregate function the plan evaluates.
+    /// The aggregate terms the plan fans each sealed pane out to, in
+    /// SELECT-list order. Never empty.
+    #[must_use]
+    pub fn aggregates(&self) -> &[AggregateSpec] {
+        &self.aggregates
+    }
+
+    /// The first aggregate term's function — the whole plan's function for
+    /// the (common) single-aggregate case.
     #[must_use]
     pub fn function(&self) -> AggregateFunction {
-        self.function
+        self.aggregates[0].function()
     }
 
     /// All nodes, indexable by [`NodeId`].
@@ -245,23 +267,47 @@ impl QueryPlan {
         self.window_nodes().filter(|&i| !self.is_exposed(i)).count()
     }
 
-    /// The modeled cost of the plan (Section III-B): the period is the lcm
-    /// of the *exposed* window ranges; each window node costs `n·η·r` when
-    /// raw-fed and `n·M` when fed from another window.
+    /// The modeled cost of the plan (Section III-B, extended to aggregate
+    /// lists): the period is the lcm of the *exposed* window ranges; each
+    /// window node's pane flow costs `n·η·r` when raw-fed and `n·M` when
+    /// fed from another window — charged **once** regardless of how many
+    /// aggregate terms share the panes — plus a per-function surcharge
+    /// ([`CostModel::fan_out_cost`]) for each additional accumulator slot.
+    ///
+    /// Holistic terms cannot ride sub-aggregates, so on sub-aggregate-fed
+    /// *exposed* nodes they are priced as a separate raw pane feed (the
+    /// engine delivers them raw events there); on raw-fed nodes they share
+    /// the node's pane ingestion. Factor (hidden) nodes carry combinable
+    /// slots only.
     pub fn cost(&self, model: &CostModel) -> Result<Cost> {
         let exposed = self.exposed_windows();
         if exposed.is_empty() {
             return Err(Error::EmptyWindowSet);
         }
         let period = model.period(exposed.iter())?;
+        let combinable = self.aggregates.iter().filter(|s| s.combinable()).count();
+        let holistic = self.aggregates.len() - combinable;
         let mut total: Cost = 0;
         for id in self.window_nodes() {
             let w = self.window_at(id).expect("window node");
+            let is_exposed = self.is_exposed(id);
+            let holistic_here = if is_exposed { holistic } else { 0 };
             let c = match self.feeding_window(id) {
-                None => model.raw_cost(w, period)?,
+                None => {
+                    // Raw-fed: every slot at this node shares one pane feed.
+                    let slots = (combinable + holistic_here).max(1);
+                    model.fan_out_cost(model.raw_cost(w, period)?, slots)?
+                }
                 Some(p) => {
                     let parent = self.window_at(p).expect("window node");
-                    model.shared_cost(w, parent, period)?
+                    let shared = model
+                        .fan_out_cost(model.shared_cost(w, parent, period)?, combinable.max(1))?;
+                    let raw_riders = if holistic_here > 0 {
+                        model.fan_out_cost(model.raw_cost(w, period)?, holistic_here)?
+                    } else {
+                        0
+                    };
+                    shared.checked_add(raw_riders).ok_or(Error::CostOverflow)?
                 }
             };
             total = total.checked_add(c).ok_or(Error::CostOverflow)?;
@@ -348,15 +394,70 @@ impl QueryPlan {
         }
     }
 
-    fn agg_expr(&self) -> String {
-        match self.function {
-            AggregateFunction::Min => "w => w.Min(e => e.V)".to_string(),
-            AggregateFunction::Max => "w => w.Max(e => e.V)".to_string(),
-            AggregateFunction::Sum => "w => w.Sum(e => e.V)".to_string(),
-            AggregateFunction::Count => "w => w.Count()".to_string(),
-            AggregateFunction::Avg => "w => w.Average(e => e.V)".to_string(),
-            AggregateFunction::Median => "w => w.Median(e => e.V)".to_string(),
+    fn agg_body(function: AggregateFunction, column: &str) -> String {
+        match function {
+            AggregateFunction::Min => format!("w.Min(e => e.{column})"),
+            AggregateFunction::Max => format!("w.Max(e => e.{column})"),
+            AggregateFunction::Sum => format!("w.Sum(e => e.{column})"),
+            AggregateFunction::Count => "w.Count()".to_string(),
+            AggregateFunction::Avg => format!("w.Average(e => e.{column})"),
+            AggregateFunction::Median => format!("w.Median(e => e.{column})"),
         }
+    }
+
+    /// A label as a valid anonymous-type field name: `COUNT(*)` →
+    /// `COUNT_star`, other non-identifier characters collapse to `_`.
+    fn field_name(label: &str) -> String {
+        let mut out: String = label
+            .replace("(*)", "_star")
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        while out.ends_with('_') {
+            out.pop();
+        }
+        if out.is_empty() {
+            out.push_str("agg");
+        }
+        out
+    }
+
+    fn agg_expr(&self) -> String {
+        match self.aggregates.as_slice() {
+            [single] => format!(
+                "w => {}",
+                Self::agg_body(single.function(), single.column())
+            ),
+            many => {
+                let fields = many
+                    .iter()
+                    .map(|s| {
+                        format!(
+                            "{} = {}",
+                            Self::field_name(s.label()),
+                            Self::agg_body(s.function(), s.column())
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!("w => new {{ {fields} }}")
+            }
+        }
+    }
+
+    /// Function names of all aggregate terms, comma-joined (`MIN,MAX`).
+    fn function_names(&self) -> String {
+        self.aggregates
+            .iter()
+            .map(|s| s.function().name())
+            .collect::<Vec<_>>()
+            .join(",")
     }
 
     /// Renders the plan as a Trill-style expression (Figure 2).
@@ -460,9 +561,9 @@ impl QueryPlan {
                 )
             };
             let agg = if self.feeding_window(id).is_none() {
-                format!("new {}Aggregate()", self.function.name().to_lowercase())
+                format!("new {}Aggregate()", self.function_names().to_lowercase())
             } else {
-                format!("new {}Combine()", self.function.name().to_lowercase())
+                format!("new {}Combine()", self.function_names().to_lowercase())
             };
             let vis = if exposed {
                 ""
@@ -506,7 +607,7 @@ impl QueryPlan {
                     window, exposed, ..
                 } => (
                     if *exposed { "box" } else { "box, style=dashed" },
-                    format!("{} {}", self.function.name(), window),
+                    format!("{} {}", self.function_names(), window),
                 ),
                 PlanOp::Union => ("invtriangle", "Union".to_string()),
             };
@@ -591,6 +692,36 @@ mod tests {
         let w20 = b.window_agg(src, w(20, 20), "20".to_string(), true);
         let p = b.finish(vec![w20]);
         assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn multi_aggregate_rendering_uses_columns_and_sanitized_labels() {
+        use crate::taxonomy::AggregateSpec;
+        let mut b = PlanBuilder::with_aggregates(vec![
+            AggregateSpec::over_column(AggregateFunction::Min, "T").with_label("Low"),
+            AggregateSpec::over_column(AggregateFunction::Count, "*"),
+        ]);
+        let src = b.source();
+        let w20 = b.window_agg(src, w(20, 20), "20".to_string(), true);
+        let p = b.finish(vec![w20]);
+        let s = p.to_trill_string();
+        assert!(s.contains("Low = w.Min(e => e.T)"), "{s}");
+        assert!(s.contains("COUNT_star = w.Count()"), "{s}");
+        // Single-term plans keep the plain lambda, over the term's column.
+        let mut b = PlanBuilder::with_aggregates(vec![AggregateSpec::over_column(
+            AggregateFunction::Max,
+            "T",
+        )]);
+        let src = b.source();
+        let w20 = b.window_agg(src, w(20, 20), "20".to_string(), true);
+        let p = b.finish(vec![w20]);
+        assert!(
+            p.to_trill_string().contains("w => w.Max(e => e.T)"),
+            "{}",
+            p.to_trill_string()
+        );
+        let dot = p.to_dot();
+        assert!(dot.contains("MAX W(20,20)"), "{dot}");
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::wcg::NodeKind;
 /// query has a single window (Appendix B).
 #[must_use]
 pub fn original_plan(query: &WindowQuery) -> QueryPlan {
-    let mut b = PlanBuilder::new(query.function());
+    let mut b = PlanBuilder::with_aggregates(query.aggregates().to_vec());
     let src = b.source();
     let fan_out = if query.windows().len() > 1 {
         b.multicast(src)
@@ -38,7 +38,7 @@ pub fn original_plan(query: &WindowQuery) -> QueryPlan {
 #[must_use]
 pub fn rewrite(min_cost: &MinCostWcg, query: &WindowQuery) -> QueryPlan {
     let wcg = min_cost.wcg();
-    let mut b = PlanBuilder::new(query.function());
+    let mut b = PlanBuilder::with_aggregates(query.aggregates().to_vec());
     let src = b.source();
 
     let active: Vec<usize> = min_cost.active_nodes().collect();

@@ -130,6 +130,125 @@ impl fmt::Display for AggregateFunction {
     }
 }
 
+/// One aggregate term of a query's SELECT list: the function, the column
+/// it aggregates, and the display label results are tagged with.
+///
+/// A query carries a *list* of these over one shared window set
+/// (`SELECT MIN(T), MAX(T), AVG(T) … GROUP BY …, Windows(…)`); the
+/// optimizer plans pane maintenance once for the whole list and the engine
+/// fans each sealed pane out to one accumulator slot per spec.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AggregateSpec {
+    function: AggregateFunction,
+    column: String,
+    label: String,
+}
+
+impl AggregateSpec {
+    /// A spec over the default value column `V`, labeled by the function
+    /// name (`MIN`, `SUM`, …) — what `WindowQuery::new` uses.
+    #[must_use]
+    pub fn new(function: AggregateFunction) -> Self {
+        AggregateSpec {
+            function,
+            column: "V".to_string(),
+            label: function.name().to_string(),
+        }
+    }
+
+    /// A spec over an explicit column, labeled `FUNC(column)` (e.g.
+    /// `MIN(T)`) unless overridden with [`Self::with_label`].
+    #[must_use]
+    pub fn over_column(function: AggregateFunction, column: &str) -> Self {
+        AggregateSpec {
+            function,
+            column: column.to_string(),
+            label: format!("{}({column})", function.name()),
+        }
+    }
+
+    /// Overrides the display label (the SQL `AS` alias).
+    #[must_use]
+    pub fn with_label(mut self, label: &str) -> Self {
+        self.label = label.to_string();
+        self
+    }
+
+    /// The aggregate function.
+    #[must_use]
+    pub fn function(&self) -> AggregateFunction {
+        self.function
+    }
+
+    /// The aggregated column (`*` for `COUNT(*)`).
+    #[must_use]
+    pub fn column(&self) -> &str {
+        &self.column
+    }
+
+    /// The label results of this term are tagged with.
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Whether the function composes from bounded sub-aggregates (i.e. is
+    /// not holistic) and may therefore ride the shared pane topology.
+    #[must_use]
+    pub fn combinable(&self) -> bool {
+        self.function.class() != AggregateClass::Holistic
+    }
+}
+
+impl fmt::Display for AggregateSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}({}) AS '{}'",
+            self.function.name(),
+            self.column,
+            self.label
+        )
+    }
+}
+
+/// Joint coverage semantics for a list of aggregate terms sharing one
+/// plan: the *strictest* requirement among the combinable terms.
+///
+/// * all combinable terms overlap-tolerant (MIN/MAX) → covered-by;
+/// * any overlap-sensitive combinable term (SUM/COUNT/AVG) → partitioned-by;
+/// * no combinable term at all (all holistic) → `None`, the unshared
+///   fallback. Holistic terms never constrain the choice — they ride raw
+///   panes regardless of the sharing topology.
+#[must_use]
+pub fn joint_semantics(specs: &[AggregateSpec]) -> Option<Semantics> {
+    let combinable: Vec<&AggregateSpec> = specs.iter().filter(|s| s.combinable()).collect();
+    if combinable.is_empty() {
+        return None;
+    }
+    if combinable.iter().all(|s| s.function().overlap_tolerant()) {
+        Some(Semantics::CoveredBy)
+    } else {
+        Some(Semantics::PartitionedBy)
+    }
+}
+
+/// Validates `semantics` against every combinable term of the list (an
+/// all-holistic list has no shareable term and is rejected outright, the
+/// multi-aggregate generalization of [`AggregateFunction::check_semantics`]).
+pub fn check_joint_semantics(specs: &[AggregateSpec], semantics: Semantics) -> Result<()> {
+    let mut combinable = specs.iter().filter(|s| s.combinable()).peekable();
+    if combinable.peek().is_none() {
+        return Err(Error::HolisticFunction {
+            function: specs.first().map_or("?", |s| s.function().name()),
+        });
+    }
+    for spec in combinable {
+        spec.function().check_semantics(semantics)?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,6 +303,55 @@ mod tests {
         assert!(AggregateFunction::Median
             .check_semantics(Semantics::PartitionedBy)
             .is_err());
+    }
+
+    #[test]
+    fn spec_labels_and_columns() {
+        let bare = AggregateSpec::new(AggregateFunction::Min);
+        assert_eq!(bare.label(), "MIN");
+        assert_eq!(bare.column(), "V");
+        let t = AggregateSpec::over_column(AggregateFunction::Max, "T");
+        assert_eq!(t.label(), "MAX(T)");
+        let aliased = t.clone().with_label("HighTemp");
+        assert_eq!(aliased.label(), "HighTemp");
+        assert_eq!(aliased.column(), "T");
+        assert!(aliased.combinable());
+        assert!(!AggregateSpec::new(AggregateFunction::Median).combinable());
+    }
+
+    #[test]
+    fn joint_semantics_is_the_strictest_combinable_requirement() {
+        let spec = AggregateSpec::new;
+        use AggregateFunction::{Avg, Max, Median, Min, Sum};
+        // All overlap-tolerant → covered-by.
+        assert_eq!(
+            joint_semantics(&[spec(Min), spec(Max)]),
+            Some(Semantics::CoveredBy)
+        );
+        // Any overlap-sensitive term forces partitioned-by.
+        assert_eq!(
+            joint_semantics(&[spec(Min), spec(Sum), spec(Avg)]),
+            Some(Semantics::PartitionedBy)
+        );
+        // Holistic terms never constrain the choice...
+        assert_eq!(
+            joint_semantics(&[spec(Median), spec(Min)]),
+            Some(Semantics::CoveredBy)
+        );
+        // ...but an all-holistic list has nothing to share.
+        assert_eq!(joint_semantics(&[spec(Median)]), None);
+
+        assert!(check_joint_semantics(&[spec(Min), spec(Max)], Semantics::CoveredBy).is_ok());
+        assert!(matches!(
+            check_joint_semantics(&[spec(Min), spec(Sum)], Semantics::CoveredBy),
+            Err(Error::IncompatibleSemantics { .. })
+        ));
+        // Holistic riders do not make covered-by unsound for MIN/MAX.
+        assert!(check_joint_semantics(&[spec(Median), spec(Min)], Semantics::CoveredBy).is_ok());
+        assert!(matches!(
+            check_joint_semantics(&[spec(Median)], Semantics::PartitionedBy),
+            Err(Error::HolisticFunction { .. })
+        ));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 
 use fw_core::json::{FromJson, ToJson};
 use fw_core::prelude::*;
-use fw_core::QueryPlan;
+use fw_core::{AggregateSpec, QueryPlan};
 
 fn example_outcome() -> fw_core::OptimizationOutcome {
     let windows = WindowSet::new(vec![
@@ -72,6 +72,45 @@ fn invalid_plan_json_is_rejected() {
         {"op":"Union","inputs":[1]}],"source":0,"union":3}"#;
     let err = QueryPlan::from_json(json).unwrap_err();
     assert!(err.message.contains("union"), "{err}");
+}
+
+#[test]
+fn multi_aggregate_plans_round_trip_with_their_term_list() {
+    let windows = WindowSet::new(vec![
+        Window::tumbling(20).unwrap(),
+        Window::tumbling(40).unwrap(),
+    ])
+    .unwrap();
+    let specs = vec![
+        AggregateSpec::over_column(AggregateFunction::Min, "T").with_label("Low"),
+        AggregateSpec::over_column(AggregateFunction::Max, "T"),
+        AggregateSpec::new(AggregateFunction::Count),
+    ];
+    let query = WindowQuery::with_aggregates(windows, specs).unwrap();
+    let outcome = Optimizer::default().optimize(&query).unwrap();
+    for bundle in [&outcome.original, &outcome.rewritten, &outcome.factored] {
+        let json = bundle.plan.to_json();
+        assert!(json.contains("\"aggregates\""), "{json}");
+        let back = QueryPlan::from_json(&json).unwrap();
+        assert_eq!(bundle.plan, back);
+        assert_eq!(back.aggregates().len(), 3);
+        assert_eq!(back.aggregates()[0].label(), "Low");
+        assert_eq!(back.aggregates()[1].label(), "MAX(T)");
+        assert_eq!(back.cost(&CostModel::default()).unwrap(), bundle.cost);
+    }
+}
+
+#[test]
+fn pre_multi_aggregate_documents_still_decode() {
+    // Documents written before the aggregate-list refactor carry only a
+    // `function` tag; they decode as a single-term list.
+    let json = r#"{"function":"Min","nodes":[{"op":"Source","inputs":[]},
+        {"op":{"WindowAgg":{"window":{"range":10,"slide":10},"label":"a","exposed":true}},"inputs":[0]},
+        {"op":"Union","inputs":[1]}],"source":0,"union":2}"#;
+    let plan = QueryPlan::from_json(json).unwrap();
+    assert_eq!(plan.function(), AggregateFunction::Min);
+    assert_eq!(plan.aggregates().len(), 1);
+    assert_eq!(plan.aggregates()[0].label(), "MIN");
 }
 
 #[test]

@@ -22,7 +22,8 @@ impl Event {
     }
 }
 
-/// One aggregate result: the value of a window instance for one key.
+/// One aggregate result: the value of a window instance for one key and
+/// one aggregate term.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WindowResult {
     /// The window that produced the result.
@@ -31,6 +32,10 @@ pub struct WindowResult {
     pub interval: Interval,
     /// The grouping key.
     pub key: u32,
+    /// Index of the aggregate term in the query's SELECT list (always `0`
+    /// for single-aggregate queries); resolve it to a label through
+    /// `QueryPlan::aggregates()` or the API pipeline's label accessor.
+    pub agg: u32,
     /// The finalized aggregate value (COUNT is reported as `f64`).
     pub value: f64,
 }
@@ -75,15 +80,17 @@ impl ResultSink {
     }
 }
 
-/// Canonical ordering for comparing result sets across plans.
+/// Canonical ordering for comparing result sets across plans:
+/// `(window, instance, key, aggregate index)`.
 #[must_use]
 pub fn sorted_results(mut results: Vec<WindowResult>) -> Vec<WindowResult> {
     results.sort_by(|a, b| {
-        (a.window, a.interval.start, a.interval.end, a.key).cmp(&(
+        (a.window, a.interval.start, a.interval.end, a.key, a.agg).cmp(&(
             b.window,
             b.interval.start,
             b.interval.end,
             b.key,
+            b.agg,
         ))
     });
     results
@@ -100,6 +107,7 @@ mod tests {
             window: w,
             interval: Interval::new(0, 10),
             key: 1,
+            agg: 0,
             value: 2.0,
         };
         let mut count = 0;
@@ -123,6 +131,7 @@ mod tests {
             window: w,
             interval: Interval::new(s, s + 10),
             key: k,
+            agg: 0,
             value: 0.0,
         };
         let a = vec![mk(w2, 0, 1), mk(w1, 10, 0), mk(w1, 0, 2), mk(w1, 0, 1)];

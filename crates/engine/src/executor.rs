@@ -24,17 +24,29 @@ use fw_core::{AggregateFunction, QueryPlan, Window};
 use std::time::{Duration, Instant};
 
 /// Element-level accounting: the quantities the paper's cost model counts.
+///
+/// `updates` and `combines` are *pane-level*: one raw event folded into
+/// one instance, or one sub-aggregate entry combined into one instance,
+/// counts once however many aggregate terms share the pane. The per-term
+/// fan-out (N accumulator operations per pane element for an N-term
+/// query) is reported separately as `agg_ops`, so a multi-aggregate plan's
+/// pane maintenance compares directly against the single-aggregate plan it
+/// shares its topology with.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ExecStats {
-    /// Raw-event accumulator updates (`n·η·r` per period, summed over
-    /// raw-fed windows).
+    /// Raw-event pane updates (`n·η·r` per period, summed over raw-fed
+    /// windows; counted once per element, not per aggregate term).
     pub updates: u64,
-    /// Sub-aggregate combines (`n·M` per period, summed over fed windows).
+    /// Sub-aggregate pane combines (`n·M` per period, summed over fed
+    /// windows; counted once per element, not per aggregate term).
     pub combines: u64,
+    /// Per-term accumulator operations the pane elements fanned out to.
+    /// Equals `updates + combines` for single-aggregate pipelines.
+    pub agg_ops: u64,
 }
 
 impl ExecStats {
-    /// Total cost-model elements processed.
+    /// Total cost-model elements processed (pane-level).
     #[must_use]
     pub fn elements(&self) -> u64 {
         self.updates + self.combines
@@ -210,17 +222,35 @@ impl PlanPipeline {
     /// Compiles `plan` into a pipeline. Holistic functions in sub-aggregate
     /// position and structurally invalid plans are rejected here, before
     /// any event flows.
+    ///
+    /// Single-aggregate plans compile to the per-function monomorphized
+    /// core (byte-identical to the pre-multi-aggregate engine);
+    /// multi-aggregate plans compile to the shared-pane
+    /// `MultiCore` ([`crate::multi`]), which maintains each pane once and
+    /// fans it out to one accumulator slot per term.
     pub fn compile(plan: &QueryPlan, opts: PipelineOptions) -> Result<Self> {
-        let core: Box<dyn PipelineCore> = match plan.function() {
-            AggregateFunction::Min => Box::new(Typed::<MinAgg>::compile(plan, opts.element_work)?),
-            AggregateFunction::Max => Box::new(Typed::<MaxAgg>::compile(plan, opts.element_work)?),
-            AggregateFunction::Sum => Box::new(Typed::<SumAgg>::compile(plan, opts.element_work)?),
-            AggregateFunction::Count => {
-                Box::new(Typed::<CountAgg>::compile(plan, opts.element_work)?)
-            }
-            AggregateFunction::Avg => Box::new(Typed::<AvgAgg>::compile(plan, opts.element_work)?),
-            AggregateFunction::Median => {
-                Box::new(Typed::<MedianAgg>::compile(plan, opts.element_work)?)
+        let core: Box<dyn PipelineCore> = if plan.aggregates().len() > 1 {
+            Box::new(crate::multi::MultiCore::compile(plan, opts.element_work)?)
+        } else {
+            match plan.function() {
+                AggregateFunction::Min => {
+                    Box::new(Typed::<MinAgg>::compile(plan, opts.element_work)?)
+                }
+                AggregateFunction::Max => {
+                    Box::new(Typed::<MaxAgg>::compile(plan, opts.element_work)?)
+                }
+                AggregateFunction::Sum => {
+                    Box::new(Typed::<SumAgg>::compile(plan, opts.element_work)?)
+                }
+                AggregateFunction::Count => {
+                    Box::new(Typed::<CountAgg>::compile(plan, opts.element_work)?)
+                }
+                AggregateFunction::Avg => {
+                    Box::new(Typed::<AvgAgg>::compile(plan, opts.element_work)?)
+                }
+                AggregateFunction::Median => {
+                    Box::new(Typed::<MedianAgg>::compile(plan, opts.element_work)?)
+                }
             }
         };
         Ok(PlanPipeline {
@@ -253,7 +283,7 @@ impl PlanPipeline {
     /// tolerance; otherwise it must not precede the current watermark.
     ///
     /// Timing is amortized: the wall clock is read once per
-    /// [`PUSH_CLOCK_STRIDE`] single-event pushes (a hot push loop pays no
+    /// `PUSH_CLOCK_STRIDE` (64) single-event pushes (a hot push loop pays no
     /// per-event clock cost), and any `push_batch`, watermark, or finish
     /// closes the open sample exactly. Caller think-time *between* pushes
     /// inside one stride is attributed to `elapsed`, so tight loops are
@@ -415,11 +445,12 @@ impl PlanPipeline {
     }
 }
 
-/// Object-safe interface over the aggregate-monomorphic pipeline core, so
-/// one [`PlanPipeline`] type serves every aggregate function. `Send` so a
-/// compiled pipeline can move onto a shard worker thread
-/// (see [`crate::shard::ShardedPipeline`]).
-trait PipelineCore: Send {
+/// Object-safe interface over the pipeline cores (per-function
+/// monomorphized [`Typed`] and the multi-aggregate
+/// [`crate::multi::MultiCore`]), so one [`PlanPipeline`] type serves every
+/// aggregate list. `Send` so a compiled pipeline can move onto a shard
+/// worker thread (see [`crate::shard::ShardedPipeline`]).
+pub(crate) trait PipelineCore: Send {
     fn feed_batch(&mut self, events: &[Event], sink: &mut ResultSink) -> Result<()>;
     fn advance_to(&mut self, watermark: u64, sink: &mut ResultSink);
     fn watermark(&self) -> u64;
@@ -523,6 +554,7 @@ impl<A: Aggregate> Typed<A> {
                     window,
                     interval,
                     key,
+                    agg: 0,
                     value: A::finalize(acc),
                 })
                 .collect();
@@ -615,9 +647,13 @@ impl<A: Aggregate> PipelineCore for Typed<A> {
     }
 
     fn stats(&self) -> ExecStats {
+        let updates: u64 = self.stores.iter().map(PaneStore::updates).sum();
+        let combines: u64 = self.stores.iter().map(PaneStore::combines).sum();
         ExecStats {
-            updates: self.stores.iter().map(PaneStore::updates).sum(),
-            combines: self.stores.iter().map(PaneStore::combines).sum(),
+            updates,
+            combines,
+            // One aggregate term: every pane element is one accumulator op.
+            agg_ops: updates + combines,
         }
     }
 
@@ -809,16 +845,19 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_wrappers_match_pipeline_run() {
-        let q = query(&[w(20, 20), w(40, 40)], AggregateFunction::Min);
-        let out = Optimizer::default().optimize(&q).unwrap();
-        let evs = events(200, 2);
-        #[allow(deprecated)]
-        let old = execute(&out.factored.plan, &evs, true).unwrap();
-        let new = run_collect(&out.factored.plan, &evs).unwrap();
-        assert_eq!(sorted_results(old.results), sorted_results(new.results));
-        assert_eq!(old.events_processed, new.events_processed);
-        assert_eq!(old.stats, new.stats);
+    fn exec_options_defaults_mirror_pipeline_defaults() {
+        // The deprecated `executor::execute`/`execute_with` wrappers
+        // translate `ExecOptions` into `PipelineOptions` field-for-field
+        // with `out_of_order = 0` (`execute` additionally fixes
+        // `element_work` to the default). Internal code no longer calls
+        // them; pin the shared defaults so the wrapper contract cannot
+        // silently drift from the pipeline it delegates to.
+        let exec = ExecOptions::default();
+        let pipe = PipelineOptions::default();
+        assert_eq!(exec.collect, pipe.collect);
+        assert_eq!(exec.element_work, pipe.element_work);
+        assert_eq!(exec.element_work, crate::pane::DEFAULT_ELEMENT_WORK);
+        assert_eq!(pipe.out_of_order, 0);
     }
 
     #[test]

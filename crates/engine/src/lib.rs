@@ -39,6 +39,7 @@ pub mod error;
 pub mod event;
 pub mod executor;
 pub mod fasthash;
+pub mod multi;
 pub mod pane;
 pub mod reference;
 pub mod reorder;
@@ -48,8 +49,11 @@ pub mod throughput;
 pub use agg::{Aggregate, AvgAgg, CountAgg, MaxAgg, MedianAgg, MinAgg, SumAgg};
 pub use error::{EngineError, Result};
 pub use event::{sorted_results, Event, ResultSink, WindowResult};
-#[allow(deprecated)]
-pub use executor::{execute, execute_with};
+// The deprecated batch wrappers `executor::execute` / `executor::execute_with`
+// remain available under the `executor` module for external callers, but are
+// no longer re-exported at the crate root: everything internal (and every
+// new consumer) goes through `PlanPipeline` or the `factor_windows::Session`
+// façade.
 pub use executor::{ExecOptions, ExecStats, PipelineOptions, PlanPipeline, RunOutput};
 pub use fasthash::{FastBuildHasher, FastMap};
 pub use pane::DEFAULT_ELEMENT_WORK;

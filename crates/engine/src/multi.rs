@@ -1,0 +1,611 @@
+//! Multi-aggregate execution: one shared pane flow, many accumulators.
+//!
+//! A query like `SELECT MIN(T), MAX(T), AVG(T) … Windows(…)` compiles to
+//! *one* pipeline whose pane bookkeeping (instance tracking, sealing,
+//! hashing, sub-aggregate routing) runs once per element, exactly as in
+//! the single-aggregate engine; each pane entry simply carries one
+//! accumulator *slot per aggregate term*, dispatched over the existing
+//! [`Aggregate`] implementations through a small enum. This is the
+//! execution-side counterpart of the paper's premise — amortize shared
+//! work across correlated aggregates — applied along the function axis in
+//! addition to the window axis.
+//!
+//! Per-function combinability is honored within one plan: distributive and
+//! algebraic terms (MIN/MAX/SUM/COUNT/AVG) ride the plan's sub-aggregate
+//! topology, while holistic terms (MEDIAN) ride **raw panes** on every
+//! exposed window — a sub-aggregate-fed exposed operator receives raw
+//! events for its holistic slots and parent panes for the rest. Factor
+//! (hidden) windows never materialize holistic state.
+//!
+//! Cost accounting attributes pane work once: [`ExecStats::updates`] and
+//! [`ExecStats::combines`] count pane elements exactly as a
+//! single-aggregate pipeline would, and the per-slot fan-out is reported
+//! separately as [`ExecStats::agg_ops`].
+
+use crate::agg::{Aggregate, AvgAgg, CountAgg, MaxAgg, MedianAgg, MinAgg, SumAgg, SumCount};
+use crate::error::{EngineError, Result};
+use crate::event::{Event, ResultSink, WindowResult};
+use crate::executor::ExecStats;
+use crate::fasthash::FastMap;
+use crate::pane::{element_work, PaneDeque};
+use fw_core::{AggregateClass, AggregateFunction, Interval, QueryPlan, Window};
+
+/// One accumulator slot, dispatching to the existing [`Aggregate`] impls.
+#[derive(Debug, Clone)]
+enum Slot {
+    /// MIN / MAX / SUM state.
+    F64(f64),
+    /// COUNT state.
+    U64(u64),
+    /// AVG state.
+    SumCount(SumCount),
+    /// MEDIAN state (holistic: the full multiset).
+    Values(Vec<f64>),
+}
+
+fn init_slot(f: AggregateFunction) -> Slot {
+    match f {
+        AggregateFunction::Min => Slot::F64(MinAgg::init()),
+        AggregateFunction::Max => Slot::F64(MaxAgg::init()),
+        AggregateFunction::Sum => Slot::F64(SumAgg::init()),
+        AggregateFunction::Count => Slot::U64(CountAgg::init()),
+        AggregateFunction::Avg => Slot::SumCount(AvgAgg::init()),
+        AggregateFunction::Median => Slot::Values(MedianAgg::init()),
+    }
+}
+
+fn update_slot(f: AggregateFunction, slot: &mut Slot, value: f64) {
+    match (f, slot) {
+        (AggregateFunction::Min, Slot::F64(acc)) => MinAgg::update(acc, value),
+        (AggregateFunction::Max, Slot::F64(acc)) => MaxAgg::update(acc, value),
+        (AggregateFunction::Sum, Slot::F64(acc)) => SumAgg::update(acc, value),
+        (AggregateFunction::Count, Slot::U64(acc)) => CountAgg::update(acc, value),
+        (AggregateFunction::Avg, Slot::SumCount(acc)) => AvgAgg::update(acc, value),
+        (AggregateFunction::Median, Slot::Values(acc)) => MedianAgg::update(acc, value),
+        _ => unreachable!("slot shape is fixed at init"),
+    }
+}
+
+fn combine_slot(f: AggregateFunction, into: &mut Slot, from: &Slot) {
+    match (f, into, from) {
+        (AggregateFunction::Min, Slot::F64(a), Slot::F64(b)) => MinAgg::combine(a, b),
+        (AggregateFunction::Max, Slot::F64(a), Slot::F64(b)) => MaxAgg::combine(a, b),
+        (AggregateFunction::Sum, Slot::F64(a), Slot::F64(b)) => SumAgg::combine(a, b),
+        (AggregateFunction::Count, Slot::U64(a), Slot::U64(b)) => CountAgg::combine(a, b),
+        (AggregateFunction::Avg, Slot::SumCount(a), Slot::SumCount(b)) => AvgAgg::combine(a, b),
+        (AggregateFunction::Median, ..) => {
+            unreachable!("holistic slots are raw-fed, never combined")
+        }
+        _ => unreachable!("slot shape is fixed at init"),
+    }
+}
+
+fn finalize_slot(f: AggregateFunction, slot: &Slot) -> f64 {
+    match (f, slot) {
+        (AggregateFunction::Min, Slot::F64(acc)) => MinAgg::finalize(acc),
+        (AggregateFunction::Max, Slot::F64(acc)) => MaxAgg::finalize(acc),
+        (AggregateFunction::Sum, Slot::F64(acc)) => SumAgg::finalize(acc),
+        (AggregateFunction::Count, Slot::U64(acc)) => CountAgg::finalize(acc),
+        (AggregateFunction::Avg, Slot::SumCount(acc)) => AvgAgg::finalize(acc),
+        (AggregateFunction::Median, Slot::Values(acc)) => MedianAgg::finalize(acc),
+        _ => unreachable!("slot shape is fixed at init"),
+    }
+}
+
+/// Per-key multi-accumulators for one window instance: one slot per
+/// aggregate term, in SELECT-list order.
+type MultiAcc = Box<[Slot]>;
+
+/// Per-key accumulators for one window instance.
+type MultiPane = FastMap<u32, MultiAcc>;
+
+fn new_acc(funcs: &[AggregateFunction]) -> MultiAcc {
+    funcs.iter().map(|&f| init_slot(f)).collect()
+}
+
+/// The open instances of one multi-aggregate window operator: the shared
+/// [`PaneDeque`] bookkeeping (identical sealing, fast-forward, and
+/// spare-pane recycling as the single-aggregate [`crate::pane::PaneStore`])
+/// plus per-slot accumulator semantics and pane-level cost accounting
+/// (one `update`/`combine` per element, however many slots the element
+/// fans out to).
+struct MultiStore {
+    deque: PaneDeque<MultiAcc>,
+    /// All aggregate terms' functions, slot-indexed (SELECT-list order).
+    funcs: Box<[AggregateFunction]>,
+    /// Slot indices raw events update at this operator: every slot on a
+    /// raw-fed operator, the holistic slots on a sub-aggregate-fed exposed
+    /// operator, empty on a sub-aggregate-fed factor operator.
+    raw_mask: Box<[usize]>,
+    /// Slot indices parent panes combine into (the combinable terms).
+    combine_mask: Box<[usize]>,
+    work: u32,
+    work_sink: u64,
+    /// Pane-level raw updates (counted once per element, not per slot).
+    updates: u64,
+    /// Pane-level sub-aggregate combines (once per element, not per slot).
+    combines: u64,
+    /// Per-slot accumulator operations (the fan-out the pane work feeds).
+    agg_ops: u64,
+}
+
+impl MultiStore {
+    fn new(
+        window: Window,
+        funcs: Box<[AggregateFunction]>,
+        raw_mask: Box<[usize]>,
+        combine_mask: Box<[usize]>,
+        work: u32,
+    ) -> Self {
+        MultiStore {
+            deque: PaneDeque::new(window),
+            funcs,
+            raw_mask,
+            combine_mask,
+            work,
+            work_sink: 0,
+            updates: 0,
+            combines: 0,
+            agg_ops: 0,
+        }
+    }
+
+    #[inline]
+    fn front_end(&self) -> u64 {
+        self.deque.front_end()
+    }
+
+    /// Folds a raw event into every instance containing `t`, updating the
+    /// operator's raw-fed slots. Pane work (hashing, instance routing,
+    /// emulated element work) is paid once per element.
+    #[inline]
+    fn update_point(&mut self, t: u64, key: u32, value: f64) {
+        let window = *self.deque.window();
+        for m in window.instances_containing(t) {
+            self.work_sink ^= element_work(t ^ m, self.work);
+            self.updates += 1;
+            self.agg_ops += self.raw_mask.len() as u64;
+            let funcs = &self.funcs;
+            let pane = self.deque.pane_mut(m);
+            let acc = pane.entry(key).or_insert_with(|| new_acc(funcs));
+            for &j in self.raw_mask.iter() {
+                update_slot(funcs[j], &mut acc[j], value);
+            }
+        }
+    }
+
+    /// Folds a whole upstream pane into every instance containing `iv`,
+    /// combining the combinable slots only (holistic slots are raw-fed and
+    /// must never inherit parent state).
+    #[inline]
+    fn combine_pane(&mut self, iv: &Interval, source: &MultiPane) {
+        let window = *self.deque.window();
+        for m in window.instances_containing_interval(iv) {
+            let work = self.work;
+            let mut sink = self.work_sink;
+            self.combines += source.len() as u64;
+            self.agg_ops += source.len() as u64 * self.combine_mask.len() as u64;
+            let funcs = &self.funcs;
+            let pane = self.deque.pane_mut(m);
+            for (&key, sub) in source {
+                sink ^= element_work(m ^ u64::from(key), work);
+                let acc = pane.entry(key).or_insert_with(|| new_acc(funcs));
+                for &j in self.combine_mask.iter() {
+                    combine_slot(funcs[j], &mut acc[j], &sub[j]);
+                }
+            }
+            self.work_sink = sink;
+        }
+    }
+}
+
+/// The compiled physical pipeline for a multi-aggregate plan: the
+/// [`crate::executor::PlanPipeline`] core used whenever a plan carries
+/// more than one aggregate term (single-term plans keep the monomorphized
+/// per-function cores and are byte-identical to the pre-multi engine).
+pub(crate) struct MultiCore {
+    stores: Vec<MultiStore>,
+    windows: Vec<Window>,
+    exposed: Vec<bool>,
+    children: Vec<Vec<usize>>,
+    /// Operators that receive raw events (non-empty `raw_mask`).
+    raw_ops: Vec<usize>,
+    funcs: Box<[AggregateFunction]>,
+    watermark: u64,
+    deadline: u64,
+    results_emitted: u64,
+    fed: u64,
+    last_event_time: u64,
+}
+
+impl MultiCore {
+    pub(crate) fn compile(plan: &QueryPlan, element_work: u32) -> Result<Self> {
+        plan.validate().map_err(EngineError::InvalidPlan)?;
+        let funcs: Box<[AggregateFunction]> =
+            plan.aggregates().iter().map(|s| s.function()).collect();
+        let combinable: Vec<usize> = funcs
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.class() != AggregateClass::Holistic)
+            .map(|(j, _)| j)
+            .collect();
+        let holistic: Vec<usize> = funcs
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.class() == AggregateClass::Holistic)
+            .map(|(j, _)| j)
+            .collect();
+
+        let node_ids: Vec<usize> = plan.window_nodes().collect();
+        let op_of = |node: usize| {
+            node_ids
+                .iter()
+                .position(|&n| n == node)
+                .expect("window node")
+        };
+
+        let mut windows = Vec::with_capacity(node_ids.len());
+        let mut exposed = Vec::with_capacity(node_ids.len());
+        let mut children = vec![Vec::new(); node_ids.len()];
+        let mut raw_ops = Vec::new();
+        let mut stores = Vec::with_capacity(node_ids.len());
+        for (op, &node) in node_ids.iter().enumerate() {
+            let window = *plan.window_at(node).expect("window node");
+            let is_exposed = plan.is_exposed(node);
+            windows.push(window);
+            exposed.push(is_exposed);
+            let raw_mask: Vec<usize> = match plan.feeding_window(node) {
+                // Raw-fed: every slot living at this operator shares the
+                // pane feed. Factor operators carry combinable slots only.
+                None => {
+                    if is_exposed {
+                        (0..funcs.len()).collect()
+                    } else {
+                        combinable.clone()
+                    }
+                }
+                // Sub-aggregate-fed: combinable slots arrive as parent
+                // panes; holistic slots (exposed operators only) ride raw.
+                Some(parent) => {
+                    if combinable.is_empty() {
+                        return Err(EngineError::HolisticSubAggregate {
+                            function: funcs[holistic[0]].name(),
+                        });
+                    }
+                    children[op_of(parent)].push(op);
+                    if is_exposed {
+                        holistic.clone()
+                    } else {
+                        Vec::new()
+                    }
+                }
+            };
+            if !raw_mask.is_empty() {
+                raw_ops.push(op);
+            }
+            stores.push(MultiStore::new(
+                window,
+                funcs.clone(),
+                raw_mask.into_boxed_slice(),
+                combinable.clone().into_boxed_slice(),
+                element_work,
+            ));
+        }
+        let mut core = MultiCore {
+            stores,
+            windows,
+            exposed,
+            children,
+            raw_ops,
+            funcs,
+            watermark: 0,
+            deadline: 0,
+            results_emitted: 0,
+            fed: 0,
+            last_event_time: 0,
+        };
+        core.recompute_deadline();
+        Ok(core)
+    }
+
+    fn recompute_deadline(&mut self) {
+        self.deadline = self
+            .stores
+            .iter()
+            .map(MultiStore::front_end)
+            .min()
+            .unwrap_or(u64::MAX);
+    }
+
+    /// Emits one result per (key, aggregate term) for the pane at the
+    /// store front.
+    #[inline]
+    fn emit_front(&mut self, op: usize, interval: Interval, sink: &mut ResultSink) {
+        let window = self.windows[op];
+        let pane = self.stores[op].deque.front_pane();
+        let mut emitted = 0u64;
+        if let ResultSink::Collect(_) = sink {
+            let results: Vec<WindowResult> = pane
+                .iter()
+                .flat_map(|(&key, acc)| {
+                    self.funcs
+                        .iter()
+                        .enumerate()
+                        .map(move |(j, &f)| WindowResult {
+                            window,
+                            interval,
+                            key,
+                            agg: j as u32,
+                            value: finalize_slot(f, &acc[j]),
+                        })
+                })
+                .collect();
+            for r in results {
+                sink.push(r, &mut emitted);
+            }
+        } else {
+            emitted = pane.len() as u64 * self.funcs.len() as u64;
+        }
+        self.results_emitted += emitted;
+    }
+
+    #[inline]
+    fn feed(&mut self, event: &Event, sink: &mut ResultSink) -> Result<()> {
+        if event.time < self.watermark {
+            return Err(EngineError::OutOfOrderEvent {
+                at: event.time,
+                watermark: self.watermark,
+            });
+        }
+        if event.time >= self.deadline {
+            self.advance(event.time, sink);
+        }
+        self.watermark = event.time;
+        for &op in &self.raw_ops {
+            self.stores[op].update_point(event.time, event.key, event.value);
+        }
+        self.fed += 1;
+        self.last_event_time = self.last_event_time.max(event.time);
+        Ok(())
+    }
+
+    /// Seals every instance with `end ≤ watermark`, cascading combinable
+    /// sub-aggregates down the forest (same single topological pass as the
+    /// monomorphized core).
+    fn advance(&mut self, watermark: u64, sink: &mut ResultSink) {
+        let mut deadline = u64::MAX;
+        for op in 0..self.stores.len() {
+            while let Some(interval) = self.stores[op].deque.prepare_due(watermark) {
+                if self.exposed[op] {
+                    self.emit_front(op, interval, sink);
+                }
+                let (head, tail) = self.stores.split_at_mut(op + 1);
+                let pane = head[op].deque.front_pane();
+                for &child in &self.children[op] {
+                    debug_assert!(child > op, "plan must be topologically ordered");
+                    tail[child - op - 1].combine_pane(&interval, pane);
+                }
+                self.stores[op].deque.retire_front();
+            }
+            deadline = deadline.min(self.stores[op].front_end());
+        }
+        self.deadline = deadline;
+    }
+}
+
+impl crate::executor::PipelineCore for MultiCore {
+    fn feed_batch(&mut self, events: &[Event], sink: &mut ResultSink) -> Result<()> {
+        for event in events {
+            self.feed(event, sink)?;
+        }
+        Ok(())
+    }
+
+    fn advance_to(&mut self, watermark: u64, sink: &mut ResultSink) {
+        self.advance(watermark, sink);
+        self.watermark = self.watermark.max(watermark);
+    }
+
+    fn watermark(&self) -> u64 {
+        self.watermark
+    }
+
+    fn events_fed(&self) -> u64 {
+        self.fed
+    }
+
+    fn last_event_time(&self) -> u64 {
+        self.last_event_time
+    }
+
+    fn results_emitted(&self) -> u64 {
+        self.results_emitted
+    }
+
+    fn stats(&self) -> ExecStats {
+        ExecStats {
+            updates: self.stores.iter().map(|s| s.updates).sum(),
+            combines: self.stores.iter().map(|s| s.combines).sum(),
+            agg_ops: self.stores.iter().map(|s| s.agg_ops).sum(),
+        }
+    }
+
+    fn work_total(&self) -> u64 {
+        self.stores
+            .iter()
+            .map(|s| s.work_sink)
+            .fold(0u64, u64::wrapping_add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::sorted_results;
+    use crate::executor::{PipelineOptions, PlanPipeline};
+    use crate::reference::reference_results;
+    use fw_core::{AggregateSpec, Optimizer, PlanChoice, WindowQuery, WindowSet};
+
+    fn w(r: u64, s: u64) -> Window {
+        Window::new(r, s).unwrap()
+    }
+
+    fn events(n: u64, keys: u32) -> Vec<Event> {
+        (0..n)
+            .map(|t| Event::new(t, (t % u64::from(keys)) as u32, ((t * 7) % 23) as f64))
+            .collect()
+    }
+
+    fn multi_query(ws: &[Window], funcs: &[AggregateFunction]) -> WindowQuery {
+        let specs = funcs.iter().map(|&f| AggregateSpec::new(f)).collect();
+        WindowQuery::with_aggregates(WindowSet::new(ws.to_vec()).unwrap(), specs).unwrap()
+    }
+
+    /// Per-term slice of a multi-aggregate result set, with the tag reset
+    /// so it compares equal to a single-aggregate run.
+    fn slice_of(results: &[WindowResult], agg: u32) -> Vec<WindowResult> {
+        results
+            .iter()
+            .filter(|r| r.agg == agg)
+            .map(|r| WindowResult { agg: 0, ..*r })
+            .collect()
+    }
+
+    #[test]
+    fn multi_core_matches_single_aggregate_runs_per_term() {
+        let windows = [w(20, 20), w(30, 30), w(40, 40)];
+        let funcs = [
+            AggregateFunction::Min,
+            AggregateFunction::Max,
+            AggregateFunction::Avg,
+            AggregateFunction::Count,
+        ];
+        let evs = events(500, 4);
+        for choice in PlanChoice::CONCRETE {
+            let multi = Optimizer::default()
+                .optimize(&multi_query(&windows, &funcs))
+                .unwrap();
+            let plan = &multi.select(choice).plan;
+            let out = PlanPipeline::run(plan, &evs, PipelineOptions::collecting()).unwrap();
+            let got = sorted_results(out.results);
+            for (j, &f) in funcs.iter().enumerate() {
+                let single = Optimizer::default()
+                    .optimize(&WindowQuery::new(
+                        WindowSet::new(windows.to_vec()).unwrap(),
+                        f,
+                    ))
+                    .unwrap();
+                let sout = PlanPipeline::run(
+                    &single.select(choice).plan,
+                    &evs,
+                    PipelineOptions::collecting(),
+                )
+                .unwrap();
+                assert_eq!(
+                    slice_of(&got, j as u32),
+                    sorted_results(sout.results),
+                    "{f} diverges under {choice}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn holistic_rider_matches_reference_in_a_factored_plan() {
+        // MEDIAN rides raw panes inside a plan whose MIN/MAX terms share
+        // sub-aggregates (including through a hidden factor window).
+        let windows = [w(20, 20), w(30, 30), w(40, 40)];
+        let funcs = [
+            AggregateFunction::Median,
+            AggregateFunction::Min,
+            AggregateFunction::Max,
+        ];
+        let q = multi_query(&windows, &funcs);
+        let out = Optimizer::default().optimize(&q).unwrap();
+        assert!(out.factored.plan.factor_window_count() > 0);
+        let evs = events(400, 3);
+        let run =
+            PlanPipeline::run(&out.factored.plan, &evs, PipelineOptions::collecting()).unwrap();
+        let got = sorted_results(run.results);
+        for (j, &f) in funcs.iter().enumerate() {
+            let oracle = reference_results(&windows, f, &evs);
+            assert_eq!(slice_of(&got, j as u32), oracle, "{f} diverges from oracle");
+        }
+    }
+
+    #[test]
+    fn pane_work_is_attributed_once_not_per_term() {
+        let windows = [w(20, 20), w(30, 30), w(40, 40)];
+        let evs = events(1200, 2);
+        let opts = PipelineOptions::default();
+        let single = Optimizer::default()
+            .optimize(&WindowQuery::new(
+                WindowSet::new(windows.to_vec()).unwrap(),
+                AggregateFunction::Sum,
+            ))
+            .unwrap();
+        let sref = PlanPipeline::run(&single.factored.plan, &evs, opts).unwrap();
+
+        let funcs = [
+            AggregateFunction::Min,
+            AggregateFunction::Max,
+            AggregateFunction::Avg,
+            AggregateFunction::Count,
+        ];
+        let multi = Optimizer::default()
+            .optimize(&multi_query(&windows, &funcs))
+            .unwrap();
+        assert_eq!(multi.factored.plan.factor_window_count(), 1);
+        let mrun = PlanPipeline::run(&multi.factored.plan, &evs, opts).unwrap();
+        // Pane maintenance is identical to the single-aggregate plan...
+        assert_eq!(mrun.stats.updates, sref.stats.updates);
+        assert_eq!(mrun.stats.combines, sref.stats.combines);
+        // ...while the slot fan-out reports the per-term work.
+        assert_eq!(
+            mrun.stats.agg_ops,
+            4 * (sref.stats.updates + sref.stats.combines)
+        );
+    }
+
+    #[test]
+    fn all_holistic_sub_aggregate_feed_is_rejected() {
+        use fw_core::plan::PlanBuilder;
+        let mut b = PlanBuilder::with_aggregates(vec![
+            AggregateSpec::new(AggregateFunction::Median),
+            AggregateSpec::new(AggregateFunction::Median).with_label("M2"),
+        ]);
+        let src = b.source();
+        let w20 = b.window_agg(src, w(20, 20), "w20".to_string(), true);
+        let w40 = b.window_agg(w20, w(40, 40), "w40".to_string(), true);
+        let plan = b.finish(vec![w20, w40]);
+        let err = PlanPipeline::compile(&plan, PipelineOptions::default())
+            .err()
+            .unwrap();
+        assert!(matches!(err, EngineError::HolisticSubAggregate { .. }));
+    }
+
+    #[test]
+    fn incremental_push_and_watermarks_match_batch() {
+        let windows = [w(10, 10), w(20, 10), w(40, 20)];
+        let funcs = [AggregateFunction::Sum, AggregateFunction::Count];
+        let q = multi_query(&windows, &funcs);
+        let out = Optimizer::default().optimize(&q).unwrap();
+        let evs = events(300, 3);
+        let batch =
+            PlanPipeline::run(&out.factored.plan, &evs, PipelineOptions::collecting()).unwrap();
+
+        let mut pipeline =
+            PlanPipeline::compile(&out.factored.plan, PipelineOptions::collecting()).unwrap();
+        let mut collected = Vec::new();
+        for (i, &e) in evs.iter().enumerate() {
+            pipeline.push(e).unwrap();
+            if i % 90 == 89 {
+                pipeline.advance_watermark(e.time).unwrap();
+                collected.extend(pipeline.poll_results());
+            }
+        }
+        let tail = pipeline.finish().unwrap();
+        collected.extend(tail.results);
+        assert_eq!(sorted_results(collected), sorted_results(batch.results));
+    }
+}

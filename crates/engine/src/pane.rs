@@ -46,11 +46,17 @@ pub fn element_work(seed: u64, iters: u32) -> u64 {
     x
 }
 
-/// The open instances of one window operator.
+/// Instance-indexed pane storage shared by the single-aggregate
+/// [`PaneStore`] and the multi-aggregate store ([`crate::multi`]): a deque
+/// of per-key maps fronted by the oldest unsealed instance, with strictly
+/// in-order sealing and a bounded spare pool. This is the bookkeeping
+/// layer only — accumulator semantics, cost accounting, and element-work
+/// emulation live in the stores composing it, so a sealing or
+/// fast-forward fix lands in exactly one place.
 #[derive(Debug)]
-pub struct PaneStore<A: Aggregate> {
+pub struct PaneDeque<V> {
     window: Window,
-    panes: VecDeque<Pane<A::Acc>>,
+    panes: VecDeque<Pane<V>>,
     /// Absolute instance index of `panes.front()`; also the next instance
     /// to seal (sealing is strictly in order).
     front_m: u64,
@@ -58,10 +64,135 @@ pub struct PaneStore<A: Aggregate> {
     /// at `spare_cap`: an in-order stream needs at most the maximum
     /// concurrently-open instance count, and a disorder or time-gap burst
     /// that retires a long run of panes must not pin their memory forever.
-    spare: Vec<Pane<A::Acc>>,
+    spare: Vec<Pane<V>>,
     /// Maximum spare panes retained: `r/s + 1`, the most instances ever
     /// open at once.
     spare_cap: usize,
+}
+
+impl<V> PaneDeque<V> {
+    /// Creates an empty deque for `window`.
+    #[must_use]
+    pub fn new(window: Window) -> Self {
+        PaneDeque {
+            window,
+            panes: VecDeque::new(),
+            front_m: 0,
+            spare: Vec::new(),
+            // s | r is enforced at window construction, so r/s is exact.
+            spare_cap: (window.range() / window.slide()) as usize + 1,
+        }
+    }
+
+    /// The window this deque belongs to.
+    #[must_use]
+    pub fn window(&self) -> &Window {
+        &self.window
+    }
+
+    /// End timestamp of instance `m` (saturating; used as a deadline).
+    #[inline]
+    fn instance_end(&self, m: u64) -> u64 {
+        m.saturating_mul(self.window.slide())
+            .saturating_add(self.window.range())
+    }
+
+    /// The earliest unsealed instance's end — the next deadline.
+    #[inline]
+    #[must_use]
+    pub fn front_end(&self) -> u64 {
+        self.instance_end(self.front_m)
+    }
+
+    /// Number of open panes (diagnostics and memory-bound tests).
+    #[must_use]
+    pub fn open_panes(&self) -> usize {
+        self.panes.len()
+    }
+
+    /// The pane of instance `m`, opening panes (recycled from the spare
+    /// pool when possible) as needed.
+    #[inline]
+    pub fn pane_mut(&mut self, m: u64) -> &mut Pane<V> {
+        debug_assert!(
+            m >= self.front_m,
+            "update behind sealed instance {m} < {}",
+            self.front_m
+        );
+        let want = (m - self.front_m) as usize;
+        while self.panes.len() <= want {
+            self.panes.push_back(self.spare.pop().unwrap_or_default());
+        }
+        &mut self.panes[want]
+    }
+
+    /// Positions the deque at its next due (`end ≤ watermark`), non-empty
+    /// instance and returns that instance's interval without sealing it.
+    /// Empty due instances are skipped; with no panes at all the cursor
+    /// fast-forwards past everything due. Follow up with
+    /// [`Self::front_pane`] and [`Self::retire_front`].
+    pub fn prepare_due(&mut self, watermark: u64) -> Option<Interval> {
+        loop {
+            if self.front_end() > watermark {
+                return None;
+            }
+            match self.panes.front() {
+                None => {
+                    let s = self.window.slide();
+                    let r = self.window.range();
+                    if watermark >= r {
+                        let first_open = (watermark - r) / s + 1;
+                        self.front_m = self.front_m.max(first_open);
+                    }
+                    return None;
+                }
+                Some(pane) if pane.is_empty() => {
+                    let empty = self.panes.pop_front().expect("checked non-empty deque");
+                    self.recycle(empty);
+                    self.front_m += 1;
+                }
+                Some(_) => return Some(self.window.interval(self.front_m)),
+            }
+        }
+    }
+
+    /// The pane positioned by [`Self::prepare_due`].
+    #[inline]
+    #[must_use]
+    pub fn front_pane(&self) -> &Pane<V> {
+        self.panes.front().expect("prepare_due positioned a pane")
+    }
+
+    /// Seals the pane positioned by [`Self::prepare_due`]: clears it into
+    /// the spare pool and advances the cursor.
+    #[inline]
+    pub fn retire_front(&mut self) {
+        let mut pane = self
+            .panes
+            .pop_front()
+            .expect("prepare_due positioned a pane");
+        pane.clear();
+        self.recycle(pane);
+        self.front_m += 1;
+    }
+
+    /// Returns a cleared pane to the spare pool, bounded at `spare_cap`
+    /// so a retirement burst cannot grow retired-pane memory without
+    /// bound.
+    #[inline]
+    fn recycle(&mut self, pane: Pane<V>) {
+        if self.spare.len() < self.spare_cap {
+            self.spare.push(pane);
+        }
+    }
+}
+
+/// The open instances of one window operator: the shared [`PaneDeque`]
+/// bookkeeping plus the aggregate's accumulator semantics, element-work
+/// emulation, and cost-model accounting.
+#[derive(Debug)]
+pub struct PaneStore<A: Aggregate> {
+    deque: PaneDeque<A::Acc>,
     /// Per-element emulated work (see [`DEFAULT_ELEMENT_WORK`]).
     work: u32,
     /// Sink for the emulated work so it is not optimized away.
@@ -83,12 +214,7 @@ impl<A: Aggregate> PaneStore<A> {
     #[must_use]
     pub fn with_element_work(window: Window, work: u32) -> Self {
         PaneStore {
-            window,
-            panes: VecDeque::new(),
-            front_m: 0,
-            spare: Vec::new(),
-            // s | r is enforced at window construction, so r/s is exact.
-            spare_cap: (window.range() / window.slide()) as usize + 1,
+            deque: PaneDeque::new(window),
             work,
             work_sink: 0,
             updates: 0,
@@ -120,61 +246,41 @@ impl<A: Aggregate> PaneStore<A> {
     /// The window this store belongs to.
     #[must_use]
     pub fn window(&self) -> &Window {
-        &self.window
-    }
-
-    /// End timestamp of instance `m` (saturating; used as a deadline).
-    #[inline]
-    fn instance_end(&self, m: u64) -> u64 {
-        m.saturating_mul(self.window.slide())
-            .saturating_add(self.window.range())
+        self.deque.window()
     }
 
     /// The earliest unsealed instance's end — the store's next deadline.
     #[inline]
     #[must_use]
     pub fn front_end(&self) -> u64 {
-        self.instance_end(self.front_m)
+        self.deque.front_end()
     }
 
     /// Number of open panes (diagnostics and memory-bound tests).
     #[must_use]
     pub fn open_panes(&self) -> usize {
-        self.panes.len()
-    }
-
-    #[inline]
-    fn pane_mut(&mut self, m: u64) -> &mut Pane<A::Acc> {
-        debug_assert!(
-            m >= self.front_m,
-            "update behind sealed instance {m} < {}",
-            self.front_m
-        );
-        let want = (m - self.front_m) as usize;
-        while self.panes.len() <= want {
-            self.panes.push_back(self.spare.pop().unwrap_or_default());
-        }
-        &mut self.panes[want]
+        self.deque.open_panes()
     }
 
     /// Folds a raw event into every instance containing `t`
     /// (`r/s` instances — the unshared per-event cost of the cost model).
     #[inline]
     pub fn update_point(&mut self, t: u64, key: u32, value: f64) {
-        if self.window.is_tumbling() {
+        let window = *self.deque.window();
+        if window.is_tumbling() {
             // Fast path: exactly one containing instance.
-            let m = t / self.window.slide();
+            let m = t / window.slide();
             self.work_sink ^= element_work(t ^ u64::from(key), self.work);
             self.updates += 1;
-            let pane = self.pane_mut(m);
+            let pane = self.deque.pane_mut(m);
             let acc = pane.entry(key).or_insert_with(A::init);
             A::update(acc, value);
             return;
         }
-        for m in self.window.instances_containing(t) {
+        for m in window.instances_containing(t) {
             self.work_sink ^= element_work(t ^ m, self.work);
             self.updates += 1;
-            let pane = self.pane_mut(m);
+            let pane = self.deque.pane_mut(m);
             let acc = pane.entry(key).or_insert_with(A::init);
             A::update(acc, value);
         }
@@ -185,12 +291,11 @@ impl<A: Aggregate> PaneStore<A> {
     /// instance range is computed once per pane, not once per key.
     #[inline]
     pub fn combine_pane(&mut self, iv: &Interval, source: &Pane<A::Acc>) {
-        for m in self.window.instances_containing_interval(iv) {
-            debug_assert!(m >= self.front_m, "sub-aggregate behind sealed instance");
+        for m in self.deque.window().instances_containing_interval(iv) {
             let work = self.work;
             let mut sink = self.work_sink;
             self.combines += source.len() as u64;
-            let pane = self.pane_mut(m);
+            let pane = self.deque.pane_mut(m);
             for (&key, sub) in source {
                 sink ^= element_work(m ^ u64::from(key), work);
                 match pane.entry(key) {
@@ -207,63 +312,25 @@ impl<A: Aggregate> PaneStore<A> {
     }
 
     /// Positions the store at its next due (`end ≤ watermark`), non-empty
-    /// instance and returns that instance's interval without sealing it.
-    /// Empty due instances are skipped; with no panes at all the cursor
-    /// fast-forwards past everything due. Follow up with [`Self::front_pane`]
-    /// and [`Self::retire_front`].
+    /// instance and returns that instance's interval without sealing it
+    /// (see [`PaneDeque::prepare_due`]). Follow up with
+    /// [`Self::front_pane`] and [`Self::retire_front`].
     pub fn prepare_due(&mut self, watermark: u64) -> Option<Interval> {
-        loop {
-            if self.front_end() > watermark {
-                return None;
-            }
-            match self.panes.front() {
-                None => {
-                    let s = self.window.slide();
-                    let r = self.window.range();
-                    if watermark >= r {
-                        let first_open = (watermark - r) / s + 1;
-                        self.front_m = self.front_m.max(first_open);
-                    }
-                    return None;
-                }
-                Some(pane) if pane.is_empty() => {
-                    let empty = self.panes.pop_front().expect("checked non-empty deque");
-                    self.recycle(empty);
-                    self.front_m += 1;
-                }
-                Some(_) => return Some(self.window.interval(self.front_m)),
-            }
-        }
+        self.deque.prepare_due(watermark)
     }
 
     /// The pane positioned by [`Self::prepare_due`].
     #[inline]
     #[must_use]
     pub fn front_pane(&self) -> &Pane<A::Acc> {
-        self.panes.front().expect("prepare_due positioned a pane")
+        self.deque.front_pane()
     }
 
     /// Seals the pane positioned by [`Self::prepare_due`]: clears it into
     /// the spare pool and advances the cursor.
     #[inline]
     pub fn retire_front(&mut self) {
-        let mut pane = self
-            .panes
-            .pop_front()
-            .expect("prepare_due positioned a pane");
-        pane.clear();
-        self.recycle(pane);
-        self.front_m += 1;
-    }
-
-    /// Returns a cleared pane to the spare pool, bounded at `spare_cap`
-    /// so a retirement burst cannot grow retired-pane memory without
-    /// bound.
-    #[inline]
-    fn recycle(&mut self, pane: Pane<A::Acc>) {
-        if self.spare.len() < self.spare_cap {
-            self.spare.push(pane);
-        }
+        self.deque.retire_front();
     }
 
     /// Convenience wrapper for tests: seals and returns a copy of the next
@@ -369,7 +436,11 @@ mod tests {
         }
         // One open pane plus at most a couple of spares — not 100 maps.
         assert!(store.open_panes() <= 2, "{}", store.open_panes());
-        assert!(store.spare.len() <= 3, "{} spares", store.spare.len());
+        assert!(
+            store.deque.spare.len() <= 3,
+            "{} spares",
+            store.deque.spare.len()
+        );
     }
 
     #[test]
@@ -387,9 +458,9 @@ mod tests {
         }
         assert_eq!(sealed, 2); // only the two non-empty instances emit
         assert!(
-            store.spare.len() <= 2,
+            store.deque.spare.len() <= 2,
             "{} spares retained",
-            store.spare.len()
+            store.deque.spare.len()
         );
 
         // Same bound for a hopping window (r/s + 1 = 11).
@@ -400,9 +471,9 @@ mod tests {
             store.retire_front();
         }
         assert!(
-            store.spare.len() <= 11,
+            store.deque.spare.len() <= 11,
             "{} spares retained",
-            store.spare.len()
+            store.deque.spare.len()
         );
     }
 

@@ -49,6 +49,7 @@ fn run<A: Aggregate>(windows: &[Window], events: &[Event]) -> Vec<WindowResult> 
                     window: *window,
                     interval,
                     key: *key,
+                    agg: 0,
                     value: A::finalize(acc),
                 });
             }

@@ -483,6 +483,7 @@ impl ShardedPipeline {
                     merged.results_emitted += out.results_emitted;
                     merged.stats.updates += out.stats.updates;
                     merged.stats.combines += out.stats.combines;
+                    merged.stats.agg_ops += out.stats.agg_ops;
                     merged.results.extend(out.results);
                 }
                 Ok(Err(e)) => {
@@ -536,6 +537,7 @@ impl ShardedPipeline {
             total.1 += results;
             total.2.updates += stats.updates;
             total.2.combines += stats.combines;
+            total.2.agg_ops += stats.agg_ops;
         }
         total
     }

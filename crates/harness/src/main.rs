@@ -4,6 +4,9 @@
 //! fw-experiments list
 //! fw-experiments all --scale 20 --out results
 //! fw-experiments fig11 table1 --scale 50 --runs 10 --repeats 1
+//! fw-experiments --dump-wcg fig1
+//! fw-experiments --dump-wcg "SELECT k, MIN(v), MAX(v) FROM S GROUP BY k, \
+//!     Windows(Window('w', TumblingWindow(minute, 20)))"
 //! ```
 
 use fw_harness::{run_experiment, HarnessConfig, EXPERIMENTS};
@@ -41,6 +44,13 @@ fn run(args: &[String]) -> Result<(), String> {
                 i += 1;
                 let dir = args.get(i).ok_or("--out requires a directory")?;
                 out_dir = Some(PathBuf::from(dir));
+            }
+            "--dump-wcg" => {
+                i += 1;
+                let sql = args
+                    .get(i)
+                    .ok_or("--dump-wcg requires a SQL query string (or `fig1` / `fig1-multi`)")?;
+                return dump_wcg(sql);
             }
             "--help" | "-h" => {
                 print_help();
@@ -98,6 +108,38 @@ fn run(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses `sql` (or the named built-in fixture), builds the augmented
+/// window coverage graph under the query's default semantics, and prints
+/// it in Graphviz dot format — pipe into `dot -Tsvg` to draw the paper's
+/// Figure 6/7-style pictures for any query.
+fn dump_wcg(sql: &str) -> Result<(), String> {
+    use factor_windows::sql as fw_sql;
+    let text = match sql.to_ascii_lowercase().as_str() {
+        "fig1" => fw_sql::FIG1_SQL,
+        "fig1-multi" => fw_sql::FIG1_MULTI_SQL,
+        _ => sql,
+    };
+    let query = fw_sql::parse_to_query(text).map_err(|e| e.render(text))?;
+    let semantics = query.default_semantics().ok_or_else(|| {
+        "every aggregate term is holistic: there is no shared sub-aggregation to graph".to_string()
+    })?;
+    let wcg = fw_core::Wcg::build_augmented(query.windows(), semantics);
+    eprintln!(
+        "# WCG for {} under {} semantics ({} nodes, {} edges)",
+        query
+            .aggregates()
+            .iter()
+            .map(|s| s.label().to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
+        semantics.name(),
+        wcg.len(),
+        wcg.edge_count()
+    );
+    print!("{}", wcg.to_dot());
+    Ok(())
+}
+
 fn parse_value<T: std::str::FromStr>(
     args: &[String],
     i: &mut usize,
@@ -121,7 +163,10 @@ fn print_help() {
            --parallelism N  shard workers per pipeline: 1 = single-threaded\n\
                             (default, the paper's setting), 0 = one per core,\n\
                             N = exactly N workers\n\
-           --out DIR        also write each report to DIR/<id>.txt\n\n\
+           --out DIR        also write each report to DIR/<id>.txt\n\
+           --dump-wcg SQL   print the query's window coverage graph in\n\
+                            Graphviz dot format and exit (`fig1` and\n\
+                            `fig1-multi` name the built-in fixtures)\n\n\
          Run `fw-experiments list` to see every experiment id."
     );
 }

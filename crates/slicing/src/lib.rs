@@ -55,6 +55,7 @@ fn run<A: Aggregate>(windows: &WindowSet, events: &[Event], collect: bool) -> Re
     let stats = fw_engine::executor::ExecStats {
         updates: events.len() as u64,
         combines: slicer.merges,
+        agg_ops: events.len() as u64 + slicer.merges,
     };
     Ok(RunOutput {
         events_processed: events.len() as u64,
@@ -230,6 +231,7 @@ impl<A: Aggregate> Slicer<A> {
                 window,
                 interval,
                 key: *key,
+                agg: 0,
                 value: A::finalize(acc),
             };
             sink.push(result, &mut self.results_emitted);

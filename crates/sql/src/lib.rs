@@ -29,13 +29,25 @@
 pub mod parser;
 pub mod token;
 
-pub use parser::{parse_query, ParsedQuery, TimeUnit};
+pub use parser::{parse_query, ParsedAggregate, ParsedQuery, TimeUnit};
 pub use token::{tokenize, ParseError, Spanned, Token};
 
 /// The query of the paper's Figure 1(a): MIN over tumbling windows of 20,
 /// 30, and 40 minutes, keyed by device. The canonical end-to-end fixture
 /// for examples and integration tests.
 pub const FIG1_SQL: &str = "SELECT DeviceID, System.Window().Id, MIN(T) AS MinTemp \
+     FROM Input TIMESTAMP BY EntryTime \
+     GROUP BY DeviceID, Windows( \
+         Window('20 min', TumblingWindow(minute, 20)), \
+         Window('30 min', TumblingWindow(minute, 30)), \
+         Window('40 min', TumblingWindow(minute, 40)))";
+
+/// The multi-aggregate variant of Figure 1(a): MIN, MAX, and AVG of the
+/// temperature over the same three tumbling windows, answered by one
+/// shared-pane plan. The canonical fixture for multi-aggregate tests and
+/// benchmarks.
+pub const FIG1_MULTI_SQL: &str = "SELECT DeviceID, System.Window().Id, \
+         MIN(T) AS MinTemp, MAX(T) AS MaxTemp, AVG(T) AS AvgTemp \
      FROM Input TIMESTAMP BY EntryTime \
      GROUP BY DeviceID, Windows( \
          Window('20 min', TumblingWindow(minute, 20)), \
@@ -72,5 +84,18 @@ mod tests {
     #[test]
     fn parse_to_query_surfaces_sql_errors() {
         assert!(parse_to_query("SELECT nope").is_err());
+    }
+
+    #[test]
+    fn fig1_multi_fixture_parses_to_three_terms() {
+        let query = parse_to_query(FIG1_MULTI_SQL).unwrap();
+        assert_eq!(query.windows().len(), 3);
+        let labels: Vec<&str> = query.aggregates().iter().map(|s| s.label()).collect();
+        assert_eq!(labels, vec!["MinTemp", "MaxTemp", "AvgTemp"]);
+        // MIN/MAX alone would allow covered-by; AVG forces partitioned-by.
+        assert_eq!(
+            query.default_semantics(),
+            Some(fw_core::Semantics::PartitionedBy)
+        );
     }
 }

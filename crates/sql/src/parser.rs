@@ -1,15 +1,19 @@
 //! Recursive-descent parser for the ASA-flavored dialect:
 //!
 //! ```sql
-//! SELECT DeviceID, System.Window().Id, MIN(T) AS MinTemp
+//! SELECT DeviceID, System.Window().Id, MIN(T) AS MinTemp, MAX(T), AVG(T)
 //! FROM Input TIMESTAMP BY EntryTime
 //! GROUP BY DeviceID, Windows(
 //!     Window('20 min', TumblingWindow(minute, 20)),
 //!     Window('30 min', HoppingWindow(minute, 30, 10)))
 //! ```
+//!
+//! The SELECT list may contain any number of aggregate terms; they all
+//! share the query's window set and compile to one shared-pane plan.
+//! Labels (the `AS` alias, or `FUNC(column)`) must be unique per query.
 
 use crate::token::{tokenize, ParseError, Spanned, Token};
-use fw_core::{AggregateFunction, Window};
+use fw_core::{AggregateFunction, AggregateSpec, Window};
 
 /// Time units accepted in window specifications, normalized to seconds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,7 +51,40 @@ impl TimeUnit {
     }
 }
 
-/// A parsed multi-window aggregate query.
+/// One parsed aggregate term of the SELECT list
+/// (`MIN(T) AS MinTemp`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedAggregate {
+    /// The aggregate function.
+    pub function: AggregateFunction,
+    /// The aggregated column (`*` for `COUNT(*)`).
+    pub column: String,
+    /// `AS` alias, if present.
+    pub alias: Option<String>,
+}
+
+impl ParsedAggregate {
+    /// The label results of this term are tagged with: the alias, or
+    /// `FUNC(column)` when no alias was given.
+    #[must_use]
+    pub fn label(&self) -> String {
+        self.alias
+            .clone()
+            .unwrap_or_else(|| format!("{}({})", self.function.name(), self.column))
+    }
+
+    /// Converts to the optimizer's spec type.
+    #[must_use]
+    pub fn to_spec(&self) -> AggregateSpec {
+        let spec = AggregateSpec::over_column(self.function, &self.column);
+        match &self.alias {
+            Some(alias) => spec.with_label(alias),
+            None => spec,
+        }
+    }
+}
+
+/// A parsed multi-window, multi-aggregate query.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParsedQuery {
     /// Stream name in `FROM`.
@@ -56,12 +93,9 @@ pub struct ParsedQuery {
     pub timestamp_column: Option<String>,
     /// Grouping key column (first plain identifier in `GROUP BY`).
     pub key_column: String,
-    /// The aggregate function.
-    pub aggregate: AggregateFunction,
-    /// The aggregated column (`*` for `COUNT(*)`).
-    pub value_column: String,
-    /// `AS` alias of the aggregate, if present.
-    pub alias: Option<String>,
+    /// The aggregate terms, in SELECT-list order (never empty). All terms
+    /// share the query's window set and execute over one shared pane flow.
+    pub aggregates: Vec<ParsedAggregate>,
     /// Non-aggregate projection expressions (kept verbatim).
     pub projections: Vec<String>,
     /// Labeled windows, normalized to seconds.
@@ -69,11 +103,17 @@ pub struct ParsedQuery {
 }
 
 impl ParsedQuery {
-    /// Converts to the optimizer's query type, carrying labels along.
+    /// Converts to the optimizer's query type, carrying window labels and
+    /// aggregate term labels along.
     pub fn to_window_query(&self) -> fw_core::Result<fw_core::WindowQuery> {
         let windows = fw_core::WindowSet::new(self.windows.iter().map(|(_, w)| *w).collect())?;
         let labels = self.windows.iter().map(|(l, w)| (*w, l.clone())).collect();
-        Ok(fw_core::WindowQuery::new(windows, self.aggregate).with_labels(labels))
+        let specs = self
+            .aggregates
+            .iter()
+            .map(ParsedAggregate::to_spec)
+            .collect();
+        Ok(fw_core::WindowQuery::with_aggregates(windows, specs)?.with_labels(labels))
     }
 }
 
@@ -92,14 +132,11 @@ struct Parser {
 impl Parser {
     fn parse(mut self) -> Result<ParsedQuery, ParseError> {
         self.expect_keyword("SELECT")?;
-        let mut aggregate: Option<(AggregateFunction, String, Option<String>)> = None;
+        let mut aggregates: Vec<ParsedAggregate> = Vec::new();
         let mut projections = Vec::new();
         loop {
             if let Some(f) = self.peek_aggregate() {
                 let offset = self.here().offset;
-                if aggregate.is_some() {
-                    return Err(self.error_at(offset, "only one aggregate function is supported"));
-                }
                 self.advance(); // function name
                 self.expect(&Token::LParen)?;
                 let column = match self.here().token.clone() {
@@ -121,7 +158,25 @@ impl Parser {
                 } else {
                     None
                 };
-                aggregate = Some((f, column, alias));
+                let term = ParsedAggregate {
+                    function: f,
+                    column,
+                    alias,
+                };
+                if let Some(previous) = aggregates.iter().find(|a| a.label() == term.label()) {
+                    let what = if term.alias.is_some() {
+                        "alias"
+                    } else {
+                        "term"
+                    };
+                    return Err(self.error_at(
+                        offset,
+                        &format!("duplicate aggregate {what} '{}'", previous.label()),
+                    ));
+                }
+                aggregates.push(term);
+            } else if let Some(name) = self.peek_unknown_call() {
+                return Err(self.error_here(&format!("unknown aggregate function `{name}`")));
             } else {
                 projections.push(self.parse_path()?);
                 if self.eat_keyword("AS") {
@@ -132,8 +187,9 @@ impl Parser {
                 break;
             }
         }
-        let (aggregate, value_column, alias) = aggregate
-            .ok_or_else(|| self.error_here("the SELECT list must contain an aggregate function"))?;
+        if aggregates.is_empty() {
+            return Err(self.error_here("the SELECT list must contain an aggregate function"));
+        }
 
         self.expect_keyword("FROM")?;
         let source_name = self.expect_ident()?;
@@ -175,9 +231,7 @@ impl Parser {
             source: source_name,
             timestamp_column,
             key_column,
-            aggregate,
-            value_column,
-            alias,
+            aggregates,
             projections,
             windows,
         })
@@ -285,6 +339,20 @@ impl Parser {
         None
     }
 
+    /// A call-shaped SELECT item (`Foo(args…)` with a non-empty argument
+    /// list) whose name is not a known aggregate. Zero-argument calls like
+    /// `System.Window().Id` are projection paths, not aggregates.
+    fn peek_unknown_call(&self) -> Option<String> {
+        if let Token::Ident(name) = &self.here().token {
+            if self.tokens.get(self.pos + 1).map(|s| &s.token) == Some(&Token::LParen)
+                && self.tokens.get(self.pos + 2).map(|s| &s.token) != Some(&Token::RParen)
+            {
+                return Some(name.clone());
+            }
+        }
+        None
+    }
+
     fn here(&self) -> &Spanned {
         &self.tokens[self.pos]
     }
@@ -386,9 +454,11 @@ mod tests {
         assert_eq!(q.source, "Input");
         assert_eq!(q.timestamp_column.as_deref(), Some("EntryTime"));
         assert_eq!(q.key_column, "DeviceID");
-        assert_eq!(q.aggregate, AggregateFunction::Min);
-        assert_eq!(q.value_column, "T");
-        assert_eq!(q.alias.as_deref(), Some("MinTemp"));
+        assert_eq!(q.aggregates.len(), 1);
+        assert_eq!(q.aggregates[0].function, AggregateFunction::Min);
+        assert_eq!(q.aggregates[0].column, "T");
+        assert_eq!(q.aggregates[0].alias.as_deref(), Some("MinTemp"));
+        assert_eq!(q.aggregates[0].label(), "MinTemp");
         assert_eq!(
             q.projections,
             vec!["DeviceID".to_string(), "System.Window().Id".to_string()]
@@ -436,8 +506,9 @@ mod tests {
             "SELECT k, COUNT(*) FROM S GROUP BY k, Windows(Window('w', TumblingWindow(second, 5)))",
         )
         .unwrap();
-        assert_eq!(q.aggregate, AggregateFunction::Count);
-        assert_eq!(q.value_column, "*");
+        assert_eq!(q.aggregates[0].function, AggregateFunction::Count);
+        assert_eq!(q.aggregates[0].column, "*");
+        assert_eq!(q.aggregates[0].label(), "COUNT(*)");
     }
 
     #[test]
@@ -446,7 +517,7 @@ mod tests {
             "select k, min(v) from s group by k, windows(window('w', tumblingwindow(minute, 5)))",
         )
         .unwrap();
-        assert_eq!(q.aggregate, AggregateFunction::Min);
+        assert_eq!(q.aggregates[0].function, AggregateFunction::Min);
         assert_eq!(q.windows[0].1, Window::tumbling(300).unwrap());
     }
 
@@ -512,16 +583,97 @@ mod tests {
     }
 
     #[test]
-    fn two_aggregates_rejected() {
-        let err = parse_query(
-            "SELECT MIN(v), MAX(v) FROM S GROUP BY k, Windows(Window('w', TumblingWindow(minute, 5)))",
+    fn multiple_aggregates_parse_in_select_order() {
+        let q = parse_query(
+            "SELECT k, MIN(T) AS Low, MAX(T) AS High, AVG(T), COUNT(*) \
+             FROM S GROUP BY k, Windows(Window('w', TumblingWindow(minute, 5)))",
         )
-        .unwrap_err();
+        .unwrap();
+        assert_eq!(q.aggregates.len(), 4);
+        let labels: Vec<String> = q.aggregates.iter().map(ParsedAggregate::label).collect();
+        assert_eq!(labels, vec!["Low", "High", "AVG(T)", "COUNT(*)"]);
+        assert_eq!(q.aggregates[1].function, AggregateFunction::Max);
+        assert_eq!(q.aggregates[3].column, "*");
+        assert_eq!(q.projections, vec!["k".to_string()]);
+    }
+
+    #[test]
+    fn multi_aggregate_round_trips_to_window_query() {
+        let q = parse_query(
+            "SELECT MIN(T) AS Low, MAX(T), MEDIAN(T) FROM S GROUP BY k, Windows(\
+                Window('a', TumblingWindow(second, 20)),\
+                Window('b', TumblingWindow(second, 40)))",
+        )
+        .unwrap();
+        let wq = q.to_window_query().unwrap();
+        assert_eq!(wq.aggregates().len(), 3);
+        assert_eq!(wq.aggregates()[0].label(), "Low");
+        assert_eq!(wq.aggregates()[1].label(), "MAX(T)");
+        assert_eq!(wq.aggregates()[2].function(), AggregateFunction::Median);
+        // Back through the raw grammar: the same SELECT list re-parses to
+        // the same terms.
+        let again = parse_query(
+            "SELECT MIN(T) AS Low, MAX(T), MEDIAN(T) FROM S GROUP BY k, Windows(\
+                Window('a', TumblingWindow(second, 20)),\
+                Window('b', TumblingWindow(second, 40)))",
+        )
+        .unwrap();
+        assert_eq!(q, again);
+    }
+
+    #[test]
+    fn unknown_aggregate_function_is_an_error() {
+        let src = "SELECT k, PERCENTILE(v) FROM S GROUP BY k, \
+                   Windows(Window('w', TumblingWindow(minute, 5)))";
+        let err = parse_query(src).unwrap_err();
         assert!(
-            err.message.contains("only one aggregate"),
+            err.message
+                .contains("unknown aggregate function `PERCENTILE`"),
             "{}",
             err.message
         );
+        assert_eq!(&src[err.offset..err.offset + 10], "PERCENTILE");
+    }
+
+    #[test]
+    fn zero_argument_calls_are_projections_not_unknown_aggregates() {
+        let q = parse_query(
+            "SELECT System.Window().Id, MIN(v) FROM S GROUP BY k, \
+             Windows(Window('w', TumblingWindow(minute, 5)))",
+        )
+        .unwrap();
+        assert_eq!(q.projections, vec!["System.Window().Id".to_string()]);
+    }
+
+    #[test]
+    fn duplicate_aggregate_aliases_are_rejected() {
+        let err = parse_query(
+            "SELECT MIN(v) AS X, MAX(v) AS X FROM S GROUP BY k, \
+             Windows(Window('w', TumblingWindow(minute, 5)))",
+        )
+        .unwrap_err();
+        assert!(
+            err.message.contains("duplicate aggregate alias 'X'"),
+            "{}",
+            err.message
+        );
+        // The same term twice without aliases collides on derived labels.
+        let err = parse_query(
+            "SELECT MIN(v), MIN(v) FROM S GROUP BY k, \
+             Windows(Window('w', TumblingWindow(minute, 5)))",
+        )
+        .unwrap_err();
+        assert!(
+            err.message.contains("duplicate aggregate term 'MIN(v)'"),
+            "{}",
+            err.message
+        );
+        // An alias resolves the collision.
+        assert!(parse_query(
+            "SELECT MIN(v), MIN(v) AS Other FROM S GROUP BY k, \
+             Windows(Window('w', TumblingWindow(minute, 5)))",
+        )
+        .is_ok());
     }
 
     #[test]

@@ -12,6 +12,12 @@
 //! [`Session::parallelism`] shards execution by key across worker threads
 //! without changing the API or the results.
 //!
+//! Queries may carry several aggregate terms
+//! (`SELECT MIN(T), MAX(T), AVG(T) …`): they execute over one shared pane
+//! flow, results come back tagged with the term index
+//! ([`WindowResult::agg`]), and [`Pipeline::label_of`] resolves the tag to
+//! the term's SQL label.
+//!
 //! ```
 //! use factor_windows::{PlanChoice, Session};
 //! use factor_windows::engine::Event;
@@ -379,6 +385,21 @@ impl Pipeline {
         &self.bundle.plan
     }
 
+    /// The aggregate terms this pipeline evaluates, in SELECT-list order.
+    /// A [`WindowResult::agg`] index points into this slice; for
+    /// single-aggregate queries it is the one-element list.
+    #[must_use]
+    pub fn aggregates(&self) -> &[fw_core::AggregateSpec] {
+        self.bundle.plan.aggregates()
+    }
+
+    /// The label of the aggregate term that produced `result` (the SQL
+    /// `AS` alias, `FUNC(column)`, or the bare function name).
+    #[must_use]
+    pub fn label_of(&self, result: &WindowResult) -> &str {
+        self.aggregates()[result.agg as usize].label()
+    }
+
     /// The modeled cost of the executing plan.
     #[must_use]
     pub fn cost(&self) -> fw_core::Cost {
@@ -625,6 +646,46 @@ mod tests {
         let tail = pipeline.finish().unwrap();
         collected.extend(tail.results);
         assert_eq!(sorted_results(batch.results), sorted_results(collected));
+    }
+
+    #[test]
+    fn multi_aggregate_sql_tags_results_with_labels() {
+        let sql = "SELECT k, MIN(v) AS Low, MAX(v) AS High, COUNT(*) \
+                   FROM S GROUP BY k, Windows( \
+                       Window('fast', TumblingWindow(second, 10)), \
+                       Window('slow', TumblingWindow(second, 20)))";
+        let session = Session::from_sql(sql).unwrap().collect_results(true);
+        let mut pipeline = session.build().unwrap();
+        let labels: Vec<String> = pipeline
+            .aggregates()
+            .iter()
+            .map(|s| s.label().to_string())
+            .collect();
+        assert_eq!(labels, vec!["Low", "High", "COUNT(*)"]);
+        for t in 0..25u64 {
+            pipeline.push(Event::new(t, 0, (t % 7) as f64)).unwrap();
+        }
+        pipeline.advance_watermark(20).unwrap();
+        let sealed = pipeline.poll_results();
+        // Two 10s instances + one 20s instance, three terms each.
+        assert_eq!(sealed.len(), 3 * 3);
+        for r in &sealed {
+            let label = pipeline.label_of(r).to_string();
+            assert_eq!(label, labels[r.agg as usize]);
+        }
+        // COUNT over [0,10) is 10 whatever the window.
+        let count0 = sealed
+            .iter()
+            .find(|r| r.agg == 2 && r.interval.start == 0 && r.window.range() == 10)
+            .unwrap();
+        assert_eq!(count0.value, 10.0);
+    }
+
+    #[test]
+    fn single_aggregate_pipelines_expose_one_term() {
+        let pipeline = Session::from_query(demo_query()).build().unwrap();
+        assert_eq!(pipeline.aggregates().len(), 1);
+        assert_eq!(pipeline.aggregates()[0].label(), "MIN");
     }
 
     #[test]

@@ -1,0 +1,232 @@
+//! Acceptance tests for multi-aggregate queries with shared factor-window
+//! execution:
+//!
+//! * **Equivalence** — over the Figure 1(a) window set and out-of-order
+//!   input, a `Session` with `[MIN, MAX, AVG, COUNT]` produces, per
+//!   aggregate label, results identical to four independent
+//!   single-aggregate sessions — across every `PlanChoice` and
+//!   `Parallelism::Fixed(1|2|4)`.
+//! * **Sharing** — `ExecStats` for the factored multi-aggregate plan show
+//!   pane-maintenance work equal to the single-aggregate factored plan
+//!   (not N×), with the per-term fan-out reported separately.
+
+use factor_windows::prelude::*;
+use factor_windows::workload::SplitMix64;
+use fw_core::{AggregateSpec, Window, WindowSet};
+use fw_engine::sorted_results;
+
+const FUNCS: [AggregateFunction; 4] = [
+    AggregateFunction::Min,
+    AggregateFunction::Max,
+    AggregateFunction::Avg,
+    AggregateFunction::Count,
+];
+
+/// The Figure 1(a) window set: tumbling 20/30/40 minutes, in seconds.
+fn fig1_windows() -> WindowSet {
+    WindowSet::new(vec![
+        Window::tumbling(1200).unwrap(),
+        Window::tumbling(1800).unwrap(),
+        Window::tumbling(2400).unwrap(),
+    ])
+    .unwrap()
+}
+
+fn multi_query() -> WindowQuery {
+    let specs = FUNCS.iter().map(|&f| AggregateSpec::new(f)).collect();
+    WindowQuery::with_aggregates(fig1_windows(), specs).unwrap()
+}
+
+/// One event per second across several periods (R = 7200s), keyed.
+fn stream(n: u64, keys: u32) -> Vec<Event> {
+    (0..n)
+        .map(|t| Event::new(t, (t % u64::from(keys)) as u32, ((t * 7) % 113) as f64))
+        .collect()
+}
+
+/// Shuffles a stream within a disorder bound (blocks of `jitter` events
+/// Fisher-Yates-shuffled independently). Deterministic by seed.
+fn jittered(events: &[Event], jitter: usize, seed: u64) -> Vec<Event> {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let mut out = events.to_vec();
+    for block in out.chunks_mut(jitter) {
+        for i in (1..block.len()).rev() {
+            let j = rng.gen_index(i + 1);
+            block.swap(i, j);
+        }
+    }
+    out
+}
+
+/// The slice of a multi-aggregate result set belonging to term `agg`,
+/// with the tag reset so it compares equal to a single-aggregate run.
+fn slice_of(results: &[WindowResult], agg: u32) -> Vec<WindowResult> {
+    results
+        .iter()
+        .filter(|r| r.agg == agg)
+        .map(|r| WindowResult { agg: 0, ..*r })
+        .collect()
+}
+
+#[test]
+fn multi_aggregate_session_equals_independent_sessions_everywhere() {
+    let ordered = stream(3600 * 5, 4);
+    let disordered = jittered(&ordered, 8, 0xFACADE);
+
+    // Reference: four independent single-aggregate sessions on in-order
+    // input (plan-choice invariance of single-aggregate sessions is
+    // covered by the existing suites).
+    let singles: Vec<Vec<WindowResult>> = FUNCS
+        .iter()
+        .map(|&f| {
+            let session = Session::from_query(WindowQuery::new(fig1_windows(), f))
+                .collect_results(true)
+                .element_work(0);
+            sorted_results(session.run_batch(&ordered).unwrap().results)
+        })
+        .collect();
+
+    for choice in [
+        PlanChoice::Auto,
+        PlanChoice::Original,
+        PlanChoice::Rewritten,
+        PlanChoice::Factored,
+    ] {
+        for parallelism in [
+            Parallelism::Sequential,
+            Parallelism::Fixed(1),
+            Parallelism::Fixed(2),
+            Parallelism::Fixed(4),
+        ] {
+            let session = Session::from_query(multi_query())
+                .plan_choice(choice)
+                .parallelism(parallelism)
+                .out_of_order(8)
+                .collect_results(true)
+                .element_work(0);
+            let mut pipeline = session.build().unwrap();
+            pipeline.push_batch(&disordered).unwrap();
+            let out = pipeline.finish().unwrap();
+            assert_eq!(out.events_processed, ordered.len() as u64);
+            let got = sorted_results(out.results);
+            for (j, single) in singles.iter().enumerate() {
+                assert_eq!(
+                    &slice_of(&got, j as u32),
+                    single,
+                    "{} diverges under {choice:?} / {parallelism:?}",
+                    FUNCS[j]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn factored_multi_plan_attributes_pane_work_once() {
+    let events = stream(3600 * 4, 3);
+
+    // Single-aggregate factored baseline under the same (partitioned-by)
+    // semantics the joint list forces.
+    let single = Session::from_query(WindowQuery::new(fig1_windows(), AggregateFunction::Sum))
+        .plan_choice(PlanChoice::Factored)
+        .collect_results(false)
+        .element_work(0);
+    let sref = single.run_batch(&events).unwrap();
+
+    let multi = Session::from_query(multi_query())
+        .plan_choice(PlanChoice::Factored)
+        .collect_results(false)
+        .element_work(0);
+    let mout = multi.run_batch(&events).unwrap();
+
+    // Pane maintenance is charged once for the whole 4-term list — equal
+    // to the single-aggregate factored plan, not 4×.
+    assert_eq!(mout.stats.updates, sref.stats.updates);
+    assert_eq!(mout.stats.combines, sref.stats.combines);
+    // The per-term accumulator fan-out is what scales with the list.
+    assert_eq!(mout.stats.agg_ops, 4 * sref.stats.agg_ops);
+    // And the modeled costs agree qualitatively: the shared plan is far
+    // cheaper than four independent plans.
+    let shared_cost = multi.selected_plan().unwrap().cost;
+    let single_cost = single.selected_plan().unwrap().cost;
+    assert!(
+        shared_cost < 4 * single_cost,
+        "{shared_cost} vs 4×{single_cost}"
+    );
+}
+
+#[test]
+fn multi_aggregate_sql_round_trips_through_session() {
+    let events = stream(3600 * 3, 2);
+    let session = Session::from_sql(fw_sql::FIG1_MULTI_SQL)
+        .unwrap()
+        .collect_results(true)
+        .element_work(0);
+    let mut pipeline = session.build().unwrap();
+    let labels: Vec<String> = pipeline
+        .aggregates()
+        .iter()
+        .map(|s| s.label().to_string())
+        .collect();
+    assert_eq!(labels, vec!["MinTemp", "MaxTemp", "AvgTemp"]);
+    pipeline.push_batch(&events).unwrap();
+    let out = pipeline.finish().unwrap();
+    let got = sorted_results(out.results);
+    assert!(!got.is_empty());
+    // Each term's slice matches its independent single-aggregate session.
+    for (j, f) in [
+        AggregateFunction::Min,
+        AggregateFunction::Max,
+        AggregateFunction::Avg,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let single = Session::from_query(WindowQuery::new(fig1_windows(), f))
+            .collect_results(true)
+            .element_work(0);
+        let sres = sorted_results(single.run_batch(&events).unwrap().results);
+        assert_eq!(slice_of(&got, j as u32), sres, "{f}");
+    }
+}
+
+#[test]
+fn holistic_rider_joins_a_shared_plan_end_to_end() {
+    // MEDIAN (holistic) in the same SELECT list as MIN/MAX: the combinable
+    // terms share sub-aggregates while MEDIAN rides raw panes, in one
+    // pipeline, on both backends.
+    let specs = vec![
+        AggregateSpec::new(AggregateFunction::Median),
+        AggregateSpec::new(AggregateFunction::Min),
+        AggregateSpec::new(AggregateFunction::Max),
+    ];
+    let query = WindowQuery::with_aggregates(fig1_windows(), specs).unwrap();
+    let events = stream(3600 * 3, 3);
+
+    let singles: Vec<Vec<WindowResult>> = [
+        AggregateFunction::Median,
+        AggregateFunction::Min,
+        AggregateFunction::Max,
+    ]
+    .iter()
+    .map(|&f| {
+        let session = Session::from_query(WindowQuery::new(fig1_windows(), f))
+            .collect_results(true)
+            .element_work(0);
+        sorted_results(session.run_batch(&events).unwrap().results)
+    })
+    .collect();
+
+    for parallelism in [Parallelism::Sequential, Parallelism::Fixed(3)] {
+        let session = Session::from_query(query.clone())
+            .plan_choice(PlanChoice::Factored)
+            .parallelism(parallelism)
+            .collect_results(true)
+            .element_work(0);
+        assert!(session.selected_plan().unwrap().plan.factor_window_count() > 0);
+        let got = sorted_results(session.run_batch(&events).unwrap().results);
+        for (j, single) in singles.iter().enumerate() {
+            assert_eq!(&slice_of(&got, j as u32), single, "term {j} diverges");
+        }
+    }
+}
