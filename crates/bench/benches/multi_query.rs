@@ -1,0 +1,112 @@
+//! Multi-query scaling: throughput vs number of concurrently registered
+//! queries (1/2/4/8) × shared vs unshared execution, on the synthetic
+//! constant-pace stream.
+//!
+//! The queries are *correlated* — their window sets overlap pairwise — so
+//! the merged cross-query plan shares pane maintenance where an unshared
+//! engine pays it once per query. The acceptance bar this bench tracks: a
+//! 4-query correlated group should cost **< 2×** a single query per event
+//! (vs ~4× for unshared execution). Emits `BENCH_multi_query.json` (see
+//! `fw_bench::write_throughput_json`); record labels carry the group size
+//! (`queries=N`) and the `plan` field carries the sharing mode.
+//!
+//! Environment knobs: `MULTI_QUERY_SMOKE=1` shrinks the sweep for CI;
+//! `MULTI_QUERY_EVENTS` / `MULTI_QUERY_ITERS` override the stream length
+//! and iteration count.
+
+use factor_windows::{QueryGroup, SharingPolicy};
+use fw_bench::{bench_events, report_throughput, write_throughput_json, ThroughputRecord};
+use fw_core::{AggregateFunction, Window, WindowQuery, WindowSet};
+
+const KEYS: u32 = 64;
+
+/// Eight correlated standing queries — the dashboard scenario: every
+/// query draws on the same small family of canonical windows (ranges from
+/// the {20, …, 120} divisor family), so window sets overlap pairwise and
+/// the union stays small. Functions cycle through the combinable set
+/// (distinct `(function, column)` pairs still dedup into shared slots
+/// where they repeat).
+const QUERIES: [(&[u64], AggregateFunction); 8] = [
+    (&[20, 30, 40], AggregateFunction::Sum),
+    (&[20, 40, 60], AggregateFunction::Count),
+    (&[20, 30, 60], AggregateFunction::Min),
+    (&[30, 40, 60], AggregateFunction::Max),
+    (&[20, 30, 40, 60], AggregateFunction::Sum),
+    (&[20, 60, 120], AggregateFunction::Count),
+    (&[30, 40, 120], AggregateFunction::Min),
+    (&[20, 40, 120], AggregateFunction::Max),
+];
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn group(n: usize, policy: SharingPolicy) -> QueryGroup {
+    let mut builder = QueryGroup::new().sharing(policy);
+    for (ranges, function) in QUERIES.iter().take(n) {
+        let windows = WindowSet::new(
+            ranges
+                .iter()
+                .map(|&r| Window::tumbling(r).unwrap())
+                .collect(),
+        )
+        .unwrap();
+        builder = builder.query(WindowQuery::new(windows, *function));
+    }
+    builder
+}
+
+fn main() {
+    let smoke = std::env::var_os("MULTI_QUERY_SMOKE").is_some();
+    let events_n = env_u64("MULTI_QUERY_EVENTS", if smoke { 60_000 } else { 300_000 });
+    let iters = env_u64("MULTI_QUERY_ITERS", if smoke { 2 } else { 5 }) as u32;
+    let events = bench_events(events_n, KEYS);
+
+    println!("# multi_query: concurrent correlated queries, {events_n} events, {KEYS} keys");
+    let mut records = Vec::new();
+    for policy in [SharingPolicy::Shared, SharingPolicy::Unshared] {
+        let mode = match policy {
+            SharingPolicy::Shared => "shared",
+            _ => "unshared",
+        };
+        for n in [1usize, 2, 4, 8] {
+            let builder = group(n, policy);
+            let label = format!("multi_query/{mode}/queries={n}");
+            let m = report_throughput(&label, events_n, iters, || {
+                builder.run_batch(&events).expect("group executes");
+            });
+            records.push(ThroughputRecord::from_measurement(
+                &label, mode, 0, events_n, KEYS, m,
+            ));
+        }
+    }
+
+    match write_throughput_json("multi_query", &records) {
+        Ok(path) => println!("# wrote {}", path.display()),
+        Err(e) => eprintln!("# could not write BENCH_multi_query.json: {e}"),
+    }
+
+    // Sharing summary: per-event cost relative to one query. An unshared
+    // engine pays ~N× per event for N standing queries; the merged plan
+    // keeps the growth well under that (acceptance: < 2x at 4 queries).
+    for mode in ["shared", "unshared"] {
+        let eps = |n: usize| {
+            records
+                .iter()
+                .find(|r| r.plan == mode && r.label.ends_with(&format!("queries={n}")))
+                .map_or(0.0, |r| r.mean_eps as f64)
+        };
+        let base = eps(1);
+        if base > 0.0 {
+            println!(
+                "# {mode}: per-event cost ×{:.2} at 2 queries, ×{:.2} at 4, ×{:.2} at 8 (vs ×2/×4/×8 fully unshared)",
+                base / eps(2).max(1.0),
+                base / eps(4).max(1.0),
+                base / eps(8).max(1.0)
+            );
+        }
+    }
+}

@@ -84,7 +84,9 @@ impl RateEstimator {
 pub struct AdaptivePlanner {
     query: WindowQuery,
     semantics: Semantics,
-    planned_rate: u64,
+    /// The full cost model in force (rate swapped on re-plans; other
+    /// knobs, e.g. the multi-aggregate surcharge, are preserved).
+    model: CostModel,
     threshold: f64,
     outcome: OptimizationOutcome,
     replans: u64,
@@ -100,13 +102,25 @@ impl AdaptivePlanner {
         initial_rate: u64,
         threshold: f64,
     ) -> Result<Self> {
-        let planned_rate = initial_rate.max(1);
-        let outcome =
-            Optimizer::new(CostModel::new(planned_rate)).optimize_with(&query, semantics)?;
+        Self::from_model(query, semantics, CostModel::new(initial_rate), threshold)
+    }
+
+    /// Like [`Self::new`], but starts from a fully configured
+    /// [`CostModel`]: re-plans swap only the rate and keep every other
+    /// knob (e.g. [`CostModel::extra_agg_percent`]), so the planner's
+    /// decisions match what a non-adaptive optimization under the same
+    /// model would choose.
+    pub fn from_model(
+        query: WindowQuery,
+        semantics: Semantics,
+        model: CostModel,
+        threshold: f64,
+    ) -> Result<Self> {
+        let outcome = Optimizer::new(model).optimize_with(&query, semantics)?;
         Ok(AdaptivePlanner {
             query,
             semantics,
-            planned_rate,
+            model,
             threshold: threshold.max(1.0),
             outcome,
             replans: 0,
@@ -122,7 +136,7 @@ impl AdaptivePlanner {
     /// The rate the current plan was optimized for.
     #[must_use]
     pub fn planned_rate(&self) -> u64 {
-        self.planned_rate
+        self.model.rate()
     }
 
     /// Number of re-optimizations performed so far.
@@ -138,7 +152,7 @@ impl AdaptivePlanner {
         if !observed.is_finite() || observed <= 0.0 {
             return Ok(None);
         }
-        let planned = self.planned_rate as f64;
+        let planned = self.planned_rate() as f64;
         let drift = if observed > planned {
             observed / planned
         } else {
@@ -148,10 +162,13 @@ impl AdaptivePlanner {
             return Ok(None);
         }
         let new_rate = observed.round().max(1.0) as u64;
-        let outcome =
-            Optimizer::new(CostModel::new(new_rate)).optimize_with(&self.query, self.semantics)?;
-        self.planned_rate = new_rate;
+        self.model = self.model.with_rate(new_rate);
+        let outcome = Optimizer::new(self.model).optimize_with(&self.query, self.semantics)?;
         self.replans += 1;
+        // "Changed" compares plan *topologies*; costs always change with
+        // the rate, so callers selecting by cost (PlanChoice::Auto)
+        // should compare their selected plan against [`Self::current`]
+        // after every observation rather than rely on this signal alone.
         let changed = outcome.factored.plan != self.outcome.factored.plan
             || outcome.rewritten.plan != self.outcome.rewritten.plan;
         self.outcome = outcome;
@@ -248,6 +265,65 @@ mod tests {
         let restored = planner.observe_rate(1.0).unwrap();
         assert!(restored.is_some());
         assert_eq!(planner.current().factored.plan, before);
+    }
+
+    #[test]
+    fn current_outcome_reprices_even_without_topology_change() {
+        // {20,30,40} MIN has rate-stable plan topologies, so observe_rate
+        // reports "no change" — but `current()` must still carry the
+        // repriced costs: cost-based selection (PlanChoice::Auto) reads
+        // costs, not shapes, and must re-select against the new rate.
+        let windows = WindowSet::new(
+            [20u64, 30, 40]
+                .map(|r| Window::tumbling(r).unwrap())
+                .to_vec(),
+        )
+        .unwrap();
+        let query = WindowQuery::new(windows, AggregateFunction::Min);
+        let mut planner = AdaptivePlanner::new(query, Semantics::CoveredBy, 1, 1.5).unwrap();
+        let before = planner.current().factored.cost;
+        let changed = planner.observe_rate(4.0).unwrap();
+        assert!(changed.is_none(), "topologies are rate-stable here");
+        assert_eq!(planner.replans(), 1);
+        assert_eq!(planner.planned_rate(), 4);
+        assert!(
+            planner.current().factored.cost > before,
+            "current() must reflect the rate-4 pricing"
+        );
+    }
+
+    #[test]
+    fn from_model_preserves_non_rate_knobs() {
+        use crate::taxonomy::AggregateSpec;
+        let windows = WindowSet::new(
+            [20u64, 30, 40]
+                .map(|r| Window::tumbling(r).unwrap())
+                .to_vec(),
+        )
+        .unwrap();
+        let query = WindowQuery::with_aggregates(
+            windows,
+            vec![
+                AggregateSpec::new(AggregateFunction::Min),
+                AggregateSpec::new(AggregateFunction::Max),
+            ],
+        )
+        .unwrap();
+        let model = CostModel::new(1).with_extra_agg_percent(100);
+        let mut planner =
+            AdaptivePlanner::from_model(query.clone(), Semantics::CoveredBy, model, 1.5).unwrap();
+        let expect = |rate: u64| {
+            Optimizer::new(model.with_rate(rate))
+                .optimize_with(&query, Semantics::CoveredBy)
+                .unwrap()
+                .factored
+                .cost
+        };
+        // The surcharge survives both the initial plan and re-plans.
+        assert_eq!(planner.current().factored.cost, expect(1));
+        let _ = planner.observe_rate(4.0).unwrap();
+        assert_eq!(planner.planned_rate(), 4);
+        assert_eq!(planner.current().factored.cost, expect(4));
     }
 
     #[test]

@@ -90,6 +90,15 @@ impl CostModel {
         self
     }
 
+    /// The same model at a different ingestion rate (clamped to at
+    /// least 1) — how adaptive re-planning tracks observed rate drift
+    /// without discarding the configured surcharge weight.
+    #[must_use]
+    pub fn with_rate(mut self, rate: u64) -> Self {
+        self.rate = rate.max(1);
+        self
+    }
+
     /// The ingestion rate `η`.
     #[must_use]
     pub fn rate(&self) -> u64 {

@@ -32,6 +32,9 @@ pub enum Error {
     /// Two aggregate terms share a label; results are tagged by label, so
     /// labels must be unique within a query.
     DuplicateAggregateLabel { label: String },
+    /// A query group has no registered queries (groups must keep at least
+    /// one member).
+    EmptyGroup,
 }
 
 impl fmt::Display for Error {
@@ -65,6 +68,7 @@ impl fmt::Display for Error {
             Error::DuplicateAggregateLabel { label } => {
                 write!(f, "duplicate aggregate label '{label}'")
             }
+            Error::EmptyGroup => write!(f, "query group has no registered queries"),
         }
     }
 }

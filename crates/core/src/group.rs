@@ -1,0 +1,565 @@
+//! Cross-query optimization: merging the windows of several concurrently
+//! registered queries into one window coverage graph and one shared plan.
+//!
+//! The paper defines the Wcg over the windows of a single query, but
+//! nothing in the formalism restricts it to one SELECT: windows from
+//! different standing queries over the same stream are just as correlated,
+//! and the cost-based rewrite applies verbatim to their union. This module
+//! implements that generalization — the optimizer half of the query-group
+//! subsystem:
+//!
+//! * [`GroupOptimizer::plan`] merges every member's window set into one
+//!   deduplicated [`WindowSet`], merges the members' aggregate terms into
+//!   one deduplicated slot list (two queries asking for `MIN(T)` share one
+//!   accumulator slot), derives the joint coverage semantics, and runs the
+//!   ordinary [`Optimizer`] over the merged query — so Algorithms 1–5 and
+//!   the factor-window search apply unchanged across queries.
+//! * The merged plan's cost ([`crate::plan::QueryPlan::cost`]) attributes
+//!   pane flow **once** and charges every deduplicated slot beyond the
+//!   first via [`crate::cost::CostModel::extra_agg_percent`] — the
+//!   per-query surcharge on top of shared maintenance.
+//! * Sharing is not assumed to pay: the optimizer also prices every member
+//!   standalone and [`SharingPolicy::Auto`] falls back to per-query plans
+//!   ([`GroupStrategy::PerQuery`]) when the merged plan costs more than the
+//!   sum of the independent ones (e.g. disjoint window sets whose union has
+//!   a huge period, or slot surcharges outweighing the shared pane flow).
+//! * [`Route`]s record, for every `(exposed window, merged slot)` pair,
+//!   which member queries consume the value and under which query-local
+//!   SELECT index — the data the engine's routing layer
+//!   (`fw_engine::group`) uses to hand each result back to its query.
+
+use crate::cost::{Cost, CostModel};
+use crate::coverage::Semantics;
+use crate::error::{Error, Result};
+use crate::optimizer::{Optimizer, PlanBundle, PlanChoice, WindowQuery};
+use crate::taxonomy::AggregateSpec;
+use crate::window::{Window, WindowSet};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of one registered query within a group. Ids are assigned by
+/// the registry (the `QueryGroup` façade), are unique for the lifetime of
+/// a group, and are never reused after deregistration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QueryId(pub u32);
+
+impl fmt::Display for QueryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// One registered query of a group: its id, its query, and the watermark
+/// it was registered at (`0` for founding members). A member registered at
+/// watermark `w` receives results only for window instances that *start*
+/// at or after `w` — earlier instances would be computed over a stream
+/// prefix the member never subscribed to.
+#[derive(Debug, Clone)]
+pub struct GroupMember {
+    /// The member's id.
+    pub id: QueryId,
+    /// The member's query.
+    pub query: WindowQuery,
+    /// Registration watermark: results for instances starting earlier are
+    /// suppressed for this member.
+    pub since: u64,
+}
+
+/// Whether a group shares execution across its queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SharingPolicy {
+    /// Cost-based: share when the merged plan is no more expensive than
+    /// the sum of the per-query plans; fall back otherwise.
+    #[default]
+    Auto,
+    /// Always execute the merged shared plan.
+    Shared,
+    /// Always execute one plan per query (the unshared baseline the
+    /// `multi_query` benchmark compares against).
+    Unshared,
+}
+
+/// The execution strategy a [`GroupPlan`] resolved to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupStrategy {
+    /// One merged plan over the union of all members' windows; results are
+    /// routed back per query.
+    Shared,
+    /// One independent plan per member (sharing did not pay, or was
+    /// disabled by policy).
+    PerQuery,
+}
+
+impl GroupStrategy {
+    /// Display name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            GroupStrategy::Shared => "shared",
+            GroupStrategy::PerQuery => "per-query",
+        }
+    }
+}
+
+/// One routing entry of a shared plan: the value of `(window, slot)` is
+/// consumed by member `query` as its SELECT-list term `agg`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Route {
+    /// The exposed window producing the value.
+    pub window: Window,
+    /// Index into the merged plan's aggregate list.
+    pub slot: u32,
+    /// The consuming member.
+    pub query: QueryId,
+    /// The member's query-local SELECT-list index for this value.
+    pub agg: u32,
+    /// The member's registration watermark (results for instances starting
+    /// earlier are suppressed).
+    pub since: u64,
+}
+
+/// The shared half of a [`GroupPlan`]: the merged query, its chosen plan
+/// bundle, and the routing table.
+#[derive(Debug, Clone)]
+pub struct SharedPlan {
+    /// The merged query (union window set, deduplicated slot list).
+    pub merged: WindowQuery,
+    /// The selected plan over the merged query, with its modeled cost.
+    pub bundle: PlanBundle,
+    /// The concrete plan choice the policy resolved to.
+    pub choice: PlanChoice,
+    /// The coverage semantics the merged optimization used (`None` when
+    /// every slot is holistic and the original plan is all there is).
+    pub semantics: Option<Semantics>,
+    /// Routing entries for every `(window, slot, member)` combination.
+    pub routes: Vec<Route>,
+}
+
+/// One member's standalone plan (used by the per-query strategy and for
+/// the shared-vs-unshared cost comparison).
+#[derive(Debug, Clone)]
+pub struct MemberPlan {
+    /// The member's id.
+    pub id: QueryId,
+    /// The member's registration watermark.
+    pub since: u64,
+    /// The member's selected standalone plan.
+    pub bundle: PlanBundle,
+    /// The concrete plan choice the policy resolved to.
+    pub choice: PlanChoice,
+}
+
+/// The group optimizer's output: the resolved strategy, the merged shared
+/// plan (when it could be built), every member's standalone plan, and the
+/// costs the strategy decision compared.
+#[derive(Debug, Clone)]
+pub struct GroupPlan {
+    /// The strategy the policy resolved to.
+    pub strategy: GroupStrategy,
+    /// The merged shared plan. `None` when the policy was pinned to
+    /// unshared execution (the merged plan would be discarded) or when
+    /// merging itself failed (e.g. the union period overflowed) and the
+    /// policy allowed falling back to per-query execution.
+    pub shared: Option<SharedPlan>,
+    /// Every member's standalone plan, in registration order.
+    pub members: Vec<MemberPlan>,
+    /// Sum of the standalone plan costs (the unshared baseline).
+    pub unshared_cost: Cost,
+}
+
+impl GroupPlan {
+    /// The shared plan's modeled cost, when a shared plan exists.
+    #[must_use]
+    pub fn shared_cost(&self) -> Option<Cost> {
+        self.shared.as_ref().map(|s| s.bundle.cost)
+    }
+
+    /// Predicted speedup of the resolved strategy over unshared execution
+    /// (`1.0` for the per-query strategy).
+    #[must_use]
+    pub fn predicted_sharing_gain(&self) -> f64 {
+        match (self.strategy, self.shared_cost()) {
+            (GroupStrategy::Shared, Some(shared)) if shared > 0 => {
+                self.unshared_cost as f64 / shared as f64
+            }
+            _ => 1.0,
+        }
+    }
+}
+
+/// The cross-query optimizer: prices a group of standing queries shared
+/// and unshared, and resolves the execution strategy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GroupOptimizer {
+    model: CostModel,
+}
+
+impl GroupOptimizer {
+    /// Creates a group optimizer over the given cost model.
+    #[must_use]
+    pub fn new(model: CostModel) -> Self {
+        GroupOptimizer { model }
+    }
+
+    /// The cost model in use.
+    #[must_use]
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Builds the merged query for a member list: the union of every
+    /// member's windows (duplicates collapse) and the deduplicated slot
+    /// list (slots are identified by `(function, column)`; labels are
+    /// canonicalized to `FUNC(column)`). Window display labels are merged
+    /// first-member-wins. Errors on an empty member list.
+    pub fn merged_query(members: &[GroupMember]) -> Result<WindowQuery> {
+        if members.is_empty() {
+            return Err(Error::EmptyGroup);
+        }
+        let mut windows: Vec<Window> = Vec::new();
+        let mut labels: BTreeMap<Window, String> = BTreeMap::new();
+        let mut slots: Vec<AggregateSpec> = Vec::new();
+        for member in members {
+            for w in member.query.windows().iter() {
+                windows.push(*w);
+                labels.entry(*w).or_insert_with(|| member.query.label_of(w));
+            }
+            for spec in member.query.aggregates() {
+                if slot_of(&slots, spec).is_none() {
+                    slots.push(AggregateSpec::over_column(spec.function(), spec.column()));
+                }
+            }
+        }
+        let windows = WindowSet::new(windows)?;
+        Ok(WindowQuery::with_aggregates(windows, slots)?.with_labels(labels))
+    }
+
+    /// Optimizes a group: merges the members' queries, prices the shared
+    /// plan and every standalone plan under `choice`, and resolves the
+    /// execution strategy per `policy`. Explicit `semantics` (if any) are
+    /// validated against every member, exactly as for a single query.
+    pub fn plan(
+        &self,
+        members: &[GroupMember],
+        choice: PlanChoice,
+        policy: SharingPolicy,
+        semantics: Option<Semantics>,
+    ) -> Result<GroupPlan> {
+        if members.is_empty() {
+            return Err(Error::EmptyGroup);
+        }
+        debug_assert!(
+            members
+                .iter()
+                .enumerate()
+                .all(|(i, m)| members[..i].iter().all(|p| p.id != m.id)),
+            "duplicate query ids in a group"
+        );
+        let optimizer = Optimizer::new(self.model);
+        let optimize = |query: &WindowQuery| match semantics {
+            Some(semantics) => optimizer.optimize_with(query, semantics),
+            None => optimizer.optimize(query),
+        };
+
+        // Standalone plans: the per-query strategy and the baseline the
+        // sharing decision compares against.
+        let mut member_plans = Vec::with_capacity(members.len());
+        let mut unshared_cost: Cost = 0;
+        for member in members {
+            let outcome = optimize(&member.query)?;
+            let bundle = outcome.select(choice).clone();
+            let resolved = outcome.resolve(choice);
+            unshared_cost = unshared_cost
+                .checked_add(bundle.cost)
+                .ok_or(Error::CostOverflow)?;
+            member_plans.push(MemberPlan {
+                id: member.id,
+                since: member.since,
+                bundle,
+                choice: resolved,
+            });
+        }
+
+        // The merged plan — not built under a pinned Unshared policy
+        // (it would be discarded, and pinned-unshared groups replan on
+        // every register/deregister). Merging can fail where the
+        // standalone plans do not (the union period can overflow); under
+        // Auto that is a fallback, under Shared it is the caller's error.
+        let shared = if policy == SharingPolicy::Unshared {
+            None
+        } else {
+            match Self::merged_query(members) {
+                Ok(merged) => match optimize(&merged) {
+                    Ok(outcome) => {
+                        let bundle = outcome.select(choice).clone();
+                        let resolved = outcome.resolve(choice);
+                        let routes = build_routes(members, &merged)?;
+                        Some(SharedPlan {
+                            merged,
+                            bundle,
+                            choice: resolved,
+                            semantics: outcome.semantics,
+                            routes,
+                        })
+                    }
+                    Err(e) if policy == SharingPolicy::Shared => return Err(e),
+                    Err(_) => None,
+                },
+                Err(e) if policy == SharingPolicy::Shared => return Err(e),
+                Err(_) => None,
+            }
+        };
+
+        let strategy = match (policy, &shared) {
+            (SharingPolicy::Shared, Some(_)) => GroupStrategy::Shared,
+            (SharingPolicy::Shared, None) => unreachable!("errors propagated above"),
+            (SharingPolicy::Unshared, _) => GroupStrategy::PerQuery,
+            (SharingPolicy::Auto, Some(s)) if s.bundle.cost <= unshared_cost => {
+                GroupStrategy::Shared
+            }
+            (SharingPolicy::Auto, _) => GroupStrategy::PerQuery,
+        };
+        Ok(GroupPlan {
+            strategy,
+            shared,
+            members: member_plans,
+            unshared_cost,
+        })
+    }
+}
+
+/// Index of the slot matching `spec` by `(function, column)` identity.
+fn slot_of(slots: &[AggregateSpec], spec: &AggregateSpec) -> Option<usize> {
+    slots
+        .iter()
+        .position(|s| s.function() == spec.function() && s.column() == spec.column())
+}
+
+/// Builds the routing table: one entry per (member, member window, member
+/// term), resolved to the merged plan's slot indices.
+fn build_routes(members: &[GroupMember], merged: &WindowQuery) -> Result<Vec<Route>> {
+    let slots = merged.aggregates();
+    let mut routes = Vec::new();
+    for member in members {
+        for window in member.query.windows().iter() {
+            for (agg, spec) in member.query.aggregates().iter().enumerate() {
+                let slot = slot_of(slots, spec).expect("merged slot list covers every member");
+                routes.push(Route {
+                    window: *window,
+                    slot: slot as u32,
+                    query: member.id,
+                    agg: agg as u32,
+                    since: member.since,
+                });
+            }
+        }
+    }
+    Ok(routes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taxonomy::AggregateFunction;
+
+    fn w(r: u64) -> Window {
+        Window::tumbling(r).unwrap()
+    }
+
+    fn member(id: u32, ranges: &[u64], funcs: &[AggregateFunction]) -> GroupMember {
+        let windows = WindowSet::new(ranges.iter().map(|&r| w(r)).collect()).unwrap();
+        let specs = funcs.iter().map(|&f| AggregateSpec::new(f)).collect();
+        GroupMember {
+            id: QueryId(id),
+            query: WindowQuery::with_aggregates(windows, specs).unwrap(),
+            since: 0,
+        }
+    }
+
+    #[test]
+    fn merged_query_unions_windows_and_dedups_slots() {
+        let members = [
+            member(0, &[20, 30, 40], &[AggregateFunction::Min]),
+            member(1, &[20, 40, 80], &[AggregateFunction::Min]),
+            member(2, &[30, 60], &[AggregateFunction::Sum]),
+        ];
+        let merged = GroupOptimizer::merged_query(&members).unwrap();
+        let ranges: Vec<u64> = merged.windows().iter().map(Window::range).collect();
+        assert_eq!(ranges, vec![20, 30, 40, 60, 80]);
+        // MIN appears in two members but yields one slot.
+        assert_eq!(merged.aggregates().len(), 2);
+        assert_eq!(merged.aggregates()[0].label(), "MIN(V)");
+        assert_eq!(merged.aggregates()[1].label(), "SUM(V)");
+        // MIN alone would allow covered-by; SUM forces partitioned-by.
+        assert_eq!(merged.default_semantics(), Some(Semantics::PartitionedBy));
+    }
+
+    #[test]
+    fn empty_group_is_an_error() {
+        assert!(matches!(
+            GroupOptimizer::merged_query(&[]),
+            Err(Error::EmptyGroup)
+        ));
+        assert!(matches!(
+            GroupOptimizer::default().plan(&[], PlanChoice::Auto, SharingPolicy::Auto, None),
+            Err(Error::EmptyGroup)
+        ));
+    }
+
+    #[test]
+    fn correlated_queries_share_and_cost_less_than_unshared() {
+        let members = [
+            member(0, &[20, 30, 40], &[AggregateFunction::Sum]),
+            member(1, &[20, 40, 60], &[AggregateFunction::Count]),
+            member(2, &[30, 60, 120], &[AggregateFunction::Min]),
+            member(3, &[20, 40, 120], &[AggregateFunction::Max]),
+        ];
+        let plan = GroupOptimizer::default()
+            .plan(&members, PlanChoice::Auto, SharingPolicy::Auto, None)
+            .unwrap();
+        assert_eq!(plan.strategy, GroupStrategy::Shared);
+        let shared = plan.shared.as_ref().unwrap();
+        assert!(shared.bundle.cost < plan.unshared_cost);
+        // Measured acceptance target (< 2x a single query while unshared
+        // pays ~4x) holds already in the model: 4 correlated queries cost
+        // less than 2x the most expensive standalone member.
+        let max_single = plan.members.iter().map(|m| m.bundle.cost).max().unwrap();
+        assert!(
+            shared.bundle.cost < 2 * max_single,
+            "{} vs 2x{max_single}",
+            shared.bundle.cost
+        );
+        assert!(plan.predicted_sharing_gain() > 1.0);
+        // Routing covers every (member, window, term) triple.
+        assert_eq!(shared.routes.len(), 4 * 3);
+        for route in &shared.routes {
+            let member = &members[route.query.0 as usize];
+            assert!(member.query.windows().contains(&route.window));
+            let slot = &shared.merged.aggregates()[route.slot as usize];
+            let spec = &member.query.aggregates()[route.agg as usize];
+            assert_eq!(slot.function(), spec.function());
+        }
+    }
+
+    #[test]
+    fn shared_slots_are_deduplicated_in_routing() {
+        let members = [
+            member(0, &[20, 40], &[AggregateFunction::Min]),
+            member(1, &[20, 60], &[AggregateFunction::Min]),
+        ];
+        let plan = GroupOptimizer::default()
+            .plan(&members, PlanChoice::Auto, SharingPolicy::Shared, None)
+            .unwrap();
+        let shared = plan.shared.unwrap();
+        assert_eq!(shared.merged.aggregates().len(), 1);
+        // The shared window 20 routes slot 0 to both members.
+        let consumers: Vec<QueryId> = shared
+            .routes
+            .iter()
+            .filter(|r| r.window == w(20) && r.slot == 0)
+            .map(|r| r.query)
+            .collect();
+        assert_eq!(consumers, vec![QueryId(0), QueryId(1)]);
+    }
+
+    #[test]
+    fn uncorrelated_queries_fall_back_to_per_query_plans() {
+        // Mutually prime ranges: no coverage edges, so the merged plan
+        // only adds slot surcharges on top of the same raw pane flows.
+        let members = [
+            member(0, &[15], &[AggregateFunction::Sum]),
+            member(1, &[17], &[AggregateFunction::Count]),
+            member(2, &[19], &[AggregateFunction::Min]),
+        ];
+        let plan = GroupOptimizer::default()
+            .plan(&members, PlanChoice::Auto, SharingPolicy::Auto, None)
+            .unwrap();
+        assert_eq!(plan.strategy, GroupStrategy::PerQuery);
+        let shared = plan.shared.as_ref().unwrap();
+        assert!(shared.bundle.cost > plan.unshared_cost);
+        assert_eq!(plan.members.len(), 3);
+        assert!((plan.predicted_sharing_gain() - 1.0).abs() < 1e-12);
+        // Policy pins override the cost comparison.
+        let pinned = GroupOptimizer::default()
+            .plan(&members, PlanChoice::Auto, SharingPolicy::Shared, None)
+            .unwrap();
+        assert_eq!(pinned.strategy, GroupStrategy::Shared);
+    }
+
+    #[test]
+    fn one_query_group_degenerates_to_the_query_itself() {
+        let members = [member(0, &[20, 30, 40], &[AggregateFunction::Sum])];
+        let plan = GroupOptimizer::default()
+            .plan(&members, PlanChoice::Auto, SharingPolicy::Auto, None)
+            .unwrap();
+        assert_eq!(plan.strategy, GroupStrategy::Shared);
+        let shared = plan.shared.unwrap();
+        // Identical to optimizing the query alone (Example 7).
+        assert_eq!(shared.bundle.cost, 150);
+        assert_eq!(shared.choice, PlanChoice::Factored);
+        let solo = Optimizer::default()
+            .optimize(&members[0].query)
+            .unwrap()
+            .factored
+            .plan;
+        // Topology is identical; only the slot label is canonicalized
+        // ("SUM(V)" instead of the bare "SUM").
+        assert_eq!(shared.bundle.plan.nodes(), solo.nodes());
+        assert_eq!(
+            shared.bundle.plan.aggregates()[0].function(),
+            solo.aggregates()[0].function()
+        );
+        assert_eq!(plan.unshared_cost, 150);
+    }
+
+    #[test]
+    fn explicit_semantics_are_validated_per_member() {
+        let members = [
+            member(0, &[20, 40], &[AggregateFunction::Min]),
+            member(1, &[20, 60], &[AggregateFunction::Sum]),
+        ];
+        let err = GroupOptimizer::default()
+            .plan(
+                &members,
+                PlanChoice::Auto,
+                SharingPolicy::Shared,
+                Some(Semantics::CoveredBy),
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::IncompatibleSemantics { .. }));
+    }
+
+    #[test]
+    fn all_holistic_group_still_shares_duplicate_work() {
+        // Two MEDIAN queries over overlapping windows: no sub-aggregation
+        // exists, but the merged original plan computes each window once.
+        let members = [
+            member(0, &[20, 40], &[AggregateFunction::Median]),
+            member(1, &[20, 40], &[AggregateFunction::Median]),
+        ];
+        let plan = GroupOptimizer::default()
+            .plan(&members, PlanChoice::Auto, SharingPolicy::Auto, None)
+            .unwrap();
+        assert_eq!(plan.strategy, GroupStrategy::Shared);
+        let shared = plan.shared.unwrap();
+        assert_eq!(shared.semantics, None);
+        assert_eq!(shared.merged.aggregates().len(), 1);
+        assert!(shared.bundle.cost < plan.unshared_cost);
+    }
+
+    #[test]
+    fn member_since_flows_into_routes() {
+        let mut late = member(1, &[20], &[AggregateFunction::Sum]);
+        late.since = 120;
+        let members = [member(0, &[20, 40], &[AggregateFunction::Sum]), late];
+        let plan = GroupOptimizer::default()
+            .plan(&members, PlanChoice::Auto, SharingPolicy::Shared, None)
+            .unwrap();
+        let shared = plan.shared.unwrap();
+        for route in &shared.routes {
+            let expected = if route.query == QueryId(1) { 120 } else { 0 };
+            assert_eq!(route.since, expected);
+        }
+        assert_eq!(plan.members[1].since, 120);
+    }
+}

@@ -37,6 +37,7 @@ pub mod cost;
 pub mod coverage;
 pub mod error;
 pub mod factor;
+pub mod group;
 pub mod json;
 pub mod min_cost;
 pub mod optimizer;
@@ -51,6 +52,10 @@ pub use adaptive::{AdaptivePlanner, RateEstimator};
 pub use cost::{Cost, CostModel};
 pub use coverage::Semantics;
 pub use error::{Error, Result};
+pub use group::{
+    GroupMember, GroupOptimizer, GroupPlan, GroupStrategy, MemberPlan, QueryId, Route, SharedPlan,
+    SharingPolicy,
+};
 pub use json::{FromJson, ToJson};
 pub use min_cost::{Feed, MinCostWcg};
 pub use optimizer::{OptimizationOutcome, Optimizer, PlanBundle, PlanChoice, WindowQuery};

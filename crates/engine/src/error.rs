@@ -15,6 +15,11 @@ pub enum EngineError {
     OutOfOrderEvent { at: u64, watermark: u64 },
     /// The plan failed structural validation.
     InvalidPlan(String),
+    /// The pipeline cannot be rebuilt in place (e.g. it was compiled on a
+    /// monomorphized single-aggregate core, or a group's execution
+    /// strategy would have to change mid-stream). Only pipelines compiled
+    /// through the grouped/slot path support live plan swaps.
+    RebuildUnsupported { reason: &'static str },
 }
 
 impl fmt::Display for EngineError {
@@ -30,6 +35,9 @@ impl fmt::Display for EngineError {
                 )
             }
             EngineError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
+            EngineError::RebuildUnsupported { reason } => {
+                write!(f, "pipeline cannot be rebuilt in place: {reason}")
+            }
         }
     }
 }

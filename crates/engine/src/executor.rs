@@ -43,6 +43,10 @@ pub struct ExecStats {
     /// Per-term accumulator operations the pane elements fanned out to.
     /// Equals `updates + combines` for single-aggregate pipelines.
     pub agg_ops: u64,
+    /// Live plan swaps ([`PlanPipeline::rebuild`]) performed over the
+    /// pipeline's lifetime: adaptive re-optimizations and query-group
+    /// register/deregister events. `0` for static pipelines.
+    pub replans: u64,
 }
 
 impl ExecStats {
@@ -50,6 +54,19 @@ impl ExecStats {
     #[must_use]
     pub fn elements(&self) -> u64 {
         self.updates + self.combines
+    }
+}
+
+impl std::ops::Add for ExecStats {
+    type Output = ExecStats;
+
+    fn add(self, other: ExecStats) -> ExecStats {
+        ExecStats {
+            updates: self.updates + other.updates,
+            combines: self.combines + other.combines,
+            agg_ops: self.agg_ops + other.agg_ops,
+            replans: self.replans + other.replans,
+        }
     }
 }
 
@@ -201,6 +218,18 @@ pub struct PlanPipeline {
     /// twice per event.
     burst_start: Option<Instant>,
     burst_len: u32,
+    /// Per-element emulated work, retained so [`Self::rebuild`] can
+    /// compile replacement cores with identical options.
+    element_work: u32,
+    /// Accounting of cores retired by [`Self::rebuild`]: every accessor
+    /// reports `retired + live core`, so a rebuilt pipeline's numbers stay
+    /// cumulative over its whole lifetime.
+    base_stats: ExecStats,
+    base_fed: u64,
+    base_results: u64,
+    base_work: u64,
+    /// Number of live plan swaps performed (see [`ExecStats::replans`]).
+    replans: u64,
 }
 
 /// Single-event pushes sample the wall clock once per this many events;
@@ -253,7 +282,22 @@ impl PlanPipeline {
                 }
             }
         };
-        Ok(PlanPipeline {
+        Ok(Self::with_core(core, opts))
+    }
+
+    /// Compiles `plan` onto the slot-based core ([`crate::multi`])
+    /// regardless of its term count. Single-term plans lose the
+    /// monomorphized fast path but gain [`Self::rebuild`]: only the slot
+    /// core can export and re-adopt its pane state across a live plan
+    /// swap, so query-group execution and adaptive re-optimization compile
+    /// through here.
+    pub fn compile_grouped(plan: &QueryPlan, opts: PipelineOptions) -> Result<Self> {
+        let core = Box::new(crate::multi::MultiCore::compile(plan, opts.element_work)?);
+        Ok(Self::with_core(core, opts))
+    }
+
+    fn with_core(core: Box<dyn PipelineCore>, opts: PipelineOptions) -> Self {
+        PlanPipeline {
             core,
             sink: if opts.collect {
                 ResultSink::Collect(Vec::new())
@@ -267,7 +311,60 @@ impl PlanPipeline {
             elapsed: Duration::ZERO,
             burst_start: None,
             burst_len: 0,
-        })
+            element_work: opts.element_work,
+            base_stats: ExecStats::default(),
+            base_fed: 0,
+            base_results: 0,
+            base_work: 0,
+            replans: 0,
+        }
+    }
+
+    /// Swaps the executing plan in place at a watermark boundary, carrying
+    /// the window state of every exposed window across.
+    ///
+    /// The sequence: announce `watermark` (flushing the reorder buffer and
+    /// sealing every instance ending at or before it), cascade in-flight
+    /// sub-aggregates down to the exposed windows, export their open
+    /// panes, compile `plan` onto a fresh slot core, and re-adopt the
+    /// state — slots matched by `(function, column)`, windows by value.
+    /// Instances spanning the boundary therefore keep their pre-boundary
+    /// contents while the new plan's (possibly completely different)
+    /// internal topology delivers exactly the post-boundary events, so
+    /// results are identical to having run the new plan's windows over the
+    /// whole stream. The reorder buffer, result sink, and cumulative
+    /// accounting survive the swap; [`ExecStats::replans`] increments.
+    ///
+    /// Only pipelines compiled through [`Self::compile_grouped`] (or
+    /// multi-aggregate plans, which use the slot core anyway) support
+    /// this; monomorphized single-aggregate pipelines return
+    /// [`EngineError::RebuildUnsupported`].
+    pub fn rebuild(&mut self, plan: &QueryPlan, watermark: u64) -> Result<()> {
+        if !self.core.supports_group_state() {
+            return Err(EngineError::RebuildUnsupported {
+                reason: "pipeline was not compiled on the slot-based group core",
+            });
+        }
+        // Compile before announcing the boundary or exporting: a plan
+        // rejection must leave the running pipeline fully untouched — no
+        // early sealing, no drained core.
+        let mut core = crate::multi::MultiCore::compile(plan, self.element_work)?;
+        self.advance_watermark(watermark)?;
+        let state = self
+            .core
+            .export_group_state()
+            .expect("support checked above");
+        core.adopt(state);
+        // Fold the retired core's accounting into the cumulative base
+        // (after export: the downward flush performs counted combines).
+        self.base_stats = self.base_stats + self.core.stats();
+        self.base_fed += self.core.events_fed();
+        self.base_results += self.core.results_emitted();
+        self.base_work = self.base_work.wrapping_add(self.core.work_total());
+        self.replans += 1;
+        self.core = Box::new(core);
+        self.sync_accounting();
+        Ok(())
     }
 
     /// Compiles and runs `plan` over a whole in-order batch — the
@@ -348,11 +445,12 @@ impl PlanPipeline {
         result
     }
 
-    /// Mirrors the core's feed counters. The core counts per event, so a
-    /// batch that errors mid-way leaves the accounting consistent with the
-    /// events actually aggregated (the prefix before the error).
+    /// Mirrors the core's feed counters (plus the base retired by any
+    /// rebuilds). The core counts per event, so a batch that errors
+    /// mid-way leaves the accounting consistent with the events actually
+    /// aggregated (the prefix before the error).
     fn sync_accounting(&mut self) {
-        self.events_processed = self.core.events_fed();
+        self.events_processed = self.base_fed + self.core.events_fed();
         self.last_time = self.core.last_event_time();
     }
 
@@ -396,13 +494,14 @@ impl PlanPipeline {
         self.elapsed += start.elapsed();
         // Keep the emulated element work observable so it is not optimized
         // away (see `pane::element_work`).
-        std::hint::black_box(self.core.work_total());
+        std::hint::black_box(self.base_work.wrapping_add(self.core.work_total()));
+        let stats = self.stats();
         Ok(RunOutput {
             events_processed: self.events_processed,
-            results_emitted: self.core.results_emitted(),
+            results_emitted: self.base_results + self.core.results_emitted(),
             elapsed: self.elapsed,
             results: self.sink.into_results(),
-            stats: self.core.stats(),
+            stats,
         })
     }
 
@@ -416,7 +515,7 @@ impl PlanPipeline {
     /// Number of results emitted so far (including polled ones).
     #[must_use]
     pub fn results_emitted(&self) -> u64 {
-        self.core.results_emitted()
+        self.base_results + self.core.results_emitted()
     }
 
     /// Current ordering watermark of the operators.
@@ -431,10 +530,12 @@ impl PlanPipeline {
         self.reorder.as_ref().map_or(0, ReorderBuffer::buffered)
     }
 
-    /// Cost-model element counts so far.
+    /// Cost-model element counts so far (cumulative across any rebuilds).
     #[must_use]
     pub fn stats(&self) -> ExecStats {
-        self.core.stats()
+        let mut stats = self.base_stats + self.core.stats();
+        stats.replans = self.replans;
+        stats
     }
 
     /// Processing wall time accumulated so far (compilation excluded; a
@@ -459,6 +560,16 @@ pub(crate) trait PipelineCore: Send {
     fn results_emitted(&self) -> u64;
     fn stats(&self) -> ExecStats;
     fn work_total(&self) -> u64;
+    /// Whether the core can export its state for a live plan swap (only
+    /// the slot-based [`crate::multi::MultiCore`] can).
+    fn supports_group_state(&self) -> bool {
+        false
+    }
+    /// Drains the core's migratable state (see
+    /// [`crate::multi::GroupState`]); `None` for monomorphized cores.
+    fn export_group_state(&mut self) -> Option<crate::multi::GroupState> {
+        None
+    }
 }
 
 /// The compiled physical pipeline, monomorphic over the aggregate.
@@ -654,6 +765,7 @@ impl<A: Aggregate> PipelineCore for Typed<A> {
             combines,
             // One aggregate term: every pane element is one accumulator op.
             agg_ops: updates + combines,
+            replans: 0,
         }
     }
 
@@ -958,6 +1070,143 @@ mod tests {
         assert_eq!(out.events_processed, 2);
         assert_eq!(out.results.len(), 1);
         assert_eq!(out.results[0].value, 3.0); // 1.0 + 2.0, not 7.0
+    }
+
+    #[test]
+    fn rebuild_swaps_plans_mid_stream_without_changing_results() {
+        // Swap factored → original → rewritten at watermark boundaries;
+        // results and cumulative accounting must match a static run.
+        let q = query(&[w(20, 20), w(30, 30), w(40, 40)], AggregateFunction::Sum);
+        let out = Optimizer::default().optimize(&q).unwrap();
+        let evs = events(600, 3);
+        let reference = run_collect(&out.original.plan, &evs).unwrap();
+
+        let mut pipeline =
+            PlanPipeline::compile_grouped(&out.factored.plan, PipelineOptions::collecting())
+                .unwrap();
+        let mut collected = Vec::new();
+        pipeline.push_batch(&evs[..200]).unwrap();
+        pipeline.rebuild(&out.original.plan, 200).unwrap();
+        collected.extend(pipeline.poll_results());
+        pipeline.push_batch(&evs[200..400]).unwrap();
+        pipeline.rebuild(&out.rewritten.plan, 400).unwrap();
+        pipeline.push_batch(&evs[400..]).unwrap();
+        assert_eq!(pipeline.events_processed(), 600);
+        let tail = pipeline.finish().unwrap();
+        collected.extend(tail.results);
+        assert_eq!(sorted_results(collected), sorted_results(reference.results));
+        assert_eq!(tail.events_processed, 600);
+        assert_eq!(tail.results_emitted, reference.results_emitted);
+        assert_eq!(tail.stats.replans, 2);
+    }
+
+    #[test]
+    fn rebuild_does_not_double_count_through_exposed_feeders() {
+        // The regression the carry mechanism exists for: w20 (exposed)
+        // feeds w40 in the rewritten plan, and the swap watermark (130)
+        // falls inside w20's instance [120,140). The export-time flush
+        // hands w40 the [120,130) contributions; the migrated w20 pane
+        // must then cascade only [130,140) when it seals — cascading the
+        // adopted pane wholesale made w40's [120,160) sum 50 instead of
+        // 40 for a constant-1.0 stream.
+        let q = query(&[w(20, 20), w(40, 40)], AggregateFunction::Sum);
+        let out = Optimizer::default().optimize(&q).unwrap();
+        let plan = &out.rewritten.plan;
+        assert!(plan
+            .window_nodes()
+            .any(|id| plan.feeding_window(id).is_some()));
+        let evs: Vec<Event> = (0..200u64).map(|t| Event::new(t, 0, 1.0)).collect();
+        let reference = run_collect(plan, &evs).unwrap();
+
+        for boundary in [130u64, 125, 140] {
+            let mut pipeline =
+                PlanPipeline::compile_grouped(plan, PipelineOptions::collecting()).unwrap();
+            pipeline.push_batch(&evs[..boundary as usize]).unwrap();
+            pipeline.rebuild(plan, boundary).unwrap();
+            pipeline.push_batch(&evs[boundary as usize..]).unwrap();
+            let mut collected = pipeline.poll_results();
+            let tail = pipeline.finish().unwrap();
+            collected.extend(tail.results);
+            assert_eq!(
+                sorted_results(collected),
+                sorted_results(reference.results.clone()),
+                "boundary {boundary}"
+            );
+        }
+    }
+
+    #[test]
+    fn rebuild_carry_survives_back_to_back_swaps_and_quiet_instances() {
+        // Two swaps in a row (carry re-exported before it merged) and a
+        // stream that goes quiet right after the boundary (the carried
+        // instance's only content is the carry itself — it must still
+        // seal and emit).
+        let q = query(&[w(20, 20), w(40, 40), w(80, 80)], AggregateFunction::Avg);
+        let out = Optimizer::default().optimize(&q).unwrap();
+        let evs: Vec<Event> = (0..160u64)
+            .map(|t| Event::new(t, (t % 2) as u32, (t % 13) as f64))
+            .collect();
+        let reference = run_collect(&out.rewritten.plan, &evs).unwrap();
+
+        let mut pipeline =
+            PlanPipeline::compile_grouped(&out.rewritten.plan, PipelineOptions::collecting())
+                .unwrap();
+        pipeline.push_batch(&evs[..90]).unwrap();
+        pipeline.rebuild(&out.factored.plan, 90).unwrap();
+        pipeline.rebuild(&out.rewritten.plan, 90).unwrap(); // carry re-exported
+        pipeline.push_batch(&evs[90..100]).unwrap();
+        // Quiet gap: seal everything (including carry-only instances) via
+        // an announced watermark far past the stream.
+        pipeline.push_batch(&evs[100..]).unwrap();
+        let mut collected = pipeline.poll_results();
+        let tail = pipeline.finish().unwrap();
+        collected.extend(tail.results);
+        assert_eq!(
+            sorted_results(collected),
+            sorted_results(reference.results.clone())
+        );
+        assert_eq!(tail.stats.replans, 2);
+    }
+
+    #[test]
+    fn rebuild_requires_the_slot_core() {
+        let q = query(&[w(10, 10)], AggregateFunction::Min);
+        let plan = fw_core::rewrite::original_plan(&q);
+        let mut pipeline = PlanPipeline::compile(&plan, PipelineOptions::default()).unwrap();
+        let err = pipeline.rebuild(&plan, 0).unwrap_err();
+        assert!(matches!(err, EngineError::RebuildUnsupported { .. }));
+    }
+
+    #[test]
+    fn rebuild_with_out_of_order_tolerance_keeps_buffered_events() {
+        let q = query(&[w(10, 10), w(20, 20)], AggregateFunction::Min);
+        let out = Optimizer::default().optimize(&q).unwrap();
+        let ordered = events(200, 2);
+        let mut jittered = ordered.clone();
+        for chunk in jittered.chunks_mut(4) {
+            chunk.reverse();
+        }
+        let reference = run_collect(&out.factored.plan, &ordered).unwrap();
+        let opts = PipelineOptions {
+            out_of_order: 4,
+            ..PipelineOptions::collecting()
+        };
+        let mut pipeline = PlanPipeline::compile_grouped(&out.factored.plan, opts).unwrap();
+        for (i, &e) in jittered.iter().enumerate() {
+            pipeline.push(e).unwrap();
+            if i == 99 {
+                // Swap at the pipeline's own watermark: events still held
+                // in the reorder buffer survive the swap.
+                let w = pipeline.watermark();
+                pipeline.rebuild(&out.original.plan, w).unwrap();
+            }
+        }
+        let repaired = pipeline.finish().unwrap();
+        assert_eq!(
+            sorted_results(repaired.results),
+            sorted_results(reference.results)
+        );
+        assert_eq!(repaired.events_processed, 200);
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod error;
 pub mod event;
 pub mod executor;
 pub mod fasthash;
+pub mod group;
 pub mod multi;
 pub mod pane;
 pub mod reference;
@@ -56,6 +57,7 @@ pub use event::{sorted_results, Event, ResultSink, WindowResult};
 // façade.
 pub use executor::{ExecOptions, ExecStats, PipelineOptions, PlanPipeline, RunOutput};
 pub use fasthash::{FastBuildHasher, FastMap};
+pub use group::{sorted_group_results, GroupExec, GroupResult, GroupRunOutput};
 pub use pane::DEFAULT_ELEMENT_WORK;
 pub use reference::reference_results;
 pub use reorder::ReorderBuffer;

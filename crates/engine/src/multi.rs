@@ -30,6 +30,34 @@ use crate::fasthash::FastMap;
 use crate::pane::{element_work, PaneDeque};
 use fw_core::{AggregateClass, AggregateFunction, Interval, QueryPlan, Window};
 
+/// Exported execution state of a slot-based core, captured at a watermark
+/// boundary for a live plan swap (`PlanPipeline::rebuild`).
+///
+/// Export first cascades every *in-flight* open pane down the
+/// sub-aggregate forest ([`MultiCore::flush_open`]) so that each exposed
+/// window's open instances hold **every** event observed so far — whether
+/// it arrived raw or was still buffered inside a parent/factor window's
+/// unsealed pane. Only exposed windows are then exported: the new plan's
+/// internal topology (factor windows, feed edges) may be entirely
+/// different, and its fresh internal state will deliver exactly the events
+/// *after* the boundary, so migrated instances (events before) plus fresh
+/// flow (events after) reconstruct every instance exactly once.
+///
+/// Slots are identified by `(function, column)` so state survives a slot
+/// list that grows, shrinks, or reorders across the swap; slots new to the
+/// plan initialize fresh (their partial instances are suppressed by the
+/// group routing layer's `since` filter).
+pub(crate) struct GroupState {
+    /// Ordering watermark of the exporting core.
+    watermark: u64,
+    /// Maximum event time the exporting core has folded.
+    last_event_time: u64,
+    /// Slot identities of the exporting core, slot-indexed.
+    slots: Vec<(AggregateFunction, String)>,
+    /// Open panes of every exposed window: `(window, [(instance, pane)])`.
+    windows: Vec<(Window, Vec<(u64, MultiPane)>)>,
+}
+
 /// One accumulator slot, dispatching to the existing [`Aggregate`] impls.
 #[derive(Debug, Clone)]
 enum Slot {
@@ -80,6 +108,36 @@ fn combine_slot(f: AggregateFunction, into: &mut Slot, from: &Slot) {
     }
 }
 
+/// Folds a carried-over (pre-plan-swap) accumulator into a live one at
+/// emission time. Identical to [`combine_slot`] for combinable functions;
+/// holistic state merges by concatenation — this is an emission-side
+/// merge of two halves of the *same* instance, not sub-aggregate
+/// composition, so it is sound for every function class.
+fn merge_slot(f: AggregateFunction, into: &mut Slot, from: &Slot) {
+    match (f, into, from) {
+        (AggregateFunction::Median, Slot::Values(a), Slot::Values(b)) => a.extend_from_slice(b),
+        (f, into, from) => combine_slot(f, into, from),
+    }
+}
+
+/// Folds a carried-over pane into a live pane of the *same* instance,
+/// slot by slot (see [`merge_slot`]); keys only present in the carried
+/// half move over wholesale.
+fn merge_carried_pane(funcs: &[AggregateFunction], pane: &mut MultiPane, carried: MultiPane) {
+    for (key, carried_acc) in carried {
+        match pane.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                for (j, slot) in e.get_mut().iter_mut().enumerate() {
+                    merge_slot(funcs[j], slot, &carried_acc[j]);
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(carried_acc);
+            }
+        }
+    }
+}
+
 fn finalize_slot(f: AggregateFunction, slot: &Slot) -> f64 {
     match (f, slot) {
         (AggregateFunction::Min, Slot::F64(acc)) => MinAgg::finalize(acc),
@@ -111,6 +169,14 @@ fn new_acc(funcs: &[AggregateFunction]) -> MultiAcc {
 /// fans out to).
 struct MultiStore {
     deque: PaneDeque<MultiAcc>,
+    /// Carried-over panes from a live plan swap, for open instances of
+    /// operators that feed children — ascending by instance index, held
+    /// *outside* the regular deque so sealing can cascade only the
+    /// post-swap pane to children and fold the pre-swap half in just
+    /// before emission (see [`MultiCore::adopt`]). Pre-swap contributions
+    /// already reached every descendant through the export-time flush;
+    /// cascading them again would double-count (fatal for SUM/COUNT/AVG).
+    carry: Vec<(u64, MultiPane)>,
     /// All aggregate terms' functions, slot-indexed (SELECT-list order).
     funcs: Box<[AggregateFunction]>,
     /// Slot indices raw events update at this operator: every slot on a
@@ -139,6 +205,7 @@ impl MultiStore {
     ) -> Self {
         MultiStore {
             deque: PaneDeque::new(window),
+            carry: Vec::new(),
             funcs,
             raw_mask,
             combine_mask,
@@ -153,6 +220,28 @@ impl MultiStore {
     #[inline]
     fn front_end(&self) -> u64 {
         self.deque.front_end()
+    }
+
+    /// Positions the store at its next due instance, taking carried-over
+    /// panes into account: an instance whose only content is carry must
+    /// still seal (the plain skip-empty fast-forward would drop it).
+    fn next_due(&mut self, watermark: u64) -> Option<Interval> {
+        match self.carry.first() {
+            None => self.deque.prepare_due(watermark),
+            Some(&(stop, _)) => self.deque.prepare_due_upto(watermark, stop),
+        }
+    }
+
+    /// Folds the carried pane for instance `m` (if any) into the front
+    /// pane — called after the instance cascaded to children and before
+    /// it is emitted, so children only ever see post-swap contributions.
+    fn merge_carry_front(&mut self, m: u64) {
+        if !matches!(self.carry.first(), Some(&(m0, _)) if m0 == m) {
+            return;
+        }
+        let (_, carried) = self.carry.remove(0);
+        let funcs = self.funcs.clone();
+        merge_carried_pane(&funcs, self.deque.pane_mut(m), carried);
     }
 
     /// Folds a raw event into every instance containing `t`, updating the
@@ -211,6 +300,9 @@ pub(crate) struct MultiCore {
     /// Operators that receive raw events (non-empty `raw_mask`).
     raw_ops: Vec<usize>,
     funcs: Box<[AggregateFunction]>,
+    /// Slot identities (`(function, column)`), slot-indexed — the key
+    /// state migration matches slots by across plan swaps.
+    slot_keys: Vec<(AggregateFunction, String)>,
     watermark: u64,
     deadline: u64,
     results_emitted: u64,
@@ -223,6 +315,11 @@ impl MultiCore {
         plan.validate().map_err(EngineError::InvalidPlan)?;
         let funcs: Box<[AggregateFunction]> =
             plan.aggregates().iter().map(|s| s.function()).collect();
+        let slot_keys: Vec<(AggregateFunction, String)> = plan
+            .aggregates()
+            .iter()
+            .map(|s| (s.function(), s.column().to_string()))
+            .collect();
         let combinable: Vec<usize> = funcs
             .iter()
             .enumerate()
@@ -298,6 +395,7 @@ impl MultiCore {
             children,
             raw_ops,
             funcs,
+            slot_keys,
             watermark: 0,
             deadline: 0,
             results_emitted: 0,
@@ -369,21 +467,160 @@ impl MultiCore {
         Ok(())
     }
 
+    /// Cascades every open (unsealed) pane down the sub-aggregate forest
+    /// without sealing or emitting anything. After the pass, each window's
+    /// open instances hold every event observed so far, including
+    /// contributions that were still in flight inside an ancestor's
+    /// unsealed pane. Operators are topologically ordered (parents first),
+    /// so a single pass propagates transitively.
+    ///
+    /// Exactly-once is preserved: an open pane has never been delivered
+    /// (delivery normally happens at seal), and after the flush the old
+    /// core is discarded, so each in-flight element reaches each
+    /// descendant instance once. Under covered-by semantics overlapping
+    /// deliveries can double up exactly as they do during normal sealing —
+    /// which only overlap-tolerant functions (MIN/MAX) ride.
+    fn flush_open(&mut self) {
+        for op in 0..self.stores.len() {
+            if self.children[op].is_empty() {
+                continue;
+            }
+            let (head, tail) = self.stores.split_at_mut(op + 1);
+            let window = *head[op].deque.window();
+            for (m, pane) in head[op].deque.iter_open() {
+                let interval = window.interval(m);
+                for &child in &self.children[op] {
+                    debug_assert!(child > op, "plan must be topologically ordered");
+                    tail[child - op - 1].combine_pane(&interval, pane);
+                }
+            }
+        }
+    }
+
+    /// Exports the core's migratable state for a live plan swap: flushes
+    /// in-flight sub-aggregates downward, then drains the open panes of
+    /// every exposed window (see [`GroupState`]). Carried-over panes from
+    /// a previous swap are folded back into their instances first — they
+    /// are emission-side state and must keep traveling as such.
+    pub(crate) fn export_state(&mut self) -> GroupState {
+        self.flush_open();
+        let mut windows = Vec::new();
+        for op in 0..self.stores.len() {
+            if !self.exposed[op] {
+                continue;
+            }
+            let funcs = self.funcs.clone();
+            let store = &mut self.stores[op];
+            let mut panes = store.deque.take_open();
+            for (m, carried) in std::mem::take(&mut store.carry) {
+                match panes.iter_mut().find(|(pm, _)| *pm == m) {
+                    Some((_, pane)) => merge_carried_pane(&funcs, pane, carried),
+                    None => panes.push((m, carried)),
+                }
+            }
+            panes.sort_by_key(|&(m, _)| m);
+            if !panes.is_empty() {
+                windows.push((self.windows[op], panes));
+            }
+        }
+        GroupState {
+            watermark: self.watermark,
+            last_event_time: self.last_event_time,
+            slots: self.slot_keys.clone(),
+            windows,
+        }
+    }
+
+    /// Installs exported state into this (freshly compiled) core: exposed
+    /// windows present in both plans receive their open panes back, with
+    /// accumulator slots matched by `(function, column)`; slots new to
+    /// this plan initialize fresh, slots that disappeared are dropped.
+    /// Exported windows absent from this plan are discarded. The ordering
+    /// watermark and end-of-stream horizon carry over.
+    ///
+    /// Panes of operators that feed children are parked in the store's
+    /// *carry* rather than the live deque: their pre-swap contributions
+    /// already reached every descendant through the export-time flush, so
+    /// sealing must cascade only the post-swap pane and fold the carried
+    /// half in just before emission. Leaf operators (no children) adopt
+    /// directly into the deque.
+    pub(crate) fn adopt(&mut self, state: GroupState) {
+        debug_assert_eq!(self.fed, 0, "state is adopted into a fresh core only");
+        self.watermark = self.watermark.max(state.watermark);
+        self.last_event_time = self.last_event_time.max(state.last_event_time);
+        let slot_map: Vec<Option<usize>> = self
+            .slot_keys
+            .iter()
+            .map(|key| state.slots.iter().position(|old| old == key))
+            .collect();
+        for (window, panes) in state.windows {
+            let Some(op) =
+                (0..self.stores.len()).find(|&op| self.exposed[op] && self.windows[op] == window)
+            else {
+                continue;
+            };
+            let funcs = self.funcs.clone();
+            let feeds_children = !self.children[op].is_empty();
+            let store = &mut self.stores[op];
+            // Fast-forward the cursor past everything already sealed so
+            // re-opening instance m does not allocate panes for the
+            // sealed prefix (returns None: a fresh deque has no panes).
+            let positioned = store.deque.prepare_due(state.watermark);
+            debug_assert!(positioned.is_none());
+            let remap = |old_acc: &MultiAcc| -> MultiAcc {
+                funcs
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &f)| match slot_map[j] {
+                        Some(old_j) => old_acc[old_j].clone(),
+                        None => init_slot(f),
+                    })
+                    .collect()
+            };
+            if feeds_children {
+                let mut carried: Vec<(u64, MultiPane)> = panes
+                    .into_iter()
+                    .map(|(m, pane)| {
+                        let remapped = pane
+                            .iter()
+                            .map(|(&key, old_acc)| (key, remap(old_acc)))
+                            .collect();
+                        (m, remapped)
+                    })
+                    .collect();
+                carried.sort_by_key(|&(m, _)| m);
+                store.carry = carried;
+            } else {
+                for (m, pane) in panes {
+                    for (key, old_acc) in pane {
+                        store.deque.pane_mut(m).insert(key, remap(&old_acc));
+                    }
+                }
+            }
+        }
+        self.recompute_deadline();
+    }
+
     /// Seals every instance with `end ≤ watermark`, cascading combinable
     /// sub-aggregates down the forest (same single topological pass as the
-    /// monomorphized core).
+    /// monomorphized core). Cascading runs *before* the carry merge, so
+    /// instances migrated across a plan swap deliver only their post-swap
+    /// half to children (the pre-swap half already arrived through the
+    /// export-time flush) while still emitting the complete instance.
     fn advance(&mut self, watermark: u64, sink: &mut ResultSink) {
         let mut deadline = u64::MAX;
         for op in 0..self.stores.len() {
-            while let Some(interval) = self.stores[op].deque.prepare_due(watermark) {
-                if self.exposed[op] {
-                    self.emit_front(op, interval, sink);
-                }
+            while let Some(interval) = self.stores[op].next_due(watermark) {
                 let (head, tail) = self.stores.split_at_mut(op + 1);
                 let pane = head[op].deque.front_pane();
                 for &child in &self.children[op] {
                     debug_assert!(child > op, "plan must be topologically ordered");
                     tail[child - op - 1].combine_pane(&interval, pane);
+                }
+                let m = interval.start / self.windows[op].slide();
+                self.stores[op].merge_carry_front(m);
+                if self.exposed[op] {
+                    self.emit_front(op, interval, sink);
                 }
                 self.stores[op].deque.retire_front();
             }
@@ -427,6 +664,7 @@ impl crate::executor::PipelineCore for MultiCore {
             updates: self.stores.iter().map(|s| s.updates).sum(),
             combines: self.stores.iter().map(|s| s.combines).sum(),
             agg_ops: self.stores.iter().map(|s| s.agg_ops).sum(),
+            replans: 0,
         }
     }
 
@@ -435,6 +673,14 @@ impl crate::executor::PipelineCore for MultiCore {
             .iter()
             .map(|s| s.work_sink)
             .fold(0u64, u64::wrapping_add)
+    }
+
+    fn supports_group_state(&self) -> bool {
+        true
+    }
+
+    fn export_group_state(&mut self) -> Option<GroupState> {
+        Some(self.export_state())
     }
 }
 

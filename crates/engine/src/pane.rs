@@ -185,6 +185,74 @@ impl<V> PaneDeque<V> {
             self.spare.push(pane);
         }
     }
+
+    /// Like [`Self::prepare_due`], but never advances the cursor past
+    /// instance `stop`, and returns instance `stop` when due even if its
+    /// pane is empty (opening it on demand). State migration parks
+    /// carried-over content for instance `stop` *outside* the deque (see
+    /// `crate::multi`), so the ordinary skip-empty fast-forward must not
+    /// discard it, while instances before `stop` still seal and skip
+    /// normally.
+    pub fn prepare_due_upto(&mut self, watermark: u64, stop: u64) -> Option<Interval> {
+        debug_assert!(stop >= self.front_m, "carry behind the seal cursor");
+        loop {
+            if self.front_end() > watermark {
+                return None;
+            }
+            if self.front_m == stop {
+                let _ = self.pane_mut(stop); // open the (possibly empty) pane
+                return Some(self.window.interval(stop));
+            }
+            match self.panes.front() {
+                None => {
+                    // Everything open is empty: fast-forward as
+                    // `prepare_due` would, clamped at `stop`.
+                    let s = self.window.slide();
+                    let r = self.window.range();
+                    if watermark >= r {
+                        let first_open = (watermark - r) / s + 1;
+                        self.front_m = self.front_m.max(first_open.min(stop));
+                    }
+                    if self.front_m != stop || self.front_end() > watermark {
+                        return None;
+                    }
+                    // Loop around: `stop` itself is due.
+                }
+                Some(pane) if pane.is_empty() => {
+                    let empty = self.panes.pop_front().expect("checked non-empty deque");
+                    self.recycle(empty);
+                    self.front_m += 1;
+                }
+                Some(_) => return Some(self.window.interval(self.front_m)),
+            }
+        }
+    }
+
+    /// Iterates the open, non-empty panes together with their absolute
+    /// instance indices (state-migration and flush support; see
+    /// [`crate::multi`]).
+    pub fn iter_open(&self) -> impl Iterator<Item = (u64, &Pane<V>)> {
+        let front = self.front_m;
+        self.panes
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !p.is_empty())
+            .map(move |(i, p)| (front + i as u64, p))
+    }
+
+    /// Drains every open, non-empty pane out of the deque, returning
+    /// `(absolute instance index, pane)` pairs. Used to migrate window
+    /// state into a freshly compiled core when a group's merged plan is
+    /// rebuilt at a watermark boundary.
+    pub fn take_open(&mut self) -> Vec<(u64, Pane<V>)> {
+        let front = self.front_m;
+        self.panes
+            .drain(..)
+            .enumerate()
+            .filter(|(_, p)| !p.is_empty())
+            .map(|(i, p)| (front + i as u64, p))
+            .collect()
+    }
 }
 
 /// The open instances of one window operator: the shared [`PaneDeque`]

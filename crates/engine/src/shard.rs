@@ -88,6 +88,13 @@ enum Command {
     /// Report `(events_fed, results_emitted, stats)` without disturbing
     /// the stream.
     Stats(mpsc::Sender<(u64, u64, ExecStats)>),
+    /// Swap the executing plan in place at a watermark boundary
+    /// ([`PlanPipeline::rebuild`]); the reply doubles as the barrier.
+    Rebuild {
+        plan: Arc<QueryPlan>,
+        watermark: u64,
+        reply: mpsc::Sender<Result<()>>,
+    },
     /// Seal at the global horizon (if any events flowed), finish, reply
     /// with the shard's accounting, and exit.
     Finish {
@@ -144,6 +151,23 @@ fn worker(
                     pipeline.results_emitted(),
                     pipeline.stats(),
                 ));
+            }
+            Command::Rebuild {
+                plan,
+                watermark,
+                reply,
+            } => {
+                // A rejected plan leaves the pipeline untouched
+                // (`PlanPipeline::rebuild` compiles before exporting), so
+                // the worker stays healthy and only reports the error —
+                // the façade decides whether the swap failed uniformly
+                // (recoverable) or split the shards (poisoned).
+                let result = if failed {
+                    Ok(()) // the original error is already published
+                } else {
+                    pipeline.rebuild(&plan, watermark)
+                };
+                let _ = reply.send(result);
             }
             Command::Finish { seal, reply } => {
                 if !failed {
@@ -247,6 +271,10 @@ pub struct ShardedPipeline {
     last_time: u64,
     /// Maximum explicitly announced watermark.
     announced: u64,
+    /// Live plan swaps performed (each one rebuilds every shard once; the
+    /// merged [`ExecStats::replans`] reports this façade-level count, not
+    /// the per-shard sum).
+    replans: u64,
     /// Wall clock started at first ingestion.
     started: Option<Instant>,
 }
@@ -265,12 +293,32 @@ impl ShardedPipeline {
     /// Compiles `plan` once per shard and spawns the worker threads.
     /// `shards` is clamped to at least 1.
     pub fn compile(plan: &QueryPlan, opts: PipelineOptions, shards: usize) -> Result<Self> {
+        Self::compile_impl(plan, opts, shards, false)
+    }
+
+    /// Like [`Self::compile`], but every shard worker runs the slot-based
+    /// group core ([`PlanPipeline::compile_grouped`]) so the pipeline
+    /// supports live plan swaps via [`Self::rebuild`].
+    pub fn compile_grouped(plan: &QueryPlan, opts: PipelineOptions, shards: usize) -> Result<Self> {
+        Self::compile_impl(plan, opts, shards, true)
+    }
+
+    fn compile_impl(
+        plan: &QueryPlan,
+        opts: PipelineOptions,
+        shards: usize,
+        grouped: bool,
+    ) -> Result<Self> {
         let shards = shards.max(1);
         let error = Arc::new(Mutex::new(None));
         let (recycle_tx, recycle_rx) = mpsc::channel();
         let mut workers = Vec::with_capacity(shards);
         for shard in 0..shards {
-            let pipeline = PlanPipeline::compile(plan, opts)?;
+            let pipeline = if grouped {
+                PlanPipeline::compile_grouped(plan, opts)?
+            } else {
+                PlanPipeline::compile(plan, opts)?
+            };
             let (tx, rx) = mpsc::sync_channel(COMMAND_QUEUE);
             let recycle = recycle_tx.clone();
             let error = Arc::clone(&error);
@@ -293,6 +341,7 @@ impl ShardedPipeline {
             pushed: 0,
             last_time: 0,
             announced: 0,
+            replans: 0,
             started: None,
             workers,
         })
@@ -414,6 +463,66 @@ impl ShardedPipeline {
         Ok(())
     }
 
+    /// Swaps the executing plan in place on every shard at a watermark
+    /// boundary (see [`PlanPipeline::rebuild`]). State migration is
+    /// shard-local — keys never move between shards, so each worker
+    /// exports and re-adopts exactly its own key subset. The call is a
+    /// barrier: it returns once every shard has swapped (or the first
+    /// shard error once one fails). Requires the pipeline to have been
+    /// compiled with [`Self::compile_grouped`].
+    pub fn rebuild(&mut self, plan: &QueryPlan, watermark: u64) -> Result<()> {
+        self.check_error()?;
+        self.flush_all();
+        self.announced = self.announced.max(watermark);
+        let plan = Arc::new(plan.clone());
+        let replies: Vec<mpsc::Receiver<Result<()>>> = (0..self.workers.len())
+            .map(|shard| {
+                let (tx, rx) = mpsc::channel();
+                self.send(
+                    shard,
+                    Command::Rebuild {
+                        plan: Arc::clone(&plan),
+                        watermark,
+                        reply: tx,
+                    },
+                );
+                rx
+            })
+            .collect();
+        let mut first_error = None;
+        let mut swapped = 0usize;
+        for (shard, rx) in replies.into_iter().enumerate() {
+            match rx.recv() {
+                Ok(Ok(())) => swapped += 1,
+                Ok(Err(e)) => {
+                    first_error.get_or_insert(e);
+                }
+                Err(_) => self.workers[shard].died(),
+            }
+        }
+        match first_error {
+            None => {
+                self.replans += 1;
+                Ok(())
+            }
+            Some(e) => {
+                if swapped > 0 {
+                    // Some shards swapped, others refused: the shards now
+                    // run different plans — poison the pipeline so the
+                    // divergence cannot produce silently wrong results.
+                    // (A uniform rejection — e.g. an invalid plan, which
+                    // fails identically everywhere — leaves every shard's
+                    // state untouched and the pipeline stays usable.)
+                    self.error
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .get_or_insert(e.clone());
+                }
+                Err(e)
+            }
+        }
+    }
+
     /// Broadcasts the watermark to every shard: flushes staged events
     /// first, then seals every instance ending at or before `watermark`
     /// shard-locally.
@@ -499,6 +608,9 @@ impl ShardedPipeline {
                 }
             }
         }
+        // Every shard rebuilds once per swap; report the façade count, not
+        // the per-shard sum.
+        merged.stats.replans = self.replans;
         merged.elapsed = self.started.map_or(Duration::ZERO, |s| s.elapsed());
         self.check_error()?;
         if let Some(e) = shard_error {
@@ -539,6 +651,7 @@ impl ShardedPipeline {
             total.2.combines += stats.combines;
             total.2.agg_ops += stats.agg_ops;
         }
+        total.2.replans = self.replans;
         total
     }
 

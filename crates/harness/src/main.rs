@@ -112,21 +112,42 @@ fn run(args: &[String]) -> Result<(), String> {
 /// window coverage graph under the query's default semantics, and prints
 /// it in Graphviz dot format — pipe into `dot -Tsvg` to draw the paper's
 /// Figure 6/7-style pictures for any query.
+///
+/// A `;`-separated sequence of statements dumps the *merged* cross-query
+/// graph: the union of every statement's windows under the group's joint
+/// semantics — the graph the query-group optimizer searches for a shared
+/// factored plan.
 fn dump_wcg(sql: &str) -> Result<(), String> {
     use factor_windows::sql as fw_sql;
     let text = match sql.to_ascii_lowercase().as_str() {
         "fig1" => fw_sql::FIG1_SQL,
         "fig1-multi" => fw_sql::FIG1_MULTI_SQL,
+        "fig1-group" => fw_sql::FIG1_GROUP_SQL,
         _ => sql,
     };
-    let query = fw_sql::parse_to_query(text).map_err(|e| e.render(text))?;
-    let semantics = query.default_semantics().ok_or_else(|| {
+    let queries = fw_sql::parse_to_queries(text).map_err(|e| e.render(text))?;
+    let members: Vec<fw_core::GroupMember> = queries
+        .into_iter()
+        .enumerate()
+        .map(|(i, query)| fw_core::GroupMember {
+            id: fw_core::QueryId(i as u32),
+            query,
+            since: 0,
+        })
+        .collect();
+    let merged = fw_core::GroupOptimizer::merged_query(&members).map_err(|e| e.to_string())?;
+    let semantics = merged.default_semantics().ok_or_else(|| {
         "every aggregate term is holistic: there is no shared sub-aggregation to graph".to_string()
     })?;
-    let wcg = fw_core::Wcg::build_augmented(query.windows(), semantics);
+    let wcg = fw_core::Wcg::build_augmented(merged.windows(), semantics);
+    let scope = if members.len() > 1 {
+        format!("merged over {} queries: ", members.len())
+    } else {
+        String::new()
+    };
     eprintln!(
-        "# WCG for {} under {} semantics ({} nodes, {} edges)",
-        query
+        "# WCG {scope}{} under {} semantics ({} nodes, {} edges)",
+        merged
             .aggregates()
             .iter()
             .map(|s| s.label().to_string())
@@ -165,8 +186,10 @@ fn print_help() {
                             N = exactly N workers\n\
            --out DIR        also write each report to DIR/<id>.txt\n\
            --dump-wcg SQL   print the query's window coverage graph in\n\
-                            Graphviz dot format and exit (`fig1` and\n\
-                            `fig1-multi` name the built-in fixtures)\n\n\
+                            Graphviz dot format and exit; `;`-separated\n\
+                            statements dump the merged cross-query graph\n\
+                            (`fig1`, `fig1-multi`, and `fig1-group` name\n\
+                            the built-in fixtures)\n\n\
          Run `fw-experiments list` to see every experiment id."
     );
 }

@@ -56,6 +56,7 @@ fn run<A: Aggregate>(windows: &WindowSet, events: &[Event], collect: bool) -> Re
         updates: events.len() as u64,
         combines: slicer.merges,
         agg_ops: events.len() as u64 + slicer.merges,
+        replans: 0,
     };
     Ok(RunOutput {
         events_processed: events.len() as u64,

@@ -29,7 +29,9 @@
 pub mod parser;
 pub mod token;
 
-pub use parser::{parse_query, ParsedAggregate, ParsedQuery, TimeUnit};
+pub use parser::{
+    parse_queries, parse_queries_spanned, parse_query, ParsedAggregate, ParsedQuery, TimeUnit,
+};
 pub use token::{tokenize, ParseError, Spanned, Token};
 
 /// The query of the paper's Figure 1(a): MIN over tumbling windows of 20,
@@ -54,6 +56,28 @@ pub const FIG1_MULTI_SQL: &str = "SELECT DeviceID, System.Window().Id, \
          Window('30 min', TumblingWindow(minute, 30)), \
          Window('40 min', TumblingWindow(minute, 40)))";
 
+/// Three correlated standing queries over one stream, as a `;`-separated
+/// group: the Figure 1(a) MIN query plus a MAX and an AVG query whose
+/// window sets overlap it (and each other). The canonical fixture for
+/// query-group tests, the `multi_query` benchmark, and
+/// `fw-experiments --dump-wcg fig1-group`.
+pub const FIG1_GROUP_SQL: &str = "SELECT DeviceID, MIN(T) AS MinTemp \
+     FROM Input TIMESTAMP BY EntryTime \
+     GROUP BY DeviceID, Windows( \
+         Window('20 min', TumblingWindow(minute, 20)), \
+         Window('30 min', TumblingWindow(minute, 30)), \
+         Window('40 min', TumblingWindow(minute, 40))); \
+     SELECT DeviceID, MAX(T) AS MaxTemp \
+     FROM Input TIMESTAMP BY EntryTime \
+     GROUP BY DeviceID, Windows( \
+         Window('20 min', TumblingWindow(minute, 20)), \
+         Window('60 min', TumblingWindow(minute, 60))); \
+     SELECT DeviceID, AVG(T) AS AvgTemp \
+     FROM Input TIMESTAMP BY EntryTime \
+     GROUP BY DeviceID, Windows( \
+         Window('30 min', TumblingWindow(minute, 30)), \
+         Window('120 min', TumblingWindow(minute, 120)))";
+
 /// Parses SQL text straight to the optimizer's [`fw_core::WindowQuery`]
 /// (labels preserved). SQL-level failures surface as [`ParseError`] with
 /// byte offsets; window-model violations (e.g. a range that is not a
@@ -65,6 +89,23 @@ pub fn parse_to_query(sql: &str) -> Result<fw_core::WindowQuery, ParseError> {
         message: e.to_string(),
         offset: 0,
     })
+}
+
+/// Parses a `;`-separated statement sequence straight to a list of
+/// [`fw_core::WindowQuery`]s — the frontend of the query-group subsystem
+/// (`factor_windows::QueryGroup::from_sql`). Both SQL errors and
+/// window-model violations carry offsets into the full source text, so
+/// [`ParseError::render`] points at the failing statement.
+pub fn parse_to_queries(sql: &str) -> Result<Vec<fw_core::WindowQuery>, ParseError> {
+    parse_queries_spanned(sql)?
+        .iter()
+        .map(|(offset, parsed)| {
+            parsed.to_window_query().map_err(|e| ParseError {
+                message: e.to_string(),
+                offset: *offset,
+            })
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -84,6 +125,83 @@ mod tests {
     #[test]
     fn parse_to_query_surfaces_sql_errors() {
         assert!(parse_to_query("SELECT nope").is_err());
+    }
+
+    #[test]
+    fn fig1_group_fixture_parses_to_three_correlated_queries() {
+        let queries = parse_to_queries(FIG1_GROUP_SQL).unwrap();
+        assert_eq!(queries.len(), 3);
+        let ranges: Vec<Vec<u64>> = queries
+            .iter()
+            .map(|q| q.windows().iter().map(fw_core::Window::range).collect())
+            .collect();
+        assert_eq!(ranges[0], vec![1200, 1800, 2400]);
+        assert_eq!(ranges[1], vec![1200, 3600]);
+        assert_eq!(ranges[2], vec![1800, 7200]);
+        let labels: Vec<&str> = queries.iter().map(|q| q.aggregates()[0].label()).collect();
+        assert_eq!(labels, vec!["MinTemp", "MaxTemp", "AvgTemp"]);
+        // The 20-minute window is shared between queries 0 and 1, the
+        // 30-minute one between 0 and 2 — the correlation the group
+        // optimizer exploits.
+        assert!(queries[1]
+            .windows()
+            .contains(&fw_core::Window::tumbling(1200).unwrap()));
+        assert!(queries[2]
+            .windows()
+            .contains(&fw_core::Window::tumbling(1800).unwrap()));
+    }
+
+    #[test]
+    fn group_parse_errors_point_into_the_failing_statement() {
+        let sql = "SELECT k, MIN(v) FROM S GROUP BY k, \
+                   Windows(Window('a', TumblingWindow(minute, 5))); \
+                   SELECT k, NOPE(v) FROM S GROUP BY k, \
+                   Windows(Window('b', TumblingWindow(minute, 5)))";
+        let err = parse_queries(sql).unwrap_err();
+        assert!(err.message.contains("unknown aggregate"), "{}", err.message);
+        // The offset is absolute: it lands on `NOPE` in the second
+        // statement, past the end of the first.
+        assert_eq!(&sql[err.offset..err.offset + 4], "NOPE");
+        assert!(err.offset > sql.find(';').unwrap());
+        // Rendering against the full source works unchanged.
+        assert!(err.render(sql).contains("NOPE"), "{}", err.render(sql));
+    }
+
+    #[test]
+    fn spanned_group_parsing_reports_statement_offsets() {
+        let sql = "SELECT k, MIN(v) FROM S GROUP BY k, \
+                   Windows(Window('a', TumblingWindow(minute, 5))); \
+                   SELECT k, MAX(v) FROM S GROUP BY k, \
+                   Windows(Window('b', TumblingWindow(minute, 10)))";
+        let spanned = parse_queries_spanned(sql).unwrap();
+        assert_eq!(spanned.len(), 2);
+        assert_eq!(spanned[0].0, 0);
+        assert!(spanned[1].0 > sql.find(';').unwrap());
+        assert!(sql[spanned[1].0..]
+            .trim_start()
+            .starts_with("SELECT k, MAX"));
+        // parse_to_queries maps post-parse (window-model) errors to the
+        // failing statement's offset too, not to byte 0.
+        let spanned = parse_queries_spanned(
+            "SELECT k, MIN(v) FROM S GROUP BY k, \
+             Windows(Window('a', TumblingWindow(minute, 5))); \
+             SELECT k, MIN(v) FROM S GROUP BY k, \
+             Windows(Window('b', TumblingWindow(minute, 7)))",
+        )
+        .unwrap();
+        assert!(spanned[1].0 > 0);
+    }
+
+    #[test]
+    fn group_parsing_skips_blank_statements_and_semicolons_in_strings() {
+        let sql = "-- leading comment\n; \
+                   SELECT k, MIN(v) FROM S GROUP BY k, \
+                   Windows(Window('a;b', TumblingWindow(minute, 5))); \
+                   -- trailing comment with ; inside\n;";
+        let queries = parse_queries(sql).unwrap();
+        assert_eq!(queries.len(), 1);
+        assert_eq!(queries[0].windows[0].0, "a;b");
+        assert!(parse_queries("  ;; -- nothing\n").is_err());
     }
 
     #[test]

@@ -124,6 +124,85 @@ pub fn parse_query(source: &str) -> Result<ParsedQuery, ParseError> {
     Parser { tokens, pos: 0 }.parse()
 }
 
+/// Parses a `;`-separated sequence of statements (a query group). Empty
+/// statements — a trailing `;`, doubled separators, comment-only segments
+/// — are skipped; at least one real statement is required. Errors carry
+/// byte offsets into the *full* source text, so
+/// [`ParseError::render`]`(source)` points at the failing statement's
+/// exact position.
+pub fn parse_queries(source: &str) -> Result<Vec<ParsedQuery>, ParseError> {
+    Ok(parse_queries_spanned(source)?
+        .into_iter()
+        .map(|(_, q)| q)
+        .collect())
+}
+
+/// Like [`parse_queries`], but pairs each parsed statement with its byte
+/// offset in the full source — so callers converting further (e.g. to
+/// `WindowQuery`, which can reject window-model violations) can keep
+/// reporting errors against the failing statement.
+pub fn parse_queries_spanned(source: &str) -> Result<Vec<(usize, ParsedQuery)>, ParseError> {
+    let mut queries = Vec::new();
+    for (offset, statement) in split_statements(source) {
+        if statement_is_blank(statement) {
+            continue;
+        }
+        let parsed = parse_query(statement).map_err(|e| ParseError {
+            message: e.message,
+            offset: offset + e.offset,
+        })?;
+        queries.push((offset, parsed));
+    }
+    if queries.is_empty() {
+        return Err(ParseError {
+            message: "expected at least one statement".to_string(),
+            offset: 0,
+        });
+    }
+    Ok(queries)
+}
+
+/// Splits `source` on `;` separators that sit outside string literals and
+/// `--` line comments, returning each statement with its byte offset.
+fn split_statements(source: &str) -> Vec<(usize, &str)> {
+    let bytes = source.as_bytes();
+    let mut statements = Vec::new();
+    let mut start = 0;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\'' => {
+                // String literal: skip to the closing quote (no escapes in
+                // this dialect). An unterminated literal runs to EOF and
+                // the per-statement tokenizer reports it.
+                i += 1;
+                while i < bytes.len() && bytes[i] != b'\'' {
+                    i += 1;
+                }
+                i += 1;
+            }
+            b'-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b';' => {
+                statements.push((start, &source[start..i]));
+                start = i + 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    statements.push((start, &source[start..]));
+    statements
+}
+
+/// Whether a statement holds no tokens (whitespace and comments only).
+fn statement_is_blank(statement: &str) -> bool {
+    matches!(tokenize(statement).as_deref(), Ok([only]) if only.token == Token::Eof)
+}
+
 struct Parser {
     tokens: Vec<Spanned>,
     pos: usize,

@@ -42,12 +42,12 @@
 //! ```
 
 use fw_core::{
-    CostModel, Error as CoreError, OptimizationOutcome, Optimizer, PlanBundle, PlanChoice,
-    QueryPlan, Semantics, WindowQuery,
+    AdaptivePlanner, CostModel, Error as CoreError, OptimizationOutcome, Optimizer, PlanBundle,
+    PlanChoice, QueryPlan, RateEstimator, Semantics, WindowQuery,
 };
 use fw_engine::{
-    EngineError, Event, Parallelism, PipelineOptions, PlanPipeline, RunOutput, ShardedPipeline,
-    Throughput, WindowResult,
+    EngineError, Event, ExecStats, Parallelism, PipelineOptions, PlanPipeline, RunOutput,
+    ShardedPipeline, Throughput, WindowResult,
 };
 use fw_sql::ParseError;
 use std::cell::OnceCell;
@@ -62,6 +62,12 @@ pub enum ApiError {
     Optimize(CoreError),
     /// The engine rejected the plan or the stream.
     Engine(EngineError),
+    /// A group operation referenced a query id the group never issued (or
+    /// one that was already deregistered).
+    UnknownQuery {
+        /// The unresolved id.
+        id: fw_core::QueryId,
+    },
 }
 
 impl fmt::Display for ApiError {
@@ -70,6 +76,7 @@ impl fmt::Display for ApiError {
             ApiError::Parse(e) => write!(f, "parse error: {} (byte {})", e.message, e.offset),
             ApiError::Optimize(e) => write!(f, "optimizer error: {e}"),
             ApiError::Engine(e) => write!(f, "engine error: {e}"),
+            ApiError::UnknownQuery { id } => write!(f, "unknown query {id} in this group"),
         }
     }
 }
@@ -116,6 +123,8 @@ pub struct Session {
     collect: bool,
     element_work: u32,
     parallelism: Parallelism,
+    /// Re-optimization drift threshold; `Some` enables adaptive planning.
+    adaptive: Option<f64>,
     outcome: OnceCell<OptimizationOutcome>,
 }
 
@@ -137,6 +146,7 @@ impl Session {
             collect: false,
             element_work: fw_engine::DEFAULT_ELEMENT_WORK,
             parallelism: Parallelism::Sequential,
+            adaptive: None,
             outcome: OnceCell::new(),
         }
     }
@@ -192,6 +202,27 @@ impl Session {
     #[must_use]
     pub fn element_work(mut self, element_work: u32) -> Self {
         self.element_work = element_work;
+        self
+    }
+
+    /// Enables adaptive re-optimization ([`fw_core::AdaptivePlanner`]):
+    /// the pipeline estimates the observed ingestion rate (EWMA over
+    /// event timestamps) and, at every [`Pipeline::advance_watermark`]
+    /// boundary, re-runs the cost-based optimizer when the rate has
+    /// drifted from the planned rate by at least `threshold` (a ratio
+    /// greater than 1; e.g. `1.5` means ±50% drift). A re-optimization that changes
+    /// the winning plan swaps it in place — window state migrates, so
+    /// results are identical to a fixed-plan run, and
+    /// [`fw_engine::ExecStats::replans`] counts the swaps.
+    ///
+    /// Adaptive pipelines compile onto the slot-based group core (the
+    /// only core that supports live plan swaps), so single-aggregate
+    /// queries give up the monomorphized fast path. Rejected at build
+    /// time for all-holistic queries, whose three plans are identical at
+    /// every rate.
+    #[must_use]
+    pub fn adaptive(mut self, threshold: f64) -> Self {
+        self.adaptive = Some(threshold);
         self
     }
 
@@ -260,15 +291,46 @@ impl Session {
             element_work: self.element_work,
             out_of_order: self.out_of_order,
         };
-        let backend = match self.parallelism.shard_count() {
-            0 => Backend::Single(PlanPipeline::compile(&bundle.plan, options)?),
-            shards => Backend::Sharded(ShardedPipeline::compile(&bundle.plan, options, shards)?),
+        let adaptive = match self.adaptive {
+            None => None,
+            Some(threshold) => {
+                let semantics = semantics.ok_or(CoreError::HolisticFunction {
+                    function: self.query.function().name(),
+                })?;
+                let planner = AdaptivePlanner::from_model(
+                    self.query.clone(),
+                    semantics,
+                    self.model,
+                    threshold,
+                )?;
+                Some(AdaptiveState {
+                    planner,
+                    estimator: RateEstimator::new(ADAPTIVE_EWMA_ALPHA),
+                    requested: self.choice,
+                    observed_max: 0,
+                })
+            }
+        };
+        // Adaptive pipelines swap plans in place, which only the
+        // slot-based group core supports.
+        let backend = match (self.parallelism.shard_count(), adaptive.is_some()) {
+            (0, false) => Backend::Single(PlanPipeline::compile(&bundle.plan, options)?),
+            (0, true) => Backend::Single(PlanPipeline::compile_grouped(&bundle.plan, options)?),
+            (shards, false) => {
+                Backend::Sharded(ShardedPipeline::compile(&bundle.plan, options, shards)?)
+            }
+            (shards, true) => Backend::Sharded(ShardedPipeline::compile_grouped(
+                &bundle.plan,
+                options,
+                shards,
+            )?),
         };
         Ok(Pipeline {
             backend,
             bundle,
             choice,
             semantics,
+            adaptive,
         })
     }
 
@@ -311,6 +373,36 @@ enum Backend {
     Sharded(ShardedPipeline),
 }
 
+/// EWMA weight of the newest rate observation for adaptive sessions: a
+/// compromise between convergence speed (a few dozen time units) and
+/// robustness against bursty arrivals.
+const ADAPTIVE_EWMA_ALPHA: f64 = 0.2;
+
+/// Runtime state of an adaptive pipeline: the rate estimator fed on every
+/// push and the planner consulted at watermark boundaries.
+#[derive(Debug, Clone)]
+struct AdaptiveState {
+    planner: AdaptivePlanner,
+    estimator: RateEstimator,
+    /// The session's plan-choice policy, re-applied after each
+    /// re-optimization.
+    requested: PlanChoice,
+    /// Maximum event time fed to the estimator, which requires
+    /// non-decreasing observations: late events (repaired by the reorder
+    /// buffer before they reach the operators) are skipped rather than
+    /// rewinding the estimator's time unit.
+    observed_max: u64,
+}
+
+impl AdaptiveState {
+    fn observe(&mut self, time: u64) {
+        if time >= self.observed_max {
+            self.estimator.observe(time);
+            self.observed_max = time;
+        }
+    }
+}
+
 /// A compiled, long-lived execution pipeline produced by
 /// [`Session::build`].
 ///
@@ -327,6 +419,7 @@ pub struct Pipeline {
     bundle: PlanBundle,
     choice: PlanChoice,
     semantics: Option<Semantics>,
+    adaptive: Option<AdaptiveState>,
 }
 
 impl Pipeline {
@@ -334,28 +427,76 @@ impl Pipeline {
     /// is repaired; anything later is an [`EngineError::OutOfOrderEvent`].
     pub fn push(&mut self, event: Event) -> ApiResult<()> {
         match &mut self.backend {
-            Backend::Single(p) => Ok(p.push(event)?),
-            Backend::Sharded(p) => Ok(p.push(event)?),
+            Backend::Single(p) => p.push(event)?,
+            Backend::Sharded(p) => p.push(event)?,
         }
+        if let Some(state) = &mut self.adaptive {
+            state.observe(event.time);
+        }
+        Ok(())
     }
 
     /// Pushes a batch of in-order events (timed once around the batch;
     /// scattered by key in one pass on the sharded backend).
     pub fn push_batch(&mut self, events: &[Event]) -> ApiResult<()> {
         match &mut self.backend {
-            Backend::Single(p) => Ok(p.push_batch(events)?),
-            Backend::Sharded(p) => Ok(p.push_batch(events)?),
+            Backend::Single(p) => p.push_batch(events)?,
+            Backend::Sharded(p) => p.push_batch(events)?,
         }
+        if let Some(state) = &mut self.adaptive {
+            for event in events {
+                state.observe(event.time);
+            }
+        }
+        Ok(())
     }
 
     /// Declares that no event before `watermark` will arrive: flushes the
     /// reorder buffer up to it and seals every window instance ending at
     /// or before it (broadcast to every shard on the sharded backend).
+    ///
+    /// On an adaptive session ([`Session::adaptive`]) this is also the
+    /// re-optimization point: if the observed rate has drifted past the
+    /// threshold and the re-derived winning plan differs, the pipeline
+    /// swaps plans in place before returning (results are unaffected —
+    /// window state migrates across the swap).
     pub fn advance_watermark(&mut self, watermark: u64) -> ApiResult<()> {
         match &mut self.backend {
-            Backend::Single(p) => Ok(p.advance_watermark(watermark)?),
-            Backend::Sharded(p) => Ok(p.advance_watermark(watermark)?),
+            Backend::Single(p) => p.advance_watermark(watermark)?,
+            Backend::Sharded(p) => p.advance_watermark(watermark)?,
         }
+        self.maybe_replan(watermark)
+    }
+
+    /// Consults the adaptive planner (no-op for static sessions): on a
+    /// rate drift past the threshold, re-optimizes and swaps the plan at
+    /// `watermark` if the plan the session's policy now selects differs
+    /// from the executing one. The comparison is against the *selected*
+    /// plan, not the planner's topology-change signal: under
+    /// [`PlanChoice::Auto`] a rate change can flip which bundle is
+    /// cheapest even when every bundle's topology is unchanged.
+    fn maybe_replan(&mut self, watermark: u64) -> ApiResult<()> {
+        let Some(state) = &mut self.adaptive else {
+            return Ok(());
+        };
+        let Some(rate) = state.estimator.rate() else {
+            return Ok(());
+        };
+        let _ = state.planner.observe_rate(rate)?;
+        let outcome = state.planner.current();
+        let bundle = outcome.select(state.requested);
+        if bundle.plan == self.bundle.plan {
+            return Ok(());
+        }
+        let bundle = bundle.clone();
+        let choice = outcome.resolve(state.requested);
+        match &mut self.backend {
+            Backend::Single(p) => p.rebuild(&bundle.plan, watermark)?,
+            Backend::Sharded(p) => p.rebuild(&bundle.plan, watermark)?,
+        }
+        self.bundle = bundle;
+        self.choice = choice;
+        Ok(())
     }
 
     /// Drains the results collected since the last poll (always empty
@@ -448,6 +589,40 @@ impl Pipeline {
             Backend::Single(p) => p.watermark(),
             Backend::Sharded(p) => p.watermark(),
         }
+    }
+
+    /// Cost-model element counts so far (cumulative across any adaptive
+    /// plan swaps; [`ExecStats::replans`] counts the swaps). A
+    /// synchronizing snapshot on the sharded backend.
+    #[must_use]
+    pub fn stats(&self) -> ExecStats {
+        match &self.backend {
+            Backend::Single(p) => p.stats(),
+            Backend::Sharded(p) => p.snapshot().2,
+        }
+    }
+
+    /// The adaptive planner's current ingestion-rate estimate (events per
+    /// time unit); `None` on non-adaptive sessions or before the first
+    /// full time unit has been observed.
+    #[must_use]
+    pub fn observed_rate(&self) -> Option<f64> {
+        self.adaptive.as_ref().and_then(|s| s.estimator.rate())
+    }
+
+    /// The rate the currently executing plan was optimized for (the cost
+    /// model's η on non-adaptive sessions).
+    #[must_use]
+    pub fn planned_rate(&self) -> Option<u64> {
+        self.adaptive.as_ref().map(|s| s.planner.planned_rate())
+    }
+
+    /// Adaptive re-optimizations performed so far (`0` on non-adaptive
+    /// sessions; also reported as [`ExecStats::replans`], where only the
+    /// re-optimizations that actually changed the plan perform a swap).
+    #[must_use]
+    pub fn replans(&self) -> u64 {
+        self.adaptive.as_ref().map_or(0, |s| s.planner.replans())
     }
 
     /// Events currently held in the reorder buffer (single-threaded) or
@@ -686,6 +861,126 @@ mod tests {
         let pipeline = Session::from_query(demo_query()).build().unwrap();
         assert_eq!(pipeline.aggregates().len(), 1);
         assert_eq!(pipeline.aggregates()[0].label(), "MIN");
+    }
+
+    #[test]
+    fn adaptive_session_replans_on_rate_drift_without_changing_results() {
+        // The window set whose best factor structure differs between
+        // η = 1 and η = 2+ (see fw_core::adaptive): a real rate jump must
+        // trigger a replan, and the in-place plan swap must not disturb
+        // results.
+        let windows = WindowSet::new(
+            [10u64, 20, 94, 100, 300]
+                .map(|r| Window::tumbling(r).unwrap())
+                .to_vec(),
+        )
+        .unwrap();
+        let query = WindowQuery::new(windows, AggregateFunction::Min);
+
+        // Phase 1: one event per time unit; phase 2: four per unit.
+        let mut events = Vec::new();
+        for t in 0..600u64 {
+            events.push(Event::new(t, (t % 3) as u32, (t % 19) as f64));
+        }
+        for t in 600..1200u64 {
+            for k in 0..4u32 {
+                events.push(Event::new(t, k, ((t + u64::from(k)) % 19) as f64));
+            }
+        }
+
+        let reference = Session::from_query(query.clone())
+            .collect_results(true)
+            .element_work(0)
+            .run_batch(&events)
+            .unwrap();
+
+        for parallelism in [Parallelism::Sequential, Parallelism::Fixed(2)] {
+            let session = Session::from_query(query.clone())
+                .adaptive(1.5)
+                .collect_results(true)
+                .element_work(0)
+                .parallelism(parallelism);
+            let mut pipeline = session.build().unwrap();
+            assert_eq!(pipeline.replans(), 0);
+            let mut collected = Vec::new();
+            for chunk in events.chunks(300) {
+                pipeline.push_batch(chunk).unwrap();
+                let watermark = pipeline.watermark();
+                pipeline.advance_watermark(watermark).unwrap();
+                collected.extend(pipeline.poll_results());
+            }
+            assert!(
+                pipeline.replans() >= 1,
+                "rate doubled but no replan ({parallelism:?})"
+            );
+            let rate = pipeline.observed_rate().unwrap();
+            assert!(rate > 2.0, "estimator should see the jump, got {rate}");
+            assert!(pipeline.planned_rate().unwrap() >= 2);
+            let out = pipeline.finish().unwrap();
+            assert!(out.stats.replans >= 1, "{parallelism:?}");
+            collected.extend(out.results);
+            assert_eq!(
+                sorted_results(collected),
+                sorted_results(reference.results.clone()),
+                "adaptive replanning changed results under {parallelism:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_session_tolerates_out_of_order_input() {
+        // Late events are repaired by the reorder buffer before reaching
+        // the operators; the rate estimator must skip them rather than
+        // rewinding its time unit (a regression would panic in debug
+        // builds and inflate the estimate in release).
+        let windows = WindowSet::new(vec![
+            Window::tumbling(20).unwrap(),
+            Window::tumbling(40).unwrap(),
+        ])
+        .unwrap();
+        let query = WindowQuery::new(windows, AggregateFunction::Min);
+        let ordered = stream(400);
+        let mut jittered = ordered.clone();
+        for chunk in jittered.chunks_mut(4) {
+            chunk.reverse();
+        }
+        let reference = Session::from_query(query.clone())
+            .collect_results(true)
+            .element_work(0)
+            .run_batch(&ordered)
+            .unwrap();
+        let mut pipeline = Session::from_query(query)
+            .adaptive(1.5)
+            .out_of_order(4)
+            .collect_results(true)
+            .element_work(0)
+            .build()
+            .unwrap();
+        for &e in &jittered {
+            pipeline.push(e).unwrap();
+        }
+        let watermark = pipeline.watermark();
+        pipeline.advance_watermark(watermark).unwrap();
+        assert!(pipeline.observed_rate().is_some());
+        let out = pipeline.finish().unwrap();
+        assert_eq!(
+            sorted_results(out.results),
+            sorted_results(reference.results)
+        );
+    }
+
+    #[test]
+    fn adaptive_rejects_all_holistic_queries() {
+        let windows = WindowSet::new(vec![Window::tumbling(20).unwrap()]).unwrap();
+        let query = WindowQuery::new(windows, AggregateFunction::Median);
+        let err = Session::from_query(query)
+            .adaptive(1.5)
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ApiError::Optimize(fw_core::Error::HolisticFunction { .. })
+        ));
     }
 
     #[test]

@@ -43,6 +43,7 @@
 #![warn(clippy::all)]
 
 pub mod api;
+pub mod group;
 
 pub use fw_core as core;
 pub use fw_engine as engine;
@@ -51,13 +52,16 @@ pub use fw_sql as sql;
 pub use fw_workload as workload;
 
 pub use api::{ApiError, ApiResult, Pipeline, Session};
-pub use fw_core::PlanChoice;
-pub use fw_engine::Parallelism;
+pub use fw_core::{GroupStrategy, PlanChoice, QueryId, SharingPolicy};
+pub use fw_engine::{GroupResult, Parallelism};
+pub use group::{GroupPipeline, QueryGroup};
 
 /// One-stop imports for typical users: the session façade plus the
 /// optimizer-level types it is configured with.
 pub mod prelude {
     pub use crate::api::{ApiError, ApiResult, Pipeline, Session};
+    pub use crate::group::{GroupPipeline, QueryGroup};
     pub use fw_core::prelude::*;
-    pub use fw_engine::{Event, Parallelism, RunOutput, WindowResult};
+    pub use fw_core::{GroupStrategy, QueryId, SharingPolicy};
+    pub use fw_engine::{Event, GroupResult, Parallelism, RunOutput, WindowResult};
 }

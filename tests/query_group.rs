@@ -1,0 +1,305 @@
+//! Acceptance tests for the query-group subsystem: N concurrently
+//! registered queries sharing one factor-window execution.
+//!
+//! * **Equivalence** — a 4-query group (mixed window sets, mixed
+//!   single-/multi-term SELECT lists, a holistic rider included) produces,
+//!   per (query, label), results identical to 4 independent solo sessions
+//!   — across every `PlanChoice` × `Parallelism::Fixed(1|2|4)` (and
+//!   `Sequential`) under out-of-order input.
+//! * **Dynamism** — registering and deregistering queries mid-stream at
+//!   watermark boundaries keeps every surviving query's results
+//!   byte-identical to an uninterrupted solo run; departing queries get
+//!   exactly the instances sealed by the boundary, arriving ones exactly
+//!   the instances starting after it.
+//! * **Sharing** — the shared strategy pays pane maintenance once for the
+//!   group (vs once per member for the unshared fallback).
+
+use factor_windows::prelude::*;
+use factor_windows::workload::SplitMix64;
+use fw_core::{AggregateSpec, Window, WindowSet};
+use fw_engine::sorted_results;
+
+const KEYS: u32 = 4;
+const JITTER: usize = 6;
+const TOLERANCE: u64 = 8;
+
+fn query(ranges: &[u64], funcs: &[AggregateFunction]) -> WindowQuery {
+    let windows = WindowSet::new(
+        ranges
+            .iter()
+            .map(|&r| Window::tumbling(r).unwrap())
+            .collect(),
+    )
+    .unwrap();
+    let specs = funcs.iter().map(|&f| AggregateSpec::new(f)).collect();
+    WindowQuery::with_aggregates(windows, specs).unwrap()
+}
+
+/// Four correlated standing queries: overlapping window sets, shared and
+/// distinct aggregate terms, one holistic rider (MEDIAN).
+fn fleet() -> Vec<WindowQuery> {
+    use AggregateFunction::{Avg, Count, Max, Median, Min, Sum};
+    vec![
+        query(&[20, 30, 40], &[Min, Max]),
+        query(&[20, 40, 80], &[Sum]),
+        query(&[30, 60], &[Count, Avg]),
+        query(&[20, 40], &[Median, Min]),
+    ]
+}
+
+fn stream(n: u64) -> Vec<Event> {
+    (0..n)
+        .map(|t| Event::new(t, (t % u64::from(KEYS)) as u32, ((t * 7) % 113) as f64))
+        .collect()
+}
+
+/// Deterministic bounded disorder: blocks of `JITTER` events shuffled
+/// independently (disorder never exceeds the reorder tolerance).
+fn jittered(events: &[Event], seed: u64) -> Vec<Event> {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let mut out = events.to_vec();
+    for block in out.chunks_mut(JITTER) {
+        for i in (1..block.len()).rev() {
+            let j = rng.gen_index(i + 1);
+            block.swap(i, j);
+        }
+    }
+    out
+}
+
+/// Solo reference: the query run alone through a `Session` on in-order
+/// input, results sorted canonically.
+fn solo(query: &WindowQuery, choice: PlanChoice, events: &[Event]) -> Vec<WindowResult> {
+    let session = Session::from_query(query.clone())
+        .plan_choice(choice)
+        .collect_results(true)
+        .element_work(0);
+    sorted_results(session.run_batch(events).unwrap().results)
+}
+
+/// The slice of group results owned by `id`, stripped of the query tag.
+fn slice_of(results: &[GroupResult], id: QueryId) -> Vec<WindowResult> {
+    results
+        .iter()
+        .filter(|r| r.query == id)
+        .map(|r| r.result)
+        .collect()
+}
+
+fn group_builder(choice: PlanChoice, parallelism: Parallelism) -> QueryGroup {
+    let mut builder = QueryGroup::new()
+        .plan_choice(choice)
+        .parallelism(parallelism)
+        .out_of_order(TOLERANCE)
+        .collect_results(true)
+        .element_work(0);
+    for q in fleet() {
+        builder = builder.query(q);
+    }
+    builder
+}
+
+const MATRIX: [Parallelism; 4] = [
+    Parallelism::Sequential,
+    Parallelism::Fixed(1),
+    Parallelism::Fixed(2),
+    Parallelism::Fixed(4),
+];
+
+#[test]
+fn four_query_group_equals_four_solo_sessions_everywhere() {
+    let ordered = stream(4800);
+    let disordered = jittered(&ordered, 0xFACADE);
+    for choice in [
+        PlanChoice::Auto,
+        PlanChoice::Original,
+        PlanChoice::Rewritten,
+        PlanChoice::Factored,
+    ] {
+        let solos: Vec<Vec<WindowResult>> =
+            fleet().iter().map(|q| solo(q, choice, &ordered)).collect();
+        for parallelism in MATRIX {
+            let mut group = group_builder(choice, parallelism).build().unwrap();
+            group.push_batch(&disordered).unwrap();
+            let out = group.finish().unwrap();
+            assert_eq!(out.events_processed, ordered.len() as u64);
+            for (i, reference) in solos.iter().enumerate() {
+                assert_eq!(
+                    &sorted_results(slice_of(&out.results, QueryId(i as u32))),
+                    reference,
+                    "query {i} diverges under {choice:?} / {parallelism:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn both_sharing_strategies_are_equivalent_and_dedup_shared_slots() {
+    let ordered = stream(2400);
+    let disordered = jittered(&ordered, 0xBEEF);
+    let solos: Vec<Vec<WindowResult>> = fleet()
+        .iter()
+        .map(|q| solo(q, PlanChoice::Auto, &ordered))
+        .collect();
+    for policy in [SharingPolicy::Shared, SharingPolicy::Unshared] {
+        let mut group = group_builder(PlanChoice::Auto, Parallelism::Fixed(2))
+            .sharing(policy)
+            .build()
+            .unwrap();
+        group.push_batch(&disordered).unwrap();
+        let out = group.finish().unwrap();
+        for (i, reference) in solos.iter().enumerate() {
+            assert_eq!(
+                &sorted_results(slice_of(&out.results, QueryId(i as u32))),
+                reference,
+                "query {i} diverges under {policy:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn register_and_deregister_mid_stream_match_solo_sessions() {
+    let ordered = stream(4800);
+    let disordered = jittered(&ordered, 0x5EED);
+    let boundary = 2400usize; // multiple of JITTER: no block spans it
+    let late_query = query(
+        &[30, 60],
+        &[AggregateFunction::Min, AggregateFunction::Count],
+    );
+
+    for choice in [PlanChoice::Auto, PlanChoice::Factored, PlanChoice::Original] {
+        for parallelism in MATRIX {
+            let mut group = group_builder(choice, parallelism).build().unwrap();
+            group.push_batch(&disordered[..boundary]).unwrap();
+            group.advance_watermark(boundary as u64).unwrap();
+
+            // Q1 departs and the late query arrives, both at t=2400.
+            group.deregister(QueryId(1)).unwrap();
+            let late = group.register(late_query.clone()).unwrap();
+            assert_eq!(late, QueryId(4));
+
+            group.push_batch(&disordered[boundary..]).unwrap();
+            let out = group.finish().unwrap();
+            assert_eq!(out.stats.replans, 2, "{choice:?}/{parallelism:?}");
+
+            let label = |q: usize| format!("query {q} under {choice:?}/{parallelism:?}");
+            // Uninterrupted members: byte-identical to solo full-stream runs.
+            for i in [0usize, 2, 3] {
+                assert_eq!(
+                    sorted_results(slice_of(&out.results, QueryId(i as u32))),
+                    solo(&fleet()[i], choice, &ordered),
+                    "{}",
+                    label(i)
+                );
+            }
+            // The departed member saw exactly the instances sealed by the
+            // boundary.
+            let expected_q1: Vec<WindowResult> = solo(&fleet()[1], choice, &ordered)
+                .into_iter()
+                .filter(|r| r.interval.end <= boundary as u64)
+                .collect();
+            assert!(!expected_q1.is_empty());
+            assert_eq!(
+                sorted_results(slice_of(&out.results, QueryId(1))),
+                expected_q1,
+                "{}",
+                label(1)
+            );
+            // The late member equals a solo run over the suffix, filtered
+            // to instances starting at or after registration.
+            let expected_late: Vec<WindowResult> = solo(&late_query, choice, &ordered[boundary..])
+                .into_iter()
+                .filter(|r| r.interval.start >= boundary as u64)
+                .collect();
+            assert!(!expected_late.is_empty());
+            assert_eq!(
+                sorted_results(slice_of(&out.results, QueryId(4))),
+                expected_late,
+                "{}",
+                label(4)
+            );
+        }
+    }
+}
+
+#[test]
+fn shared_group_pays_pane_maintenance_once() {
+    // Combinable-only fleet: a holistic rider (MEDIAN) would force raw
+    // feeds on every exposed window of the merged plan — a real cost the
+    // group optimizer prices and lets `SharingPolicy::Auto` weigh, but
+    // not the sharing effect this test pins down.
+    use AggregateFunction::{Count, Max, Min, Sum};
+    let combinable = [
+        query(&[20, 30, 40], &[Sum]),
+        query(&[20, 40, 60], &[Count]),
+        query(&[30, 60, 120], &[Min]),
+        query(&[20, 40, 120], &[Max]),
+    ];
+    let events = stream(2400);
+    let run = |policy: SharingPolicy| {
+        let mut builder = QueryGroup::new()
+            .plan_choice(PlanChoice::Factored)
+            .sharing(policy)
+            .element_work(0);
+        for q in &combinable {
+            builder = builder.query(q.clone());
+        }
+        builder.run_batch(&events).unwrap().stats
+    };
+    let shared = run(SharingPolicy::Shared);
+    let unshared = run(SharingPolicy::Unshared);
+    // Unshared execution re-pays raw pane updates per member; sharing
+    // folds each event into the merged topology once. The group-level
+    // acceptance bar: well under half the unshared bill for 4 queries.
+    assert!(
+        2 * shared.updates < unshared.updates,
+        "shared {} vs unshared {}",
+        shared.updates,
+        unshared.updates
+    );
+    assert!(
+        shared.elements() < unshared.elements(),
+        "shared {} vs unshared {}",
+        shared.elements(),
+        unshared.elements()
+    );
+}
+
+#[test]
+fn group_sql_fixture_streams_end_to_end_with_routing() {
+    // FIG1_GROUP_SQL windows are in seconds (1200..7200): stream two full
+    // hours so every window seals at least once.
+    let mut group = QueryGroup::from_sql(fw_sql::FIG1_GROUP_SQL)
+        .unwrap()
+        .collect_results(true)
+        .element_work(0)
+        .build()
+        .unwrap();
+    let events: Vec<Event> = (0..7200u64)
+        .map(|t| Event::new(t, (t % 3) as u32, ((t * 11) % 97) as f64))
+        .collect();
+    group.push_batch(&events).unwrap();
+    let out = group.finish().unwrap();
+    // Each of the three queries received results, each under its own label.
+    let mut seen = [false; 3];
+    for r in &out.results {
+        seen[r.query.0 as usize] = true;
+    }
+    assert_eq!(seen, [true; 3]);
+    // Labels resolve per query (the shared 20-minute window produces both
+    // MinTemp for q0 and MaxTemp for q1).
+    let w20 = Window::tumbling(1200).unwrap();
+    let labels: Vec<&str> = out
+        .results
+        .iter()
+        .filter(|r| r.result.window == w20 && r.result.interval.start == 0 && r.result.key == 0)
+        .map(|r| match r.query {
+            QueryId(0) => "MinTemp",
+            QueryId(1) => "MaxTemp",
+            _ => "?",
+        })
+        .collect();
+    assert!(labels.contains(&"MinTemp") && labels.contains(&"MaxTemp"));
+}
