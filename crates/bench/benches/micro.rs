@@ -12,8 +12,8 @@
 use fw_bench::{bench_events, bench_plans, bench_window_set, report, semantics_for, DEFAULT_ITERS};
 use fw_core::factor::{find_best_factor_covered, find_best_factor_partitioned};
 use fw_core::{CostModel, Semantics, Wcg, Window, WindowQuery, WindowSet};
-use fw_engine::{PipelineOptions, PlanPipeline};
-use fw_workload::{Generator, WindowShape};
+use fw_engine::{FastMap, FastU32Map, PipelineOptions, PlanPipeline};
+use fw_workload::{Generator, SplitMix64, WindowShape};
 
 fn wcg_and_algorithm1() {
     for size in [5usize, 10, 20] {
@@ -132,10 +132,68 @@ fn engine_paths() {
     });
 }
 
+/// The pane-map hasher ablation: the generic byte-folding `FastHasher`
+/// vs the `u32`-specialized identity/Fibonacci-mix `FastU32Hasher` the
+/// panes now use, on dense keys (`0..n`, the device-id workload the
+/// specialization targets) and on sparse random keys (where it must not
+/// regress — both hashes are bijective mixes, so the probe cost is the
+/// only difference).
+fn fasthash_ablation() {
+    const N: u32 = 65_536;
+    let dense: Vec<u32> = (0..N).collect();
+    let mut rng = SplitMix64::seed_from_u64(0xFA57);
+    let sparse: Vec<u32> = (0..N)
+        .map(|_| rng.gen_range_u64(0..u64::MAX) as u32)
+        .collect();
+
+    for (layout, keys) in [("dense", &dense), ("sparse", &sparse)] {
+        let mut generic: FastMap<u32, u64> = FastMap::default();
+        let mut specialized: FastU32Map<u64> = FastU32Map::default();
+        for &k in keys {
+            generic.insert(k, u64::from(k));
+            specialized.insert(k, u64::from(k));
+        }
+        report(
+            &format!("micro/fasthash/{layout}/generic_probe"),
+            DEFAULT_ITERS,
+            || {
+                let mut sum = 0u64;
+                for &k in keys {
+                    sum = sum.wrapping_add(*generic.get(&k).expect("inserted"));
+                }
+                std::hint::black_box(sum);
+            },
+        );
+        report(
+            &format!("micro/fasthash/{layout}/u32_probe"),
+            DEFAULT_ITERS,
+            || {
+                let mut sum = 0u64;
+                for &k in keys {
+                    sum = sum.wrapping_add(*specialized.get(&k).expect("inserted"));
+                }
+                std::hint::black_box(sum);
+            },
+        );
+        report(
+            &format!("micro/fasthash/{layout}/u32_insert"),
+            DEFAULT_ITERS,
+            || {
+                let mut m: FastU32Map<u64> = FastU32Map::default();
+                for &k in keys {
+                    m.insert(k, u64::from(k));
+                }
+                std::hint::black_box(m.len());
+            },
+        );
+    }
+}
+
 fn main() {
     println!("# micro: component benchmarks and ablations");
     wcg_and_algorithm1();
     factor_search_ablation();
     element_work_ablation();
     engine_paths();
+    fasthash_ablation();
 }

@@ -179,12 +179,23 @@ pub fn write_throughput_json(
     Ok(path)
 }
 
-/// Deterministic constant-pace stream for benchmarks.
+/// Deterministic constant-pace stream for benchmarks, as columns (the
+/// `Pipeline::push_columns` ingestion path).
+#[must_use]
+pub fn bench_event_columns(n: u64, keys: u32) -> fw_engine::EventBatch {
+    let mut batch = fw_engine::EventBatch::with_capacity(n as usize);
+    for t in 0..n {
+        batch.push_parts(t, (t % u64::from(keys.max(1))) as u32, (t % 997) as f64);
+    }
+    batch
+}
+
+/// Row-oriented view of [`bench_event_columns`] — the single source of
+/// the stream, so per-event-vs-columnar bench comparisons can never
+/// silently measure different workloads.
 #[must_use]
 pub fn bench_events(n: u64, keys: u32) -> Vec<Event> {
-    (0..n)
-        .map(|t| Event::new(t, (t % u64::from(keys.max(1))) as u32, (t % 997) as f64))
-        .collect()
+    bench_event_columns(n, keys).iter().collect()
 }
 
 /// The first window set of a configuration (run 1 of the paper's ten).
@@ -252,6 +263,8 @@ mod tests {
     fn helpers_produce_consistent_fixtures() {
         let events = bench_events(100, 4);
         assert_eq!(events.len(), 100);
+        let columns = bench_event_columns(100, 4);
+        assert_eq!(columns.iter().collect::<Vec<Event>>(), events);
         let ws = bench_window_set(Generator::SequentialGen, WindowShape::Tumbling, 5);
         assert_eq!(ws.len(), 5);
         let (orig, rew, fac) = bench_plans(&ws, semantics_for(WindowShape::Tumbling));

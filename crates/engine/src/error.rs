@@ -15,6 +15,13 @@ pub enum EngineError {
     OutOfOrderEvent { at: u64, watermark: u64 },
     /// The plan failed structural validation.
     InvalidPlan(String),
+    /// A columnar push's three column slices disagree on length; the
+    /// columns of one batch must describe the same events.
+    ColumnLengthMismatch {
+        times: usize,
+        keys: usize,
+        values: usize,
+    },
     /// The pipeline cannot be rebuilt in place (e.g. it was compiled on a
     /// monomorphized single-aggregate core, or a group's execution
     /// strategy would have to change mid-stream). Only pipelines compiled
@@ -35,6 +42,16 @@ impl fmt::Display for EngineError {
                 )
             }
             EngineError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
+            EngineError::ColumnLengthMismatch {
+                times,
+                keys,
+                values,
+            } => {
+                write!(
+                    f,
+                    "column length mismatch: {times} timestamps, {keys} keys, {values} values"
+                )
+            }
             EngineError::RebuildUnsupported { reason } => {
                 write!(f, "pipeline cannot be rebuilt in place: {reason}")
             }

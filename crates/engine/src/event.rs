@@ -51,6 +51,14 @@ pub enum ResultSink {
 }
 
 impl ResultSink {
+    /// A collecting sink with pre-reserved capacity — sized from the
+    /// plan's expected results-per-seal so steady-state emission never
+    /// grows the buffer (see `PlanPipeline`'s sink sizing).
+    #[must_use]
+    pub fn collecting_with_capacity(capacity: usize) -> Self {
+        ResultSink::Collect(Vec::with_capacity(capacity))
+    }
+
     /// Records a result: bumps `counter` and stores the value when
     /// collecting. Public so alternative executors (e.g. the slicing
     /// baseline) can reuse the sink.
@@ -58,6 +66,17 @@ impl ResultSink {
         *counter += 1;
         if let ResultSink::Collect(v) = self {
             v.push(result);
+        }
+    }
+
+    /// Moves the collected results into `out`, retaining the sink's
+    /// buffer (and its capacity) for the next emissions. With a reused
+    /// `out`, a steady-state poll loop performs no allocations — unlike
+    /// `std::mem::take`, which would strip the sink's capacity on every
+    /// poll and force the next seal to reallocate.
+    pub fn drain_into(&mut self, out: &mut Vec<WindowResult>) {
+        if let ResultSink::Collect(v) = self {
+            out.append(v);
         }
     }
 

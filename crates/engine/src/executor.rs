@@ -16,12 +16,58 @@
 //! façade one level up).
 
 use crate::agg::{Aggregate, AvgAgg, CountAgg, MaxAgg, MedianAgg, MinAgg, SumAgg};
+use crate::batch::EventBatch;
 use crate::error::{EngineError, Result};
 use crate::event::{Event, ResultSink, WindowResult};
 use crate::pane::PaneStore;
 use crate::reorder::ReorderBuffer;
 use fw_core::{AggregateFunction, QueryPlan, Window};
 use std::time::{Duration, Instant};
+
+/// Run-sliced pane routing, shared by the executor cores (this module's
+/// monomorphized [`Typed`] core and [`crate::multi::MultiCore`]).
+///
+/// A *run* is a maximal column slice whose events all route to the same
+/// instance set of every raw-fed window and cannot seal anything: the
+/// instance arithmetic (one division per window) and the sealing check
+/// are then paid once per run instead of once per event, and each run is
+/// folded per key so a key repeated k times in a run costs one hash probe
+/// instead of k (see `PaneStore::update_run`). Mostly-in-order streams at
+/// the paper's constant pace produce runs of a whole slide (η·s events),
+/// which is where the columnar ingestion win comes from.
+///
+/// Returns the exclusive time limit of the run starting at `t0`: the
+/// earliest next slide boundary over `windows`, capped at `deadline`
+/// (instance routing changes only at multiples of the slide, and nothing
+/// strictly below the deadline can seal).
+#[inline]
+pub(crate) fn run_limit<'a>(
+    t0: u64,
+    windows: impl Iterator<Item = &'a Window>,
+    deadline: u64,
+) -> u64 {
+    let mut limit = deadline;
+    for window in windows {
+        let s = window.slide();
+        limit = limit.min((t0 / s + 1).saturating_mul(s));
+    }
+    limit
+}
+
+/// Length of the run starting at `times[0]`: the maximal non-decreasing
+/// prefix strictly below `limit`. A timestamp decrease ends the run (the
+/// next run's head is then validated against the watermark, reproducing
+/// the per-event out-of-order check at the same position).
+#[inline]
+pub(crate) fn run_len(times: &[u64], limit: u64) -> usize {
+    let mut prev = times[0];
+    let mut j = 1;
+    while j < times.len() && times[j] >= prev && times[j] < limit {
+        prev = times[j];
+        j += 1;
+    }
+    j
+}
 
 /// Element-level accounting: the quantities the paper's cost model counts.
 ///
@@ -208,7 +254,9 @@ pub struct PlanPipeline {
     core: Box<dyn PipelineCore>,
     sink: ResultSink,
     reorder: Option<ReorderBuffer>,
-    staging: Vec<Event>,
+    /// Reusable AoS→SoA conversion buffer for [`Self::push_batch`]
+    /// (columnar callers bypass it entirely).
+    staging: EventBatch,
     events_processed: u64,
     /// Maximum event time fed to the core (the end-of-stream seal point).
     last_time: u64,
@@ -282,7 +330,23 @@ impl PlanPipeline {
                 }
             }
         };
-        Ok(Self::with_core(core, opts))
+        Ok(Self::with_core(core, opts, Self::sink_hint(plan)))
+    }
+
+    /// Collecting-sink capacity hint: the plan's expected results per
+    /// seal. Every exposed window emits one result per (key, term) when an
+    /// instance seals; the key cardinality is unknown at compile time, so
+    /// a per-window key allowance covers the common small-key workloads
+    /// and larger ones grow once and then stay allocation-free (the sink
+    /// buffer is drained, never taken — see [`Self::poll_results_into`]).
+    fn sink_hint(plan: &QueryPlan) -> usize {
+        /// Keys pre-reserved per (exposed window, aggregate term).
+        const SINK_KEY_ALLOWANCE: usize = 16;
+        let exposed = plan
+            .window_nodes()
+            .filter(|&node| plan.is_exposed(node))
+            .count();
+        exposed * plan.aggregates().len().max(1) * SINK_KEY_ALLOWANCE
     }
 
     /// Compiles `plan` onto the slot-based core ([`crate::multi`])
@@ -293,19 +357,19 @@ impl PlanPipeline {
     /// through here.
     pub fn compile_grouped(plan: &QueryPlan, opts: PipelineOptions) -> Result<Self> {
         let core = Box::new(crate::multi::MultiCore::compile(plan, opts.element_work)?);
-        Ok(Self::with_core(core, opts))
+        Ok(Self::with_core(core, opts, Self::sink_hint(plan)))
     }
 
-    fn with_core(core: Box<dyn PipelineCore>, opts: PipelineOptions) -> Self {
+    fn with_core(core: Box<dyn PipelineCore>, opts: PipelineOptions, sink_hint: usize) -> Self {
         PlanPipeline {
             core,
             sink: if opts.collect {
-                ResultSink::Collect(Vec::new())
+                ResultSink::collecting_with_capacity(sink_hint)
             } else {
                 ResultSink::CountOnly
             },
             reorder: (opts.out_of_order > 0).then(|| ReorderBuffer::new(opts.out_of_order)),
-            staging: Vec::new(),
+            staging: EventBatch::new(),
             events_processed: 0,
             last_time: 0,
             elapsed: Duration::ZERO,
@@ -390,7 +454,14 @@ impl PlanPipeline {
         if self.burst_start.is_none() {
             self.burst_start = Some(Instant::now());
         }
-        let result = self.push_inner(std::slice::from_ref(&event));
+        // The degenerate one-event column batch: per-event ingestion is a
+        // wrapper over the columnar primitive, so there is exactly one
+        // feed implementation to keep correct.
+        let result = self.push_columns_inner(
+            &[event.time],
+            &[event.key],
+            std::slice::from_ref(&event.value),
+        );
         self.burst_len += 1;
         if self.burst_len >= PUSH_CLOCK_STRIDE {
             self.close_burst();
@@ -406,42 +477,100 @@ impl PlanPipeline {
         self.burst_len = 0;
     }
 
-    /// Pushes a batch of events (timed once around the whole batch, so
-    /// batch callers pay no per-event clock overhead).
+    /// Pushes a batch of row-oriented events (timed once around the whole
+    /// batch, so batch callers pay no per-event clock overhead). The rows
+    /// are transposed once into a reusable columnar staging buffer and
+    /// then take the same run-sliced path as [`Self::push_columns`].
     pub fn push_batch(&mut self, events: &[Event]) -> Result<()> {
         self.close_burst();
         let start = Instant::now();
-        let result = self.push_inner(events);
+        let result = self.push_events_inner(events);
         self.elapsed += start.elapsed();
         result
     }
 
-    fn push_inner(&mut self, events: &[Event]) -> Result<()> {
+    /// Pushes a columnar batch — the zero-copy ingestion primitive. The
+    /// three slices must be equally long; timestamps are expected
+    /// non-decreasing (within the configured out-of-order tolerance).
+    pub fn push_columns(&mut self, times: &[u64], keys: &[u32], values: &[f64]) -> Result<()> {
+        if times.len() != keys.len() || times.len() != values.len() {
+            return Err(EngineError::ColumnLengthMismatch {
+                times: times.len(),
+                keys: keys.len(),
+                values: values.len(),
+            });
+        }
+        self.close_burst();
+        let start = Instant::now();
+        let result = self.push_columns_inner(times, keys, values);
+        self.elapsed += start.elapsed();
+        result
+    }
+
+    fn push_events_inner(&mut self, events: &[Event]) -> Result<()> {
         match &mut self.reorder {
             None => {
-                let result = self.core.feed_batch(events, &mut self.sink);
+                // Transpose in spare-cap-sized chunks: the staging buffer
+                // then never exceeds the capacity `EventBatch::clear`
+                // retains, so arbitrarily large caller batches reuse one
+                // allocation forever instead of shrinking and regrowing
+                // the columns on every call.
+                let mut result = Ok(());
+                for chunk in events.chunks(crate::batch::BATCH_SPARE_CAP) {
+                    self.staging.clear();
+                    self.staging.extend_from_events(chunk);
+                    result = {
+                        let (times, keys, values) = self.staging.columns();
+                        self.core.feed_columns(times, keys, values, &mut self.sink)
+                    };
+                    if result.is_err() {
+                        break;
+                    }
+                }
                 self.sync_accounting();
                 result
             }
             Some(buffer) => {
                 for &event in events {
-                    buffer.push(event, &mut self.staging)?;
+                    buffer.push(event)?;
                 }
                 self.feed_staged()
             }
         }
     }
 
-    /// Feeds everything the reorder buffer released.
+    fn push_columns_inner(&mut self, times: &[u64], keys: &[u32], values: &[f64]) -> Result<()> {
+        match &mut self.reorder {
+            None => {
+                let result = self.core.feed_columns(times, keys, values, &mut self.sink);
+                self.sync_accounting();
+                result
+            }
+            Some(buffer) => {
+                for i in 0..times.len() {
+                    buffer.push(Event::new(times[i], keys[i], values[i]))?;
+                }
+                self.feed_staged()
+            }
+        }
+    }
+
+    /// Feeds everything the reorder buffer has staged (released in
+    /// timestamp order into its reusable columnar drain buffer). The
+    /// staged columns are cleared afterwards whether or not the feed
+    /// errored: the core consumed the prefix before the offending
+    /// element, and the offender can never become feedable.
     fn feed_staged(&mut self) -> Result<()> {
-        if self.staging.is_empty() {
+        let Some(buffer) = &mut self.reorder else {
+            return Ok(());
+        };
+        if buffer.staged().is_empty() {
             return Ok(());
         }
-        let staged = std::mem::take(&mut self.staging);
-        let result = self.core.feed_batch(&staged, &mut self.sink);
+        let (times, keys, values) = buffer.staged().columns();
+        let result = self.core.feed_columns(times, keys, values, &mut self.sink);
+        buffer.clear_staged();
         self.sync_accounting();
-        self.staging = staged;
-        self.staging.clear();
         result
     }
 
@@ -461,7 +590,7 @@ impl PlanPipeline {
         self.close_burst();
         let start = Instant::now();
         if let Some(buffer) = &mut self.reorder {
-            buffer.advance_to(watermark, &mut self.staging);
+            buffer.advance_to(watermark);
         }
         let result = self.feed_staged();
         self.core.advance_to(watermark, &mut self.sink);
@@ -472,10 +601,17 @@ impl PlanPipeline {
     /// Drains the results collected since the last poll. Always empty when
     /// the pipeline was compiled without `collect`.
     pub fn poll_results(&mut self) -> Vec<WindowResult> {
-        match &mut self.sink {
-            ResultSink::Collect(results) => std::mem::take(results),
-            ResultSink::CountOnly => Vec::new(),
-        }
+        let mut out = Vec::new();
+        self.poll_results_into(&mut out);
+        out
+    }
+
+    /// Drains the results collected since the last poll into `out`,
+    /// reusing both buffers: the sink keeps its (pre-reserved) capacity
+    /// and `out` keeps whatever the caller accumulated, so a steady-state
+    /// poll loop with a recycled `out` performs no allocations.
+    pub fn poll_results_into(&mut self, out: &mut Vec<WindowResult>) {
+        self.sink.drain_into(out);
     }
 
     /// Ends the stream: flushes the reorder buffer, seals everything the
@@ -485,7 +621,7 @@ impl PlanPipeline {
         self.close_burst();
         let start = Instant::now();
         if let Some(buffer) = &mut self.reorder {
-            buffer.flush(&mut self.staging);
+            buffer.flush();
         }
         self.feed_staged()?;
         if self.events_processed > 0 {
@@ -551,8 +687,19 @@ impl PlanPipeline {
 /// [`crate::multi::MultiCore`]), so one [`PlanPipeline`] type serves every
 /// aggregate list. `Send` so a compiled pipeline can move onto a shard
 /// worker thread (see [`crate::shard::ShardedPipeline`]).
+///
+/// The feed primitive is **columnar**: equally long timestamp/key/value
+/// slices, consumed run-sliced (see [`run_limit`]). Row-oriented entry
+/// points transpose (or wrap a single event as one-element columns)
+/// before reaching the core.
 pub(crate) trait PipelineCore: Send {
-    fn feed_batch(&mut self, events: &[Event], sink: &mut ResultSink) -> Result<()>;
+    fn feed_columns(
+        &mut self,
+        times: &[u64],
+        keys: &[u32],
+        values: &[f64],
+        sink: &mut ResultSink,
+    ) -> Result<()>;
     fn advance_to(&mut self, watermark: u64, sink: &mut ResultSink);
     fn watermark(&self) -> u64;
     fn events_fed(&self) -> u64;
@@ -651,51 +798,31 @@ impl<A: Aggregate> Typed<A> {
             .unwrap_or(u64::MAX);
     }
 
-    /// Emits the window's results for the pane at the store front.
+    /// Emits the window's results for the pane at the store front,
+    /// straight into the sink (no intermediate buffer: with the sink's
+    /// pre-reserved capacity, steady-state emission allocates nothing).
     #[inline]
     fn emit_front(&mut self, op: usize, interval: fw_core::Interval, sink: &mut ResultSink) {
         let window = self.windows[op];
         let pane = self.stores[op].front_pane();
-        // Count first to keep the sink borrow simple in the hot path.
         let mut emitted = 0u64;
         if let ResultSink::Collect(_) = sink {
-            let results: Vec<WindowResult> = pane
-                .iter()
-                .map(|(&key, acc)| WindowResult {
-                    window,
-                    interval,
-                    key,
-                    agg: 0,
-                    value: A::finalize(acc),
-                })
-                .collect();
-            for r in results {
-                sink.push(r, &mut emitted);
+            for (&key, acc) in pane {
+                sink.push(
+                    WindowResult {
+                        window,
+                        interval,
+                        key,
+                        agg: 0,
+                        value: A::finalize(acc),
+                    },
+                    &mut emitted,
+                );
             }
         } else {
             emitted = pane.len() as u64;
         }
         self.results_emitted += emitted;
-    }
-
-    #[inline]
-    fn feed(&mut self, event: &Event, sink: &mut ResultSink) -> Result<()> {
-        if event.time < self.watermark {
-            return Err(EngineError::OutOfOrderEvent {
-                at: event.time,
-                watermark: self.watermark,
-            });
-        }
-        if event.time >= self.deadline {
-            self.advance(event.time, sink);
-        }
-        self.watermark = event.time;
-        for &root in &self.roots {
-            self.stores[root].update_point(event.time, event.key, event.value);
-        }
-        self.fed += 1;
-        self.last_event_time = self.last_event_time.max(event.time);
-        Ok(())
     }
 
     /// Seals every instance with `end ≤ watermark`, cascading sub-aggregates
@@ -727,9 +854,68 @@ impl<A: Aggregate> Typed<A> {
 }
 
 impl<A: Aggregate> PipelineCore for Typed<A> {
-    fn feed_batch(&mut self, events: &[Event], sink: &mut ResultSink) -> Result<()> {
-        for event in events {
-            self.feed(event, sink)?;
+    /// The run-sliced feed: split the columns at slide boundaries and the
+    /// sealing deadline, then fold each run into every root store with
+    /// one instance division per run and one hash probe per key sub-run.
+    /// Behavior (results, error position, accounting) is element-for-
+    /// element identical to feeding the events one at a time.
+    fn feed_columns(
+        &mut self,
+        times: &[u64],
+        keys: &[u32],
+        values: &[f64],
+        sink: &mut ResultSink,
+    ) -> Result<()> {
+        debug_assert!(times.len() == keys.len() && times.len() == values.len());
+        // One-element batches (the per-event `push` wrapper) skip the run
+        // arithmetic entirely and keep `update_point`'s tumbling fast
+        // path — the per-event API costs what it did before columnar
+        // ingestion existed.
+        if times.len() == 1 {
+            let t = times[0];
+            if t < self.watermark {
+                return Err(EngineError::OutOfOrderEvent {
+                    at: t,
+                    watermark: self.watermark,
+                });
+            }
+            if t >= self.deadline {
+                self.advance(t, sink);
+            }
+            self.watermark = t;
+            for &root in &self.roots {
+                self.stores[root].update_point(t, keys[0], values[0]);
+            }
+            self.fed += 1;
+            self.last_event_time = self.last_event_time.max(t);
+            return Ok(());
+        }
+        let mut i = 0;
+        while i < times.len() {
+            let head = times[i];
+            if head < self.watermark {
+                return Err(EngineError::OutOfOrderEvent {
+                    at: head,
+                    watermark: self.watermark,
+                });
+            }
+            if head >= self.deadline {
+                self.advance(head, sink);
+            }
+            let limit = run_limit(
+                head,
+                self.roots.iter().map(|&root| &self.windows[root]),
+                self.deadline,
+            );
+            let j = i + run_len(&times[i..], limit);
+            for &root in &self.roots {
+                self.stores[root].update_run(&times[i..j], &keys[i..j], &values[i..j]);
+            }
+            let last = times[j - 1];
+            self.watermark = last;
+            self.fed += (j - i) as u64;
+            self.last_event_time = self.last_event_time.max(last);
+            i = j;
         }
         Ok(())
     }

@@ -180,6 +180,13 @@ impl AnyPipeline {
         }
     }
 
+    fn push_columns(&mut self, times: &[u64], keys: &[u32], values: &[f64]) -> Result<()> {
+        match self {
+            AnyPipeline::Single(p) => p.push_columns(times, keys, values),
+            AnyPipeline::Sharded(p) => p.push_columns(times, keys, values),
+        }
+    }
+
     fn advance_watermark(&mut self, watermark: u64) -> Result<()> {
         match self {
             AnyPipeline::Single(p) => p.advance_watermark(watermark),
@@ -411,6 +418,24 @@ impl GroupExec {
             }
         }
         self.pushed += events.len() as u64;
+        Ok(())
+    }
+
+    /// Pushes a columnar batch (to the shared pipeline, or to every
+    /// member's), with the same whole-batch counting as
+    /// [`Self::push_batch`]. The group-level routing is unchanged — the
+    /// columns flow through the same pipelines the row-oriented entry
+    /// points feed.
+    pub fn push_columns(&mut self, times: &[u64], keys: &[u32], values: &[f64]) -> Result<()> {
+        match &mut self.backend {
+            Backend::Shared(p) => p.push_columns(times, keys, values)?,
+            Backend::PerQuery(members) => {
+                for member in members.iter_mut() {
+                    member.pipeline.push_columns(times, keys, values)?;
+                }
+            }
+        }
+        self.pushed += times.len() as u64;
         Ok(())
     }
 

@@ -35,6 +35,7 @@
 #![warn(clippy::all)]
 
 pub mod agg;
+pub mod batch;
 pub mod error;
 pub mod event;
 pub mod executor;
@@ -48,6 +49,7 @@ pub mod shard;
 pub mod throughput;
 
 pub use agg::{Aggregate, AvgAgg, CountAgg, MaxAgg, MedianAgg, MinAgg, SumAgg};
+pub use batch::{EventBatch, BATCH_SPARE_CAP};
 pub use error::{EngineError, Result};
 pub use event::{sorted_results, Event, ResultSink, WindowResult};
 // The deprecated batch wrappers `executor::execute` / `executor::execute_with`
@@ -56,7 +58,7 @@ pub use event::{sorted_results, Event, ResultSink, WindowResult};
 // new consumer) goes through `PlanPipeline` or the `factor_windows::Session`
 // façade.
 pub use executor::{ExecOptions, ExecStats, PipelineOptions, PlanPipeline, RunOutput};
-pub use fasthash::{FastBuildHasher, FastMap};
+pub use fasthash::{FastBuildHasher, FastMap, FastU32BuildHasher, FastU32Map};
 pub use group::{sorted_group_results, GroupExec, GroupResult, GroupRunOutput};
 pub use pane::DEFAULT_ELEMENT_WORK;
 pub use reference::reference_results;

@@ -24,9 +24,8 @@
 
 use crate::agg::{Aggregate, AvgAgg, CountAgg, MaxAgg, MedianAgg, MinAgg, SumAgg, SumCount};
 use crate::error::{EngineError, Result};
-use crate::event::{Event, ResultSink, WindowResult};
+use crate::event::{ResultSink, WindowResult};
 use crate::executor::ExecStats;
-use crate::fasthash::FastMap;
 use crate::pane::{element_work, PaneDeque};
 use fw_core::{AggregateClass, AggregateFunction, Interval, QueryPlan, Window};
 
@@ -154,8 +153,9 @@ fn finalize_slot(f: AggregateFunction, slot: &Slot) -> f64 {
 /// aggregate term, in SELECT-list order.
 type MultiAcc = Box<[Slot]>;
 
-/// Per-key accumulators for one window instance.
-type MultiPane = FastMap<u32, MultiAcc>;
+/// Per-key accumulators for one window instance (the pane map type of
+/// [`PaneDeque`], hashed with the dense-`u32`-specialized mixer).
+type MultiPane = crate::pane::Pane<MultiAcc>;
 
 fn new_acc(funcs: &[AggregateFunction]) -> MultiAcc {
     funcs.iter().map(|&f| init_slot(f)).collect()
@@ -244,23 +244,54 @@ impl MultiStore {
         merge_carried_pane(&funcs, self.deque.pane_mut(m), carried);
     }
 
-    /// Folds a raw event into every instance containing `t`, updating the
-    /// operator's raw-fed slots. Pane work (hashing, instance routing,
-    /// emulated element work) is paid once per element.
-    #[inline]
-    fn update_point(&mut self, t: u64, key: u32, value: f64) {
+    /// Folds a *run* of raw events — column slices whose timestamps are
+    /// non-decreasing and all route to the same instance set — into those
+    /// instances, updating the operator's raw-fed slots. The instance
+    /// arithmetic is paid once per run and consecutive equal keys share
+    /// one hash probe (see `PaneStore::update_run` for the
+    /// single-aggregate counterpart); per-element accounting (pane work
+    /// counted once per element, `agg_ops` per slot fan-out, emulated
+    /// element work) is unchanged.
+    fn update_run(&mut self, times: &[u64], keys: &[u32], values: &[f64]) {
+        debug_assert!(!times.is_empty());
+        debug_assert!(times.len() == keys.len() && times.len() == values.len());
         let window = *self.deque.window();
-        for m in window.instances_containing(t) {
-            self.work_sink ^= element_work(t ^ m, self.work);
-            self.updates += 1;
-            self.agg_ops += self.raw_mask.len() as u64;
+        let instances = window.instances_containing(times[0]);
+        debug_assert_eq!(
+            window.instances_containing(times[times.len() - 1]),
+            instances,
+            "run crosses a slide boundary"
+        );
+        let work = self.work;
+        let mut work_sink = self.work_sink;
+        let mut folded = 0u64;
+        for m in instances {
             let funcs = &self.funcs;
+            let raw_mask = &self.raw_mask;
             let pane = self.deque.pane_mut(m);
-            let acc = pane.entry(key).or_insert_with(|| new_acc(funcs));
-            for &j in self.raw_mask.iter() {
-                update_slot(funcs[j], &mut acc[j], value);
+            let mut k = 0;
+            while k < keys.len() {
+                let key = keys[k];
+                let mut end = k + 1;
+                while end < keys.len() && keys[end] == key {
+                    end += 1;
+                }
+                // One probe for the whole key sub-run; zipped iteration
+                // avoids per-element bounds checks.
+                let acc = pane.entry(key).or_insert_with(|| new_acc(funcs));
+                for (&t, &value) in times[k..end].iter().zip(&values[k..end]) {
+                    work_sink ^= element_work(t ^ m, work);
+                    for &j in raw_mask.iter() {
+                        update_slot(funcs[j], &mut acc[j], value);
+                    }
+                }
+                k = end;
             }
+            folded += times.len() as u64;
         }
+        self.updates += folded;
+        self.agg_ops += folded * self.raw_mask.len() as u64;
+        self.work_sink = work_sink;
     }
 
     /// Folds a whole upstream pane into every instance containing `iv`,
@@ -416,55 +447,31 @@ impl MultiCore {
     }
 
     /// Emits one result per (key, aggregate term) for the pane at the
-    /// store front.
+    /// store front, straight into the sink (no intermediate buffer).
     #[inline]
     fn emit_front(&mut self, op: usize, interval: Interval, sink: &mut ResultSink) {
         let window = self.windows[op];
         let pane = self.stores[op].deque.front_pane();
         let mut emitted = 0u64;
         if let ResultSink::Collect(_) = sink {
-            let results: Vec<WindowResult> = pane
-                .iter()
-                .flat_map(|(&key, acc)| {
-                    self.funcs
-                        .iter()
-                        .enumerate()
-                        .map(move |(j, &f)| WindowResult {
+            for (&key, acc) in pane {
+                for (j, &f) in self.funcs.iter().enumerate() {
+                    sink.push(
+                        WindowResult {
                             window,
                             interval,
                             key,
                             agg: j as u32,
                             value: finalize_slot(f, &acc[j]),
-                        })
-                })
-                .collect();
-            for r in results {
-                sink.push(r, &mut emitted);
+                        },
+                        &mut emitted,
+                    );
+                }
             }
         } else {
             emitted = pane.len() as u64 * self.funcs.len() as u64;
         }
         self.results_emitted += emitted;
-    }
-
-    #[inline]
-    fn feed(&mut self, event: &Event, sink: &mut ResultSink) -> Result<()> {
-        if event.time < self.watermark {
-            return Err(EngineError::OutOfOrderEvent {
-                at: event.time,
-                watermark: self.watermark,
-            });
-        }
-        if event.time >= self.deadline {
-            self.advance(event.time, sink);
-        }
-        self.watermark = event.time;
-        for &op in &self.raw_ops {
-            self.stores[op].update_point(event.time, event.key, event.value);
-        }
-        self.fed += 1;
-        self.last_event_time = self.last_event_time.max(event.time);
-        Ok(())
     }
 
     /// Cascades every open (unsealed) pane down the sub-aggregate forest
@@ -631,9 +638,51 @@ impl MultiCore {
 }
 
 impl crate::executor::PipelineCore for MultiCore {
-    fn feed_batch(&mut self, events: &[Event], sink: &mut ResultSink) -> Result<()> {
-        for event in events {
-            self.feed(event, sink)?;
+    /// Run-sliced columnar feed, mirroring the monomorphized core's
+    /// implementation (see `Typed::feed_columns`): one instance division
+    /// per run per raw-fed operator, one hash probe per key sub-run,
+    /// element-for-element identical behavior to per-event feeding.
+    fn feed_columns(
+        &mut self,
+        times: &[u64],
+        keys: &[u32],
+        values: &[f64],
+        sink: &mut ResultSink,
+    ) -> Result<()> {
+        debug_assert!(times.len() == keys.len() && times.len() == values.len());
+        let mut i = 0;
+        while i < times.len() {
+            let head = times[i];
+            if head < self.watermark {
+                return Err(EngineError::OutOfOrderEvent {
+                    at: head,
+                    watermark: self.watermark,
+                });
+            }
+            if head >= self.deadline {
+                self.advance(head, sink);
+            }
+            // One-element batches (the per-event wrapper) skip the run
+            // arithmetic: `update_run` on a single element already does
+            // exactly what the per-event path used to.
+            let j = if times.len() == 1 {
+                1
+            } else {
+                let limit = crate::executor::run_limit(
+                    head,
+                    self.raw_ops.iter().map(|&op| &self.windows[op]),
+                    self.deadline,
+                );
+                i + crate::executor::run_len(&times[i..], limit)
+            };
+            for &op in &self.raw_ops {
+                self.stores[op].update_run(&times[i..j], &keys[i..j], &values[i..j]);
+            }
+            let last = times[j - 1];
+            self.watermark = last;
+            self.fed += (j - i) as u64;
+            self.last_event_time = self.last_event_time.max(last);
+            i = j;
         }
         Ok(())
     }
@@ -687,7 +736,7 @@ impl crate::executor::PipelineCore for MultiCore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::event::sorted_results;
+    use crate::event::{sorted_results, Event};
     use crate::executor::{PipelineOptions, PlanPipeline};
     use crate::reference::reference_results;
     use fw_core::{AggregateSpec, Optimizer, PlanChoice, WindowQuery, WindowSet};

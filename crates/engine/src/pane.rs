@@ -10,12 +10,13 @@
 //! modeled cost (Figure 19).
 
 use crate::agg::Aggregate;
-use crate::fasthash::FastMap;
+use crate::fasthash::FastU32Map;
 use fw_core::{Interval, Window};
 use std::collections::VecDeque;
 
-/// Per-key accumulators for one window instance.
-pub type Pane<Acc> = FastMap<u32, Acc>;
+/// Per-key accumulators for one window instance, hashed with the
+/// dense-`u32`-specialized mixer ([`crate::fasthash::FastU32Hasher`]).
+pub type Pane<Acc> = FastU32Map<Acc>;
 
 /// Emulated per-element processing cost: dependent ALU iterations executed
 /// for every element an operator consumes (a raw event folded into one
@@ -354,6 +355,58 @@ impl<A: Aggregate> PaneStore<A> {
         }
     }
 
+    /// Folds a *run* of events — column slices whose timestamps are
+    /// non-decreasing and all route to the same instance set (the caller
+    /// sliced the batch at slide boundaries) — into those instances.
+    ///
+    /// The instance arithmetic (`t / s`, pane lookup in the deque) is paid
+    /// once per run instead of once per event, and within the run
+    /// consecutive events with the same key share one hash probe: the
+    /// accumulator is resolved once per key sub-run and updated in place.
+    /// Per-element accounting is unchanged — `updates` grows by one per
+    /// event per instance and the emulated element work runs per element,
+    /// exactly as the equivalent [`Self::update_point`] sequence would.
+    pub fn update_run(&mut self, times: &[u64], keys: &[u32], values: &[f64]) {
+        debug_assert!(!times.is_empty());
+        debug_assert!(times.len() == keys.len() && times.len() == values.len());
+        let window = *self.deque.window();
+        let tumbling = window.is_tumbling();
+        let instances = window.instances_containing(times[0]);
+        debug_assert_eq!(
+            window.instances_containing(times[times.len() - 1]),
+            instances,
+            "run crosses a slide boundary"
+        );
+        let work = self.work;
+        let mut work_sink = self.work_sink;
+        let mut folded = 0u64;
+        for m in instances {
+            let pane = self.deque.pane_mut(m);
+            let mut k = 0;
+            while k < keys.len() {
+                let key = keys[k];
+                let mut end = k + 1;
+                while end < keys.len() && keys[end] == key {
+                    end += 1;
+                }
+                // One probe for the whole key sub-run; the zipped
+                // iteration keeps the fold free of per-element bounds
+                // checks.
+                let acc = pane.entry(key).or_insert_with(A::init);
+                for (&t, &value) in times[k..end].iter().zip(&values[k..end]) {
+                    // Same per-element work seeds as `update_point`.
+                    let seed = if tumbling { t ^ u64::from(key) } else { t ^ m };
+                    work_sink ^= element_work(seed, work);
+                    A::update(acc, value);
+                }
+                k = end;
+            }
+            folded += times.len() as u64;
+        }
+        self.updates += folded;
+        self.work_sink = work_sink;
+    }
+
     /// Folds a whole upstream pane (all keys of one sub-aggregate interval)
     /// into every instance whose lifetime fully contains `iv` — the
     /// instance range is computed once per pane, not once per key.
@@ -438,6 +491,33 @@ mod tests {
         let (iv, pane) = store.pop_due(u64::MAX).unwrap();
         assert_eq!(iv, Interval::new(20, 30));
         assert_eq!(pane[&0], 5.0);
+    }
+
+    #[test]
+    fn update_run_matches_per_event_updates() {
+        // Same fold, same accounting, for tumbling and hopping windows and
+        // for repeated keys inside a run (the shared-probe path).
+        for window in [w(10, 10), w(20, 5)] {
+            let times = [41u64, 41, 42, 43, 43, 44];
+            let keys = [1u32, 1, 2, 2, 2, 1];
+            let values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0];
+            let mut per_event: PaneStore<SumAgg> = PaneStore::new(window);
+            for i in 0..times.len() {
+                per_event.update_point(times[i], keys[i], values[i]);
+            }
+            let mut run: PaneStore<SumAgg> = PaneStore::new(window);
+            run.update_run(&times, &keys, &values);
+            assert_eq!(run.updates(), per_event.updates());
+            assert_eq!(run.work_sink(), per_event.work_sink());
+            loop {
+                let a = per_event.pop_due(u64::MAX);
+                let b = run.pop_due(u64::MAX);
+                assert_eq!(a, b, "window {window:?}");
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
     }
 
     #[test]

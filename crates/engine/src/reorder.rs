@@ -8,7 +8,15 @@
 //! capability: events are held until the high-watermark moves `slack`
 //! units past them, then released in timestamp order. Events later than
 //! the slack allows are reported, not silently dropped.
+//!
+//! Released events land in an internal, reusable columnar buffer
+//! ([`EventBatch`]) that the pipeline feeds straight into the run-sliced
+//! core path: the buffer is cleared — not reallocated — after each feed,
+//! and its capacity is capped (the same discipline as the pane deque's
+//! spare pool) so a watermark that flushes a long-stalled stream cannot
+//! pin burst-sized memory on the steady state.
 
+use crate::batch::EventBatch;
 use crate::error::{EngineError, Result};
 use crate::event::Event;
 use std::cmp::Reverse;
@@ -30,6 +38,10 @@ pub struct ReorderBuffer {
     high_watermark: u64,
     released_watermark: u64,
     seq: u64,
+    /// Events released from the heap, in timestamp order, waiting to be
+    /// fed into the operators. Reused across flushes; capacity capped by
+    /// [`EventBatch::clear`].
+    staged: EventBatch,
 }
 
 impl ReorderBuffer {
@@ -42,20 +54,34 @@ impl ReorderBuffer {
             high_watermark: 0,
             released_watermark: 0,
             seq: 0,
+            staged: EventBatch::new(),
         }
     }
 
-    /// Number of events currently buffered.
+    /// Number of events currently buffered (not yet released).
     #[must_use]
     pub fn buffered(&self) -> usize {
         self.heap.len()
     }
 
-    /// Accepts one (possibly out-of-order) event and appends every event
-    /// that became releasable to `out`. An event older than
+    /// The events released so far and not yet consumed, in timestamp
+    /// order. Consume with [`Self::clear_staged`] after feeding them.
+    #[must_use]
+    pub fn staged(&self) -> &EventBatch {
+        &self.staged
+    }
+
+    /// Marks the staged events consumed: clears the columnar buffer,
+    /// retaining (capped) capacity for the next release.
+    pub fn clear_staged(&mut self) {
+        self.staged.clear();
+    }
+
+    /// Accepts one (possibly out-of-order) event and stages every event
+    /// that became releasable. An event older than
     /// `high_watermark − slack` is a hard error: it can no longer be
     /// ordered correctly.
-    pub fn push(&mut self, event: Event, out: &mut Vec<Event>) -> Result<()> {
+    pub fn push(&mut self, event: Event) -> Result<()> {
         // Everything strictly before the horizon has already been (or may
         // already have been) released; an event behind it cannot be
         // ordered correctly any more.
@@ -77,12 +103,12 @@ impl ReorderBuffer {
         )));
         self.seq += 1;
 
-        self.release(out);
+        self.release();
         Ok(())
     }
 
-    /// Releases every buffered event strictly before the current horizon.
-    fn release(&mut self, out: &mut Vec<Event>) {
+    /// Stages every buffered event strictly before the current horizon.
+    fn release(&mut self) {
         let release_up_to = self.high_watermark.saturating_sub(self.slack);
         while let Some(Reverse((slot, _, _))) = self.heap.peek() {
             if slot.time >= release_up_to {
@@ -90,26 +116,26 @@ impl ReorderBuffer {
             }
             let Reverse((slot, key, bits)) = self.heap.pop().expect("peeked");
             self.released_watermark = self.released_watermark.max(slot.time);
-            out.push(Event::new(slot.time, key, f64::from_bits(bits)));
+            self.staged.push_parts(slot.time, key, f64::from_bits(bits));
         }
     }
 
     /// Processes a watermark announcement: no event with
     /// `time < watermark` will be pushed any more, so every buffered event
-    /// before `watermark` is released to `out` in timestamp order, and
-    /// later arrivals behind it become hard errors.
-    pub fn advance_to(&mut self, watermark: u64, out: &mut Vec<Event>) {
+    /// before `watermark` is staged in timestamp order, and later arrivals
+    /// behind it become hard errors.
+    pub fn advance_to(&mut self, watermark: u64) {
         self.high_watermark = self
             .high_watermark
             .max(watermark.saturating_add(self.slack));
-        self.release(out);
+        self.release();
     }
 
-    /// Drains everything still buffered, in order (end of stream).
-    pub fn flush(&mut self, out: &mut Vec<Event>) {
+    /// Stages everything still buffered, in order (end of stream).
+    pub fn flush(&mut self) {
         while let Some(Reverse((slot, key, bits))) = self.heap.pop() {
             self.released_watermark = self.released_watermark.max(slot.time);
-            out.push(Event::new(slot.time, key, f64::from_bits(bits)));
+            self.staged.push_parts(slot.time, key, f64::from_bits(bits));
         }
     }
 
@@ -119,9 +145,11 @@ impl ReorderBuffer {
         let mut buffer = ReorderBuffer::new(slack);
         let mut out = Vec::with_capacity(events.len());
         for &event in events {
-            buffer.push(event, &mut out)?;
+            buffer.push(event)?;
         }
-        buffer.flush(&mut out);
+        buffer.flush();
+        out.extend(buffer.staged().iter());
+        buffer.clear_staged();
         Ok(out)
     }
 }
@@ -132,6 +160,13 @@ mod tests {
 
     fn ev(t: u64) -> Event {
         Event::new(t, 0, t as f64)
+    }
+
+    /// Drains the staged events as rows (test convenience).
+    fn take_staged(buffer: &mut ReorderBuffer) -> Vec<Event> {
+        let out: Vec<Event> = buffer.staged().iter().collect();
+        buffer.clear_staged();
+        out
     }
 
     #[test]
@@ -179,11 +214,49 @@ mod tests {
         let mut buffer = ReorderBuffer::new(8);
         let mut out = Vec::new();
         for t in 0..1000u64 {
-            buffer.push(ev(t), &mut out).unwrap();
+            buffer.push(ev(t)).unwrap();
+            out.extend(take_staged(&mut buffer));
             assert!(buffer.buffered() <= 9, "{} buffered", buffer.buffered());
         }
-        buffer.flush(&mut out);
+        buffer.flush();
+        out.extend(take_staged(&mut buffer));
         assert_eq!(out.len(), 1000);
+    }
+
+    #[test]
+    fn staged_buffer_is_reused_not_reallocated() {
+        // In the steady state the staged columns are cleared, not dropped:
+        // after warm-up, repeated release/clear cycles keep one capacity.
+        let mut buffer = ReorderBuffer::new(4);
+        let mut cap_after_warmup = 0;
+        for t in 0..10_000u64 {
+            buffer.push(ev(t)).unwrap();
+            if t == 100 {
+                cap_after_warmup = buffer.staged().capacity();
+            }
+            buffer.clear_staged();
+        }
+        assert!(cap_after_warmup > 0);
+        assert_eq!(buffer.staged().capacity(), cap_after_warmup);
+    }
+
+    #[test]
+    fn flush_burst_capacity_is_capped_like_the_spare_pool() {
+        // A long stall followed by one watermark releases a burst far
+        // bigger than the steady state; the drain buffer must not pin
+        // that memory after it is consumed.
+        let mut buffer = ReorderBuffer::new(1_000_000);
+        for t in 0..50_000u64 {
+            buffer.push(ev(t)).unwrap();
+        }
+        buffer.advance_to(100_000);
+        assert_eq!(buffer.staged().len(), 50_000);
+        buffer.clear_staged();
+        assert!(
+            buffer.staged().capacity() <= crate::batch::BATCH_SPARE_CAP,
+            "{} capacity retained",
+            buffer.staged().capacity()
+        );
     }
 
     #[test]
@@ -217,23 +290,19 @@ mod tests {
     #[test]
     fn watermark_announcement_releases_early() {
         let mut buffer = ReorderBuffer::new(100);
-        let mut out = Vec::new();
-        buffer.push(ev(3), &mut out).unwrap();
-        buffer.push(ev(1), &mut out).unwrap();
-        buffer.push(ev(7), &mut out).unwrap();
+        buffer.push(ev(3)).unwrap();
+        buffer.push(ev(1)).unwrap();
+        buffer.push(ev(7)).unwrap();
         // Well within slack: nothing released yet.
-        assert!(out.is_empty());
-        buffer.advance_to(5, &mut out);
-        assert_eq!(out.iter().map(|e| e.time).collect::<Vec<_>>(), vec![1, 3]);
+        assert!(buffer.staged().is_empty());
+        buffer.advance_to(5);
+        assert_eq!(buffer.staged().times(), &[1, 3]);
         // An arrival behind the announced watermark is now a hard error.
-        let err = buffer.push(ev(2), &mut out).unwrap_err();
+        let err = buffer.push(ev(2)).unwrap_err();
         assert!(matches!(err, EngineError::OutOfOrderEvent { at: 2, .. }));
         // At or past the watermark is still fine.
-        buffer.push(ev(5), &mut out).unwrap();
-        buffer.flush(&mut out);
-        assert_eq!(
-            out.iter().map(|e| e.time).collect::<Vec<_>>(),
-            vec![1, 3, 5, 7]
-        );
+        buffer.push(ev(5)).unwrap();
+        buffer.flush();
+        assert_eq!(buffer.staged().times(), &[1, 3, 5, 7]);
     }
 }

@@ -10,13 +10,17 @@
 //! byte-identical after canonical ordering, because each key's accumulator
 //! folds the same values in the same order it would on one core.
 //!
-//! Ingestion is batch-granular: [`ShardedPipeline::push_batch`] scatters a
-//! batch into per-shard staging buffers (recycled through a pool, so the
-//! steady state allocates nothing) and hands each shard one contiguous
-//! buffer per batch — the per-event cost on the ingest thread is one hash
-//! and one copy, not a channel send. Single-event [`ShardedPipeline::push`]
-//! calls coalesce into the same staging buffers and flush when a buffer
-//! fills (or at any watermark/poll/finish boundary).
+//! Ingestion is batch-granular and **columnar**:
+//! [`ShardedPipeline::push_batch`] and [`ShardedPipeline::push_columns`]
+//! scatter into per-shard columnar staging buffers ([`EventBatch`],
+//! recycled through a pool, so the steady state allocates nothing) and
+//! hand each shard one contiguous batch — the per-event cost on the
+//! ingest thread is one hash and three scalar copies, with no `Event`
+//! struct materialization and no per-event channel send. Workers feed the
+//! received columns straight into their pipeline's run-sliced path.
+//! Single-event [`ShardedPipeline::push`] calls coalesce into the same
+//! staging buffers and flush when a buffer fills (or at any
+//! watermark/poll/finish boundary).
 //!
 //! Watermarks broadcast to every shard; [`ShardedPipeline::finish`] seals
 //! all shards at the *global* maximum event time (a shard must seal
@@ -24,6 +28,7 @@
 //! results into `(window, instance, key)` order, and sums the cost-model
 //! accounting ([`ExecStats`]) across shards.
 
+use crate::batch::EventBatch;
 use crate::error::{EngineError, Result};
 use crate::event::{sorted_results, Event, WindowResult};
 use crate::executor::{ExecStats, PipelineOptions, PlanPipeline, RunOutput};
@@ -78,9 +83,9 @@ impl Parallelism {
 /// FIFO, so a `Poll`/`Finish` acts as a barrier: it is processed only
 /// after every batch queued before it.
 enum Command {
-    /// Feed a routed batch; the (cleared) buffer returns via the recycle
-    /// channel.
-    Batch(Vec<Event>),
+    /// Feed a routed columnar batch; the (cleared) buffer returns via the
+    /// recycle channel.
+    Batch(EventBatch),
     /// Broadcast watermark announcement.
     Watermark(u64),
     /// Drain collected results into the reply channel.
@@ -112,7 +117,7 @@ enum Command {
 fn worker(
     mut pipeline: PlanPipeline,
     commands: Receiver<Command>,
-    recycle: mpsc::Sender<Vec<Event>>,
+    recycle: mpsc::Sender<EventBatch>,
     error: Arc<Mutex<Option<EngineError>>>,
 ) {
     let mut failed = false;
@@ -126,7 +131,8 @@ fn worker(
         match command {
             Command::Batch(mut batch) => {
                 if !failed {
-                    if let Err(e) = pipeline.push_batch(&batch) {
+                    let (times, keys, values) = batch.columns();
+                    if let Err(e) = pipeline.push_columns(times, keys, values) {
                         failed = true;
                         publish(e);
                     }
@@ -251,12 +257,13 @@ const DEFAULT_CHUNK: usize = 1024;
 /// ```
 pub struct ShardedPipeline {
     workers: Vec<WorkerHandle>,
-    /// Per-shard staging buffers the ingest thread scatters into.
-    scatter: Vec<Vec<Event>>,
+    /// Per-shard columnar staging buffers the ingest thread scatters
+    /// into (no `Event` materialization on the ingest path).
+    scatter: Vec<EventBatch>,
     /// Recycled batch buffers (refilled from `recycle`).
-    pool: Vec<Vec<Event>>,
+    pool: Vec<EventBatch>,
     /// Cleared buffers returning from the workers.
-    recycle: Receiver<Vec<Event>>,
+    recycle: Receiver<EventBatch>,
     /// First engine error any shard hit (reported on the next façade call).
     error: Arc<Mutex<Option<EngineError>>>,
     /// Flush threshold for coalesced single-event pushes.
@@ -332,7 +339,7 @@ impl ShardedPipeline {
             });
         }
         Ok(ShardedPipeline {
-            scatter: (0..shards).map(|_| Vec::new()).collect(),
+            scatter: (0..shards).map(|_| EventBatch::new()).collect(),
             pool: Vec::new(),
             recycle: recycle_rx,
             error,
@@ -392,13 +399,13 @@ impl ShardedPipeline {
     /// A cleared buffer: recycled from the workers if one returned,
     /// otherwise freshly allocated (start-up only, in the steady state the
     /// pool covers every flush).
-    fn spare_buffer(&mut self) -> Vec<Event> {
+    fn spare_buffer(&mut self) -> EventBatch {
         while let Ok(buffer) = self.recycle.try_recv() {
             self.pool.push(buffer);
         }
         self.pool
             .pop()
-            .unwrap_or_else(|| Vec::with_capacity(self.chunk.max(64)))
+            .unwrap_or_else(|| EventBatch::with_capacity(self.chunk.max(64)))
     }
 
     /// Sends a command to shard `shard` (blocking on backpressure),
@@ -425,14 +432,15 @@ impl ShardedPipeline {
         }
     }
 
-    /// Routes one event. Coalesces into the shard's staging buffer and
-    /// flushes when the buffer fills; any watermark, poll, or finish also
-    /// flushes, so coalescing never withholds a result past a barrier.
+    /// Routes one event. Coalesces into the shard's columnar staging
+    /// buffer and flushes when the buffer fills; any watermark, poll, or
+    /// finish also flushes, so coalescing never withholds a result past a
+    /// barrier.
     pub fn push(&mut self, event: Event) -> Result<()> {
         self.check_error()?;
         self.start_clock();
         let shard = self.shard_of(event.key);
-        self.scatter[shard].push(event);
+        self.scatter[shard].push_parts(event.time, event.key, event.value);
         self.pushed += 1;
         self.last_time = self.last_time.max(event.time);
         if self.scatter[shard].len() >= self.chunk {
@@ -441,24 +449,51 @@ impl ShardedPipeline {
         Ok(())
     }
 
-    /// Scatters a batch by key and hands every shard its share as
-    /// contiguous buffers — the per-event ingest cost is one hash and one
-    /// copy, not a channel send. A shard's buffer is handed off as soon as
-    /// it fills (and at the end of the batch), so workers overlap with the
-    /// remaining scatter instead of idling until the whole batch is
+    /// Scatters a row-oriented batch by key into the per-shard column
+    /// buffers — the per-event ingest cost is one hash and three scalar
+    /// copies, not a channel send. A shard's buffer is handed off as soon
+    /// as it fills (and at the end of the batch), so workers overlap with
+    /// the remaining scatter instead of idling until the whole batch is
     /// routed.
     pub fn push_batch(&mut self, events: &[Event]) -> Result<()> {
         self.check_error()?;
         self.start_clock();
         for &event in events {
             let shard = self.shard_of(event.key);
-            self.scatter[shard].push(event);
+            self.scatter[shard].push_parts(event.time, event.key, event.value);
             self.last_time = self.last_time.max(event.time);
             if self.scatter[shard].len() >= self.chunk {
                 self.flush_shard(shard);
             }
         }
         self.pushed += events.len() as u64;
+        self.flush_all();
+        Ok(())
+    }
+
+    /// Scatters a columnar batch by key — the sharded counterpart of
+    /// [`PlanPipeline::push_columns`]. Column-to-column copies: no
+    /// `Event` structs exist anywhere on the path from the caller's
+    /// columns to the workers' pane folds.
+    pub fn push_columns(&mut self, times: &[u64], keys: &[u32], values: &[f64]) -> Result<()> {
+        if times.len() != keys.len() || times.len() != values.len() {
+            return Err(EngineError::ColumnLengthMismatch {
+                times: times.len(),
+                keys: keys.len(),
+                values: values.len(),
+            });
+        }
+        self.check_error()?;
+        self.start_clock();
+        for i in 0..times.len() {
+            let shard = self.shard_of(keys[i]);
+            self.scatter[shard].push_parts(times[i], keys[i], values[i]);
+            self.last_time = self.last_time.max(times[i]);
+            if self.scatter[shard].len() >= self.chunk {
+                self.flush_shard(shard);
+            }
+        }
+        self.pushed += times.len() as u64;
         self.flush_all();
         Ok(())
     }
@@ -681,7 +716,7 @@ impl ShardedPipeline {
     /// held by per-shard reorder buffers are not visible here).
     #[must_use]
     pub fn buffered(&self) -> usize {
-        self.scatter.iter().map(Vec::len).sum()
+        self.scatter.iter().map(EventBatch::len).sum()
     }
 }
 

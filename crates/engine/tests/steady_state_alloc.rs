@@ -1,0 +1,114 @@
+//! Steady-state allocation audit: after warm-up, the hot loop — columnar
+//! push, watermark seal, result emission, poll — must perform **zero**
+//! heap allocations. Pane maps recycle through the deque's spare pool,
+//! the reorder/staging columns are cleared rather than dropped, and the
+//! result sink is pre-reserved from the plan's expected results-per-seal
+//! and drained (capacity-preserving) instead of taken.
+//!
+//! The audit uses a counting global allocator, so this file holds exactly
+//! one test: a second test running concurrently would count its own
+//! allocations into the measurement.
+
+use fw_core::{AggregateFunction, Optimizer, Window, WindowQuery, WindowSet};
+use fw_engine::{EventBatch, PipelineOptions, PlanPipeline, WindowResult};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Wraps the system allocator, counting every allocation and
+/// reallocation (deallocations are free and not counted).
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn steady_state_ingestion_and_emission_are_allocation_free() {
+    let windows = WindowSet::new(vec![
+        Window::tumbling(20).unwrap(),
+        Window::tumbling(30).unwrap(),
+        Window::tumbling(40).unwrap(),
+    ])
+    .unwrap();
+    let query = WindowQuery::new(windows, AggregateFunction::Sum);
+    let plan = Optimizer::default().optimize(&query).unwrap().factored.plan;
+
+    const KEYS: u64 = 8;
+    const ROUND: u64 = 120; // one period of the 20/30/40 window set
+    let round_columns = |start: u64| {
+        let mut batch = EventBatch::with_capacity(ROUND as usize);
+        for t in start..start + ROUND {
+            batch.push_parts(t, (t % KEYS) as u32, (t % 13) as f64);
+        }
+        batch
+    };
+
+    let opts = PipelineOptions {
+        collect: true,
+        element_work: 0,
+        out_of_order: 0,
+    };
+    let mut pipeline = PlanPipeline::compile(&plan, opts).unwrap();
+    let mut out: Vec<WindowResult> = Vec::new();
+
+    // Pre-build the measured rounds' columns so the generator's own
+    // allocations stay outside the measurement.
+    let warmup_rounds: Vec<EventBatch> = (0..8).map(|r| round_columns(r * ROUND)).collect();
+    let measured_rounds: Vec<EventBatch> = (8..24).map(|r| round_columns(r * ROUND)).collect();
+
+    let mut total = 0u64;
+    for batch in &warmup_rounds {
+        let (times, keys, values) = batch.columns();
+        pipeline.push_columns(times, keys, values).unwrap();
+        pipeline
+            .advance_watermark(times[times.len() - 1] + 1)
+            .unwrap();
+        out.clear();
+        pipeline.poll_results_into(&mut out);
+        total += out.len() as u64;
+    }
+    assert!(total > 0, "warm-up must have sealed and emitted results");
+
+    let before = allocations();
+    for batch in &measured_rounds {
+        let (times, keys, values) = batch.columns();
+        pipeline.push_columns(times, keys, values).unwrap();
+        pipeline
+            .advance_watermark(times[times.len() - 1] + 1)
+            .unwrap();
+        out.clear();
+        pipeline.poll_results_into(&mut out);
+        total += out.len() as u64;
+    }
+    let during = allocations() - before;
+    assert_eq!(
+        during, 0,
+        "steady-state push/seal/emit/poll performed {during} allocations"
+    );
+
+    // Sanity: the measured rounds really did flow events and results.
+    let run = pipeline.finish().unwrap();
+    assert_eq!(run.events_processed, 24 * ROUND);
+    assert_eq!(run.results_emitted, total);
+}

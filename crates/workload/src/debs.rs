@@ -11,7 +11,7 @@
 //! arrival pace and key cardinality, both of which are preserved.
 
 use crate::rng::SplitMix64;
-use fw_engine::Event;
+use fw_engine::{Event, EventBatch};
 
 /// Configuration for the DEBS-like generator.
 #[derive(Debug, Clone, Copy)]
@@ -33,12 +33,14 @@ impl DebsConfig {
     }
 }
 
-/// Generates the mf01-like signal. Single machine (one key), constant
-/// pace, values in watts around a 1.2 kW base load.
+/// Generates the mf01-like signal as columns. Single machine (one key),
+/// constant pace, values in watts around a 1.2 kW base load. This is the
+/// generator's native output (feed it via `Pipeline::push_columns`);
+/// [`debs_stream`] transposes it for row-oriented consumers.
 #[must_use]
-pub fn debs_stream(config: &DebsConfig) -> Vec<Event> {
+pub fn debs_columns(config: &DebsConfig) -> EventBatch {
     let mut rng = SplitMix64::seed_from_u64(config.seed);
-    let mut events = Vec::with_capacity(config.events);
+    let mut events = EventBatch::with_capacity(config.events);
     let mut spike_remaining = 0u32;
     for t in 0..config.events as u64 {
         let tf = t as f64;
@@ -58,9 +60,16 @@ pub fn debs_stream(config: &DebsConfig) -> Vec<Event> {
         } else {
             0.0
         };
-        events.push(Event::new(t, 0, base + drift + duty + noise + spike));
+        events.push_parts(t, 0, base + drift + duty + noise + spike);
     }
     events
+}
+
+/// Row-oriented view of [`debs_columns`] (same seed ⇒ the exact same
+/// events).
+#[must_use]
+pub fn debs_stream(config: &DebsConfig) -> Vec<Event> {
+    debs_columns(config).iter().collect()
 }
 
 #[cfg(test)]
@@ -120,5 +129,16 @@ mod tests {
     #[test]
     fn preset_scaling() {
         assert_eq!(DebsConfig::real_32m(64).events, 500_000);
+    }
+
+    #[test]
+    fn columns_and_stream_agree() {
+        let config = DebsConfig {
+            events: 2000,
+            seed: 5,
+        };
+        let columns = debs_columns(&config);
+        let stream = debs_stream(&config);
+        assert_eq!(columns.iter().collect::<Vec<Event>>(), stream);
     }
 }

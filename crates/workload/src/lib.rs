@@ -13,9 +13,9 @@ pub mod rng;
 pub mod synthetic;
 pub mod window_sets;
 
-pub use debs::{debs_stream, DebsConfig};
+pub use debs::{debs_columns, debs_stream, DebsConfig};
 pub use rng::SplitMix64;
-pub use synthetic::{synthetic_stream, SyntheticConfig};
+pub use synthetic::{synthetic_columns, synthetic_stream, SyntheticConfig};
 pub use window_sets::{
     evaluation_panels, generate_runs, generate_window_set, setup_label, GenConfig, Generator,
     WindowShape,

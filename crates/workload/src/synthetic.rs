@@ -3,7 +3,7 @@
 //! unit), keyed by a small device-id space.
 
 use crate::rng::SplitMix64;
-use fw_engine::Event;
+use fw_engine::{Event, EventBatch};
 
 /// Configuration for the synthetic generator.
 #[derive(Debug, Clone, Copy)]
@@ -38,22 +38,32 @@ impl SyntheticConfig {
     }
 }
 
-/// Generates a constant-pace stream: event `i` arrives at time `i` with a
-/// uniformly random sensor reading and a round-robin key. One event per
-/// time unit is exactly the cost model's η = 1.
+/// Generates a constant-pace stream as columns: event `i` arrives at time
+/// `i` with a uniformly random sensor reading and a round-robin key. One
+/// event per time unit is exactly the cost model's η = 1. This is the
+/// generator's native output — the columns feed
+/// `Pipeline::push_columns` directly, with no row-oriented intermediate;
+/// [`synthetic_stream`] transposes it for row-oriented consumers.
 #[must_use]
-pub fn synthetic_stream(config: &SyntheticConfig) -> Vec<Event> {
+pub fn synthetic_columns(config: &SyntheticConfig) -> EventBatch {
     let mut rng = SplitMix64::seed_from_u64(config.seed);
     let keys = config.keys.max(1);
-    (0..config.events as u64)
-        .map(|t| {
-            Event::new(
-                t,
-                (t % u64::from(keys)) as u32,
-                rng.gen_range_f64(0.0..100.0),
-            )
-        })
-        .collect()
+    let mut batch = EventBatch::with_capacity(config.events);
+    for t in 0..config.events as u64 {
+        batch.push_parts(
+            t,
+            (t % u64::from(keys)) as u32,
+            rng.gen_range_f64(0.0..100.0),
+        );
+    }
+    batch
+}
+
+/// Row-oriented view of [`synthetic_columns`] (same seed ⇒ the exact same
+/// events).
+#[must_use]
+pub fn synthetic_stream(config: &SyntheticConfig) -> Vec<Event> {
+    synthetic_columns(config).iter().collect()
 }
 
 #[cfg(test)]
@@ -86,6 +96,20 @@ mod tests {
         assert_eq!(synthetic_stream(&config), synthetic_stream(&config));
         let other = SyntheticConfig { seed: 8, ..config };
         assert_ne!(synthetic_stream(&config), synthetic_stream(&other));
+    }
+
+    #[test]
+    fn columns_and_stream_agree() {
+        let config = SyntheticConfig {
+            events: 500,
+            keys: 3,
+            seed: 42,
+        };
+        let columns = synthetic_columns(&config);
+        let stream = synthetic_stream(&config);
+        assert_eq!(columns.len(), stream.len());
+        let transposed: Vec<Event> = columns.iter().collect();
+        assert_eq!(transposed, stream);
     }
 
     #[test]

@@ -451,6 +451,27 @@ impl Pipeline {
         Ok(())
     }
 
+    /// Pushes a columnar batch (equal-length timestamp/key/value slices) —
+    /// the zero-copy ingestion primitive. On the single-threaded backend
+    /// the columns are fed to the operators without materializing a single
+    /// `Event`; on the sharded backend they are scattered column-to-column
+    /// into the per-shard batches. Results are identical to pushing the
+    /// same events through [`Self::push`] or [`Self::push_batch`].
+    /// An [`fw_engine::EventBatch`] provides the columns via
+    /// `batch.columns()`.
+    pub fn push_columns(&mut self, times: &[u64], keys: &[u32], values: &[f64]) -> ApiResult<()> {
+        match &mut self.backend {
+            Backend::Single(p) => p.push_columns(times, keys, values)?,
+            Backend::Sharded(p) => p.push_columns(times, keys, values)?,
+        }
+        if let Some(state) = &mut self.adaptive {
+            for &time in times {
+                state.observe(time);
+            }
+        }
+        Ok(())
+    }
+
     /// Declares that no event before `watermark` will arrive: flushes the
     /// reorder buffer up to it and seals every window instance ending at
     /// or before it (broadcast to every shard on the sharded backend).

@@ -295,6 +295,14 @@ impl GroupPipeline {
         Ok(self.exec.push_batch(events)?)
     }
 
+    /// Pushes a columnar batch (equal-length timestamp/key/value slices;
+    /// see [`crate::Pipeline::push_columns`]). Group routing is
+    /// unchanged: the columns feed the same shared (or per-member)
+    /// pipelines the row-oriented entry points do.
+    pub fn push_columns(&mut self, times: &[u64], keys: &[u32], values: &[f64]) -> ApiResult<()> {
+        Ok(self.exec.push_columns(times, keys, values)?)
+    }
+
     /// Declares that no event before `watermark` will arrive (sealing and
     /// emission as for [`crate::Pipeline::advance_watermark`]).
     pub fn advance_watermark(&mut self, watermark: u64) -> ApiResult<()> {

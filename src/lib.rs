@@ -53,7 +53,7 @@ pub use fw_workload as workload;
 
 pub use api::{ApiError, ApiResult, Pipeline, Session};
 pub use fw_core::{GroupStrategy, PlanChoice, QueryId, SharingPolicy};
-pub use fw_engine::{GroupResult, Parallelism};
+pub use fw_engine::{EventBatch, GroupResult, Parallelism};
 pub use group::{GroupPipeline, QueryGroup};
 
 /// One-stop imports for typical users: the session façade plus the
@@ -63,5 +63,5 @@ pub mod prelude {
     pub use crate::group::{GroupPipeline, QueryGroup};
     pub use fw_core::prelude::*;
     pub use fw_core::{GroupStrategy, QueryId, SharingPolicy};
-    pub use fw_engine::{Event, GroupResult, Parallelism, RunOutput, WindowResult};
+    pub use fw_engine::{Event, EventBatch, GroupResult, Parallelism, RunOutput, WindowResult};
 }

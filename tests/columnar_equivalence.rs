@@ -1,0 +1,266 @@
+//! Columnar ingestion equivalence: `push_columns` == `push_batch` ==
+//! per-event `push`, bit-for-bit, across every plan choice, backend,
+//! disorder setting, aggregate list, and the query-group façade.
+//!
+//! The columnar path run-slices batches and folds key sub-runs through a
+//! single hash probe; none of that may change a single result bit
+//! relative to the sequential per-event oracle.
+
+use factor_windows::engine::{sorted_results, Event, EventBatch, WindowResult};
+use factor_windows::{GroupPipeline, Parallelism, PlanChoice, QueryGroup, Session};
+use fw_core::{AggregateFunction, AggregateSpec, WindowQuery, WindowSet};
+use fw_engine::sorted_group_results;
+
+fn w(r: u64, s: u64) -> fw_core::Window {
+    fw_core::Window::new(r, s).unwrap()
+}
+
+/// Streams with three key layouts: round-robin keys (every adjacent pair
+/// differs), keyed runs (the shared-probe fold path), and a single key
+/// (whole runs collapse to one probe).
+fn streams(n: u64) -> Vec<Vec<Event>> {
+    let value = |t: u64| ((t * 7) % 23) as f64 - 3.0;
+    vec![
+        (0..n)
+            .map(|t| Event::new(t, (t % 5) as u32, value(t)))
+            .collect(),
+        (0..n)
+            .map(|t| Event::new(t, ((t / 8) % 3) as u32, value(t)))
+            .collect(),
+        (0..n).map(|t| Event::new(t, 0, value(t))).collect(),
+    ]
+}
+
+fn jitter(events: &[Event]) -> Vec<Event> {
+    let mut jittered = events.to_vec();
+    for chunk in jittered.chunks_mut(4) {
+        chunk.reverse();
+    }
+    jittered
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Mode {
+    PerEvent,
+    Batch,
+    Columns,
+}
+
+const MODES: [Mode; 3] = [Mode::PerEvent, Mode::Batch, Mode::Columns];
+
+/// Feeds `events` through one freshly built pipeline in the given mode,
+/// with mid-stream watermarks and polls, and returns the sorted results.
+fn run_mode(session: &Session, events: &[Event], mode: Mode) -> Vec<WindowResult> {
+    let mut pipeline = session.build().unwrap();
+    let mut collected = Vec::new();
+    for (round, chunk) in events.chunks(97).enumerate() {
+        match mode {
+            Mode::PerEvent => {
+                for &event in chunk {
+                    pipeline.push(event).unwrap();
+                }
+            }
+            Mode::Batch => pipeline.push_batch(chunk).unwrap(),
+            Mode::Columns => {
+                let batch = EventBatch::from_events(chunk);
+                let (times, keys, values) = batch.columns();
+                pipeline.push_columns(times, keys, values).unwrap();
+            }
+        }
+        if round % 2 == 1 {
+            let watermark = pipeline.watermark();
+            pipeline.advance_watermark(watermark).unwrap();
+            collected.extend(pipeline.poll_results());
+        }
+    }
+    let tail = pipeline.finish().unwrap();
+    collected.extend(tail.results);
+    sorted_results(collected)
+}
+
+/// Bit-exact comparison: `f64` payloads are compared by representation,
+/// not `PartialEq`, so the check is strictly "byte-identical".
+fn assert_bit_identical(oracle: &[WindowResult], got: &[WindowResult], context: &str) {
+    assert_eq!(oracle.len(), got.len(), "{context}: result count");
+    for (a, b) in oracle.iter().zip(got) {
+        assert_eq!(a.window, b.window, "{context}");
+        assert_eq!(a.interval, b.interval, "{context}");
+        assert_eq!(a.key, b.key, "{context}");
+        assert_eq!(a.agg, b.agg, "{context}");
+        assert_eq!(
+            a.value.to_bits(),
+            b.value.to_bits(),
+            "{context}: value bits for {:?} vs {:?}",
+            a,
+            b
+        );
+    }
+}
+
+fn equivalence_matrix(query: &WindowQuery, n: u64) {
+    for events in streams(n) {
+        for (disorder, input) in [(0u64, events.clone()), (4, jitter(&events))] {
+            // Oracle: sequential, per-event, in-order-repaired stream.
+            let oracle_session = Session::from_query(query.clone())
+                .plan_choice(PlanChoice::Original)
+                .out_of_order(disorder)
+                .element_work(0)
+                .collect_results(true);
+            let oracle = run_mode(&oracle_session, &input, Mode::PerEvent);
+            assert!(!oracle.is_empty());
+            for choice in PlanChoice::CONCRETE {
+                for parallelism in [
+                    Parallelism::Sequential,
+                    Parallelism::Fixed(1),
+                    Parallelism::Fixed(2),
+                    Parallelism::Fixed(4),
+                ] {
+                    let session = Session::from_query(query.clone())
+                        .plan_choice(choice)
+                        .parallelism(parallelism)
+                        .out_of_order(disorder)
+                        .element_work(0)
+                        .collect_results(true);
+                    for mode in MODES {
+                        let got = run_mode(&session, &input, mode);
+                        assert_bit_identical(
+                            &oracle,
+                            &got,
+                            &format!("{choice} / {parallelism:?} / disorder={disorder} / {mode:?}"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn single_aggregate_tumbling() {
+    let windows = WindowSet::new(vec![w(20, 20), w(30, 30), w(40, 40)]).unwrap();
+    equivalence_matrix(&WindowQuery::new(windows, AggregateFunction::Min), 500);
+}
+
+#[test]
+fn single_aggregate_hopping() {
+    // Hopping windows exercise multi-instance runs (each run folds into
+    // r/s panes) under covered-by semantics.
+    let windows = WindowSet::new(vec![w(20, 10), w(40, 20), w(60, 30)]).unwrap();
+    equivalence_matrix(&WindowQuery::new(windows, AggregateFunction::Max), 400);
+}
+
+#[test]
+fn sum_is_order_sensitive_enough_to_catch_refolds() {
+    // SUM is the strictest bit-identity probe: floating-point addition is
+    // not associative, so any reordering of a key's per-event folds would
+    // change result bits.
+    let windows = WindowSet::new(vec![w(20, 20), w(30, 30), w(40, 40)]).unwrap();
+    equivalence_matrix(&WindowQuery::new(windows, AggregateFunction::Sum), 450);
+}
+
+#[test]
+fn multi_aggregate_with_holistic_rider() {
+    let windows = WindowSet::new(vec![w(20, 20), w(30, 30), w(40, 40)]).unwrap();
+    let specs = vec![
+        AggregateSpec::new(AggregateFunction::Min),
+        AggregateSpec::new(AggregateFunction::Avg),
+        AggregateSpec::new(AggregateFunction::Count),
+        AggregateSpec::new(AggregateFunction::Median),
+    ];
+    let query = WindowQuery::with_aggregates(windows, specs).unwrap();
+    equivalence_matrix(&query, 400);
+}
+
+/// The query-group façade: columnar pushes route exactly like per-event
+/// pushes for every member of a shared group.
+#[test]
+fn query_group_routes_columns_identically() {
+    let group = || {
+        QueryGroup::new()
+            .query(WindowQuery::new(
+                WindowSet::new(vec![w(20, 20), w(40, 40)]).unwrap(),
+                AggregateFunction::Sum,
+            ))
+            .query(WindowQuery::new(
+                WindowSet::new(vec![w(20, 20), w(60, 60)]).unwrap(),
+                AggregateFunction::Min,
+            ))
+            .query(WindowQuery::new(
+                WindowSet::new(vec![w(40, 40), w(60, 60)]).unwrap(),
+                AggregateFunction::Count,
+            ))
+            .element_work(0)
+            .collect_results(true)
+    };
+    let events = &streams(480)[0];
+    let feed = |mode: Mode| {
+        let mut pipeline: GroupPipeline = group().build().unwrap();
+        for chunk in events.chunks(120) {
+            match mode {
+                Mode::PerEvent => {
+                    for &event in chunk {
+                        pipeline.push(event).unwrap();
+                    }
+                }
+                Mode::Batch => pipeline.push_batch(chunk).unwrap(),
+                Mode::Columns => {
+                    let batch = EventBatch::from_events(chunk);
+                    let (times, keys, values) = batch.columns();
+                    pipeline.push_columns(times, keys, values).unwrap();
+                }
+            }
+        }
+        let out = pipeline.finish().unwrap();
+        assert_eq!(out.events_processed, 480, "{mode:?}");
+        sorted_group_results(out.results)
+    };
+    let oracle = feed(Mode::PerEvent);
+    assert!(!oracle.is_empty());
+    for mode in [Mode::Batch, Mode::Columns] {
+        let got = feed(mode);
+        assert_eq!(oracle.len(), got.len(), "{mode:?}");
+        for (a, b) in oracle.iter().zip(&got) {
+            assert_eq!(a.query, b.query, "{mode:?}");
+            assert_eq!(a.result.window, b.result.window, "{mode:?}");
+            assert_eq!(a.result.interval, b.result.interval, "{mode:?}");
+            assert_eq!(a.result.key, b.result.key, "{mode:?}");
+            assert_eq!(a.result.agg, b.result.agg, "{mode:?}");
+            assert_eq!(
+                a.result.value.to_bits(),
+                b.result.value.to_bits(),
+                "{mode:?}"
+            );
+        }
+    }
+}
+
+/// Column slices of unequal length are rejected up front on both
+/// backends, with nothing partially fed.
+#[test]
+fn mismatched_columns_are_rejected() {
+    let windows = WindowSet::new(vec![w(20, 20)]).unwrap();
+    for parallelism in [Parallelism::Sequential, Parallelism::Fixed(2)] {
+        let session =
+            Session::from_query(WindowQuery::new(windows.clone(), AggregateFunction::Sum))
+                .element_work(0)
+                .parallelism(parallelism);
+        let mut pipeline = session.build().unwrap();
+        let err = pipeline
+            .push_columns(&[1, 2], &[0], &[1.0, 2.0])
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                factor_windows::ApiError::Engine(
+                    factor_windows::engine::EngineError::ColumnLengthMismatch { .. }
+                )
+            ),
+            "{parallelism:?}: {err}"
+        );
+        pipeline
+            .push_columns(&[1, 2], &[0, 1], &[1.0, 2.0])
+            .unwrap();
+        let out = pipeline.finish().unwrap();
+        assert_eq!(out.events_processed, 2);
+    }
+}
