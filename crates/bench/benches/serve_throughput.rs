@@ -1,0 +1,209 @@
+//! Serving-layer throughput: the same deterministic load-generator
+//! stream pushed (a) straight into an in-process `GroupHost` via
+//! `push_columns` and (b) over loopback TCP through the framed `fw-serve`
+//! protocol, at 1/8/64 subscriber connections. The gap between the two is
+//! the full cost of the wire: framing, the bounded ingest queue, the
+//! engine thread hop, and per-subscriber result fan-out.
+//!
+//! Emits `BENCH_serve.json` (via `fw_bench::write_bench_json`): one
+//! record per configuration with events/sec, watermark→result latency
+//! percentiles from the feeder's probe query, rows delivered, and the
+//! bounded-queue high-water marks.
+//!
+//! Environment knobs: `SERVE_SMOKE=1` runs the CI smoke — 64 clients ×
+//! 10k events paced at a calibration rate (a quarter of the measured
+//! full-speed rate) with `Overflow::Shed`, and **asserts zero shed
+//! batches**: at a sane rate the bounded queues must never overflow.
+//! `SERVE_EVENTS` / `SERVE_ITERS` override the stream length and
+//! iteration count.
+
+use factor_windows::serve::host::{GroupHost, HostConfig};
+use factor_windows::serve::loadgen::{stream_plan, LoadGenConfig, PROBE_SQL};
+use factor_windows::serve::{run_load, LoadReport, Overflow, ServeConfig, Server};
+use fw_bench::write_bench_json;
+use fw_core::json::JsonValue;
+use std::time::Instant;
+
+const KEYS: u32 = 64;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn load_config(clients: usize, events: u64) -> LoadGenConfig {
+    LoadGenConfig {
+        clients,
+        events,
+        keys: KEYS,
+        ..LoadGenConfig::default()
+    }
+}
+
+/// The in-process ceiling: the identical member set (one registration
+/// per would-be subscriber, plus the probe) fed the identical stream
+/// through `GroupHost::push_columns`, no sockets anywhere.
+fn in_process_eps(config: &LoadGenConfig) -> u64 {
+    let plan = stream_plan(config);
+    let mut host = GroupHost::new(HostConfig::default());
+    for i in 0..config.clients {
+        let sql = &config.queries[i % config.queries.len().max(1)];
+        host.register_sql(sql).expect("query registers");
+    }
+    host.register_sql(PROBE_SQL).expect("probe registers");
+    let started = Instant::now();
+    let mut rows = 0u64;
+    for (i, batch) in plan.batches.iter().enumerate() {
+        host.push_columns(batch.times(), batch.keys(), batch.values())
+            .expect("push");
+        if let Some(mark) = plan.watermarks[i] {
+            host.advance_watermark(mark).expect("watermark");
+            rows += host.poll_results().len() as u64;
+        }
+    }
+    host.advance_watermark(plan.final_watermark).expect("seal");
+    rows += host.poll_results().len() as u64;
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+    assert!(rows > 0);
+    (config.events as f64 / elapsed).round() as u64
+}
+
+fn serve_run(config: &LoadGenConfig, overflow: Overflow) -> LoadReport {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            overflow,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr().expect("local addr");
+    let mut handle = server.spawn();
+    let report = run_load(addr, config).expect("load run");
+    handle.stop();
+    report
+}
+
+fn record(label: &str, mode: &str, clients: usize, events: u64, report: &LoadReport) -> JsonValue {
+    let n = |v: u64| JsonValue::Number(i128::from(v));
+    JsonValue::Object(vec![
+        ("label".to_string(), JsonValue::String(label.to_string())),
+        ("mode".to_string(), JsonValue::String(mode.to_string())),
+        ("clients".to_string(), n(clients as u64)),
+        ("events".to_string(), n(events)),
+        ("events_per_sec".to_string(), n(report.events_per_sec)),
+        ("latency_p50_us".to_string(), n(report.latency_p50_us)),
+        ("latency_p99_us".to_string(), n(report.latency_p99_us)),
+        (
+            "latency_samples".to_string(),
+            n(report.latency_samples as u64),
+        ),
+        ("rows_delivered".to_string(), n(report.rows_delivered)),
+        (
+            "ingest_queue_high_water".to_string(),
+            n(report.snapshot.ingest_queue_high_water),
+        ),
+        (
+            "outbox_high_water".to_string(),
+            n(report.snapshot.outbox_high_water),
+        ),
+        ("batches_shed".to_string(), n(report.snapshot.batches_shed)),
+        (
+            "results_dropped".to_string(),
+            n(report.snapshot.results_dropped),
+        ),
+    ])
+}
+
+fn baseline_record(label: &str, clients: usize, events: u64, eps: u64) -> JsonValue {
+    let n = |v: u64| JsonValue::Number(i128::from(v));
+    JsonValue::Object(vec![
+        ("label".to_string(), JsonValue::String(label.to_string())),
+        (
+            "mode".to_string(),
+            JsonValue::String("in_process".to_string()),
+        ),
+        ("clients".to_string(), n(clients as u64)),
+        ("events".to_string(), n(events)),
+        ("events_per_sec".to_string(), n(eps)),
+    ])
+}
+
+fn main() {
+    let smoke = std::env::var_os("SERVE_SMOKE").is_some();
+    let events = env_u64("SERVE_EVENTS", if smoke { 10_000 } else { 200_000 });
+    let iters = env_u64("SERVE_ITERS", if smoke { 1 } else { 2 }).max(1);
+    let client_counts: &[usize] = if smoke { &[64] } else { &[1, 8, 64] };
+
+    println!("# serve_throughput: in-process push_columns vs loopback-TCP framed ingest");
+    let mut records = Vec::new();
+
+    for &clients in client_counts {
+        let config = load_config(clients, events);
+
+        let eps = in_process_eps(&config);
+        let label = format!("serve/in_process/members={clients}");
+        println!("{label:<48} {:>10.0} K events/s", eps as f64 / 1e3);
+        records.push(baseline_record(&label, clients, events, eps));
+
+        // Loopback TCP at full feeder speed; keep the best of `iters`.
+        let mut best: Option<LoadReport> = None;
+        for _ in 0..iters {
+            let report = serve_run(&config, Overflow::Block);
+            if best
+                .as_ref()
+                .is_none_or(|b| report.events_per_sec > b.events_per_sec)
+            {
+                best = Some(report);
+            }
+        }
+        let report = best.expect("at least one iteration");
+        let label = format!("serve/loopback_tcp/clients={clients}");
+        println!(
+            "{label:<48} {:>10.0} K events/s  (p50 {} us, p99 {} us, {} rows)",
+            report.events_per_sec as f64 / 1e3,
+            report.latency_p50_us,
+            report.latency_p99_us,
+            report.rows_delivered
+        );
+        records.push(record(&label, "loopback_tcp", clients, events, &report));
+
+        if smoke {
+            // The CI acceptance gate: replay the same stream paced at a
+            // quarter of the just-measured full-speed rate with shedding
+            // enabled. A server that drops batches at a rate it already
+            // sustained unpaced has a backpressure bug.
+            let calibrated = (report.events_per_sec / 4).max(10_000);
+            let paced = LoadGenConfig {
+                target_eps: Some(calibrated),
+                ..config.clone()
+            };
+            let paced_report = serve_run(&paced, Overflow::Shed);
+            let label = format!("serve/calibrated/clients={clients}");
+            println!(
+                "{label:<48} {:>10.0} K events/s  (target {:.0} K, {} shed)",
+                paced_report.events_per_sec as f64 / 1e3,
+                calibrated as f64 / 1e3,
+                paced_report.snapshot.batches_shed
+            );
+            assert_eq!(
+                paced_report.snapshot.batches_shed, 0,
+                "batches shed at calibration rate: {:?}",
+                paced_report.snapshot
+            );
+            assert_eq!(paced_report.snapshot.events_in, events);
+            records.push(record(&label, "calibrated", clients, events, &paced_report));
+        }
+    }
+
+    let doc = JsonValue::Object(vec![
+        ("bench".to_string(), JsonValue::String("serve".to_string())),
+        ("records".to_string(), JsonValue::Array(records)),
+    ]);
+    match write_bench_json("serve", &doc) {
+        Ok(path) => println!("# wrote {}", path.display()),
+        Err(e) => eprintln!("# could not write BENCH_serve.json: {e}"),
+    }
+}

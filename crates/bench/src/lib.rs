@@ -172,10 +172,26 @@ pub fn write_throughput_json(
     bench: &str,
     records: &[ThroughputRecord],
 ) -> std::io::Result<std::path::PathBuf> {
+    write_bench_document(bench, &render_throughput_json(bench, records))
+}
+
+/// Writes `BENCH_<bench>.json` into `$BENCH_JSON_DIR` (default: the
+/// current directory) from an arbitrary [`fw_core::json`] document, for
+/// benches whose schema doesn't fit [`ThroughputRecord`] (the serving
+/// bench's latency percentiles and queue high-water marks, say).
+/// Returns the written path.
+pub fn write_bench_json(
+    bench: &str,
+    doc: &fw_core::json::JsonValue,
+) -> std::io::Result<std::path::PathBuf> {
+    write_bench_document(bench, &format!("{doc}\n"))
+}
+
+fn write_bench_document(bench: &str, body: &str) -> std::io::Result<std::path::PathBuf> {
     let dir = std::env::var_os("BENCH_JSON_DIR")
         .map_or_else(|| std::path::PathBuf::from("."), std::path::PathBuf::from);
     let path = dir.join(format!("BENCH_{bench}.json"));
-    std::fs::write(&path, render_throughput_json(bench, records))?;
+    std::fs::write(&path, body)?;
     Ok(path)
 }
 

@@ -25,9 +25,29 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut config = HarnessConfig::default();
     let mut out_dir: Option<PathBuf> = None;
     let mut selected: Vec<String> = Vec::new();
+    let mut serve_addr: Option<String> = None;
+    let mut load_addr: Option<String> = None;
+    let mut clients: usize = 4;
+    let mut events: u64 = 200_000;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--serve" => {
+                i += 1;
+                let addr = args.get(i).ok_or("--serve requires a bind address")?;
+                serve_addr = Some(addr.clone());
+            }
+            "--load-gen" => {
+                i += 1;
+                let addr = args.get(i).ok_or("--load-gen requires a server address")?;
+                load_addr = Some(addr.clone());
+            }
+            "--clients" => {
+                clients = parse_value(args, &mut i, "--clients")?;
+            }
+            "--events" => {
+                events = parse_value(args, &mut i, "--events")?;
+            }
             "--scale" => {
                 config.scale = parse_value(args, &mut i, "--scale")?;
             }
@@ -71,6 +91,12 @@ fn run(args: &[String]) -> Result<(), String> {
     }
     if config.scale == 0 {
         return Err("--scale must be at least 1".to_string());
+    }
+    if let Some(addr) = &serve_addr {
+        return serve(addr, &config);
+    }
+    if let Some(addr) = &load_addr {
+        return load_gen(addr, clients, events);
     }
     if selected.is_empty() || selected.iter().any(|s| s == "all") {
         selected = EXPERIMENTS.iter().map(|e| e.id.to_string()).collect();
@@ -161,6 +187,80 @@ fn dump_wcg(sql: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs the streaming ingress server on `addr` until killed, printing a
+/// one-line metrics digest every few seconds. `--parallelism` selects
+/// the shared group's shard workers (0 = one per core).
+fn serve(addr: &str, config: &HarnessConfig) -> Result<(), String> {
+    use factor_windows::serve::host::HostConfig;
+    use factor_windows::serve::{ServeConfig, Server};
+    use factor_windows::Parallelism;
+
+    let parallelism = match config.parallelism {
+        0 => Parallelism::Auto,
+        1 => Parallelism::Sequential,
+        n => Parallelism::Fixed(n),
+    };
+    let serve_config = ServeConfig {
+        host: HostConfig {
+            parallelism,
+            ..HostConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let server =
+        Server::bind(addr, serve_config).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let bound = server.local_addr().map_err(|e| e.to_string())?;
+    let metrics = server.metrics();
+    println!("# fw-serve listening on {bound} (Ctrl-C to stop)");
+    let _handle = server.spawn();
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(5));
+        let s = metrics.snapshot();
+        eprintln!(
+            "[serve] conns {} | queries {} | events {} ({}/s) | rows out {} | queue {} | wm lag {} | shed {}",
+            s.active_connections,
+            s.registered_queries,
+            s.events_in,
+            s.events_per_sec,
+            s.results_rows_out,
+            s.ingest_queue_depth,
+            s.watermark_lag,
+            s.batches_shed,
+        );
+    }
+}
+
+/// Drives the deterministic load generator against a running server and
+/// prints the measured throughput, latency percentiles, and the server's
+/// final accounting.
+fn load_gen(addr: &str, clients: usize, events: u64) -> Result<(), String> {
+    use factor_windows::serve::loadgen::{run_load, LoadGenConfig};
+    use std::net::ToSocketAddrs;
+
+    let addr = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("cannot resolve {addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("cannot resolve {addr}"))?;
+    let config = LoadGenConfig {
+        clients,
+        events,
+        ..LoadGenConfig::default()
+    };
+    println!("# fw load generator — {clients} subscriber(s), {events} events against {addr}");
+    let report = run_load(addr, &config).map_err(|e| e.to_string())?;
+    println!(
+        "events/sec      {}\nlatency p50     {} us\nlatency p99     {} us\nrows delivered  {}\nbatches shed    {}\nresults dropped {}",
+        report.events_per_sec,
+        report.latency_p50_us,
+        report.latency_p99_us,
+        report.rows_delivered,
+        report.snapshot.batches_shed,
+        report.snapshot.results_dropped,
+    );
+    Ok(())
+}
+
 fn parse_value<T: std::str::FromStr>(
     args: &[String],
     i: &mut usize,
@@ -190,6 +290,15 @@ fn print_help() {
                             statements dump the merged cross-query graph\n\
                             (`fig1`, `fig1-multi`, and `fig1-group` name\n\
                             the built-in fixtures)\n\n\
+         SERVING:\n\
+           --serve ADDR     run the streaming ingress server on ADDR\n\
+                            (e.g. 127.0.0.1:9090) until killed; honors\n\
+                            --parallelism for the shared execution\n\
+           --load-gen ADDR  drive the deterministic load generator\n\
+                            against a running server and print the\n\
+                            measured throughput and latency percentiles\n\
+           --clients N      load-gen subscriber connections (default 4)\n\
+           --events N       load-gen stream length (default 200000)\n\n\
          Run `fw-experiments list` to see every experiment id."
     );
 }

@@ -1,0 +1,238 @@
+//! [`ServeClient`]: a blocking TCP client for the serve frame protocol.
+//!
+//! The client is single-threaded and request-oriented: control calls
+//! ([`ServeClient::register`], [`ServeClient::stats`], …) block until
+//! their reply frame arrives, stashing any [`Frame::Results`] and
+//! [`Frame::Lagging`] frames that stream past in the meantime; data
+//! calls ([`ServeClient::push_batch`], [`ServeClient::watermark`]) are
+//! fire-and-forget. Drain stashed results with
+//! [`ServeClient::take_results`], and pull in-flight frames without a
+//! request via [`ServeClient::poll`].
+
+use crate::metrics::MetricsSnapshot;
+use crate::wire::{read_frame, tag_rows, write_frame, Frame, LagKind};
+use crate::ServeError;
+use fw_engine::{Event, EventBatch, GroupResult};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// A connected protocol client; see the module docs.
+pub struct ServeClient {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    results: Vec<GroupResult>,
+    ingest_lag: u64,
+    results_lag: u64,
+}
+
+impl std::fmt::Debug for ServeClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeClient")
+            .field("peer", &self.stream.peer_addr().ok())
+            .field("stashed_results", &self.results.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServeClient {
+    /// Connects and completes the `Hello`/`HelloAck` handshake.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<ServeClient, ServeError> {
+        let stream = TcpStream::connect(addr).map_err(crate::wire::WireError::Io)?;
+        let _ = stream.set_nodelay(true);
+        let reader = BufReader::new(stream.try_clone().map_err(crate::wire::WireError::Io)?);
+        let writer = BufWriter::new(stream.try_clone().map_err(crate::wire::WireError::Io)?);
+        let mut client = ServeClient {
+            stream,
+            reader,
+            writer,
+            results: Vec::new(),
+            ingest_lag: 0,
+            results_lag: 0,
+        };
+        client.send(&Frame::hello())?;
+        client.wait_for(|f| matches!(f, Frame::HelloAck { .. }))?;
+        Ok(client)
+    }
+
+    /// Registers one SQL query and returns its server-assigned id.
+    pub fn register(&mut self, sql: &str) -> Result<u32, ServeError> {
+        self.send(&Frame::Register { sql: sql.into() })?;
+        match self.wait_for(|f| matches!(f, Frame::Registered { .. }))? {
+            Frame::Registered { query_id } => Ok(query_id),
+            _ => unreachable!("wait_for returned a non-matching frame"),
+        }
+    }
+
+    /// Deregisters a query; blocks until the server confirms. Final
+    /// sealed results arrive (and are stashed) before the confirmation.
+    pub fn deregister(&mut self, query_id: u32) -> Result<(), ServeError> {
+        self.send(&Frame::Deregister { query_id })?;
+        self.wait_for(|f| matches!(f, Frame::Deregistered { .. }))?;
+        Ok(())
+    }
+
+    /// Pushes one columnar batch (fire-and-forget).
+    pub fn push_batch(&mut self, batch: &EventBatch) -> Result<(), ServeError> {
+        self.send(&Frame::PushColumns {
+            batch: batch.clone(),
+        })
+    }
+
+    /// Pushes equal-length timestamp/key/value columns (fire-and-forget).
+    pub fn push_columns(
+        &mut self,
+        times: &[u64],
+        keys: &[u32],
+        values: &[f64],
+    ) -> Result<(), ServeError> {
+        let mut batch = EventBatch::with_capacity(times.len());
+        for i in 0..times.len() {
+            batch.push_parts(times[i], keys[i], values[i]);
+        }
+        self.push_batch(&batch)
+    }
+
+    /// Pushes a row-oriented batch (fire-and-forget).
+    pub fn push_events(&mut self, events: &[Event]) -> Result<(), ServeError> {
+        self.push_batch(&EventBatch::from_events(events))
+    }
+
+    /// Announces this connection's watermark (fire-and-forget).
+    pub fn watermark(&mut self, watermark: u64) -> Result<(), ServeError> {
+        self.send(&Frame::Watermark { watermark })
+    }
+
+    /// Requests a metrics snapshot and blocks for the JSON reply.
+    /// Because each connection's outbox is FIFO, every result routed to
+    /// this client before the server handled the request is stashed by
+    /// the time this returns — a convenient flush barrier.
+    pub fn stats_json(&mut self) -> Result<String, ServeError> {
+        self.send(&Frame::Stats)?;
+        match self.wait_for(|f| matches!(f, Frame::StatsJson { .. }))? {
+            Frame::StatsJson { json } => Ok(json),
+            _ => unreachable!("wait_for returned a non-matching frame"),
+        }
+    }
+
+    /// [`Self::stats_json`], decoded into a [`MetricsSnapshot`].
+    pub fn stats(&mut self) -> Result<MetricsSnapshot, ServeError> {
+        let json = self.stats_json()?;
+        let value = fw_core::json::parse(&json)
+            .map_err(|e| ServeError::Protocol(format!("bad stats json: {e:?}")))?;
+        MetricsSnapshot::from_json(&value)
+            .ok_or_else(|| ServeError::Protocol("incomplete stats json".into()))
+    }
+
+    /// Declares this connection done pushing; returns the server's
+    /// accounting `(events_ingested, rows_delivered)` for it.
+    pub fn finish(&mut self) -> Result<(u64, u64), ServeError> {
+        self.send(&Frame::Finish)?;
+        match self.wait_for(|f| matches!(f, Frame::Finished { .. }))? {
+            Frame::Finished { events, rows } => Ok((events, rows)),
+            _ => unreachable!("wait_for returned a non-matching frame"),
+        }
+    }
+
+    /// Drains whatever frames are already in flight, waiting at most
+    /// `wait` for the first byte. Returns the number of frames consumed
+    /// (results and lag notices are stashed, not returned).
+    pub fn poll(&mut self, wait: Duration) -> Result<usize, ServeError> {
+        let deadline = Instant::now() + wait;
+        let mut drained = 0;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                break;
+            }
+            self.stream
+                .set_read_timeout(Some(remaining.max(Duration::from_millis(1))))
+                .map_err(crate::wire::WireError::Io)?;
+            // Peek without consuming: a timeout here leaves the stream
+            // at a clean frame boundary.
+            let has_data = match self.reader.fill_buf() {
+                Ok(buf) => !buf.is_empty(),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    false
+                }
+                Err(e) => {
+                    let _ = self.stream.set_read_timeout(None);
+                    return Err(crate::wire::WireError::Io(e).into());
+                }
+            };
+            if !has_data {
+                break;
+            }
+            // Data is in flight: finish the frame without a deadline
+            // (the server writes whole frames per flush).
+            self.stream
+                .set_read_timeout(None)
+                .map_err(crate::wire::WireError::Io)?;
+            let frame = read_frame(&mut self.reader)?;
+            self.stash(frame)?;
+            drained += 1;
+        }
+        self.stream
+            .set_read_timeout(None)
+            .map_err(crate::wire::WireError::Io)?;
+        Ok(drained)
+    }
+
+    /// Takes every result stashed so far.
+    pub fn take_results(&mut self) -> Vec<GroupResult> {
+        std::mem::take(&mut self.results)
+    }
+
+    /// Results stashed so far (without taking them).
+    #[must_use]
+    pub fn results(&self) -> &[GroupResult] {
+        &self.results
+    }
+
+    /// Accumulated lag notices: `(shed ingest batches, dropped result
+    /// rows)` the server reported for this connection.
+    #[must_use]
+    pub fn lag(&self) -> (u64, u64) {
+        (self.ingest_lag, self.results_lag)
+    }
+
+    fn send(&mut self, frame: &Frame) -> Result<(), ServeError> {
+        write_frame(&mut self.writer, frame)?;
+        self.writer.flush().map_err(crate::wire::WireError::Io)?;
+        Ok(())
+    }
+
+    /// Blocks until a frame matching `pred` arrives, stashing streamed
+    /// frames on the way. A server [`Frame::Error`] becomes
+    /// [`ServeError::Remote`].
+    fn wait_for(&mut self, pred: impl Fn(&Frame) -> bool) -> Result<Frame, ServeError> {
+        loop {
+            let frame = read_frame(&mut self.reader)?;
+            if pred(&frame) {
+                return Ok(frame);
+            }
+            self.stash(frame)?;
+        }
+    }
+
+    fn stash(&mut self, frame: Frame) -> Result<(), ServeError> {
+        match frame {
+            Frame::Results { query_id, rows } => {
+                self.results.extend(tag_rows(query_id, rows));
+            }
+            Frame::Lagging { kind, count } => match kind {
+                LagKind::IngestShed => self.ingest_lag += count,
+                LagKind::ResultsDropped => self.results_lag += count,
+            },
+            Frame::Error { code, message } => {
+                return Err(ServeError::Remote { code, message });
+            }
+            _ => {} // stray acks are harmless
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,376 @@
+//! [`GroupHost`]: the serving layer's long-lived query registry over one
+//! shared [`GroupExec`].
+//!
+//! This mirrors the umbrella crate's `GroupPipeline` register/deregister
+//! logic — members join and leave at the current watermark, the merged
+//! plan is re-optimized over the new member set, and the executor swaps
+//! plans in place with window state migrating across — with one serving
+//! requirement the in-process facade deliberately forbids: **the group
+//! may be empty.** Clients connect and disconnect at will, so the host
+//! holds `Option<GroupExec>`; when the last member deregisters it seals
+//! results up to the boundary, hands them back, and drops the executor,
+//! and the next registration compiles a fresh one fast-forwarded to the
+//! stream's high-water mark. While empty, pushed events are dropped (and
+//! counted by the caller) — there is no subscriber to compute for.
+
+use crate::ServeError;
+use fw_core::{
+    CostModel, GroupMember, GroupOptimizer, GroupStrategy, PlanChoice, QueryId, Semantics,
+    SharingPolicy, WindowQuery,
+};
+use fw_engine::{ExecStats, GroupExec, GroupResult, Parallelism, PipelineOptions};
+
+/// Compilation knobs for the hosted group, fixed for the host's lifetime.
+#[derive(Debug, Clone)]
+pub struct HostConfig {
+    /// The cost model pricing merged vs standalone plans.
+    pub model: CostModel,
+    /// Plan-choice policy for every (re)optimization.
+    pub choice: PlanChoice,
+    /// Sharing policy; the strategy resolved at each group founding is
+    /// pinned until the group next empties.
+    pub policy: SharingPolicy,
+    /// Coverage semantics override (validated per member).
+    pub semantics: Option<Semantics>,
+    /// Out-of-order tolerance in time units.
+    pub out_of_order: u64,
+    /// Emulated per-element work (0 disables; serving defaults to 0).
+    pub element_work: u32,
+    /// Key-sharded execution width.
+    pub parallelism: Parallelism,
+}
+
+impl Default for HostConfig {
+    fn default() -> Self {
+        HostConfig {
+            model: CostModel::default(),
+            choice: PlanChoice::Auto,
+            policy: SharingPolicy::Auto,
+            semantics: None,
+            out_of_order: 0,
+            element_work: 0,
+            parallelism: Parallelism::Sequential,
+        }
+    }
+}
+
+/// A dynamic multi-query execution host; see the module docs.
+pub struct GroupHost {
+    config: HostConfig,
+    /// The running executor; `None` while no query is registered.
+    exec: Option<GroupExec>,
+    members: Vec<GroupMember>,
+    next_id: u32,
+    /// Policy pinned to the strategy resolved at the current group
+    /// founding (`None` while empty — the next founding re-resolves).
+    pinned: Option<SharingPolicy>,
+    /// Stream high-water mark across executor generations: the max of
+    /// every announced watermark and every executor boundary observed.
+    horizon: u64,
+    /// Plan swaps across the host's lifetime (survives executor drops).
+    replans: u64,
+    /// Stats accumulated from already-dropped executor generations.
+    retired_stats: ExecStats,
+}
+
+impl std::fmt::Debug for GroupHost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GroupHost")
+            .field("queries", &self.members.len())
+            .field("watermark", &self.watermark())
+            .field("replans", &self.replans)
+            .finish_non_exhaustive()
+    }
+}
+
+impl GroupHost {
+    /// An empty host (no queries, no executor).
+    #[must_use]
+    pub fn new(config: HostConfig) -> Self {
+        GroupHost {
+            config,
+            exec: None,
+            members: Vec::new(),
+            next_id: 0,
+            pinned: None,
+            horizon: 0,
+            replans: 0,
+            retired_stats: ExecStats::default(),
+        }
+    }
+
+    /// Registers `query` at the current watermark and returns its id.
+    /// The first registration (of a generation) founds a fresh executor
+    /// fast-forwarded to the stream horizon; later ones rebuild the
+    /// running plan in place. On error the member set is unchanged.
+    pub fn register(&mut self, query: WindowQuery) -> Result<QueryId, ServeError> {
+        let boundary = self.watermark();
+        let id = QueryId(self.next_id);
+        self.members.push(GroupMember {
+            id,
+            query,
+            since: boundary,
+        });
+        if let Err(e) = self.replan(boundary) {
+            self.members.pop();
+            return Err(e);
+        }
+        self.next_id += 1;
+        Ok(id)
+    }
+
+    /// Parses and registers one SQL statement.
+    pub fn register_sql(&mut self, sql: &str) -> Result<QueryId, ServeError> {
+        let query = fw_sql::parse_to_query(sql)?;
+        self.register(query)
+    }
+
+    /// Deregisters `id` at the current watermark and returns every
+    /// result sealed at or before the boundary that had not been polled
+    /// yet (the departing member's final batch rides along). Unknown ids
+    /// are [`ServeError::UnknownQuery`]. Unlike the in-process facade,
+    /// the last member may leave: the executor is dropped and the group
+    /// idles empty.
+    pub fn deregister(&mut self, id: QueryId) -> Result<Vec<GroupResult>, ServeError> {
+        let Some(position) = self.members.iter().position(|m| m.id == id) else {
+            return Err(ServeError::UnknownQuery { id: id.0 });
+        };
+        let boundary = self.watermark();
+        let removed = self.members.remove(position);
+        if self.members.is_empty() {
+            // Seal to the boundary, drain, retire the executor. Dropping
+            // a (possibly sharded) executor without finish() is a clean,
+            // panic-free teardown.
+            let mut exec = self.exec.take().expect("members imply an executor");
+            exec.advance_watermark(boundary)?;
+            let finals = exec.poll_results();
+            self.retired_stats = self.retired_stats + exec.stats();
+            self.horizon = self.horizon.max(boundary).max(exec.watermark());
+            self.pinned = None;
+            return Ok(finals);
+        }
+        if let Err(e) = self.replan(boundary) {
+            self.members.insert(position, removed);
+            return Err(e);
+        }
+        Ok(Vec::new())
+    }
+
+    /// Re-optimizes over the current member set and swaps the plan at
+    /// `boundary` (or founds a fresh executor when none is running).
+    fn replan(&mut self, boundary: u64) -> Result<(), ServeError> {
+        let policy = self.pinned.unwrap_or(self.config.policy);
+        let plan = GroupOptimizer::new(self.config.model).plan(
+            &self.members,
+            self.config.choice,
+            policy,
+            self.config.semantics,
+        )?;
+        match self.exec.as_mut() {
+            Some(exec) => exec.rebuild(&plan, boundary)?,
+            None => {
+                let options = PipelineOptions {
+                    collect: true,
+                    element_work: self.config.element_work,
+                    out_of_order: self.config.out_of_order,
+                };
+                let mut exec =
+                    GroupExec::compile(&plan, options, self.config.parallelism.shard_count())?;
+                // Fast-forward the fresh executor to the stream horizon
+                // so ordering checks and instance sealing line up with
+                // what earlier generations already consumed.
+                exec.advance_watermark(boundary)?;
+                self.pinned = Some(match exec.strategy() {
+                    GroupStrategy::Shared => SharingPolicy::Shared,
+                    GroupStrategy::PerQuery => SharingPolicy::Unshared,
+                });
+                self.exec = Some(exec);
+            }
+        }
+        self.replans += 1;
+        Ok(())
+    }
+
+    /// Pushes a columnar batch. Returns the number of events actually
+    /// fed to the executor — `0` while no query is registered (the
+    /// events are dropped, not buffered).
+    pub fn push_columns(
+        &mut self,
+        times: &[u64],
+        keys: &[u32],
+        values: &[f64],
+    ) -> Result<usize, ServeError> {
+        match self.exec.as_mut() {
+            Some(exec) => {
+                exec.push_columns(times, keys, values)?;
+                Ok(times.len())
+            }
+            None => {
+                // No subscriber: drop, but keep the horizon honest so a
+                // later registration does not time-travel.
+                if let Some(&max) = times.iter().max() {
+                    let slack = self.config.out_of_order;
+                    self.horizon = self.horizon.max(max.saturating_sub(slack));
+                }
+                Ok(0)
+            }
+        }
+    }
+
+    /// Declares that no event before `watermark` will arrive.
+    pub fn advance_watermark(&mut self, watermark: u64) -> Result<(), ServeError> {
+        if let Some(exec) = self.exec.as_mut() {
+            exec.advance_watermark(watermark)?;
+        }
+        self.horizon = self.horizon.max(watermark);
+        Ok(())
+    }
+
+    /// Drains routed results collected since the last poll.
+    #[must_use]
+    pub fn poll_results(&mut self) -> Vec<GroupResult> {
+        match self.exec.as_mut() {
+            Some(exec) => exec.poll_results(),
+            None => Vec::new(),
+        }
+    }
+
+    /// The group's ordering watermark (monotone across generations).
+    #[must_use]
+    pub fn watermark(&self) -> u64 {
+        match self.exec.as_ref() {
+            Some(exec) => exec.watermark().max(self.horizon),
+            None => self.horizon,
+        }
+    }
+
+    /// Ids of the currently registered queries, in registration order.
+    #[must_use]
+    pub fn queries(&self) -> Vec<QueryId> {
+        self.members.iter().map(|m| m.id).collect()
+    }
+
+    /// Number of currently registered queries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True while no query is registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Plan swaps (registrations, deregistrations, foundings) across the
+    /// host's lifetime.
+    #[must_use]
+    pub fn replans(&self) -> u64 {
+        self.replans
+    }
+
+    /// Cost-model accounting summed over every executor generation.
+    #[must_use]
+    pub fn stats(&self) -> ExecStats {
+        let mut total = self.retired_stats;
+        if let Some(exec) = self.exec.as_ref() {
+            total = total + exec.stats();
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fw_core::{AggregateFunction, Window, WindowSet};
+
+    fn query(ranges: &[u64], f: AggregateFunction) -> WindowQuery {
+        let windows = WindowSet::new(
+            ranges
+                .iter()
+                .map(|&r| Window::tumbling(r).unwrap())
+                .collect(),
+        )
+        .unwrap();
+        WindowQuery::new(windows, f)
+    }
+
+    fn feed(host: &mut GroupHost, range: std::ops::Range<u64>) {
+        let times: Vec<u64> = range.collect();
+        let keys: Vec<u32> = times.iter().map(|t| (t % 3) as u32).collect();
+        let values: Vec<f64> = times.iter().map(|t| ((t * 7) % 23) as f64).collect();
+        host.push_columns(&times, &keys, &values).unwrap();
+    }
+
+    #[test]
+    fn empty_host_drops_events_and_tracks_horizon() {
+        let mut host = GroupHost::new(HostConfig::default());
+        assert!(host.is_empty());
+        feed(&mut host, 0..100);
+        assert_eq!(host.poll_results(), Vec::new());
+        host.advance_watermark(90).unwrap();
+        assert_eq!(host.watermark(), 99);
+        assert_eq!(host.stats().elements(), 0);
+    }
+
+    #[test]
+    fn last_member_can_leave_and_group_refounds() {
+        let mut host = GroupHost::new(HostConfig::default());
+        let q0 = host
+            .register(query(&[10, 20], AggregateFunction::Sum))
+            .unwrap();
+        feed(&mut host, 0..40);
+        host.advance_watermark(40).unwrap();
+        let polled = host.poll_results();
+        assert!(!polled.is_empty());
+
+        feed(&mut host, 40..55);
+        let finals = host.deregister(q0).unwrap();
+        assert!(host.is_empty());
+        // The departing member got everything sealed to the boundary.
+        assert!(finals.iter().all(|r| r.query == q0));
+        assert!(finals.iter().all(|r| r.result.interval.end <= 55));
+
+        // Unknown afterwards.
+        assert!(matches!(
+            host.deregister(q0),
+            Err(ServeError::UnknownQuery { id: 0 })
+        ));
+
+        // While empty, the stream keeps flowing into the void.
+        feed(&mut host, 55..80);
+        host.advance_watermark(80).unwrap();
+
+        // A second generation founds fresh at the horizon; its results
+        // never reach back before its registration.
+        let q1 = host.register(query(&[10], AggregateFunction::Min)).unwrap();
+        assert_eq!(q1, QueryId(1));
+        feed(&mut host, 80..120);
+        host.advance_watermark(120).unwrap();
+        let second = host.poll_results();
+        assert!(!second.is_empty());
+        assert!(second.iter().all(|r| r.query == q1));
+        assert!(second.iter().all(|r| r.result.interval.start >= 80));
+        assert!(host.replans() >= 2);
+    }
+
+    #[test]
+    fn failed_registration_rolls_back() {
+        let mut host = GroupHost::new(HostConfig {
+            semantics: Some(Semantics::CoveredBy),
+            ..HostConfig::default()
+        });
+        let q0 = host
+            .register(query(&[10, 20], AggregateFunction::Min))
+            .unwrap();
+        // SUM under covered-by semantics is rejected; the group must be
+        // exactly as before.
+        let err = host.register(query(&[10, 30], AggregateFunction::Sum));
+        assert!(err.is_err());
+        assert_eq!(host.queries(), vec![q0]);
+        feed(&mut host, 0..30);
+        host.advance_watermark(30).unwrap();
+        assert!(!host.poll_results().is_empty());
+    }
+}

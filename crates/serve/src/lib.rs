@@ -1,0 +1,120 @@
+//! # fw-serve — the Factor Windows streaming ingress layer
+//!
+//! Turns the in-process factor-window library into a network service:
+//! a `std::net` TCP server (no external dependencies) speaking a
+//! length-prefixed binary frame protocol ([`wire`]), multiplexing many
+//! concurrent client connections onto one shared multi-query execution
+//! host ([`host::GroupHost`]) with bounded-queue backpressure at every
+//! hop ([`server`]), an atomic metrics registry snapshotted over the
+//! wire as JSON ([`metrics`]), a blocking protocol client ([`client`]),
+//! and a deterministic load generator ([`loadgen`]).
+//!
+//! ```no_run
+//! use fw_serve::{ServeClient, ServeConfig, Server};
+//! use std::time::Duration;
+//!
+//! let server = Server::bind("127.0.0.1:0", ServeConfig::default())?;
+//! let addr = server.local_addr()?;
+//! let mut handle = server.spawn();
+//!
+//! let mut client = ServeClient::connect(addr)?;
+//! let q = client.register(
+//!     "SELECT k, MIN(v) FROM S GROUP BY k, \
+//!      Windows(Window('w', TumblingWindow(second, 10)))",
+//! )?;
+//! client.push_columns(&[1, 2, 3], &[0, 0, 1], &[5.0, 3.0, 9.0])?;
+//! client.watermark(20)?;
+//! client.poll(Duration::from_millis(200))?;
+//! let results = client.take_results();
+//! assert!(results.iter().all(|r| r.query.0 == q));
+//! handle.stop();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod client;
+pub mod host;
+pub mod loadgen;
+pub mod metrics;
+pub mod server;
+pub mod wire;
+
+pub use client::ServeClient;
+pub use host::{GroupHost, HostConfig};
+pub use loadgen::{run_load, stream_plan, LoadGenConfig, LoadReport, StreamPlan};
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use server::{Overflow, ServeConfig, Server, ServerHandle};
+pub use wire::{Frame, LagKind, WireError};
+
+/// Anything that can go wrong in the serving layer: local wire/protocol
+/// failures, engine/optimizer rejections, and errors the server reported
+/// over the wire.
+#[derive(Debug)]
+pub enum ServeError {
+    /// SQL failed to parse.
+    Parse(fw_sql::ParseError),
+    /// The cross-query optimizer rejected the member set.
+    Optimize(fw_core::Error),
+    /// The execution engine rejected a push, watermark, or rebuild.
+    Engine(fw_engine::EngineError),
+    /// A framing/codec/transport failure.
+    Wire(WireError),
+    /// The query id is not registered (or not owned by the caller).
+    UnknownQuery {
+        /// The offending id.
+        id: u32,
+    },
+    /// The peer violated the protocol, or a reply could not be decoded.
+    Protocol(String),
+    /// The server answered a request with an error frame.
+    Remote {
+        /// The wire error class (see [`wire::error_code`]).
+        code: u8,
+        /// The server's description.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Parse(e) => write!(f, "parse error: {}", e.message),
+            ServeError::Optimize(e) => write!(f, "optimizer error: {e}"),
+            ServeError::Engine(e) => write!(f, "engine error: {e}"),
+            ServeError::Wire(e) => write!(f, "wire error: {e}"),
+            ServeError::UnknownQuery { id } => write!(f, "unknown query q{id}"),
+            ServeError::Protocol(message) => write!(f, "protocol error: {message}"),
+            ServeError::Remote { code, message } => {
+                write!(f, "server error (code {code}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<fw_sql::ParseError> for ServeError {
+    fn from(e: fw_sql::ParseError) -> Self {
+        ServeError::Parse(e)
+    }
+}
+
+impl From<fw_core::Error> for ServeError {
+    fn from(e: fw_core::Error) -> Self {
+        ServeError::Optimize(e)
+    }
+}
+
+impl From<fw_engine::EngineError> for ServeError {
+    fn from(e: fw_engine::EngineError) -> Self {
+        ServeError::Engine(e)
+    }
+}
+
+impl From<WireError> for ServeError {
+    fn from(e: WireError) -> Self {
+        ServeError::Wire(e)
+    }
+}

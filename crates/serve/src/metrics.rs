@@ -1,0 +1,425 @@
+//! A lock-cheap metrics registry for the serving layer: plain atomic
+//! counters and gauges on the hot paths, a [`Mutex`]-guarded per-query
+//! table touched only on registration and result routing, and an
+//! on-demand [`MetricsSnapshot`] rendered to JSON through the in-tree
+//! `fw_core::json` codec (integers only — rates are rounded).
+//!
+//! Counters are monotonically increasing totals; gauges move both ways
+//! (`*_depth`, `active_*`) or track maxima (`*_high_water`, via
+//! `fetch_max`). Everything is `Relaxed`: metrics order neither with the
+//! data path nor with each other, and a snapshot is a statistically
+//! consistent read, not a linearizable one.
+
+use fw_core::json::JsonValue;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// The serving layer's shared metrics registry. One instance per
+/// [`crate::Server`], shared by every connection thread and the engine
+/// thread behind an `Arc`.
+#[derive(Debug)]
+pub struct Metrics {
+    started: Instant,
+
+    // Counters (monotone totals).
+    /// Connections accepted since start.
+    pub connections_total: AtomicU64,
+    /// Frames read off client sockets.
+    pub frames_in: AtomicU64,
+    /// Frames written to client sockets.
+    pub frames_out: AtomicU64,
+    /// Events accepted into the ingest queue.
+    pub events_in: AtomicU64,
+    /// Batches accepted into the ingest queue.
+    pub batches_in: AtomicU64,
+    /// Batches shed because the ingest queue was full (drop policy).
+    pub batches_shed: AtomicU64,
+    /// Events inside shed batches.
+    pub events_shed: AtomicU64,
+    /// Result rows fanned out to client outboxes.
+    pub results_rows_out: AtomicU64,
+    /// Result rows dropped because a client outbox was full.
+    pub results_dropped: AtomicU64,
+    /// `Lagging` notices actually delivered to clients.
+    pub lagging_notices: AtomicU64,
+    /// Push/watermark requests the engine rejected.
+    pub push_errors: AtomicU64,
+    /// Plan swaps from registrations and deregistrations.
+    pub replans: AtomicU64,
+    /// Successful query registrations.
+    pub registrations: AtomicU64,
+    /// Successful query deregistrations (disconnect cleanups included).
+    pub deregistrations: AtomicU64,
+
+    // Gauges.
+    /// Currently open connections.
+    pub active_connections: AtomicU64,
+    /// Currently registered queries.
+    pub registered_queries: AtomicU64,
+    /// Commands sitting in the ingest queue right now.
+    pub ingest_queue_depth: AtomicU64,
+    /// Highest ingest queue depth observed.
+    pub ingest_queue_high_water: AtomicU64,
+    /// Highest outbox depth observed across connections.
+    pub outbox_high_water: AtomicU64,
+    /// The group's current watermark.
+    pub watermark: AtomicU64,
+    /// Maximum event timestamp pushed so far.
+    pub max_event_time: AtomicU64,
+
+    per_query: Mutex<BTreeMap<u32, QueryStats>>,
+}
+
+/// Per-query accounting kept off the hot path.
+#[derive(Debug, Clone, Copy)]
+struct QueryStats {
+    registered_at_micros: u64,
+    rows_delivered: u64,
+    events_at_registration: u64,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
+}
+
+impl Metrics {
+    /// A zeroed registry; `started` anchors the events/sec rates.
+    #[must_use]
+    pub fn new() -> Self {
+        Metrics {
+            started: Instant::now(),
+            connections_total: AtomicU64::new(0),
+            frames_in: AtomicU64::new(0),
+            frames_out: AtomicU64::new(0),
+            events_in: AtomicU64::new(0),
+            batches_in: AtomicU64::new(0),
+            batches_shed: AtomicU64::new(0),
+            events_shed: AtomicU64::new(0),
+            results_rows_out: AtomicU64::new(0),
+            results_dropped: AtomicU64::new(0),
+            lagging_notices: AtomicU64::new(0),
+            push_errors: AtomicU64::new(0),
+            replans: AtomicU64::new(0),
+            registrations: AtomicU64::new(0),
+            deregistrations: AtomicU64::new(0),
+            active_connections: AtomicU64::new(0),
+            registered_queries: AtomicU64::new(0),
+            ingest_queue_depth: AtomicU64::new(0),
+            ingest_queue_high_water: AtomicU64::new(0),
+            outbox_high_water: AtomicU64::new(0),
+            watermark: AtomicU64::new(0),
+            max_event_time: AtomicU64::new(0),
+            per_query: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Bumps a counter by `n`.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Raises a high-water gauge to at least `value`.
+    pub fn raise(gauge: &AtomicU64, value: u64) {
+        gauge.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a queue depth observation: sets the depth gauge and
+    /// raises its high-water mark.
+    pub fn observe_depth(depth: &AtomicU64, high_water: &AtomicU64, value: u64) {
+        depth.store(value, Ordering::Relaxed);
+        high_water.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Registers query `id` for per-query rate accounting.
+    pub fn query_registered(&self, id: u32) {
+        let micros = self.started.elapsed().as_micros() as u64;
+        let events = self.events_in.load(Ordering::Relaxed);
+        self.per_query.lock().unwrap().insert(
+            id,
+            QueryStats {
+                registered_at_micros: micros,
+                rows_delivered: 0,
+                events_at_registration: events,
+            },
+        );
+    }
+
+    /// Drops query `id` from the per-query table.
+    pub fn query_deregistered(&self, id: u32) {
+        self.per_query.lock().unwrap().remove(&id);
+    }
+
+    /// Credits `rows` delivered result rows to query `id`.
+    pub fn query_rows(&self, id: u32, rows: u64) {
+        if let Some(stats) = self.per_query.lock().unwrap().get_mut(&id) {
+            stats.rows_delivered += rows;
+        }
+    }
+
+    /// Micros elapsed since the registry was created.
+    #[must_use]
+    pub fn elapsed_micros(&self) -> u64 {
+        self.started.elapsed().as_micros() as u64
+    }
+
+    /// Takes a point-in-time snapshot of every counter and gauge.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let elapsed_micros = self.elapsed_micros().max(1);
+        let events_in = load(&self.events_in);
+        let per_query = self
+            .per_query
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(&id, stats)| {
+                let active_micros = (elapsed_micros - stats.registered_at_micros).max(1);
+                let seen = events_in.saturating_sub(stats.events_at_registration);
+                QuerySnapshot {
+                    id,
+                    rows_delivered: stats.rows_delivered,
+                    events_per_sec: rate(seen, active_micros),
+                }
+            })
+            .collect();
+        let watermark = load(&self.watermark);
+        let max_event_time = load(&self.max_event_time);
+        MetricsSnapshot {
+            uptime_micros: elapsed_micros,
+            connections_total: load(&self.connections_total),
+            active_connections: load(&self.active_connections),
+            registered_queries: load(&self.registered_queries),
+            frames_in: load(&self.frames_in),
+            frames_out: load(&self.frames_out),
+            events_in,
+            batches_in: load(&self.batches_in),
+            batches_shed: load(&self.batches_shed),
+            events_shed: load(&self.events_shed),
+            results_rows_out: load(&self.results_rows_out),
+            results_dropped: load(&self.results_dropped),
+            lagging_notices: load(&self.lagging_notices),
+            push_errors: load(&self.push_errors),
+            replans: load(&self.replans),
+            registrations: load(&self.registrations),
+            deregistrations: load(&self.deregistrations),
+            ingest_queue_depth: load(&self.ingest_queue_depth),
+            ingest_queue_high_water: load(&self.ingest_queue_high_water),
+            outbox_high_water: load(&self.outbox_high_water),
+            watermark,
+            max_event_time,
+            watermark_lag: max_event_time.saturating_sub(watermark),
+            events_per_sec: rate(events_in, elapsed_micros),
+            per_query,
+        }
+    }
+}
+
+/// Events per second from a count over elapsed micros, rounded to an
+/// integer (the JSON codec carries integers only).
+fn rate(count: u64, micros: u64) -> u64 {
+    ((count as u128 * 1_000_000) / micros.max(1) as u128) as u64
+}
+
+/// One query's slice of a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuerySnapshot {
+    /// The query's id.
+    pub id: u32,
+    /// Result rows delivered to the owning connection.
+    pub rows_delivered: u64,
+    /// Stream events/sec observed while this query was registered.
+    pub events_per_sec: u64,
+}
+
+/// A point-in-time copy of the registry, convertible to JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // field names mirror the Metrics docs one-to-one
+pub struct MetricsSnapshot {
+    pub uptime_micros: u64,
+    pub connections_total: u64,
+    pub active_connections: u64,
+    pub registered_queries: u64,
+    pub frames_in: u64,
+    pub frames_out: u64,
+    pub events_in: u64,
+    pub batches_in: u64,
+    pub batches_shed: u64,
+    pub events_shed: u64,
+    pub results_rows_out: u64,
+    pub results_dropped: u64,
+    pub lagging_notices: u64,
+    pub push_errors: u64,
+    pub replans: u64,
+    pub registrations: u64,
+    pub deregistrations: u64,
+    pub ingest_queue_depth: u64,
+    pub ingest_queue_high_water: u64,
+    pub outbox_high_water: u64,
+    pub watermark: u64,
+    pub max_event_time: u64,
+    /// `max_event_time - watermark`: how far sealing trails ingestion.
+    pub watermark_lag: u64,
+    /// Mean ingest rate since server start, rounded.
+    pub events_per_sec: u64,
+    /// Per-registered-query accounting.
+    pub per_query: Vec<QuerySnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        let n = |v: u64| JsonValue::Number(i128::from(v));
+        let per_query = self
+            .per_query
+            .iter()
+            .map(|q| {
+                JsonValue::Object(vec![
+                    ("id".into(), n(u64::from(q.id))),
+                    ("rows_delivered".into(), n(q.rows_delivered)),
+                    ("events_per_sec".into(), n(q.events_per_sec)),
+                ])
+            })
+            .collect();
+        JsonValue::Object(vec![
+            ("uptime_micros".into(), n(self.uptime_micros)),
+            ("connections_total".into(), n(self.connections_total)),
+            ("active_connections".into(), n(self.active_connections)),
+            ("registered_queries".into(), n(self.registered_queries)),
+            ("frames_in".into(), n(self.frames_in)),
+            ("frames_out".into(), n(self.frames_out)),
+            ("events_in".into(), n(self.events_in)),
+            ("batches_in".into(), n(self.batches_in)),
+            ("batches_shed".into(), n(self.batches_shed)),
+            ("events_shed".into(), n(self.events_shed)),
+            ("results_rows_out".into(), n(self.results_rows_out)),
+            ("results_dropped".into(), n(self.results_dropped)),
+            ("lagging_notices".into(), n(self.lagging_notices)),
+            ("push_errors".into(), n(self.push_errors)),
+            ("replans".into(), n(self.replans)),
+            ("registrations".into(), n(self.registrations)),
+            ("deregistrations".into(), n(self.deregistrations)),
+            ("ingest_queue_depth".into(), n(self.ingest_queue_depth)),
+            (
+                "ingest_queue_high_water".into(),
+                n(self.ingest_queue_high_water),
+            ),
+            ("outbox_high_water".into(), n(self.outbox_high_water)),
+            ("watermark".into(), n(self.watermark)),
+            ("max_event_time".into(), n(self.max_event_time)),
+            ("watermark_lag".into(), n(self.watermark_lag)),
+            ("events_per_sec".into(), n(self.events_per_sec)),
+            ("per_query".into(), JsonValue::Array(per_query)),
+        ])
+    }
+
+    /// Parses a snapshot back out of the JSON produced by
+    /// [`Self::to_json`] (the wire direction clients see).
+    pub fn from_json(json: &JsonValue) -> Option<MetricsSnapshot> {
+        let field = |name: &str| -> Option<u64> {
+            match json.get(name) {
+                Some(JsonValue::Number(v)) => u64::try_from(*v).ok(),
+                _ => None,
+            }
+        };
+        let per_query = match json.get("per_query") {
+            Some(JsonValue::Array(items)) => items
+                .iter()
+                .map(|item| {
+                    let q = |name: &str| match item.get(name) {
+                        Some(JsonValue::Number(v)) => u64::try_from(*v).ok(),
+                        _ => None,
+                    };
+                    Some(QuerySnapshot {
+                        id: q("id")? as u32,
+                        rows_delivered: q("rows_delivered")?,
+                        events_per_sec: q("events_per_sec")?,
+                    })
+                })
+                .collect::<Option<Vec<_>>>()?,
+            _ => Vec::new(),
+        };
+        Some(MetricsSnapshot {
+            uptime_micros: field("uptime_micros")?,
+            connections_total: field("connections_total")?,
+            active_connections: field("active_connections")?,
+            registered_queries: field("registered_queries")?,
+            frames_in: field("frames_in")?,
+            frames_out: field("frames_out")?,
+            events_in: field("events_in")?,
+            batches_in: field("batches_in")?,
+            batches_shed: field("batches_shed")?,
+            events_shed: field("events_shed")?,
+            results_rows_out: field("results_rows_out")?,
+            results_dropped: field("results_dropped")?,
+            lagging_notices: field("lagging_notices")?,
+            push_errors: field("push_errors")?,
+            replans: field("replans")?,
+            registrations: field("registrations")?,
+            deregistrations: field("deregistrations")?,
+            ingest_queue_depth: field("ingest_queue_depth")?,
+            ingest_queue_high_water: field("ingest_queue_high_water")?,
+            outbox_high_water: field("outbox_high_water")?,
+            watermark: field("watermark")?,
+            max_event_time: field("max_event_time")?,
+            watermark_lag: field("watermark_lag")?,
+            events_per_sec: field("events_per_sec")?,
+            per_query,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let metrics = Metrics::new();
+        Metrics::add(&metrics.events_in, 12_345);
+        Metrics::add(&metrics.batches_in, 25);
+        Metrics::add(&metrics.results_rows_out, 99);
+        Metrics::observe_depth(
+            &metrics.ingest_queue_depth,
+            &metrics.ingest_queue_high_water,
+            7,
+        );
+        Metrics::raise(&metrics.watermark, 880);
+        Metrics::raise(&metrics.max_event_time, 1000);
+        metrics.query_registered(3);
+        metrics.query_rows(3, 42);
+
+        let snap = metrics.snapshot();
+        assert_eq!(snap.events_in, 12_345);
+        assert_eq!(snap.watermark_lag, 120);
+        assert_eq!(snap.ingest_queue_high_water, 7);
+        assert!(snap.events_per_sec > 0);
+        assert_eq!(snap.per_query.len(), 1);
+        assert_eq!(snap.per_query[0].rows_delivered, 42);
+
+        let json = snap.to_json().to_string();
+        let parsed = fw_core::json::parse(&json).expect("snapshot json parses");
+        let back = MetricsSnapshot::from_json(&parsed).expect("snapshot json decodes");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn high_water_marks_never_regress() {
+        let metrics = Metrics::new();
+        for depth in [3, 9, 2, 5] {
+            Metrics::observe_depth(
+                &metrics.ingest_queue_depth,
+                &metrics.ingest_queue_high_water,
+                depth,
+            );
+        }
+        let snap = metrics.snapshot();
+        assert_eq!(snap.ingest_queue_depth, 5);
+        assert_eq!(snap.ingest_queue_high_water, 9);
+    }
+}

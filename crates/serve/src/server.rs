@@ -1,0 +1,762 @@
+//! The TCP serving front end: many concurrent client connections
+//! multiplexed onto one shared [`GroupHost`], with bounded queues and
+//! explicit load shedding end to end.
+//!
+//! # Threading model
+//!
+//! ```text
+//! client ──TCP──▶ reader thread ──bounded MPSC──▶ engine thread (GroupHost)
+//!    ▲                                                  │ try_send
+//!    └──────────── writer thread ◀──bounded outbox──────┘
+//! ```
+//!
+//! One **reader thread** per connection parses frames and forwards them
+//! as commands into one shared bounded channel. One **engine thread**
+//! owns the [`GroupHost`] — every register/deregister/push/watermark is
+//! serialized there, so the engine needs no locks. One **writer thread**
+//! per connection drains a bounded outbox of reply/result frames.
+//!
+//! Backpressure is explicit at both bounded hops:
+//!
+//! * **Ingest** ([`Overflow`]): under [`Overflow::Block`] a full command
+//!   queue blocks the reader, which stops reading the socket, which
+//!   fills the kernel buffers, which stalls the client — classic TCP
+//!   backpressure. Under [`Overflow::Shed`] pushed batches are dropped
+//!   on the floor, counted, and acknowledged with a
+//!   [`Frame::Lagging`]`(IngestShed)` notice. Control frames (register,
+//!   watermark, …) always take the blocking path — correctness over
+//!   throughput for the rare frames.
+//! * **Fan-out**: the engine never blocks on a client. If a result
+//!   outbox is full the rows are dropped, counted, and signalled with
+//!   [`Frame::Lagging`]`(ResultsDropped)` — a stalled subscriber costs
+//!   bounded memory (`outbox_depth` frames), never an unbounded buffer.
+//!
+//! The group watermark is the **minimum over every connection's
+//! announced watermark** (connections that never announced do not
+//! constrain it; a [`Frame::Finish`] releases the connection's vote), so
+//! no member's results are sealed past a participant that may still
+//! push earlier events.
+
+use crate::host::{GroupHost, HostConfig};
+use crate::metrics::Metrics;
+use crate::wire::{
+    error_code, read_frame, write_frame, Frame, LagKind, WireError, PROTOCOL_MAGIC,
+    PROTOCOL_VERSION,
+};
+use crate::ServeError;
+use fw_core::QueryId;
+use fw_engine::{EventBatch, GroupResult};
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// What to do when the shared ingest queue is full and a client pushes
+/// another batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Overflow {
+    /// Stop reading the pushing connection's socket until the queue
+    /// drains (TCP backpressure; nothing is lost).
+    #[default]
+    Block,
+    /// Drop the batch, count it, and notify the client with a
+    /// [`Frame::Lagging`] frame (bounded latency; data is lost).
+    Shed,
+}
+
+/// Server configuration: queue bounds, shedding policy, and the hosted
+/// group's compilation knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Capacity of the shared reader→engine command queue.
+    pub queue_depth: usize,
+    /// Capacity of each connection's engine→writer outbox.
+    pub outbox_depth: usize,
+    /// Full-ingest-queue policy.
+    pub overflow: Overflow,
+    /// The hosted group's compilation knobs.
+    pub host: HostConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_depth: 64,
+            outbox_depth: 1024,
+            overflow: Overflow::Block,
+            host: HostConfig::default(),
+        }
+    }
+}
+
+/// Commands the reader threads feed the engine thread.
+enum Cmd {
+    Connect { conn: u64, outbox: Outbox },
+    Register { conn: u64, sql: String },
+    Deregister { conn: u64, query_id: u32 },
+    Push { conn: u64, batch: EventBatch },
+    Watermark { conn: u64, watermark: u64 },
+    Stats { conn: u64 },
+    Finish { conn: u64 },
+    Disconnect { conn: u64 },
+    Shutdown,
+}
+
+/// A bounded, depth-tracked handle on one connection's outbound frame
+/// queue. Cloned between the reader (acks) and the engine (results).
+#[derive(Clone)]
+struct Outbox {
+    tx: SyncSender<Frame>,
+    depth: Arc<AtomicU64>,
+}
+
+impl Outbox {
+    /// Non-blocking enqueue; `false` means the outbox was full (or the
+    /// writer is gone) and the frame was dropped. The depth gauge is
+    /// raised before the send so the writer's decrement cannot
+    /// underflow it.
+    fn try_send(&self, frame: Frame, metrics: &Metrics) -> bool {
+        let depth = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        Metrics::raise(&metrics.outbox_high_water, depth);
+        if self.tx.try_send(frame).is_err() {
+            self.depth.fetch_sub(1, Ordering::Relaxed);
+            return false;
+        }
+        true
+    }
+
+    /// Blocking enqueue (handshake acks only — never called from the
+    /// engine thread); `false` means the writer is gone.
+    fn send(&self, frame: Frame, metrics: &Metrics) -> bool {
+        let depth = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        Metrics::raise(&metrics.outbox_high_water, depth);
+        if self.tx.send(frame).is_err() {
+            self.depth.fetch_sub(1, Ordering::Relaxed);
+            return false;
+        }
+        true
+    }
+}
+
+/// A bound TCP serving front end over one [`GroupHost`]. Build with
+/// [`Server::bind`], then either [`Server::run`] on the current thread
+/// or [`Server::spawn`] a background [`ServerHandle`].
+pub struct Server {
+    listener: TcpListener,
+    config: ServeConfig,
+    metrics: Arc<Metrics>,
+    stop: Arc<AtomicBool>,
+    sockets: Arc<Mutex<Vec<TcpStream>>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.listener.local_addr().ok())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Binds `addr` (use port `0` for an ephemeral port; read it back
+    /// with [`Self::local_addr`]).
+    pub fn bind<A: ToSocketAddrs>(addr: A, config: ServeConfig) -> std::io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            config,
+            metrics: Arc::new(Metrics::new()),
+            stop: Arc::new(AtomicBool::new(false)),
+            sockets: Arc::new(Mutex::new(Vec::new())),
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The server's metrics registry (shared; stays valid after
+    /// [`Self::spawn`]).
+    #[must_use]
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Runs the accept loop on the current thread until a
+    /// [`ServerHandle::stop`] (or listener failure), then drains and
+    /// joins the engine.
+    pub fn run(self) {
+        let (cmd_tx, cmd_rx) = sync_channel::<Cmd>(self.config.queue_depth);
+        let engine = {
+            let metrics = Arc::clone(&self.metrics);
+            let host_config = self.config.host.clone();
+            std::thread::spawn(move || engine_loop(cmd_rx, &metrics, host_config))
+        };
+        let mut next_conn = 0u64;
+        for stream in self.listener.incoming() {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            if let Ok(clone) = stream.try_clone() {
+                self.sockets.lock().unwrap().push(clone);
+            }
+            let conn = next_conn;
+            next_conn += 1;
+            let tx = cmd_tx.clone();
+            let metrics = Arc::clone(&self.metrics);
+            let config = self.config.clone();
+            std::thread::spawn(move || connection_loop(stream, conn, &tx, &metrics, &config));
+        }
+        // Stop: unblock readers so they release their queue slots, then
+        // ask the engine to wind down.
+        for socket in self.sockets.lock().unwrap().iter() {
+            let _ = socket.shutdown(Shutdown::Both);
+        }
+        let _ = cmd_tx.send(Cmd::Shutdown);
+        drop(cmd_tx);
+        let _ = engine.join();
+    }
+
+    /// Runs the server on a background thread and returns a stop handle.
+    #[must_use]
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.listener.local_addr().expect("bound listener");
+        let stop = Arc::clone(&self.stop);
+        let sockets = Arc::clone(&self.sockets);
+        let metrics = Arc::clone(&self.metrics);
+        let thread = std::thread::spawn(move || self.run());
+        ServerHandle {
+            addr,
+            stop,
+            sockets,
+            metrics,
+            thread: Some(thread),
+        }
+    }
+}
+
+/// A handle on a background [`Server`]; stops and joins it on
+/// [`Self::stop`] (or drop).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    sockets: Arc<Mutex<Vec<TcpStream>>>,
+    metrics: Arc<Metrics>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServerHandle {
+    /// The server's bound address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's metrics registry.
+    #[must_use]
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Stops the accept loop, disconnects every client, and joins the
+    /// server thread. Idempotent; also runs on drop.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        for socket in self.sockets.lock().unwrap().iter() {
+            let _ = socket.shutdown(Shutdown::Both);
+        }
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// One connection's reader: handshake, then frame→command translation
+/// with the configured overflow policy.
+fn connection_loop(
+    stream: TcpStream,
+    conn: u64,
+    tx: &SyncSender<Cmd>,
+    metrics_arc: &Arc<Metrics>,
+    config: &ServeConfig,
+) {
+    let metrics: &Metrics = metrics_arc;
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (out_tx, out_rx) = sync_channel::<Frame>(config.outbox_depth);
+    let depth = Arc::new(AtomicU64::new(0));
+    let outbox = Outbox {
+        tx: out_tx,
+        depth: Arc::clone(&depth),
+    };
+    let writer = {
+        let depth = Arc::clone(&depth);
+        let metrics = Arc::clone(metrics_arc);
+        std::thread::spawn(move || writer_loop(write_half, &out_rx, &depth, &metrics))
+    };
+
+    let mut reader = BufReader::new(stream);
+    // Handshake: the first frame must be a well-formed Hello.
+    match read_frame(&mut reader) {
+        Ok(Frame::Hello { .. }) => {
+            Metrics::add(&metrics.frames_in, 1);
+            outbox.send(
+                Frame::HelloAck {
+                    magic: PROTOCOL_MAGIC,
+                    version: PROTOCOL_VERSION,
+                },
+                metrics,
+            );
+        }
+        Ok(_) | Err(_) => {
+            outbox.try_send(
+                Frame::Error {
+                    code: error_code::PROTOCOL,
+                    message: "expected Hello".into(),
+                },
+                metrics,
+            );
+            drop(outbox);
+            let _ = writer.join();
+            return;
+        }
+    }
+    Metrics::add(&metrics.connections_total, 1);
+    Metrics::add(&metrics.active_connections, 1);
+    if tx
+        .send(Cmd::Connect {
+            conn,
+            outbox: outbox.clone(),
+        })
+        .is_err()
+    {
+        metrics.active_connections.fetch_sub(1, Ordering::Relaxed);
+        return;
+    }
+
+    loop {
+        let frame = match read_frame(&mut reader) {
+            Ok(frame) => frame,
+            // A malformed payload of a well-delimited frame leaves the
+            // stream in sync: report and keep going.
+            Err(
+                e @ (WireError::UnknownKind { .. }
+                | WireError::Truncated { .. }
+                | WireError::BadMagic { .. }
+                | WireError::BadVersion { .. }
+                | WireError::BadUtf8
+                | WireError::BadWindow { .. }),
+            ) => {
+                Metrics::add(&metrics.frames_in, 1);
+                outbox.try_send(
+                    Frame::Error {
+                        code: error_code::PROTOCOL,
+                        message: e.to_string(),
+                    },
+                    metrics,
+                );
+                continue;
+            }
+            // Closed, i/o failure, or a length-prefix violation: the
+            // stream cannot be trusted any more.
+            Err(_) => break,
+        };
+        Metrics::add(&metrics.frames_in, 1);
+        let cmd = match frame {
+            Frame::PushColumns { batch } => {
+                let events = batch.len() as u64;
+                // Watermark lag is measured against *accepted* ingest,
+                // so the high-water event time is raised here, not when
+                // the engine eventually processes the batch.
+                let max_time = batch.times().iter().copied().max();
+                let accepted = |metrics: &Metrics| {
+                    Metrics::add(&metrics.batches_in, 1);
+                    Metrics::add(&metrics.events_in, events);
+                    if let Some(t) = max_time {
+                        Metrics::raise(&metrics.max_event_time, t);
+                    }
+                };
+                match config.overflow {
+                    Overflow::Block => {
+                        if enqueue(tx, Cmd::Push { conn, batch }, metrics).is_err() {
+                            break;
+                        }
+                        accepted(metrics);
+                        continue;
+                    }
+                    Overflow::Shed => match try_enqueue(tx, Cmd::Push { conn, batch }, metrics) {
+                        Ok(()) => {
+                            accepted(metrics);
+                            continue;
+                        }
+                        Err(TrySendError::Full(_)) => {
+                            Metrics::add(&metrics.batches_shed, 1);
+                            Metrics::add(&metrics.events_shed, events);
+                            if outbox.try_send(
+                                Frame::Lagging {
+                                    kind: LagKind::IngestShed,
+                                    count: 1,
+                                },
+                                metrics,
+                            ) {
+                                Metrics::add(&metrics.lagging_notices, 1);
+                            }
+                            continue;
+                        }
+                        Err(TrySendError::Disconnected(_)) => break,
+                    },
+                }
+            }
+            Frame::Register { sql } => Cmd::Register { conn, sql },
+            Frame::Deregister { query_id } => Cmd::Deregister { conn, query_id },
+            Frame::Watermark { watermark } => Cmd::Watermark { conn, watermark },
+            Frame::Stats => Cmd::Stats { conn },
+            Frame::Finish => Cmd::Finish { conn },
+            _ => {
+                outbox.try_send(
+                    Frame::Error {
+                        code: error_code::PROTOCOL,
+                        message: "unexpected frame direction".into(),
+                    },
+                    metrics,
+                );
+                continue;
+            }
+        };
+        // Control frames always take the blocking path: they are rare
+        // and must not be shed.
+        if enqueue(tx, cmd, metrics).is_err() {
+            break;
+        }
+    }
+    let _ = enqueue(tx, Cmd::Disconnect { conn }, metrics);
+    metrics.active_connections.fetch_sub(1, Ordering::Relaxed);
+    drop(outbox);
+    let _ = writer.join();
+}
+
+/// Blocking enqueue with queue-depth accounting. The gauge is raised
+/// *before* the send so the engine's matching decrement (which happens
+/// strictly after) can never underflow it.
+fn enqueue(
+    tx: &SyncSender<Cmd>,
+    cmd: Cmd,
+    metrics: &Metrics,
+) -> Result<(), std::sync::mpsc::SendError<Cmd>> {
+    let depth = metrics.ingest_queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+    Metrics::raise(&metrics.ingest_queue_high_water, depth);
+    if let Err(e) = tx.send(cmd) {
+        metrics.ingest_queue_depth.fetch_sub(1, Ordering::Relaxed);
+        return Err(e);
+    }
+    Ok(())
+}
+
+/// Non-blocking enqueue with queue-depth accounting (see [`enqueue`]).
+fn try_enqueue(tx: &SyncSender<Cmd>, cmd: Cmd, metrics: &Metrics) -> Result<(), TrySendError<Cmd>> {
+    let depth = metrics.ingest_queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+    Metrics::raise(&metrics.ingest_queue_high_water, depth);
+    if let Err(e) = tx.try_send(cmd) {
+        metrics.ingest_queue_depth.fetch_sub(1, Ordering::Relaxed);
+        return Err(e);
+    }
+    Ok(())
+}
+
+/// One connection's writer: drains the outbox onto the socket, batching
+/// pending frames per flush.
+fn writer_loop(stream: TcpStream, rx: &Receiver<Frame>, depth: &AtomicU64, metrics: &Metrics) {
+    let mut writer = BufWriter::new(stream);
+    while let Ok(frame) = rx.recv() {
+        depth.fetch_sub(1, Ordering::Relaxed);
+        if write_frame(&mut writer, &frame).is_err() {
+            break;
+        }
+        Metrics::add(&metrics.frames_out, 1);
+        // Opportunistically coalesce whatever else is queued before the
+        // flush — one syscall for a burst of result frames.
+        while let Ok(frame) = rx.try_recv() {
+            depth.fetch_sub(1, Ordering::Relaxed);
+            if write_frame(&mut writer, &frame).is_err() {
+                return;
+            }
+            Metrics::add(&metrics.frames_out, 1);
+        }
+        if writer.flush().is_err() {
+            break;
+        }
+    }
+}
+
+/// Per-connection state owned by the engine thread.
+struct ConnState {
+    outbox: Outbox,
+    queries: Vec<u32>,
+    /// The connection's announced watermark; `None` until the first
+    /// `Watermark` frame. Participates in the group minimum.
+    announced: Option<u64>,
+    /// `Finish` received: the connection no longer constrains the group
+    /// watermark.
+    finished: bool,
+    events: u64,
+    rows: u64,
+    /// Rows dropped since the last delivered `Lagging` notice.
+    lag_rows: u64,
+}
+
+/// The engine thread: serial owner of the [`GroupHost`] and the
+/// query→connection routing table.
+fn engine_loop(rx: Receiver<Cmd>, metrics: &Metrics, host_config: HostConfig) {
+    let mut host = GroupHost::new(host_config);
+    let mut conns: HashMap<u64, ConnState> = HashMap::new();
+    let mut owners: HashMap<u32, u64> = HashMap::new();
+    while let Ok(cmd) = rx.recv() {
+        if !matches!(cmd, Cmd::Connect { .. } | Cmd::Shutdown) {
+            // Connect/Shutdown bypass the depth accounting (they are
+            // enqueued outside `enqueue`).
+            metrics.ingest_queue_depth.fetch_sub(1, Ordering::Relaxed);
+        }
+        match cmd {
+            Cmd::Connect { conn, outbox } => {
+                conns.insert(
+                    conn,
+                    ConnState {
+                        outbox,
+                        queries: Vec::new(),
+                        announced: None,
+                        finished: false,
+                        events: 0,
+                        rows: 0,
+                        lag_rows: 0,
+                    },
+                );
+            }
+            Cmd::Register { conn, sql } => {
+                let reply = match host.register_sql(&sql) {
+                    Ok(id) => {
+                        owners.insert(id.0, conn);
+                        if let Some(state) = conns.get_mut(&conn) {
+                            state.queries.push(id.0);
+                        }
+                        Metrics::add(&metrics.registrations, 1);
+                        metrics.query_registered(id.0);
+                        Frame::Registered { query_id: id.0 }
+                    }
+                    Err(e) => error_frame(&e),
+                };
+                route_results(host.poll_results(), &owners, &mut conns, metrics);
+                reply_to(conn, reply, &conns, metrics);
+            }
+            Cmd::Deregister { conn, query_id } => {
+                let owned = owners.get(&query_id) == Some(&conn);
+                let reply = if !owned {
+                    error_frame(&ServeError::UnknownQuery { id: query_id })
+                } else {
+                    match host.deregister(QueryId(query_id)) {
+                        Ok(finals) => {
+                            owners.remove(&query_id);
+                            if let Some(state) = conns.get_mut(&conn) {
+                                state.queries.retain(|&q| q != query_id);
+                            }
+                            Metrics::add(&metrics.deregistrations, 1);
+                            // The departing member still owns its final
+                            // sealed batch: route it before forgetting.
+                            let mut routing = owners.clone();
+                            routing.insert(query_id, conn);
+                            route_results(finals, &routing, &mut conns, metrics);
+                            metrics.query_deregistered(query_id);
+                            Frame::Deregistered { query_id }
+                        }
+                        Err(e) => error_frame(&e),
+                    }
+                };
+                route_results(host.poll_results(), &owners, &mut conns, metrics);
+                reply_to(conn, reply, &conns, metrics);
+            }
+            Cmd::Push { conn, batch } => {
+                let (times, keys, values) = batch.columns();
+                match host.push_columns(times, keys, values) {
+                    Ok(fed) => {
+                        if let Some(state) = conns.get_mut(&conn) {
+                            state.events += fed as u64;
+                        }
+                    }
+                    Err(e) => {
+                        Metrics::add(&metrics.push_errors, 1);
+                        reply_to(conn, error_frame(&e), &conns, metrics);
+                    }
+                }
+            }
+            Cmd::Watermark { conn, watermark } => {
+                if let Some(state) = conns.get_mut(&conn) {
+                    state.announced = Some(state.announced.unwrap_or(0).max(watermark));
+                    state.finished = false;
+                }
+                advance_group(&mut host, &conns, metrics, |e| {
+                    Metrics::add(&metrics.push_errors, 1);
+                    reply_to(conn, error_frame(&e), &conns, metrics);
+                });
+                route_results(host.poll_results(), &owners, &mut conns, metrics);
+            }
+            Cmd::Stats { conn } => {
+                refresh_gauges(&host, metrics);
+                let json = metrics.snapshot().to_json().to_string();
+                reply_to(conn, Frame::StatsJson { json }, &conns, metrics);
+            }
+            Cmd::Finish { conn } => {
+                if let Some(state) = conns.get_mut(&conn) {
+                    state.finished = true;
+                }
+                advance_group(&mut host, &conns, metrics, |_| {});
+                route_results(host.poll_results(), &owners, &mut conns, metrics);
+                let reply = conns.get(&conn).map(|state| Frame::Finished {
+                    events: state.events,
+                    rows: state.rows,
+                });
+                if let Some(reply) = reply {
+                    reply_to(conn, reply, &conns, metrics);
+                }
+            }
+            Cmd::Disconnect { conn } => {
+                if let Some(state) = conns.remove(&conn) {
+                    for query_id in state.queries {
+                        owners.remove(&query_id);
+                        // Mid-stream disconnects must never poison the
+                        // shared group: deregistration errors are
+                        // tolerated, the survivors stream on.
+                        match host.deregister(QueryId(query_id)) {
+                            Ok(_finals) => Metrics::add(&metrics.deregistrations, 1),
+                            Err(_) => Metrics::add(&metrics.push_errors, 1),
+                        }
+                        metrics.query_deregistered(query_id);
+                    }
+                }
+                advance_group(&mut host, &conns, metrics, |_| {});
+                route_results(host.poll_results(), &owners, &mut conns, metrics);
+            }
+            Cmd::Shutdown => break,
+        }
+        refresh_gauges(&host, metrics);
+    }
+}
+
+/// Advances the hosted group to the minimum announced watermark over
+/// unfinished connections (if any vote exists).
+fn advance_group(
+    host: &mut GroupHost,
+    conns: &HashMap<u64, ConnState>,
+    metrics: &Metrics,
+    on_error: impl FnOnce(ServeError),
+) {
+    let group_min = conns
+        .values()
+        .filter(|c| !c.finished)
+        .filter_map(|c| c.announced)
+        .min();
+    if let Some(watermark) = group_min {
+        if let Err(e) = host.advance_watermark(watermark) {
+            on_error(e);
+        }
+    }
+    Metrics::raise(&metrics.watermark, host.watermark());
+}
+
+/// Mirrors host-side gauges into the metrics registry.
+fn refresh_gauges(host: &GroupHost, metrics: &Metrics) {
+    metrics
+        .registered_queries
+        .store(host.len() as u64, Ordering::Relaxed);
+    metrics.replans.store(host.replans(), Ordering::Relaxed);
+    Metrics::raise(&metrics.watermark, host.watermark());
+}
+
+/// Fans routed results out to their owning connections' outboxes,
+/// shedding (with notice) where an outbox is full.
+fn route_results(
+    results: Vec<GroupResult>,
+    owners: &HashMap<u32, u64>,
+    conns: &mut HashMap<u64, ConnState>,
+    metrics: &Metrics,
+) {
+    if results.is_empty() {
+        return;
+    }
+    let mut per_query: HashMap<u32, Vec<fw_engine::WindowResult>> = HashMap::new();
+    for result in results {
+        per_query
+            .entry(result.query.0)
+            .or_default()
+            .push(result.result);
+    }
+    for (query_id, rows) in per_query {
+        let Some(conn) = owners.get(&query_id) else {
+            continue; // subscriber already gone
+        };
+        let Some(state) = conns.get_mut(conn) else {
+            continue;
+        };
+        let n = rows.len() as u64;
+        if state
+            .outbox
+            .try_send(Frame::Results { query_id, rows }, metrics)
+        {
+            state.rows += n;
+            Metrics::add(&metrics.results_rows_out, n);
+            metrics.query_rows(query_id, n);
+        } else {
+            Metrics::add(&metrics.results_dropped, n);
+            state.lag_rows += n;
+            let notice = Frame::Lagging {
+                kind: LagKind::ResultsDropped,
+                count: state.lag_rows,
+            };
+            if state.outbox.try_send(notice, metrics) {
+                Metrics::add(&metrics.lagging_notices, 1);
+                state.lag_rows = 0;
+            }
+        }
+    }
+}
+
+/// Sends a control reply to `conn`'s outbox (non-blocking; the engine
+/// never waits on a client).
+fn reply_to(conn: u64, frame: Frame, conns: &HashMap<u64, ConnState>, metrics: &Metrics) {
+    if let Some(state) = conns.get(&conn) {
+        state.outbox.try_send(frame, metrics);
+    }
+}
+
+/// Maps a [`ServeError`] onto a wire error frame.
+fn error_frame(e: &ServeError) -> Frame {
+    let code = match e {
+        ServeError::Parse(_) => error_code::PARSE,
+        ServeError::UnknownQuery { .. } => error_code::UNKNOWN_QUERY,
+        ServeError::Optimize(_) | ServeError::Engine(_) => error_code::ENGINE,
+        _ => error_code::PROTOCOL,
+    };
+    Frame::Error {
+        code,
+        message: e.to_string(),
+    }
+}

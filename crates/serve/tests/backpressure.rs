@@ -1,0 +1,184 @@
+//! Bounded-memory guarantees under overload: a stalled subscriber costs
+//! a bounded outbox (rows are dropped and counted, never buffered
+//! without limit), a too-fast feeder against a slow engine sheds batches
+//! with explicit `Lagging` notices, and a mid-run metrics snapshot over
+//! the wire reports live rates, lag, and queue depths.
+
+use fw_serve::host::HostConfig;
+use fw_serve::{Overflow, ServeClient, ServeConfig, Server};
+use std::time::{Duration, Instant};
+
+const Q_DENSE: &str = "SELECT k, SUM(v) AS Dense FROM S GROUP BY k, \
+     Windows(Window('w', TumblingWindow(second, 8)))";
+
+#[test]
+fn stalled_subscriber_is_shed_not_buffered() {
+    let config = ServeConfig {
+        outbox_depth: 4,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr().unwrap();
+    let metrics = server.metrics();
+    let mut handle = server.spawn();
+
+    // The stalled subscriber registers a dense query and then never
+    // reads its socket again.
+    let mut stalled = ServeClient::connect(addr).unwrap();
+    stalled.register(Q_DENSE).unwrap();
+
+    let mut feeder = ServeClient::connect(addr).unwrap();
+    let n: u64 = 20_000;
+    for chunk in 0..(n / 500) {
+        let lo = chunk * 500;
+        let times: Vec<u64> = (lo..lo + 500).collect();
+        let keys: Vec<u32> = times.iter().map(|t| (t % 4) as u32).collect();
+        let values: Vec<f64> = times.iter().map(|t| (t % 9) as f64).collect();
+        feeder.push_columns(&times, &keys, &values).unwrap();
+        feeder.watermark(lo + 500).unwrap();
+    }
+    feeder.finish().unwrap();
+
+    let snapshot = metrics.snapshot();
+    // The dense query seals 20_000/8 instances × 4 keys = 10_000 rows;
+    // a 4-deep outbox cannot hold that. Overflow was dropped and
+    // counted, not buffered:
+    assert!(
+        snapshot.results_dropped > 0,
+        "expected drops, snapshot: {snapshot:?}"
+    );
+    assert!(
+        snapshot.results_rows_out + snapshot.results_dropped >= 10_000,
+        "rows unaccounted for: {snapshot:?}"
+    );
+    // Bounded memory: the outbox never grew past its configured depth
+    // (+1 for the optimistic increment of a rejected send).
+    assert!(
+        snapshot.outbox_high_water <= 4 + 1,
+        "outbox grew unboundedly: {snapshot:?}"
+    );
+
+    // And the server is still fully responsive for everyone else.
+    let mut bystander = ServeClient::connect(addr).unwrap();
+    let roundtrip = bystander.stats().unwrap();
+    assert!(roundtrip.events_in >= n);
+    handle.stop();
+}
+
+#[test]
+fn ingest_overload_sheds_batches_with_lagging_notices() {
+    let config = ServeConfig {
+        queue_depth: 2,
+        overflow: Overflow::Shed,
+        host: HostConfig {
+            element_work: 50_000, // make the engine deliberately slow
+            ..HostConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr().unwrap();
+    let metrics = server.metrics();
+    let mut handle = server.spawn();
+
+    let mut subscriber = ServeClient::connect(addr).unwrap();
+    subscriber.register(Q_DENSE).unwrap();
+
+    // Fire batches far faster than the throttled engine can drain them.
+    let mut feeder = ServeClient::connect(addr).unwrap();
+    for chunk in 0u64..60 {
+        let lo = chunk * 500;
+        let times: Vec<u64> = (lo..lo + 500).collect();
+        let keys: Vec<u32> = times.iter().map(|t| (t % 4) as u32).collect();
+        let values: Vec<f64> = times.iter().map(|t| (t % 9) as f64).collect();
+        feeder.push_columns(&times, &keys, &values).unwrap();
+    }
+    // The stats round trip drains the feeder's socket on the way, so
+    // any Lagging notices the server sent are stashed afterwards.
+    let snapshot = feeder.stats().unwrap();
+
+    assert!(
+        snapshot.batches_shed > 0,
+        "expected shedding, snapshot: {snapshot:?}"
+    );
+    assert_eq!(snapshot.batches_shed * 500, snapshot.events_shed);
+    // Shed batches never reached the queue: accepted + shed = sent.
+    assert_eq!(snapshot.batches_in + snapshot.batches_shed, 60);
+    // Bounded memory: the ingest queue plateaued at its bound (+1 for
+    // the optimistic increment of a rejected try_send).
+    assert!(
+        snapshot.ingest_queue_high_water <= 2 + 1,
+        "queue grew unboundedly: {snapshot:?}"
+    );
+    // The client was told, explicitly.
+    let (ingest_lag, _) = feeder.lag();
+    assert!(ingest_lag > 0, "no Lagging notice reached the feeder");
+    assert!(metrics.snapshot().lagging_notices > 0);
+    handle.stop();
+}
+
+#[test]
+fn wire_snapshot_reports_live_rates_lag_and_depth() {
+    let config = ServeConfig {
+        queue_depth: 4,
+        overflow: Overflow::Block,
+        host: HostConfig {
+            element_work: 50_000, // keep the queue saturated
+            ..HostConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr().unwrap();
+    let mut handle = server.spawn();
+
+    let mut observer = ServeClient::connect(addr).unwrap();
+    observer.register(Q_DENSE).unwrap();
+
+    // A background feeder saturates the bounded queue for seconds.
+    let feeder = std::thread::spawn(move || {
+        let mut client = ServeClient::connect(addr).unwrap();
+        for chunk in 0u64..120 {
+            let lo = chunk * 200;
+            let times: Vec<u64> = (lo..lo + 200).collect();
+            let keys: Vec<u32> = times.iter().map(|t| (t % 4) as u32).collect();
+            let values: Vec<f64> = times.iter().map(|t| (t % 9) as f64).collect();
+            if client.push_columns(&times, &keys, &values).is_err() {
+                return;
+            }
+            if chunk % 5 == 4 && client.watermark(lo + 200).is_err() {
+                return;
+            }
+        }
+        let _ = client.finish();
+    });
+
+    // Give the run a moment to saturate, then snapshot mid-flight.
+    std::thread::sleep(Duration::from_millis(300));
+    let deadline = Instant::now() + Duration::from_secs(15);
+    let snapshot = loop {
+        let snapshot = observer.stats().unwrap();
+        let live = snapshot.events_per_sec > 0
+            && snapshot.watermark_lag > 0
+            && snapshot.ingest_queue_depth > 0;
+        if live {
+            break snapshot;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "snapshot never went live: {snapshot:?}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    // The acceptance criterion, verbatim: non-zero events/sec,
+    // watermark lag, and queue depth for an active run — over the wire.
+    assert!(snapshot.events_per_sec > 0);
+    assert!(snapshot.watermark_lag > 0);
+    assert!(snapshot.ingest_queue_depth > 0);
+    assert!(snapshot.ingest_queue_high_water >= snapshot.ingest_queue_depth);
+    assert!(snapshot.active_connections >= 2);
+    assert_eq!(snapshot.registered_queries, 1);
+
+    feeder.join().unwrap();
+    handle.stop();
+}

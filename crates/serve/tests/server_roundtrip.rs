@@ -1,0 +1,263 @@
+//! End-to-end protocol coverage on a live loopback server: register /
+//! push / watermark / results / deregister / finish, plus equivalence of
+//! the served results against the same queries run through an in-process
+//! [`GroupHost`].
+
+use fw_serve::host::{GroupHost, HostConfig};
+use fw_serve::{Overflow, ServeClient, ServeConfig, Server};
+use std::time::{Duration, Instant};
+
+const Q_MIN: &str = "SELECT k, MIN(v) AS Lo FROM S GROUP BY k, \
+     Windows(Window('a', TumblingWindow(second, 10)), \
+             Window('b', TumblingWindow(second, 30)))";
+const Q_SUM: &str = "SELECT k, SUM(v) AS Total FROM S GROUP BY k, \
+     Windows(Window('a', TumblingWindow(second, 10)), \
+             Window('c', TumblingWindow(second, 20)))";
+
+fn columns(n: u64) -> (Vec<u64>, Vec<u32>, Vec<f64>) {
+    let times: Vec<u64> = (0..n).collect();
+    let keys: Vec<u32> = times.iter().map(|t| (t % 3) as u32).collect();
+    let values: Vec<f64> = times.iter().map(|t| ((t * 13) % 41) as f64 * 0.5).collect();
+    (times, keys, values)
+}
+
+/// Polls `client` until it has stashed `expected` results (or panics at
+/// the deadline).
+fn drain_until(client: &mut ServeClient, expected: usize) -> Vec<fw_engine::GroupResult> {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while client.results().len() < expected {
+        assert!(
+            Instant::now() < deadline,
+            "timed out with {} of {expected} results",
+            client.results().len()
+        );
+        client.poll(Duration::from_millis(50)).unwrap();
+    }
+    client.take_results()
+}
+
+#[test]
+fn served_results_match_in_process_host() {
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+    let addr = server.local_addr().unwrap();
+    let mut handle = server.spawn();
+
+    let mut client = ServeClient::connect(addr).unwrap();
+    let q_min = client.register(Q_MIN).unwrap();
+    let q_sum = client.register(Q_SUM).unwrap();
+    assert_eq!((q_min, q_sum), (0, 1));
+
+    let (times, keys, values) = columns(240);
+    let mut reference = GroupHost::new(HostConfig::default());
+    reference.register_sql(Q_MIN).unwrap();
+    reference.register_sql(Q_SUM).unwrap();
+
+    for chunk in 0..4 {
+        let lo = chunk * 60;
+        let hi = lo + 60;
+        client
+            .push_columns(&times[lo..hi], &keys[lo..hi], &values[lo..hi])
+            .unwrap();
+        client.watermark(hi as u64).unwrap();
+        reference
+            .push_columns(&times[lo..hi], &keys[lo..hi], &values[lo..hi])
+            .unwrap();
+        reference.advance_watermark(hi as u64).unwrap();
+    }
+    let expected = fw_engine::sorted_group_results(reference.poll_results());
+    assert!(!expected.is_empty());
+
+    let served = fw_engine::sorted_group_results(drain_until(&mut client, expected.len()));
+    assert_eq!(served.len(), expected.len());
+    for (s, e) in served.iter().zip(&expected) {
+        assert_eq!(s.query, e.query);
+        assert_eq!(s.result.window, e.result.window);
+        assert_eq!(s.result.interval, e.result.interval);
+        assert_eq!((s.result.key, s.result.agg), (e.result.key, e.result.agg));
+        assert_eq!(s.result.value.to_bits(), e.result.value.to_bits());
+    }
+
+    let (events, rows) = client.finish().unwrap();
+    assert_eq!(events, 240);
+    assert_eq!(rows as usize, expected.len());
+    handle.stop();
+}
+
+#[test]
+fn explicit_deregistration_delivers_finals_and_survivor_streams_on() {
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+    let addr = server.local_addr().unwrap();
+    let mut handle = server.spawn();
+
+    let mut client = ServeClient::connect(addr).unwrap();
+    let q_min = client.register(Q_MIN).unwrap();
+    let q_sum = client.register(Q_SUM).unwrap();
+
+    let (times, keys, values) = columns(200);
+    client
+        .push_columns(&times[..100], &keys[..100], &values[..100])
+        .unwrap();
+    client.watermark(100).unwrap();
+    // Deregistration is a flush barrier: the departed member's sealed
+    // results are routed before the ack.
+    client.deregister(q_sum).unwrap();
+    client
+        .push_columns(&times[100..], &keys[100..], &values[100..])
+        .unwrap();
+    client.watermark(200).unwrap();
+
+    // Deregistering an unknown id is an error frame, not a hang.
+    let err = client.deregister(q_sum).unwrap_err();
+    assert!(matches!(err, fw_serve::ServeError::Remote { code: 4, .. }));
+
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        client.poll(Duration::from_millis(50)).unwrap();
+        let survivor_rows = client
+            .results()
+            .iter()
+            .filter(|r| r.query.0 == q_min && r.result.interval.end > 100)
+            .count();
+        if survivor_rows > 0 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "survivor results never arrived");
+    }
+    let results = client.take_results();
+    // The departed member saw nothing past its boundary.
+    assert!(results
+        .iter()
+        .filter(|r| r.query.0 == q_sum)
+        .all(|r| r.result.interval.end <= 100));
+    handle.stop();
+}
+
+#[test]
+fn last_query_may_leave_and_server_keeps_serving() {
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+    let addr = server.local_addr().unwrap();
+    let mut handle = server.spawn();
+
+    let mut client = ServeClient::connect(addr).unwrap();
+    let q = client.register(Q_MIN).unwrap();
+    let (times, keys, values) = columns(60);
+    client.push_columns(&times, &keys, &values).unwrap();
+    client.watermark(60).unwrap();
+    client.deregister(q).unwrap();
+    assert!(!client.take_results().is_empty());
+
+    // The group idles empty; pushing into the void is harmless and a
+    // fresh registration starts a new generation.
+    client
+        .push_columns(&[70, 71], &[0, 1], &[1.0, 2.0])
+        .unwrap();
+    let q2 = client.register(Q_SUM).unwrap();
+    assert_eq!(q2, q + 1);
+    let snapshot = client.stats().unwrap();
+    assert_eq!(snapshot.registered_queries, 1);
+    handle.stop();
+}
+
+#[test]
+fn dropped_connection_mid_stream_does_not_poison_the_group() {
+    let config = ServeConfig {
+        overflow: Overflow::Block,
+        host: HostConfig {
+            out_of_order: 0,
+            ..HostConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr().unwrap();
+    let metrics = server.metrics();
+    let mut handle = server.spawn();
+
+    let mut survivor = ServeClient::connect(addr).unwrap();
+    let q_survivor = survivor.register(Q_MIN).unwrap();
+    let mut casualty = ServeClient::connect(addr).unwrap();
+    let _q_casualty = casualty.register(Q_SUM).unwrap();
+
+    let mut feeder = ServeClient::connect(addr).unwrap();
+    let (times, keys, values) = columns(300);
+    feeder
+        .push_columns(&times[..150], &keys[..150], &values[..150])
+        .unwrap();
+    feeder.watermark(150).unwrap();
+
+    // The casualty vanishes mid-stream — no Deregister, no Finish, just
+    // a closed socket while results are in flight.
+    drop(casualty);
+
+    // The survivor and the feeder must be unaffected: more pushes, more
+    // watermarks, results keep flowing.
+    feeder
+        .push_columns(&times[150..], &keys[150..], &values[150..])
+        .unwrap();
+    feeder.watermark(300).unwrap();
+    feeder.finish().unwrap();
+
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        survivor.poll(Duration::from_millis(50)).unwrap();
+        let late_rows = survivor
+            .results()
+            .iter()
+            .filter(|r| r.result.interval.start >= 150)
+            .count();
+        if late_rows > 0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "survivor starved after peer disconnect"
+        );
+    }
+    assert!(survivor.results().iter().all(|r| r.query.0 == q_survivor));
+
+    // The server cleaned up: one registered query left, one implicit
+    // deregistration, and the whole exchange stayed panic-free.
+    let snapshot = survivor.stats().unwrap();
+    assert_eq!(snapshot.registered_queries, 1);
+    assert!(snapshot.deregistrations >= 1);
+    assert_eq!(metrics.snapshot().push_errors, 0);
+    handle.stop();
+}
+
+#[test]
+fn malformed_frames_get_error_replies_without_killing_the_session() {
+    use fw_serve::wire::{read_frame, write_frame, Frame};
+    use std::io::Write;
+
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+    let addr = server.local_addr().unwrap();
+    let mut handle = server.spawn();
+
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    write_frame(&mut stream, &Frame::hello()).unwrap();
+    stream.flush().unwrap();
+    let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+    assert!(matches!(
+        read_frame(&mut reader).unwrap(),
+        Frame::HelloAck { .. }
+    ));
+
+    // A well-delimited frame with an unknown kind byte: Error reply,
+    // session stays up.
+    stream.write_all(&2u32.to_le_bytes()).unwrap();
+    stream.write_all(&[0x7e, 0x00]).unwrap();
+    stream.flush().unwrap();
+    assert!(matches!(
+        read_frame(&mut reader).unwrap(),
+        Frame::Error { code: 1, .. }
+    ));
+
+    // The session still answers real requests afterwards.
+    write_frame(&mut stream, &Frame::Stats).unwrap();
+    stream.flush().unwrap();
+    assert!(matches!(
+        read_frame(&mut reader).unwrap(),
+        Frame::StatsJson { .. }
+    ));
+    handle.stop();
+}

@@ -1,0 +1,95 @@
+//! Streaming server: the whole serving layer on one loopback socket —
+//! spin up the `fw-serve` TCP server, connect two clients, register
+//! overlapping standing queries against the shared factor-window
+//! execution, stream a columnar feed with watermarks, and read back the
+//! result fan-out plus a live metrics snapshot over the wire.
+//!
+//! ```sh
+//! cargo run --release --example streaming_server
+//! ```
+//!
+//! For a real deployment the same pieces split across processes:
+//! `fw-experiments --serve 127.0.0.1:9090` runs this server standalone
+//! and `fw-experiments --load-gen 127.0.0.1:9090` drives it.
+
+use factor_windows::serve::host::HostConfig;
+use factor_windows::{Parallelism, ServeClient, ServeConfig, Server};
+use std::time::Duration;
+
+const Q_DASHBOARD: &str = "SELECT k, MIN(v) AS Floor FROM S GROUP BY k, \
+     Windows(Window('1 min', TumblingWindow(second, 60)), \
+             Window('5 min', TumblingWindow(second, 300)))";
+const Q_ALERTS: &str = "SELECT k, MAX(v) AS Peak FROM S GROUP BY k, \
+     Windows(Window('1 min', TumblingWindow(second, 60)), \
+             Window('2 min', TumblingWindow(second, 120)))";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An ephemeral loopback server; sharded execution, 2 workers.
+    let config = ServeConfig {
+        host: HostConfig {
+            parallelism: Parallelism::Fixed(2),
+            ..HostConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config)?;
+    let addr = server.local_addr()?;
+    let mut handle = server.spawn();
+    println!("serving on {addr}");
+
+    // Two subscribers with overlapping window sets: the server merges
+    // them into one shared plan, so the '1 min' panes are paid for once.
+    let mut dashboard = ServeClient::connect(addr)?;
+    let q_dash = dashboard.register(Q_DASHBOARD)?;
+    let mut alerts = ServeClient::connect(addr)?;
+    let q_alert = alerts.register(Q_ALERTS)?;
+    println!("registered q{q_dash} (dashboard) and q{q_alert} (alerts)");
+
+    // A feeder streams 10 minutes of sensor readings in columnar
+    // batches, announcing a watermark after each one.
+    let mut feeder = ServeClient::connect(addr)?;
+    for chunk in 0u64..10 {
+        let lo = chunk * 60;
+        let times: Vec<u64> = (lo..lo + 60).collect();
+        let keys: Vec<u32> = times.iter().map(|t| (t % 4) as u32).collect();
+        let values: Vec<f64> = times.iter().map(|t| ((t * 31) % 97) as f64 * 0.5).collect();
+        feeder.push_columns(&times, &keys, &values)?;
+        feeder.watermark(lo + 60)?;
+    }
+    // `Finish` acks with the connection's accounting (the feeder holds
+    // no query of its own, so its result-row count stays zero).
+    let (events, _own_rows) = feeder.finish()?;
+    println!("feeder: {events} events acknowledged");
+
+    // Each subscriber drains its own stream — only its own rows.
+    for (name, client, id) in [
+        ("dashboard", &mut dashboard, q_dash),
+        ("alerts", &mut alerts, q_alert),
+    ] {
+        let mut rows = client.take_results();
+        while client.poll(Duration::from_millis(50))? > 0 {
+            rows.extend(client.take_results());
+        }
+        assert!(rows.iter().all(|r| r.query.0 == id));
+        println!("{name}: {} rows, e.g.:", rows.len());
+        for r in rows.iter().take(3) {
+            println!(
+                "  [{:>3}, {:>3}) key {} -> {}",
+                r.result.interval.start, r.result.interval.end, r.result.key, r.result.value
+            );
+        }
+    }
+
+    // Observability rides the same wire: a JSON metrics snapshot.
+    let snapshot = dashboard.stats()?;
+    println!(
+        "server metrics: {} events in, {} rows out, {} queries, watermark {}",
+        snapshot.events_in,
+        snapshot.results_rows_out,
+        snapshot.registered_queries,
+        snapshot.watermark
+    );
+
+    handle.stop();
+    Ok(())
+}

@@ -14,6 +14,9 @@
 //! * [`slicing`] (`fw-slicing`) — a Scotty-style general stream slicing
 //!   baseline.
 //! * [`workload`] (`fw-workload`) — window-set generators and datasets.
+//! * [`serve`] (`fw-serve`) — the streaming ingress layer: a TCP frame
+//!   protocol, a multi-client session server with bounded-queue
+//!   backpressure, a metrics registry, and a load-generator client.
 //!
 //! The experiment harness (`fw-harness`, binary `fw-experiments`) sits on
 //! top of this crate rather than inside it: it regenerates every table and
@@ -47,6 +50,7 @@ pub mod group;
 
 pub use fw_core as core;
 pub use fw_engine as engine;
+pub use fw_serve as serve;
 pub use fw_slicing as slicing;
 pub use fw_sql as sql;
 pub use fw_workload as workload;
@@ -54,6 +58,7 @@ pub use fw_workload as workload;
 pub use api::{ApiError, ApiResult, Pipeline, Session};
 pub use fw_core::{GroupStrategy, PlanChoice, QueryId, SharingPolicy};
 pub use fw_engine::{EventBatch, GroupResult, Parallelism};
+pub use fw_serve::{ServeClient, ServeConfig, ServeError, Server};
 pub use group::{GroupPipeline, QueryGroup};
 
 /// One-stop imports for typical users: the session façade plus the
@@ -64,4 +69,5 @@ pub mod prelude {
     pub use fw_core::prelude::*;
     pub use fw_core::{GroupStrategy, QueryId, SharingPolicy};
     pub use fw_engine::{Event, EventBatch, GroupResult, Parallelism, RunOutput, WindowResult};
+    pub use fw_serve::{ServeClient, ServeConfig, ServeError, Server};
 }

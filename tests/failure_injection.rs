@@ -116,6 +116,174 @@ fn period_overflow_is_reported_not_wrapped() {
 }
 
 #[test]
+fn deregistration_mid_batch_does_not_poison_the_group() {
+    use factor_windows::{ApiError, Parallelism, QueryGroup, QueryId};
+
+    let q_min = "SELECT k, MIN(v) AS Lo FROM S GROUP BY k, \
+         Windows(Window('a', TumblingWindow(second, 10)), \
+                 Window('b', TumblingWindow(second, 30)))";
+    let q_sum = "SELECT k, SUM(v) AS Total FROM S GROUP BY k, \
+         Windows(Window('a', TumblingWindow(second, 10)), \
+                 Window('c', TumblingWindow(second, 20)))";
+    let times: Vec<u64> = (0..300).collect();
+    let keys: Vec<u32> = times.iter().map(|t| (t % 3) as u32).collect();
+    let values: Vec<f64> = times.iter().map(|t| ((t * 7) % 23) as f64).collect();
+
+    let mut group = QueryGroup::new()
+        .parallelism(Parallelism::Fixed(2))
+        .collect_results(true)
+        .element_work(0)
+        .sql(q_min)
+        .unwrap()
+        .sql(q_sum)
+        .unwrap()
+        .build()
+        .unwrap();
+
+    // A member leaves between two pushes of the same logical batch; the
+    // plan swap must not corrupt the survivor's in-flight state.
+    group
+        .push_columns(&times[..150], &keys[..150], &values[..150])
+        .unwrap();
+    group.advance_watermark(150).unwrap();
+    group.deregister(QueryId(1)).unwrap();
+
+    // Deregistering again (or an id that never existed) is a loud error,
+    // never a panic — and it must leave the group fully operational.
+    assert!(matches!(
+        group.deregister(QueryId(1)),
+        Err(ApiError::UnknownQuery { id: QueryId(1) })
+    ));
+    assert!(matches!(
+        group.deregister(QueryId(9)),
+        Err(ApiError::UnknownQuery { id: QueryId(9) })
+    ));
+    // The last member cannot leave: a facade group is never empty.
+    assert!(group.deregister(QueryId(0)).is_err());
+    assert_eq!(group.queries(), vec![QueryId(0)]);
+
+    group
+        .push_columns(&times[150..], &keys[150..], &values[150..])
+        .unwrap();
+    let out = group.finish().unwrap();
+
+    // The survivor's stream is complete and exclusively its own: MIN
+    // rows for every sealed instance, before and after the swap.
+    let survivor: Vec<_> = out
+        .results
+        .iter()
+        .filter(|r| r.query == QueryId(0))
+        .collect();
+    assert!(survivor.iter().any(|r| r.result.interval.end > 150));
+    assert!(out
+        .results
+        .iter()
+        .filter(|r| r.query == QueryId(1))
+        .all(|r| r.result.interval.end <= 150));
+    // 300 events over tumbling 10 × 3 keys = 90 'a' rows, plus 10 'b'
+    // rows per key: the survivor lost nothing in the swap.
+    assert_eq!(survivor.len(), 90 + 30);
+}
+
+#[test]
+fn dropped_group_pipeline_without_finish_is_clean_teardown() {
+    use factor_windows::{Parallelism, QueryGroup};
+
+    // Sharded pipelines own worker threads; dropping one mid-stream
+    // (no finish, results still buffered) must neither panic nor hang.
+    for _ in 0..3 {
+        let mut group = QueryGroup::new()
+            .parallelism(Parallelism::Fixed(2))
+            .collect_results(true)
+            .element_work(0)
+            .sql(
+                "SELECT k, MIN(v) AS Lo FROM S GROUP BY k, \
+                  Windows(Window('w', TumblingWindow(second, 10)))",
+            )
+            .unwrap()
+            .build()
+            .unwrap();
+        group
+            .push_columns(&[1, 2, 3, 40], &[0, 1, 2, 0], &[1.0, 2.0, 3.0, 4.0])
+            .unwrap();
+        group.advance_watermark(20).unwrap();
+        drop(group);
+    }
+}
+
+#[test]
+fn dropped_serve_connection_is_not_a_failure_for_anyone_else() {
+    use factor_windows::serve::{ServeClient, ServeConfig, Server};
+    use std::io::Write;
+    use std::time::{Duration, Instant};
+
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+    let addr = server.local_addr().unwrap();
+    let metrics = server.metrics();
+    let mut handle = server.spawn();
+
+    let mut survivor = ServeClient::connect(addr).unwrap();
+    survivor
+        .register(
+            "SELECT k, MIN(v) AS Lo FROM S GROUP BY k, \
+             Windows(Window('w', TumblingWindow(second, 10)))",
+        )
+        .unwrap();
+
+    // Casualty #1 vanishes mid-stream with a registered query and a
+    // half-pushed batch sequence.
+    let mut casualty = ServeClient::connect(addr).unwrap();
+    casualty
+        .register(
+            "SELECT k, SUM(v) AS Total FROM S GROUP BY k, \
+             Windows(Window('w', TumblingWindow(second, 10)))",
+        )
+        .unwrap();
+    casualty
+        .push_columns(&[1, 2], &[0, 1], &[5.0, 6.0])
+        .unwrap();
+    // Barrier: the stats reply proves the engine consumed the push, so
+    // the survivor's later (higher-timestamped) stream cannot race it
+    // through a different connection's queue.
+    casualty.stats_json().unwrap();
+    drop(casualty);
+
+    // Casualty #2 never even says Hello: it writes half a frame header
+    // and hangs up.
+    let mut rude = std::net::TcpStream::connect(addr).unwrap();
+    rude.write_all(&[0xff, 0xff]).unwrap();
+    drop(rude);
+
+    // The survivor streams on: push, watermark, results, stats.
+    survivor
+        .push_columns(&[3, 4, 15], &[0, 1, 2], &[7.0, 8.0, 9.0])
+        .unwrap();
+    survivor.watermark(30).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while survivor.results().is_empty() {
+        assert!(Instant::now() < deadline, "survivor starved");
+        survivor.poll(Duration::from_millis(50)).unwrap();
+    }
+    // Teardown is idempotent: the casualty's query left exactly once and
+    // the shared group kept executing without a single push error.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let snapshot = metrics.snapshot();
+        if snapshot.registered_queries == 1 {
+            assert!(snapshot.deregistrations >= 1);
+            assert_eq!(snapshot.push_errors, 0);
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "casualty never cleaned up: {snapshot:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    handle.stop();
+}
+
+#[test]
 fn empty_streams_are_harmless_everywhere() {
     let windows = WindowSet::new(vec![
         Window::tumbling(20).unwrap(),

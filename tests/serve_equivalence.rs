@@ -1,0 +1,190 @@
+//! End-to-end serving equivalence: the TCP server, driven by the
+//! deterministic load generator over loopback, must deliver result rows
+//! that are bit-identical (`f64::to_bits`) to the same queries run
+//! through the in-process [`QueryGroup`] pipeline — under bounded
+//! disorder and sharded execution (`Parallelism::Fixed(2)`).
+//!
+//! The load generator's stream is a pure function of its config
+//! ([`fw_serve::stream_plan`]), so the reference pipeline replays the
+//! exact batches and watermarks the feeder wrote to the wire.
+
+use factor_windows::serve::host::HostConfig;
+use factor_windows::serve::loadgen::{stream_plan, LoadGenConfig, PROBE_SQL};
+use factor_windows::serve::{ServeConfig, Server};
+use factor_windows::{GroupResult, Parallelism, QueryGroup, QueryId};
+
+/// Three overlapping FIG1-style queries: MIN/MAX of the same stream over
+/// correlated tumbling windows that share ranges across members, so the
+/// group optimizer actually factors work between them.
+const FLEET: [&str; 3] = [
+    "SELECT k, MIN(v) AS MinTemp FROM S GROUP BY k, \
+     Windows(Window('20 s', TumblingWindow(second, 20)), \
+             Window('40 s', TumblingWindow(second, 40)))",
+    "SELECT k, MIN(v) AS MinWide FROM S GROUP BY k, \
+     Windows(Window('20 s', TumblingWindow(second, 20)), \
+             Window('30 s', TumblingWindow(second, 30)), \
+             Window('60 s', TumblingWindow(second, 60)))",
+    "SELECT k, MAX(v) AS MaxTemp FROM S GROUP BY k, \
+     Windows(Window('30 s', TumblingWindow(second, 30)), \
+             Window('90 s', TumblingWindow(second, 90)))",
+];
+
+const DISORDER: u64 = 4;
+
+fn sorted(mut rows: Vec<GroupResult>) -> Vec<GroupResult> {
+    rows.sort_by_key(|r| {
+        (
+            r.query.0,
+            r.result.window.range(),
+            r.result.window.slide(),
+            r.result.interval.start,
+            r.result.key,
+            r.result.agg,
+        )
+    });
+    rows
+}
+
+fn assert_bit_identical(label: &str, served: &[GroupResult], reference: &[GroupResult]) {
+    assert_eq!(
+        served.len(),
+        reference.len(),
+        "{label}: row count mismatch ({} served, {} reference)",
+        served.len(),
+        reference.len()
+    );
+    for (s, e) in served.iter().zip(reference) {
+        assert_eq!(s.query, e.query, "{label}: routed to the wrong query");
+        assert_eq!(s.result.window, e.result.window, "{label}: window mismatch");
+        assert_eq!(
+            s.result.interval, e.result.interval,
+            "{label}: interval mismatch"
+        );
+        assert_eq!(
+            (s.result.key, s.result.agg),
+            (e.result.key, e.result.agg),
+            "{label}: key/agg mismatch"
+        );
+        assert_eq!(
+            s.result.value.to_bits(),
+            e.result.value.to_bits(),
+            "{label}: value bits differ at {:?}: {} vs {}",
+            s.result.interval,
+            s.result.value,
+            e.result.value
+        );
+    }
+}
+
+#[test]
+fn served_rows_are_bit_identical_to_in_process_group_pipeline() {
+    let host = HostConfig {
+        out_of_order: DISORDER,
+        parallelism: Parallelism::Fixed(2),
+        element_work: 0,
+        ..HostConfig::default()
+    };
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            host,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let mut handle = server.spawn();
+
+    let config = LoadGenConfig {
+        clients: 3,
+        events: 12_000,
+        batch: 256,
+        watermark_every: 1024,
+        keys: 5,
+        disorder: DISORDER,
+        seed: 11,
+        queries: FLEET.iter().map(|q| (*q).to_string()).collect(),
+        collect: true,
+        ..LoadGenConfig::default()
+    };
+    let report = factor_windows::serve::run_load(addr, &config).unwrap();
+    handle.stop();
+
+    // Sanity on the serving side before comparing: everything the feeder
+    // sent was accepted (Block overflow — nothing shed), all four
+    // queries stood registered, and the probe latency sampler fired.
+    assert_eq!(report.events_sent, config.events);
+    assert_eq!(report.snapshot.events_in, config.events);
+    assert_eq!(report.snapshot.batches_shed, 0);
+    assert_eq!(report.snapshot.results_dropped, 0);
+    assert_eq!(report.snapshot.registered_queries, 4);
+    assert_eq!(report.snapshot.push_errors, 0);
+    assert!(report.latency_samples > 0, "probe latency never sampled");
+    assert!(report.rows_delivered > 0);
+
+    // The subscribers registered concurrently, so the server's id
+    // assignment over the three SQL texts is a permutation. Rebuild the
+    // reference group in *server id order* so QueryId(i) means the same
+    // query on both sides; the feeder's probe always registers last.
+    let mut by_id: Vec<(u32, usize)> = report
+        .clients
+        .iter()
+        .map(|c| (c.query_id, c.sql_index))
+        .collect();
+    by_id.sort_unstable();
+    assert_eq!(
+        by_id.iter().map(|&(id, _)| id).collect::<Vec<_>>(),
+        vec![0, 1, 2]
+    );
+    assert_eq!(report.probe.query_id, 3);
+
+    let mut builder = QueryGroup::new()
+        .out_of_order(DISORDER)
+        .parallelism(Parallelism::Fixed(2))
+        .element_work(0)
+        .collect_results(true);
+    for &(_, sql_index) in &by_id {
+        builder = builder.sql(FLEET[sql_index]).unwrap();
+    }
+    builder = builder.sql(PROBE_SQL).unwrap();
+    let mut reference = builder.build().unwrap();
+
+    // Replay the identical wire stream: same batches, same watermark
+    // announcements, same final sealing watermark.
+    let plan = stream_plan(&config);
+    for (i, batch) in plan.batches.iter().enumerate() {
+        reference
+            .push_columns(batch.times(), batch.keys(), batch.values())
+            .unwrap();
+        if let Some(mark) = plan.watermarks[i] {
+            reference.advance_watermark(mark).unwrap();
+        }
+    }
+    reference.advance_watermark(plan.final_watermark).unwrap();
+    let expected = sorted(reference.poll_results());
+    assert!(!expected.is_empty());
+
+    let slice = |id: u32| -> Vec<GroupResult> {
+        expected
+            .iter()
+            .filter(|r| r.query == QueryId(id))
+            .cloned()
+            .collect()
+    };
+    let mut total_served = 0usize;
+    for client in &report.clients {
+        let served = sorted(client.results.clone());
+        total_served += served.len();
+        assert_bit_identical(
+            &format!("subscriber q{}", client.query_id),
+            &served,
+            &slice(client.query_id),
+        );
+    }
+    let probe_served = sorted(report.probe.results.clone());
+    total_served += probe_served.len();
+    assert_bit_identical("probe q3", &probe_served, &slice(report.probe.query_id));
+
+    // Nothing was double-delivered or left behind.
+    assert_eq!(total_served, expected.len());
+}
