@@ -149,7 +149,10 @@ pub struct Server {
     config: ServeConfig,
     metrics: Arc<Metrics>,
     stop: Arc<AtomicBool>,
-    sockets: Arc<Mutex<Vec<TcpStream>>>,
+    /// Live connections' sockets, keyed by connection id so each entry
+    /// is dropped when its connection loop exits (no fd leak); used to
+    /// shut every client down on stop.
+    sockets: Arc<Mutex<HashMap<u64, TcpStream>>>,
 }
 
 impl std::fmt::Debug for Server {
@@ -169,7 +172,7 @@ impl Server {
             config,
             metrics: Arc::new(Metrics::new()),
             stop: Arc::new(AtomicBool::new(false)),
-            sockets: Arc::new(Mutex::new(Vec::new())),
+            sockets: Arc::new(Mutex::new(HashMap::new())),
         })
     }
 
@@ -200,20 +203,29 @@ impl Server {
             if self.stop.load(Ordering::SeqCst) {
                 break;
             }
-            let Ok(stream) = stream else { continue };
-            if let Ok(clone) = stream.try_clone() {
-                self.sockets.lock().unwrap().push(clone);
-            }
+            let Ok(stream) = stream else {
+                // Persistent accept failures (e.g. EMFILE) would
+                // otherwise busy-spin this loop; back off briefly.
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                continue;
+            };
             let conn = next_conn;
             next_conn += 1;
+            if let Ok(clone) = stream.try_clone() {
+                self.sockets.lock().unwrap().insert(conn, clone);
+            }
             let tx = cmd_tx.clone();
             let metrics = Arc::clone(&self.metrics);
             let config = self.config.clone();
-            std::thread::spawn(move || connection_loop(stream, conn, &tx, &metrics, &config));
+            let sockets = Arc::clone(&self.sockets);
+            std::thread::spawn(move || {
+                connection_loop(stream, conn, &tx, &metrics, &config);
+                sockets.lock().unwrap().remove(&conn);
+            });
         }
         // Stop: unblock readers so they release their queue slots, then
         // ask the engine to wind down.
-        for socket in self.sockets.lock().unwrap().iter() {
+        for socket in self.sockets.lock().unwrap().values() {
             let _ = socket.shutdown(Shutdown::Both);
         }
         let _ = cmd_tx.send(Cmd::Shutdown);
@@ -244,7 +256,7 @@ impl Server {
 pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    sockets: Arc<Mutex<Vec<TcpStream>>>,
+    sockets: Arc<Mutex<HashMap<u64, TcpStream>>>,
     metrics: Arc<Metrics>,
     thread: Option<JoinHandle<()>>,
 }
@@ -276,7 +288,7 @@ impl ServerHandle {
         self.stop.store(true, Ordering::SeqCst);
         // Wake the blocking accept with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
-        for socket in self.sockets.lock().unwrap().iter() {
+        for socket in self.sockets.lock().unwrap().values() {
             let _ = socket.shutdown(Shutdown::Both);
         }
         if let Some(thread) = self.thread.take() {
@@ -355,6 +367,10 @@ fn connection_loop(
         return;
     }
 
+    // Shed batches not yet reported to the client: when a Lagging notice
+    // itself cannot be delivered (full outbox), the count carries over
+    // into the next notice instead of being lost.
+    let mut shed_pending = 0u64;
     loop {
         let frame = match read_frame(&mut reader) {
             Ok(frame) => frame,
@@ -413,14 +429,16 @@ fn connection_loop(
                         Err(TrySendError::Full(_)) => {
                             Metrics::add(&metrics.batches_shed, 1);
                             Metrics::add(&metrics.events_shed, events);
+                            shed_pending += 1;
                             if outbox.try_send(
                                 Frame::Lagging {
                                     kind: LagKind::IngestShed,
-                                    count: 1,
+                                    count: shed_pending,
                                 },
                                 metrics,
                             ) {
                                 Metrics::add(&metrics.lagging_notices, 1);
+                                shed_pending = 0;
                             }
                             continue;
                         }
@@ -582,9 +600,15 @@ fn engine_loop(rx: Receiver<Cmd>, metrics: &Metrics, host_config: HostConfig) {
                             Metrics::add(&metrics.deregistrations, 1);
                             // The departing member still owns its final
                             // sealed batch: route it before forgetting.
+                            // When other members remain, the rebuild
+                            // stashed those finals in the executor's
+                            // pending buffer instead of returning them,
+                            // so the follow-up poll must use the same
+                            // augmented routing or they are dropped.
                             let mut routing = owners.clone();
                             routing.insert(query_id, conn);
                             route_results(finals, &routing, &mut conns, metrics);
+                            route_results(host.poll_results(), &routing, &mut conns, metrics);
                             metrics.query_deregistered(query_id);
                             Frame::Deregistered { query_id }
                         }

@@ -390,7 +390,9 @@ impl Frame {
             KIND_RESULTS => {
                 let query_id = r.u32("results")?;
                 let n = r.u32("results")? as usize;
-                if r.remaining() != n * RESULT_ROW_LEN {
+                // Checked: `n` is attacker-controlled and the product
+                // could wrap on 32-bit targets.
+                if n.checked_mul(RESULT_ROW_LEN) != Some(r.remaining()) {
                     return Err(WireError::Truncated { what: "results" });
                 }
                 let mut rows = Vec::with_capacity(n);
@@ -503,7 +505,7 @@ fn decode_batch(r: &mut Cursor<'_>) -> Result<EventBatch, WireError> {
         });
     }
     let n = r.u32("batch header")? as usize;
-    if r.remaining() != n * (8 + 4 + 8) {
+    if n.checked_mul(8 + 4 + 8) != Some(r.remaining()) {
         return Err(WireError::Truncated {
             what: "batch columns",
         });

@@ -133,6 +133,52 @@ fn explicit_deregistration_delivers_finals_and_survivor_streams_on() {
 }
 
 #[test]
+fn deregistration_without_prior_watermark_still_delivers_finals() {
+    // Regression: ingest-time sealing leaves rows unpolled (Push
+    // commands never poll), and a non-last-member deregistration stashes
+    // them in the executor's pending buffer during the rebuild. The
+    // follow-up poll must route the departing query's rows to their
+    // (just-removed) owner instead of dropping them as ownerless.
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+    let addr = server.local_addr().unwrap();
+    let metrics = server.metrics();
+    let mut handle = server.spawn();
+
+    let mut client = ServeClient::connect(addr).unwrap();
+    let q_min = client.register(Q_MIN).unwrap();
+    let q_sum = client.register(Q_SUM).unwrap();
+
+    let (times, keys, values) = columns(120);
+    client.push_columns(&times, &keys, &values).unwrap();
+    // No Watermark frame: the deregister boundary itself is the flush.
+    client.deregister(q_sum).unwrap();
+
+    // Finals are enqueued before the ack, so they are already stashed.
+    let finals: Vec<_> = client
+        .take_results()
+        .into_iter()
+        .filter(|r| r.query.0 == q_sum)
+        .collect();
+    assert!(
+        !finals.is_empty(),
+        "departing query's final sealed results were dropped"
+    );
+    assert_eq!(metrics.snapshot().results_dropped, 0);
+
+    // The survivor is unaffected.
+    client.watermark(120).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        client.poll(Duration::from_millis(50)).unwrap();
+        if client.results().iter().any(|r| r.query.0 == q_min) {
+            break;
+        }
+        assert!(Instant::now() < deadline, "survivor results never arrived");
+    }
+    handle.stop();
+}
+
+#[test]
 fn last_query_may_leave_and_server_keeps_serving() {
     let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
     let addr = server.local_addr().unwrap();
