@@ -431,6 +431,132 @@ impl PlanPipeline {
         Ok(())
     }
 
+    /// Writes a durable checkpoint of the pipeline's full state (open
+    /// panes, reorder buffer, undelivered results, watermark, cumulative
+    /// accounting) to `w` — see [`crate::checkpoint`] for the format.
+    ///
+    /// `plan` must be the plan this pipeline is executing: the snapshot
+    /// rides the live-swap export path, which compiles a fresh core and
+    /// re-adopts the exported state, so the pipeline *keeps running*
+    /// after the call (checkpoint-and-continue). Only pipelines on the
+    /// slot-based group core ([`Self::compile_grouped`] or any
+    /// multi-aggregate plan) support this.
+    pub fn checkpoint<W: std::io::Write + ?Sized>(
+        &mut self,
+        plan: &QueryPlan,
+        w: &mut W,
+    ) -> std::result::Result<(), crate::checkpoint::CheckpointError> {
+        let image = self.export_image(plan)?;
+        crate::checkpoint::write_header(w, crate::checkpoint::KIND_PIPELINE)?;
+        image.encode(w)
+    }
+
+    /// Exports the pipeline's full state as a checkpoint image, leaving
+    /// the pipeline running on a freshly compiled core that adopted the
+    /// very same state (the same mechanism as [`Self::rebuild`], minus
+    /// the watermark announcement — a checkpoint must not seal anything).
+    pub(crate) fn export_image(
+        &mut self,
+        plan: &QueryPlan,
+    ) -> std::result::Result<crate::checkpoint::PipelineImage, crate::checkpoint::CheckpointError>
+    {
+        use crate::checkpoint::{CheckpointError, PipelineImage};
+        if !self.core.supports_group_state() {
+            return Err(CheckpointError::Unsupported {
+                reason: "pipeline was not compiled on the slot-based group core",
+            });
+        }
+        // Compile the replacement core first: a plan rejection must leave
+        // the running pipeline untouched. Exporting drains the live core,
+        // so re-adopting into a *fresh* core (never the same one — factor
+        // windows would double-deliver their flushed panes) is mandatory.
+        let mut fresh = crate::multi::MultiCore::compile(plan, self.element_work)
+            .map_err(CheckpointError::Engine)?;
+        self.close_burst();
+        // Snapshot accounting before the export: the downward flush
+        // performs counted combines that belong to the post-checkpoint
+        // continuation, not the image.
+        let stats = self.stats();
+        let fed = self.base_fed + self.core.events_fed();
+        let results = self.base_results + self.core.results_emitted();
+        let work = self.base_work.wrapping_add(self.core.work_total());
+        let state = self
+            .core
+            .export_group_state()
+            .expect("support checked above");
+        let image = PipelineImage::from_state(
+            &state,
+            self.reorder.as_ref().map(ReorderBuffer::image),
+            self.sink.results().to_vec(),
+            fed,
+            results,
+            work,
+            stats,
+        );
+        fresh.adopt(state);
+        // Fold the retired core into the cumulative base. No replan
+        // increment: a checkpoint is observably transparent.
+        self.base_stats = self.base_stats + self.core.stats();
+        self.base_fed += self.core.events_fed();
+        self.base_results += self.core.results_emitted();
+        self.base_work = self.base_work.wrapping_add(self.core.work_total());
+        self.core = Box::new(fresh);
+        self.sync_accounting();
+        Ok(image)
+    }
+
+    /// Restores a pipeline from a checkpoint written by
+    /// [`Self::checkpoint`] (or by `ShardedPipeline::checkpoint` — the
+    /// on-disk format is shard-count-free). `plan` must describe the same
+    /// query; `opts` may differ (the snapshot's reorder buffer wins over
+    /// `opts.out_of_order` when present). Replaying the event stream from
+    /// the snapshot's cursor (`events_processed() + buffered()`) yields
+    /// results bit-identical to an uninterrupted run.
+    pub fn restore<R: std::io::Read + ?Sized>(
+        plan: &QueryPlan,
+        opts: PipelineOptions,
+        r: &mut R,
+    ) -> std::result::Result<Self, crate::checkpoint::CheckpointError> {
+        crate::checkpoint::read_header(r, crate::checkpoint::KIND_PIPELINE)?;
+        let image = crate::checkpoint::PipelineImage::decode(r)?;
+        Self::restore_image(plan, opts, image)
+    }
+
+    /// Builds a running pipeline from a decoded checkpoint image.
+    pub(crate) fn restore_image(
+        plan: &QueryPlan,
+        opts: PipelineOptions,
+        mut image: crate::checkpoint::PipelineImage,
+    ) -> std::result::Result<Self, crate::checkpoint::CheckpointError> {
+        use crate::checkpoint::CheckpointError;
+        let mut core = crate::multi::MultiCore::compile(plan, opts.element_work)
+            .map_err(CheckpointError::Engine)?;
+        let reorder_image = image.reorder.take();
+        let pending = std::mem::take(&mut image.pending);
+        core.adopt(image.take_group_state());
+        let mut pipeline = Self::with_core(Box::new(core), opts, Self::sink_hint(plan));
+        if let Some(ri) = &reorder_image {
+            // The snapshot is authoritative: it carries the buffered
+            // events and the high watermark later pushes validate against.
+            pipeline.reorder = Some(ReorderBuffer::from_image(ri));
+        }
+        if let ResultSink::Collect(rows) = &mut pipeline.sink {
+            // Undelivered rows re-enter the sink without re-counting:
+            // their emission is already in `image.results`.
+            rows.extend(pending);
+        }
+        pipeline.base_stats = ExecStats {
+            replans: 0,
+            ..image.stats
+        };
+        pipeline.replans = image.stats.replans;
+        pipeline.base_fed = image.fed;
+        pipeline.base_results = image.results;
+        pipeline.base_work = image.work;
+        pipeline.sync_accounting();
+        Ok(pipeline)
+    }
+
     /// Compiles and runs `plan` over a whole in-order batch — the
     /// non-deprecated replacement for [`execute_with`].
     pub fn run(plan: &QueryPlan, events: &[Event], opts: PipelineOptions) -> Result<RunOutput> {

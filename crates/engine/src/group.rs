@@ -24,6 +24,7 @@
 //! only receives results for instances starting at or after `w` (the
 //! routing table's `since` filter) — it never observed the stream before.
 
+use crate::checkpoint::{self, CheckpointError, CheckpointResult, PipelineImage};
 use crate::error::{EngineError, Result};
 use crate::event::{Event, WindowResult};
 use crate::executor::{ExecStats, PipelineOptions, PlanPipeline, RunOutput};
@@ -235,6 +236,32 @@ impl AnyPipeline {
             AnyPipeline::Sharded(p) => p.buffered(),
         }
     }
+
+    /// Exports a merged, shard-count-free snapshot of the pipeline's state
+    /// (the engine keeps streaming afterwards; see
+    /// `PlanPipeline::export_image`).
+    fn export_image(&mut self, plan: &fw_core::QueryPlan) -> CheckpointResult<PipelineImage> {
+        match self {
+            AnyPipeline::Single(p) => p.export_image(plan),
+            AnyPipeline::Sharded(p) => p.export_merged_image(plan),
+        }
+    }
+
+    /// Rebuilds a backend from a snapshot at the requested parallelism
+    /// (`shards = 0` selects the single-threaded backend). The snapshot is
+    /// shard-count-free, so any `N → M` rescale is legal here.
+    fn restore_image(
+        plan: &fw_core::QueryPlan,
+        opts: PipelineOptions,
+        shards: usize,
+        image: PipelineImage,
+    ) -> CheckpointResult<Self> {
+        Ok(if shards == 0 {
+            AnyPipeline::Single(PlanPipeline::restore_image(plan, opts, image)?)
+        } else {
+            AnyPipeline::Sharded(ShardedPipeline::restore_image(plan, opts, shards, image)?)
+        })
+    }
 }
 
 /// One member pipeline of the per-query strategy.
@@ -277,6 +304,10 @@ pub struct GroupExec {
     horizon: u64,
     opts: PipelineOptions,
     shards: usize,
+    /// Whether per-query member pipelines compile on the slot-based group
+    /// core so they can be checkpointed ([`Self::compile_durable`]). The
+    /// shared backend always can.
+    durable: bool,
 }
 
 impl std::fmt::Debug for GroupExec {
@@ -294,6 +325,24 @@ impl GroupExec {
     /// backend; `shards ≥ 1` the key-partitioned one. The shared strategy
     /// requires the plan to carry a merged [`fw_core::SharedPlan`].
     pub fn compile(plan: &GroupPlan, opts: PipelineOptions, shards: usize) -> Result<Self> {
+        Self::compile_with(plan, opts, shards, false)
+    }
+
+    /// Compiles a group plan whose state can be checkpointed. Identical to
+    /// [`Self::compile`] except that per-query member pipelines also go
+    /// through the slot-based group core — the only backend that can
+    /// export its pane state (see [`Self::checkpoint`]). Shared-strategy
+    /// groups are always durable.
+    pub fn compile_durable(plan: &GroupPlan, opts: PipelineOptions, shards: usize) -> Result<Self> {
+        Self::compile_with(plan, opts, shards, true)
+    }
+
+    fn compile_with(
+        plan: &GroupPlan,
+        opts: PipelineOptions,
+        shards: usize,
+        durable: bool,
+    ) -> Result<Self> {
         let (backend, routes) = match plan.strategy {
             GroupStrategy::Shared => {
                 let shared = plan.shared.as_ref().ok_or_else(|| {
@@ -308,7 +357,7 @@ impl GroupExec {
                     members.push(MemberExec {
                         id: member.id,
                         since: member.since,
-                        pipeline: AnyPipeline::compile(&member.bundle.plan, opts, shards, false)?,
+                        pipeline: AnyPipeline::compile(&member.bundle.plan, opts, shards, durable)?,
                     });
                 }
                 (Backend::PerQuery(members), RouteIndex::new(&[]))
@@ -324,6 +373,7 @@ impl GroupExec {
             horizon: 0,
             opts,
             shards,
+            durable,
         })
     }
 
@@ -530,7 +580,7 @@ impl GroupExec {
                             &member.bundle.plan,
                             self.opts,
                             self.shards,
-                            false,
+                            self.durable,
                         )?,
                     });
                 }
@@ -559,6 +609,165 @@ impl GroupExec {
         self.horizon = self.horizon.max(watermark);
         self.replans += 1;
         Ok(())
+    }
+
+    /// Writes a self-describing snapshot of the whole group — routed
+    /// results not yet polled, the group-level counters, and every
+    /// backend pipeline's pane state — and keeps streaming. `plan` must be
+    /// the [`GroupPlan`] the group is currently executing (slot indices
+    /// and member plans are read from it; they are never serialized).
+    ///
+    /// Per-query groups must have been compiled with
+    /// [`Self::compile_durable`]; otherwise the member pipelines cannot
+    /// export their state and this fails with
+    /// [`CheckpointError::Unsupported`].
+    pub fn checkpoint<W: std::io::Write + ?Sized>(
+        &mut self,
+        plan: &GroupPlan,
+        w: &mut W,
+    ) -> CheckpointResult<()> {
+        if plan.strategy != self.strategy() {
+            return Err(CheckpointError::Unsupported {
+                reason: "group plan strategy does not match the running group",
+            });
+        }
+        checkpoint::write_header(w, checkpoint::KIND_GROUP)?;
+        checkpoint::put_u8(
+            w,
+            match self.strategy() {
+                GroupStrategy::Shared => 0,
+                GroupStrategy::PerQuery => 1,
+            },
+        )?;
+        checkpoint::put_u64(w, self.pushed)?;
+        checkpoint::put_u64(w, self.results_emitted)?;
+        checkpoint::put_u64(w, self.replans)?;
+        checkpoint::put_u64(w, self.horizon)?;
+        checkpoint::put_u32(
+            w,
+            checkpoint::count_u32(self.pending.len(), "pending results")?,
+        )?;
+        for routed in &self.pending {
+            checkpoint::put_u32(w, routed.query.0)?;
+            checkpoint::put_result(w, &routed.result)?;
+        }
+        match &mut self.backend {
+            Backend::Shared(pipeline) => {
+                let shared = plan.shared.as_ref().ok_or(CheckpointError::BadValue {
+                    what: "shared strategy without a merged plan",
+                })?;
+                pipeline.export_image(&shared.bundle.plan)?.encode(w)?;
+            }
+            Backend::PerQuery(members) => {
+                checkpoint::put_u32(w, checkpoint::count_u32(members.len(), "group members")?)?;
+                for member in members.iter_mut() {
+                    let member_plan = plan.members.iter().find(|m| m.id == member.id).ok_or(
+                        CheckpointError::BadValue {
+                            what: "group plan is missing a running member",
+                        },
+                    )?;
+                    checkpoint::put_u32(w, member.id.0)?;
+                    checkpoint::put_u64(w, member.since)?;
+                    member
+                        .pipeline
+                        .export_image(&member_plan.bundle.plan)?
+                        .encode(w)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Rebuilds a group from a [`Self::checkpoint`] snapshot at the
+    /// requested parallelism. `plan` must resolve to the same strategy and
+    /// (for per-query groups) the same member set the snapshot was taken
+    /// under; the snapshot itself carries no shard count, so `shards` may
+    /// differ freely from the checkpointing run — pane state is re-hashed
+    /// onto the new layout and results are byte-identical for any rescale.
+    ///
+    /// The restored group is durable regardless of how the original was
+    /// compiled (restoring proves every pipeline state is exportable).
+    pub fn restore<R: std::io::Read + ?Sized>(
+        plan: &GroupPlan,
+        opts: PipelineOptions,
+        shards: usize,
+        r: &mut R,
+    ) -> CheckpointResult<Self> {
+        checkpoint::read_header(r, checkpoint::KIND_GROUP)?;
+        let strategy = checkpoint::get_u8(r, "group strategy")?;
+        let expected = match plan.strategy {
+            GroupStrategy::Shared => 0,
+            GroupStrategy::PerQuery => 1,
+        };
+        if strategy != expected {
+            return Err(CheckpointError::BadValue {
+                what: "checkpointed strategy does not match the group plan",
+            });
+        }
+        let pushed = checkpoint::get_u64(r, "group events pushed")?;
+        let results_emitted = checkpoint::get_u64(r, "group results emitted")?;
+        let replans = checkpoint::get_u64(r, "group replans")?;
+        let horizon = checkpoint::get_u64(r, "group horizon")?;
+        let n = checkpoint::get_u32(r, "pending result count")?;
+        let mut pending = Vec::with_capacity((n as usize).min(1024));
+        for _ in 0..n {
+            let query = QueryId(checkpoint::get_u32(r, "pending query id")?);
+            let result = checkpoint::get_result(r)?;
+            pending.push(GroupResult { query, result });
+        }
+        let (backend, routes) = match plan.strategy {
+            GroupStrategy::Shared => {
+                let shared = plan.shared.as_ref().ok_or(CheckpointError::BadValue {
+                    what: "shared strategy without a merged plan",
+                })?;
+                let image = PipelineImage::decode(r)?;
+                let pipeline =
+                    AnyPipeline::restore_image(&shared.bundle.plan, opts, shards, image)?;
+                (Backend::Shared(pipeline), RouteIndex::new(&shared.routes))
+            }
+            GroupStrategy::PerQuery => {
+                let count = checkpoint::get_u32(r, "member count")? as usize;
+                if count != plan.members.len() {
+                    return Err(CheckpointError::BadValue {
+                        what: "checkpointed member count does not match the group plan",
+                    });
+                }
+                let mut members = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    let id = QueryId(checkpoint::get_u32(r, "member id")?);
+                    let since = checkpoint::get_u64(r, "member since")?;
+                    let member_plan = plan.members.iter().find(|m| m.id == id).ok_or(
+                        CheckpointError::BadValue {
+                            what: "checkpointed member is absent from the group plan",
+                        },
+                    )?;
+                    let image = PipelineImage::decode(r)?;
+                    members.push(MemberExec {
+                        id,
+                        since,
+                        pipeline: AnyPipeline::restore_image(
+                            &member_plan.bundle.plan,
+                            opts,
+                            shards,
+                            image,
+                        )?,
+                    });
+                }
+                (Backend::PerQuery(members), RouteIndex::new(&[]))
+            }
+        };
+        Ok(GroupExec {
+            backend,
+            routes,
+            pending,
+            results_emitted,
+            pushed,
+            replans,
+            horizon,
+            opts,
+            shards,
+            durable: true,
+        })
     }
 
     /// Ends the stream: seals everything, merges the accounting, and

@@ -36,6 +36,7 @@
 
 pub mod agg;
 pub mod batch;
+pub mod checkpoint;
 pub mod error;
 pub mod event;
 pub mod executor;
@@ -50,6 +51,7 @@ pub mod throughput;
 
 pub use agg::{Aggregate, AvgAgg, CountAgg, MaxAgg, MedianAgg, MinAgg, SumAgg};
 pub use batch::{EventBatch, BATCH_SPARE_CAP};
+pub use checkpoint::CheckpointError;
 pub use error::{EngineError, Result};
 pub use event::{sorted_results, Event, ResultSink, WindowResult};
 // The deprecated batch wrappers `executor::execute` / `executor::execute_with`

@@ -48,18 +48,20 @@ use fw_core::{AggregateClass, AggregateFunction, Interval, QueryPlan, Window};
 /// group routing layer's `since` filter).
 pub(crate) struct GroupState {
     /// Ordering watermark of the exporting core.
-    watermark: u64,
+    pub(crate) watermark: u64,
     /// Maximum event time the exporting core has folded.
-    last_event_time: u64,
+    pub(crate) last_event_time: u64,
     /// Slot identities of the exporting core, slot-indexed.
-    slots: Vec<(AggregateFunction, String)>,
+    pub(crate) slots: Vec<(AggregateFunction, String)>,
     /// Open panes of every exposed window: `(window, [(instance, pane)])`.
-    windows: Vec<(Window, Vec<(u64, MultiPane)>)>,
+    pub(crate) windows: Vec<(Window, Vec<(u64, MultiPane)>)>,
 }
 
 /// One accumulator slot, dispatching to the existing [`Aggregate`] impls.
+/// Crate-visible so the checkpoint codec can serialize pane state
+/// shape-checked against each slot's aggregate function.
 #[derive(Debug, Clone)]
-enum Slot {
+pub(crate) enum Slot {
     /// MIN / MAX / SUM state.
     F64(f64),
     /// COUNT state.
@@ -151,11 +153,11 @@ fn finalize_slot(f: AggregateFunction, slot: &Slot) -> f64 {
 
 /// Per-key multi-accumulators for one window instance: one slot per
 /// aggregate term, in SELECT-list order.
-type MultiAcc = Box<[Slot]>;
+pub(crate) type MultiAcc = Box<[Slot]>;
 
 /// Per-key accumulators for one window instance (the pane map type of
 /// [`PaneDeque`], hashed with the dense-`u32`-specialized mixer).
-type MultiPane = crate::pane::Pane<MultiAcc>;
+pub(crate) type MultiPane = crate::pane::Pane<MultiAcc>;
 
 fn new_acc(funcs: &[AggregateFunction]) -> MultiAcc {
     funcs.iter().map(|&f| init_slot(f)).collect()

@@ -139,6 +139,55 @@ impl ReorderBuffer {
         }
     }
 
+    /// Captures the buffer's full state for a checkpoint: buffered events
+    /// in deterministic `(time, seq)` release order plus the watermarks.
+    /// The staged batch is always empty between pipeline operations
+    /// (every push/advance drains it into the operators), so it is not
+    /// part of the image.
+    pub(crate) fn image(&self) -> crate::checkpoint::ReorderImage {
+        debug_assert!(
+            self.staged.is_empty(),
+            "staged events must be fed before a checkpoint"
+        );
+        let mut entries: Vec<(u64, u64, u32, u64)> = self
+            .heap
+            .iter()
+            .map(|Reverse((slot, key, bits))| (slot.time, slot.seq, *key, *bits))
+            .collect();
+        entries.sort_unstable_by_key(|&(time, seq, _, _)| (time, seq));
+        crate::checkpoint::ReorderImage {
+            slack: self.slack,
+            high: self.high_watermark,
+            released: self.released_watermark,
+            entries: entries
+                .into_iter()
+                .map(|(time, _, key, bits)| (time, key, bits))
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a buffer from a checkpoint image. Entries re-enter the
+    /// heap with fresh sequence numbers in slice order, which *is* the
+    /// original release order — equal-timestamp arrival order survives
+    /// the round trip.
+    pub(crate) fn from_image(image: &crate::checkpoint::ReorderImage) -> Self {
+        let mut buffer = ReorderBuffer::new(image.slack);
+        buffer.high_watermark = image.high;
+        buffer.released_watermark = image.released;
+        for &(time, key, bits) in &image.entries {
+            buffer.heap.push(Reverse((
+                Slot {
+                    time,
+                    seq: buffer.seq,
+                },
+                key,
+                bits,
+            )));
+            buffer.seq += 1;
+        }
+        buffer
+    }
+
     /// Convenience: reorders a whole slice, erroring on events more than
     /// `slack` behind the running maximum.
     pub fn reorder(slack: u64, events: &[Event]) -> Result<Vec<Event>> {

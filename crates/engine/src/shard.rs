@@ -29,6 +29,7 @@
 //! accounting ([`ExecStats`]) across shards.
 
 use crate::batch::EventBatch;
+use crate::checkpoint::{self, CheckpointError, PipelineImage};
 use crate::error::{EngineError, Result};
 use crate::event::{sorted_results, Event, WindowResult};
 use crate::executor::{ExecStats, PipelineOptions, PlanPipeline, RunOutput};
@@ -100,12 +101,29 @@ enum Command {
         watermark: u64,
         reply: mpsc::Sender<Result<()>>,
     },
+    /// Export the shard's full checkpoint image
+    /// ([`PlanPipeline::export_image`]); the pipeline keeps running. The
+    /// reply doubles as the barrier.
+    Export {
+        plan: Arc<QueryPlan>,
+        reply: mpsc::Sender<std::result::Result<Box<PipelineImage>, CheckpointError>>,
+    },
     /// Seal at the global horizon (if any events flowed), finish, reply
     /// with the shard's accounting, and exit.
     Finish {
         seal: Option<u64>,
         reply: mpsc::Sender<Result<RunOutput>>,
     },
+}
+
+/// The shard a key routes to among `shards` workers: Fibonacci
+/// multiplicative hash, high bits, multiply-shift range reduction. Shared
+/// with the checkpoint re-partitioner ([`PipelineImage::partition`]), so
+/// restored pane state always lands on the shard live scatter would pick.
+#[inline]
+pub(crate) fn route_of(key: u32, shards: usize) -> usize {
+    let h = u64::from(key).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (((h >> 32) * shards as u64) >> 32) as usize
 }
 
 /// Per-shard worker loop: owns one compiled [`PlanPipeline`] and drains
@@ -172,6 +190,24 @@ fn worker(
                     Ok(()) // the original error is already published
                 } else {
                     pipeline.rebuild(&plan, watermark)
+                };
+                let _ = reply.send(result);
+            }
+            Command::Export { plan, reply } => {
+                // Export either fails before touching the pipeline (plan
+                // rejection) or succeeds and leaves it running, so no
+                // poisoning is needed on failure.
+                let result = if failed {
+                    let e = error
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .clone()
+                        .unwrap_or(EngineError::InvalidPlan(
+                            "shard worker previously failed".to_string(),
+                        ));
+                    Err(CheckpointError::Engine(e))
+                } else {
+                    pipeline.export_image(&plan).map(Box::new)
                 };
                 let _ = reply.send(result);
             }
@@ -317,15 +353,25 @@ impl ShardedPipeline {
         grouped: bool,
     ) -> Result<Self> {
         let shards = shards.max(1);
-        let error = Arc::new(Mutex::new(None));
-        let (recycle_tx, recycle_rx) = mpsc::channel();
-        let mut workers = Vec::with_capacity(shards);
-        for shard in 0..shards {
-            let pipeline = if grouped {
+        let mut pipelines = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            pipelines.push(if grouped {
                 PlanPipeline::compile_grouped(plan, opts)?
             } else {
                 PlanPipeline::compile(plan, opts)?
-            };
+            });
+        }
+        Ok(Self::from_pipelines(pipelines, opts))
+    }
+
+    /// Spawns the worker threads around pre-built per-shard pipelines
+    /// (freshly compiled or restored from a checkpoint).
+    fn from_pipelines(pipelines: Vec<PlanPipeline>, opts: PipelineOptions) -> Self {
+        let shards = pipelines.len();
+        let error = Arc::new(Mutex::new(None));
+        let (recycle_tx, recycle_rx) = mpsc::channel();
+        let mut workers = Vec::with_capacity(shards);
+        for (shard, pipeline) in pipelines.into_iter().enumerate() {
             let (tx, rx) = mpsc::sync_channel(COMMAND_QUEUE);
             let recycle = recycle_tx.clone();
             let error = Arc::clone(&error);
@@ -338,7 +384,7 @@ impl ShardedPipeline {
                 thread: Some(thread),
             });
         }
-        Ok(ShardedPipeline {
+        ShardedPipeline {
             scatter: (0..shards).map(|_| EventBatch::new()).collect(),
             pool: Vec::new(),
             recycle: recycle_rx,
@@ -351,7 +397,105 @@ impl ShardedPipeline {
             replans: 0,
             started: None,
             workers,
-        })
+        }
+    }
+
+    /// Writes a durable checkpoint of the whole sharded pipeline to `w`.
+    /// The per-shard images are merged into one shard-count-free global
+    /// image — the same on-disk format as [`PlanPipeline::checkpoint`] —
+    /// so a snapshot taken at N shards restores into any M (including
+    /// `PlanPipeline::restore` for M = sequential). The pipeline keeps
+    /// running afterwards (checkpoint-and-continue); the call is a
+    /// barrier covering every event routed before it.
+    pub fn checkpoint<W: std::io::Write + ?Sized>(
+        &mut self,
+        plan: &QueryPlan,
+        w: &mut W,
+    ) -> std::result::Result<(), CheckpointError> {
+        let image = self.export_merged_image(plan)?;
+        checkpoint::write_header(w, checkpoint::KIND_PIPELINE)?;
+        image.encode(w)
+    }
+
+    /// Exports every shard's image and merges them (min watermark, max
+    /// event-time horizon, disjoint key union). `plan` must be the plan
+    /// the shards are executing.
+    pub(crate) fn export_merged_image(
+        &mut self,
+        plan: &QueryPlan,
+    ) -> std::result::Result<PipelineImage, CheckpointError> {
+        self.check_error().map_err(CheckpointError::Engine)?;
+        self.flush_all();
+        let plan = Arc::new(plan.clone());
+        let replies: Vec<_> = (0..self.workers.len())
+            .map(|shard| {
+                let (tx, rx) = mpsc::channel();
+                self.send(
+                    shard,
+                    Command::Export {
+                        plan: Arc::clone(&plan),
+                        reply: tx,
+                    },
+                );
+                rx
+            })
+            .collect();
+        let mut parts = Vec::with_capacity(replies.len());
+        let mut first_error: Option<CheckpointError> = None;
+        for (shard, rx) in replies.into_iter().enumerate() {
+            match rx.recv() {
+                Ok(Ok(image)) => parts.push(*image),
+                Ok(Err(e)) => {
+                    first_error.get_or_insert(e);
+                }
+                Err(_) => self.workers[shard].died(),
+            }
+        }
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        PipelineImage::merge(parts, self.replans)
+    }
+
+    /// Restores a sharded pipeline from a checkpoint written by
+    /// [`Self::checkpoint`] or [`PlanPipeline::checkpoint`], re-hashing
+    /// the pane state across `shards` workers (elastic rescale: the
+    /// snapshot's shard count is irrelevant). Replaying the event stream
+    /// from the snapshot's cursor ([`Self::events_pushed`] after restore)
+    /// yields results bit-identical to an uninterrupted run.
+    pub fn restore<R: std::io::Read + ?Sized>(
+        plan: &QueryPlan,
+        opts: PipelineOptions,
+        shards: usize,
+        r: &mut R,
+    ) -> std::result::Result<Self, CheckpointError> {
+        checkpoint::read_header(r, checkpoint::KIND_PIPELINE)?;
+        let image = PipelineImage::decode(r)?;
+        Self::restore_image(plan, opts, shards, image)
+    }
+
+    /// Builds a running sharded pipeline from a decoded global image.
+    pub(crate) fn restore_image(
+        plan: &QueryPlan,
+        opts: PipelineOptions,
+        shards: usize,
+        image: PipelineImage,
+    ) -> std::result::Result<Self, CheckpointError> {
+        let shards = shards.max(1);
+        let pushed = image.events_pushed();
+        let last_time = image.last_event_time;
+        let announced = image.watermark;
+        let replans = image.stats.replans;
+        let mut pipelines = Vec::with_capacity(shards);
+        for part in image.partition(shards) {
+            pipelines.push(PlanPipeline::restore_image(plan, opts, part)?);
+        }
+        let mut pipeline = Self::from_pipelines(pipelines, opts);
+        pipeline.pushed = pushed;
+        pipeline.last_time = last_time;
+        pipeline.announced = announced;
+        pipeline.replans = replans;
+        Ok(pipeline)
     }
 
     /// Compiles, feeds a whole batch, finishes — the parallel counterpart
@@ -373,12 +517,10 @@ impl ShardedPipeline {
         self.workers.len()
     }
 
-    /// The shard a key routes to: Fibonacci multiplicative hash, high
-    /// bits, multiply-shift range reduction (no modulo in the hot loop).
+    /// The shard a key routes to (see [`route_of`]).
     #[inline]
     fn shard_of(&self, key: u32) -> usize {
-        let h = u64::from(key).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        (((h >> 32) * self.workers.len() as u64) >> 32) as usize
+        route_of(key, self.workers.len())
     }
 
     fn start_clock(&mut self) {

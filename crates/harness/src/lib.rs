@@ -14,12 +14,14 @@
 #![warn(clippy::all)]
 
 pub mod experiments;
+pub mod fault;
 pub mod paper;
 pub mod report;
 pub mod runner;
 pub mod stats;
 
 pub use experiments::{run_experiment, Experiment, EXPERIMENTS};
+pub use fault::{result_bits, CrashCycle, CrashOutcome, KillPoint};
 pub use runner::{
     measure_overhead, measure_slicing_comparison, measure_window_set, run_setup, summarize,
     BoostSummary, Dataset, HarnessConfig, OverheadMeasurement, RunMeasurement, Setup,

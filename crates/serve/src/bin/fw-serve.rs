@@ -1,0 +1,92 @@
+//! `fw-serve`: the standalone streaming-ingress server.
+//!
+//! ```text
+//! fw-serve [--listen ADDR] [--shards N] [--out-of-order UNITS] [--shed]
+//!          [--checkpoint PATH] [--checkpoint-every N] [--restore PATH]
+//! ```
+//!
+//! Binds a [`fw_serve::Server`] and runs it on the main thread until the
+//! process is killed. With `--checkpoint PATH --checkpoint-every N` the
+//! engine persists an atomic snapshot of the hosted group every N
+//! watermark announcements; `--restore PATH` seeds the group from such a
+//! snapshot at startup (clients re-adopt their queries with `Resume`).
+
+use fw_engine::Parallelism;
+use fw_serve::{Overflow, ServeConfig, Server};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut listen = String::from("127.0.0.1:9690");
+    let mut config = ServeConfig::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        let result: Result<(), String> = match arg.as_str() {
+            "--listen" => value("--listen").map(|v| listen = v),
+            "--shards" => value("--shards").and_then(|v| {
+                let n: usize = v.parse().map_err(|_| format!("bad --shards: {v}"))?;
+                config.host.parallelism = match n {
+                    0 | 1 => Parallelism::Sequential,
+                    n => Parallelism::Fixed(n),
+                };
+                Ok(())
+            }),
+            "--out-of-order" => value("--out-of-order").and_then(|v| {
+                config.host.out_of_order =
+                    v.parse().map_err(|_| format!("bad --out-of-order: {v}"))?;
+                Ok(())
+            }),
+            "--shed" => {
+                config.overflow = Overflow::Shed;
+                Ok(())
+            }
+            "--checkpoint" => value("--checkpoint").map(|v| {
+                config.checkpoint_path = Some(PathBuf::from(v));
+            }),
+            "--checkpoint-every" => value("--checkpoint-every").and_then(|v| {
+                config.checkpoint_every = v
+                    .parse()
+                    .map_err(|_| format!("bad --checkpoint-every: {v}"))?;
+                Ok(())
+            }),
+            "--restore" => value("--restore").map(|v| {
+                config.restore_from = Some(PathBuf::from(v));
+            }),
+            "--help" | "-h" => {
+                println!(
+                    "usage: fw-serve [--listen ADDR] [--shards N] [--out-of-order UNITS] \
+                     [--shed] [--checkpoint PATH] [--checkpoint-every N] [--restore PATH]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => Err(format!("unknown flag: {other}")),
+        };
+        if let Err(message) = result {
+            eprintln!("fw-serve: {message}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if config.checkpoint_every > 0 && config.checkpoint_path.is_none() {
+        eprintln!("fw-serve: --checkpoint-every requires --checkpoint PATH");
+        return ExitCode::FAILURE;
+    }
+
+    let server = match Server::bind(&listen, config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("fw-serve: bind {listen}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => println!("fw-serve listening on {addr}"),
+        Err(_) => println!("fw-serve listening"),
+    }
+    server.run();
+    ExitCode::SUCCESS
+}

@@ -17,6 +17,33 @@ use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
+/// Bounded exponential backoff for [`ServeClient::connect_with_retry`]:
+/// at most `attempts` connection attempts, sleeping a jittered,
+/// doubling delay (capped at `cap`) between failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum connection attempts (at least 1).
+    pub attempts: u32,
+    /// Delay budget before the second attempt; doubles per failure.
+    pub base: Duration,
+    /// Upper bound on the per-attempt delay budget.
+    pub cap: Duration,
+    /// Jitter seed — deterministic per client, decorrelated between
+    /// clients (seed it differently per connection).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 5,
+            base: Duration::from_millis(10),
+            cap: Duration::from_secs(1),
+            seed: 0x5EED,
+        }
+    }
+}
+
 /// A connected protocol client; see the module docs.
 pub struct ServeClient {
     stream: TcpStream,
@@ -54,6 +81,56 @@ impl ServeClient {
         client.send(&Frame::hello())?;
         client.wait_for(|f| matches!(f, Frame::HelloAck { .. }))?;
         Ok(client)
+    }
+
+    /// [`Self::connect`] with bounded, jittered exponential backoff —
+    /// the reconnect path after a server restart. Each failed attempt
+    /// sleeps a random delay in `[budget/2, budget]`, then doubles the
+    /// budget up to [`RetryPolicy::cap`]; after
+    /// [`RetryPolicy::attempts`] failures the last error is returned.
+    pub fn connect_with_retry<A: ToSocketAddrs + Clone>(
+        addr: A,
+        policy: &RetryPolicy,
+    ) -> Result<ServeClient, ServeError> {
+        let mut rng = fw_workload::SplitMix64::seed_from_u64(policy.seed);
+        let mut budget = policy.base.min(policy.cap);
+        let attempts = policy.attempts.max(1);
+        let mut last = None;
+        for attempt in 0..attempts {
+            match ServeClient::connect(addr.clone()) {
+                Ok(client) => return Ok(client),
+                Err(e) => last = Some(e),
+            }
+            if attempt + 1 < attempts {
+                let nanos = budget.as_nanos().min(u128::from(u64::MAX)) as u64;
+                let jittered = nanos / 2 + rng.next_u64() % (nanos / 2 + 1);
+                std::thread::sleep(Duration::from_nanos(jittered));
+                budget = (budget * 2).min(policy.cap);
+            }
+        }
+        Err(last.expect("at least one attempt ran"))
+    }
+
+    /// Asks the server to checkpoint the hosted group now; blocks for
+    /// the ack and returns the snapshot size in bytes.
+    pub fn checkpoint(&mut self) -> Result<u64, ServeError> {
+        self.send(&Frame::Checkpoint)?;
+        match self.wait_for(|f| matches!(f, Frame::CheckpointAck { .. }))? {
+            Frame::CheckpointAck { bytes } => Ok(bytes),
+            _ => unreachable!("wait_for returned a non-matching frame"),
+        }
+    }
+
+    /// Adopts an orphaned query after a server restore, binding it to
+    /// this connection. Returns `(events, watermark)`: the replay
+    /// cursor (events the snapshot already accounted for this query's
+    /// connection) and the restored group watermark.
+    pub fn resume(&mut self, query_id: u32) -> Result<(u64, u64), ServeError> {
+        self.send(&Frame::Resume { query_id })?;
+        match self.wait_for(|f| matches!(f, Frame::ResumeAck { .. }))? {
+            Frame::ResumeAck { events, watermark } => Ok((events, watermark)),
+            _ => unreachable!("wait_for returned a non-matching frame"),
+        }
     }
 
     /// Registers one SQL query and returns its server-assigned id.

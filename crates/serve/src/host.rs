@@ -15,9 +15,10 @@
 
 use crate::ServeError;
 use fw_core::{
-    CostModel, GroupMember, GroupOptimizer, GroupStrategy, PlanChoice, QueryId, Semantics,
-    SharingPolicy, WindowQuery,
+    CostModel, GroupMember, GroupOptimizer, GroupPlan, GroupStrategy, PlanChoice, QueryId,
+    Semantics, SharingPolicy, WindowQuery,
 };
+use fw_engine::checkpoint::{self as ckpt, CheckpointError, CheckpointResult};
 use fw_engine::{ExecStats, GroupExec, GroupResult, Parallelism, PipelineOptions};
 
 /// Compilation knobs for the hosted group, fixed for the host's lifetime.
@@ -174,8 +175,13 @@ impl GroupHost {
                     element_work: self.config.element_work,
                     out_of_order: self.config.out_of_order,
                 };
-                let mut exec =
-                    GroupExec::compile(&plan, options, self.config.parallelism.shard_count())?;
+                // Durable compile: every member runs on the slot-based
+                // group core, so the host can checkpoint at any moment.
+                let mut exec = GroupExec::compile_durable(
+                    &plan,
+                    options,
+                    self.config.parallelism.shard_count(),
+                )?;
                 // Fast-forward the fresh executor to the stream horizon
                 // so ordering checks and instance sealing line up with
                 // what earlier generations already consumed.
@@ -278,6 +284,138 @@ impl GroupHost {
         }
         total
     }
+
+    /// Re-derives the [`GroupPlan`] the running executor was compiled
+    /// from: the optimizer is deterministic, so planning the current
+    /// member set under the pinned policy reproduces it exactly.
+    fn current_plan(&self) -> CheckpointResult<GroupPlan> {
+        let policy = self.pinned.ok_or(CheckpointError::Unsupported {
+            reason: "running executor without a pinned sharing policy",
+        })?;
+        GroupOptimizer::new(self.config.model)
+            .plan(
+                &self.members,
+                self.config.choice,
+                policy,
+                self.config.semantics,
+            )
+            .map_err(|_| CheckpointError::BadValue {
+                what: "host member set does not re-plan",
+            })
+    }
+
+    /// Serializes the host — member registry, watermark horizon,
+    /// lifetime accounting, and (when a group is running) the full
+    /// executor state — as a [`ckpt::KIND_HOST`] snapshot. Checkpointing
+    /// is transparent: the live host streams on with identical results.
+    pub fn checkpoint<W: std::io::Write + ?Sized>(&mut self, w: &mut W) -> CheckpointResult<()> {
+        ckpt::write_header(w, ckpt::KIND_HOST)?;
+        ckpt::put_u32(w, self.next_id)?;
+        ckpt::put_u8(
+            w,
+            match self.pinned {
+                None => 0,
+                Some(SharingPolicy::Shared) => 1,
+                _ => 2,
+            },
+        )?;
+        ckpt::put_u64(w, self.horizon)?;
+        ckpt::put_u64(w, self.replans)?;
+        ckpt::put_stats(w, &self.retired_stats)?;
+        ckpt::put_u32(w, ckpt::count_u32(self.members.len(), "host member count")?)?;
+        for member in &self.members {
+            ckpt::put_u32(w, member.id.0)?;
+            ckpt::put_u64(w, member.since)?;
+            ckpt::put_query(w, &member.query)?;
+        }
+        if self.exec.is_none() {
+            return ckpt::put_u8(w, 0);
+        }
+        ckpt::put_u8(w, 1)?;
+        let plan = self.current_plan()?;
+        self.exec
+            .as_mut()
+            .expect("checked above")
+            .checkpoint(&plan, w)
+    }
+
+    /// Restores a host from a [`Self::checkpoint`] snapshot. The
+    /// `config` supplies everything the snapshot deliberately omits —
+    /// cost model, plan/sharing policy, parallelism — so a checkpoint
+    /// taken at N shards restores into however many `config` asks for
+    /// (elastic rescale), byte-identical results either way.
+    pub fn restore<R: std::io::Read + ?Sized>(
+        config: HostConfig,
+        r: &mut R,
+    ) -> CheckpointResult<GroupHost> {
+        ckpt::read_header(r, ckpt::KIND_HOST)?;
+        let next_id = ckpt::get_u32(r, "host next id")?;
+        let pinned = match ckpt::get_u8(r, "host pinned policy")? {
+            0 => None,
+            1 => Some(SharingPolicy::Shared),
+            2 => Some(SharingPolicy::Unshared),
+            _ => {
+                return Err(CheckpointError::BadValue {
+                    what: "host pinned policy code",
+                })
+            }
+        };
+        let horizon = ckpt::get_u64(r, "host horizon")?;
+        let replans = ckpt::get_u64(r, "host replans")?;
+        let retired_stats = ckpt::get_stats(r)?;
+        let member_count = ckpt::get_u32(r, "host member count")? as usize;
+        let mut members = Vec::with_capacity(member_count.min(1024));
+        for _ in 0..member_count {
+            let id = QueryId(ckpt::get_u32(r, "host member id")?);
+            let since = ckpt::get_u64(r, "host member since")?;
+            let query = ckpt::get_query(r)?;
+            members.push(GroupMember { id, query, since });
+        }
+        let exec = match ckpt::get_u8(r, "host executor flag")? {
+            0 => None,
+            1 => {
+                let policy = pinned.ok_or(CheckpointError::BadValue {
+                    what: "checkpointed executor without a pinned sharing policy",
+                })?;
+                let plan = GroupOptimizer::new(config.model)
+                    .plan(&members, config.choice, policy, config.semantics)
+                    .map_err(|_| CheckpointError::BadValue {
+                        what: "checkpointed member set does not re-plan",
+                    })?;
+                let options = PipelineOptions {
+                    collect: true,
+                    element_work: config.element_work,
+                    out_of_order: config.out_of_order,
+                };
+                Some(GroupExec::restore(
+                    &plan,
+                    options,
+                    config.parallelism.shard_count(),
+                    r,
+                )?)
+            }
+            _ => {
+                return Err(CheckpointError::BadValue {
+                    what: "host executor flag",
+                })
+            }
+        };
+        if exec.is_none() && !members.is_empty() {
+            return Err(CheckpointError::BadValue {
+                what: "checkpointed members without an executor",
+            });
+        }
+        Ok(GroupHost {
+            config,
+            exec,
+            members,
+            next_id,
+            pinned,
+            horizon,
+            replans,
+            retired_stats,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -353,6 +491,105 @@ mod tests {
         assert!(second.iter().all(|r| r.query == q1));
         assert!(second.iter().all(|r| r.result.interval.start >= 80));
         assert!(host.replans() >= 2);
+    }
+
+    #[test]
+    fn host_checkpoint_restores_and_rescales() {
+        let bits = |rows: Vec<GroupResult>| {
+            fw_engine::sorted_group_results(rows)
+                .into_iter()
+                .map(|r| {
+                    (
+                        r.query.0,
+                        r.result.window,
+                        r.result.interval.start,
+                        r.result.key,
+                        r.result.agg,
+                        r.result.value.to_bits(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let mut host = GroupHost::new(HostConfig::default());
+        let q0 = host
+            .register(query(&[10, 20], AggregateFunction::Sum))
+            .unwrap();
+        let q1 = host
+            .register(query(&[20, 40], AggregateFunction::Median))
+            .unwrap();
+        feed(&mut host, 0..100);
+        host.advance_watermark(80).unwrap();
+        let _delivered = host.poll_results();
+
+        let wm_at_checkpoint = host.watermark();
+        let mut bytes = Vec::new();
+        host.checkpoint(&mut bytes).unwrap();
+
+        // Checkpointing is transparent: the live host streams on and
+        // serves as the oracle for the restored replica.
+        feed(&mut host, 100..200);
+        host.advance_watermark(260).unwrap();
+        let oracle_tail = host.poll_results();
+
+        // Restore into a *sharded* host (elastic rescale) and replay the
+        // exact stream suffix the snapshot's cursor excludes.
+        let config = HostConfig {
+            parallelism: Parallelism::Fixed(3),
+            ..HostConfig::default()
+        };
+        let mut restored = GroupHost::restore(config, &mut bytes.as_slice()).unwrap();
+        assert_eq!(restored.queries(), vec![q0, q1]);
+        assert_eq!(restored.watermark(), wm_at_checkpoint);
+        feed(&mut restored, 100..200);
+        restored.advance_watermark(260).unwrap();
+        let tail = restored.poll_results();
+        assert_eq!(bits(tail), bits(oracle_tail));
+        assert_eq!(restored.replans(), host.replans());
+    }
+
+    #[test]
+    fn empty_host_checkpoint_round_trips() {
+        let mut host = GroupHost::new(HostConfig::default());
+        feed(&mut host, 0..50);
+        host.advance_watermark(50).unwrap();
+        let wm_at_checkpoint = host.watermark();
+        let mut bytes = Vec::new();
+        host.checkpoint(&mut bytes).unwrap();
+        let mut restored =
+            GroupHost::restore(HostConfig::default(), &mut bytes.as_slice()).unwrap();
+        assert!(restored.is_empty());
+        assert_eq!(restored.watermark(), wm_at_checkpoint);
+        // A fresh generation founds at the preserved horizon.
+        let q = restored
+            .register(query(&[10], AggregateFunction::Max))
+            .unwrap();
+        feed(&mut restored, 50..90);
+        restored.advance_watermark(90).unwrap();
+        let rows = restored.poll_results();
+        assert!(!rows.is_empty());
+        assert!(rows.iter().all(|r| r.query == q));
+        assert!(rows.iter().all(|r| r.result.interval.start >= 50));
+    }
+
+    #[test]
+    fn corrupt_host_snapshots_fail_loudly() {
+        let mut host = GroupHost::new(HostConfig::default());
+        host.register(query(&[10], AggregateFunction::Sum)).unwrap();
+        feed(&mut host, 0..30);
+        let mut bytes = Vec::new();
+        host.checkpoint(&mut bytes).unwrap();
+        for cut in 0..bytes.len() {
+            assert!(
+                GroupHost::restore(HostConfig::default(), &mut bytes[..cut].as_ref()).is_err(),
+                "truncation at {cut} must not restore"
+            );
+        }
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            GroupHost::restore(HostConfig::default(), &mut bad.as_slice()),
+            Err(CheckpointError::BadMagic)
+        ));
     }
 
     #[test]

@@ -41,11 +41,11 @@ pub mod metrics;
 pub mod server;
 pub mod wire;
 
-pub use client::ServeClient;
+pub use client::{RetryPolicy, ServeClient};
 pub use host::{GroupHost, HostConfig};
 pub use loadgen::{run_load, stream_plan, LoadGenConfig, LoadReport, StreamPlan};
 pub use metrics::{Metrics, MetricsSnapshot};
-pub use server::{Overflow, ServeConfig, Server, ServerHandle};
+pub use server::{Overflow, ServeConfig, Server, ServerHandle, FAULT_PANIC_SQL};
 pub use wire::{Frame, LagKind, WireError};
 
 /// Anything that can go wrong in the serving layer: local wire/protocol

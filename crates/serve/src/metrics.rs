@@ -52,6 +52,14 @@ pub struct Metrics {
     pub registrations: AtomicU64,
     /// Successful query deregistrations (disconnect cleanups included).
     pub deregistrations: AtomicU64,
+    /// Checkpoint snapshots successfully written to disk.
+    pub checkpoints_written: AtomicU64,
+    /// Checkpoint attempts that failed to encode or persist.
+    pub checkpoint_errors: AtomicU64,
+    /// Orphaned queries re-adopted through `Resume` after a restore.
+    pub resumes: AtomicU64,
+    /// Engine-thread panics contained by the poisoned-flag shutdown.
+    pub engine_panics: AtomicU64,
 
     // Gauges.
     /// Currently open connections.
@@ -68,6 +76,8 @@ pub struct Metrics {
     pub watermark: AtomicU64,
     /// Maximum event timestamp pushed so far.
     pub max_event_time: AtomicU64,
+    /// Size in bytes of the most recent checkpoint snapshot.
+    pub checkpoint_bytes_last: AtomicU64,
 
     per_query: Mutex<BTreeMap<u32, QueryStats>>,
 }
@@ -106,6 +116,10 @@ impl Metrics {
             replans: AtomicU64::new(0),
             registrations: AtomicU64::new(0),
             deregistrations: AtomicU64::new(0),
+            checkpoints_written: AtomicU64::new(0),
+            checkpoint_errors: AtomicU64::new(0),
+            resumes: AtomicU64::new(0),
+            engine_panics: AtomicU64::new(0),
             active_connections: AtomicU64::new(0),
             registered_queries: AtomicU64::new(0),
             ingest_queue_depth: AtomicU64::new(0),
@@ -113,6 +127,7 @@ impl Metrics {
             outbox_high_water: AtomicU64::new(0),
             watermark: AtomicU64::new(0),
             max_event_time: AtomicU64::new(0),
+            checkpoint_bytes_last: AtomicU64::new(0),
             per_query: Mutex::new(BTreeMap::new()),
         }
     }
@@ -207,6 +222,11 @@ impl Metrics {
             replans: load(&self.replans),
             registrations: load(&self.registrations),
             deregistrations: load(&self.deregistrations),
+            checkpoints_written: load(&self.checkpoints_written),
+            checkpoint_errors: load(&self.checkpoint_errors),
+            checkpoint_bytes_last: load(&self.checkpoint_bytes_last),
+            resumes: load(&self.resumes),
+            engine_panics: load(&self.engine_panics),
             ingest_queue_depth: load(&self.ingest_queue_depth),
             ingest_queue_high_water: load(&self.ingest_queue_high_water),
             outbox_high_water: load(&self.outbox_high_water),
@@ -257,6 +277,11 @@ pub struct MetricsSnapshot {
     pub replans: u64,
     pub registrations: u64,
     pub deregistrations: u64,
+    pub checkpoints_written: u64,
+    pub checkpoint_errors: u64,
+    pub checkpoint_bytes_last: u64,
+    pub resumes: u64,
+    pub engine_panics: u64,
     pub ingest_queue_depth: u64,
     pub ingest_queue_high_water: u64,
     pub outbox_high_water: u64,
@@ -304,6 +329,14 @@ impl MetricsSnapshot {
             ("replans".into(), n(self.replans)),
             ("registrations".into(), n(self.registrations)),
             ("deregistrations".into(), n(self.deregistrations)),
+            ("checkpoints_written".into(), n(self.checkpoints_written)),
+            ("checkpoint_errors".into(), n(self.checkpoint_errors)),
+            (
+                "checkpoint_bytes_last".into(),
+                n(self.checkpoint_bytes_last),
+            ),
+            ("resumes".into(), n(self.resumes)),
+            ("engine_panics".into(), n(self.engine_panics)),
             ("ingest_queue_depth".into(), n(self.ingest_queue_depth)),
             (
                 "ingest_queue_high_water".into(),
@@ -362,6 +395,11 @@ impl MetricsSnapshot {
             replans: field("replans")?,
             registrations: field("registrations")?,
             deregistrations: field("deregistrations")?,
+            checkpoints_written: field("checkpoints_written")?,
+            checkpoint_errors: field("checkpoint_errors")?,
+            checkpoint_bytes_last: field("checkpoint_bytes_last")?,
+            resumes: field("resumes")?,
+            engine_panics: field("engine_panics")?,
             ingest_queue_depth: field("ingest_queue_depth")?,
             ingest_queue_high_water: field("ingest_queue_high_water")?,
             outbox_high_water: field("outbox_high_water")?,

@@ -45,10 +45,13 @@ use crate::wire::{
 };
 use crate::ServeError;
 use fw_core::QueryId;
+use fw_engine::checkpoint::{self as ckpt, CheckpointResult};
 use fw_engine::{EventBatch, GroupResult};
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
@@ -79,6 +82,20 @@ pub struct ServeConfig {
     pub overflow: Overflow,
     /// The hosted group's compilation knobs.
     pub host: HostConfig,
+    /// Where periodic and client-requested checkpoints are persisted
+    /// (atomic write-then-rename). `None` keeps explicit checkpoints
+    /// in-memory only (the client still gets a size ack).
+    pub checkpoint_path: Option<PathBuf>,
+    /// Write a checkpoint to [`Self::checkpoint_path`] every N processed
+    /// watermark announcements; `0` disables periodic checkpointing.
+    pub checkpoint_every: u64,
+    /// Seed the hosted group from this snapshot file at bind time.
+    /// Restored queries start orphaned until a client [`Frame::Resume`]s
+    /// them.
+    pub restore_from: Option<PathBuf>,
+    /// Test-only fault hooks (magic SQL strings that panic the engine
+    /// thread). Never enable outside a harness.
+    pub fault_injection: bool,
 }
 
 impl Default for ServeConfig {
@@ -88,9 +105,17 @@ impl Default for ServeConfig {
             outbox_depth: 1024,
             overflow: Overflow::Block,
             host: HostConfig::default(),
+            checkpoint_path: None,
+            checkpoint_every: 0,
+            restore_from: None,
+            fault_injection: false,
         }
     }
 }
+
+/// Registering this SQL text with [`ServeConfig::fault_injection`] on
+/// panics the engine thread — the crash-containment regression hook.
+pub const FAULT_PANIC_SQL: &str = "__fw_fault_panic__";
 
 /// Commands the reader threads feed the engine thread.
 enum Cmd {
@@ -101,8 +126,19 @@ enum Cmd {
     Watermark { conn: u64, watermark: u64 },
     Stats { conn: u64 },
     Finish { conn: u64 },
+    Checkpoint { conn: u64 },
+    Resume { conn: u64, query_id: u32 },
     Disconnect { conn: u64 },
     Shutdown,
+}
+
+/// State restored from a snapshot file at bind time, handed to the
+/// engine thread when the server runs.
+struct EngineSeed {
+    host: GroupHost,
+    /// Replay cursors (events accounted per query) from the snapshot's
+    /// trailing cursor table; handed back on [`Frame::Resume`].
+    cursors: HashMap<u32, u64>,
 }
 
 /// A bounded, depth-tracked handle on one connection's outbound frame
@@ -153,6 +189,8 @@ pub struct Server {
     /// is dropped when its connection loop exits (no fd leak); used to
     /// shut every client down on stop.
     sockets: Arc<Mutex<HashMap<u64, TcpStream>>>,
+    /// Host + cursors restored from [`ServeConfig::restore_from`].
+    seed: Option<EngineSeed>,
 }
 
 impl std::fmt::Debug for Server {
@@ -166,13 +204,22 @@ impl std::fmt::Debug for Server {
 impl Server {
     /// Binds `addr` (use port `0` for an ephemeral port; read it back
     /// with [`Self::local_addr`]).
+    ///
+    /// With [`ServeConfig::restore_from`] set the snapshot is read and
+    /// validated here — a torn or corrupt file fails the bind rather
+    /// than the first client.
     pub fn bind<A: ToSocketAddrs>(addr: A, config: ServeConfig) -> std::io::Result<Server> {
+        let seed = match &config.restore_from {
+            Some(path) => Some(read_snapshot(path, config.host.clone())?),
+            None => None,
+        };
         Ok(Server {
             listener: TcpListener::bind(addr)?,
             config,
             metrics: Arc::new(Metrics::new()),
             stop: Arc::new(AtomicBool::new(false)),
             sockets: Arc::new(Mutex::new(HashMap::new())),
+            seed,
         })
     }
 
@@ -191,46 +238,86 @@ impl Server {
     /// Runs the accept loop on the current thread until a
     /// [`ServerHandle::stop`] (or listener failure), then drains and
     /// joins the engine.
+    ///
+    /// Panics on either side are contained, never strand the other: an
+    /// engine panic trips the stop flag and tears every connection down
+    /// (readers and writers unblock and exit); an accept-loop panic
+    /// still runs the same teardown before returning.
     pub fn run(self) {
-        let (cmd_tx, cmd_rx) = sync_channel::<Cmd>(self.config.queue_depth);
+        let Server {
+            listener,
+            config,
+            metrics,
+            stop,
+            sockets,
+            seed,
+        } = self;
+        let addr = listener.local_addr().ok();
+        let (cmd_tx, cmd_rx) = sync_channel::<Cmd>(config.queue_depth);
         let engine = {
-            let metrics = Arc::clone(&self.metrics);
-            let host_config = self.config.host.clone();
-            std::thread::spawn(move || engine_loop(cmd_rx, &metrics, host_config))
-        };
-        let mut next_conn = 0u64;
-        for stream in self.listener.incoming() {
-            if self.stop.load(Ordering::SeqCst) {
-                break;
-            }
-            let Ok(stream) = stream else {
-                // Persistent accept failures (e.g. EMFILE) would
-                // otherwise busy-spin this loop; back off briefly.
-                std::thread::sleep(std::time::Duration::from_millis(50));
-                continue;
-            };
-            let conn = next_conn;
-            next_conn += 1;
-            if let Ok(clone) = stream.try_clone() {
-                self.sockets.lock().unwrap().insert(conn, clone);
-            }
-            let tx = cmd_tx.clone();
-            let metrics = Arc::clone(&self.metrics);
-            let config = self.config.clone();
-            let sockets = Arc::clone(&self.sockets);
+            let metrics = Arc::clone(&metrics);
+            let config = config.clone();
+            let stop = Arc::clone(&stop);
+            let sockets = Arc::clone(&sockets);
             std::thread::spawn(move || {
-                connection_loop(stream, conn, &tx, &metrics, &config);
-                sockets.lock().unwrap().remove(&conn);
-            });
-        }
-        // Stop: unblock readers so they release their queue slots, then
-        // ask the engine to wind down.
-        for socket in self.sockets.lock().unwrap().values() {
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    engine_loop(cmd_rx, &metrics, &config, seed);
+                }));
+                if outcome.is_err() {
+                    // The host is poisoned. Flag the server stopped and
+                    // shut every socket so no reader blocks on a dead
+                    // queue and no client waits on a reply that will
+                    // never come.
+                    Metrics::add(&metrics.engine_panics, 1);
+                    stop.store(true, Ordering::SeqCst);
+                    for socket in sockets.lock().unwrap().values() {
+                        let _ = socket.shutdown(Shutdown::Both);
+                    }
+                    if let Some(addr) = addr {
+                        // Wake the blocking accept so run() can return.
+                        let _ = TcpStream::connect(addr);
+                    }
+                }
+            })
+        };
+        let accepting = catch_unwind(AssertUnwindSafe(|| {
+            let mut next_conn = 0u64;
+            for stream in listener.incoming() {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else {
+                    // Persistent accept failures (e.g. EMFILE) would
+                    // otherwise busy-spin this loop; back off briefly.
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                    continue;
+                };
+                let conn = next_conn;
+                next_conn += 1;
+                if let Ok(clone) = stream.try_clone() {
+                    sockets.lock().unwrap().insert(conn, clone);
+                }
+                let tx = cmd_tx.clone();
+                let metrics = Arc::clone(&metrics);
+                let config = config.clone();
+                let sockets = Arc::clone(&sockets);
+                std::thread::spawn(move || {
+                    connection_loop(stream, conn, &tx, &metrics, &config);
+                    sockets.lock().unwrap().remove(&conn);
+                });
+            }
+        }));
+        // Teardown runs whether the accept loop stopped or panicked:
+        // unblock readers so they release their queue slots, then ask
+        // the engine to wind down.
+        stop.store(true, Ordering::SeqCst);
+        for socket in sockets.lock().unwrap().values() {
             let _ = socket.shutdown(Shutdown::Both);
         }
         let _ = cmd_tx.send(Cmd::Shutdown);
         drop(cmd_tx);
         let _ = engine.join();
+        drop(accepting);
     }
 
     /// Runs the server on a background thread and returns a stop handle.
@@ -451,6 +538,8 @@ fn connection_loop(
             Frame::Watermark { watermark } => Cmd::Watermark { conn, watermark },
             Frame::Stats => Cmd::Stats { conn },
             Frame::Finish => Cmd::Finish { conn },
+            Frame::Checkpoint => Cmd::Checkpoint { conn },
+            Frame::Resume { query_id } => Cmd::Resume { conn, query_id },
             _ => {
                 outbox.try_send(
                     Frame::Error {
@@ -545,10 +634,21 @@ struct ConnState {
 
 /// The engine thread: serial owner of the [`GroupHost`] and the
 /// query→connection routing table.
-fn engine_loop(rx: Receiver<Cmd>, metrics: &Metrics, host_config: HostConfig) {
-    let mut host = GroupHost::new(host_config);
+fn engine_loop(
+    rx: Receiver<Cmd>,
+    metrics: &Metrics,
+    config: &ServeConfig,
+    seed: Option<EngineSeed>,
+) {
+    // Restored queries begin orphaned: alive in the host, constrained by
+    // their snapshot cursor, owned by nobody until a Resume adopts them.
+    let (mut host, mut orphans) = match seed {
+        Some(seed) => (seed.host, seed.cursors),
+        None => (GroupHost::new(config.host.clone()), HashMap::new()),
+    };
     let mut conns: HashMap<u64, ConnState> = HashMap::new();
     let mut owners: HashMap<u32, u64> = HashMap::new();
+    let mut watermark_ticks = 0u64;
     while let Ok(cmd) = rx.recv() {
         if !matches!(cmd, Cmd::Connect { .. } | Cmd::Shutdown) {
             // Connect/Shutdown bypass the depth accounting (they are
@@ -571,6 +671,9 @@ fn engine_loop(rx: Receiver<Cmd>, metrics: &Metrics, host_config: HostConfig) {
                 );
             }
             Cmd::Register { conn, sql } => {
+                if config.fault_injection && sql == FAULT_PANIC_SQL {
+                    panic!("fault injection: engine panic requested by {FAULT_PANIC_SQL}");
+                }
                 let reply = match host.register_sql(&sql) {
                     Ok(id) => {
                         owners.insert(id.0, conn);
@@ -642,6 +745,47 @@ fn engine_loop(rx: Receiver<Cmd>, metrics: &Metrics, host_config: HostConfig) {
                     reply_to(conn, error_frame(&e), &conns, metrics);
                 });
                 route_results(host.poll_results(), &owners, &mut conns, metrics);
+                watermark_ticks += 1;
+                if config.checkpoint_every > 0
+                    && config.checkpoint_path.is_some()
+                    && watermark_ticks.is_multiple_of(config.checkpoint_every)
+                {
+                    let _ =
+                        persist_checkpoint(&mut host, &conns, &owners, &orphans, config, metrics);
+                }
+            }
+            Cmd::Checkpoint { conn } => {
+                let reply =
+                    match persist_checkpoint(&mut host, &conns, &owners, &orphans, config, metrics)
+                    {
+                        Ok(bytes) => Frame::CheckpointAck { bytes },
+                        Err(message) => Frame::Error {
+                            code: error_code::ENGINE,
+                            message,
+                        },
+                    };
+                reply_to(conn, reply, &conns, metrics);
+            }
+            Cmd::Resume { conn, query_id } => {
+                let orphaned =
+                    host.queries().contains(&QueryId(query_id)) && !owners.contains_key(&query_id);
+                let reply = if orphaned {
+                    owners.insert(query_id, conn);
+                    let events = orphans.remove(&query_id).unwrap_or(0);
+                    if let Some(state) = conns.get_mut(&conn) {
+                        state.queries.push(query_id);
+                        state.events = events;
+                    }
+                    Metrics::add(&metrics.resumes, 1);
+                    metrics.query_registered(query_id);
+                    Frame::ResumeAck {
+                        events,
+                        watermark: host.watermark(),
+                    }
+                } else {
+                    error_frame(&ServeError::UnknownQuery { id: query_id })
+                };
+                reply_to(conn, reply, &conns, metrics);
             }
             Cmd::Stats { conn } => {
                 refresh_gauges(&host, metrics);
@@ -769,6 +913,113 @@ fn reply_to(conn: u64, frame: Frame, conns: &HashMap<u64, ConnState>, metrics: &
     if let Some(state) = conns.get(&conn) {
         state.outbox.try_send(frame, metrics);
     }
+}
+
+/// Encodes the full server snapshot: the hosted group's checkpoint
+/// followed by a replay-cursor table (one `(query_id, events)` entry per
+/// registered query, sorted by id for deterministic bytes).
+fn encode_snapshot(
+    host: &mut GroupHost,
+    conns: &HashMap<u64, ConnState>,
+    owners: &HashMap<u32, u64>,
+    orphans: &HashMap<u32, u64>,
+) -> CheckpointResult<Vec<u8>> {
+    let mut bytes = Vec::new();
+    host.checkpoint(&mut bytes)?;
+    let mut cursors: Vec<(u32, u64)> = host
+        .queries()
+        .into_iter()
+        .map(|q| {
+            let events = owners
+                .get(&q.0)
+                .and_then(|conn| conns.get(conn))
+                .map(|state| state.events)
+                .or_else(|| orphans.get(&q.0).copied())
+                .unwrap_or(0);
+            (q.0, events)
+        })
+        .collect();
+    cursors.sort_unstable();
+    ckpt::put_u32(&mut bytes, ckpt::count_u32(cursors.len(), "cursor table")?)?;
+    for (query_id, events) in cursors {
+        ckpt::put_u32(&mut bytes, query_id)?;
+        ckpt::put_u64(&mut bytes, events)?;
+    }
+    Ok(bytes)
+}
+
+/// Reads and fully validates a snapshot file written by
+/// [`persist_checkpoint`]; any truncation, corruption, or trailing junk
+/// is an `InvalidData` error.
+fn read_snapshot(path: &Path, host_config: HostConfig) -> std::io::Result<EngineSeed> {
+    let bytes = std::fs::read(path)?;
+    let invalid = |message: String| std::io::Error::new(std::io::ErrorKind::InvalidData, message);
+    let mut r = bytes.as_slice();
+    let host = GroupHost::restore(host_config, &mut r)
+        .map_err(|e| invalid(format!("restore {}: {e}", path.display())))?;
+    let map_err = |e: fw_engine::checkpoint::CheckpointError| {
+        invalid(format!("restore {}: {e}", path.display()))
+    };
+    let count = ckpt::get_u32(&mut r, "cursor table").map_err(map_err)?;
+    let mut cursors = HashMap::new();
+    for _ in 0..count {
+        let query_id = ckpt::get_u32(&mut r, "cursor query id").map_err(map_err)?;
+        let events = ckpt::get_u64(&mut r, "cursor events").map_err(map_err)?;
+        cursors.insert(query_id, events);
+    }
+    if !r.is_empty() {
+        return Err(invalid(format!(
+            "restore {}: {} trailing bytes after snapshot",
+            path.display(),
+            r.len()
+        )));
+    }
+    Ok(EngineSeed { host, cursors })
+}
+
+/// Serializes the snapshot and — when a path is configured — persists
+/// it atomically (write to `<path>.tmp`, fsync, rename): a crash during
+/// the write leaves the previous complete snapshot, never a torn file.
+/// Returns the snapshot size; updates the checkpoint metrics either way.
+fn persist_checkpoint(
+    host: &mut GroupHost,
+    conns: &HashMap<u64, ConnState>,
+    owners: &HashMap<u32, u64>,
+    orphans: &HashMap<u32, u64>,
+    config: &ServeConfig,
+    metrics: &Metrics,
+) -> Result<u64, String> {
+    let bytes = match encode_snapshot(host, conns, owners, orphans) {
+        Ok(bytes) => bytes,
+        Err(e) => {
+            Metrics::add(&metrics.checkpoint_errors, 1);
+            return Err(format!("checkpoint failed: {e}"));
+        }
+    };
+    if let Some(path) = &config.checkpoint_path {
+        if let Err(e) = write_checkpoint_file(path, &bytes) {
+            Metrics::add(&metrics.checkpoint_errors, 1);
+            return Err(format!("write checkpoint {}: {e}", path.display()));
+        }
+    }
+    Metrics::add(&metrics.checkpoints_written, 1);
+    metrics
+        .checkpoint_bytes_last
+        .store(bytes.len() as u64, Ordering::Relaxed);
+    Ok(bytes.len() as u64)
+}
+
+/// Atomic checkpoint write: temp file + fsync + rename.
+fn write_checkpoint_file(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
 }
 
 /// Maps a [`ServeError`] onto a wire error frame.

@@ -147,7 +147,7 @@ impl LagKind {
 }
 
 /// One protocol frame, either direction. Client→server kinds occupy
-/// `0x01..=0x07`, server→client kinds `0x81..=0x88`.
+/// `0x01..=0x09`, server→client kinds `0x81..=0x8A`.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
     /// Client hello: protocol magic + version. Must be the first frame.
@@ -183,6 +183,17 @@ pub enum Frame {
     /// Declare this connection done pushing; the server stops counting
     /// it toward the group watermark and replies [`Frame::Finished`].
     Finish,
+    /// Ask the server to take a durable checkpoint now (written to its
+    /// configured path, or serialized in memory when none is set).
+    /// Replies [`Frame::CheckpointAck`].
+    Checkpoint,
+    /// Adopt a query restored from a checkpoint that has no owning
+    /// connection yet (session resume after a server restart). Replies
+    /// [`Frame::ResumeAck`].
+    Resume {
+        /// The query id from the previous session.
+        query_id: u32,
+    },
 
     /// Server hello ack: the magic + version the server speaks.
     HelloAck {
@@ -236,6 +247,19 @@ pub enum Frame {
         /// Result rows delivered to this connection.
         rows: u64,
     },
+    /// Reply to [`Frame::Checkpoint`]: the snapshot was taken.
+    CheckpointAck {
+        /// Size of the serialized snapshot in bytes.
+        bytes: u64,
+    },
+    /// Reply to [`Frame::Resume`]: the caller now owns the query.
+    ResumeAck {
+        /// Events the resumed query's previous session had ingested at
+        /// checkpoint time (the client's replay cursor).
+        events: u64,
+        /// The group watermark after restore.
+        watermark: u64,
+    },
 }
 
 /// Error classes carried by [`Frame::Error`].
@@ -257,6 +281,8 @@ const KIND_PUSH_COLUMNS: u8 = 0x04;
 const KIND_WATERMARK: u8 = 0x05;
 const KIND_STATS: u8 = 0x06;
 const KIND_FINISH: u8 = 0x07;
+const KIND_CHECKPOINT: u8 = 0x08;
+const KIND_RESUME: u8 = 0x09;
 const KIND_HELLO_ACK: u8 = 0x81;
 const KIND_REGISTERED: u8 = 0x82;
 const KIND_DEREGISTERED: u8 = 0x83;
@@ -265,6 +291,8 @@ const KIND_LAGGING: u8 = 0x85;
 const KIND_ERROR: u8 = 0x86;
 const KIND_STATS_JSON: u8 = 0x87;
 const KIND_FINISHED: u8 = 0x88;
+const KIND_CHECKPOINT_ACK: u8 = 0x89;
+const KIND_RESUME_ACK: u8 = 0x8A;
 
 impl Frame {
     /// The frame's kind byte on the wire.
@@ -278,6 +306,8 @@ impl Frame {
             Frame::Watermark { .. } => KIND_WATERMARK,
             Frame::Stats => KIND_STATS,
             Frame::Finish => KIND_FINISH,
+            Frame::Checkpoint => KIND_CHECKPOINT,
+            Frame::Resume { .. } => KIND_RESUME,
             Frame::HelloAck { .. } => KIND_HELLO_ACK,
             Frame::Registered { .. } => KIND_REGISTERED,
             Frame::Deregistered { .. } => KIND_DEREGISTERED,
@@ -286,6 +316,8 @@ impl Frame {
             Frame::Error { .. } => KIND_ERROR,
             Frame::StatsJson { .. } => KIND_STATS_JSON,
             Frame::Finished { .. } => KIND_FINISHED,
+            Frame::CheckpointAck { .. } => KIND_CHECKPOINT_ACK,
+            Frame::ResumeAck { .. } => KIND_RESUME_ACK,
         }
     }
 
@@ -316,7 +348,13 @@ impl Frame {
             }
             Frame::PushColumns { batch } => encode_batch(batch, buf),
             Frame::Watermark { watermark } => buf.extend_from_slice(&watermark.to_le_bytes()),
-            Frame::Stats | Frame::Finish => {}
+            Frame::Stats | Frame::Finish | Frame::Checkpoint => {}
+            Frame::Resume { query_id } => buf.extend_from_slice(&query_id.to_le_bytes()),
+            Frame::CheckpointAck { bytes } => buf.extend_from_slice(&bytes.to_le_bytes()),
+            Frame::ResumeAck { events, watermark } => {
+                buf.extend_from_slice(&events.to_le_bytes());
+                buf.extend_from_slice(&watermark.to_le_bytes());
+            }
             Frame::Results { query_id, rows } => {
                 buf.extend_from_slice(&query_id.to_le_bytes());
                 buf.extend_from_slice(&(rows.len() as u32).to_le_bytes());
@@ -387,6 +425,17 @@ impl Frame {
             },
             KIND_STATS => Frame::Stats,
             KIND_FINISH => Frame::Finish,
+            KIND_CHECKPOINT => Frame::Checkpoint,
+            KIND_RESUME => Frame::Resume {
+                query_id: r.u32("resume")?,
+            },
+            KIND_CHECKPOINT_ACK => Frame::CheckpointAck {
+                bytes: r.u64("checkpoint ack")?,
+            },
+            KIND_RESUME_ACK => Frame::ResumeAck {
+                events: r.u64("resume ack")?,
+                watermark: r.u64("resume ack")?,
+            },
             KIND_RESULTS => {
                 let query_id = r.u32("results")?;
                 let n = r.u32("results")? as usize;
@@ -687,6 +736,13 @@ mod tests {
             Frame::Finished {
                 events: 10_000,
                 rows: 412,
+            },
+            Frame::Checkpoint,
+            Frame::Resume { query_id: 11 },
+            Frame::CheckpointAck { bytes: 65_536 },
+            Frame::ResumeAck {
+                events: 4_096,
+                watermark: 3_900,
             },
         ];
         for frame in &frames {

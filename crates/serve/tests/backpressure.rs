@@ -28,7 +28,7 @@ fn stalled_subscriber_is_shed_not_buffered() {
     stalled.register(Q_DENSE).unwrap();
 
     let mut feeder = ServeClient::connect(addr).unwrap();
-    let n: u64 = 20_000;
+    let n: u64 = 80_000;
     for chunk in 0..(n / 500) {
         let lo = chunk * 500;
         let times: Vec<u64> = (lo..lo + 500).collect();
@@ -40,15 +40,18 @@ fn stalled_subscriber_is_shed_not_buffered() {
     feeder.finish().unwrap();
 
     let snapshot = metrics.snapshot();
-    // The dense query seals 20_000/8 instances × 4 keys = 10_000 rows;
-    // a 4-deep outbox cannot hold that. Overflow was dropped and
-    // counted, not buffered:
+    // The dense query seals 80_000/8 instances × 4 keys = 40_000 rows
+    // (~1.9 MB over 160 coalesced Results frames) at a subscriber that
+    // never reads: once its socket buffers fill, the writer blocks, the
+    // 4-deep outbox plateaus, and the engine must drop — counted, not
+    // buffered. The volume is sized well past what loopback TCP can
+    // absorb unread, so the overflow is not scheduling-dependent.
     assert!(
         snapshot.results_dropped > 0,
         "expected drops, snapshot: {snapshot:?}"
     );
     assert!(
-        snapshot.results_rows_out + snapshot.results_dropped >= 10_000,
+        snapshot.results_rows_out + snapshot.results_dropped >= 40_000,
         "rows unaccounted for: {snapshot:?}"
     );
     // Bounded memory: the outbox never grew past its configured depth

@@ -46,8 +46,8 @@ use fw_core::{
     PlanChoice, QueryPlan, RateEstimator, Semantics, WindowQuery,
 };
 use fw_engine::{
-    EngineError, Event, ExecStats, Parallelism, PipelineOptions, PlanPipeline, RunOutput,
-    ShardedPipeline, Throughput, WindowResult,
+    CheckpointError, EngineError, Event, ExecStats, Parallelism, PipelineOptions, PlanPipeline,
+    RunOutput, ShardedPipeline, Throughput, WindowResult,
 };
 use fw_sql::ParseError;
 use std::cell::OnceCell;
@@ -68,6 +68,9 @@ pub enum ApiError {
         /// The unresolved id.
         id: fw_core::QueryId,
     },
+    /// A checkpoint could not be written, or a snapshot could not be
+    /// restored (I/O failure, corruption, or a mismatched query).
+    Checkpoint(CheckpointError),
 }
 
 impl fmt::Display for ApiError {
@@ -77,6 +80,7 @@ impl fmt::Display for ApiError {
             ApiError::Optimize(e) => write!(f, "optimizer error: {e}"),
             ApiError::Engine(e) => write!(f, "engine error: {e}"),
             ApiError::UnknownQuery { id } => write!(f, "unknown query {id} in this group"),
+            ApiError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
         }
     }
 }
@@ -98,6 +102,12 @@ impl From<CoreError> for ApiError {
 impl From<EngineError> for ApiError {
     fn from(e: EngineError) -> Self {
         ApiError::Engine(e)
+    }
+}
+
+impl From<CheckpointError> for ApiError {
+    fn from(e: CheckpointError) -> Self {
+        ApiError::Checkpoint(e)
     }
 }
 
@@ -125,6 +135,9 @@ pub struct Session {
     parallelism: Parallelism,
     /// Re-optimization drift threshold; `Some` enables adaptive planning.
     adaptive: Option<f64>,
+    /// Compile onto the slot-based group core so the pipeline can be
+    /// checkpointed ([`Pipeline::checkpoint`]).
+    durable: bool,
     outcome: OnceCell<OptimizationOutcome>,
 }
 
@@ -147,6 +160,7 @@ impl Session {
             element_work: fw_engine::DEFAULT_ELEMENT_WORK,
             parallelism: Parallelism::Sequential,
             adaptive: None,
+            durable: false,
             outcome: OnceCell::new(),
         }
     }
@@ -226,6 +240,18 @@ impl Session {
         self
     }
 
+    /// Makes built pipelines durable: they compile onto the slot-based
+    /// group core (the only core whose pane state is exportable) so
+    /// [`Pipeline::checkpoint`] works. Single-aggregate queries give up
+    /// the monomorphized fast path, exactly as with [`Session::adaptive`]
+    /// (which implies durability). [`Session::restore`] accepts snapshots
+    /// regardless of this flag.
+    #[must_use]
+    pub fn durable(mut self, durable: bool) -> Self {
+        self.durable = durable;
+        self
+    }
+
     /// Shards execution by key across worker threads
     /// ([`fw_engine::ShardedPipeline`]). The default,
     /// [`Parallelism::Sequential`], keeps the single-threaded in-process
@@ -291,29 +317,14 @@ impl Session {
             element_work: self.element_work,
             out_of_order: self.out_of_order,
         };
-        let adaptive = match self.adaptive {
-            None => None,
-            Some(threshold) => {
-                let semantics = semantics.ok_or(CoreError::HolisticFunction {
-                    function: self.query.function().name(),
-                })?;
-                let planner = AdaptivePlanner::from_model(
-                    self.query.clone(),
-                    semantics,
-                    self.model,
-                    threshold,
-                )?;
-                Some(AdaptiveState {
-                    planner,
-                    estimator: RateEstimator::new(ADAPTIVE_EWMA_ALPHA),
-                    requested: self.choice,
-                    observed_max: 0,
-                })
-            }
-        };
-        // Adaptive pipelines swap plans in place, which only the
-        // slot-based group core supports.
-        let backend = match (self.parallelism.shard_count(), adaptive.is_some()) {
+        let adaptive = self.adaptive_state(semantics)?;
+        // Adaptive pipelines swap plans in place and durable pipelines
+        // export their pane state, both of which only the slot-based
+        // group core supports.
+        let backend = match (
+            self.parallelism.shard_count(),
+            adaptive.is_some() || self.durable,
+        ) {
             (0, false) => Backend::Single(PlanPipeline::compile(&bundle.plan, options)?),
             (0, true) => Backend::Single(PlanPipeline::compile_grouped(&bundle.plan, options)?),
             (shards, false) => {
@@ -324,6 +335,67 @@ impl Session {
                 options,
                 shards,
             )?),
+        };
+        Ok(Pipeline {
+            backend,
+            bundle,
+            choice,
+            semantics,
+            adaptive,
+        })
+    }
+
+    /// Builds the [`AdaptiveState`] for this configuration (`None` unless
+    /// [`Session::adaptive`] was set).
+    fn adaptive_state(&self, semantics: Option<Semantics>) -> ApiResult<Option<AdaptiveState>> {
+        match self.adaptive {
+            None => Ok(None),
+            Some(threshold) => {
+                let semantics = semantics.ok_or(CoreError::HolisticFunction {
+                    function: self.query.function().name(),
+                })?;
+                let planner = AdaptivePlanner::from_model(
+                    self.query.clone(),
+                    semantics,
+                    self.model,
+                    threshold,
+                )?;
+                Ok(Some(AdaptiveState {
+                    planner,
+                    estimator: RateEstimator::new(ADAPTIVE_EWMA_ALPHA),
+                    requested: self.choice,
+                    observed_max: 0,
+                }))
+            }
+        }
+    }
+
+    /// Rebuilds a pipeline from a [`Pipeline::checkpoint`] snapshot at
+    /// this session's configuration. The session must describe the same
+    /// query the snapshot was taken from — a snapshot carries no plan;
+    /// slot identities are re-derived by re-running the deterministic
+    /// optimizer. [`Session::parallelism`] may differ freely from the
+    /// checkpointing run: the snapshot is shard-count-free, so a
+    /// checkpoint taken at N shards restores into M worker threads (or
+    /// the single-threaded backend) with byte-identical results.
+    ///
+    /// Restored pipelines are always durable. Adaptive rate-estimator
+    /// state is deliberately not part of a snapshot — a restored adaptive
+    /// session re-learns the observed rate from the replayed stream.
+    pub fn restore<R: std::io::Read + ?Sized>(&self, r: &mut R) -> ApiResult<Pipeline> {
+        let outcome = self.optimize()?;
+        let bundle = outcome.select(self.choice).clone();
+        let choice = outcome.resolve(self.choice);
+        let semantics = outcome.semantics;
+        let options = PipelineOptions {
+            collect: self.collect,
+            element_work: self.element_work,
+            out_of_order: self.out_of_order,
+        };
+        let adaptive = self.adaptive_state(semantics)?;
+        let backend = match self.parallelism.shard_count() {
+            0 => Backend::Single(PlanPipeline::restore(&bundle.plan, options, r)?),
+            shards => Backend::Sharded(ShardedPipeline::restore(&bundle.plan, options, shards, r)?),
         };
         Ok(Pipeline {
             backend,
@@ -520,6 +592,27 @@ impl Pipeline {
         Ok(())
     }
 
+    /// Writes a self-describing binary snapshot of the pipeline's live
+    /// state — open panes, slot accumulators, the reorder buffer,
+    /// undelivered results, cumulative accounting, and the sealing
+    /// watermark — and keeps streaming (checkpointing is transparent: the
+    /// pipeline's subsequent results are unaffected). Restore the bytes
+    /// with [`Session::restore`], then replay the stream suffix starting
+    /// at event number [`Pipeline::events_processed`] as observed at
+    /// checkpoint time; recovery is then exactly-once — no window is
+    /// emitted twice or skipped.
+    ///
+    /// Requires a durable pipeline ([`Session::durable`], implied by
+    /// [`Session::adaptive`] and by [`Session::restore`]); otherwise
+    /// fails with [`CheckpointError::Unsupported`].
+    pub fn checkpoint<W: std::io::Write + ?Sized>(&mut self, w: &mut W) -> ApiResult<()> {
+        match &mut self.backend {
+            Backend::Single(p) => p.checkpoint(&self.bundle.plan, w)?,
+            Backend::Sharded(p) => p.checkpoint(&self.bundle.plan, w)?,
+        }
+        Ok(())
+    }
+
     /// Drains the results collected since the last poll (always empty
     /// unless the session enabled [`Session::collect_results`]). On the
     /// sharded backend this is a synchronizing barrier and the merged
@@ -582,13 +675,14 @@ impl Pipeline {
         self.semantics
     }
 
-    /// Events fed into the operators so far. On the sharded backend this
-    /// counts events routed (staged and in-flight included); the exact
-    /// fed count is in [`RunOutput::events_processed`].
+    /// Events pushed into the pipeline so far, reorder-buffered and
+    /// in-flight ones included — the replay cursor for
+    /// [`Pipeline::checkpoint`]. The exact operator-fed count is in
+    /// [`RunOutput::events_processed`].
     #[must_use]
     pub fn events_processed(&self) -> u64 {
         match &self.backend {
-            Backend::Single(p) => p.events_processed(),
+            Backend::Single(p) => p.events_processed() + p.buffered() as u64,
             Backend::Sharded(p) => p.events_pushed(),
         }
     }
@@ -1001,6 +1095,67 @@ mod tests {
         assert!(matches!(
             err,
             ApiError::Optimize(fw_core::Error::HolisticFunction { .. })
+        ));
+    }
+
+    #[test]
+    fn durable_pipeline_checkpoints_and_restores_across_parallelism() {
+        let events = stream(400);
+        let session = Session::from_query(demo_query())
+            .collect_results(true)
+            .element_work(0)
+            .durable(true)
+            .parallelism(Parallelism::Fixed(2));
+        let reference = session.run_batch(&events).unwrap();
+
+        let mut pipeline = session.build().unwrap();
+        pipeline.push_batch(&events[..250]).unwrap();
+        let cursor = pipeline.events_processed() as usize;
+        assert_eq!(cursor, 250);
+        let mut snapshot = Vec::new();
+        pipeline.checkpoint(&mut snapshot).unwrap();
+
+        // Checkpointing is transparent: the live pipeline streams on.
+        pipeline.push_batch(&events[250..]).unwrap();
+        let live = pipeline.finish().unwrap();
+        assert_eq!(
+            sorted_results(live.results),
+            sorted_results(reference.results.clone())
+        );
+
+        // The snapshot restores at any parallelism (2 -> 0, 2 -> 4).
+        for restorer in [
+            session.clone().parallelism(Parallelism::Sequential),
+            session.clone().parallelism(Parallelism::Fixed(4)),
+        ] {
+            let mut restored = restorer.restore(&mut snapshot.as_slice()).unwrap();
+            restored.push_batch(&events[cursor..]).unwrap();
+            let out = restored.finish().unwrap();
+            assert_eq!(out.events_processed, 400);
+            assert_eq!(
+                sorted_results(out.results),
+                sorted_results(reference.results.clone())
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_requires_a_durable_session() {
+        let mut pipeline = Session::from_query(demo_query()).build().unwrap();
+        let err = pipeline.checkpoint(&mut Vec::new()).unwrap_err();
+        assert!(matches!(
+            err,
+            ApiError::Checkpoint(CheckpointError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn restore_rejects_foreign_bytes() {
+        let session = Session::from_query(demo_query());
+        let err = session.restore(&mut &b"not a checkpoint"[..]).unwrap_err();
+        assert!(matches!(
+            err,
+            ApiError::Checkpoint(CheckpointError::BadMagic)
         ));
     }
 

@@ -53,6 +53,7 @@ use fw_core::{
     Cost, CostModel, Error as CoreError, GroupMember, GroupOptimizer, GroupPlan, GroupStrategy,
     PlanChoice, QueryId, QueryPlan, Semantics, SharingPolicy, WindowQuery,
 };
+use fw_engine::checkpoint::{self as ckpt, CheckpointError};
 use fw_engine::{Event, GroupExec, GroupResult, GroupRunOutput, Parallelism, PipelineOptions};
 use std::collections::BTreeMap;
 
@@ -69,6 +70,7 @@ pub struct QueryGroup {
     collect: bool,
     element_work: u32,
     parallelism: Parallelism,
+    durable: bool,
 }
 
 impl QueryGroup {
@@ -86,6 +88,7 @@ impl QueryGroup {
             collect: false,
             element_work: fw_engine::DEFAULT_ELEMENT_WORK,
             parallelism: Parallelism::Sequential,
+            durable: false,
         }
     }
 
@@ -181,6 +184,18 @@ impl QueryGroup {
         self
     }
 
+    /// Makes the built group durable: every member pipeline compiles onto
+    /// the slot-based group core so [`GroupPipeline::checkpoint`] works.
+    /// Shared-strategy groups are durable regardless of this flag (the
+    /// merged pipeline always runs on that core); the flag matters for
+    /// groups that resolve to the per-query strategy.
+    /// [`QueryGroup::restore`] accepts snapshots regardless.
+    #[must_use]
+    pub fn durable(mut self, durable: bool) -> Self {
+        self.durable = durable;
+        self
+    }
+
     /// The queries registered so far, in id order.
     #[must_use]
     pub fn queries(&self) -> &[WindowQuery] {
@@ -211,7 +226,11 @@ impl QueryGroup {
             element_work: self.element_work,
             out_of_order: self.out_of_order,
         };
-        let exec = GroupExec::compile(&plan, options, self.parallelism.shard_count())?;
+        let exec = if self.durable {
+            GroupExec::compile_durable(&plan, options, self.parallelism.shard_count())?
+        } else {
+            GroupExec::compile(&plan, options, self.parallelism.shard_count())?
+        };
         // The strategy is fixed once streaming starts: later re-plans
         // (register/deregister) pin the resolved strategy so the engine
         // never has to migrate state across execution modes.
@@ -249,6 +268,83 @@ impl QueryGroup {
         let mut pipeline = self.build()?;
         pipeline.push_batch(events)?;
         pipeline.finish()
+    }
+
+    /// Rebuilds a group pipeline from a [`GroupPipeline::checkpoint`]
+    /// snapshot. The member set — including queries registered or
+    /// deregistered while the original streamed — comes from the
+    /// snapshot, not from this builder's [`Self::query`] list; the
+    /// builder supplies the runtime configuration (cost model, semantics,
+    /// collection, out-of-order tolerance, parallelism). The plan itself
+    /// is re-derived by re-running the deterministic cross-query
+    /// optimizer over the snapshot's member registry with the snapshot's
+    /// pinned sharing policy and plan-choice policy, so slot identities
+    /// line up with the serialized state. [`Self::parallelism`] may
+    /// differ freely from the checkpointing run (the snapshot is
+    /// shard-count-free); restored groups are always durable.
+    pub fn restore<R: std::io::Read + ?Sized>(&self, r: &mut R) -> ApiResult<GroupPipeline> {
+        ckpt::read_header(r, ckpt::KIND_GROUP_FACADE)?;
+        let next_id = ckpt::get_u32(r, "next query id")?;
+        let policy = match ckpt::get_u8(r, "pinned sharing policy")? {
+            0 => SharingPolicy::Shared,
+            1 => SharingPolicy::Unshared,
+            _ => {
+                return Err(CheckpointError::BadValue {
+                    what: "pinned sharing policy code",
+                }
+                .into())
+            }
+        };
+        let choice = match ckpt::get_u8(r, "plan choice")? {
+            0 => PlanChoice::Auto,
+            1 => PlanChoice::Original,
+            2 => PlanChoice::Rewritten,
+            3 => PlanChoice::Factored,
+            _ => {
+                return Err(CheckpointError::BadValue {
+                    what: "plan choice code",
+                }
+                .into())
+            }
+        };
+        let count = ckpt::get_u32(r, "member count")?;
+        let mut members = Vec::with_capacity((count as usize).min(1024));
+        for _ in 0..count {
+            let id = QueryId(ckpt::get_u32(r, "member id")?);
+            let since = ckpt::get_u64(r, "member since")?;
+            let query = ckpt::get_query(r)?;
+            members.push(GroupMember { id, query, since });
+        }
+        let count = ckpt::get_u32(r, "label map size")?;
+        let mut labels = BTreeMap::new();
+        for _ in 0..count {
+            let id = ckpt::get_u32(r, "labeled query id")?;
+            let n = ckpt::get_u32(r, "label count")?;
+            let mut list = Vec::with_capacity((n as usize).min(1024));
+            for _ in 0..n {
+                list.push(ckpt::get_str(r, "select label")?);
+            }
+            labels.insert(id, list);
+        }
+        let plan =
+            GroupOptimizer::new(self.model).plan(&members, choice, policy, self.semantics)?;
+        let options = PipelineOptions {
+            collect: self.collect,
+            element_work: self.element_work,
+            out_of_order: self.out_of_order,
+        };
+        let exec = GroupExec::restore(&plan, options, self.parallelism.shard_count(), r)?;
+        Ok(GroupPipeline {
+            exec,
+            members,
+            labels,
+            next_id,
+            plan,
+            model: self.model,
+            semantics: self.semantics,
+            choice,
+            policy,
+        })
     }
 }
 
@@ -395,6 +491,60 @@ impl GroupPipeline {
         )?;
         self.exec.rebuild(&plan, watermark)?;
         self.plan = plan;
+        Ok(())
+    }
+
+    /// Writes a self-describing snapshot of the whole group — the member
+    /// registry (ids, registration watermarks, full queries), retained
+    /// SELECT labels, the pinned sharing policy and plan-choice policy,
+    /// and every backend pipeline's pane state — and keeps streaming.
+    /// Restore with [`QueryGroup::restore`], then replay the stream
+    /// suffix from event number [`Self::events_pushed`] as observed at
+    /// checkpoint time; recovery is exactly-once.
+    ///
+    /// Per-query-strategy groups must have been built with
+    /// [`QueryGroup::durable`]; otherwise this fails with
+    /// [`CheckpointError::Unsupported`].
+    pub fn checkpoint<W: std::io::Write + ?Sized>(&mut self, w: &mut W) -> ApiResult<()> {
+        ckpt::write_header(w, ckpt::KIND_GROUP_FACADE)?;
+        ckpt::put_u32(w, self.next_id)?;
+        ckpt::put_u8(
+            w,
+            match self.policy {
+                SharingPolicy::Shared => 0,
+                SharingPolicy::Unshared => 1,
+                SharingPolicy::Auto => {
+                    return Err(CheckpointError::BadValue {
+                        what: "sharing policy was never pinned",
+                    }
+                    .into())
+                }
+            },
+        )?;
+        ckpt::put_u8(
+            w,
+            match self.choice {
+                PlanChoice::Auto => 0,
+                PlanChoice::Original => 1,
+                PlanChoice::Rewritten => 2,
+                PlanChoice::Factored => 3,
+            },
+        )?;
+        ckpt::put_u32(w, ckpt::count_u32(self.members.len(), "member count")?)?;
+        for member in &self.members {
+            ckpt::put_u32(w, member.id.0)?;
+            ckpt::put_u64(w, member.since)?;
+            ckpt::put_query(w, &member.query)?;
+        }
+        ckpt::put_u32(w, ckpt::count_u32(self.labels.len(), "label map size")?)?;
+        for (id, list) in &self.labels {
+            ckpt::put_u32(w, *id)?;
+            ckpt::put_u32(w, ckpt::count_u32(list.len(), "label count")?)?;
+            for label in list {
+                ckpt::put_str(w, label)?;
+            }
+        }
+        self.exec.checkpoint(&self.plan, w)?;
         Ok(())
     }
 
@@ -630,6 +780,82 @@ mod tests {
     fn empty_group_does_not_build() {
         let err = QueryGroup::new().build().unwrap_err();
         assert!(matches!(err, ApiError::Optimize(CoreError::EmptyGroup)));
+    }
+
+    #[test]
+    fn group_checkpoint_restores_the_registry_and_rescales() {
+        let mut group = QueryGroup::new()
+            .query(query(&[20, 40], AggregateFunction::Sum))
+            .query(query(&[20, 60], AggregateFunction::Count))
+            .sharing(SharingPolicy::Shared)
+            .collect_results(true)
+            .element_work(0)
+            .build()
+            .unwrap();
+        let events = stream(480);
+        group.push_batch(&events[..240]).unwrap();
+        group.advance_watermark(240).unwrap();
+        let late = group
+            .register(query(&[30, 60], AggregateFunction::Min))
+            .unwrap();
+        group.push_batch(&events[240..300]).unwrap();
+        let cursor = group.events_pushed() as usize;
+        let mut snapshot = Vec::new();
+        group.checkpoint(&mut snapshot).unwrap();
+
+        // The checkpointing group streams on: its uninterrupted output is
+        // the recovery oracle.
+        group.push_batch(&events[300..]).unwrap();
+        let oracle = group.finish().unwrap();
+
+        // Restore at a different parallelism; the member registry (late
+        // registration included) comes back from the snapshot.
+        let restorer = QueryGroup::new()
+            .collect_results(true)
+            .element_work(0)
+            .parallelism(Parallelism::Fixed(3));
+        let mut restored = restorer.restore(&mut snapshot.as_slice()).unwrap();
+        assert_eq!(restored.queries(), vec![QueryId(0), QueryId(1), late]);
+        restored.push_batch(&events[cursor..]).unwrap();
+        let out = restored.finish().unwrap();
+        assert_eq!(
+            sorted_group_results(out.results),
+            sorted_group_results(oracle.results)
+        );
+        assert_eq!(out.stats.replans, oracle.stats.replans);
+    }
+
+    #[test]
+    fn per_query_group_checkpoint_requires_durability() {
+        let builder = QueryGroup::new()
+            .query(query(&[20, 40], AggregateFunction::Sum))
+            .query(query(&[20, 60], AggregateFunction::Count))
+            .sharing(SharingPolicy::Unshared)
+            .collect_results(true)
+            .element_work(0);
+        let mut plain = builder.clone().build().unwrap();
+        let err = plain.checkpoint(&mut Vec::new()).unwrap_err();
+        assert!(matches!(
+            err,
+            ApiError::Checkpoint(CheckpointError::Unsupported { .. })
+        ));
+
+        // With durability the per-query strategy round-trips too.
+        let events = stream(360);
+        let mut durable = builder.clone().durable(true).build().unwrap();
+        durable.push_batch(&events[..200]).unwrap();
+        let mut snapshot = Vec::new();
+        durable.checkpoint(&mut snapshot).unwrap();
+        durable.push_batch(&events[200..]).unwrap();
+        let oracle = durable.finish().unwrap();
+
+        let mut restored = builder.restore(&mut snapshot.as_slice()).unwrap();
+        restored.push_batch(&events[200..]).unwrap();
+        let out = restored.finish().unwrap();
+        assert_eq!(
+            sorted_group_results(out.results),
+            sorted_group_results(oracle.results)
+        );
     }
 
     #[test]

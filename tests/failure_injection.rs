@@ -284,6 +284,140 @@ fn dropped_serve_connection_is_not_a_failure_for_anyone_else() {
 }
 
 #[test]
+fn engine_panic_does_not_strand_readers_or_writers() {
+    use factor_windows::serve::{ServeClient, ServeConfig, Server, FAULT_PANIC_SQL};
+    use std::time::{Duration, Instant};
+
+    let config = ServeConfig {
+        fault_injection: true,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr().unwrap();
+    let metrics = server.metrics();
+    let mut handle = server.spawn();
+
+    // A bystander with a live query and data in flight.
+    let mut bystander = ServeClient::connect(addr).unwrap();
+    bystander
+        .register(
+            "SELECT k, MIN(v) AS Lo FROM S GROUP BY k, \
+             Windows(Window('w', TumblingWindow(second, 10)))",
+        )
+        .unwrap();
+    bystander
+        .push_columns(&[1, 2, 3], &[0, 1, 2], &[5.0, 6.0, 7.0])
+        .unwrap();
+    bystander.stats_json().unwrap();
+
+    // The attacker trips the engine-thread fault hook. The panic must
+    // not strand anyone: every outstanding blocking call fails within
+    // the deadline instead of hanging on a dead engine.
+    let mut attacker = ServeClient::connect(addr).unwrap();
+    assert!(attacker.register(FAULT_PANIC_SQL).is_err());
+
+    // The bystander's connection is torn down too (fail-stop beats a
+    // silently dead server): its next blocking round-trip errors out.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let _ = bystander.push_columns(&[10], &[0], &[1.0]);
+        if bystander.stats_json().is_err() {
+            break;
+        }
+        assert!(Instant::now() < deadline, "bystander never saw the crash");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(metrics.snapshot().engine_panics, 1);
+    // And the server thread itself winds down instead of hanging.
+    handle.stop();
+}
+
+#[test]
+fn dropped_connection_during_checkpointing_never_tears_the_snapshot() {
+    use factor_windows::serve::{ServeClient, ServeConfig, Server};
+    use std::time::{Duration, Instant};
+
+    let path = std::env::temp_dir().join(format!("fw_ckpt_atomicity_{}.fwc", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let config = ServeConfig {
+        checkpoint_path: Some(path.clone()),
+        checkpoint_every: 1, // every watermark announcement persists
+        ..ServeConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr().unwrap();
+    let metrics = server.metrics();
+    let mut handle = server.spawn();
+
+    let mut bystander = ServeClient::connect(addr).unwrap();
+    let query_id = bystander
+        .register(
+            "SELECT k, SUM(v) AS Total FROM S GROUP BY k, \
+             Windows(Window('w', TumblingWindow(second, 10)))",
+        )
+        .unwrap();
+
+    // The casualty holds a query and vanishes abruptly mid-stream while
+    // the server is checkpointing on every watermark.
+    let mut casualty = ServeClient::connect(addr).unwrap();
+    casualty
+        .register(
+            "SELECT k, MIN(v) AS Lo FROM S GROUP BY k, \
+             Windows(Window('w', TumblingWindow(second, 10)))",
+        )
+        .unwrap();
+    casualty
+        .push_columns(&[1, 2], &[0, 1], &[5.0, 6.0])
+        .unwrap();
+    casualty.stats_json().unwrap();
+    drop(casualty);
+
+    // The bystander keeps streaming through the disconnect, driving
+    // more checkpoint writes concurrent with the teardown.
+    for round in 0u64..5 {
+        let t = 10 * round + 3;
+        bystander
+            .push_columns(&[t, t + 1], &[0, 1], &[1.0, 2.0])
+            .unwrap();
+        bystander.watermark(10 * round + 5).unwrap();
+    }
+    let bytes = bystander.checkpoint().unwrap();
+    assert!(bytes > 0);
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while bystander.results().is_empty() {
+        assert!(Instant::now() < deadline, "bystander starved");
+        bystander.poll(Duration::from_millis(50)).unwrap();
+    }
+    let snapshot = metrics.snapshot();
+    assert!(snapshot.checkpoints_written >= 1);
+    assert_eq!(snapshot.checkpoint_errors, 0);
+    handle.stop();
+
+    // The snapshot on disk is complete and valid — binding a new server
+    // from it fully parses and revalidates every byte. The bystander's
+    // query comes back orphaned and is re-adopted by Resume.
+    let restored = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            restore_from: Some(path.clone()),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = restored.local_addr().unwrap();
+    let mut handle = restored.spawn();
+    let mut reconnected = ServeClient::connect(addr).unwrap();
+    let (events, watermark) = reconnected.resume(query_id).unwrap();
+    assert!(events > 0, "resume lost the replay cursor");
+    assert!(watermark > 0, "resume lost the watermark");
+    // Resuming a second time (or a made-up id) is a loud error.
+    assert!(reconnected.resume(query_id).is_err());
+    assert!(reconnected.resume(940_221).is_err());
+    handle.stop();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn empty_streams_are_harmless_everywhere() {
     let windows = WindowSet::new(vec![
         Window::tumbling(20).unwrap(),
