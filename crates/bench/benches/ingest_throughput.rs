@@ -12,6 +12,12 @@
 //! bookkeeping is a small slice of the per-event budget and the bar is
 //! ≥ 1.1×. Emits `BENCH_ingest.json` so CI tracks both trajectories.
 //!
+//! A second sweep varies key cardinality (16 / 4k / 256k keys) with
+//! windows scaled to the key space (tumbling 2K/3K/4K, factor pane K, so
+//! every key lands once per factor pane) at `ELEMENT_WORK=0` — the
+//! regime where pane-state layout (hash probes vs dense slabs) dominates
+//! the fold/merge path. Labels: `ingest/keys=<K>/<choice>/columnar`.
+//!
 //! Environment knobs: `INGEST_SMOKE=1` shrinks the sweep for CI;
 //! `INGEST_EVENTS` / `INGEST_ITERS` override the stream length and
 //! iteration count.
@@ -43,6 +49,22 @@ fn fig1_session(choice: PlanChoice, element_work: u32) -> Session {
     Session::from_query(WindowQuery::new(windows, AggregateFunction::Min))
         .plan_choice(choice)
         .element_work(element_work)
+}
+
+/// A MIN query over tumbling 2K/3K/4K — the factor window is tumbling K,
+/// so a `t % K` key stream puts every key in every factor pane exactly
+/// once and pane density scales with cardinality.
+fn cardinality_session(keys: u32, choice: PlanChoice) -> Session {
+    let k = u64::from(keys);
+    let windows = WindowSet::new(vec![
+        Window::tumbling(2 * k).unwrap(),
+        Window::tumbling(3 * k).unwrap(),
+        Window::tumbling(4 * k).unwrap(),
+    ])
+    .unwrap();
+    Session::from_query(WindowQuery::new(windows, AggregateFunction::Min))
+        .plan_choice(choice)
+        .element_work(0)
 }
 
 fn main() {
@@ -92,6 +114,40 @@ fn main() {
                     .expect("in order");
                 pipeline.finish().expect("finishes");
             });
+        }
+    }
+
+    // Key-cardinality axis: columnar mode, work=0, windows scaled with K
+    // so pane density (entries per factor pane) equals the cardinality.
+    let key_axis: &[u32] = if smoke {
+        &[16, 4096]
+    } else {
+        &[16, 4096, 262_144]
+    };
+    for &keys in key_axis {
+        // At least 16 full factor panes per iteration so seal/combine
+        // cost is represented, not just pane fill.
+        let n = events_n.max(16 * u64::from(keys));
+        let columns = bench_event_columns(n, keys);
+        println!("# ingest cardinality axis: {n} events, {keys} keys");
+        for choice in [PlanChoice::Factored, PlanChoice::Original] {
+            let session = cardinality_session(keys, choice);
+            session.optimize().expect("query optimizes");
+            let label = format!("ingest/keys={keys}/{choice}/columnar");
+            let m = report_throughput(&label, n, iters, &mut || {
+                let mut pipeline = session.build().expect("compiles");
+                let (times, ks, values) = columns.columns();
+                pipeline.push_columns(times, ks, values).expect("in order");
+                pipeline.finish().expect("finishes");
+            });
+            records.push(ThroughputRecord::from_measurement(
+                &label,
+                &choice.to_string(),
+                0,
+                n,
+                keys,
+                m,
+            ));
         }
     }
 

@@ -1,0 +1,99 @@
+//! CI perf-smoke gate: compares two `BENCH_ingest.json` documents (a
+//! committed baseline and a fresh run) label-by-label on `mean_eps` and
+//! fails if any shared label regressed beyond the tolerance.
+//!
+//! Usage: `perf_gate <baseline.json> <current.json>`
+//!
+//! Labels present on only one side are reported and skipped — the sweep
+//! shrinks under `INGEST_SMOKE=1` and grows when new axes land, and the
+//! gate must not block either. Improvements never fail. The tolerance
+//! defaults to 30% and can be overridden with `PERF_GATE_TOLERANCE_PCT`
+//! (CI runners are noisy; the gate is meant to catch layout-level
+//! regressions — a hash probe back on the steady-state fold path — not
+//! scheduler jitter).
+
+use fw_core::json::{self, JsonValue};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn load_rates(path: &str) -> Result<BTreeMap<String, u64>, String> {
+    let body = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = json::parse(&body).map_err(|e| format!("{path}: {e}"))?;
+    let records = doc
+        .get("records")
+        .ok_or_else(|| format!("{path}: missing `records`"))?;
+    let JsonValue::Array(items) = records else {
+        return Err(format!("{path}: `records` is not an array"));
+    };
+    let mut rates = BTreeMap::new();
+    for item in items {
+        let label = match item.get("label") {
+            Some(JsonValue::String(s)) => s.clone(),
+            _ => return Err(format!("{path}: record without a string `label`")),
+        };
+        let eps = match item.get("mean_eps") {
+            Some(JsonValue::Number(n)) => u64::try_from(*n)
+                .map_err(|_| format!("{path}: {label}: `mean_eps` out of range"))?,
+            _ => return Err(format!("{path}: {label}: missing numeric `mean_eps`")),
+        };
+        rates.insert(label, eps);
+    }
+    Ok(rates)
+}
+
+fn run() -> Result<bool, String> {
+    let mut args = std::env::args().skip(1);
+    let (Some(baseline_path), Some(current_path)) = (args.next(), args.next()) else {
+        return Err("usage: perf_gate <baseline.json> <current.json>".to_string());
+    };
+    let tolerance_pct: f64 = std::env::var("PERF_GATE_TOLERANCE_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30.0);
+    let floor = 1.0 - tolerance_pct / 100.0;
+
+    let baseline = load_rates(&baseline_path)?;
+    let current = load_rates(&current_path)?;
+
+    let mut failed = false;
+    for (label, &base_eps) in &baseline {
+        let Some(&cur_eps) = current.get(label) else {
+            println!("SKIP  {label}: not in current run");
+            continue;
+        };
+        if base_eps == 0 {
+            println!("SKIP  {label}: baseline rate is zero");
+            continue;
+        }
+        let ratio = cur_eps as f64 / base_eps as f64;
+        let verdict = if ratio < floor {
+            failed = true;
+            "FAIL "
+        } else {
+            "ok   "
+        };
+        println!("{verdict} {label}: {cur_eps} vs baseline {base_eps} eps (x{ratio:.2})");
+    }
+    for label in current.keys() {
+        if !baseline.contains_key(label) {
+            println!("NEW   {label}: no baseline yet");
+        }
+    }
+    if failed {
+        println!("perf gate: regression beyond {tolerance_pct:.0}% tolerance");
+    } else {
+        println!("perf gate: all shared labels within {tolerance_pct:.0}% tolerance");
+    }
+    Ok(!failed)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("perf gate: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

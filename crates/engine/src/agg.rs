@@ -32,6 +32,20 @@ pub trait Aggregate: 'static {
     /// Folds one raw value in.
     fn update(acc: &mut Self::Acc, value: f64);
 
+    /// Folds a contiguous run of raw values in — the columnar fold
+    /// kernel. The default is a strict left fold (element order exactly
+    /// as [`Self::update`] applied in sequence), which reorder-sensitive
+    /// aggregates (SUM/AVG: float addition does not associate) must keep
+    /// for bit-identical results. Reorder-safe aggregates (MIN/MAX:
+    /// idempotent comparison; COUNT: length) override with unrolled
+    /// multi-accumulator variants the compiler can vectorize.
+    #[inline]
+    fn fold_run(acc: &mut Self::Acc, values: &[f64]) {
+        for &v in values {
+            Self::update(acc, v);
+        }
+    }
+
     /// Folds a sub-aggregate in.
     fn combine(acc: &mut Self::Acc, other: &Self::Acc);
 
@@ -60,6 +74,44 @@ impl Aggregate for MinAgg {
         if value < *acc {
             *acc = value;
         }
+    }
+
+    // MIN is commutative and associative, and NaN never wins `<`, so the
+    // four-lane unroll cannot change the value (only the sign of a ±0.0
+    // tie could differ bitwise; see DESIGN.md §3.9). Short runs (high
+    // key-alternation streams produce length-1 sub-runs) skip the lane
+    // setup/reduce entirely.
+    #[inline]
+    fn fold_run(acc: &mut f64, values: &[f64]) {
+        if values.len() < 4 {
+            for &v in values {
+                if v < *acc {
+                    *acc = v;
+                }
+            }
+            return;
+        }
+        let mut lanes = [*acc; 4];
+        let mut chunks = values.chunks_exact(4);
+        for c in &mut chunks {
+            for (lane, &v) in lanes.iter_mut().zip(c) {
+                if v < *lane {
+                    *lane = v;
+                }
+            }
+        }
+        for &v in chunks.remainder() {
+            if v < lanes[0] {
+                lanes[0] = v;
+            }
+        }
+        let mut m = lanes[0];
+        for &l in &lanes[1..] {
+            if l < m {
+                m = l;
+            }
+        }
+        *acc = m;
     }
 
     #[inline]
@@ -95,6 +147,40 @@ impl Aggregate for MaxAgg {
         if value > *acc {
             *acc = value;
         }
+    }
+
+    // Same reorder-safety and short-run arguments as MIN's kernel.
+    #[inline]
+    fn fold_run(acc: &mut f64, values: &[f64]) {
+        if values.len() < 4 {
+            for &v in values {
+                if v > *acc {
+                    *acc = v;
+                }
+            }
+            return;
+        }
+        let mut lanes = [*acc; 4];
+        let mut chunks = values.chunks_exact(4);
+        for c in &mut chunks {
+            for (lane, &v) in lanes.iter_mut().zip(c) {
+                if v > *lane {
+                    *lane = v;
+                }
+            }
+        }
+        for &v in chunks.remainder() {
+            if v > lanes[0] {
+                lanes[0] = v;
+            }
+        }
+        let mut m = lanes[0];
+        for &l in &lanes[1..] {
+            if l > m {
+                m = l;
+            }
+        }
+        *acc = m;
     }
 
     #[inline]
@@ -159,6 +245,12 @@ impl Aggregate for CountAgg {
     #[inline]
     fn update(acc: &mut u64, _value: f64) {
         *acc += 1;
+    }
+
+    // COUNT of a run is its length — no per-element loop at all.
+    #[inline]
+    fn fold_run(acc: &mut u64, values: &[f64]) {
+        *acc += values.len() as u64;
     }
 
     #[inline]
@@ -240,6 +332,13 @@ impl Aggregate for MedianAgg {
         acc.push(value);
     }
 
+    // Order inside the multiset is irrelevant to the median; a bulk
+    // append keeps the run path allocation-efficient.
+    #[inline]
+    fn fold_run(acc: &mut Vec<f64>, values: &[f64]) {
+        acc.extend_from_slice(values);
+    }
+
     fn combine(_acc: &mut Vec<f64>, _other: &Vec<f64>) {
         unreachable!("holistic sub-aggregation is rejected at plan compile time");
     }
@@ -306,6 +405,49 @@ mod tests {
         assert_eq!(fold::<MedianAgg>(&[5.0, 1.0, 3.0]), 3.0);
         assert_eq!(fold::<MedianAgg>(&[4.0, 1.0, 3.0, 2.0]), 2.5);
         assert!(fold::<MedianAgg>(&[]).is_nan());
+    }
+
+    #[test]
+    fn fold_run_matches_strict_left_fold() {
+        // The unrolled kernels must agree bit-for-bit with per-element
+        // update over run lengths around the unroll width.
+        let values: Vec<f64> = (0..23).map(|i| f64::from((i * 37 % 11) - 5)).collect();
+        for n in 0..values.len() {
+            let run = &values[..n];
+            macro_rules! check {
+                ($a:ty) => {{
+                    let mut strict = <$a>::init();
+                    for &v in run {
+                        <$a>::update(&mut strict, v);
+                    }
+                    let mut kernel = <$a>::init();
+                    <$a>::fold_run(&mut kernel, run);
+                    assert_eq!(
+                        <$a>::finalize(&kernel).to_bits(),
+                        <$a>::finalize(&strict).to_bits(),
+                        "{} over {n} values",
+                        stringify!($a)
+                    );
+                }};
+            }
+            check!(MinAgg);
+            check!(MaxAgg);
+            check!(SumAgg);
+            check!(CountAgg);
+            check!(AvgAgg);
+            check!(MedianAgg);
+        }
+    }
+
+    #[test]
+    fn fold_run_kernels_ignore_nan_like_update() {
+        let run = [3.0, f64::NAN, 1.0, f64::NAN, 2.0, 7.0, f64::NAN];
+        let mut min = MinAgg::init();
+        MinAgg::fold_run(&mut min, &run);
+        assert_eq!(min, 1.0);
+        let mut max = MaxAgg::init();
+        MaxAgg::fold_run(&mut max, &run);
+        assert_eq!(max, 7.0);
     }
 
     #[test]

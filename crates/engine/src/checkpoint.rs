@@ -37,7 +37,7 @@ use crate::agg::SumCount;
 use crate::error::EngineError;
 use crate::event::{sorted_results, WindowResult};
 use crate::executor::ExecStats;
-use crate::multi::{GroupState, MultiAcc, MultiPane, Slot};
+use crate::multi::{GroupState, KeyedPane, MultiAcc, Slot};
 use fw_core::{AggregateFunction, AggregateSpec, Interval, Window, WindowQuery, WindowSet};
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
@@ -534,6 +534,10 @@ impl PipelineImage {
         work: u64,
         stats: ExecStats,
     ) -> Self {
+        // Exported panes are already key-addressed and key-sorted
+        // (`GroupState` is slot-assignment-neutral); re-sorting is a
+        // cheap no-op pass that keeps the canonical ordering a local
+        // invariant of the codec rather than a cross-module promise.
         let mut windows: Vec<(Window, WindowPanes)> = state
             .windows
             .iter()
@@ -541,8 +545,7 @@ impl PipelineImage {
                 let panes = panes
                     .iter()
                     .map(|(m, pane)| {
-                        let mut entries: Vec<(u32, MultiAcc)> =
-                            pane.iter().map(|(&k, acc)| (k, acc.clone())).collect();
+                        let mut entries: Vec<(u32, MultiAcc)> = pane.clone();
                         entries.sort_by_key(|&(k, _)| k);
                         (*m, entries)
                     })
@@ -583,10 +586,11 @@ impl PipelineImage {
         let windows = std::mem::take(&mut self.windows)
             .into_iter()
             .map(|(window, panes)| {
-                let panes: Vec<(u64, MultiPane)> = panes
+                // Image entries are stored key-sorted, which is exactly
+                // the `KeyedPane` contract — pass them through.
+                let panes: Vec<(u64, KeyedPane)> = panes
                     .into_iter()
-                    .map(|(m, entries)| (m, entries.into_iter().collect::<MultiPane>()))
-                    .filter(|(_, pane)| !pane.is_empty())
+                    .filter(|(_, entries)| !entries.is_empty())
                     .collect();
                 (window, panes)
             })

@@ -806,6 +806,15 @@ impl PlanPipeline {
     pub fn elapsed(&self) -> Duration {
         self.elapsed
     }
+
+    /// High-water `(slots, bytes)` of the core's key interner — the dense
+    /// key space backing the pane slabs (see [`crate::slab`]). Slots
+    /// count distinct keys interned since the last compaction; bytes are
+    /// the interner's table memory. Observability only.
+    #[must_use]
+    pub fn interner_stats(&self) -> (u64, u64) {
+        self.core.interner_stats()
+    }
 }
 
 /// Object-safe interface over the pipeline cores (per-function
@@ -843,6 +852,39 @@ pub(crate) trait PipelineCore: Send {
     fn export_group_state(&mut self) -> Option<crate::multi::GroupState> {
         None
     }
+    /// `(slots, bytes)` high-water mark of the core's key interner —
+    /// the dense key space backing the pane slabs (see [`crate::slab`]).
+    fn interner_stats(&self) -> (u64, u64) {
+        (0, 0)
+    }
+}
+
+/// Interner compaction floor: below this many slots the dense tables are
+/// too small to be worth recycling.
+pub(crate) const COMPACT_MIN_SLOTS: usize = 4096;
+
+/// Translates raw keys into dense slots through `interner`, appending to
+/// `slot_buf` (cleared first). Consecutive equal keys — the common case
+/// for run-sliced streams — share one interner probe.
+#[inline]
+pub(crate) fn intern_keys(
+    interner: &mut crate::slab::KeyInterner,
+    keys: &[u32],
+    slot_buf: &mut Vec<u32>,
+) {
+    slot_buf.clear();
+    slot_buf.reserve(keys.len());
+    let mut last_key = 0u32;
+    let mut last_slot = 0u32;
+    let mut have_last = false;
+    for &key in keys {
+        if !have_last || key != last_key {
+            last_slot = interner.intern(key);
+            last_key = key;
+            have_last = true;
+        }
+        slot_buf.push(last_slot);
+    }
 }
 
 /// The compiled physical pipeline, monomorphic over the aggregate.
@@ -852,6 +894,19 @@ struct Typed<A: Aggregate> {
     exposed: Vec<bool>,
     children: Vec<Vec<usize>>,
     roots: Vec<usize>,
+    /// Key → dense slot, shared by every store so parent and child panes
+    /// align slot-for-slot and combines are linear merges.
+    interner: crate::slab::KeyInterner,
+    /// Per-batch key→slot translation buffer (reused; ingress-only).
+    slot_buf: Vec<u32>,
+    /// Largest live-entry count seen in a sealing pane since the last
+    /// compaction — the signal distinguishing a genuinely wide key space
+    /// from a rotating one that has retired most of its slots.
+    peak_pane_live: usize,
+    /// `fed` at the last compaction (spacing guard against thrash).
+    last_compact_fed: u64,
+    /// Interner high-water `(slots, bytes)` across compactions.
+    interner_hw: (u64, u64),
     watermark: u64,
     /// `min` over stores of the next instance end; events strictly before
     /// this cannot seal anything, so the per-event fast path is one compare.
@@ -905,6 +960,11 @@ impl<A: Aggregate> Typed<A> {
             exposed,
             children,
             roots,
+            interner: crate::slab::KeyInterner::new(),
+            slot_buf: Vec::new(),
+            peak_pane_live: 0,
+            last_compact_fed: 0,
+            interner_hw: (0, 0),
             watermark: 0,
             deadline: 0,
             results_emitted: 0,
@@ -931,14 +991,15 @@ impl<A: Aggregate> Typed<A> {
     fn emit_front(&mut self, op: usize, interval: fw_core::Interval, sink: &mut ResultSink) {
         let window = self.windows[op];
         let pane = self.stores[op].front_pane();
+        let slot_keys = self.interner.keys();
         let mut emitted = 0u64;
         if let ResultSink::Collect(_) = sink {
-            for (&key, acc) in pane {
+            for (slot, acc) in pane.iter() {
                 sink.push(
                     WindowResult {
                         window,
                         interval,
-                        key,
+                        key: slot_keys[slot as usize],
                         agg: 0,
                         value: A::finalize(acc),
                     },
@@ -967,9 +1028,11 @@ impl<A: Aggregate> Typed<A> {
                 // the sealed pane.
                 let (head, tail) = self.stores.split_at_mut(op + 1);
                 let pane = head[op].front_pane();
+                self.peak_pane_live = self.peak_pane_live.max(pane.len());
+                let slot_keys = self.interner.keys();
                 for &child in &self.children[op] {
                     debug_assert!(child > op, "plan must be topologically ordered");
-                    tail[child - op - 1].combine_pane(&interval, pane);
+                    tail[child - op - 1].combine_pane(&interval, pane, slot_keys);
                 }
                 self.stores[op].retire_front();
             }
@@ -977,14 +1040,45 @@ impl<A: Aggregate> Typed<A> {
         }
         self.deadline = deadline;
     }
+
+    /// Recycles the interner (and the slabs sized to it) at idle points
+    /// when the live key working set has shrunk well below the slot
+    /// count — long key churn would otherwise grow dense slabs without
+    /// bound. Only runs when every open pane is empty (slot ids are then
+    /// referenced nowhere), at least [`COMPACT_MIN_SLOTS`] slots exist,
+    /// the largest recent pane used under half the slots, and enough
+    /// events passed since the last compaction to amortize re-interning.
+    ///
+    /// Called from watermark announcements only — never from the sealing
+    /// that runs inside a columnar feed, whose translated slot buffer
+    /// must stay valid for the rest of the batch.
+    fn maybe_compact(&mut self) {
+        let slots = self.interner.len();
+        if slots >= COMPACT_MIN_SLOTS
+            && slots >= 2 * self.peak_pane_live.max(1)
+            && self.fed.saturating_sub(self.last_compact_fed) >= 16 * slots as u64
+            && self.stores.iter().all(PaneStore::is_idle)
+        {
+            self.interner_hw.0 = self.interner_hw.0.max(slots as u64);
+            self.interner_hw.1 = self.interner_hw.1.max(self.interner.bytes() as u64);
+            self.interner.clear();
+            for store in &mut self.stores {
+                store.compact();
+            }
+            self.peak_pane_live = 0;
+            self.last_compact_fed = self.fed;
+        }
+    }
 }
 
 impl<A: Aggregate> PipelineCore for Typed<A> {
-    /// The run-sliced feed: split the columns at slide boundaries and the
-    /// sealing deadline, then fold each run into every root store with
-    /// one instance division per run and one hash probe per key sub-run.
-    /// Behavior (results, error position, accounting) is element-for-
-    /// element identical to feeding the events one at a time.
+    /// The run-sliced feed: intern the key column into dense slots once
+    /// at ingress, split the columns at slide boundaries and the sealing
+    /// deadline, then fold each run into every root store with one
+    /// instance division per run and one slot-indexed accumulator resolve
+    /// per key sub-run — zero hash probes past this point. Behavior
+    /// (results, error position, accounting) is element-for-element
+    /// identical to feeding the events one at a time.
     fn feed_columns(
         &mut self,
         times: &[u64],
@@ -1009,17 +1103,24 @@ impl<A: Aggregate> PipelineCore for Typed<A> {
                 self.advance(t, sink);
             }
             self.watermark = t;
+            let slot = self.interner.intern(keys[0]);
             for &root in &self.roots {
-                self.stores[root].update_point(t, keys[0], values[0]);
+                self.stores[root].update_point(t, keys[0], slot, values[0]);
             }
             self.fed += 1;
             self.last_event_time = self.last_event_time.max(t);
             return Ok(());
         }
+        // The whole batch's keys translate in one pass — the only hashing
+        // on the columnar path, paid once per element instead of once per
+        // key sub-run per root per instance.
+        let mut slot_buf = std::mem::take(&mut self.slot_buf);
+        intern_keys(&mut self.interner, keys, &mut slot_buf);
         let mut i = 0;
         while i < times.len() {
             let head = times[i];
             if head < self.watermark {
+                self.slot_buf = slot_buf;
                 return Err(EngineError::OutOfOrderEvent {
                     at: head,
                     watermark: self.watermark,
@@ -1035,7 +1136,12 @@ impl<A: Aggregate> PipelineCore for Typed<A> {
             );
             let j = i + run_len(&times[i..], limit);
             for &root in &self.roots {
-                self.stores[root].update_run(&times[i..j], &keys[i..j], &values[i..j]);
+                self.stores[root].update_run(
+                    &times[i..j],
+                    &keys[i..j],
+                    &slot_buf[i..j],
+                    &values[i..j],
+                );
             }
             let last = times[j - 1];
             self.watermark = last;
@@ -1043,6 +1149,7 @@ impl<A: Aggregate> PipelineCore for Typed<A> {
             self.last_event_time = self.last_event_time.max(last);
             i = j;
         }
+        self.slot_buf = slot_buf;
         Ok(())
     }
 
@@ -1051,6 +1158,7 @@ impl<A: Aggregate> PipelineCore for Typed<A> {
         // Later events behind an announced watermark can no longer be
         // ordered with the sealed instances.
         self.watermark = self.watermark.max(watermark);
+        self.maybe_compact();
     }
 
     fn watermark(&self) -> u64 {
@@ -1086,6 +1194,13 @@ impl<A: Aggregate> PipelineCore for Typed<A> {
             .iter()
             .map(PaneStore::work_sink)
             .fold(0u64, u64::wrapping_add)
+    }
+
+    fn interner_stats(&self) -> (u64, u64) {
+        (
+            self.interner_hw.0.max(self.interner.len() as u64),
+            self.interner_hw.1.max(self.interner.bytes() as u64),
+        )
     }
 }
 

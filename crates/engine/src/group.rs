@@ -230,6 +230,13 @@ impl AnyPipeline {
         }
     }
 
+    fn interner_stats(&self) -> (u64, u64) {
+        match self {
+            AnyPipeline::Single(p) => p.interner_stats(),
+            AnyPipeline::Sharded(p) => p.interner_stats(),
+        }
+    }
+
     fn buffered(&self) -> usize {
         match self {
             AnyPipeline::Single(p) => p.buffered(),
@@ -437,6 +444,19 @@ impl GroupExec {
         };
         stats.replans = self.replans;
         stats
+    }
+
+    /// Key-interner high-water `(slots, bytes)` summed over every
+    /// pipeline the group runs (see `PlanPipeline::interner_stats`).
+    #[must_use]
+    pub fn interner_stats(&self) -> (u64, u64) {
+        match &self.backend {
+            Backend::Shared(p) => p.interner_stats(),
+            Backend::PerQuery(members) => members
+                .iter()
+                .map(|m| m.pipeline.interner_stats())
+                .fold((0, 0), |a, b| (a.0 + b.0, a.1 + b.1)),
+        }
     }
 
     /// Pushes one event (to the shared pipeline, or to every member's).

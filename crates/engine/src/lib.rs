@@ -47,6 +47,7 @@ pub mod pane;
 pub mod reference;
 pub mod reorder;
 pub mod shard;
+pub mod slab;
 pub mod throughput;
 
 pub use agg::{Aggregate, AvgAgg, CountAgg, MaxAgg, MedianAgg, MinAgg, SumAgg};
@@ -66,4 +67,5 @@ pub use pane::DEFAULT_ELEMENT_WORK;
 pub use reference::reference_results;
 pub use reorder::ReorderBuffer;
 pub use shard::{Parallelism, ShardedPipeline};
+pub use slab::{KeyInterner, Slab};
 pub use throughput::{measure_throughput, Throughput};

@@ -53,8 +53,11 @@ pub(crate) struct GroupState {
     pub(crate) last_event_time: u64,
     /// Slot identities of the exporting core, slot-indexed.
     pub(crate) slots: Vec<(AggregateFunction, String)>,
-    /// Open panes of every exposed window: `(window, [(instance, pane)])`.
-    pub(crate) windows: Vec<(Window, Vec<(u64, MultiPane)>)>,
+    /// Open panes of every exposed window: `(window, [(instance,
+    /// key-addressed rows)])`. Rows travel keyed by raw key and sorted by
+    /// it, so exported state is neutral to any core's slot assignment —
+    /// the adopting core re-interns on its own table.
+    pub(crate) windows: Vec<(Window, Vec<(u64, KeyedPane)>)>,
 }
 
 /// One accumulator slot, dispatching to the existing [`Aggregate`] impls.
@@ -80,18 +83,6 @@ fn init_slot(f: AggregateFunction) -> Slot {
         AggregateFunction::Count => Slot::U64(CountAgg::init()),
         AggregateFunction::Avg => Slot::SumCount(AvgAgg::init()),
         AggregateFunction::Median => Slot::Values(MedianAgg::init()),
-    }
-}
-
-fn update_slot(f: AggregateFunction, slot: &mut Slot, value: f64) {
-    match (f, slot) {
-        (AggregateFunction::Min, Slot::F64(acc)) => MinAgg::update(acc, value),
-        (AggregateFunction::Max, Slot::F64(acc)) => MaxAgg::update(acc, value),
-        (AggregateFunction::Sum, Slot::F64(acc)) => SumAgg::update(acc, value),
-        (AggregateFunction::Count, Slot::U64(acc)) => CountAgg::update(acc, value),
-        (AggregateFunction::Avg, Slot::SumCount(acc)) => AvgAgg::update(acc, value),
-        (AggregateFunction::Median, Slot::Values(acc)) => MedianAgg::update(acc, value),
-        _ => unreachable!("slot shape is fixed at init"),
     }
 }
 
@@ -121,46 +112,285 @@ fn merge_slot(f: AggregateFunction, into: &mut Slot, from: &Slot) {
     }
 }
 
-/// Folds a carried-over pane into a live pane of the *same* instance,
-/// slot by slot (see [`merge_slot`]); keys only present in the carried
-/// half move over wholesale.
-fn merge_carried_pane(funcs: &[AggregateFunction], pane: &mut MultiPane, carried: MultiPane) {
-    for (key, carried_acc) in carried {
-        match pane.entry(key) {
-            std::collections::hash_map::Entry::Occupied(mut e) => {
-                for (j, slot) in e.get_mut().iter_mut().enumerate() {
-                    merge_slot(funcs[j], slot, &carried_acc[j]);
+/// Per-key multi-accumulators for one window instance: one slot per
+/// aggregate term, in SELECT-list order. This is the *interchange* row
+/// format — state migration ([`GroupState`]) and the checkpoint codec
+/// speak rows keyed by raw key; live panes hold the same state as SoA
+/// columns ([`MultiPane`]).
+pub(crate) type MultiAcc = Box<[Slot]>;
+
+/// Key-addressed pane rows: `(raw key, row)` pairs, the migration and
+/// checkpoint representation of one instance's state.
+pub(crate) type KeyedPane = Vec<(u32, MultiAcc)>;
+
+/// One aggregate term's accumulator column, slot-indexed (the SoA
+/// counterpart of one [`Slot`] position across every key).
+#[derive(Debug, Clone)]
+enum SlotCol {
+    /// MIN / MAX / SUM state.
+    F64(Vec<f64>),
+    /// COUNT state.
+    U64(Vec<u64>),
+    /// AVG state.
+    SumCount(Vec<SumCount>),
+    /// MEDIAN state (holistic: the full multiset per key).
+    Values(Vec<Vec<f64>>),
+}
+
+impl SlotCol {
+    fn new(f: AggregateFunction) -> Self {
+        match f.class() {
+            AggregateClass::Holistic => SlotCol::Values(Vec::new()),
+            _ => match init_slot(f) {
+                Slot::F64(_) => SlotCol::F64(Vec::new()),
+                Slot::U64(_) => SlotCol::U64(Vec::new()),
+                Slot::SumCount(_) => SlotCol::SumCount(Vec::new()),
+                Slot::Values(_) => SlotCol::Values(Vec::new()),
+            },
+        }
+    }
+
+    /// Grows the column to cover `n` slots (placeholders are gated by the
+    /// pane's occupancy stamp and re-initialized on touch).
+    fn grow(&mut self, n: usize) {
+        match self {
+            SlotCol::F64(v) => v.resize(n, 0.0),
+            SlotCol::U64(v) => v.resize(n, 0),
+            SlotCol::SumCount(v) => v.resize(n, SumCount::default()),
+            SlotCol::Values(v) => v.resize_with(n, Vec::new),
+        }
+    }
+
+    /// Re-initializes slot `i` for function `f` (first touch this epoch).
+    /// The holistic multiset clears in place so its capacity survives
+    /// pane recycling.
+    #[inline]
+    fn reinit(&mut self, f: AggregateFunction, i: usize) {
+        match self {
+            SlotCol::F64(v) => {
+                v[i] = match init_slot(f) {
+                    Slot::F64(x) => x,
+                    _ => unreachable!("column shape is fixed at construction"),
                 }
             }
-            std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(carried_acc);
+            SlotCol::U64(v) => v[i] = 0,
+            SlotCol::SumCount(v) => v[i] = SumCount::default(),
+            SlotCol::Values(v) => v[i].clear(),
+        }
+    }
+
+    /// Reads slot `i` out as a row-format [`Slot`].
+    fn read(&self, i: usize) -> Slot {
+        match self {
+            SlotCol::F64(v) => Slot::F64(v[i]),
+            SlotCol::U64(v) => Slot::U64(v[i]),
+            SlotCol::SumCount(v) => Slot::SumCount(v[i]),
+            SlotCol::Values(v) => Slot::Values(v[i].clone()),
+        }
+    }
+
+    /// Writes a row-format [`Slot`] into slot `i`.
+    fn write(&mut self, i: usize, slot: &Slot) {
+        match (self, slot) {
+            (SlotCol::F64(v), Slot::F64(x)) => v[i] = *x,
+            (SlotCol::U64(v), Slot::U64(x)) => v[i] = *x,
+            (SlotCol::SumCount(v), Slot::SumCount(x)) => v[i] = *x,
+            (SlotCol::Values(v), Slot::Values(x)) => {
+                v[i].clear();
+                v[i].extend_from_slice(x);
             }
+            _ => unreachable!("slot shape is fixed at init"),
+        }
+    }
+
+    /// Folds a contiguous value run into slot `i` through the aggregate's
+    /// columnar kernel — one function dispatch per key sub-run per term,
+    /// not one per element per term.
+    #[inline]
+    fn fold_run(&mut self, f: AggregateFunction, i: usize, values: &[f64]) {
+        match (f, self) {
+            (AggregateFunction::Min, SlotCol::F64(v)) => MinAgg::fold_run(&mut v[i], values),
+            (AggregateFunction::Max, SlotCol::F64(v)) => MaxAgg::fold_run(&mut v[i], values),
+            (AggregateFunction::Sum, SlotCol::F64(v)) => SumAgg::fold_run(&mut v[i], values),
+            (AggregateFunction::Count, SlotCol::U64(v)) => CountAgg::fold_run(&mut v[i], values),
+            (AggregateFunction::Avg, SlotCol::SumCount(v)) => AvgAgg::fold_run(&mut v[i], values),
+            (AggregateFunction::Median, SlotCol::Values(v)) => {
+                MedianAgg::fold_run(&mut v[i], values)
+            }
+            _ => unreachable!("column shape is fixed at construction"),
+        }
+    }
+
+    /// Combines slot `i` of `src` into slot `i` of `self` (combinable
+    /// functions only — the sub-aggregate cascade).
+    #[inline]
+    fn combine_at(&mut self, f: AggregateFunction, i: usize, src: &SlotCol) {
+        match (f, self, src) {
+            (AggregateFunction::Min, SlotCol::F64(a), SlotCol::F64(b)) => {
+                MinAgg::combine(&mut a[i], &b[i]);
+            }
+            (AggregateFunction::Max, SlotCol::F64(a), SlotCol::F64(b)) => {
+                MaxAgg::combine(&mut a[i], &b[i]);
+            }
+            (AggregateFunction::Sum, SlotCol::F64(a), SlotCol::F64(b)) => {
+                SumAgg::combine(&mut a[i], &b[i]);
+            }
+            (AggregateFunction::Count, SlotCol::U64(a), SlotCol::U64(b)) => {
+                CountAgg::combine(&mut a[i], &b[i]);
+            }
+            (AggregateFunction::Avg, SlotCol::SumCount(a), SlotCol::SumCount(b)) => {
+                AvgAgg::combine(&mut a[i], &b[i]);
+            }
+            (AggregateFunction::Median, ..) => {
+                unreachable!("holistic slots are raw-fed, never combined")
+            }
+            _ => unreachable!("column shape is fixed at construction"),
+        }
+    }
+
+    /// Emission-side merge of two halves of the same instance (see
+    /// [`merge_slot`]): combine for combinable functions, multiset
+    /// concatenation for the holistic column.
+    #[inline]
+    fn merge_at(&mut self, f: AggregateFunction, i: usize, src: &Slot) {
+        match (f, self, src) {
+            (AggregateFunction::Median, SlotCol::Values(a), Slot::Values(b)) => {
+                a[i].extend_from_slice(b);
+            }
+            (f, col, src) => {
+                let mut current = col.read(i);
+                merge_slot(f, &mut current, src);
+                col.write(i, &current);
+            }
+        }
+    }
+
+    /// Finalizes slot `i` into the result value.
+    #[inline]
+    fn finalize(&self, f: AggregateFunction, i: usize) -> f64 {
+        match (f, self) {
+            (AggregateFunction::Min, SlotCol::F64(v)) => MinAgg::finalize(&v[i]),
+            (AggregateFunction::Max, SlotCol::F64(v)) => MaxAgg::finalize(&v[i]),
+            (AggregateFunction::Sum, SlotCol::F64(v)) => SumAgg::finalize(&v[i]),
+            (AggregateFunction::Count, SlotCol::U64(v)) => CountAgg::finalize(&v[i]),
+            (AggregateFunction::Avg, SlotCol::SumCount(v)) => AvgAgg::finalize(&v[i]),
+            (AggregateFunction::Median, SlotCol::Values(v)) => MedianAgg::finalize(&v[i]),
+            _ => unreachable!("column shape is fixed at construction"),
         }
     }
 }
 
-fn finalize_slot(f: AggregateFunction, slot: &Slot) -> f64 {
-    match (f, slot) {
-        (AggregateFunction::Min, Slot::F64(acc)) => MinAgg::finalize(acc),
-        (AggregateFunction::Max, Slot::F64(acc)) => MaxAgg::finalize(acc),
-        (AggregateFunction::Sum, Slot::F64(acc)) => SumAgg::finalize(acc),
-        (AggregateFunction::Count, Slot::U64(acc)) => CountAgg::finalize(acc),
-        (AggregateFunction::Avg, Slot::SumCount(acc)) => AvgAgg::finalize(acc),
-        (AggregateFunction::Median, Slot::Values(acc)) => MedianAgg::finalize(acc),
-        _ => unreachable!("slot shape is fixed at init"),
+/// One window instance's multi-aggregate state as a struct of arrays:
+/// one [`SlotCol`] per aggregate term, sharing a single epoch-stamped
+/// occupancy (same sparse-set scheme as [`crate::slab::Slab`]). A
+/// multi-term fold over a key sub-run dispatches each term's column once
+/// and then runs a tight loop over contiguous memory.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct MultiPane {
+    /// One column per aggregate term (SELECT-list order); empty until
+    /// the first touch (panes are created via `Default` by the deque).
+    cols: Box<[SlotCol]>,
+    /// `stamp[slot] == epoch` marks the slot live this epoch.
+    stamp: Vec<u32>,
+    /// Current epoch; 0 only in the pristine `Default` state (bumped to 1
+    /// on first touch so zeroed stamps read vacant).
+    epoch: u32,
+    /// Slots occupied this epoch, in first-touch order.
+    touched: Vec<u32>,
+}
+
+impl crate::pane::PaneState for MultiPane {
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.touched.is_empty()
+    }
+    #[inline]
+    fn clear(&mut self) {
+        self.touched.clear();
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
     }
 }
 
-/// Per-key multi-accumulators for one window instance: one slot per
-/// aggregate term, in SELECT-list order.
-pub(crate) type MultiAcc = Box<[Slot]>;
+impl MultiPane {
+    /// Number of live keys this epoch.
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.touched.len()
+    }
 
-/// Per-key accumulators for one window instance (the pane map type of
-/// [`PaneDeque`], hashed with the dense-`u32`-specialized mixer).
-pub(crate) type MultiPane = crate::pane::Pane<MultiAcc>;
+    /// Marks `slot` live, lazily building the columns on a pane's first
+    /// ever use and re-initializing the slot's accumulators on first
+    /// touch this epoch.
+    #[inline]
+    fn touch(&mut self, slot: u32, funcs: &[AggregateFunction]) {
+        if self.epoch == 0 {
+            self.epoch = 1;
+        }
+        if self.cols.is_empty() && !funcs.is_empty() {
+            self.cols = funcs.iter().map(|&f| SlotCol::new(f)).collect();
+        }
+        let i = slot as usize;
+        if i >= self.stamp.len() {
+            self.stamp.resize(i + 1, 0);
+            for col in self.cols.iter_mut() {
+                col.grow(i + 1);
+            }
+        }
+        if self.stamp[i] != self.epoch {
+            self.stamp[i] = self.epoch;
+            self.touched.push(slot);
+            for (col, &f) in self.cols.iter_mut().zip(funcs) {
+                col.reinit(f, i);
+            }
+        }
+    }
 
-fn new_acc(funcs: &[AggregateFunction]) -> MultiAcc {
-    funcs.iter().map(|&f| init_slot(f)).collect()
+    /// Reads the row at `slot` in interchange format.
+    fn read_row(&self, slot: u32) -> MultiAcc {
+        self.cols.iter().map(|c| c.read(slot as usize)).collect()
+    }
+
+    /// Writes an interchange row into `slot` (occupying it).
+    fn write_row(&mut self, slot: u32, acc: &MultiAcc, funcs: &[AggregateFunction]) {
+        self.touch(slot, funcs);
+        for (col, slot_val) in self.cols.iter_mut().zip(acc.iter()) {
+            col.write(slot as usize, slot_val);
+        }
+    }
+
+    /// Materializes the pane as key-addressed rows, sorted by raw key
+    /// (the canonical, parallelism-neutral order), via the interner's
+    /// slot→key table.
+    fn to_entries(&self, slot_keys: &[u32]) -> KeyedPane {
+        let mut entries: KeyedPane = self
+            .touched
+            .iter()
+            .map(|&s| (slot_keys[s as usize], self.read_row(s)))
+            .collect();
+        entries.sort_by_key(|&(key, _)| key);
+        entries
+    }
+
+    /// Folds the carried half of an instance in (emission-side merge; see
+    /// [`merge_slot`]). Both panes are slot-aligned through the same
+    /// interner.
+    fn merge_from(&mut self, carried: &MultiPane, funcs: &[AggregateFunction]) {
+        for &slot in &carried.touched {
+            self.touch(slot, funcs);
+            for (j, col) in self.cols.iter_mut().enumerate() {
+                col.merge_at(
+                    funcs[j],
+                    slot as usize,
+                    &carried.cols[j].read(slot as usize),
+                );
+            }
+        }
+    }
 }
 
 /// The open instances of one multi-aggregate window operator: the shared
@@ -170,7 +400,7 @@ fn new_acc(funcs: &[AggregateFunction]) -> MultiAcc {
 /// (one `update`/`combine` per element, however many slots the element
 /// fans out to).
 struct MultiStore {
-    deque: PaneDeque<MultiAcc>,
+    deque: PaneDeque<MultiPane>,
     /// Carried-over panes from a live plan swap, for open instances of
     /// operators that feed children — ascending by instance index, held
     /// *outside* the regular deque so sealing can cascade only the
@@ -243,20 +473,38 @@ impl MultiStore {
         }
         let (_, carried) = self.carry.remove(0);
         let funcs = self.funcs.clone();
-        merge_carried_pane(&funcs, self.deque.pane_mut(m), carried);
+        self.deque.pane_mut(m).merge_from(&carried, &funcs);
+    }
+
+    /// True when the store holds no live state at all: every open pane is
+    /// empty and no carried-over swap state is parked. Carried panes are
+    /// slot-addressed, so compaction must also wait for them to drain.
+    fn is_idle(&self) -> bool {
+        self.carry.is_empty() && self.deque.is_idle()
+    }
+
+    /// Frees slab capacity sized to a retired slot space (see
+    /// [`PaneDeque::compact`]); callers must hold the idle condition.
+    fn compact(&mut self) {
+        self.deque.compact();
     }
 
     /// Folds a *run* of raw events — column slices whose timestamps are
-    /// non-decreasing and all route to the same instance set — into those
-    /// instances, updating the operator's raw-fed slots. The instance
-    /// arithmetic is paid once per run and consecutive equal keys share
-    /// one hash probe (see `PaneStore::update_run` for the
-    /// single-aggregate counterpart); per-element accounting (pane work
-    /// counted once per element, `agg_ops` per slot fan-out, emulated
-    /// element work) is unchanged.
-    fn update_run(&mut self, times: &[u64], keys: &[u32], values: &[f64]) {
+    /// non-decreasing and all route to the same instance set, with keys
+    /// pre-translated to dense slots — into those instances, updating the
+    /// operator's raw-fed slots. The instance arithmetic is paid once per
+    /// run and each key sub-run resolves its accumulator columns once,
+    /// then folds through the columnar kernels ([`SlotCol::fold_run`]) —
+    /// zero hash probes. The emulated element-work loop runs separately
+    /// from the value folds; its sink is combined by XOR, so the split is
+    /// order-insensitive, while the value folds keep strict per-element
+    /// order for the order-sensitive kernels (SUM/AVG). Per-element
+    /// accounting (pane work counted once per element, `agg_ops` per slot
+    /// fan-out) is unchanged.
+    fn update_run(&mut self, times: &[u64], keys: &[u32], slots: &[u32], values: &[f64]) {
         debug_assert!(!times.is_empty());
         debug_assert!(times.len() == keys.len() && times.len() == values.len());
+        debug_assert!(times.len() == slots.len());
         let window = *self.deque.window();
         let instances = window.instances_containing(times[0]);
         debug_assert_eq!(
@@ -268,24 +516,23 @@ impl MultiStore {
         let mut work_sink = self.work_sink;
         let mut folded = 0u64;
         for m in instances {
+            for &t in times {
+                work_sink ^= element_work(t ^ m, work);
+            }
             let funcs = &self.funcs;
             let raw_mask = &self.raw_mask;
             let pane = self.deque.pane_mut(m);
             let mut k = 0;
-            while k < keys.len() {
-                let key = keys[k];
+            while k < slots.len() {
+                let slot = slots[k];
                 let mut end = k + 1;
-                while end < keys.len() && keys[end] == key {
+                while end < slots.len() && slots[end] == slot {
                     end += 1;
                 }
-                // One probe for the whole key sub-run; zipped iteration
-                // avoids per-element bounds checks.
-                let acc = pane.entry(key).or_insert_with(|| new_acc(funcs));
-                for (&t, &value) in times[k..end].iter().zip(&values[k..end]) {
-                    work_sink ^= element_work(t ^ m, work);
-                    for &j in raw_mask.iter() {
-                        update_slot(funcs[j], &mut acc[j], value);
-                    }
+                pane.touch(slot, funcs);
+                let run = &values[k..end];
+                for &j in raw_mask.iter() {
+                    pane.cols[j].fold_run(funcs[j], slot as usize, run);
                 }
                 k = end;
             }
@@ -298,26 +545,31 @@ impl MultiStore {
 
     /// Folds a whole upstream pane into every instance containing `iv`,
     /// combining the combinable slots only (holistic slots are raw-fed and
-    /// must never inherit parent state).
+    /// must never inherit parent state). Both panes are slot-aligned
+    /// through the shared interner, so the merge is a linear walk of the
+    /// source's live slots; `slot_keys` (the interner's slot→key table)
+    /// recovers raw keys for the emulated element-work seed. The work
+    /// parameters are resolved once per call, outside the instance loop.
     #[inline]
-    fn combine_pane(&mut self, iv: &Interval, source: &MultiPane) {
+    fn combine_pane(&mut self, iv: &Interval, source: &MultiPane, slot_keys: &[u32]) {
         let window = *self.deque.window();
+        let work = self.work;
+        let mut sink = self.work_sink;
         for m in window.instances_containing_interval(iv) {
-            let work = self.work;
-            let mut sink = self.work_sink;
             self.combines += source.len() as u64;
             self.agg_ops += source.len() as u64 * self.combine_mask.len() as u64;
             let funcs = &self.funcs;
+            let combine_mask = &self.combine_mask;
             let pane = self.deque.pane_mut(m);
-            for (&key, sub) in source {
-                sink ^= element_work(m ^ u64::from(key), work);
-                let acc = pane.entry(key).or_insert_with(|| new_acc(funcs));
-                for &j in self.combine_mask.iter() {
-                    combine_slot(funcs[j], &mut acc[j], &sub[j]);
+            for &slot in &source.touched {
+                sink ^= element_work(m ^ u64::from(slot_keys[slot as usize]), work);
+                pane.touch(slot, funcs);
+                for &j in combine_mask.iter() {
+                    pane.cols[j].combine_at(funcs[j], slot as usize, &source.cols[j]);
                 }
             }
-            self.work_sink = sink;
         }
+        self.work_sink = sink;
     }
 }
 
@@ -335,7 +587,19 @@ pub(crate) struct MultiCore {
     funcs: Box<[AggregateFunction]>,
     /// Slot identities (`(function, column)`), slot-indexed — the key
     /// state migration matches slots by across plan swaps.
-    slot_keys: Vec<(AggregateFunction, String)>,
+    term_ids: Vec<(AggregateFunction, String)>,
+    /// Key → dense slot, shared by every store so parent and child panes
+    /// align slot-for-slot and combines are linear merges.
+    interner: crate::slab::KeyInterner,
+    /// Per-batch key→slot translation buffer (reused; ingress-only).
+    slot_buf: Vec<u32>,
+    /// Largest live-entry count seen in a sealing pane since the last
+    /// compaction (see `Typed::maybe_compact`).
+    peak_pane_live: usize,
+    /// `fed` at the last compaction (spacing guard against thrash).
+    last_compact_fed: u64,
+    /// Interner high-water `(slots, bytes)` across compactions.
+    interner_hw: (u64, u64),
     watermark: u64,
     deadline: u64,
     results_emitted: u64,
@@ -348,7 +612,7 @@ impl MultiCore {
         plan.validate().map_err(EngineError::InvalidPlan)?;
         let funcs: Box<[AggregateFunction]> =
             plan.aggregates().iter().map(|s| s.function()).collect();
-        let slot_keys: Vec<(AggregateFunction, String)> = plan
+        let term_ids: Vec<(AggregateFunction, String)> = plan
             .aggregates()
             .iter()
             .map(|s| (s.function(), s.column().to_string()))
@@ -428,7 +692,12 @@ impl MultiCore {
             children,
             raw_ops,
             funcs,
-            slot_keys,
+            term_ids,
+            interner: crate::slab::KeyInterner::new(),
+            slot_buf: Vec::new(),
+            peak_pane_live: 0,
+            last_compact_fed: 0,
+            interner_hw: (0, 0),
             watermark: 0,
             deadline: 0,
             results_emitted: 0,
@@ -449,14 +718,18 @@ impl MultiCore {
     }
 
     /// Emits one result per (key, aggregate term) for the pane at the
-    /// store front, straight into the sink (no intermediate buffer).
+    /// store front, straight into the sink (no intermediate buffer). Keys
+    /// are recovered through the interner's slot→key table; emission
+    /// walks the pane's live slots in first-touch order.
     #[inline]
     fn emit_front(&mut self, op: usize, interval: Interval, sink: &mut ResultSink) {
         let window = self.windows[op];
+        let slot_keys = self.interner.keys();
         let pane = self.stores[op].deque.front_pane();
         let mut emitted = 0u64;
         if let ResultSink::Collect(_) = sink {
-            for (&key, acc) in pane {
+            for &slot in &pane.touched {
+                let key = slot_keys[slot as usize];
                 for (j, &f) in self.funcs.iter().enumerate() {
                     sink.push(
                         WindowResult {
@@ -464,7 +737,7 @@ impl MultiCore {
                             interval,
                             key,
                             agg: j as u32,
-                            value: finalize_slot(f, &acc[j]),
+                            value: pane.cols[j].finalize(f, slot as usize),
                         },
                         &mut emitted,
                     );
@@ -490,6 +763,7 @@ impl MultiCore {
     /// deliveries can double up exactly as they do during normal sealing —
     /// which only overlap-tolerant functions (MIN/MAX) ride.
     fn flush_open(&mut self) {
+        let slot_keys = self.interner.keys();
         for op in 0..self.stores.len() {
             if self.children[op].is_empty() {
                 continue;
@@ -500,7 +774,7 @@ impl MultiCore {
                 let interval = window.interval(m);
                 for &child in &self.children[op] {
                     debug_assert!(child > op, "plan must be topologically ordered");
-                    tail[child - op - 1].combine_pane(&interval, pane);
+                    tail[child - op - 1].combine_pane(&interval, pane, slot_keys);
                 }
             }
         }
@@ -519,23 +793,31 @@ impl MultiCore {
                 continue;
             }
             let funcs = self.funcs.clone();
+            let slot_keys = self.interner.keys();
             let store = &mut self.stores[op];
             let mut panes = store.deque.take_open();
             for (m, carried) in std::mem::take(&mut store.carry) {
                 match panes.iter_mut().find(|(pm, _)| *pm == m) {
-                    Some((_, pane)) => merge_carried_pane(&funcs, pane, carried),
+                    Some((_, pane)) => pane.merge_from(&carried, &funcs),
                     None => panes.push((m, carried)),
                 }
             }
             panes.sort_by_key(|&(m, _)| m);
             if !panes.is_empty() {
-                windows.push((self.windows[op], panes));
+                // Hand state over key-addressed (sorted by raw key): the
+                // adopting core owns a different interner, and checkpoint
+                // snapshots must stay slot-assignment-neutral.
+                let entries: Vec<(u64, KeyedPane)> = panes
+                    .iter()
+                    .map(|(m, pane)| (*m, pane.to_entries(slot_keys)))
+                    .collect();
+                windows.push((self.windows[op], entries));
             }
         }
         GroupState {
             watermark: self.watermark,
             last_event_time: self.last_event_time,
-            slots: self.slot_keys.clone(),
+            slots: self.term_ids.clone(),
             windows,
         }
     }
@@ -558,7 +840,7 @@ impl MultiCore {
         self.watermark = self.watermark.max(state.watermark);
         self.last_event_time = self.last_event_time.max(state.last_event_time);
         let slot_map: Vec<Option<usize>> = self
-            .slot_keys
+            .term_ids
             .iter()
             .map(|key| state.slots.iter().position(|old| old == key))
             .collect();
@@ -570,11 +852,10 @@ impl MultiCore {
             };
             let funcs = self.funcs.clone();
             let feeds_children = !self.children[op].is_empty();
-            let store = &mut self.stores[op];
             // Fast-forward the cursor past everything already sealed so
             // re-opening instance m does not allocate panes for the
             // sealed prefix (returns None: a fresh deque has no panes).
-            let positioned = store.deque.prepare_due(state.watermark);
+            let positioned = self.stores[op].deque.prepare_due(state.watermark);
             debug_assert!(positioned.is_none());
             let remap = |old_acc: &MultiAcc| -> MultiAcc {
                 funcs
@@ -586,23 +867,29 @@ impl MultiCore {
                     })
                     .collect()
             };
+            // Entries arrive key-sorted, so slot assignment in this
+            // core's interner is deterministic (key order) regardless of
+            // the exporting core's interning history.
             if feeds_children {
-                let mut carried: Vec<(u64, MultiPane)> = panes
-                    .into_iter()
-                    .map(|(m, pane)| {
-                        let remapped = pane
-                            .iter()
-                            .map(|(&key, old_acc)| (key, remap(old_acc)))
-                            .collect();
-                        (m, remapped)
-                    })
-                    .collect();
+                let mut carried: Vec<(u64, MultiPane)> = Vec::with_capacity(panes.len());
+                for (m, entries) in panes {
+                    let mut pane = MultiPane::default();
+                    for (key, old_acc) in entries {
+                        let slot = self.interner.intern(key);
+                        pane.write_row(slot, &remap(&old_acc), &funcs);
+                    }
+                    carried.push((m, pane));
+                }
                 carried.sort_by_key(|&(m, _)| m);
-                store.carry = carried;
+                self.stores[op].carry = carried;
             } else {
-                for (m, pane) in panes {
-                    for (key, old_acc) in pane {
-                        store.deque.pane_mut(m).insert(key, remap(&old_acc));
+                for (m, entries) in panes {
+                    for (key, old_acc) in entries {
+                        let slot = self.interner.intern(key);
+                        self.stores[op]
+                            .deque
+                            .pane_mut(m)
+                            .write_row(slot, &remap(&old_acc), &funcs);
                     }
                 }
             }
@@ -622,9 +909,11 @@ impl MultiCore {
             while let Some(interval) = self.stores[op].next_due(watermark) {
                 let (head, tail) = self.stores.split_at_mut(op + 1);
                 let pane = head[op].deque.front_pane();
+                self.peak_pane_live = self.peak_pane_live.max(pane.len());
+                let slot_keys = self.interner.keys();
                 for &child in &self.children[op] {
                     debug_assert!(child > op, "plan must be topologically ordered");
-                    tail[child - op - 1].combine_pane(&interval, pane);
+                    tail[child - op - 1].combine_pane(&interval, pane, slot_keys);
                 }
                 let m = interval.start / self.windows[op].slide();
                 self.stores[op].merge_carry_front(m);
@@ -636,6 +925,30 @@ impl MultiCore {
             deadline = deadline.min(self.stores[op].front_end());
         }
         self.deadline = deadline;
+    }
+
+    /// Recycles the interner and the slabs sized to it at idle points
+    /// (see `Typed::maybe_compact` — same conditions, plus the store-level
+    /// idle check covering carried-over swap state). Called from watermark
+    /// announcements only — never from the sealing inside a columnar
+    /// feed, whose translated slot buffer must stay valid for the rest of
+    /// the batch.
+    fn maybe_compact(&mut self) {
+        let slots = self.interner.len();
+        if slots >= crate::executor::COMPACT_MIN_SLOTS
+            && slots >= 2 * self.peak_pane_live.max(1)
+            && self.fed.saturating_sub(self.last_compact_fed) >= 16 * slots as u64
+            && self.stores.iter().all(MultiStore::is_idle)
+        {
+            self.interner_hw.0 = self.interner_hw.0.max(slots as u64);
+            self.interner_hw.1 = self.interner_hw.1.max(self.interner.bytes() as u64);
+            self.interner.clear();
+            for store in &mut self.stores {
+                store.compact();
+            }
+            self.peak_pane_live = 0;
+            self.last_compact_fed = self.fed;
+        }
     }
 }
 
@@ -652,10 +965,15 @@ impl crate::executor::PipelineCore for MultiCore {
         sink: &mut ResultSink,
     ) -> Result<()> {
         debug_assert!(times.len() == keys.len() && times.len() == values.len());
+        // Intern the key column once at ingress: one interner probe per
+        // key change, zero hash probes on the fold path below.
+        let mut slot_buf = std::mem::take(&mut self.slot_buf);
+        crate::executor::intern_keys(&mut self.interner, keys, &mut slot_buf);
         let mut i = 0;
         while i < times.len() {
             let head = times[i];
             if head < self.watermark {
+                self.slot_buf = slot_buf;
                 return Err(EngineError::OutOfOrderEvent {
                     at: head,
                     watermark: self.watermark,
@@ -678,7 +996,12 @@ impl crate::executor::PipelineCore for MultiCore {
                 i + crate::executor::run_len(&times[i..], limit)
             };
             for &op in &self.raw_ops {
-                self.stores[op].update_run(&times[i..j], &keys[i..j], &values[i..j]);
+                self.stores[op].update_run(
+                    &times[i..j],
+                    &keys[i..j],
+                    &slot_buf[i..j],
+                    &values[i..j],
+                );
             }
             let last = times[j - 1];
             self.watermark = last;
@@ -686,12 +1009,14 @@ impl crate::executor::PipelineCore for MultiCore {
             self.last_event_time = self.last_event_time.max(last);
             i = j;
         }
+        self.slot_buf = slot_buf;
         Ok(())
     }
 
     fn advance_to(&mut self, watermark: u64, sink: &mut ResultSink) {
         self.advance(watermark, sink);
         self.watermark = self.watermark.max(watermark);
+        self.maybe_compact();
     }
 
     fn watermark(&self) -> u64 {
@@ -732,6 +1057,13 @@ impl crate::executor::PipelineCore for MultiCore {
 
     fn export_group_state(&mut self) -> Option<GroupState> {
         Some(self.export_state())
+    }
+
+    fn interner_stats(&self) -> (u64, u64) {
+        (
+            self.interner_hw.0.max(self.interner.len() as u64),
+            self.interner_hw.1.max(self.interner.bytes() as u64),
+        )
     }
 }
 

@@ -3,20 +3,51 @@
 //! A window `W⟨r,s⟩` has at most `⌈r/s⌉ + 1` instances open at any time in
 //! an in-order stream, so panes live in a `VecDeque` indexed by instance
 //! number relative to the oldest unsealed instance. Sealing walks the
-//! front without allocating: retired pane maps are cleared into a spare
+//! front without allocating: retired pane slabs are cleared into a spare
 //! pool and reused, so the steady state performs zero allocations — the
 //! cost model equates one sub-aggregate combine with one raw update, and
 //! the implementation has to honor that for measured throughput to track
 //! modeled cost (Figure 19).
+//!
+//! Panes are slot-indexed slabs ([`crate::slab::Slab`]): the executor's
+//! [`crate::slab::KeyInterner`] maps each raw key to a dense slot once
+//! per batch at ingress, and every fold/combine below indexes contiguous
+//! memory by slot — no hash probes on the steady-state path. Raw keys
+//! reappear only where the cost-model's per-element work is seeded and
+//! where sealed results are emitted, recovered via the interner's
+//! slot→key table.
 
 use crate::agg::Aggregate;
-use crate::fasthash::FastU32Map;
+use crate::slab::Slab;
 use fw_core::{Interval, Window};
 use std::collections::VecDeque;
 
-/// Per-key accumulators for one window instance, hashed with the
-/// dense-`u32`-specialized mixer ([`crate::fasthash::FastU32Hasher`]).
-pub type Pane<Acc> = FastU32Map<Acc>;
+/// Per-key accumulators for one window instance: a dense slot-indexed
+/// slab with epoch-stamped occupancy (O(1) clear, iteration linear in
+/// live entries).
+pub type Pane<Acc> = Slab<Acc>;
+
+/// The behavior [`PaneDeque`] needs from a pane representation, so the
+/// single-aggregate slab panes ([`Pane`]) and the multi-aggregate SoA
+/// panes (`MultiPane`, crate-private) share one sealing/recycling
+/// implementation.
+pub trait PaneState: Default {
+    /// True when the pane holds no live entries.
+    fn is_empty(&self) -> bool;
+    /// Empties the pane for reuse (O(1) for epoch-stamped slabs).
+    fn clear(&mut self);
+}
+
+impl<V> PaneState for Slab<V> {
+    #[inline]
+    fn is_empty(&self) -> bool {
+        Slab::is_empty(self)
+    }
+    #[inline]
+    fn clear(&mut self) {
+        Slab::clear(self);
+    }
+}
 
 /// Emulated per-element processing cost: dependent ALU iterations executed
 /// for every element an operator consumes (a raw event folded into one
@@ -55,23 +86,23 @@ pub fn element_work(seed: u64, iters: u32) -> u64 {
 /// emulation live in the stores composing it, so a sealing or
 /// fast-forward fix lands in exactly one place.
 #[derive(Debug)]
-pub struct PaneDeque<V> {
+pub struct PaneDeque<P: PaneState> {
     window: Window,
-    panes: VecDeque<Pane<V>>,
+    panes: VecDeque<P>,
     /// Absolute instance index of `panes.front()`; also the next instance
     /// to seal (sealing is strictly in order).
     front_m: u64,
-    /// Cleared maps ready for reuse (allocation-free steady state). Capped
+    /// Cleared slabs ready for reuse (allocation-free steady state). Capped
     /// at `spare_cap`: an in-order stream needs at most the maximum
     /// concurrently-open instance count, and a disorder or time-gap burst
     /// that retires a long run of panes must not pin their memory forever.
-    spare: Vec<Pane<V>>,
+    spare: Vec<P>,
     /// Maximum spare panes retained: `r/s + 1`, the most instances ever
     /// open at once.
     spare_cap: usize,
 }
 
-impl<V> PaneDeque<V> {
+impl<P: PaneState> PaneDeque<P> {
     /// Creates an empty deque for `window`.
     #[must_use]
     pub fn new(window: Window) -> Self {
@@ -114,7 +145,7 @@ impl<V> PaneDeque<V> {
     /// The pane of instance `m`, opening panes (recycled from the spare
     /// pool when possible) as needed.
     #[inline]
-    pub fn pane_mut(&mut self, m: u64) -> &mut Pane<V> {
+    pub fn pane_mut(&mut self, m: u64) -> &mut P {
         debug_assert!(
             m >= self.front_m,
             "update behind sealed instance {m} < {}",
@@ -160,7 +191,7 @@ impl<V> PaneDeque<V> {
     /// The pane positioned by [`Self::prepare_due`].
     #[inline]
     #[must_use]
-    pub fn front_pane(&self) -> &Pane<V> {
+    pub fn front_pane(&self) -> &P {
         self.panes.front().expect("prepare_due positioned a pane")
     }
 
@@ -181,7 +212,7 @@ impl<V> PaneDeque<V> {
     /// so a retirement burst cannot grow retired-pane memory without
     /// bound.
     #[inline]
-    fn recycle(&mut self, pane: Pane<V>) {
+    fn recycle(&mut self, pane: P) {
         if self.spare.len() < self.spare_cap {
             self.spare.push(pane);
         }
@@ -232,7 +263,7 @@ impl<V> PaneDeque<V> {
     /// Iterates the open, non-empty panes together with their absolute
     /// instance indices (state-migration and flush support; see
     /// [`crate::multi`]).
-    pub fn iter_open(&self) -> impl Iterator<Item = (u64, &Pane<V>)> {
+    pub fn iter_open(&self) -> impl Iterator<Item = (u64, &P)> {
         let front = self.front_m;
         self.panes
             .iter()
@@ -241,11 +272,29 @@ impl<V> PaneDeque<V> {
             .map(move |(i, p)| (front + i as u64, p))
     }
 
+    /// True when no open pane holds a live entry — the deque-level idle
+    /// condition under which slot-indexed state references no slot at
+    /// all, so the owning core may recycle its interner.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.panes.iter().all(P::is_empty)
+    }
+
+    /// Drops every pane slab (open panes are expected empty — see
+    /// [`Self::is_idle`]) and the spare pool, freeing capacity sized to a
+    /// retired slot space. The seal cursor is untouched; panes reopen on
+    /// demand.
+    pub fn compact(&mut self) {
+        debug_assert!(self.is_idle(), "compacting a deque with live panes");
+        self.panes.clear();
+        self.spare.clear();
+    }
+
     /// Drains every open, non-empty pane out of the deque, returning
     /// `(absolute instance index, pane)` pairs. Used to migrate window
     /// state into a freshly compiled core when a group's merged plan is
     /// rebuilt at a watermark boundary.
-    pub fn take_open(&mut self) -> Vec<(u64, Pane<V>)> {
+    pub fn take_open(&mut self) -> Vec<(u64, P)> {
         let front = self.front_m;
         self.panes
             .drain(..)
@@ -261,7 +310,7 @@ impl<V> PaneDeque<V> {
 /// emulation, and cost-model accounting.
 #[derive(Debug)]
 pub struct PaneStore<A: Aggregate> {
-    deque: PaneDeque<A::Acc>,
+    deque: PaneDeque<Pane<A::Acc>>,
     /// Per-element emulated work (see [`DEFAULT_ELEMENT_WORK`]).
     work: u32,
     /// Sink for the emulated work so it is not optimized away.
@@ -333,8 +382,10 @@ impl<A: Aggregate> PaneStore<A> {
 
     /// Folds a raw event into every instance containing `t`
     /// (`r/s` instances — the unshared per-event cost of the cost model).
+    /// `slot` is the interned dense id of `key` (the raw key still seeds
+    /// the emulated per-element work, matching the pre-slab seeds).
     #[inline]
-    pub fn update_point(&mut self, t: u64, key: u32, value: f64) {
+    pub fn update_point(&mut self, t: u64, key: u32, slot: u32, value: f64) {
         let window = *self.deque.window();
         if window.is_tumbling() {
             // Fast path: exactly one containing instance.
@@ -342,16 +393,14 @@ impl<A: Aggregate> PaneStore<A> {
             self.work_sink ^= element_work(t ^ u64::from(key), self.work);
             self.updates += 1;
             let pane = self.deque.pane_mut(m);
-            let acc = pane.entry(key).or_insert_with(A::init);
-            A::update(acc, value);
+            A::update(pane.slot_mut(slot, A::init), value);
             return;
         }
         for m in window.instances_containing(t) {
             self.work_sink ^= element_work(t ^ m, self.work);
             self.updates += 1;
             let pane = self.deque.pane_mut(m);
-            let acc = pane.entry(key).or_insert_with(A::init);
-            A::update(acc, value);
+            A::update(pane.slot_mut(slot, A::init), value);
         }
     }
 
@@ -361,14 +410,19 @@ impl<A: Aggregate> PaneStore<A> {
     ///
     /// The instance arithmetic (`t / s`, pane lookup in the deque) is paid
     /// once per run instead of once per event, and within the run
-    /// consecutive events with the same key share one hash probe: the
-    /// accumulator is resolved once per key sub-run and updated in place.
+    /// consecutive events with the same key share one slot resolve: the
+    /// accumulator is indexed once per key sub-run (`slots` carries the
+    /// interned id per element) and the values fold through the
+    /// aggregate's columnar kernel ([`Aggregate::fold_run`]).
     /// Per-element accounting is unchanged — `updates` grows by one per
     /// event per instance and the emulated element work runs per element,
-    /// exactly as the equivalent [`Self::update_point`] sequence would.
-    pub fn update_run(&mut self, times: &[u64], keys: &[u32], values: &[f64]) {
+    /// exactly as the equivalent [`Self::update_point`] sequence would:
+    /// the work loop is separate from the value fold, which is safe
+    /// because the sink combines by XOR (order-free).
+    pub fn update_run(&mut self, times: &[u64], keys: &[u32], slots: &[u32], values: &[f64]) {
         debug_assert!(!times.is_empty());
         debug_assert!(times.len() == keys.len() && times.len() == values.len());
+        debug_assert!(times.len() == slots.len());
         let window = *self.deque.window();
         let tumbling = window.is_tumbling();
         let instances = window.instances_containing(times[0]);
@@ -381,24 +435,28 @@ impl<A: Aggregate> PaneStore<A> {
         let mut work_sink = self.work_sink;
         let mut folded = 0u64;
         for m in instances {
+            // Emulated per-element work, seeded exactly as `update_point`
+            // seeds it (raw key, not slot).
+            if tumbling {
+                for (&t, &key) in times.iter().zip(keys) {
+                    work_sink ^= element_work(t ^ u64::from(key), work);
+                }
+            } else {
+                for &t in times {
+                    work_sink ^= element_work(t ^ m, work);
+                }
+            }
             let pane = self.deque.pane_mut(m);
             let mut k = 0;
-            while k < keys.len() {
-                let key = keys[k];
+            while k < slots.len() {
+                let slot = slots[k];
                 let mut end = k + 1;
-                while end < keys.len() && keys[end] == key {
+                while end < slots.len() && slots[end] == slot {
                     end += 1;
                 }
-                // One probe for the whole key sub-run; the zipped
-                // iteration keeps the fold free of per-element bounds
-                // checks.
-                let acc = pane.entry(key).or_insert_with(A::init);
-                for (&t, &value) in times[k..end].iter().zip(&values[k..end]) {
-                    // Same per-element work seeds as `update_point`.
-                    let seed = if tumbling { t ^ u64::from(key) } else { t ^ m };
-                    work_sink ^= element_work(seed, work);
-                    A::update(acc, value);
-                }
+                // One slot resolve for the whole key sub-run, then a
+                // contiguous fold over the value column.
+                A::fold_run(pane.slot_mut(slot, A::init), &values[k..end]);
                 k = end;
             }
             folded += times.len() as u64;
@@ -409,27 +467,31 @@ impl<A: Aggregate> PaneStore<A> {
 
     /// Folds a whole upstream pane (all keys of one sub-aggregate interval)
     /// into every instance whose lifetime fully contains `iv` — the
-    /// instance range is computed once per pane, not once per key.
+    /// instance range is computed once per pane, not once per key, and the
+    /// merge is a linear walk of the source slab's live slots (parent and
+    /// child share the core's interner, so slot ids line up and no probe
+    /// is needed on either side). `slot_keys` is the interner's slot→key
+    /// table, used only to seed the emulated per-element work with the
+    /// raw key as the hash-map implementation did.
     #[inline]
-    pub fn combine_pane(&mut self, iv: &Interval, source: &Pane<A::Acc>) {
+    pub fn combine_pane(&mut self, iv: &Interval, source: &Pane<A::Acc>, slot_keys: &[u32]) {
+        // Hoisted once per call (not per instance), matching
+        // `update_run`'s structure.
+        let work = self.work;
+        let mut sink = self.work_sink;
         for m in self.deque.window().instances_containing_interval(iv) {
-            let work = self.work;
-            let mut sink = self.work_sink;
             self.combines += source.len() as u64;
             let pane = self.deque.pane_mut(m);
-            for (&key, sub) in source {
-                sink ^= element_work(m ^ u64::from(key), work);
-                match pane.entry(key) {
-                    std::collections::hash_map::Entry::Occupied(mut e) => {
-                        A::combine(e.get_mut(), sub);
-                    }
-                    std::collections::hash_map::Entry::Vacant(e) => {
-                        e.insert(sub.clone());
-                    }
+            for (slot, sub) in source.iter() {
+                sink ^= element_work(m ^ u64::from(slot_keys[slot as usize]), work);
+                if let Some(acc) = pane.get_mut(slot) {
+                    A::combine(acc, sub);
+                } else {
+                    pane.insert(slot, sub.clone());
                 }
             }
-            self.work_sink = sink;
         }
+        self.work_sink = sink;
     }
 
     /// Positions the store at its next due (`end ≤ watermark`), non-empty
@@ -454,6 +516,19 @@ impl<A: Aggregate> PaneStore<A> {
         self.deque.retire_front();
     }
 
+    /// True when no open pane holds a live entry (see
+    /// [`PaneDeque::is_idle`]).
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.deque.is_idle()
+    }
+
+    /// Frees slab capacity sized to a retired slot space (see
+    /// [`PaneDeque::compact`]); callers must hold the idle condition.
+    pub fn compact(&mut self) {
+        self.deque.compact();
+    }
+
     /// Convenience wrapper for tests: seals and returns a copy of the next
     /// due instance.
     pub fn pop_due(&mut self, watermark: u64) -> Option<(Interval, Pane<A::Acc>)> {
@@ -473,40 +548,44 @@ mod tests {
         Window::new(r, s).unwrap()
     }
 
+    /// Tests intern keys as themselves (`slot == key`), with an identity
+    /// slot->key table for combine's work seeds.
+    const IDENTITY: &[u32] = &[0, 1, 2, 3, 4, 5, 6, 7];
+
     #[test]
     fn tumbling_update_and_seal() {
         let mut store: PaneStore<SumAgg> = PaneStore::new(w(10, 10));
         for t in 0..25 {
-            store.update_point(t, 0, 1.0);
+            store.update_point(t, 0, 0, 1.0);
         }
         // Watermark 20: instances [0,10) and [10,20) are due.
         let (iv, pane) = store.pop_due(20).unwrap();
         assert_eq!(iv, Interval::new(0, 10));
-        assert_eq!(pane[&0], 10.0);
+        assert_eq!(pane.get(0), Some(&10.0));
         let (iv, pane) = store.pop_due(20).unwrap();
         assert_eq!(iv, Interval::new(10, 20));
-        assert_eq!(pane[&0], 10.0);
+        assert_eq!(pane.get(0), Some(&10.0));
         assert!(store.pop_due(20).is_none());
         // Flush: the partial instance [20, 30) has 5 events.
         let (iv, pane) = store.pop_due(u64::MAX).unwrap();
         assert_eq!(iv, Interval::new(20, 30));
-        assert_eq!(pane[&0], 5.0);
+        assert_eq!(pane.get(0), Some(&5.0));
     }
 
     #[test]
     fn update_run_matches_per_event_updates() {
         // Same fold, same accounting, for tumbling and hopping windows and
-        // for repeated keys inside a run (the shared-probe path).
+        // for repeated keys inside a run (the shared slot-resolve path).
         for window in [w(10, 10), w(20, 5)] {
             let times = [41u64, 41, 42, 43, 43, 44];
             let keys = [1u32, 1, 2, 2, 2, 1];
             let values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0];
             let mut per_event: PaneStore<SumAgg> = PaneStore::new(window);
             for i in 0..times.len() {
-                per_event.update_point(times[i], keys[i], values[i]);
+                per_event.update_point(times[i], keys[i], keys[i], values[i]);
             }
             let mut run: PaneStore<SumAgg> = PaneStore::new(window);
-            run.update_run(&times, &keys, &values);
+            run.update_run(&times, &keys, &keys, &values);
             assert_eq!(run.updates(), per_event.updates());
             assert_eq!(run.work_sink(), per_event.work_sink());
             loop {
@@ -523,13 +602,13 @@ mod tests {
     #[test]
     fn hopping_events_hit_multiple_instances() {
         let mut store: PaneStore<SumAgg> = PaneStore::new(w(10, 5));
-        store.update_point(7, 1, 1.0); // instances [0,10) and [5,15)
+        store.update_point(7, 1, 1, 1.0); // instances [0,10) and [5,15)
         let (iv, pane) = store.pop_due(10).unwrap();
         assert_eq!(iv, Interval::new(0, 10));
-        assert_eq!(pane[&1], 1.0);
+        assert_eq!(pane.get(1), Some(&1.0));
         let (iv, pane) = store.pop_due(15).unwrap();
         assert_eq!(iv, Interval::new(5, 15));
-        assert_eq!(pane[&1], 1.0);
+        assert_eq!(pane.get(1), Some(&1.0));
     }
 
     #[test]
@@ -539,25 +618,43 @@ mod tests {
         let mut store: PaneStore<MinAgg> = PaneStore::new(w(20, 10));
         let mut sub: Pane<f64> = Pane::default();
         sub.insert(0, 3.5);
-        store.combine_pane(&Interval::new(10, 20), &sub);
+        store.combine_pane(&Interval::new(10, 20), &sub, IDENTITY);
         let mut sub2: Pane<f64> = Pane::default();
         sub2.insert(0, 7.0);
-        store.combine_pane(&Interval::new(0, 10), &sub2);
+        store.combine_pane(&Interval::new(0, 10), &sub2, IDENTITY);
         let (iv, pane) = store.pop_due(20).unwrap();
         assert_eq!(iv, Interval::new(0, 20));
-        assert_eq!(pane[&0], 3.5);
+        assert_eq!(pane.get(0), Some(&3.5));
         let (iv, pane) = store.pop_due(30).unwrap();
         assert_eq!(iv, Interval::new(10, 30));
-        assert_eq!(pane[&0], 3.5);
+        assert_eq!(pane.get(0), Some(&3.5));
+    }
+
+    #[test]
+    fn combine_hoists_work_setup_once_per_call() {
+        // The emulated-work sink must accumulate across the instances of
+        // one combine call exactly as per-instance calls would: the
+        // hoisted sink is written back once, XOR-combining every term.
+        let mut hopping: PaneStore<MinAgg> = PaneStore::new(w(20, 10));
+        let mut sub: Pane<f64> = Pane::default();
+        sub.insert(0, 1.0);
+        sub.insert(2, 5.0);
+        hopping.combine_pane(&Interval::new(10, 20), &sub, IDENTITY);
+        let expected = element_work(0, DEFAULT_ELEMENT_WORK)
+            ^ element_work(2, DEFAULT_ELEMENT_WORK)
+            ^ element_work(1, DEFAULT_ELEMENT_WORK)
+            ^ element_work(1 ^ 2, DEFAULT_ELEMENT_WORK);
+        assert_eq!(hopping.work_sink(), expected);
+        assert_eq!(hopping.combines(), 4); // 2 entries x 2 instances
     }
 
     #[test]
     fn empty_instances_are_skipped() {
         let mut store: PaneStore<SumAgg> = PaneStore::new(w(10, 10));
-        store.update_point(35, 0, 2.0); // only instance [30, 40) has data
+        store.update_point(35, 0, 0, 2.0); // only instance [30, 40) has data
         let (iv, pane) = store.pop_due(100).unwrap();
         assert_eq!(iv, Interval::new(30, 40));
-        assert_eq!(pane[&0], 2.0);
+        assert_eq!(pane.get(0), Some(&2.0));
         assert!(store.pop_due(100).is_none());
     }
 
@@ -566,7 +663,7 @@ mod tests {
         let mut store: PaneStore<SumAgg> = PaneStore::new(w(10, 10));
         assert!(store.pop_due(1_000_000).is_none());
         // The cursor jumped: a later event lands in the right instance.
-        store.update_point(1_000_005, 0, 1.0);
+        store.update_point(1_000_005, 0, 0, 1.0);
         let (iv, _) = store.pop_due(u64::MAX).unwrap();
         assert_eq!(iv, Interval::new(1_000_000, 1_000_010));
     }
@@ -576,13 +673,14 @@ mod tests {
         let mut store: PaneStore<SumAgg> = PaneStore::new(w(10, 10));
         for round in 0u64..100 {
             for t in round * 10..(round + 1) * 10 {
-                store.update_point(t, (t % 3) as u32, 1.0);
+                let key = (t % 3) as u32;
+                store.update_point(t, key, key, 1.0);
             }
             if round > 0 {
                 assert!(store.pop_due(round * 10).is_some());
             }
         }
-        // One open pane plus at most a couple of spares — not 100 maps.
+        // One open pane plus at most a couple of spares — not 100 slabs.
         assert!(store.open_panes() <= 2, "{}", store.open_panes());
         assert!(
             store.deque.spare.len() <= 3,
@@ -597,8 +695,8 @@ mod tests {
         // the spare pool must keep at most the steady-state count, not
         // the whole burst.
         let mut store: PaneStore<SumAgg> = PaneStore::new(w(10, 10));
-        store.update_point(0, 0, 1.0);
-        store.update_point(100_000, 0, 1.0); // gap-fills ~10k instances
+        store.update_point(0, 0, 0, 1.0);
+        store.update_point(100_000, 0, 0, 1.0); // gap-fills ~10k instances
         let mut sealed = 0;
         while store.prepare_due(u64::MAX).is_some() {
             store.retire_front();
@@ -613,8 +711,8 @@ mod tests {
 
         // Same bound for a hopping window (r/s + 1 = 11).
         let mut store: PaneStore<SumAgg> = PaneStore::new(w(100, 10));
-        store.update_point(0, 0, 1.0);
-        store.update_point(50_000, 0, 1.0);
+        store.update_point(0, 0, 0, 1.0);
+        store.update_point(50_000, 0, 0, 1.0);
         while store.prepare_due(u64::MAX).is_some() {
             store.retire_front();
         }
@@ -632,7 +730,7 @@ mod tests {
             while store.prepare_due(t).is_some() {
                 store.retire_front();
             }
-            store.update_point(t, 0, 1.0);
+            store.update_point(t, 0, 0, 1.0);
         }
         assert!(
             store.open_panes() <= 11,

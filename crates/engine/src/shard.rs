@@ -94,6 +94,9 @@ enum Command {
     /// Report `(events_fed, results_emitted, stats)` without disturbing
     /// the stream.
     Stats(mpsc::Sender<(u64, u64, ExecStats)>),
+    /// Report the shard's key-interner high-water `(slots, bytes)` (see
+    /// [`PlanPipeline::interner_stats`]) without disturbing the stream.
+    InternerStats(mpsc::Sender<(u64, u64)>),
     /// Swap the executing plan in place at a watermark boundary
     /// ([`PlanPipeline::rebuild`]); the reply doubles as the barrier.
     Rebuild {
@@ -175,6 +178,9 @@ fn worker(
                     pipeline.results_emitted(),
                     pipeline.stats(),
                 ));
+            }
+            Command::InternerStats(reply) => {
+                let _ = reply.send(pipeline.interner_stats());
             }
             Command::Rebuild {
                 plan,
@@ -829,6 +835,33 @@ impl ShardedPipeline {
             total.2.agg_ops += stats.agg_ops;
         }
         total.2.replans = self.replans;
+        total
+    }
+
+    /// A synchronizing snapshot of the summed per-shard key-interner
+    /// high-water marks, `(slots, bytes)` — each shard owns a disjoint
+    /// key partition, so the sum is the plan's distinct-key footprint
+    /// (see [`PlanPipeline::interner_stats`]).
+    #[must_use]
+    pub fn interner_stats(&self) -> (u64, u64) {
+        let replies: Vec<mpsc::Receiver<(u64, u64)>> = self
+            .workers
+            .iter()
+            .map(|worker| {
+                let (tx, rx) = mpsc::channel();
+                worker
+                    .commands
+                    .send(Command::InternerStats(tx))
+                    .expect("shard worker terminated unexpectedly");
+                rx
+            })
+            .collect();
+        let mut total = (0u64, 0u64);
+        for rx in replies {
+            let (slots, bytes) = rx.recv().expect("shard worker terminated unexpectedly");
+            total.0 += slots;
+            total.1 += bytes;
+        }
         total
     }
 

@@ -1,0 +1,180 @@
+//! Property tests for the dense-interner/slab pane backend: random
+//! sparse-`u32` key distributions with churn, checked bit-for-bit against
+//! the retained-map reference oracle ([`fw_engine::reference_results`],
+//! which folds every event into plain sorted maps and knows nothing about
+//! interners, slots, or slabs).
+//!
+//! Two properties are exercised:
+//! - **Equivalence**: for every aggregate function and every concrete
+//!   plan choice, slab execution produces `f64::to_bits`-identical
+//!   results to the reference, including under multi-instance hopping
+//!   windows and a factor-window cascade.
+//! - **Compaction safety**: a long stream whose key population churns in
+//!   disjoint phases, with idle-point watermark announcements in between,
+//!   recycles the interner (observable as a slot high-water far below the
+//!   total distinct-key count) without perturbing a single result bit.
+
+use fw_core::{AggregateFunction, Optimizer, PlanChoice, Window, WindowQuery, WindowSet};
+use fw_engine::{
+    reference_results, sorted_results, Event, PipelineOptions, PlanPipeline, WindowResult,
+};
+
+/// Deterministic xorshift64 — the tests are property-style but must stay
+/// reproducible, so the "random" streams are seeded and fixed.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+/// Spreads a small ordinal over the full `u32` range so interned keys are
+/// sparse (nothing about the slot table may rely on dense raw keys).
+fn sparse_key(ordinal: u32) -> u32 {
+    ordinal.wrapping_mul(0x9E37_79B1)
+}
+
+/// An in-order stream whose key population drifts: each event draws from
+/// a window of ordinals that slides forward over time, so early keys die
+/// out while new ones keep arriving (the churn pattern slab recycling
+/// must survive). Values carry fractional bits so `to_bits` comparisons
+/// are meaningful.
+fn churn_stream(n: u64, seed: u64) -> Vec<Event> {
+    let mut rng = XorShift(seed | 1);
+    let mut t = 0u64;
+    (0..n)
+        .map(|i| {
+            t += rng.next() % 3; // gaps and repeated timestamps
+            let base = (i / 64) as u32; // population slides every 64 events
+            let ordinal = base + (rng.next() % 48) as u32;
+            let value = ((rng.next() % 2_000) as f64 - 500.0) * 0.125 + 0.0625;
+            Event::new(t, sparse_key(ordinal), value)
+        })
+        .collect()
+}
+
+/// Canonical, bit-exact encoding of a result set for equality checks:
+/// `PartialEq` on `f64` would already fail on any bit difference that
+/// matters, but comparing the raw bits makes the contract explicit.
+fn result_bits(results: Vec<WindowResult>) -> Vec<(u64, u64, u64, u64, u32, u32, u64)> {
+    sorted_results(results)
+        .into_iter()
+        .map(|r| {
+            (
+                r.window.range(),
+                r.window.slide(),
+                r.interval.start,
+                r.interval.end,
+                r.key,
+                r.agg,
+                r.value.to_bits(),
+            )
+        })
+        .collect()
+}
+
+fn w(r: u64, s: u64) -> Window {
+    Window::new(r, s).unwrap()
+}
+
+#[test]
+fn slab_backend_matches_retained_map_reference_under_churn() {
+    // Tumbling + overlapping hopping windows; the factored plan routes
+    // part of the flow through a hidden factor window, so slab combine
+    // (slot-aligned linear merge) is on the path, not just raw folds.
+    let windows = vec![w(16, 16), w(24, 8), w(48, 16)];
+    let evs = churn_stream(4_000, 0x5EED_CAFE);
+    for function in AggregateFunction::ALL {
+        let oracle = result_bits(reference_results(&windows, function, &evs));
+        assert!(!oracle.is_empty());
+        let q = WindowQuery::new(WindowSet::new(windows.clone()).unwrap(), function);
+        let out = Optimizer::default().optimize(&q).unwrap();
+        for choice in PlanChoice::CONCRETE {
+            let plan = &out.select(choice).plan;
+            let run = PlanPipeline::run(plan, &evs, PipelineOptions::collecting()).unwrap();
+            assert_eq!(
+                result_bits(run.results),
+                oracle,
+                "{function} under {choice} diverges from the retained-map reference"
+            );
+        }
+    }
+}
+
+#[test]
+fn compaction_under_phase_churn_keeps_results_bit_identical() {
+    // Six phases of 2_048 fresh sparse keys each; every phase ends on a
+    // pane boundary followed by a watermark announcement, so the engine
+    // hits its idle-point compaction check with all panes empty. The
+    // compaction thresholds (4_096-slot floor, 16×slots event spacing)
+    // are crossed from phase two onward.
+    const PHASES: u64 = 6;
+    const KEYS_PER_PHASE: u64 = 2_048;
+    const EVENTS_PER_PHASE: u64 = 32_768;
+    let window = w(8, 8);
+    let mut rng = XorShift(0xC0FF_EE11);
+    let mut events: Vec<Event> = Vec::new();
+    for phase in 0..PHASES {
+        let t0 = phase * EVENTS_PER_PHASE;
+        for i in 0..EVENTS_PER_PHASE {
+            let ordinal = (phase * KEYS_PER_PHASE) as u32 + (rng.next() % KEYS_PER_PHASE) as u32;
+            let value = ((rng.next() % 4_096) as f64) * 0.25 - 512.0;
+            events.push(Event::new(t0 + i, sparse_key(ordinal), value));
+        }
+    }
+
+    let q = WindowQuery::new(
+        WindowSet::new(vec![window]).unwrap(),
+        AggregateFunction::Sum,
+    );
+    let out = Optimizer::default().optimize(&q).unwrap();
+    let mut pipeline =
+        PlanPipeline::compile(&out.factored.plan, PipelineOptions::collecting()).unwrap();
+    let mut collected = Vec::new();
+    for phase in 0..PHASES {
+        let chunk =
+            &events[(phase * EVENTS_PER_PHASE) as usize..((phase + 1) * EVENTS_PER_PHASE) as usize];
+        let times: Vec<u64> = chunk.iter().map(|e| e.time).collect();
+        let keys: Vec<u32> = chunk.iter().map(|e| e.key).collect();
+        let values: Vec<f64> = chunk.iter().map(|e| e.value).collect();
+        pipeline.push_columns(&times, &keys, &values).unwrap();
+        // Announce at the phase boundary (a multiple of the pane size):
+        // everything fed so far seals, leaving the stores idle.
+        pipeline
+            .advance_watermark((phase + 1) * EVENTS_PER_PHASE)
+            .unwrap();
+        collected.extend(pipeline.poll_results());
+    }
+    let (slots_hw, bytes_hw) = pipeline.interner_stats();
+    collected.extend(pipeline.finish().unwrap().results);
+
+    let total_distinct = PHASES * KEYS_PER_PHASE;
+    assert!(
+        slots_hw >= KEYS_PER_PHASE && bytes_hw > 0,
+        "interner high-water should cover at least one phase's keys, got {slots_hw} slots / {bytes_hw} bytes"
+    );
+    // Without compaction the interner would end at every distinct key it
+    // ever saw; recycling at the idle announcements keeps the slot space
+    // bounded by the live phases between compactions.
+    assert!(
+        slots_hw < total_distinct,
+        "interner never compacted: {slots_hw} slots vs {total_distinct} distinct keys"
+    );
+
+    let oracle = result_bits(reference_results(
+        &[window],
+        AggregateFunction::Sum,
+        &events,
+    ));
+    assert_eq!(
+        result_bits(collected),
+        oracle,
+        "results diverged across interner compactions"
+    );
+}

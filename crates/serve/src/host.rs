@@ -285,6 +285,16 @@ impl GroupHost {
         total
     }
 
+    /// Key-interner high-water `(slots, bytes)` of the running executor
+    /// (zero while no queries are registered): the dense key space
+    /// backing the engine's pane slabs. A synchronizing snapshot on
+    /// sharded executors — call it at announcement cadence, not per
+    /// event.
+    #[must_use]
+    pub fn interner_stats(&self) -> (u64, u64) {
+        self.exec.as_ref().map_or((0, 0), |e| e.interner_stats())
+    }
+
     /// Re-derives the [`GroupPlan`] the running executor was compiled
     /// from: the optimizer is deterministic, so planning the current
     /// member set under the pinned policy reproduces it exactly.

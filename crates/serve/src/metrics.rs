@@ -78,6 +78,11 @@ pub struct Metrics {
     pub max_event_time: AtomicU64,
     /// Size in bytes of the most recent checkpoint snapshot.
     pub checkpoint_bytes_last: AtomicU64,
+    /// High-water mark of dense key-interner slots across the engine's
+    /// pipelines (distinct keys since the last slab compaction).
+    pub interner_slots: AtomicU64,
+    /// High-water mark of key-interner table bytes.
+    pub interner_bytes: AtomicU64,
 
     per_query: Mutex<BTreeMap<u32, QueryStats>>,
 }
@@ -128,6 +133,8 @@ impl Metrics {
             watermark: AtomicU64::new(0),
             max_event_time: AtomicU64::new(0),
             checkpoint_bytes_last: AtomicU64::new(0),
+            interner_slots: AtomicU64::new(0),
+            interner_bytes: AtomicU64::new(0),
             per_query: Mutex::new(BTreeMap::new()),
         }
     }
@@ -225,6 +232,8 @@ impl Metrics {
             checkpoints_written: load(&self.checkpoints_written),
             checkpoint_errors: load(&self.checkpoint_errors),
             checkpoint_bytes_last: load(&self.checkpoint_bytes_last),
+            interner_slots: load(&self.interner_slots),
+            interner_bytes: load(&self.interner_bytes),
             resumes: load(&self.resumes),
             engine_panics: load(&self.engine_panics),
             ingest_queue_depth: load(&self.ingest_queue_depth),
@@ -280,6 +289,8 @@ pub struct MetricsSnapshot {
     pub checkpoints_written: u64,
     pub checkpoint_errors: u64,
     pub checkpoint_bytes_last: u64,
+    pub interner_slots: u64,
+    pub interner_bytes: u64,
     pub resumes: u64,
     pub engine_panics: u64,
     pub ingest_queue_depth: u64,
@@ -335,6 +346,8 @@ impl MetricsSnapshot {
                 "checkpoint_bytes_last".into(),
                 n(self.checkpoint_bytes_last),
             ),
+            ("interner_slots".into(), n(self.interner_slots)),
+            ("interner_bytes".into(), n(self.interner_bytes)),
             ("resumes".into(), n(self.resumes)),
             ("engine_panics".into(), n(self.engine_panics)),
             ("ingest_queue_depth".into(), n(self.ingest_queue_depth)),
@@ -398,6 +411,8 @@ impl MetricsSnapshot {
             checkpoints_written: field("checkpoints_written")?,
             checkpoint_errors: field("checkpoint_errors")?,
             checkpoint_bytes_last: field("checkpoint_bytes_last")?,
+            interner_slots: field("interner_slots")?,
+            interner_bytes: field("interner_bytes")?,
             resumes: field("resumes")?,
             engine_panics: field("engine_panics")?,
             ingest_queue_depth: field("ingest_queue_depth")?,

@@ -848,6 +848,12 @@ fn advance_group(
         }
     }
     Metrics::raise(&metrics.watermark, host.watermark());
+    // Announcement cadence is the right sampling rate for the engine's
+    // interner high-water (a synchronizing snapshot on sharded
+    // executors — too heavy for the per-command gauge refresh).
+    let (slots, bytes) = host.interner_stats();
+    Metrics::raise(&metrics.interner_slots, slots);
+    Metrics::raise(&metrics.interner_bytes, bytes);
 }
 
 /// Mirrors host-side gauges into the metrics registry.

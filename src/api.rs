@@ -717,6 +717,18 @@ impl Pipeline {
         }
     }
 
+    /// Key-interner high-water mark as `(slots, bytes)`: the most
+    /// distinct keys interned since the last slab compaction and the
+    /// interner's table memory, summed across shards on the sharded
+    /// backend (a synchronizing snapshot there). Observability only.
+    #[must_use]
+    pub fn interner_stats(&self) -> (u64, u64) {
+        match &self.backend {
+            Backend::Single(p) => p.interner_stats(),
+            Backend::Sharded(p) => p.interner_stats(),
+        }
+    }
+
     /// The adaptive planner's current ingestion-rate estimate (events per
     /// time unit); `None` on non-adaptive sessions or before the first
     /// full time unit has been observed.

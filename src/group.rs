@@ -643,6 +643,14 @@ impl GroupPipeline {
     pub fn stats(&self) -> fw_engine::ExecStats {
         self.exec.stats()
     }
+
+    /// Key-interner high-water mark as `(slots, bytes)` summed over every
+    /// pipeline the group runs — the dense key space backing the pane
+    /// slabs. Observability only.
+    #[must_use]
+    pub fn interner_stats(&self) -> (u64, u64) {
+        self.exec.interner_stats()
+    }
 }
 
 #[cfg(test)]
