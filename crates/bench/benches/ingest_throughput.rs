@@ -22,7 +22,7 @@
 //! `INGEST_EVENTS` / `INGEST_ITERS` override the stream length and
 //! iteration count.
 
-use factor_windows::{PlanChoice, Session};
+use factor_windows::{PlanChoice, ProfileLevel, Session};
 use fw_bench::{
     bench_event_columns, bench_events, report_throughput, write_throughput_json, ThroughputRecord,
 };
@@ -148,6 +148,54 @@ fn main() {
                 keys,
                 m,
             ));
+        }
+    }
+
+    // Profiling-overhead axis: the identical columnar ingest with
+    // per-node counters on vs off (clock sampling stays off), at
+    // `ELEMENT_WORK=0` so the counters compete against pure bookkeeping —
+    // the hardest regime for the <3% budget. The perf gate enforces the
+    // budget on the within-run pair (`profile=off` vs `profile=counters`).
+    println!("# ingest profiling overhead: {events_n} events, node counters on vs off");
+    for choice in [PlanChoice::Factored, PlanChoice::Original] {
+        for (mode, level) in [
+            ("off", ProfileLevel::Off),
+            ("counters", ProfileLevel::Counters),
+        ] {
+            let session = fig1_session(choice, 0).profiling(level);
+            session.optimize().expect("query optimizes");
+            let label = format!("ingest/profile={mode}/{choice}/columnar");
+            let m = report_throughput(&label, events_n, iters, &mut || {
+                let mut pipeline = session.build().expect("compiles");
+                let (times, keys, values) = columns.columns();
+                pipeline
+                    .push_columns(times, keys, values)
+                    .expect("in order");
+                pipeline.finish().expect("finishes");
+            });
+            records.push(ThroughputRecord::from_measurement(
+                &label,
+                &choice.to_string(),
+                0,
+                events_n,
+                KEYS,
+                m,
+            ));
+        }
+    }
+    for choice in [PlanChoice::Factored, PlanChoice::Original] {
+        let best = |mode: &str| {
+            records
+                .iter()
+                .find(|r| r.label == format!("ingest/profile={mode}/{choice}/columnar"))
+                .map_or(0.0, |r| r.best_eps as f64)
+        };
+        let off = best("off");
+        if off > 0.0 {
+            println!(
+                "# profile={choice}: counters at {:.1}% of unprofiled throughput",
+                100.0 * best("counters") / off
+            );
         }
     }
 

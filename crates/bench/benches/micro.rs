@@ -92,6 +92,7 @@ fn element_work_ablation() {
                 collect: false,
                 element_work: work,
                 out_of_order: 0,
+                profile: Default::default(),
             };
             report(
                 &format!("micro/element_work/{name}/{work}"),
@@ -111,6 +112,7 @@ fn engine_paths() {
         collect: false,
         element_work: 0,
         out_of_order: 0,
+        profile: Default::default(),
     };
     let raw = WindowSet::new(vec![Window::tumbling(32).expect("valid")]).expect("non-empty");
     let (raw_plan, _, _) = bench_plans(&raw, Semantics::PartitionedBy);

@@ -11,12 +11,22 @@
 //! (CI runners are noisy; the gate is meant to catch layout-level
 //! regressions — a hash probe back on the steady-state fold path — not
 //! scheduler jitter).
+//!
+//! A second, *within-run* check enforces the profiling budget: for every
+//! `…/profile=off/…` label in the current document with a
+//! `…/profile=counters/…` twin, enabling node counters must cost less
+//! than `PROFILE_GATE_TOLERANCE_PCT` (default 3%) on `best_eps`. The
+//! pair is measured back-to-back in one process, so the tight tolerance
+//! is meaningful where a cross-run 3% would be scheduler noise.
 
 use fw_core::json::{self, JsonValue};
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-fn load_rates(path: &str) -> Result<BTreeMap<String, u64>, String> {
+/// `(mean_eps, best_eps)` per label.
+type Rates = BTreeMap<String, (u64, u64)>;
+
+fn load_rates(path: &str) -> Result<Rates, String> {
     let body = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let doc = json::parse(&body).map_err(|e| format!("{path}: {e}"))?;
     let records = doc
@@ -31,14 +41,49 @@ fn load_rates(path: &str) -> Result<BTreeMap<String, u64>, String> {
             Some(JsonValue::String(s)) => s.clone(),
             _ => return Err(format!("{path}: record without a string `label`")),
         };
-        let eps = match item.get("mean_eps") {
-            Some(JsonValue::Number(n)) => u64::try_from(*n)
-                .map_err(|_| format!("{path}: {label}: `mean_eps` out of range"))?,
-            _ => return Err(format!("{path}: {label}: missing numeric `mean_eps`")),
+        let field = |name: &str| match item.get(name) {
+            Some(JsonValue::Number(n)) => {
+                u64::try_from(*n).map_err(|_| format!("{path}: {label}: `{name}` out of range"))
+            }
+            _ => Err(format!("{path}: {label}: missing numeric `{name}`")),
         };
-        rates.insert(label, eps);
+        let mean = field("mean_eps")?;
+        let best = field("best_eps")?;
+        rates.insert(label, (mean, best));
     }
     Ok(rates)
+}
+
+/// The within-run profiling-overhead gate described in the module doc.
+/// Returns `false` if any counters twin fell below the budget.
+fn profile_budget_holds(current: &Rates) -> bool {
+    let tolerance_pct: f64 = std::env::var("PROFILE_GATE_TOLERANCE_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3.0);
+    let floor = 1.0 - tolerance_pct / 100.0;
+    let mut ok = true;
+    for (label, &(_, off_best)) in current {
+        if !label.contains("/profile=off/") || off_best == 0 {
+            continue;
+        }
+        let twin = label.replace("/profile=off/", "/profile=counters/");
+        let Some(&(_, counters_best)) = current.get(&twin) else {
+            continue;
+        };
+        let ratio = counters_best as f64 / off_best as f64;
+        let verdict = if ratio < floor {
+            ok = false;
+            "FAIL "
+        } else {
+            "ok   "
+        };
+        println!(
+            "{verdict} {twin}: {counters_best} vs unprofiled {off_best} eps \
+             (x{ratio:.3}, budget {tolerance_pct:.0}%)"
+        );
+    }
+    ok
 }
 
 fn run() -> Result<bool, String> {
@@ -56,8 +101,8 @@ fn run() -> Result<bool, String> {
     let current = load_rates(&current_path)?;
 
     let mut failed = false;
-    for (label, &base_eps) in &baseline {
-        let Some(&cur_eps) = current.get(label) else {
+    for (label, &(base_eps, _)) in &baseline {
+        let Some(&(cur_eps, _)) = current.get(label) else {
             println!("SKIP  {label}: not in current run");
             continue;
         };
@@ -78,6 +123,10 @@ fn run() -> Result<bool, String> {
         if !baseline.contains_key(label) {
             println!("NEW   {label}: no baseline yet");
         }
+    }
+    if !profile_budget_holds(&current) {
+        failed = true;
+        println!("perf gate: node-counter profiling exceeded its overhead budget");
     }
     if failed {
         println!("perf gate: regression beyond {tolerance_pct:.0}% tolerance");

@@ -78,6 +78,24 @@ impl RateEstimator {
     }
 }
 
+/// One re-optimization decision, kept so replans are auditable after the
+/// fact: what rate was observed, what the outgoing plan was priced for,
+/// and the drift ratio that tripped the threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplanRecord {
+    /// The observed (EWMA) rate that triggered the replan.
+    pub observed: f64,
+    /// The rate the *outgoing* plan had been optimized for.
+    pub planned: f64,
+    /// Drift ratio `max(observed/planned, planned/observed)` (≥ 1).
+    pub ratio: f64,
+    /// Whether the re-optimization produced a different plan topology.
+    pub plan_changed: bool,
+}
+
+/// Number of [`ReplanRecord`]s the planner retains (oldest dropped).
+pub const REPLAN_LOG_CAP: usize = 32;
+
 /// A planner that keeps the optimizer's output aligned with the observed
 /// ingestion rate.
 #[derive(Debug, Clone)]
@@ -90,6 +108,7 @@ pub struct AdaptivePlanner {
     threshold: f64,
     outcome: OptimizationOutcome,
     replans: u64,
+    replan_log: Vec<ReplanRecord>,
 }
 
 impl AdaptivePlanner {
@@ -124,6 +143,7 @@ impl AdaptivePlanner {
             threshold: threshold.max(1.0),
             outcome,
             replans: 0,
+            replan_log: Vec::new(),
         })
     }
 
@@ -143,6 +163,19 @@ impl AdaptivePlanner {
     #[must_use]
     pub fn replans(&self) -> u64 {
         self.replans
+    }
+
+    /// The most recent replan decision, if any replan has happened.
+    #[must_use]
+    pub fn last_replan(&self) -> Option<&ReplanRecord> {
+        self.replan_log.last()
+    }
+
+    /// Audit log of the most recent replans (up to [`REPLAN_LOG_CAP`]
+    /// entries, oldest first).
+    #[must_use]
+    pub fn replan_log(&self) -> &[ReplanRecord] {
+        &self.replan_log
     }
 
     /// Feeds an observed rate; re-optimizes when it drifts past the
@@ -172,6 +205,15 @@ impl AdaptivePlanner {
         let changed = outcome.factored.plan != self.outcome.factored.plan
             || outcome.rewritten.plan != self.outcome.rewritten.plan;
         self.outcome = outcome;
+        if self.replan_log.len() == REPLAN_LOG_CAP {
+            self.replan_log.remove(0);
+        }
+        self.replan_log.push(ReplanRecord {
+            observed,
+            planned,
+            ratio: drift,
+            plan_changed: changed,
+        });
         Ok(changed.then_some(&self.outcome))
     }
 }
@@ -324,6 +366,26 @@ mod tests {
         let _ = planner.observe_rate(4.0).unwrap();
         assert_eq!(planner.planned_rate(), 4);
         assert_eq!(planner.current().factored.cost, expect(4));
+    }
+
+    #[test]
+    fn replan_log_records_ratio_and_outcome() {
+        let mut planner =
+            AdaptivePlanner::new(rate_sensitive_query(), Semantics::CoveredBy, 1, 1.5).unwrap();
+        assert!(planner.last_replan().is_none());
+        // Below threshold: nothing recorded.
+        let _ = planner.observe_rate(1.2).unwrap();
+        assert!(planner.replan_log().is_empty());
+        let _ = planner.observe_rate(2.0).unwrap();
+        let rec = planner.last_replan().expect("replan recorded");
+        assert_eq!(rec.planned, 1.0);
+        assert_eq!(rec.observed, 2.0);
+        assert!((rec.ratio - 2.0).abs() < 1e-12);
+        assert!(rec.plan_changed);
+        // A replan that restores the original topology is still logged.
+        let _ = planner.observe_rate(1.0).unwrap();
+        assert_eq!(planner.replan_log().len(), 2);
+        assert_eq!(planner.replan_log()[1].planned, 2.0);
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub mod taxonomy;
 pub mod wcg;
 pub mod window;
 
-pub use adaptive::{AdaptivePlanner, RateEstimator};
+pub use adaptive::{AdaptivePlanner, RateEstimator, ReplanRecord};
 pub use cost::{Cost, CostModel};
 pub use coverage::Semantics;
 pub use error::{Error, Result};
@@ -59,7 +59,7 @@ pub use group::{
 pub use json::{FromJson, ToJson};
 pub use min_cost::{Feed, MinCostWcg};
 pub use optimizer::{OptimizationOutcome, Optimizer, PlanBundle, PlanChoice, WindowQuery};
-pub use plan::{NodeId, PlanNode, PlanOp, QueryPlan};
+pub use plan::{NodeFlow, NodeId, PlanNode, PlanOp, QueryPlan};
 pub use taxonomy::{
     check_joint_semantics, joint_semantics, AggregateClass, AggregateFunction, AggregateSpec,
 };

@@ -44,6 +44,45 @@ pub struct PlanNode {
     pub inputs: Vec<NodeId>,
 }
 
+/// Predicted pane flow for one window node over a single period
+/// `R = lcm(exposed ranges)` — the per-node decomposition of
+/// [`QueryPlan::cost`], used by EXPLAIN to join predictions against
+/// observed counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeFlow {
+    /// Id of the window node within the plan.
+    pub node: NodeId,
+    /// The node's window.
+    pub window: Window,
+    /// Display label from the query text.
+    pub label: String,
+    /// Whether the node contributes rows to the query output.
+    pub exposed: bool,
+    /// The window node feeding this one sub-aggregates, if any; `None`
+    /// means the node ingests the raw stream.
+    pub fed_by: Option<NodeId>,
+    /// Predicted pane-update elements per period when raw-fed
+    /// (`n·η·r`, Section III-B); zero for purely sub-aggregate-fed
+    /// nodes with no holistic riders.
+    pub updates: Cost,
+    /// Predicted pane-combine elements per period when fed from another
+    /// window (`n·M`); zero for raw-fed nodes.
+    pub combines: Cost,
+    /// The node's share of the plan cost, including the per-function
+    /// fan-out surcharge. Summing this over all nodes reproduces
+    /// [`QueryPlan::cost`] exactly.
+    pub cost: Cost,
+}
+
+impl NodeFlow {
+    /// Total predicted pane elements per period (updates + combines),
+    /// before the fan-out surcharge.
+    #[must_use]
+    pub fn elements(&self) -> Cost {
+        self.updates.saturating_add(self.combines)
+    }
+}
+
 /// A logical plan for a multi-window aggregate query.
 ///
 /// The plan's window/multicast/union topology describes *pane flow* and is
@@ -313,6 +352,70 @@ impl QueryPlan {
             total = total.checked_add(c).ok_or(Error::CostOverflow)?;
         }
         Ok(total)
+    }
+
+    /// Per-node decomposition of [`QueryPlan::cost`]: for every window
+    /// node, the predicted raw-update elements (`n·η·r`), combine
+    /// elements (`n·M`), and fan-out-surcharged cost share over one
+    /// period `R = lcm(exposed ranges)`. The `cost` fields sum to
+    /// exactly [`QueryPlan::cost`] (same arithmetic, same overflow
+    /// behavior); nodes appear in [`QueryPlan::window_nodes`] order.
+    ///
+    /// Holistic terms on sub-aggregate-fed exposed nodes are priced as a
+    /// raw rider feed, so such nodes report both `updates` (the rider
+    /// feed) and `combines` (the shared sub-aggregate feed).
+    pub fn node_flows(&self, model: &CostModel) -> Result<Vec<NodeFlow>> {
+        let exposed = self.exposed_windows();
+        if exposed.is_empty() {
+            return Err(Error::EmptyWindowSet);
+        }
+        let period = model.period(exposed.iter())?;
+        let combinable = self.aggregates.iter().filter(|s| s.combinable()).count();
+        let holistic = self.aggregates.len() - combinable;
+        let mut flows = Vec::new();
+        for id in self.window_nodes() {
+            let w = self.window_at(id).expect("window node");
+            let is_exposed = self.is_exposed(id);
+            let label = match &self.nodes[id].op {
+                PlanOp::WindowAgg { label, .. } => label.clone(),
+                _ => unreachable!("window node"),
+            };
+            let holistic_here = if is_exposed { holistic } else { 0 };
+            let fed_by = self.feeding_window(id);
+            let (updates, combines, cost) = match fed_by {
+                None => {
+                    let raw = model.raw_cost(w, period)?;
+                    let slots = (combinable + holistic_here).max(1);
+                    (raw, 0, model.fan_out_cost(raw, slots)?)
+                }
+                Some(p) => {
+                    let parent = self.window_at(p).expect("window node");
+                    let shared = model.shared_cost(w, parent, period)?;
+                    let shared_cost = model.fan_out_cost(shared, combinable.max(1))?;
+                    let (riders, rider_cost) = if holistic_here > 0 {
+                        let raw = model.raw_cost(w, period)?;
+                        (raw, model.fan_out_cost(raw, holistic_here)?)
+                    } else {
+                        (0, 0)
+                    };
+                    let cost = shared_cost
+                        .checked_add(rider_cost)
+                        .ok_or(Error::CostOverflow)?;
+                    (riders, shared, cost)
+                }
+            };
+            flows.push(NodeFlow {
+                node: id,
+                window: *w,
+                label,
+                exposed: is_exposed,
+                fed_by,
+                updates,
+                combines,
+                cost,
+            });
+        }
+        Ok(flows)
     }
 
     /// Structural validation: shapes the engine relies on. Returns a
@@ -659,6 +762,28 @@ mod tests {
         // W20 raw: n=6 · 20 = 120; W40 via W20: 3·2 = 6; W30 raw: 4·30=120.
         let p = chain_plan();
         assert_eq!(p.cost(&CostModel::default()).unwrap(), 246);
+    }
+
+    #[test]
+    fn node_flows_decompose_cost_exactly() {
+        let p = chain_plan();
+        let model = CostModel::default();
+        let flows = p.node_flows(&model).unwrap();
+        let ids: Vec<NodeId> = p.window_nodes().collect();
+        assert_eq!(
+            flows.iter().map(|f| f.node).collect::<Vec<_>>(),
+            ids,
+            "flows follow window_nodes order"
+        );
+        let total: Cost = flows.iter().map(|f| f.cost).sum();
+        assert_eq!(total, p.cost(&model).unwrap());
+        // W20 raw-fed: 6 panes · 20 elements; W40 fed by W20: 3 panes · 2
+        // sub-aggregates; W30 raw-fed: 4 panes · 30 elements.
+        assert_eq!((flows[0].updates, flows[0].combines), (120, 0));
+        assert_eq!((flows[1].updates, flows[1].combines), (0, 6));
+        assert_eq!(flows[1].fed_by, Some(ids[0]));
+        assert_eq!((flows[2].updates, flows[2].combines), (120, 0));
+        assert_eq!(flows[2].elements(), 120);
     }
 
     #[test]

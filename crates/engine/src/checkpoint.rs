@@ -44,8 +44,12 @@ use std::io::{Read, Write};
 
 /// Snapshot magic: "FWC1" (factor-windows checkpoint, format 1).
 const MAGIC: [u8; 4] = *b"FWC1";
-/// Snapshot format version.
-const VERSION: u8 = 1;
+/// Snapshot format version written by this build. Version 2 appends the
+/// per-node profile section to pipeline images; version-1 snapshots still
+/// decode (with empty profiles).
+const VERSION: u8 = 2;
+/// Oldest snapshot format version this build still decodes.
+const MIN_VERSION: u8 = 1;
 
 /// Container kind: a single logical pipeline image (either backend; a
 /// sharded pipeline checkpoints as one merged image, which is what makes
@@ -254,21 +258,24 @@ pub fn write_header<W: Write + ?Sized>(w: &mut W, kind: u8) -> CheckpointResult<
     put_u8(w, kind)
 }
 
-/// Reads and validates the snapshot header against the expected kind.
-pub fn read_header<R: Read + ?Sized>(r: &mut R, expected: u8) -> CheckpointResult<()> {
+/// Reads and validates the snapshot header against the expected kind,
+/// returning the snapshot's format version (any accepted version in
+/// `MIN_VERSION..=VERSION`) so body decoders can skip sections the
+/// snapshot predates.
+pub fn read_header<R: Read + ?Sized>(r: &mut R, expected: u8) -> CheckpointResult<u8> {
     let magic = get_exact::<R, 4>(r, "snapshot magic")?;
     if magic != MAGIC {
         return Err(CheckpointError::BadMagic);
     }
     let version = get_u8(r, "snapshot version")?;
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(CheckpointError::BadVersion { found: version });
     }
     let found = get_u8(r, "snapshot kind")?;
     if found != expected {
         return Err(CheckpointError::WrongKind { expected, found });
     }
-    Ok(())
+    Ok(version)
 }
 
 // ---------------------------------------------------------------------------
@@ -411,6 +418,53 @@ pub fn get_query<R: Read + ?Sized>(r: &mut R) -> CheckpointResult<WindowQuery> {
         .map(|q| q.with_labels(labels))
 }
 
+/// Writes one per-node profile record (version ≥ 2 images).
+fn put_profile<W: Write + ?Sized>(
+    w: &mut W,
+    p: &crate::profile::NodeProfile,
+) -> CheckpointResult<()> {
+    put_u64(w, p.node as u64)?;
+    put_u64(w, p.range)?;
+    put_u64(w, p.slide)?;
+    put_u8(w, u8::from(p.exposed))?;
+    put_u8(w, u8::from(p.raw_fed))?;
+    put_u64(w, p.updates)?;
+    put_u64(w, p.combines)?;
+    put_u64(w, p.agg_ops)?;
+    put_u64(w, p.seals)?;
+    put_u64(w, p.emitted)?;
+    put_u64(w, p.pane_live_hw)?;
+    put_u64(w, p.nanos)
+}
+
+/// Reads one per-node profile record.
+fn get_profile<R: Read + ?Sized>(r: &mut R) -> CheckpointResult<crate::profile::NodeProfile> {
+    let node = get_u64(r, "profile node id")?;
+    let range = get_u64(r, "profile window range")?;
+    let slide = get_u64(r, "profile window slide")?;
+    let flag = |v: u8, what: &'static str| match v {
+        0 => Ok(false),
+        1 => Ok(true),
+        _ => Err(CheckpointError::BadValue { what }),
+    };
+    let exposed = flag(get_u8(r, "profile exposed flag")?, "profile exposed flag")?;
+    let raw_fed = flag(get_u8(r, "profile raw-fed flag")?, "profile raw-fed flag")?;
+    Ok(crate::profile::NodeProfile {
+        node: usize::try_from(node).unwrap_or(crate::profile::RETIRED_NODE),
+        range,
+        slide,
+        exposed,
+        raw_fed,
+        updates: get_u64(r, "profile updates")?,
+        combines: get_u64(r, "profile combines")?,
+        agg_ops: get_u64(r, "profile agg ops")?,
+        seals: get_u64(r, "profile seals")?,
+        emitted: get_u64(r, "profile emitted rows")?,
+        pane_live_hw: get_u64(r, "profile occupancy high-water")?,
+        nanos: get_u64(r, "profile nanos")?,
+    })
+}
+
 /// Slot wire tags, validated against the slot's aggregate function on
 /// decode (the snapshot is self-describing *and* shape-checked).
 fn slot_tag(slot: &Slot) -> u8 {
@@ -516,6 +570,11 @@ pub(crate) struct PipelineImage {
     /// Collected results not yet drained by the consumer at checkpoint
     /// time (delivered again after restore — they never reached anyone).
     pub(crate) pending: Vec<WindowResult>,
+    /// Per-node profile counters accumulated up to the checkpoint (empty
+    /// when profiling is off or the snapshot predates version 2). Restore
+    /// adopts these as the new pipeline's base profiles so node counters
+    /// are checkpoint-neutral.
+    pub(crate) profiles: Vec<crate::profile::NodeProfile>,
 }
 
 /// One window's open panes: `(instance, entries)` pairs with entries
@@ -565,6 +624,7 @@ impl PipelineImage {
             windows,
             reorder,
             pending: sorted_results(pending),
+            profiles: Vec::new(),
         }
     }
 
@@ -652,11 +712,17 @@ impl PipelineImage {
         for row in &self.pending {
             put_result(w, row)?;
         }
+        put_u32(w, count_u32(self.profiles.len(), "profile count")?)?;
+        for p in &self.profiles {
+            put_profile(w, p)?;
+        }
         Ok(())
     }
 
-    /// Decodes an image body, validating every field.
-    pub(crate) fn decode<R: Read + ?Sized>(r: &mut R) -> CheckpointResult<Self> {
+    /// Decodes an image body, validating every field. `version` is the
+    /// container header's format version; version-1 images predate the
+    /// per-node profile section and decode with empty profiles.
+    pub(crate) fn decode<R: Read + ?Sized>(r: &mut R, version: u8) -> CheckpointResult<Self> {
         let watermark = get_u64(r, "watermark")?;
         let last_event_time = get_u64(r, "last event time")?;
         let fed = get_u64(r, "fed event count")?;
@@ -724,6 +790,14 @@ impl PipelineImage {
         for _ in 0..pending_count {
             pending.push(get_result(r)?);
         }
+        let mut profiles = Vec::new();
+        if version >= 2 {
+            let profile_count = get_u32(r, "profile count")? as usize;
+            profiles.reserve(profile_count.min(1024));
+            for _ in 0..profile_count {
+                profiles.push(get_profile(r)?);
+            }
+        }
         Ok(PipelineImage {
             watermark,
             last_event_time,
@@ -735,6 +809,7 @@ impl PipelineImage {
             windows,
             reorder,
             pending,
+            profiles,
         })
     }
 
@@ -763,6 +838,7 @@ impl PipelineImage {
             merged.stats.updates += part.stats.updates;
             merged.stats.combines += part.stats.combines;
             merged.stats.agg_ops += part.stats.agg_ops;
+            crate::profile::add_shard_profiles(&mut merged.profiles, &part.profiles);
             for (window, panes) in part.windows {
                 let target = match merged.windows.iter_mut().find(|(w, _)| *w == window) {
                     Some((_, target)) => target,
@@ -844,6 +920,7 @@ impl PipelineImage {
                     entries: Vec::new(),
                 }),
                 pending: Vec::new(),
+                profiles: Vec::new(),
             })
             .collect();
         parts[0].fed = self.fed;
@@ -851,6 +928,7 @@ impl PipelineImage {
         parts[0].work = self.work;
         parts[0].stats = self.stats;
         parts[0].pending = std::mem::take(&mut self.pending);
+        parts[0].profiles = std::mem::take(&mut self.profiles);
         for (window, panes) in self.windows {
             for (m, entries) in panes {
                 for (key, acc) in entries {

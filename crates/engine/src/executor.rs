@@ -20,6 +20,7 @@ use crate::batch::EventBatch;
 use crate::error::{EngineError, Result};
 use crate::event::{Event, ResultSink, WindowResult};
 use crate::pane::PaneStore;
+use crate::profile::{fold_profiles, join_profiles, NodeProfile, ProfileLevel};
 use crate::reorder::ReorderBuffer;
 use fw_core::{AggregateFunction, QueryPlan, Window};
 use std::time::{Duration, Instant};
@@ -177,6 +178,9 @@ pub struct PipelineOptions {
     /// observed maximum timestamp by up to this much and are repaired
     /// through a [`ReorderBuffer`]; `0` demands in-order input.
     pub out_of_order: u64,
+    /// Per-plan-node instrumentation ([`ProfileLevel::Off`] by default;
+    /// observation-only — results are bit-identical at every level).
+    pub profile: ProfileLevel,
 }
 
 impl Default for PipelineOptions {
@@ -185,6 +189,7 @@ impl Default for PipelineOptions {
             collect: false,
             element_work: crate::pane::DEFAULT_ELEMENT_WORK,
             out_of_order: 0,
+            profile: ProfileLevel::Off,
         }
     }
 }
@@ -210,8 +215,7 @@ impl PipelineOptions {
 pub fn execute(plan: &QueryPlan, events: &[Event], collect: bool) -> Result<RunOutput> {
     let opts = PipelineOptions {
         collect,
-        element_work: crate::pane::DEFAULT_ELEMENT_WORK,
-        out_of_order: 0,
+        ..PipelineOptions::default()
     };
     PlanPipeline::run(plan, events, opts)
 }
@@ -225,7 +229,7 @@ pub fn execute_with(plan: &QueryPlan, events: &[Event], opts: ExecOptions) -> Re
     let opts = PipelineOptions {
         collect: opts.collect,
         element_work: opts.element_work,
-        out_of_order: 0,
+        ..PipelineOptions::default()
     };
     PlanPipeline::run(plan, events, opts)
 }
@@ -269,6 +273,9 @@ pub struct PlanPipeline {
     /// Per-element emulated work, retained so [`Self::rebuild`] can
     /// compile replacement cores with identical options.
     element_work: u32,
+    /// Per-node instrumentation level, retained like `element_work` so
+    /// rebuilt cores keep profiling.
+    profile: ProfileLevel,
     /// Accounting of cores retired by [`Self::rebuild`]: every accessor
     /// reports `retired + live core`, so a rebuilt pipeline's numbers stay
     /// cumulative over its whole lifetime.
@@ -276,6 +283,12 @@ pub struct PlanPipeline {
     base_fed: u64,
     base_results: u64,
     base_work: u64,
+    /// Per-node counters of retired cores, folded by window identity so
+    /// [`Self::node_profiles`] stays cumulative across plan swaps (the
+    /// per-node analogue of `base_stats`).
+    base_profiles: Vec<NodeProfile>,
+    /// Interner compactions performed by retired cores.
+    base_compactions: u64,
     /// Number of live plan swaps performed (see [`ExecStats::replans`]).
     replans: u64,
 }
@@ -284,6 +297,13 @@ pub struct PlanPipeline {
 /// any batch push, watermark, poll-free accounting read, or finish closes
 /// the open burst exactly.
 const PUSH_CLOCK_STRIDE: u32 = 64;
+
+/// With [`ProfileLevel::Timed`], the per-node clock samples one feed pass
+/// and one seal pass out of this many — the same burst-amortization idea
+/// as the push timing above, so per-node nanoseconds cost a clock read
+/// only on sampled passes. Attributed nanos are therefore ~1/64th of
+/// wall time: compare them *between* nodes, not against the clock.
+pub const PROFILE_CLOCK_STRIDE: u64 = 64;
 
 impl std::fmt::Debug for PlanPipeline {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -306,27 +326,19 @@ impl PlanPipeline {
     /// `MultiCore` ([`crate::multi`]), which maintains each pane once and
     /// fans it out to one accumulator slot per term.
     pub fn compile(plan: &QueryPlan, opts: PipelineOptions) -> Result<Self> {
+        let work = opts.element_work;
+        let prof = opts.profile;
         let core: Box<dyn PipelineCore> = if plan.aggregates().len() > 1 {
-            Box::new(crate::multi::MultiCore::compile(plan, opts.element_work)?)
+            Box::new(crate::multi::MultiCore::compile(plan, work, prof)?)
         } else {
             match plan.function() {
-                AggregateFunction::Min => {
-                    Box::new(Typed::<MinAgg>::compile(plan, opts.element_work)?)
-                }
-                AggregateFunction::Max => {
-                    Box::new(Typed::<MaxAgg>::compile(plan, opts.element_work)?)
-                }
-                AggregateFunction::Sum => {
-                    Box::new(Typed::<SumAgg>::compile(plan, opts.element_work)?)
-                }
-                AggregateFunction::Count => {
-                    Box::new(Typed::<CountAgg>::compile(plan, opts.element_work)?)
-                }
-                AggregateFunction::Avg => {
-                    Box::new(Typed::<AvgAgg>::compile(plan, opts.element_work)?)
-                }
+                AggregateFunction::Min => Box::new(Typed::<MinAgg>::compile(plan, work, prof)?),
+                AggregateFunction::Max => Box::new(Typed::<MaxAgg>::compile(plan, work, prof)?),
+                AggregateFunction::Sum => Box::new(Typed::<SumAgg>::compile(plan, work, prof)?),
+                AggregateFunction::Count => Box::new(Typed::<CountAgg>::compile(plan, work, prof)?),
+                AggregateFunction::Avg => Box::new(Typed::<AvgAgg>::compile(plan, work, prof)?),
                 AggregateFunction::Median => {
-                    Box::new(Typed::<MedianAgg>::compile(plan, opts.element_work)?)
+                    Box::new(Typed::<MedianAgg>::compile(plan, work, prof)?)
                 }
             }
         };
@@ -356,7 +368,11 @@ impl PlanPipeline {
     /// swap, so query-group execution and adaptive re-optimization compile
     /// through here.
     pub fn compile_grouped(plan: &QueryPlan, opts: PipelineOptions) -> Result<Self> {
-        let core = Box::new(crate::multi::MultiCore::compile(plan, opts.element_work)?);
+        let core = Box::new(crate::multi::MultiCore::compile(
+            plan,
+            opts.element_work,
+            opts.profile,
+        )?);
         Ok(Self::with_core(core, opts, Self::sink_hint(plan)))
     }
 
@@ -376,10 +392,13 @@ impl PlanPipeline {
             burst_start: None,
             burst_len: 0,
             element_work: opts.element_work,
+            profile: opts.profile,
             base_stats: ExecStats::default(),
             base_fed: 0,
             base_results: 0,
             base_work: 0,
+            base_profiles: Vec::new(),
+            base_compactions: 0,
             replans: 0,
         }
     }
@@ -412,7 +431,7 @@ impl PlanPipeline {
         // Compile before announcing the boundary or exporting: a plan
         // rejection must leave the running pipeline fully untouched — no
         // early sealing, no drained core.
-        let mut core = crate::multi::MultiCore::compile(plan, self.element_work)?;
+        let mut core = crate::multi::MultiCore::compile(plan, self.element_work, self.profile)?;
         self.advance_watermark(watermark)?;
         let state = self
             .core
@@ -425,6 +444,8 @@ impl PlanPipeline {
         self.base_fed += self.core.events_fed();
         self.base_results += self.core.results_emitted();
         self.base_work = self.base_work.wrapping_add(self.core.work_total());
+        fold_profiles(&mut self.base_profiles, &self.core.node_profiles());
+        self.base_compactions += self.core.compactions();
         self.replans += 1;
         self.core = Box::new(core);
         self.sync_accounting();
@@ -470,7 +491,7 @@ impl PlanPipeline {
         // the running pipeline untouched. Exporting drains the live core,
         // so re-adopting into a *fresh* core (never the same one — factor
         // windows would double-deliver their flushed panes) is mandatory.
-        let mut fresh = crate::multi::MultiCore::compile(plan, self.element_work)
+        let mut fresh = crate::multi::MultiCore::compile(plan, self.element_work, self.profile)
             .map_err(CheckpointError::Engine)?;
         self.close_burst();
         // Snapshot accounting before the export: the downward flush
@@ -480,11 +501,12 @@ impl PlanPipeline {
         let fed = self.base_fed + self.core.events_fed();
         let results = self.base_results + self.core.results_emitted();
         let work = self.base_work.wrapping_add(self.core.work_total());
+        let profiles = self.node_profiles();
         let state = self
             .core
             .export_group_state()
             .expect("support checked above");
-        let image = PipelineImage::from_state(
+        let mut image = PipelineImage::from_state(
             &state,
             self.reorder.as_ref().map(ReorderBuffer::image),
             self.sink.results().to_vec(),
@@ -493,6 +515,7 @@ impl PlanPipeline {
             work,
             stats,
         );
+        image.profiles = profiles;
         fresh.adopt(state);
         // Fold the retired core into the cumulative base. No replan
         // increment: a checkpoint is observably transparent.
@@ -500,6 +523,8 @@ impl PlanPipeline {
         self.base_fed += self.core.events_fed();
         self.base_results += self.core.results_emitted();
         self.base_work = self.base_work.wrapping_add(self.core.work_total());
+        fold_profiles(&mut self.base_profiles, &self.core.node_profiles());
+        self.base_compactions += self.core.compactions();
         self.core = Box::new(fresh);
         self.sync_accounting();
         Ok(image)
@@ -517,8 +542,8 @@ impl PlanPipeline {
         opts: PipelineOptions,
         r: &mut R,
     ) -> std::result::Result<Self, crate::checkpoint::CheckpointError> {
-        crate::checkpoint::read_header(r, crate::checkpoint::KIND_PIPELINE)?;
-        let image = crate::checkpoint::PipelineImage::decode(r)?;
+        let version = crate::checkpoint::read_header(r, crate::checkpoint::KIND_PIPELINE)?;
+        let image = crate::checkpoint::PipelineImage::decode(r, version)?;
         Self::restore_image(plan, opts, image)
     }
 
@@ -529,10 +554,11 @@ impl PlanPipeline {
         mut image: crate::checkpoint::PipelineImage,
     ) -> std::result::Result<Self, crate::checkpoint::CheckpointError> {
         use crate::checkpoint::CheckpointError;
-        let mut core = crate::multi::MultiCore::compile(plan, opts.element_work)
+        let mut core = crate::multi::MultiCore::compile(plan, opts.element_work, opts.profile)
             .map_err(CheckpointError::Engine)?;
         let reorder_image = image.reorder.take();
         let pending = std::mem::take(&mut image.pending);
+        let profiles = std::mem::take(&mut image.profiles);
         core.adopt(image.take_group_state());
         let mut pipeline = Self::with_core(Box::new(core), opts, Self::sink_hint(plan));
         if let Some(ri) = &reorder_image {
@@ -553,6 +579,9 @@ impl PlanPipeline {
         pipeline.base_fed = image.fed;
         pipeline.base_results = image.results;
         pipeline.base_work = image.work;
+        // Cumulative per-node counters resume from the snapshot (empty
+        // for images written before profiles existed).
+        pipeline.base_profiles = profiles;
         pipeline.sync_accounting();
         Ok(pipeline)
     }
@@ -815,6 +844,28 @@ impl PlanPipeline {
     pub fn interner_stats(&self) -> (u64, u64) {
         self.core.interner_stats()
     }
+
+    /// The per-node instrumentation level this pipeline was compiled with.
+    #[must_use]
+    pub fn profile_level(&self) -> ProfileLevel {
+        self.profile
+    }
+
+    /// Per-plan-node observed counters, cumulative across rebuilds,
+    /// checkpoints and restores (windows retired by a replan appear as
+    /// [`crate::profile::RETIRED_NODE`] entries). With profiling off the
+    /// always-on update/combine counters are still attributed; seals,
+    /// emitted rows, occupancy high-waters and nanos stay zero.
+    #[must_use]
+    pub fn node_profiles(&self) -> Vec<NodeProfile> {
+        join_profiles(&self.base_profiles, &self.core.node_profiles())
+    }
+
+    /// Interner compactions performed over the pipeline's lifetime.
+    #[must_use]
+    pub fn compactions(&self) -> u64 {
+        self.base_compactions + self.core.compactions()
+    }
 }
 
 /// Object-safe interface over the pipeline cores (per-function
@@ -857,6 +908,13 @@ pub(crate) trait PipelineCore: Send {
     fn interner_stats(&self) -> (u64, u64) {
         (0, 0)
     }
+    /// Observed counters for every window node, in `window_nodes` order
+    /// (see [`crate::profile::NodeProfile`]).
+    fn node_profiles(&self) -> Vec<NodeProfile>;
+    /// Interner compactions performed by this core.
+    fn compactions(&self) -> u64 {
+        0
+    }
 }
 
 /// Interner compaction floor: below this many slots the dense tables are
@@ -894,6 +952,16 @@ struct Typed<A: Aggregate> {
     exposed: Vec<bool>,
     children: Vec<Vec<usize>>,
     roots: Vec<usize>,
+    /// Plan [`fw_core::NodeId`] of each operator (profiling identity).
+    node_ids: Vec<usize>,
+    /// Per-node instrumentation level (see [`ProfileLevel`]).
+    profile: ProfileLevel,
+    /// Seal passes performed (drives the sampled per-node clock).
+    seal_passes: u64,
+    /// Feed batches performed (drives the sampled per-node clock).
+    feed_passes: u64,
+    /// Interner compactions performed (trace observability).
+    compactions: u64,
     /// Key → dense slot, shared by every store so parent and child panes
     /// align slot-for-slot and combines are linear merges.
     interner: crate::slab::KeyInterner,
@@ -920,7 +988,7 @@ struct Typed<A: Aggregate> {
 }
 
 impl<A: Aggregate> Typed<A> {
-    fn compile(plan: &QueryPlan, element_work: u32) -> Result<Self> {
+    fn compile(plan: &QueryPlan, element_work: u32, profile: ProfileLevel) -> Result<Self> {
         plan.validate().map_err(EngineError::InvalidPlan)?;
         let node_ids: Vec<usize> = plan.window_nodes().collect();
         let op_of = |node: usize| {
@@ -960,6 +1028,11 @@ impl<A: Aggregate> Typed<A> {
             exposed,
             children,
             roots,
+            node_ids,
+            profile,
+            seal_passes: 0,
+            feed_passes: 0,
+            compactions: 0,
             interner: crate::slab::KeyInterner::new(),
             slot_buf: Vec::new(),
             peak_pane_live: 0,
@@ -1010,6 +1083,9 @@ impl<A: Aggregate> Typed<A> {
             emitted = pane.len() as u64;
         }
         self.results_emitted += emitted;
+        if self.profile.counters_on() {
+            self.stores[op].note_emitted(emitted);
+        }
     }
 
     /// Seals every instance with `end ≤ watermark`, cascading sub-aggregates
@@ -1017,8 +1093,17 @@ impl<A: Aggregate> Typed<A> {
     /// first), so a single pass suffices; the pass also refreshes the
     /// deadline, so sealing adds no extra scan.
     fn advance(&mut self, watermark: u64, sink: &mut ResultSink) {
+        let counters = self.profile.counters_on();
+        let clock = self.profile.clock_on() && {
+            self.seal_passes = self.seal_passes.wrapping_add(1);
+            self.seal_passes.is_multiple_of(PROFILE_CLOCK_STRIDE)
+        };
         let mut deadline = u64::MAX;
         for op in 0..self.stores.len() {
+            // On sampled passes the per-op seal work is timed, with the
+            // cascade's combines attributed to the receiving child node.
+            let mut op_timer = clock.then(Instant::now);
+            let mut op_nanos = 0u64;
             while let Some(interval) = self.stores[op].prepare_due(watermark) {
                 if self.exposed[op] {
                     self.emit_front(op, interval, sink);
@@ -1028,13 +1113,36 @@ impl<A: Aggregate> Typed<A> {
                 // the sealed pane.
                 let (head, tail) = self.stores.split_at_mut(op + 1);
                 let pane = head[op].front_pane();
-                self.peak_pane_live = self.peak_pane_live.max(pane.len());
+                let live = pane.len();
+                self.peak_pane_live = self.peak_pane_live.max(live);
                 let slot_keys = self.interner.keys();
-                for &child in &self.children[op] {
-                    debug_assert!(child > op, "plan must be topologically ordered");
-                    tail[child - op - 1].combine_pane(&interval, pane, slot_keys);
+                match &mut op_timer {
+                    Some(start) => {
+                        op_nanos += u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        for &child in &self.children[op] {
+                            debug_assert!(child > op, "plan must be topologically ordered");
+                            let t0 = Instant::now();
+                            tail[child - op - 1].combine_pane(&interval, pane, slot_keys);
+                            tail[child - op - 1]
+                                .add_nanos(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(0));
+                        }
+                        *start = Instant::now();
+                    }
+                    None => {
+                        for &child in &self.children[op] {
+                            debug_assert!(child > op, "plan must be topologically ordered");
+                            tail[child - op - 1].combine_pane(&interval, pane, slot_keys);
+                        }
+                    }
+                }
+                if counters {
+                    self.stores[op].note_seal(live as u64);
                 }
                 self.stores[op].retire_front();
+            }
+            if let Some(start) = op_timer {
+                op_nanos += u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                self.stores[op].add_nanos(op_nanos);
             }
             deadline = deadline.min(self.stores[op].front_end());
         }
@@ -1067,6 +1175,7 @@ impl<A: Aggregate> Typed<A> {
             }
             self.peak_pane_live = 0;
             self.last_compact_fed = self.fed;
+            self.compactions += 1;
         }
     }
 }
@@ -1091,6 +1200,10 @@ impl<A: Aggregate> PipelineCore for Typed<A> {
         // arithmetic entirely and keep `update_point`'s tumbling fast
         // path — the per-event API costs what it did before columnar
         // ingestion existed.
+        let clock = self.profile.clock_on() && {
+            self.feed_passes = self.feed_passes.wrapping_add(1);
+            self.feed_passes.is_multiple_of(PROFILE_CLOCK_STRIDE)
+        };
         if times.len() == 1 {
             let t = times[0];
             if t < self.watermark {
@@ -1105,7 +1218,14 @@ impl<A: Aggregate> PipelineCore for Typed<A> {
             self.watermark = t;
             let slot = self.interner.intern(keys[0]);
             for &root in &self.roots {
-                self.stores[root].update_point(t, keys[0], slot, values[0]);
+                if clock {
+                    let t0 = Instant::now();
+                    self.stores[root].update_point(t, keys[0], slot, values[0]);
+                    self.stores[root]
+                        .add_nanos(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(0));
+                } else {
+                    self.stores[root].update_point(t, keys[0], slot, values[0]);
+                }
             }
             self.fed += 1;
             self.last_event_time = self.last_event_time.max(t);
@@ -1136,12 +1256,24 @@ impl<A: Aggregate> PipelineCore for Typed<A> {
             );
             let j = i + run_len(&times[i..], limit);
             for &root in &self.roots {
-                self.stores[root].update_run(
-                    &times[i..j],
-                    &keys[i..j],
-                    &slot_buf[i..j],
-                    &values[i..j],
-                );
+                if clock {
+                    let t0 = Instant::now();
+                    self.stores[root].update_run(
+                        &times[i..j],
+                        &keys[i..j],
+                        &slot_buf[i..j],
+                        &values[i..j],
+                    );
+                    self.stores[root]
+                        .add_nanos(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(0));
+                } else {
+                    self.stores[root].update_run(
+                        &times[i..j],
+                        &keys[i..j],
+                        &slot_buf[i..j],
+                        &values[i..j],
+                    );
+                }
             }
             let last = times[j - 1];
             self.watermark = last;
@@ -1201,6 +1333,29 @@ impl<A: Aggregate> PipelineCore for Typed<A> {
             self.interner_hw.0.max(self.interner.len() as u64),
             self.interner_hw.1.max(self.interner.bytes() as u64),
         )
+    }
+
+    fn node_profiles(&self) -> Vec<NodeProfile> {
+        self.windows
+            .iter()
+            .enumerate()
+            .map(|(op, w)| {
+                let mut p = NodeProfile {
+                    node: self.node_ids[op],
+                    range: w.range(),
+                    slide: w.slide(),
+                    exposed: self.exposed[op],
+                    raw_fed: self.roots.contains(&op),
+                    ..NodeProfile::default()
+                };
+                self.stores[op].profile_into(&mut p);
+                p
+            })
+            .collect()
+    }
+
+    fn compactions(&self) -> u64 {
+        self.compactions
     }
 }
 

@@ -148,7 +148,7 @@ impl RouteIndex {
 /// Either execution backend, behind one internal push interface.
 #[derive(Debug)]
 enum AnyPipeline {
-    Single(PlanPipeline),
+    Single(Box<PlanPipeline>),
     Sharded(ShardedPipeline),
 }
 
@@ -160,8 +160,8 @@ impl AnyPipeline {
         grouped: bool,
     ) -> Result<Self> {
         Ok(match (shards, grouped) {
-            (0, true) => AnyPipeline::Single(PlanPipeline::compile_grouped(plan, opts)?),
-            (0, false) => AnyPipeline::Single(PlanPipeline::compile(plan, opts)?),
+            (0, true) => AnyPipeline::Single(Box::new(PlanPipeline::compile_grouped(plan, opts)?)),
+            (0, false) => AnyPipeline::Single(Box::new(PlanPipeline::compile(plan, opts)?)),
             (n, true) => AnyPipeline::Sharded(ShardedPipeline::compile_grouped(plan, opts, n)?),
             (n, false) => AnyPipeline::Sharded(ShardedPipeline::compile(plan, opts, n)?),
         })
@@ -237,6 +237,13 @@ impl AnyPipeline {
         }
     }
 
+    fn node_profiles(&self) -> Vec<crate::profile::NodeProfile> {
+        match self {
+            AnyPipeline::Single(p) => p.node_profiles(),
+            AnyPipeline::Sharded(p) => p.node_profiles(),
+        }
+    }
+
     fn buffered(&self) -> usize {
         match self {
             AnyPipeline::Single(p) => p.buffered(),
@@ -264,7 +271,7 @@ impl AnyPipeline {
         image: PipelineImage,
     ) -> CheckpointResult<Self> {
         Ok(if shards == 0 {
-            AnyPipeline::Single(PlanPipeline::restore_image(plan, opts, image)?)
+            AnyPipeline::Single(Box::new(PlanPipeline::restore_image(plan, opts, image)?))
         } else {
             AnyPipeline::Sharded(ShardedPipeline::restore_image(plan, opts, shards, image)?)
         })
@@ -456,6 +463,25 @@ impl GroupExec {
                 .iter()
                 .map(|m| m.pipeline.interner_stats())
                 .fold((0, 0), |a, b| (a.0 + b.0, a.1 + b.1)),
+        }
+    }
+
+    /// Per-plan-node profile counters summed over every pipeline the
+    /// group runs (empty when profiling is off). Shared groups report the
+    /// merged plan's nodes; per-query groups merge member profiles by
+    /// window identity, so a window two members both expose reports their
+    /// combined counters.
+    #[must_use]
+    pub fn node_profiles(&self) -> Vec<crate::profile::NodeProfile> {
+        match &self.backend {
+            Backend::Shared(p) => p.node_profiles(),
+            Backend::PerQuery(members) => {
+                let mut total = Vec::new();
+                for m in members {
+                    crate::profile::add_shard_profiles(&mut total, &m.pipeline.node_profiles());
+                }
+                total
+            }
         }
     }
 
@@ -713,7 +739,7 @@ impl GroupExec {
         shards: usize,
         r: &mut R,
     ) -> CheckpointResult<Self> {
-        checkpoint::read_header(r, checkpoint::KIND_GROUP)?;
+        let version = checkpoint::read_header(r, checkpoint::KIND_GROUP)?;
         let strategy = checkpoint::get_u8(r, "group strategy")?;
         let expected = match plan.strategy {
             GroupStrategy::Shared => 0,
@@ -740,7 +766,7 @@ impl GroupExec {
                 let shared = plan.shared.as_ref().ok_or(CheckpointError::BadValue {
                     what: "shared strategy without a merged plan",
                 })?;
-                let image = PipelineImage::decode(r)?;
+                let image = PipelineImage::decode(r, version)?;
                 let pipeline =
                     AnyPipeline::restore_image(&shared.bundle.plan, opts, shards, image)?;
                 (Backend::Shared(pipeline), RouteIndex::new(&shared.routes))
@@ -761,7 +787,7 @@ impl GroupExec {
                             what: "checkpointed member is absent from the group plan",
                         },
                     )?;
-                    let image = PipelineImage::decode(r)?;
+                    let image = PipelineImage::decode(r, version)?;
                     members.push(MemberExec {
                         id,
                         since,

@@ -44,11 +44,13 @@ pub mod fasthash;
 pub mod group;
 pub mod multi;
 pub mod pane;
+pub mod profile;
 pub mod reference;
 pub mod reorder;
 pub mod shard;
 pub mod slab;
 pub mod throughput;
+pub mod trace;
 
 pub use agg::{Aggregate, AvgAgg, CountAgg, MaxAgg, MedianAgg, MinAgg, SumAgg};
 pub use batch::{EventBatch, BATCH_SPARE_CAP};
@@ -60,12 +62,16 @@ pub use event::{sorted_results, Event, ResultSink, WindowResult};
 // no longer re-exported at the crate root: everything internal (and every
 // new consumer) goes through `PlanPipeline` or the `factor_windows::Session`
 // façade.
-pub use executor::{ExecOptions, ExecStats, PipelineOptions, PlanPipeline, RunOutput};
+pub use executor::{
+    ExecOptions, ExecStats, PipelineOptions, PlanPipeline, RunOutput, PROFILE_CLOCK_STRIDE,
+};
 pub use fasthash::{FastBuildHasher, FastMap, FastU32BuildHasher, FastU32Map};
 pub use group::{sorted_group_results, GroupExec, GroupResult, GroupRunOutput};
 pub use pane::DEFAULT_ELEMENT_WORK;
+pub use profile::{NodeProfile, ProfileLevel, RETIRED_NODE};
 pub use reference::reference_results;
 pub use reorder::ReorderBuffer;
 pub use shard::{Parallelism, ShardedPipeline};
 pub use slab::{KeyInterner, Slab};
 pub use throughput::{measure_throughput, Throughput};
+pub use trace::{TraceEvent, TraceEventKind, TraceRing, DEFAULT_TRACE_CAP};

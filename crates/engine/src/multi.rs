@@ -27,7 +27,9 @@ use crate::error::{EngineError, Result};
 use crate::event::{ResultSink, WindowResult};
 use crate::executor::ExecStats;
 use crate::pane::{element_work, PaneDeque};
+use crate::profile::{NodeProfile, ProfileLevel};
 use fw_core::{AggregateClass, AggregateFunction, Interval, QueryPlan, Window};
+use std::time::Instant;
 
 /// Exported execution state of a slot-based core, captured at a watermark
 /// boundary for a live plan swap (`PlanPipeline::rebuild`).
@@ -425,6 +427,14 @@ struct MultiStore {
     combines: u64,
     /// Per-slot accumulator operations (the fan-out the pane work feeds).
     agg_ops: u64,
+    /// Instances sealed at this operator (profiling; counters level).
+    seals: u64,
+    /// Result rows emitted from this operator (profiling; counters level).
+    emitted: u64,
+    /// High-water of live entries in any sealing pane (profiling).
+    pane_live_hw: u64,
+    /// Sampled nanoseconds attributed to this operator (timed level).
+    nanos: u64,
 }
 
 impl MultiStore {
@@ -446,12 +456,44 @@ impl MultiStore {
             updates: 0,
             combines: 0,
             agg_ops: 0,
+            seals: 0,
+            emitted: 0,
+            pane_live_hw: 0,
+            nanos: 0,
         }
     }
 
     #[inline]
     fn front_end(&self) -> u64 {
         self.deque.front_end()
+    }
+
+    /// Records one sealed instance with `live` occupied entries
+    /// (profiling, counters level).
+    #[inline]
+    fn note_seal(&mut self, live: u64) {
+        self.seals += 1;
+        self.pane_live_hw = self.pane_live_hw.max(live);
+    }
+
+    /// Adds sampled nanoseconds to this operator (profiling, timed level).
+    #[inline]
+    fn add_nanos(&mut self, ns: u64) {
+        self.nanos += ns;
+    }
+
+    /// Copies this operator's observed counters into a [`NodeProfile`]
+    /// (identity fields are the caller's responsibility). The slot
+    /// fan-out ships as `agg_ops` — the multi core maintains it directly
+    /// rather than deriving it from `updates + combines`.
+    fn profile_into(&self, p: &mut NodeProfile) {
+        p.updates += self.updates;
+        p.combines += self.combines;
+        p.agg_ops += self.agg_ops;
+        p.seals += self.seals;
+        p.emitted += self.emitted;
+        p.pane_live_hw = p.pane_live_hw.max(self.pane_live_hw);
+        p.nanos += self.nanos;
     }
 
     /// Positions the store at its next due instance, taking carried-over
@@ -584,6 +626,17 @@ pub(crate) struct MultiCore {
     children: Vec<Vec<usize>>,
     /// Operators that receive raw events (non-empty `raw_mask`).
     raw_ops: Vec<usize>,
+    /// Plan node id of each operator (op-indexed) — the stable identity
+    /// per-node profiles report under.
+    node_ids: Vec<usize>,
+    /// Per-node instrumentation level this core was compiled with.
+    profile: ProfileLevel,
+    /// Seal passes observed (drives the sampled per-node clock).
+    seal_passes: u64,
+    /// Feed batches observed (drives the sampled per-node clock).
+    feed_passes: u64,
+    /// Interner compactions performed by this core.
+    compactions: u64,
     funcs: Box<[AggregateFunction]>,
     /// Slot identities (`(function, column)`), slot-indexed — the key
     /// state migration matches slots by across plan swaps.
@@ -608,7 +661,11 @@ pub(crate) struct MultiCore {
 }
 
 impl MultiCore {
-    pub(crate) fn compile(plan: &QueryPlan, element_work: u32) -> Result<Self> {
+    pub(crate) fn compile(
+        plan: &QueryPlan,
+        element_work: u32,
+        profile: ProfileLevel,
+    ) -> Result<Self> {
         plan.validate().map_err(EngineError::InvalidPlan)?;
         let funcs: Box<[AggregateFunction]> =
             plan.aggregates().iter().map(|s| s.function()).collect();
@@ -691,6 +748,11 @@ impl MultiCore {
             exposed,
             children,
             raw_ops,
+            node_ids,
+            profile,
+            seal_passes: 0,
+            feed_passes: 0,
+            compactions: 0,
             funcs,
             term_ids,
             interner: crate::slab::KeyInterner::new(),
@@ -747,6 +809,9 @@ impl MultiCore {
             emitted = pane.len() as u64 * self.funcs.len() as u64;
         }
         self.results_emitted += emitted;
+        if self.profile.counters_on() {
+            self.stores[op].emitted += emitted;
+        }
     }
 
     /// Cascades every open (unsealed) pane down the sub-aggregate forest
@@ -904,16 +969,46 @@ impl MultiCore {
     /// half to children (the pre-swap half already arrived through the
     /// export-time flush) while still emitting the complete instance.
     fn advance(&mut self, watermark: u64, sink: &mut ResultSink) {
+        let counters = self.profile.counters_on();
+        let clock = self.profile.clock_on() && {
+            self.seal_passes = self.seal_passes.wrapping_add(1);
+            self.seal_passes
+                .is_multiple_of(crate::executor::PROFILE_CLOCK_STRIDE)
+        };
         let mut deadline = u64::MAX;
         for op in 0..self.stores.len() {
+            let mut op_timer = clock.then(Instant::now);
+            let mut op_nanos = 0u64;
             while let Some(interval) = self.stores[op].next_due(watermark) {
                 let (head, tail) = self.stores.split_at_mut(op + 1);
                 let pane = head[op].deque.front_pane();
-                self.peak_pane_live = self.peak_pane_live.max(pane.len());
+                let live = pane.len();
+                self.peak_pane_live = self.peak_pane_live.max(live);
                 let slot_keys = self.interner.keys();
-                for &child in &self.children[op] {
-                    debug_assert!(child > op, "plan must be topologically ordered");
-                    tail[child - op - 1].combine_pane(&interval, pane, slot_keys);
+                match &mut op_timer {
+                    // Sampled pass: child combines are timed separately so
+                    // their cost lands on the child node, not the sealer.
+                    Some(start) => {
+                        op_nanos += u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        for &child in &self.children[op] {
+                            debug_assert!(child > op, "plan must be topologically ordered");
+                            let t0 = Instant::now();
+                            tail[child - op - 1].combine_pane(&interval, pane, slot_keys);
+                            tail[child - op - 1].add_nanos(
+                                u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                            );
+                        }
+                        *start = Instant::now();
+                    }
+                    None => {
+                        for &child in &self.children[op] {
+                            debug_assert!(child > op, "plan must be topologically ordered");
+                            tail[child - op - 1].combine_pane(&interval, pane, slot_keys);
+                        }
+                    }
+                }
+                if counters {
+                    self.stores[op].note_seal(live as u64);
                 }
                 let m = interval.start / self.windows[op].slide();
                 self.stores[op].merge_carry_front(m);
@@ -921,6 +1016,10 @@ impl MultiCore {
                     self.emit_front(op, interval, sink);
                 }
                 self.stores[op].deque.retire_front();
+            }
+            if let Some(start) = op_timer {
+                op_nanos += u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                self.stores[op].add_nanos(op_nanos);
             }
             deadline = deadline.min(self.stores[op].front_end());
         }
@@ -946,6 +1045,7 @@ impl MultiCore {
             for store in &mut self.stores {
                 store.compact();
             }
+            self.compactions += 1;
             self.peak_pane_live = 0;
             self.last_compact_fed = self.fed;
         }
@@ -969,6 +1069,11 @@ impl crate::executor::PipelineCore for MultiCore {
         // key change, zero hash probes on the fold path below.
         let mut slot_buf = std::mem::take(&mut self.slot_buf);
         crate::executor::intern_keys(&mut self.interner, keys, &mut slot_buf);
+        let clock = self.profile.clock_on() && {
+            self.feed_passes = self.feed_passes.wrapping_add(1);
+            self.feed_passes
+                .is_multiple_of(crate::executor::PROFILE_CLOCK_STRIDE)
+        };
         let mut i = 0;
         while i < times.len() {
             let head = times[i];
@@ -996,12 +1101,24 @@ impl crate::executor::PipelineCore for MultiCore {
                 i + crate::executor::run_len(&times[i..], limit)
             };
             for &op in &self.raw_ops {
-                self.stores[op].update_run(
-                    &times[i..j],
-                    &keys[i..j],
-                    &slot_buf[i..j],
-                    &values[i..j],
-                );
+                if clock {
+                    let t0 = Instant::now();
+                    self.stores[op].update_run(
+                        &times[i..j],
+                        &keys[i..j],
+                        &slot_buf[i..j],
+                        &values[i..j],
+                    );
+                    self.stores[op]
+                        .add_nanos(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                } else {
+                    self.stores[op].update_run(
+                        &times[i..j],
+                        &keys[i..j],
+                        &slot_buf[i..j],
+                        &values[i..j],
+                    );
+                }
             }
             let last = times[j - 1];
             self.watermark = last;
@@ -1064,6 +1181,29 @@ impl crate::executor::PipelineCore for MultiCore {
             self.interner_hw.0.max(self.interner.len() as u64),
             self.interner_hw.1.max(self.interner.bytes() as u64),
         )
+    }
+
+    fn node_profiles(&self) -> Vec<NodeProfile> {
+        self.windows
+            .iter()
+            .enumerate()
+            .map(|(op, w)| {
+                let mut p = NodeProfile {
+                    node: self.node_ids[op],
+                    range: w.range(),
+                    slide: w.slide(),
+                    exposed: self.exposed[op],
+                    raw_fed: self.raw_ops.contains(&op),
+                    ..NodeProfile::default()
+                };
+                self.stores[op].profile_into(&mut p);
+                p
+            })
+            .collect()
+    }
+
+    fn compactions(&self) -> u64 {
+        self.compactions
     }
 }
 

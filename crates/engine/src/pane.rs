@@ -319,6 +319,17 @@ pub struct PaneStore<A: Aggregate> {
     updates: u64,
     /// Sub-aggregate combines performed (cost-model accounting).
     combines: u64,
+    /// Instances sealed (per-node profiling; maintained only when the
+    /// owning core profiles).
+    seals: u64,
+    /// Result rows emitted from sealed panes (per-node profiling).
+    emitted: u64,
+    /// High-water of live slab entries in any sealing pane (per-node
+    /// profiling).
+    pane_live_hw: u64,
+    /// Sampled nanoseconds attributed to this operator (per-node
+    /// profiling, stride-amortized clock).
+    nanos: u64,
 }
 
 impl<A: Aggregate> PaneStore<A> {
@@ -337,6 +348,10 @@ impl<A: Aggregate> PaneStore<A> {
             work_sink: 0,
             updates: 0,
             combines: 0,
+            seals: 0,
+            emitted: 0,
+            pane_live_hw: 0,
+            nanos: 0,
         }
     }
 
@@ -359,6 +374,41 @@ impl<A: Aggregate> PaneStore<A> {
     #[must_use]
     pub fn work_sink(&self) -> u64 {
         self.work_sink
+    }
+
+    /// Notes one sealed instance whose pane held `live` entries
+    /// (per-node profiling: seal count and occupancy high-water).
+    #[inline]
+    pub fn note_seal(&mut self, live: u64) {
+        self.seals += 1;
+        self.pane_live_hw = self.pane_live_hw.max(live);
+    }
+
+    /// Notes `rows` result rows emitted from a sealed pane.
+    #[inline]
+    pub fn note_emitted(&mut self, rows: u64) {
+        self.emitted += rows;
+    }
+
+    /// Attributes sampled nanoseconds to this operator.
+    #[inline]
+    pub fn add_nanos(&mut self, ns: u64) {
+        self.nanos += ns;
+    }
+
+    /// Accumulates this store's counters into a
+    /// [`NodeProfile`](crate::profile::NodeProfile)
+    /// (identity fields are left for the caller to fill). The
+    /// single-aggregate core performs exactly one accumulator operation
+    /// per update/combine, so `agg_ops` grows by their sum.
+    pub fn profile_into(&self, p: &mut crate::profile::NodeProfile) {
+        p.updates += self.updates;
+        p.combines += self.combines;
+        p.agg_ops += self.updates + self.combines;
+        p.seals += self.seals;
+        p.emitted += self.emitted;
+        p.pane_live_hw = p.pane_live_hw.max(self.pane_live_hw);
+        p.nanos += self.nanos;
     }
 
     /// The window this store belongs to.

@@ -1,0 +1,215 @@
+//! Per-plan-node profiling: observed counters attributed to each window
+//! node of the running plan.
+//!
+//! Every window node of a [`fw_core::QueryPlan`] has a stable
+//! [`fw_core::NodeId`] (its index in the plan's node list); the compiled
+//! cores attribute updates, combines, seals, emitted rows, pane-slab
+//! occupancy high-water and — behind a sampled, stride-amortized clock —
+//! nanoseconds to each node. Profiles merge across shards (element-wise,
+//! same plan) and across plan generations (by window identity, since a
+//! replan may change the topology): the sum over a profile set always
+//! reconciles with the pipeline's cumulative
+//! [`crate::executor::ExecStats`].
+
+use fw_core::NodeId;
+
+/// How much per-node instrumentation a compiled pipeline carries.
+/// Profiling is observation-only: results are bit-identical at every
+/// level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProfileLevel {
+    /// No per-node instrumentation beyond the always-on
+    /// [`crate::executor::ExecStats`] counters.
+    #[default]
+    Off,
+    /// Per-node counters: seals, emitted rows, occupancy high-water.
+    Counters,
+    /// Counters plus sampled per-node nanoseconds (see
+    /// [`crate::executor::PROFILE_CLOCK_STRIDE`]).
+    Timed,
+}
+
+impl ProfileLevel {
+    /// Whether per-node counters are maintained.
+    #[must_use]
+    pub fn counters_on(self) -> bool {
+        !matches!(self, ProfileLevel::Off)
+    }
+
+    /// Whether the sampled per-node clock is armed.
+    #[must_use]
+    pub fn clock_on(self) -> bool {
+        matches!(self, ProfileLevel::Timed)
+    }
+}
+
+/// Sentinel [`NodeId`] for counters whose window is no longer part of the
+/// live plan (it belonged to a generation retired by a replan). Such
+/// entries keep lifetime totals reconcilable with cumulative stats.
+pub const RETIRED_NODE: NodeId = usize::MAX;
+
+/// Observed counters for one window node of the plan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeProfile {
+    /// Plan node id ([`RETIRED_NODE`] once the window left the plan).
+    pub node: NodeId,
+    /// The node's window range.
+    pub range: u64,
+    /// The node's window slide.
+    pub slide: u64,
+    /// Whether the node contributes rows to the query output.
+    pub exposed: bool,
+    /// Whether the node ingests the raw stream (vs. sub-aggregates).
+    pub raw_fed: bool,
+    /// Raw-event accumulator updates performed at this node.
+    pub updates: u64,
+    /// Sub-aggregate combines performed at this node.
+    pub combines: u64,
+    /// Total accumulator operations (multi-aggregate cores count one per
+    /// slot; single-aggregate cores count `updates + combines`).
+    pub agg_ops: u64,
+    /// Window instances sealed at this node.
+    pub seals: u64,
+    /// Result rows emitted from this node (zero for factor windows).
+    pub emitted: u64,
+    /// High-water of live slab entries in any pane sealed at this node.
+    pub pane_live_hw: u64,
+    /// Sampled nanoseconds attributed to this node. Samples are taken
+    /// every [`crate::executor::PROFILE_CLOCK_STRIDE`]-th pass, so this
+    /// is a stride-th of wall time: meaningful relatively (which node is
+    /// hot), not absolutely.
+    pub nanos: u64,
+}
+
+impl NodeProfile {
+    /// Accumulates another profile's counters into this one (additive
+    /// counters add; the occupancy high-water takes the max). Identity
+    /// fields (`node`, windows, flags) are left untouched.
+    pub fn add_counters(&mut self, other: &NodeProfile) {
+        self.updates += other.updates;
+        self.combines += other.combines;
+        self.agg_ops += other.agg_ops;
+        self.seals += other.seals;
+        self.emitted += other.emitted;
+        self.pane_live_hw = self.pane_live_hw.max(other.pane_live_hw);
+        self.nanos += other.nanos;
+    }
+}
+
+/// Folds a retiring generation's profiles into `base`, matching nodes by
+/// window identity (`range`, `slide`): counters accumulate, the occupancy
+/// high-water takes the max, and windows unseen so far are appended with
+/// [`RETIRED_NODE`]. Used when a live core is replaced (replan,
+/// checkpoint-time accounting) so lifetime totals survive the swap.
+pub fn fold_profiles(base: &mut Vec<NodeProfile>, retiring: &[NodeProfile]) {
+    for p in retiring {
+        match base
+            .iter_mut()
+            .find(|b| b.range == p.range && b.slide == p.slide)
+        {
+            Some(b) => b.add_counters(p),
+            None => {
+                let mut r = *p;
+                r.node = RETIRED_NODE;
+                base.push(r);
+            }
+        }
+    }
+}
+
+/// Joins accumulated `base` counters under the `live` generation's node
+/// identities: each live profile absorbs the base counters of its window,
+/// and base windows absent from the live plan are appended as
+/// [`RETIRED_NODE`] entries so the set still sums to lifetime totals.
+#[must_use]
+pub fn join_profiles(base: &[NodeProfile], live: &[NodeProfile]) -> Vec<NodeProfile> {
+    let mut out = live.to_vec();
+    for b in base {
+        match out
+            .iter_mut()
+            .find(|o| o.range == b.range && o.slide == b.slide)
+        {
+            Some(o) => o.add_counters(b),
+            None => out.push(*b),
+        }
+    }
+    out
+}
+
+/// Sums per-shard profile vectors, matching nodes by window identity.
+/// Occupancy high-waters *add*, because shards partition the key space
+/// and their slab occupancies are disjoint. Matching by window (not
+/// position) tolerates shape skew — after a rescale restore, one shard
+/// carries the checkpoint's retired-window entries while the others only
+/// report the live plan. A live node identity wins over a retired one.
+pub fn add_shard_profiles(acc: &mut Vec<NodeProfile>, shard: &[NodeProfile]) {
+    for s in shard {
+        match acc
+            .iter_mut()
+            .find(|a| a.range == s.range && a.slide == s.slide)
+        {
+            Some(a) => {
+                if a.node == RETIRED_NODE {
+                    a.node = s.node;
+                    a.exposed = s.exposed;
+                    a.raw_fed = s.raw_fed;
+                }
+                a.updates += s.updates;
+                a.combines += s.combines;
+                a.agg_ops += s.agg_ops;
+                a.seals += s.seals;
+                a.emitted += s.emitted;
+                a.pane_live_hw += s.pane_live_hw;
+                a.nanos += s.nanos;
+            }
+            None => acc.push(*s),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(range: u64, node: NodeId, updates: u64) -> NodeProfile {
+        NodeProfile {
+            node,
+            range,
+            slide: range,
+            updates,
+            pane_live_hw: updates,
+            ..NodeProfile::default()
+        }
+    }
+
+    #[test]
+    fn fold_matches_by_window_and_appends_retired() {
+        let mut base = vec![p(20, RETIRED_NODE, 5)];
+        fold_profiles(&mut base, &[p(20, 2, 7), p(30, 4, 3)]);
+        assert_eq!(base.len(), 2);
+        assert_eq!(base[0].updates, 12);
+        assert_eq!(base[0].pane_live_hw, 7, "high-water is a max");
+        assert_eq!(base[1].node, RETIRED_NODE);
+        assert_eq!(base[1].updates, 3);
+    }
+
+    #[test]
+    fn join_keeps_live_identity_and_appends_orphans() {
+        let base = vec![p(20, RETIRED_NODE, 5), p(40, RETIRED_NODE, 9)];
+        let joined = join_profiles(&base, &[p(20, 2, 7)]);
+        assert_eq!(joined.len(), 2);
+        assert_eq!(joined[0].node, 2, "live id wins");
+        assert_eq!(joined[0].updates, 12);
+        assert_eq!(joined[1].node, RETIRED_NODE);
+        assert_eq!(joined[1].updates, 9);
+    }
+
+    #[test]
+    fn shard_sum_adds_high_waters() {
+        let mut acc = Vec::new();
+        add_shard_profiles(&mut acc, &[p(20, 2, 5)]);
+        add_shard_profiles(&mut acc, &[p(20, 2, 7)]);
+        assert_eq!(acc[0].updates, 12);
+        assert_eq!(acc[0].pane_live_hw, 12, "disjoint key spaces add");
+    }
+}

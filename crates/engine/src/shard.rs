@@ -97,6 +97,9 @@ enum Command {
     /// Report the shard's key-interner high-water `(slots, bytes)` (see
     /// [`PlanPipeline::interner_stats`]) without disturbing the stream.
     InternerStats(mpsc::Sender<(u64, u64)>),
+    /// Report the shard's per-plan-node profile counters (see
+    /// [`PlanPipeline::node_profiles`]) without disturbing the stream.
+    NodeProfiles(mpsc::Sender<Vec<crate::profile::NodeProfile>>),
     /// Swap the executing plan in place at a watermark boundary
     /// ([`PlanPipeline::rebuild`]); the reply doubles as the barrier.
     Rebuild {
@@ -181,6 +184,9 @@ fn worker(
             }
             Command::InternerStats(reply) => {
                 let _ = reply.send(pipeline.interner_stats());
+            }
+            Command::NodeProfiles(reply) => {
+                let _ = reply.send(pipeline.node_profiles());
             }
             Command::Rebuild {
                 plan,
@@ -475,8 +481,8 @@ impl ShardedPipeline {
         shards: usize,
         r: &mut R,
     ) -> std::result::Result<Self, CheckpointError> {
-        checkpoint::read_header(r, checkpoint::KIND_PIPELINE)?;
-        let image = PipelineImage::decode(r)?;
+        let version = checkpoint::read_header(r, checkpoint::KIND_PIPELINE)?;
+        let image = PipelineImage::decode(r, version)?;
         Self::restore_image(plan, opts, shards, image)
     }
 
@@ -865,6 +871,33 @@ impl ShardedPipeline {
         total
     }
 
+    /// A synchronizing snapshot of the summed per-shard plan-node
+    /// profiles (see [`PlanPipeline::node_profiles`]): additive counters
+    /// sum across shards, and occupancy high-waters *add* because each
+    /// shard owns a disjoint key partition. Empty when the pipeline was
+    /// compiled with profiling off.
+    #[must_use]
+    pub fn node_profiles(&self) -> Vec<crate::profile::NodeProfile> {
+        let replies: Vec<mpsc::Receiver<Vec<crate::profile::NodeProfile>>> = self
+            .workers
+            .iter()
+            .map(|worker| {
+                let (tx, rx) = mpsc::channel();
+                worker
+                    .commands
+                    .send(Command::NodeProfiles(tx))
+                    .expect("shard worker terminated unexpectedly");
+                rx
+            })
+            .collect();
+        let mut total = Vec::new();
+        for rx in replies {
+            let shard = rx.recv().expect("shard worker terminated unexpectedly");
+            crate::profile::add_shard_profiles(&mut total, &shard);
+        }
+        total
+    }
+
     /// Events routed so far (including staged and in-flight ones; the
     /// exact fed count is in [`Self::finish`]'s output or
     /// [`Self::snapshot`]).
@@ -922,6 +955,7 @@ mod tests {
             collect: true,
             element_work: 0,
             out_of_order: 0,
+            profile: Default::default(),
         }
     }
 
@@ -1032,6 +1066,7 @@ mod tests {
             collect: true,
             element_work: 0,
             out_of_order: 4,
+            profile: Default::default(),
         };
         let reference = PlanPipeline::run(&plan, &ordered, fast_opts()).unwrap();
         let sharded = ShardedPipeline::run(&plan, &jittered, opts, 3).unwrap();

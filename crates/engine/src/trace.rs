@@ -1,0 +1,220 @@
+//! Structured trace ring: a fixed-capacity, allocation-free log of
+//! engine lifecycle events (seals, replans, rebuilds, checkpoints,
+//! interner compactions, sheds, resumes) with monotonic timestamps.
+//!
+//! The ring is bounded: recording never allocates after construction,
+//! and when full the oldest event is overwritten (counted in
+//! [`TraceRing::dropped`]). Facades own rings — the engine cores only
+//! maintain cheap counters — so the steady-state push/seal/poll path
+//! stays zero-alloc with tracing wired.
+
+use std::time::Instant;
+
+/// Default ring capacity used by the pipeline facades.
+pub const DEFAULT_TRACE_CAP: usize = 1024;
+
+/// What happened. The two payload words of a [`TraceEvent`] are
+/// kind-specific (documented per variant as `a` / `b`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// Watermark advance sealed instances. `a` = watermark, `b` = result
+    /// rows emitted by the advance (`0` on backends where counting would
+    /// synchronize the workers).
+    Seal,
+    /// The adaptive planner re-optimized. `a` = observed rate (rounded),
+    /// `b` = drift ratio in milli-units (ratio × 1000).
+    Replan,
+    /// The running core was swapped for a new plan. `a` = watermark,
+    /// `b` = cumulative replans.
+    Rebuild,
+    /// A checkpoint image was exported. `a` = watermark, `b` = events
+    /// processed.
+    Checkpoint,
+    /// A core recycled its key interner at an idle point. `a` =
+    /// watermark, `b` = cumulative compactions.
+    Compaction,
+    /// Ingress shed work under backpressure. `a` = query/client id,
+    /// `b` = batches shed.
+    Shed,
+    /// A pipeline resumed from a checkpoint. `a` = watermark, `b` =
+    /// events processed at the restore point.
+    Resume,
+    /// A query registered with a serving group. `a` = query id.
+    Register,
+    /// A query deregistered from a serving group. `a` = query id,
+    /// `b` = rows it had been delivered.
+    Deregister,
+}
+
+impl TraceEventKind {
+    /// Stable lower-case name used by text/JSON renderings.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceEventKind::Seal => "seal",
+            TraceEventKind::Replan => "replan",
+            TraceEventKind::Rebuild => "rebuild",
+            TraceEventKind::Checkpoint => "checkpoint",
+            TraceEventKind::Compaction => "compaction",
+            TraceEventKind::Shed => "shed",
+            TraceEventKind::Resume => "resume",
+            TraceEventKind::Register => "register",
+            TraceEventKind::Deregister => "deregister",
+        }
+    }
+}
+
+/// One recorded event. `micros` is monotonic time since the ring was
+/// created; `seq` is a gap-free sequence number, so consumers can detect
+/// overwritten events by comparing against [`TraceRing::dropped`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Monotonic sequence number (0-based, never reused).
+    pub seq: u64,
+    /// Microseconds since ring creation (monotonic clock).
+    pub micros: u64,
+    /// Event kind.
+    pub kind: TraceEventKind,
+    /// First kind-specific payload word.
+    pub a: u64,
+    /// Second kind-specific payload word.
+    pub b: u64,
+}
+
+/// Fixed-capacity ring of [`TraceEvent`]s. All storage is reserved at
+/// construction; [`TraceRing::record`] never allocates.
+#[derive(Debug)]
+pub struct TraceRing {
+    buf: Vec<TraceEvent>,
+    cap: usize,
+    /// Index of the oldest event once the ring has wrapped.
+    head: usize,
+    seq: u64,
+    dropped: u64,
+    epoch: Instant,
+}
+
+impl Default for TraceRing {
+    fn default() -> Self {
+        TraceRing::with_capacity(DEFAULT_TRACE_CAP)
+    }
+}
+
+impl TraceRing {
+    /// Creates a ring holding up to `cap` events (min 1).
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        let cap = cap.max(1);
+        TraceRing {
+            buf: Vec::with_capacity(cap),
+            cap,
+            head: 0,
+            seq: 0,
+            dropped: 0,
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Records an event; overwrites the oldest when full. Never
+    /// allocates.
+    pub fn record(&mut self, kind: TraceEventKind, a: u64, b: u64) {
+        let micros = u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let ev = TraceEvent {
+            seq: self.seq,
+            micros,
+            kind,
+            a,
+            b,
+        };
+        self.seq += 1;
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Number of events currently buffered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no events are buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events overwritten before being drained.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events ever recorded.
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.seq
+    }
+
+    /// Moves all buffered events into `out` in sequence order and empties
+    /// the ring (capacity is retained).
+    pub fn drain_into(&mut self, out: &mut Vec<TraceEvent>) {
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        self.buf.clear();
+        self.head = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_and_drains() {
+        let mut ring = TraceRing::with_capacity(8);
+        ring.record(TraceEventKind::Seal, 10, 2);
+        ring.record(TraceEventKind::Checkpoint, 10, 100);
+        let mut out = Vec::new();
+        ring.drain_into(&mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].seq, 0);
+        assert_eq!(out[0].kind, TraceEventKind::Seal);
+        assert_eq!(out[1].kind, TraceEventKind::Checkpoint);
+        assert!(out[1].micros >= out[0].micros, "monotonic timestamps");
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn wraps_and_counts_drops() {
+        let mut ring = TraceRing::with_capacity(4);
+        for i in 0..10u64 {
+            ring.record(TraceEventKind::Seal, i, 0);
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.dropped(), 6);
+        assert_eq!(ring.recorded(), 10);
+        let mut out = Vec::new();
+        ring.drain_into(&mut out);
+        assert_eq!(
+            out.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9],
+            "oldest events were overwritten, order preserved"
+        );
+        // Capacity survives a drain; recording continues seamlessly.
+        ring.record(TraceEventKind::Resume, 0, 0);
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.recorded(), 11);
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(TraceEventKind::Compaction.name(), "compaction");
+        assert_eq!(TraceEventKind::Deregister.name(), "deregister");
+    }
+}

@@ -42,6 +42,7 @@ fn opts(slack: u64) -> PipelineOptions {
         collect: true,
         element_work: 0,
         out_of_order: slack,
+        profile: Default::default(),
     }
 }
 
@@ -80,14 +81,16 @@ fn bits(results: Vec<WindowResult>) -> Vec<(Window, u64, u64, u32, u32, u64)> {
 /// Either backend at a given shard count (`0` = single-threaded), always
 /// on the slot-based group core so the state is exportable.
 enum Exec {
-    Single(PlanPipeline),
+    Single(Box<PlanPipeline>),
     Sharded(ShardedPipeline),
 }
 
 impl Exec {
     fn compile(plan: &fw_core::QueryPlan, options: PipelineOptions, shards: usize) -> Exec {
         if shards == 0 {
-            Exec::Single(PlanPipeline::compile_grouped(plan, options).unwrap())
+            Exec::Single(Box::new(
+                PlanPipeline::compile_grouped(plan, options).unwrap(),
+            ))
         } else {
             Exec::Sharded(ShardedPipeline::compile_grouped(plan, options, shards).unwrap())
         }
@@ -101,7 +104,7 @@ impl Exec {
     ) -> Result<Exec, CheckpointError> {
         let mut r = bytes;
         Ok(if shards == 0 {
-            Exec::Single(PlanPipeline::restore(plan, options, &mut r)?)
+            Exec::Single(Box::new(PlanPipeline::restore(plan, options, &mut r)?))
         } else {
             Exec::Sharded(ShardedPipeline::restore(plan, options, shards, &mut r)?)
         })

@@ -67,6 +67,7 @@ fn opts(slack: u64) -> PipelineOptions {
         collect: true,
         element_work: 0,
         out_of_order: slack,
+        profile: Default::default(),
     }
 }
 

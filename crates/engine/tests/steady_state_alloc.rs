@@ -68,6 +68,7 @@ fn steady_state_ingestion_and_emission_are_allocation_free() {
         collect: true,
         element_work: 0,
         out_of_order: 0,
+        profile: Default::default(),
     };
     let mut pipeline = PlanPipeline::compile(&plan, opts).unwrap();
     let mut out: Vec<WindowResult> = Vec::new();

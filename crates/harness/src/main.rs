@@ -29,6 +29,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut load_addr: Option<String> = None;
     let mut clients: usize = 4;
     let mut events: u64 = 200_000;
+    let mut explain_input: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -72,6 +73,13 @@ fn run(args: &[String]) -> Result<(), String> {
                     .ok_or("--dump-wcg requires a SQL query string (or `fig1` / `fig1-multi`)")?;
                 return dump_wcg(sql);
             }
+            "--explain" => {
+                i += 1;
+                let sql = args.get(i).ok_or(
+                    "--explain requires a SQL statement (or `fig1` / `fig1-multi` / `fig1-group`)",
+                )?;
+                explain_input = Some(sql.clone());
+            }
             "--help" | "-h" => {
                 print_help();
                 return Ok(());
@@ -91,6 +99,9 @@ fn run(args: &[String]) -> Result<(), String> {
     }
     if config.scale == 0 {
         return Err("--scale must be at least 1".to_string());
+    }
+    if let Some(input) = &explain_input {
+        return explain(input, out_dir.as_ref());
     }
     if let Some(addr) = &serve_addr {
         return serve(addr, &config);
@@ -187,6 +198,96 @@ fn dump_wcg(sql: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// `EXPLAIN ANALYZE` for the CLI: compiles the statement (or named
+/// fixture) with per-plan-node counters on, replays a deterministic
+/// synthetic stream through the winning plan, and prints the report
+/// joining observed per-node counters against the cost model's predicted
+/// pane flow. A `;`-separated statement sequence profiles the shared
+/// query-group plan. A leading `EXPLAIN` (without `ANALYZE`) on a single
+/// statement skips execution and prints the prediction only. With
+/// `--out DIR` the profile is also written as `DIR/PROFILE_<name>.json`.
+fn explain(input: &str, out_dir: Option<&PathBuf>) -> Result<(), String> {
+    use factor_windows::core::json::ToJson;
+    use factor_windows::sql as fw_sql;
+    use factor_windows::{ProfileLevel, QueryGroup, Session};
+    use fw_workload::{synthetic_stream, SyntheticConfig};
+
+    let (name, text) = match input.to_ascii_lowercase().as_str() {
+        "fig1" => ("fig1", fw_sql::FIG1_SQL),
+        "fig1-multi" => ("fig1-multi", fw_sql::FIG1_MULTI_SQL),
+        "fig1-group" => ("fig1-group", fw_sql::FIG1_GROUP_SQL),
+        _ => ("query", input),
+    };
+    // One constant-pace event per time unit (the cost model's η = 1),
+    // long enough to seal several instances of every fixture window.
+    let events = synthetic_stream(&SyntheticConfig {
+        events: 10_000,
+        keys: 4,
+        seed: 0xF1C,
+    });
+
+    let profile = match fw_sql::parse_statement(text) {
+        Ok(statement) => {
+            let analyze = !matches!(
+                statement,
+                fw_sql::ParsedStatement::Explain { analyze: false, .. }
+            );
+            let query = statement
+                .query()
+                .to_window_query()
+                .map_err(|e| e.to_string())?;
+            let max_range = query
+                .windows()
+                .iter()
+                .map(fw_core::Window::range)
+                .max()
+                .unwrap_or(0);
+            let session = Session::from_query(query).profiling(ProfileLevel::Counters);
+            if analyze {
+                let mut pipeline = session.build().map_err(|e| e.to_string())?;
+                pipeline.push_batch(&events).map_err(|e| e.to_string())?;
+                let last = events.last().map_or(0, |e| e.time);
+                pipeline
+                    .advance_watermark(last.saturating_add(max_range))
+                    .map_err(|e| e.to_string())?;
+                pipeline.profile().map_err(|e| e.to_string())?
+            } else {
+                session.plan_profile().map_err(|e| e.to_string())?
+            }
+        }
+        // Not a single statement: a `;`-separated sequence profiles the
+        // query group's shared plan (always analyzed).
+        Err(single_err) => {
+            let group = QueryGroup::from_sql(text)
+                .map_err(|_| single_err.render(text))?
+                .profiling(ProfileLevel::Counters);
+            let max_range = group
+                .queries()
+                .iter()
+                .flat_map(|q| q.windows().iter().map(fw_core::Window::range))
+                .max()
+                .unwrap_or(0);
+            let mut pipeline = group.build().map_err(|e| e.to_string())?;
+            pipeline.push_batch(&events).map_err(|e| e.to_string())?;
+            let last = events.last().map_or(0, |e| e.time);
+            pipeline
+                .advance_watermark(last.saturating_add(max_range))
+                .map_err(|e| e.to_string())?;
+            pipeline.profile().map_err(|e| e.to_string())?
+        }
+    };
+
+    print!("{}", profile.render());
+    if let Some(dir) = out_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
+        let path = dir.join(format!("PROFILE_{name}.json"));
+        std::fs::write(&path, profile.to_json())
+            .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+        eprintln!("[profile written to {}]", path.display());
+    }
+    Ok(())
+}
+
 /// Runs the streaming ingress server on `addr` until killed, printing a
 /// one-line metrics digest every few seconds. `--parallelism` selects
 /// the shared group's shard workers (0 = one per core).
@@ -245,6 +346,9 @@ fn load_gen(addr: &str, clients: usize, events: u64) -> Result<(), String> {
     let config = LoadGenConfig {
         clients,
         events,
+        // Scrape the Prometheus endpoint at the end of the run; run_load
+        // validates the page through the in-tree exposition parser.
+        scrape_metrics: true,
         ..LoadGenConfig::default()
     };
     println!("# fw load generator — {clients} subscriber(s), {events} events against {addr}");
@@ -258,6 +362,14 @@ fn load_gen(addr: &str, clients: usize, events: u64) -> Result<(), String> {
         report.snapshot.batches_shed,
         report.snapshot.results_dropped,
     );
+    if let Some(text) = &report.exposition {
+        let samples = factor_windows::serve::expo::parse(text)?;
+        println!(
+            "exposition      {} samples, {} bytes",
+            samples.len(),
+            text.len()
+        );
+    }
     Ok(())
 }
 
@@ -289,7 +401,14 @@ fn print_help() {
                             Graphviz dot format and exit; `;`-separated\n\
                             statements dump the merged cross-query graph\n\
                             (`fig1`, `fig1-multi`, and `fig1-group` name\n\
-                            the built-in fixtures)\n\n\
+                            the built-in fixtures)\n\
+           --explain SQL    EXPLAIN ANALYZE: replay a deterministic\n\
+                            synthetic stream through the statement's\n\
+                            winning plan and print per-node observed\n\
+                            counters joined with the predicted pane\n\
+                            flow; accepts the same fixture names, a\n\
+                            leading EXPLAIN skips execution, and\n\
+                            --out DIR also writes PROFILE_<name>.json\n\n\
          SERVING:\n\
            --serve ADDR     run the streaming ingress server on ADDR\n\
                             (e.g. 127.0.0.1:9090) until killed; honors\n\

@@ -202,6 +202,28 @@ impl ServeClient {
             .ok_or_else(|| ServeError::Protocol("incomplete stats json".into()))
     }
 
+    /// Requests a Prometheus text exposition of the server's metrics
+    /// (registry counters, per-plan-node gauges, and the
+    /// watermark→result latency histogram) and blocks for the reply.
+    pub fn metrics_text(&mut self) -> Result<String, ServeError> {
+        self.send(&Frame::MetricsTextReq)?;
+        match self.wait_for(|f| matches!(f, Frame::MetricsText { .. }))? {
+            Frame::MetricsText { text } => Ok(text),
+            _ => unreachable!("wait_for returned a non-matching frame"),
+        }
+    }
+
+    /// Drains the server's structured trace ring and blocks for the
+    /// reply: `(events overwritten before this drain, drained events)`.
+    /// Draining is destructive — each event reaches one requester.
+    pub fn trace(&mut self) -> Result<(u64, Vec<fw_engine::TraceEvent>), ServeError> {
+        self.send(&Frame::TraceReq)?;
+        match self.wait_for(|f| matches!(f, Frame::Trace { .. }))? {
+            Frame::Trace { dropped, events } => Ok((dropped, events)),
+            _ => unreachable!("wait_for returned a non-matching frame"),
+        }
+    }
+
     /// Declares this connection done pushing; returns the server's
     /// accounting `(events_ingested, rows_delivered)` for it.
     pub fn finish(&mut self) -> Result<(u64, u64), ServeError> {

@@ -1,0 +1,337 @@
+//! Prometheus text exposition for the serving layer: renders a
+//! [`MetricsSnapshot`], the per-plan-node counter table, and the
+//! watermark→result [`LatencySnapshot`] in the Prometheus text format
+//! (version 0.0.4), plus a small in-tree parser the tests and the load
+//! generator use to read an exposition back without external crates.
+//!
+//! Counter samples end in `_total`, gauges carry the raw name, and the
+//! latency histogram follows the Prometheus histogram convention:
+//! cumulative `_bucket{le="..."}` samples closed by `le="+Inf"`, then
+//! `_sum` and `_count`. Every sample is prefixed `fw_`.
+
+use crate::metrics::{LatencyHistogram, LatencySnapshot, MetricsSnapshot};
+use fw_engine::{NodeProfile, RETIRED_NODE};
+use std::fmt::Write as _;
+
+/// Renders one full exposition page: registry counters and gauges,
+/// per-query samples, per-plan-node samples, and the latency histogram.
+#[must_use]
+pub fn render(snap: &MetricsSnapshot, nodes: &[NodeProfile], latency: &LatencySnapshot) -> String {
+    let mut out = String::with_capacity(4096);
+    let counters: [(&str, u64); 16] = [
+        ("fw_connections_total", snap.connections_total),
+        ("fw_frames_in_total", snap.frames_in),
+        ("fw_frames_out_total", snap.frames_out),
+        ("fw_events_in_total", snap.events_in),
+        ("fw_batches_in_total", snap.batches_in),
+        ("fw_batches_shed_total", snap.batches_shed),
+        ("fw_events_shed_total", snap.events_shed),
+        ("fw_results_rows_out_total", snap.results_rows_out),
+        ("fw_results_dropped_total", snap.results_dropped),
+        ("fw_lagging_notices_total", snap.lagging_notices),
+        ("fw_push_errors_total", snap.push_errors),
+        ("fw_replans_total", snap.replans),
+        ("fw_registrations_total", snap.registrations),
+        ("fw_deregistrations_total", snap.deregistrations),
+        ("fw_rows_out_retired_total", snap.rows_out_retired),
+        ("fw_checkpoints_written_total", snap.checkpoints_written),
+    ];
+    for (name, value) in counters {
+        let _ = writeln!(out, "# TYPE {name} counter\n{name} {value}");
+    }
+    let more_counters: [(&str, u64); 3] = [
+        ("fw_checkpoint_errors_total", snap.checkpoint_errors),
+        ("fw_resumes_total", snap.resumes),
+        ("fw_engine_panics_total", snap.engine_panics),
+    ];
+    for (name, value) in more_counters {
+        let _ = writeln!(out, "# TYPE {name} counter\n{name} {value}");
+    }
+    let gauges: [(&str, u64); 13] = [
+        ("fw_uptime_micros", snap.uptime_micros),
+        ("fw_active_connections", snap.active_connections),
+        ("fw_registered_queries", snap.registered_queries),
+        ("fw_ingest_queue_depth", snap.ingest_queue_depth),
+        ("fw_ingest_queue_high_water", snap.ingest_queue_high_water),
+        ("fw_outbox_high_water", snap.outbox_high_water),
+        ("fw_watermark", snap.watermark),
+        ("fw_max_event_time", snap.max_event_time),
+        ("fw_watermark_lag", snap.watermark_lag),
+        ("fw_events_per_sec", snap.events_per_sec),
+        ("fw_checkpoint_bytes_last", snap.checkpoint_bytes_last),
+        ("fw_interner_slots", snap.interner_slots),
+        ("fw_interner_bytes", snap.interner_bytes),
+    ];
+    for (name, value) in gauges {
+        let _ = writeln!(out, "# TYPE {name} gauge\n{name} {value}");
+    }
+
+    if !snap.per_query.is_empty() {
+        let _ = writeln!(out, "# TYPE fw_query_rows_delivered counter");
+        for q in &snap.per_query {
+            let _ = writeln!(
+                out,
+                "fw_query_rows_delivered{{query=\"{}\"}} {}",
+                q.id, q.rows_delivered
+            );
+        }
+        let _ = writeln!(out, "# TYPE fw_query_events_per_sec gauge");
+        for q in &snap.per_query {
+            let _ = writeln!(
+                out,
+                "fw_query_events_per_sec{{query=\"{}\"}} {}",
+                q.id, q.events_per_sec
+            );
+        }
+    }
+
+    render_nodes(&mut out, nodes);
+    render_latency(&mut out, latency);
+    out
+}
+
+/// Per-plan-node gauges, labelled by node id and window identity. Slots
+/// holding counters inherited from retired plan shapes are labelled
+/// `node="retired"`.
+fn render_nodes(out: &mut String, nodes: &[NodeProfile]) {
+    if nodes.is_empty() {
+        return;
+    }
+    type Field = fn(&NodeProfile) -> u64;
+    let series: [(&str, Field); 7] = [
+        ("fw_node_updates_total", |p| p.updates),
+        ("fw_node_combines_total", |p| p.combines),
+        ("fw_node_agg_ops_total", |p| p.agg_ops),
+        ("fw_node_seals_total", |p| p.seals),
+        ("fw_node_rows_emitted_total", |p| p.emitted),
+        ("fw_node_pane_live_high_water", |p| p.pane_live_hw),
+        ("fw_node_nanos_total", |p| p.nanos),
+    ];
+    for (name, get) in series {
+        let kind = if name.ends_with("_total") {
+            "counter"
+        } else {
+            "gauge"
+        };
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        for p in nodes {
+            let _ = write!(out, "{name}{{node=\"");
+            if p.node == RETIRED_NODE {
+                out.push_str("retired");
+            } else {
+                let _ = write!(out, "{}", p.node);
+            }
+            let _ = writeln!(
+                out,
+                "\",window=\"{}/{}\",exposed=\"{}\"}} {}",
+                p.range,
+                p.slide,
+                u8::from(p.exposed),
+                get(p)
+            );
+        }
+    }
+}
+
+/// The watermark→result latency histogram in Prometheus cumulative form.
+fn render_latency(out: &mut String, latency: &LatencySnapshot) {
+    let name = "fw_watermark_latency_micros";
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cumulative = 0u64;
+    for (i, &count) in latency.buckets.iter().enumerate() {
+        cumulative += count;
+        match LatencyHistogram::bucket_bound(i) {
+            Some(bound) => {
+                let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+            }
+            None => {
+                let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+            }
+        }
+    }
+    let _ = writeln!(out, "{name}_sum {}", latency.sum_micros);
+    let _ = writeln!(out, "{name}_count {}", latency.count);
+}
+
+/// One parsed exposition sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// The metric name (including any `_bucket`/`_sum`/`_count` suffix).
+    pub name: String,
+    /// Label pairs in source order (empty for unlabelled samples).
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of label `key`, if present.
+    #[must_use]
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parses a Prometheus text exposition into its samples. Comment and
+/// blank lines are skipped; any malformed sample line is an error naming
+/// the offending line. Handles exactly the subset [`render`] emits
+/// (no escape sequences inside label values, no timestamps).
+pub fn parse(text: &str) -> Result<Vec<Sample>, String> {
+    let mut samples = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        samples.push(parse_sample(line).ok_or_else(|| format!("malformed sample: {line}"))?);
+    }
+    Ok(samples)
+}
+
+fn parse_sample(line: &str) -> Option<Sample> {
+    let (head, value) = line.rsplit_once(' ')?;
+    let value: f64 = if value == "+Inf" {
+        f64::INFINITY
+    } else {
+        value.parse().ok()?
+    };
+    let (name, labels) = match head.split_once('{') {
+        None => (head.to_string(), Vec::new()),
+        Some((name, rest)) => {
+            let body = rest.strip_suffix('}')?;
+            let mut labels = Vec::new();
+            for pair in body.split(',').filter(|p| !p.is_empty()) {
+                let (k, v) = pair.split_once('=')?;
+                let v = v.strip_prefix('"')?.strip_suffix('"')?;
+                if v.contains('"') || k.is_empty() {
+                    return None;
+                }
+                labels.push((k.to_string(), v.to_string()));
+            }
+            (name.to_string(), labels)
+        }
+    };
+    if name.is_empty() || name.contains(' ') {
+        return None;
+    }
+    Some(Sample {
+        name,
+        labels,
+        value,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{Metrics, LATENCY_BUCKETS};
+
+    fn sample_value<'a>(samples: &'a [Sample], name: &str) -> Option<&'a Sample> {
+        samples.iter().find(|s| s.name == name)
+    }
+
+    #[test]
+    fn rendered_exposition_parses_back() {
+        let metrics = Metrics::new();
+        Metrics::add(&metrics.events_in, 500);
+        Metrics::add(&metrics.results_rows_out, 70);
+        Metrics::add(&metrics.rows_out_retired, 12);
+        Metrics::raise(&metrics.watermark, 900);
+        metrics.query_registered(4);
+        metrics.query_rows(4, 8);
+        metrics.latency.observe(3);
+        metrics.latency.observe(700);
+
+        let nodes = vec![NodeProfile {
+            node: 0,
+            range: 40,
+            slide: 10,
+            exposed: true,
+            updates: 100,
+            combines: 25,
+            ..NodeProfile::default()
+        }];
+        let text = render(&metrics.snapshot(), &nodes, &metrics.latency.snapshot());
+        let samples = parse(&text).expect("rendered exposition parses");
+
+        assert_eq!(
+            sample_value(&samples, "fw_events_in_total").unwrap().value,
+            500.0
+        );
+        assert_eq!(
+            sample_value(&samples, "fw_rows_out_retired_total")
+                .unwrap()
+                .value,
+            12.0
+        );
+        let q = sample_value(&samples, "fw_query_rows_delivered").unwrap();
+        assert_eq!(q.label("query"), Some("4"));
+        assert_eq!(q.value, 8.0);
+        let node = sample_value(&samples, "fw_node_updates_total").unwrap();
+        assert_eq!(node.label("node"), Some("0"));
+        assert_eq!(node.label("window"), Some("40/10"));
+        assert_eq!(node.value, 100.0);
+
+        // Histogram: cumulative buckets are monotone and close at +Inf
+        // with the total count.
+        let buckets: Vec<&Sample> = samples
+            .iter()
+            .filter(|s| s.name == "fw_watermark_latency_micros_bucket")
+            .collect();
+        assert_eq!(buckets.len(), LATENCY_BUCKETS + 1);
+        let mut last = 0.0;
+        for b in &buckets {
+            assert!(b.value >= last, "cumulative buckets regress");
+            last = b.value;
+        }
+        assert_eq!(buckets.last().unwrap().label("le"), Some("+Inf"));
+        assert_eq!(last, 2.0);
+        assert_eq!(
+            sample_value(&samples, "fw_watermark_latency_micros_sum")
+                .unwrap()
+                .value,
+            703.0
+        );
+        assert_eq!(
+            sample_value(&samples, "fw_watermark_latency_micros_count")
+                .unwrap()
+                .value,
+            2.0
+        );
+    }
+
+    #[test]
+    fn retired_node_slots_are_labelled() {
+        let metrics = Metrics::new();
+        let nodes = vec![NodeProfile {
+            node: RETIRED_NODE,
+            range: 20,
+            slide: 20,
+            updates: 5,
+            ..NodeProfile::default()
+        }];
+        let text = render(&metrics.snapshot(), &nodes, &metrics.latency.snapshot());
+        let samples = parse(&text).unwrap();
+        let node = sample_value(&samples, "fw_node_updates_total").unwrap();
+        assert_eq!(node.label("node"), Some("retired"));
+        assert_eq!(node.label("window"), Some("20/20"));
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        for bad in [
+            "no_value_here",
+            "fw_x{unclosed=\"1\" 3",
+            "fw_x{k=\"v\",} }",
+            "fw_x{k=v} 1",
+            "fw_x{=\"v\"} 1",
+            " 5",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should not parse");
+        }
+        assert_eq!(parse("# HELP whatever\n\n").unwrap(), Vec::new());
+    }
+}

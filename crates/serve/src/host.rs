@@ -19,7 +19,7 @@ use fw_core::{
     Semantics, SharingPolicy, WindowQuery,
 };
 use fw_engine::checkpoint::{self as ckpt, CheckpointError, CheckpointResult};
-use fw_engine::{ExecStats, GroupExec, GroupResult, Parallelism, PipelineOptions};
+use fw_engine::{ExecStats, GroupExec, GroupResult, Parallelism, PipelineOptions, ProfileLevel};
 
 /// Compilation knobs for the hosted group, fixed for the host's lifetime.
 #[derive(Debug, Clone)]
@@ -39,6 +39,9 @@ pub struct HostConfig {
     pub element_work: u32,
     /// Key-sharded execution width.
     pub parallelism: Parallelism,
+    /// Per-plan-node instrumentation level for hosted pipelines (off by
+    /// default; `Counters` feeds the serve layer's per-node gauges).
+    pub profile: ProfileLevel,
 }
 
 impl Default for HostConfig {
@@ -51,6 +54,7 @@ impl Default for HostConfig {
             out_of_order: 0,
             element_work: 0,
             parallelism: Parallelism::Sequential,
+            profile: ProfileLevel::default(),
         }
     }
 }
@@ -174,6 +178,7 @@ impl GroupHost {
                     collect: true,
                     element_work: self.config.element_work,
                     out_of_order: self.config.out_of_order,
+                    profile: self.config.profile,
                 };
                 // Durable compile: every member runs on the slot-based
                 // group core, so the host can checkpoint at any moment.
@@ -295,6 +300,18 @@ impl GroupHost {
         self.exec.as_ref().map_or((0, 0), |e| e.interner_stats())
     }
 
+    /// Per-plan-node counters of the running executor (empty while no
+    /// query is registered; all-zero unless [`HostConfig::profile`]
+    /// enables counters). Like [`Self::interner_stats`], this is a
+    /// synchronizing snapshot on sharded executors — call it at
+    /// announcement or scrape cadence, never per event.
+    #[must_use]
+    pub fn node_profiles(&self) -> Vec<fw_engine::NodeProfile> {
+        self.exec
+            .as_ref()
+            .map_or_else(Vec::new, |e| e.node_profiles())
+    }
+
     /// Re-derives the [`GroupPlan`] the running executor was compiled
     /// from: the optimizer is deterministic, so planning the current
     /// member set under the pinned policy reproduces it exactly.
@@ -396,6 +413,7 @@ impl GroupHost {
                     collect: true,
                     element_work: config.element_work,
                     out_of_order: config.out_of_order,
+                    profile: config.profile,
                 };
                 Some(GroupExec::restore(
                     &plan,

@@ -6,8 +6,11 @@
 //! concurrent client connections onto one shared multi-query execution
 //! host ([`host::GroupHost`]) with bounded-queue backpressure at every
 //! hop ([`server`]), an atomic metrics registry snapshotted over the
-//! wire as JSON ([`metrics`]), a blocking protocol client ([`client`]),
-//! and a deterministic load generator ([`loadgen`]).
+//! wire as JSON ([`metrics`]) or as a Prometheus text exposition
+//! ([`expo`]) with per-plan-node gauges and a watermark→result latency
+//! histogram, a structured trace ring drained over the wire, a blocking
+//! protocol client ([`client`]), and a deterministic load generator
+//! ([`loadgen`]).
 //!
 //! ```no_run
 //! use fw_serve::{ServeClient, ServeConfig, Server};
@@ -35,6 +38,7 @@
 #![warn(clippy::all)]
 
 pub mod client;
+pub mod expo;
 pub mod host;
 pub mod loadgen;
 pub mod metrics;
@@ -44,7 +48,7 @@ pub mod wire;
 pub use client::{RetryPolicy, ServeClient};
 pub use host::{GroupHost, HostConfig};
 pub use loadgen::{run_load, stream_plan, LoadGenConfig, LoadReport, StreamPlan};
-pub use metrics::{Metrics, MetricsSnapshot};
+pub use metrics::{LatencyHistogram, LatencySnapshot, Metrics, MetricsSnapshot};
 pub use server::{Overflow, ServeConfig, Server, ServerHandle, FAULT_PANIC_SQL};
 pub use wire::{Frame, LagKind, WireError};
 

@@ -11,6 +11,7 @@
 //! consistent read, not a linearizable one.
 
 use fw_core::json::JsonValue;
+use fw_engine::NodeProfile;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -52,6 +53,10 @@ pub struct Metrics {
     pub registrations: AtomicU64,
     /// Successful query deregistrations (disconnect cleanups included).
     pub deregistrations: AtomicU64,
+    /// Result rows that had been delivered to queries since deregistered,
+    /// folded in by [`Metrics::query_deregistered`] so the group's
+    /// delivery total survives the per-query table prune.
+    pub rows_out_retired: AtomicU64,
     /// Checkpoint snapshots successfully written to disk.
     pub checkpoints_written: AtomicU64,
     /// Checkpoint attempts that failed to encode or persist.
@@ -84,7 +89,14 @@ pub struct Metrics {
     /// High-water mark of key-interner table bytes.
     pub interner_bytes: AtomicU64,
 
+    /// Watermark-to-result latency: micros from a watermark announcement
+    /// reaching the engine thread to its sealed rows being handed to
+    /// client outboxes.
+    pub latency: LatencyHistogram,
+
     per_query: Mutex<BTreeMap<u32, QueryStats>>,
+    /// Most recent per-plan-node counter table (announcement cadence).
+    node_profiles: Mutex<Vec<NodeProfile>>,
 }
 
 /// Per-query accounting kept off the hot path.
@@ -121,6 +133,7 @@ impl Metrics {
             replans: AtomicU64::new(0),
             registrations: AtomicU64::new(0),
             deregistrations: AtomicU64::new(0),
+            rows_out_retired: AtomicU64::new(0),
             checkpoints_written: AtomicU64::new(0),
             checkpoint_errors: AtomicU64::new(0),
             resumes: AtomicU64::new(0),
@@ -135,7 +148,9 @@ impl Metrics {
             checkpoint_bytes_last: AtomicU64::new(0),
             interner_slots: AtomicU64::new(0),
             interner_bytes: AtomicU64::new(0),
+            latency: LatencyHistogram::new(),
             per_query: Mutex::new(BTreeMap::new()),
+            node_profiles: Mutex::new(Vec::new()),
         }
     }
 
@@ -170,9 +185,14 @@ impl Metrics {
         );
     }
 
-    /// Drops query `id` from the per-query table.
-    pub fn query_deregistered(&self, id: u32) {
-        self.per_query.lock().unwrap().remove(&id);
+    /// Retires query `id` from the per-query table, folding its delivered
+    /// row count into [`Metrics::rows_out_retired`] so the registry's
+    /// delivery total survives the prune. Returns the folded count.
+    pub fn query_deregistered(&self, id: u32) -> u64 {
+        let removed = self.per_query.lock().unwrap().remove(&id);
+        let rows = removed.map_or(0, |stats| stats.rows_delivered);
+        self.rows_out_retired.fetch_add(rows, Ordering::Relaxed);
+        rows
     }
 
     /// Credits `rows` delivered result rows to query `id`.
@@ -186,6 +206,19 @@ impl Metrics {
     #[must_use]
     pub fn elapsed_micros(&self) -> u64 {
         self.started.elapsed().as_micros() as u64
+    }
+
+    /// Replaces the per-plan-node counter table backing the Prometheus
+    /// node gauges (refreshed at announcement/scrape cadence, not per
+    /// event).
+    pub fn set_node_profiles(&self, profiles: Vec<NodeProfile>) {
+        *self.node_profiles.lock().unwrap() = profiles;
+    }
+
+    /// The most recently published per-plan-node counter table.
+    #[must_use]
+    pub fn node_profiles(&self) -> Vec<NodeProfile> {
+        self.node_profiles.lock().unwrap().clone()
     }
 
     /// Takes a point-in-time snapshot of every counter and gauge.
@@ -229,6 +262,7 @@ impl Metrics {
             replans: load(&self.replans),
             registrations: load(&self.registrations),
             deregistrations: load(&self.deregistrations),
+            rows_out_retired: load(&self.rows_out_retired),
             checkpoints_written: load(&self.checkpoints_written),
             checkpoint_errors: load(&self.checkpoint_errors),
             checkpoint_bytes_last: load(&self.checkpoint_bytes_last),
@@ -252,6 +286,82 @@ impl Metrics {
 /// integer (the JSON codec carries integers only).
 fn rate(count: u64, micros: u64) -> u64 {
     ((count as u128 * 1_000_000) / micros.max(1) as u128) as u64
+}
+
+/// Number of finite latency buckets: upper bounds are `2^i` µs for
+/// `i in 0..LATENCY_BUCKETS` (1 µs up to ~134 s), plus one overflow
+/// bucket above the largest bound.
+pub const LATENCY_BUCKETS: usize = 28;
+
+/// A fixed-bucket log₂ latency histogram: bucket `i` counts observations
+/// with `micros <= 2^i`, the final slot counts everything larger. All
+/// storage is inline atomics — observing never allocates or locks, so
+/// the engine thread can record on every watermark advance.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS + 1],
+    sum_micros: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// A zeroed histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_micros: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// The inclusive upper bound of finite bucket `i` in micros, or
+    /// `None` for the overflow (`+Inf`) bucket.
+    #[must_use]
+    pub fn bucket_bound(i: usize) -> Option<u64> {
+        (i < LATENCY_BUCKETS).then(|| 1u64 << i)
+    }
+
+    /// Records one latency observation.
+    pub fn observe(&self, micros: u64) {
+        let idx = if micros <= 1 {
+            0
+        } else {
+            ((64 - (micros - 1).leading_zeros()) as usize).min(LATENCY_BUCKETS)
+        };
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy (statistically consistent, like every other
+    /// relaxed read in this registry).
+    #[must_use]
+    pub fn snapshot(&self) -> LatencySnapshot {
+        LatencySnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            sum_micros: self.sum_micros.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`LatencyHistogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencySnapshot {
+    /// Per-bucket (non-cumulative) observation counts; index `i` is the
+    /// `micros <= 2^i` bucket, the last slot is the overflow bucket.
+    pub buckets: [u64; LATENCY_BUCKETS + 1],
+    /// Sum of every observed latency in micros.
+    pub sum_micros: u64,
+    /// Total observations.
+    pub count: u64,
 }
 
 /// One query's slice of a [`MetricsSnapshot`].
@@ -286,6 +396,7 @@ pub struct MetricsSnapshot {
     pub replans: u64,
     pub registrations: u64,
     pub deregistrations: u64,
+    pub rows_out_retired: u64,
     pub checkpoints_written: u64,
     pub checkpoint_errors: u64,
     pub checkpoint_bytes_last: u64,
@@ -340,6 +451,7 @@ impl MetricsSnapshot {
             ("replans".into(), n(self.replans)),
             ("registrations".into(), n(self.registrations)),
             ("deregistrations".into(), n(self.deregistrations)),
+            ("rows_out_retired".into(), n(self.rows_out_retired)),
             ("checkpoints_written".into(), n(self.checkpoints_written)),
             ("checkpoint_errors".into(), n(self.checkpoint_errors)),
             (
@@ -408,6 +520,7 @@ impl MetricsSnapshot {
             replans: field("replans")?,
             registrations: field("registrations")?,
             deregistrations: field("deregistrations")?,
+            rows_out_retired: field("rows_out_retired")?,
             checkpoints_written: field("checkpoints_written")?,
             checkpoint_errors: field("checkpoint_errors")?,
             checkpoint_bytes_last: field("checkpoint_bytes_last")?,
@@ -459,6 +572,51 @@ mod tests {
         let parsed = fw_core::json::parse(&json).expect("snapshot json parses");
         let back = MetricsSnapshot::from_json(&parsed).expect("snapshot json decodes");
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn deregistration_folds_rows_into_retired_total() {
+        let metrics = Metrics::new();
+        metrics.query_registered(1);
+        metrics.query_registered(2);
+        metrics.query_rows(1, 30);
+        metrics.query_rows(2, 12);
+        assert_eq!(metrics.query_deregistered(1), 30);
+        // The live table forgot q1, but the delivery total did not.
+        let snap = metrics.snapshot();
+        assert_eq!(snap.rows_out_retired, 30);
+        assert_eq!(snap.per_query.len(), 1);
+        assert_eq!(snap.per_query[0].id, 2);
+        // Unknown ids fold nothing.
+        assert_eq!(metrics.query_deregistered(99), 0);
+        assert_eq!(metrics.query_deregistered(2), 12);
+        assert_eq!(metrics.snapshot().rows_out_retired, 42);
+    }
+
+    #[test]
+    fn latency_histogram_buckets_by_powers_of_two() {
+        let h = LatencyHistogram::new();
+        // 0 and 1 land in the first bucket (<= 1 µs); 2^i lands in
+        // bucket i; 2^i + 1 lands in bucket i + 1.
+        h.observe(0);
+        h.observe(1);
+        h.observe(2);
+        h.observe(3);
+        h.observe(1024);
+        h.observe(1025);
+        h.observe(u64::MAX); // overflow bucket
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets[0], 2);
+        assert_eq!(snap.buckets[1], 1);
+        assert_eq!(snap.buckets[2], 1);
+        assert_eq!(snap.buckets[10], 1);
+        assert_eq!(snap.buckets[11], 1);
+        assert_eq!(snap.buckets[LATENCY_BUCKETS], 1);
+        assert_eq!(snap.count, 7);
+        assert_eq!(snap.sum_micros, 2055u64.wrapping_add(u64::MAX));
+        assert_eq!(LatencyHistogram::bucket_bound(0), Some(1));
+        assert_eq!(LatencyHistogram::bucket_bound(10), Some(1024));
+        assert_eq!(LatencyHistogram::bucket_bound(LATENCY_BUCKETS), None);
     }
 
     #[test]

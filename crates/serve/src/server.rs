@@ -37,6 +37,7 @@
 //! no member's results are sealed past a participant that may still
 //! push earlier events.
 
+use crate::expo;
 use crate::host::{GroupHost, HostConfig};
 use crate::metrics::Metrics;
 use crate::wire::{
@@ -46,7 +47,7 @@ use crate::wire::{
 use crate::ServeError;
 use fw_core::QueryId;
 use fw_engine::checkpoint::{self as ckpt, CheckpointResult};
-use fw_engine::{EventBatch, GroupResult};
+use fw_engine::{EventBatch, GroupResult, TraceEventKind, TraceRing};
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -56,6 +57,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// What to do when the shared ingest queue is full and a client pushes
 /// another batch.
@@ -128,6 +130,8 @@ enum Cmd {
     Finish { conn: u64 },
     Checkpoint { conn: u64 },
     Resume { conn: u64, query_id: u32 },
+    TraceDump { conn: u64 },
+    MetricsText { conn: u64 },
     Disconnect { conn: u64 },
     Shutdown,
 }
@@ -540,6 +544,8 @@ fn connection_loop(
             Frame::Finish => Cmd::Finish { conn },
             Frame::Checkpoint => Cmd::Checkpoint { conn },
             Frame::Resume { query_id } => Cmd::Resume { conn, query_id },
+            Frame::TraceReq => Cmd::TraceDump { conn },
+            Frame::MetricsTextReq => Cmd::MetricsText { conn },
             _ => {
                 outbox.try_send(
                     Frame::Error {
@@ -649,6 +655,13 @@ fn engine_loop(
     let mut conns: HashMap<u64, ConnState> = HashMap::new();
     let mut owners: HashMap<u32, u64> = HashMap::new();
     let mut watermark_ticks = 0u64;
+    // The serve layer's structured trace ring lives here on the engine
+    // thread, so recording is single-threaded, lock-free, and never
+    // allocates; it drains only on a client's TraceReq. Sheds happen on
+    // reader threads, so they surface as counter deltas observed at
+    // command boundaries rather than direct records.
+    let mut trace = TraceRing::default();
+    let mut seen_shed = 0u64;
     while let Ok(cmd) = rx.recv() {
         if !matches!(cmd, Cmd::Connect { .. } | Cmd::Shutdown) {
             // Connect/Shutdown bypass the depth accounting (they are
@@ -682,6 +695,7 @@ fn engine_loop(
                         }
                         Metrics::add(&metrics.registrations, 1);
                         metrics.query_registered(id.0);
+                        trace.record(TraceEventKind::Register, u64::from(id.0), 0);
                         Frame::Registered { query_id: id.0 }
                     }
                     Err(e) => error_frame(&e),
@@ -712,7 +726,8 @@ fn engine_loop(
                             routing.insert(query_id, conn);
                             route_results(finals, &routing, &mut conns, metrics);
                             route_results(host.poll_results(), &routing, &mut conns, metrics);
-                            metrics.query_deregistered(query_id);
+                            let rows = metrics.query_deregistered(query_id);
+                            trace.record(TraceEventKind::Deregister, u64::from(query_id), rows);
                             Frame::Deregistered { query_id }
                         }
                         Err(e) => error_frame(&e),
@@ -736,6 +751,7 @@ fn engine_loop(
                 }
             }
             Cmd::Watermark { conn, watermark } => {
+                let accepted_at = Instant::now();
                 if let Some(state) = conns.get_mut(&conn) {
                     state.announced = Some(state.announced.unwrap_or(0).max(watermark));
                     state.finished = false;
@@ -744,21 +760,38 @@ fn engine_loop(
                     Metrics::add(&metrics.push_errors, 1);
                     reply_to(conn, error_frame(&e), &conns, metrics);
                 });
-                route_results(host.poll_results(), &owners, &mut conns, metrics);
+                let routed = route_results(host.poll_results(), &owners, &mut conns, metrics);
+                if routed > 0 {
+                    // Watermark→result latency: the announcement reached
+                    // the engine thread, sealing ran, and the rows are in
+                    // their outboxes.
+                    let micros = u64::try_from(accepted_at.elapsed().as_micros()).unwrap_or(0);
+                    metrics.latency.observe(micros);
+                }
+                trace.record(TraceEventKind::Seal, host.watermark(), routed);
+                if config.host.profile.counters_on() {
+                    metrics.set_node_profiles(host.node_profiles());
+                }
                 watermark_ticks += 1;
                 if config.checkpoint_every > 0
                     && config.checkpoint_path.is_some()
                     && watermark_ticks.is_multiple_of(config.checkpoint_every)
                 {
-                    let _ =
-                        persist_checkpoint(&mut host, &conns, &owners, &orphans, config, metrics);
+                    if let Ok(bytes) =
+                        persist_checkpoint(&mut host, &conns, &owners, &orphans, config, metrics)
+                    {
+                        trace.record(TraceEventKind::Checkpoint, host.watermark(), bytes);
+                    }
                 }
             }
             Cmd::Checkpoint { conn } => {
                 let reply =
                     match persist_checkpoint(&mut host, &conns, &owners, &orphans, config, metrics)
                     {
-                        Ok(bytes) => Frame::CheckpointAck { bytes },
+                        Ok(bytes) => {
+                            trace.record(TraceEventKind::Checkpoint, host.watermark(), bytes);
+                            Frame::CheckpointAck { bytes }
+                        }
                         Err(message) => Frame::Error {
                             code: error_code::ENGINE,
                             message,
@@ -778,6 +811,7 @@ fn engine_loop(
                     }
                     Metrics::add(&metrics.resumes, 1);
                     metrics.query_registered(query_id);
+                    trace.record(TraceEventKind::Resume, host.watermark(), events);
                     Frame::ResumeAck {
                         events,
                         watermark: host.watermark(),
@@ -791,6 +825,26 @@ fn engine_loop(
                 refresh_gauges(&host, metrics);
                 let json = metrics.snapshot().to_json().to_string();
                 reply_to(conn, Frame::StatsJson { json }, &conns, metrics);
+            }
+            Cmd::TraceDump { conn } => {
+                let dropped = trace.dropped();
+                let mut events = Vec::with_capacity(trace.len());
+                trace.drain_into(&mut events);
+                reply_to(conn, Frame::Trace { dropped, events }, &conns, metrics);
+            }
+            Cmd::MetricsText { conn } => {
+                refresh_gauges(&host, metrics);
+                if config.host.profile.counters_on() {
+                    // Scrape-cadence refresh; synchronizing on sharded
+                    // executors, same weight class as interner_stats.
+                    metrics.set_node_profiles(host.node_profiles());
+                }
+                let text = expo::render(
+                    &metrics.snapshot(),
+                    &metrics.node_profiles(),
+                    &metrics.latency.snapshot(),
+                );
+                reply_to(conn, Frame::MetricsText { text }, &conns, metrics);
             }
             Cmd::Finish { conn } => {
                 if let Some(state) = conns.get_mut(&conn) {
@@ -817,13 +871,22 @@ fn engine_loop(
                             Ok(_finals) => Metrics::add(&metrics.deregistrations, 1),
                             Err(_) => Metrics::add(&metrics.push_errors, 1),
                         }
-                        metrics.query_deregistered(query_id);
+                        let rows = metrics.query_deregistered(query_id);
+                        trace.record(TraceEventKind::Deregister, u64::from(query_id), rows);
                     }
                 }
                 advance_group(&mut host, &conns, metrics, |_| {});
                 route_results(host.poll_results(), &owners, &mut conns, metrics);
             }
             Cmd::Shutdown => break,
+        }
+        // Sheds are counted on reader threads; surface fresh ones here
+        // as an aggregate trace record (`a = 0`: client attribution
+        // lives in the per-connection Lagging frames).
+        let shed = metrics.batches_shed.load(Ordering::Relaxed);
+        if shed > seen_shed {
+            trace.record(TraceEventKind::Shed, 0, shed - seen_shed);
+            seen_shed = shed;
         }
         refresh_gauges(&host, metrics);
     }
@@ -866,16 +929,18 @@ fn refresh_gauges(host: &GroupHost, metrics: &Metrics) {
 }
 
 /// Fans routed results out to their owning connections' outboxes,
-/// shedding (with notice) where an outbox is full.
+/// shedding (with notice) where an outbox is full. Returns the number of
+/// rows actually handed to outboxes.
 fn route_results(
     results: Vec<GroupResult>,
     owners: &HashMap<u32, u64>,
     conns: &mut HashMap<u64, ConnState>,
     metrics: &Metrics,
-) {
+) -> u64 {
     if results.is_empty() {
-        return;
+        return 0;
     }
+    let mut delivered = 0u64;
     let mut per_query: HashMap<u32, Vec<fw_engine::WindowResult>> = HashMap::new();
     for result in results {
         per_query
@@ -896,6 +961,7 @@ fn route_results(
             .try_send(Frame::Results { query_id, rows }, metrics)
         {
             state.rows += n;
+            delivered += n;
             Metrics::add(&metrics.results_rows_out, n);
             metrics.query_rows(query_id, n);
         } else {
@@ -911,6 +977,7 @@ fn route_results(
             }
         }
     }
+    delivered
 }
 
 /// Sends a control reply to `conn`'s outbox (non-blocking; the engine

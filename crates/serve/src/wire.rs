@@ -18,7 +18,7 @@
 //! frames, and payloads whose length disagrees with their own element
 //! count. Nothing is ever guessed from a malformed frame.
 
-use fw_engine::{EventBatch, GroupResult, WindowResult};
+use fw_engine::{EventBatch, GroupResult, TraceEvent, TraceEventKind, WindowResult};
 use std::io::{Read, Write};
 
 use fw_core::{Interval, QueryId, Window};
@@ -147,7 +147,7 @@ impl LagKind {
 }
 
 /// One protocol frame, either direction. Client→server kinds occupy
-/// `0x01..=0x09`, server→client kinds `0x81..=0x8A`.
+/// `0x01..=0x0B`, server→client kinds `0x81..=0x8C`.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
     /// Client hello: protocol magic + version. Must be the first frame.
@@ -194,6 +194,11 @@ pub enum Frame {
         /// The query id from the previous session.
         query_id: u32,
     },
+    /// Drain the server's structured trace ring ([`Frame::Trace`] reply).
+    TraceReq,
+    /// Request a Prometheus text exposition of the server's metrics
+    /// ([`Frame::MetricsText`] reply).
+    MetricsTextReq,
 
     /// Server hello ack: the magic + version the server speaks.
     HelloAck {
@@ -252,6 +257,21 @@ pub enum Frame {
         /// Size of the serialized snapshot in bytes.
         bytes: u64,
     },
+    /// Reply to [`Frame::TraceReq`]: the ring's buffered events, oldest
+    /// first. Draining is destructive — each event is delivered to
+    /// exactly one requester.
+    Trace {
+        /// Events overwritten (lost) before this drain; gaps in `seq`
+        /// across replies account for exactly this many events.
+        dropped: u64,
+        /// The drained events.
+        events: Vec<TraceEvent>,
+    },
+    /// Reply to [`Frame::MetricsTextReq`]: the exposition page.
+    MetricsText {
+        /// Prometheus text format (version 0.0.4), UTF-8.
+        text: String,
+    },
     /// Reply to [`Frame::Resume`]: the caller now owns the query.
     ResumeAck {
         /// Events the resumed query's previous session had ingested at
@@ -283,6 +303,8 @@ const KIND_STATS: u8 = 0x06;
 const KIND_FINISH: u8 = 0x07;
 const KIND_CHECKPOINT: u8 = 0x08;
 const KIND_RESUME: u8 = 0x09;
+const KIND_TRACE_REQ: u8 = 0x0A;
+const KIND_METRICS_TEXT_REQ: u8 = 0x0B;
 const KIND_HELLO_ACK: u8 = 0x81;
 const KIND_REGISTERED: u8 = 0x82;
 const KIND_DEREGISTERED: u8 = 0x83;
@@ -293,6 +315,41 @@ const KIND_STATS_JSON: u8 = 0x87;
 const KIND_FINISHED: u8 = 0x88;
 const KIND_CHECKPOINT_ACK: u8 = 0x89;
 const KIND_RESUME_ACK: u8 = 0x8A;
+const KIND_TRACE: u8 = 0x8B;
+const KIND_METRICS_TEXT: u8 = 0x8C;
+
+/// Bytes of one encoded trace event: seq + micros (`u64`), kind (`u8`),
+/// two payload words (`u64`).
+const TRACE_EVENT_LEN: usize = 8 + 8 + 1 + 8 + 8;
+
+fn trace_kind_code(kind: TraceEventKind) -> u8 {
+    match kind {
+        TraceEventKind::Seal => 0,
+        TraceEventKind::Replan => 1,
+        TraceEventKind::Rebuild => 2,
+        TraceEventKind::Checkpoint => 3,
+        TraceEventKind::Compaction => 4,
+        TraceEventKind::Shed => 5,
+        TraceEventKind::Resume => 6,
+        TraceEventKind::Register => 7,
+        TraceEventKind::Deregister => 8,
+    }
+}
+
+fn trace_kind_from_code(code: u8) -> Result<TraceEventKind, WireError> {
+    Ok(match code {
+        0 => TraceEventKind::Seal,
+        1 => TraceEventKind::Replan,
+        2 => TraceEventKind::Rebuild,
+        3 => TraceEventKind::Checkpoint,
+        4 => TraceEventKind::Compaction,
+        5 => TraceEventKind::Shed,
+        6 => TraceEventKind::Resume,
+        7 => TraceEventKind::Register,
+        8 => TraceEventKind::Deregister,
+        kind => return Err(WireError::UnknownKind { kind }),
+    })
+}
 
 impl Frame {
     /// The frame's kind byte on the wire.
@@ -308,6 +365,8 @@ impl Frame {
             Frame::Finish => KIND_FINISH,
             Frame::Checkpoint => KIND_CHECKPOINT,
             Frame::Resume { .. } => KIND_RESUME,
+            Frame::TraceReq => KIND_TRACE_REQ,
+            Frame::MetricsTextReq => KIND_METRICS_TEXT_REQ,
             Frame::HelloAck { .. } => KIND_HELLO_ACK,
             Frame::Registered { .. } => KIND_REGISTERED,
             Frame::Deregistered { .. } => KIND_DEREGISTERED,
@@ -318,6 +377,8 @@ impl Frame {
             Frame::Finished { .. } => KIND_FINISHED,
             Frame::CheckpointAck { .. } => KIND_CHECKPOINT_ACK,
             Frame::ResumeAck { .. } => KIND_RESUME_ACK,
+            Frame::Trace { .. } => KIND_TRACE,
+            Frame::MetricsText { .. } => KIND_METRICS_TEXT,
         }
     }
 
@@ -348,8 +409,24 @@ impl Frame {
             }
             Frame::PushColumns { batch } => encode_batch(batch, buf),
             Frame::Watermark { watermark } => buf.extend_from_slice(&watermark.to_le_bytes()),
-            Frame::Stats | Frame::Finish | Frame::Checkpoint => {}
+            Frame::Stats
+            | Frame::Finish
+            | Frame::Checkpoint
+            | Frame::TraceReq
+            | Frame::MetricsTextReq => {}
             Frame::Resume { query_id } => buf.extend_from_slice(&query_id.to_le_bytes()),
+            Frame::Trace { dropped, events } => {
+                buf.extend_from_slice(&dropped.to_le_bytes());
+                buf.extend_from_slice(&(events.len() as u32).to_le_bytes());
+                for ev in events {
+                    buf.extend_from_slice(&ev.seq.to_le_bytes());
+                    buf.extend_from_slice(&ev.micros.to_le_bytes());
+                    buf.push(trace_kind_code(ev.kind));
+                    buf.extend_from_slice(&ev.a.to_le_bytes());
+                    buf.extend_from_slice(&ev.b.to_le_bytes());
+                }
+            }
+            Frame::MetricsText { text } => buf.extend_from_slice(text.as_bytes()),
             Frame::CheckpointAck { bytes } => buf.extend_from_slice(&bytes.to_le_bytes()),
             Frame::ResumeAck { events, watermark } => {
                 buf.extend_from_slice(&events.to_le_bytes());
@@ -429,6 +506,30 @@ impl Frame {
             KIND_RESUME => Frame::Resume {
                 query_id: r.u32("resume")?,
             },
+            KIND_TRACE_REQ => Frame::TraceReq,
+            KIND_METRICS_TEXT_REQ => Frame::MetricsTextReq,
+            KIND_TRACE => {
+                let dropped = r.u64("trace")?;
+                let n = r.u32("trace")? as usize;
+                // Checked: `n` is attacker-controlled.
+                if n.checked_mul(TRACE_EVENT_LEN) != Some(r.remaining()) {
+                    return Err(WireError::Truncated { what: "trace" });
+                }
+                let mut events = Vec::with_capacity(n);
+                for _ in 0..n {
+                    events.push(TraceEvent {
+                        seq: r.u64("trace event")?,
+                        micros: r.u64("trace event")?,
+                        kind: trace_kind_from_code(r.u8("trace event")?)?,
+                        a: r.u64("trace event")?,
+                        b: r.u64("trace event")?,
+                    });
+                }
+                Frame::Trace { dropped, events }
+            }
+            KIND_METRICS_TEXT => Frame::MetricsText {
+                text: r.utf8_rest()?,
+            },
             KIND_CHECKPOINT_ACK => Frame::CheckpointAck {
                 bytes: r.u64("checkpoint ack")?,
             },
@@ -467,7 +568,12 @@ impl Frame {
             },
             kind => return Err(WireError::UnknownKind { kind }),
         };
-        if r.remaining() != 0 && !matches!(kind, KIND_REGISTER | KIND_ERROR | KIND_STATS_JSON) {
+        if r.remaining() != 0
+            && !matches!(
+                kind,
+                KIND_REGISTER | KIND_ERROR | KIND_STATS_JSON | KIND_METRICS_TEXT
+            )
+        {
             return Err(WireError::Truncated {
                 what: "frame payload",
             });
@@ -744,6 +850,34 @@ mod tests {
                 events: 4_096,
                 watermark: 3_900,
             },
+            Frame::TraceReq,
+            Frame::MetricsTextReq,
+            Frame::Trace {
+                dropped: 3,
+                events: vec![
+                    TraceEvent {
+                        seq: 3,
+                        micros: 1_000,
+                        kind: TraceEventKind::Seal,
+                        a: 40,
+                        b: 12,
+                    },
+                    TraceEvent {
+                        seq: 4,
+                        micros: 2_500,
+                        kind: TraceEventKind::Deregister,
+                        a: 7,
+                        b: 99,
+                    },
+                ],
+            },
+            Frame::Trace {
+                dropped: 0,
+                events: Vec::new(),
+            },
+            Frame::MetricsText {
+                text: "# TYPE fw_events_in_total counter\nfw_events_in_total 10\n".into(),
+            },
         ];
         for frame in &frames {
             assert_eq!(&roundtrip(frame), frame, "{frame:?}");
@@ -910,6 +1044,32 @@ mod tests {
         assert!(matches!(
             Frame::decode(0x7f, &[]),
             Err(WireError::UnknownKind { kind: 0x7f })
+        ));
+        // A trace frame whose event count disagrees with its length, and
+        // one carrying an unknown event-kind code.
+        let mut trace = Vec::new();
+        Frame::Trace {
+            dropped: 0,
+            events: vec![TraceEvent {
+                seq: 0,
+                micros: 1,
+                kind: TraceEventKind::Replan,
+                a: 2,
+                b: 3,
+            }],
+        }
+        .encode(&mut trace);
+        assert_eq!(trace[4], KIND_TRACE);
+        assert!(matches!(
+            Frame::decode(KIND_TRACE, &trace[5..trace.len() - 1]),
+            Err(WireError::Truncated { .. })
+        ));
+        let kind_at = 5 + 8 + 4 + 8 + 8; // header + dropped + count + seq + micros
+        let mut bad_kind = trace[5..].to_vec();
+        bad_kind[kind_at - 5] = 0xEE;
+        assert!(matches!(
+            Frame::decode(KIND_TRACE, &bad_kind),
+            Err(WireError::UnknownKind { kind: 0xEE })
         ));
     }
 

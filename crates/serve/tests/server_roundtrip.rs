@@ -271,6 +271,92 @@ fn dropped_connection_mid_stream_does_not_poison_the_group() {
 }
 
 #[test]
+fn trace_and_exposition_are_served_live() {
+    use fw_engine::TraceEventKind;
+
+    let config = ServeConfig {
+        host: HostConfig {
+            profile: fw_engine::ProfileLevel::Counters,
+            ..HostConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr().unwrap();
+    let mut handle = server.spawn();
+
+    let mut client = ServeClient::connect(addr).unwrap();
+    let q_min = client.register(Q_MIN).unwrap();
+    let q_sum = client.register(Q_SUM).unwrap();
+
+    let (times, keys, values) = columns(120);
+    client.push_columns(&times, &keys, &values).unwrap();
+    client.watermark(120).unwrap();
+    drain_until(&mut client, 1);
+
+    // Scrape the Prometheus page and validate it through the in-tree
+    // parser: global counters, per-plan-node gauges (profiling is on),
+    // and the watermark→result latency histogram must all be present.
+    let text = client.metrics_text().unwrap();
+    let samples = fw_serve::expo::parse(&text).unwrap();
+    let value = |name: &str| {
+        samples
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("missing sample {name}"))
+            .value
+    };
+    assert_eq!(value("fw_events_in_total"), 120.0);
+    assert!(value("fw_results_rows_out_total") >= 1.0);
+    assert_eq!(value("fw_registered_queries"), 2.0);
+    let node_updates: Vec<_> = samples
+        .iter()
+        .filter(|s| s.name == "fw_node_updates_total")
+        .collect();
+    assert!(!node_updates.is_empty(), "no per-node samples in scrape");
+    assert!(node_updates
+        .iter()
+        .all(|s| s.label("node").is_some() && s.label("window").is_some()));
+    assert!(node_updates.iter().map(|s| s.value).sum::<f64>() >= 120.0);
+    assert!(value("fw_watermark_latency_micros_count") >= 1.0);
+    assert!(samples
+        .iter()
+        .any(|s| s.name == "fw_watermark_latency_micros_bucket" && s.label("le") == Some("+Inf")));
+
+    // Deregistration folds the departed query's delivered rows into the
+    // retained aggregate, visible on the next scrape.
+    client.deregister(q_sum).unwrap();
+    let text = client.metrics_text().unwrap();
+    let samples = fw_serve::expo::parse(&text).unwrap();
+    let retired = samples
+        .iter()
+        .find(|s| s.name == "fw_rows_out_retired_total")
+        .unwrap();
+    assert!(retired.value >= 1.0, "deregistered rows were not retained");
+
+    // The trace ring recorded the session's lifecycle in order, and the
+    // drain is destructive: a second dump starts empty.
+    let (dropped, events) = client.trace().unwrap();
+    assert_eq!(dropped, 0);
+    let kinds: Vec<_> = events.iter().map(|e| e.kind).collect();
+    assert!(kinds.contains(&TraceEventKind::Register));
+    assert!(kinds.contains(&TraceEventKind::Seal));
+    assert!(kinds.contains(&TraceEventKind::Deregister));
+    assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+    let dereg = events
+        .iter()
+        .find(|e| e.kind == TraceEventKind::Deregister)
+        .unwrap();
+    assert_eq!(dereg.a, u64::from(q_sum));
+    assert!(dereg.b >= 1, "Deregister event lost the folded row count");
+    let (dropped, events) = client.trace().unwrap();
+    assert_eq!((dropped, events.len()), (0, 0));
+
+    let _ = q_min;
+    handle.stop();
+}
+
+#[test]
 fn malformed_frames_get_error_replies_without_killing_the_session() {
     use fw_serve::wire::{read_frame, write_frame, Frame};
     use std::io::Write;

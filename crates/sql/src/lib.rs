@@ -30,7 +30,8 @@ pub mod parser;
 pub mod token;
 
 pub use parser::{
-    parse_queries, parse_queries_spanned, parse_query, ParsedAggregate, ParsedQuery, TimeUnit,
+    parse_queries, parse_queries_spanned, parse_query, parse_statement, ParsedAggregate,
+    ParsedQuery, ParsedStatement, TimeUnit,
 };
 pub use token::{tokenize, ParseError, Spanned, Token};
 

@@ -117,11 +117,57 @@ impl ParsedQuery {
     }
 }
 
+/// A top-level statement: a standing query, or an `EXPLAIN [ANALYZE]`
+/// wrapper around one.
+///
+/// `EXPLAIN` asks for the optimizer's plan and predicted pane flow
+/// without executing; `EXPLAIN ANALYZE` additionally runs the query and
+/// joins observed per-node counters against the prediction. The parser
+/// only classifies the statement — execution semantics live in the
+/// consumer (`factor_windows::Session::explain`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParsedStatement {
+    /// A plain standing query.
+    Query(ParsedQuery),
+    /// `EXPLAIN [ANALYZE] <query>`.
+    Explain {
+        /// `true` for `EXPLAIN ANALYZE` (execute and report observed
+        /// counters), `false` for plain `EXPLAIN` (prediction only).
+        analyze: bool,
+        /// The wrapped query.
+        query: ParsedQuery,
+    },
+}
+
+impl ParsedStatement {
+    /// The wrapped query, whichever variant this is.
+    #[must_use]
+    pub fn query(&self) -> &ParsedQuery {
+        match self {
+            ParsedStatement::Query(q) | ParsedStatement::Explain { query: q, .. } => q,
+        }
+    }
+}
+
 /// Parses a query; errors carry byte offsets renderable with
 /// [`ParseError::render`].
 pub fn parse_query(source: &str) -> Result<ParsedQuery, ParseError> {
     let tokens = tokenize(source)?;
     Parser { tokens, pos: 0 }.parse()
+}
+
+/// Parses one top-level statement, accepting an optional
+/// `EXPLAIN [ANALYZE]` prefix in front of the query.
+pub fn parse_statement(source: &str) -> Result<ParsedStatement, ParseError> {
+    let tokens = tokenize(source)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    if parser.eat_keyword("EXPLAIN") {
+        let analyze = parser.eat_keyword("ANALYZE");
+        let query = parser.parse()?;
+        Ok(ParsedStatement::Explain { analyze, query })
+    } else {
+        Ok(ParsedStatement::Query(parser.parse()?))
+    }
 }
 
 /// Parses a `;`-separated sequence of statements (a query group). Empty
@@ -209,7 +255,7 @@ struct Parser {
 }
 
 impl Parser {
-    fn parse(mut self) -> Result<ParsedQuery, ParseError> {
+    fn parse(&mut self) -> Result<ParsedQuery, ParseError> {
         self.expect_keyword("SELECT")?;
         let mut aggregates: Vec<ParsedAggregate> = Vec::new();
         let mut projections = Vec::new();
@@ -759,6 +805,37 @@ mod tests {
     fn missing_windows_clause() {
         let err = parse_query("SELECT k, MIN(v) FROM S GROUP BY k").unwrap_err();
         assert!(err.message.contains("Windows"), "{}", err.message);
+    }
+
+    #[test]
+    fn explain_prefix_classifies_statements() {
+        let sql = "SELECT k, MIN(v) FROM S GROUP BY k, \
+                   Windows(Window('w', TumblingWindow(minute, 5)))";
+        let plain = parse_statement(sql).unwrap();
+        assert!(matches!(plain, ParsedStatement::Query(_)));
+        assert_eq!(plain.query().key_column, "k");
+
+        let explained = parse_statement(&format!("EXPLAIN {sql}")).unwrap();
+        assert_eq!(
+            explained,
+            ParsedStatement::Explain {
+                analyze: false,
+                query: parse_query(sql).unwrap(),
+            }
+        );
+
+        let analyzed = parse_statement(&format!("explain analyze {sql}")).unwrap();
+        assert!(matches!(
+            analyzed,
+            ParsedStatement::Explain { analyze: true, .. }
+        ));
+        assert_eq!(analyzed.query(), &parse_query(sql).unwrap());
+
+        // The prefix does not relax query validation.
+        let err = parse_statement("EXPLAIN ANALYZE SELECT nope").unwrap_err();
+        assert!(err.message.contains("aggregate"), "{}", err.message);
+        // A bare EXPLAIN with no query is a parse error, not a panic.
+        assert!(parse_statement("EXPLAIN").is_err());
     }
 
     #[test]

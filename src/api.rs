@@ -41,13 +41,15 @@
 //! # Ok::<(), factor_windows::ApiError>(())
 //! ```
 
+use crate::profile::PlanProfile;
 use fw_core::{
     AdaptivePlanner, CostModel, Error as CoreError, OptimizationOutcome, Optimizer, PlanBundle,
     PlanChoice, QueryPlan, RateEstimator, Semantics, WindowQuery,
 };
 use fw_engine::{
-    CheckpointError, EngineError, Event, ExecStats, Parallelism, PipelineOptions, PlanPipeline,
-    RunOutput, ShardedPipeline, Throughput, WindowResult,
+    CheckpointError, EngineError, Event, ExecStats, NodeProfile, Parallelism, PipelineOptions,
+    PlanPipeline, ProfileLevel, RunOutput, ShardedPipeline, Throughput, TraceEvent, TraceEventKind,
+    TraceRing, WindowResult,
 };
 use fw_sql::ParseError;
 use std::cell::OnceCell;
@@ -114,6 +116,54 @@ impl From<CheckpointError> for ApiError {
 /// Result alias for the façade.
 pub type ApiResult<T> = std::result::Result<T, ApiError>;
 
+/// Runs one `EXPLAIN [ANALYZE]` SQL statement end-to-end — the
+/// statement-level frontend over [`Session::explain`] /
+/// [`Pipeline::explain`].
+///
+/// * `EXPLAIN <query>` optimizes the query and renders the plan report
+///   with the cost model's predicted pane flow; nothing executes and
+///   `events` are ignored.
+/// * `EXPLAIN ANALYZE <query>` compiles the winning plan with node
+///   counters on ([`ProfileLevel::Counters`]), streams `events` through
+///   it in order, advances the watermark far enough to seal every opened
+///   window, and renders the report joining observed per-node counters
+///   against the prediction.
+/// * A statement without an `EXPLAIN` prefix is rejected: standing
+///   queries execute through [`Session`], not through this one-shot
+///   reporting path.
+pub fn explain_sql(sql: &str, events: &[Event]) -> ApiResult<String> {
+    let (analyze, parsed) = match fw_sql::parse_statement(sql)? {
+        fw_sql::ParsedStatement::Explain { analyze, query } => (analyze, query),
+        fw_sql::ParsedStatement::Query(_) => {
+            return Err(ApiError::Parse(ParseError {
+                message: "expected an EXPLAIN [ANALYZE] statement \
+                          (plain queries execute through Session)"
+                    .to_string(),
+                offset: 0,
+            }))
+        }
+    };
+    let query = parsed.to_window_query()?;
+    let max_range = query
+        .windows()
+        .iter()
+        .map(fw_core::Window::range)
+        .max()
+        .unwrap_or(0);
+    let session = Session::from_query(query).profiling(ProfileLevel::Counters);
+    if !analyze {
+        return session.explain();
+    }
+    let mut pipeline = session.build()?;
+    pipeline.push_batch(events)?;
+    if let Some(last) = events.last() {
+        // Seal every window the batch opened: the latest event's window
+        // instances all close by `last.time + max_range`.
+        pipeline.advance_watermark(last.time.saturating_add(max_range))?;
+    }
+    pipeline.explain()
+}
+
 /// A configured query session: the single entry point from a declarative
 /// query to an executing pipeline.
 ///
@@ -132,6 +182,7 @@ pub struct Session {
     out_of_order: u64,
     collect: bool,
     element_work: u32,
+    profile: ProfileLevel,
     parallelism: Parallelism,
     /// Re-optimization drift threshold; `Some` enables adaptive planning.
     adaptive: Option<f64>,
@@ -158,6 +209,7 @@ impl Session {
             out_of_order: 0,
             collect: false,
             element_work: fw_engine::DEFAULT_ELEMENT_WORK,
+            profile: ProfileLevel::Off,
             parallelism: Parallelism::Sequential,
             adaptive: None,
             durable: false,
@@ -216,6 +268,19 @@ impl Session {
     #[must_use]
     pub fn element_work(mut self, element_work: u32) -> Self {
         self.element_work = element_work;
+        self
+    }
+
+    /// Sets the per-plan-node instrumentation level (default
+    /// [`ProfileLevel::Off`]). [`ProfileLevel::Counters`] attributes
+    /// updates, combines, seals, emitted rows, and pane occupancy to each
+    /// plan node ([`Pipeline::profile`] / [`Pipeline::explain`]);
+    /// [`ProfileLevel::Timed`] adds sampled per-node nanoseconds.
+    /// Profiling is observation-only — results are bit-identical at every
+    /// level.
+    #[must_use]
+    pub fn profiling(mut self, profile: ProfileLevel) -> Self {
+        self.profile = profile;
         self
     }
 
@@ -297,6 +362,35 @@ impl Session {
         Ok(self.optimize()?.select(self.choice))
     }
 
+    /// The plain `EXPLAIN` report for the selected plan: the cost
+    /// model's predicted per-node pane flow, with no execution required
+    /// (the observed side is absent). For the runtime join, build the
+    /// pipeline and use [`Pipeline::profile`].
+    pub fn plan_profile(&self) -> ApiResult<PlanProfile> {
+        let outcome = self.optimize()?;
+        let bundle = outcome.select(self.choice);
+        let choice = outcome.resolve(self.choice);
+        Ok(PlanProfile::assemble(
+            &bundle.plan,
+            &self.model,
+            choice,
+            bundle.cost,
+            self.profile,
+            false,
+            0,
+            ExecStats::default(),
+            Vec::new(),
+            0,
+            None,
+        )?)
+    }
+
+    /// Renders [`Session::plan_profile`] as text — what the SQL layer's
+    /// `EXPLAIN <stmt>` prints.
+    pub fn explain(&self) -> ApiResult<String> {
+        Ok(self.plan_profile()?.render())
+    }
+
     /// The concrete plan choice the current policy resolves to.
     pub fn resolved_choice(&self) -> ApiResult<PlanChoice> {
         Ok(self.optimize()?.resolve(self.choice))
@@ -316,6 +410,7 @@ impl Session {
             collect: self.collect,
             element_work: self.element_work,
             out_of_order: self.out_of_order,
+            profile: self.profile,
         };
         let adaptive = self.adaptive_state(semantics)?;
         // Adaptive pipelines swap plans in place and durable pipelines
@@ -325,8 +420,11 @@ impl Session {
             self.parallelism.shard_count(),
             adaptive.is_some() || self.durable,
         ) {
-            (0, false) => Backend::Single(PlanPipeline::compile(&bundle.plan, options)?),
-            (0, true) => Backend::Single(PlanPipeline::compile_grouped(&bundle.plan, options)?),
+            (0, false) => Backend::Single(Box::new(PlanPipeline::compile(&bundle.plan, options)?)),
+            (0, true) => Backend::Single(Box::new(PlanPipeline::compile_grouped(
+                &bundle.plan,
+                options,
+            )?)),
             (shards, false) => {
                 Backend::Sharded(ShardedPipeline::compile(&bundle.plan, options, shards)?)
             }
@@ -342,6 +440,11 @@ impl Session {
             choice,
             semantics,
             adaptive,
+            model: self.model,
+            profile: self.profile,
+            trace: TraceRing::default(),
+            seen_emitted: 0,
+            seen_compactions: 0,
         })
     }
 
@@ -391,19 +494,31 @@ impl Session {
             collect: self.collect,
             element_work: self.element_work,
             out_of_order: self.out_of_order,
+            profile: self.profile,
         };
         let adaptive = self.adaptive_state(semantics)?;
         let backend = match self.parallelism.shard_count() {
-            0 => Backend::Single(PlanPipeline::restore(&bundle.plan, options, r)?),
+            0 => Backend::Single(Box::new(PlanPipeline::restore(&bundle.plan, options, r)?)),
             shards => Backend::Sharded(ShardedPipeline::restore(&bundle.plan, options, shards, r)?),
         };
-        Ok(Pipeline {
+        let mut pipeline = Pipeline {
             backend,
             bundle,
             choice,
             semantics,
             adaptive,
-        })
+            model: self.model,
+            profile: self.profile,
+            trace: TraceRing::default(),
+            seen_emitted: 0,
+            seen_compactions: 0,
+        };
+        let watermark = pipeline.watermark();
+        let events = pipeline.events_processed();
+        pipeline
+            .trace
+            .record(TraceEventKind::Resume, watermark, events);
+        Ok(pipeline)
     }
 
     /// Convenience: build a pipeline, feed a whole in-order batch, finish.
@@ -441,7 +556,7 @@ impl Session {
 /// in-process engine, or the key-sharded multi-core engine.
 #[derive(Debug)]
 enum Backend {
-    Single(PlanPipeline),
+    Single(Box<PlanPipeline>),
     Sharded(ShardedPipeline),
 }
 
@@ -492,6 +607,18 @@ pub struct Pipeline {
     choice: PlanChoice,
     semantics: Option<Semantics>,
     adaptive: Option<AdaptiveState>,
+    /// The cost model the executing plan was priced under (rate refreshed
+    /// on adaptive replans) — the predicted side of [`Pipeline::profile`].
+    model: CostModel,
+    /// The session's instrumentation level, echoed into reports.
+    profile: ProfileLevel,
+    /// Structured lifecycle log (seals, replans, checkpoints, interner
+    /// compactions): the cores only count, the facade owns the ring.
+    trace: TraceRing,
+    /// Emitted-rows count at the last recorded boundary (seal deltas).
+    seen_emitted: u64,
+    /// Compaction count at the last recorded boundary (delta detection).
+    seen_compactions: u64,
 }
 
 impl Pipeline {
@@ -558,7 +685,29 @@ impl Pipeline {
             Backend::Single(p) => p.advance_watermark(watermark)?,
             Backend::Sharded(p) => p.advance_watermark(watermark)?,
         }
+        self.note_boundary(watermark);
         self.maybe_replan(watermark)
+    }
+
+    /// Records the boundary in the trace ring: the seal itself, plus any
+    /// interner compactions the core performed since the last boundary
+    /// (the cores only maintain counters; the facade owns the ring, so
+    /// the hot path stays allocation-free). On the sharded backend the
+    /// payload counts stay zero — reading them would synchronize every
+    /// worker at every watermark.
+    fn note_boundary(&mut self, watermark: u64) {
+        let (emitted, compactions) = match &self.backend {
+            Backend::Single(p) => (p.results_emitted(), p.compactions()),
+            Backend::Sharded(_) => (self.seen_emitted, self.seen_compactions),
+        };
+        self.trace
+            .record(TraceEventKind::Seal, watermark, emitted - self.seen_emitted);
+        if compactions > self.seen_compactions {
+            self.trace
+                .record(TraceEventKind::Compaction, watermark, compactions);
+        }
+        self.seen_emitted = emitted;
+        self.seen_compactions = compactions;
     }
 
     /// Consults the adaptive planner (no-op for static sessions): on a
@@ -589,6 +738,19 @@ impl Pipeline {
         }
         self.bundle = bundle;
         self.choice = choice;
+        // Keep the profile's predicted side honest: the executing plan is
+        // now priced at the planner's refreshed rate.
+        self.model = self.model.with_rate(state.planner.planned_rate());
+        if let Some(r) = state.planner.last_replan() {
+            let ratio_milli = (r.ratio * 1000.0).round() as u64;
+            self.trace.record(
+                TraceEventKind::Replan,
+                r.observed.round() as u64,
+                ratio_milli,
+            );
+        }
+        self.trace
+            .record(TraceEventKind::Rebuild, watermark, state.planner.replans());
         Ok(())
     }
 
@@ -610,6 +772,10 @@ impl Pipeline {
             Backend::Single(p) => p.checkpoint(&self.bundle.plan, w)?,
             Backend::Sharded(p) => p.checkpoint(&self.bundle.plan, w)?,
         }
+        let watermark = self.watermark();
+        let events = self.events_processed();
+        self.trace
+            .record(TraceEventKind::Checkpoint, watermark, events);
         Ok(())
     }
 
@@ -727,6 +893,75 @@ impl Pipeline {
             Backend::Single(p) => p.interner_stats(),
             Backend::Sharded(p) => p.interner_stats(),
         }
+    }
+
+    /// Per-plan-node observed counters (empty vectors of zeros unless the
+    /// session enabled [`Session::profiling`]): updates, combines, seals,
+    /// emitted rows, pane-slab occupancy high-water, and sampled
+    /// nanoseconds per node, summed across shards and across adaptive
+    /// plan generations. A synchronizing snapshot on the sharded backend.
+    #[must_use]
+    pub fn node_profiles(&self) -> Vec<NodeProfile> {
+        match &self.backend {
+            Backend::Single(p) => p.node_profiles(),
+            Backend::Sharded(p) => p.node_profiles(),
+        }
+    }
+
+    /// The `EXPLAIN ANALYZE` report: every plan node's observed counters
+    /// joined with the cost model's predicted pane flow, plus the global
+    /// [`ExecStats`] the per-node rows reconcile with and the last
+    /// adaptive replan's observed/planned drift. Works at any
+    /// [`ProfileLevel`] — with profiling off the observed side is zero.
+    pub fn profile(&self) -> ApiResult<PlanProfile> {
+        let observed = self.node_profiles();
+        Ok(PlanProfile::assemble(
+            &self.bundle.plan,
+            &self.model,
+            self.choice,
+            self.bundle.cost,
+            self.profile,
+            true,
+            self.watermark(),
+            self.stats(),
+            observed,
+            self.replans(),
+            self.adaptive
+                .as_ref()
+                .and_then(|s| s.planner.last_replan().copied()),
+        )?)
+    }
+
+    /// Renders [`Pipeline::profile`] as fixed-layout text — what the SQL
+    /// layer's `EXPLAIN ANALYZE <stmt>` prints.
+    pub fn explain(&self) -> ApiResult<String> {
+        Ok(self.profile()?.render())
+    }
+
+    /// Drains the structured trace events recorded since the last drain
+    /// (watermark seals, adaptive replans and rebuilds, checkpoints,
+    /// interner compactions, restore resumes), oldest first. The ring is
+    /// bounded ([`fw_engine::DEFAULT_TRACE_CAP`]) and allocation-free on
+    /// the recording side; overwritten events are counted in
+    /// [`Pipeline::trace_dropped`].
+    pub fn drain_trace(&mut self, out: &mut Vec<TraceEvent>) {
+        self.trace.drain_into(out);
+    }
+
+    /// Trace events overwritten in the ring before being drained.
+    #[must_use]
+    pub fn trace_dropped(&self) -> u64 {
+        self.trace.dropped()
+    }
+
+    /// The audit log of adaptive replans (empty on non-adaptive
+    /// sessions): each entry records the observed/predicted rate ratio
+    /// that triggered the re-optimization and whether the plan changed.
+    #[must_use]
+    pub fn replan_log(&self) -> &[fw_core::ReplanRecord] {
+        self.adaptive
+            .as_ref()
+            .map_or(&[], |s| s.planner.replan_log())
     }
 
     /// The adaptive planner's current ingestion-rate estimate (events per

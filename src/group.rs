@@ -54,7 +54,9 @@ use fw_core::{
     PlanChoice, QueryId, QueryPlan, Semantics, SharingPolicy, WindowQuery,
 };
 use fw_engine::checkpoint::{self as ckpt, CheckpointError};
-use fw_engine::{Event, GroupExec, GroupResult, GroupRunOutput, Parallelism, PipelineOptions};
+use fw_engine::{
+    Event, GroupExec, GroupResult, GroupRunOutput, Parallelism, PipelineOptions, ProfileLevel,
+};
 use std::collections::BTreeMap;
 
 /// A builder for a group of standing queries over one stream — the
@@ -69,6 +71,7 @@ pub struct QueryGroup {
     out_of_order: u64,
     collect: bool,
     element_work: u32,
+    profile: ProfileLevel,
     parallelism: Parallelism,
     durable: bool,
 }
@@ -87,6 +90,7 @@ impl QueryGroup {
             out_of_order: 0,
             collect: false,
             element_work: fw_engine::DEFAULT_ELEMENT_WORK,
+            profile: ProfileLevel::Off,
             parallelism: Parallelism::Sequential,
             durable: false,
         }
@@ -176,6 +180,15 @@ impl QueryGroup {
         self
     }
 
+    /// Sets the per-plan-node instrumentation level for every member
+    /// pipeline (default [`ProfileLevel::Off`]; see
+    /// [`crate::Session::profiling`]).
+    #[must_use]
+    pub fn profiling(mut self, profile: ProfileLevel) -> Self {
+        self.profile = profile;
+        self
+    }
+
     /// Shards execution by key across worker threads (per pipeline: the
     /// per-query strategy spawns one sharded pipeline per member).
     #[must_use]
@@ -225,6 +238,7 @@ impl QueryGroup {
             collect: self.collect,
             element_work: self.element_work,
             out_of_order: self.out_of_order,
+            profile: self.profile,
         };
         let exec = if self.durable {
             GroupExec::compile_durable(&plan, options, self.parallelism.shard_count())?
@@ -260,6 +274,7 @@ impl QueryGroup {
             semantics: self.semantics,
             choice: self.choice,
             policy,
+            profile: self.profile,
         })
     }
 
@@ -332,6 +347,7 @@ impl QueryGroup {
             collect: self.collect,
             element_work: self.element_work,
             out_of_order: self.out_of_order,
+            profile: self.profile,
         };
         let exec = GroupExec::restore(&plan, options, self.parallelism.shard_count(), r)?;
         Ok(GroupPipeline {
@@ -344,6 +360,7 @@ impl QueryGroup {
             semantics: self.semantics,
             choice,
             policy,
+            profile: self.profile,
         })
     }
 }
@@ -368,6 +385,8 @@ pub struct GroupPipeline {
     choice: PlanChoice,
     /// The sharing policy pinned to the strategy resolved at build time.
     policy: SharingPolicy,
+    /// The builder's instrumentation level, echoed into reports.
+    profile: ProfileLevel,
 }
 
 impl std::fmt::Debug for GroupPipeline {
@@ -650,6 +669,75 @@ impl GroupPipeline {
     #[must_use]
     pub fn interner_stats(&self) -> (u64, u64) {
         self.exec.interner_stats()
+    }
+
+    /// Per-plan-node observed counters summed over every pipeline the
+    /// group runs (empty unless [`QueryGroup::profiling`] was set).
+    /// Shared groups report the merged plan's nodes; per-query groups
+    /// merge member profiles by window identity.
+    #[must_use]
+    pub fn node_profiles(&self) -> Vec<fw_engine::NodeProfile> {
+        self.exec.node_profiles()
+    }
+
+    /// The `EXPLAIN ANALYZE` report for the group: observed per-node
+    /// counters joined with the cost model's predicted pane flow. Under
+    /// the shared strategy the join is against the merged plan; under
+    /// per-query execution every member plan's flow is merged by window
+    /// identity first (two members sharing a window report one row with
+    /// their summed flow), mirroring how the observed counters merge.
+    pub fn profile(&self) -> ApiResult<crate::profile::PlanProfile> {
+        let observed = self.node_profiles();
+        let stats = self.stats();
+        let watermark = self.watermark();
+        match (&self.plan.shared, self.strategy()) {
+            (Some(shared), GroupStrategy::Shared) => Ok(crate::profile::PlanProfile::assemble(
+                &shared.bundle.plan,
+                &self.model,
+                shared.choice,
+                shared.bundle.cost,
+                self.profile,
+                true,
+                watermark,
+                stats,
+                observed,
+                0,
+                None,
+            )?),
+            _ => {
+                let mut flows: Vec<fw_core::NodeFlow> = Vec::new();
+                for member in &self.plan.members {
+                    for f in member.bundle.plan.node_flows(&self.model)? {
+                        match flows.iter_mut().find(|x| x.window == f.window) {
+                            Some(x) => {
+                                x.updates = x.updates.saturating_add(f.updates);
+                                x.combines = x.combines.saturating_add(f.combines);
+                                x.cost = x.cost.saturating_add(f.cost);
+                                x.exposed |= f.exposed;
+                            }
+                            None => flows.push(f),
+                        }
+                    }
+                }
+                Ok(crate::profile::PlanProfile::assemble_from_flows(
+                    flows,
+                    self.choice,
+                    self.plan.unshared_cost,
+                    self.profile,
+                    true,
+                    watermark,
+                    stats,
+                    observed,
+                    0,
+                    None,
+                ))
+            }
+        }
+    }
+
+    /// Renders [`GroupPipeline::profile`] as fixed-layout text.
+    pub fn explain(&self) -> ApiResult<String> {
+        Ok(self.profile()?.render())
     }
 }
 

@@ -47,6 +47,7 @@
 
 pub mod api;
 pub mod group;
+pub mod profile;
 
 pub use fw_core as core;
 pub use fw_engine as engine;
@@ -55,19 +56,23 @@ pub use fw_slicing as slicing;
 pub use fw_sql as sql;
 pub use fw_workload as workload;
 
-pub use api::{ApiError, ApiResult, Pipeline, Session};
+pub use api::{explain_sql, ApiError, ApiResult, Pipeline, Session};
 pub use fw_core::{GroupStrategy, PlanChoice, QueryId, SharingPolicy};
 pub use fw_engine::{EventBatch, GroupResult, Parallelism};
+pub use fw_engine::{NodeProfile, ProfileLevel};
 pub use fw_serve::{ServeClient, ServeConfig, ServeError, Server};
 pub use group::{GroupPipeline, QueryGroup};
+pub use profile::{NodeReport, PlanProfile};
 
 /// One-stop imports for typical users: the session façade plus the
 /// optimizer-level types it is configured with.
 pub mod prelude {
-    pub use crate::api::{ApiError, ApiResult, Pipeline, Session};
+    pub use crate::api::{explain_sql, ApiError, ApiResult, Pipeline, Session};
     pub use crate::group::{GroupPipeline, QueryGroup};
+    pub use crate::profile::{NodeReport, PlanProfile};
     pub use fw_core::prelude::*;
     pub use fw_core::{GroupStrategy, QueryId, SharingPolicy};
     pub use fw_engine::{Event, EventBatch, GroupResult, Parallelism, RunOutput, WindowResult};
+    pub use fw_engine::{NodeProfile, ProfileLevel};
     pub use fw_serve::{ServeClient, ServeConfig, ServeError, Server};
 }

@@ -1,0 +1,618 @@
+//! `EXPLAIN` / `EXPLAIN ANALYZE` reports: the cost model's predicted
+//! per-node pane flow joined with the runtime's observed counters.
+//!
+//! The optimizer picks factored plans by *predicting* pane flow per plan
+//! node (`n·η·r` raw updates, `n·M` shared combines — Section III-B of
+//! the paper); the engine *observes* the same quantities per node when a
+//! session enables [`Session::profiling`](crate::Session::profiling).
+//! A [`PlanProfile`] joins the two sides row by row so the central claim
+//! of the paper — the cost model's flow split holds at runtime — is
+//! checkable on any live pipeline:
+//!
+//! * [`Pipeline::profile`](crate::Pipeline::profile) /
+//!   [`Pipeline::explain`](crate::Pipeline::explain) produce the
+//!   `EXPLAIN ANALYZE` report (predicted + observed + ratios);
+//! * [`Session::plan_profile`](crate::Session::plan_profile) /
+//!   [`Session::explain`](crate::Session::explain) produce the plain
+//!   `EXPLAIN` report (predicted flow only, no execution required).
+//!
+//! Reports render as fixed-layout text ([`PlanProfile::render`]) and as
+//! JSON through the workspace's dependency-free codec
+//! ([`fw_core::json::ToJson`]). Observed counters always reconcile with
+//! the pipeline's global [`ExecStats`]: live rows plus
+//! [`PlanProfile::retired`] rows sum exactly to the cumulative totals.
+
+use fw_core::json::{JsonValue, ToJson};
+use fw_core::{Cost, CostModel, PlanChoice, QueryPlan, ReplanRecord};
+use fw_engine::{ExecStats, NodeProfile, ProfileLevel, RETIRED_NODE};
+
+/// One window node's row in an `EXPLAIN [ANALYZE]` report.
+///
+/// The predicted side comes from [`fw_core::NodeFlow`] (per cost-model
+/// period); the observed side is cumulative since pipeline start. The
+/// two are scale-incommensurate, so the comparison is by *share*:
+/// [`NodeReport::flow_ratio`] divides the node's share of observed pane
+/// elements by its share of predicted flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeReport {
+    /// Plan node id; [`fw_engine::RETIRED_NODE`] for rows whose window
+    /// left the plan in a replan (retired-generation counters).
+    pub node: usize,
+    /// Display label from the query text (empty for retired rows).
+    pub label: String,
+    /// Window range.
+    pub range: u64,
+    /// Window slide.
+    pub slide: u64,
+    /// Whether the node contributes rows to the query output.
+    pub exposed: bool,
+    /// Whether the node ingests the raw stream (vs. sub-aggregates fed
+    /// from another window).
+    pub raw_fed: bool,
+    /// Predicted pane updates per cost-model period (`n·η·r`).
+    pub predicted_updates: Cost,
+    /// Predicted pane combines per period (`n·M`).
+    pub predicted_combines: Cost,
+    /// The node's share of the modeled plan cost, fan-out surcharge
+    /// included; summing over the live rows reproduces the plan cost
+    /// exactly.
+    pub predicted_cost: Cost,
+    /// Observed raw-event accumulator updates.
+    pub updates: u64,
+    /// Observed sub-aggregate combines.
+    pub combines: u64,
+    /// Observed per-term accumulator operations.
+    pub agg_ops: u64,
+    /// Window instances sealed at this node.
+    pub seals: u64,
+    /// Result rows emitted from this node (zero for factor windows).
+    pub emitted: u64,
+    /// High-water of live pane-slab entries (summed across shards).
+    pub pane_live_hw: u64,
+    /// Sampled nanoseconds attributed to this node (see
+    /// [`fw_engine::PROFILE_CLOCK_STRIDE`]); zero unless the session
+    /// profiles at [`ProfileLevel::Timed`].
+    pub nanos: u64,
+    /// Observed share of pane elements divided by predicted share
+    /// (`1.0` = the model's flow split held at runtime). `None` on plain
+    /// `EXPLAIN`, for nodes with no predicted flow, and before any
+    /// elements were observed.
+    pub flow_ratio: Option<f64>,
+}
+
+impl NodeReport {
+    /// Observed pane elements (updates + combines) at this node.
+    #[must_use]
+    pub fn observed_elements(&self) -> u64 {
+        self.updates + self.combines
+    }
+
+    /// Predicted pane elements per period (updates + combines, before
+    /// the fan-out surcharge).
+    #[must_use]
+    pub fn predicted_elements(&self) -> Cost {
+        self.predicted_updates
+            .saturating_add(self.predicted_combines)
+    }
+
+    /// Short role tag for display: feed source and output exposure.
+    #[must_use]
+    pub fn role(&self) -> String {
+        let feed = if self.raw_fed { "raw" } else { "fed" };
+        let out = if self.exposed { "exposed" } else { "factor" };
+        format!("{feed},{out}")
+    }
+}
+
+/// A full `EXPLAIN [ANALYZE]` report for one executing (or merely
+/// planned) pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanProfile {
+    /// The plan choice the report describes: the concrete resolved
+    /// choice for single-query pipelines and shared groups; the group's
+    /// plan policy (possibly [`PlanChoice::Auto`]) for per-query groups,
+    /// whose members resolve independently.
+    pub choice: PlanChoice,
+    /// Modeled plan cost per period.
+    pub cost: Cost,
+    /// The instrumentation level the pipeline runs at. With
+    /// [`ProfileLevel::Off`] an `ANALYZE` report still reconciles — all
+    /// per-node observed counters are simply zero.
+    pub level: ProfileLevel,
+    /// `true` for `EXPLAIN ANALYZE` (observed side populated), `false`
+    /// for plain `EXPLAIN` (predicted side only).
+    pub analyze: bool,
+    /// Sealing watermark at report time.
+    pub watermark: u64,
+    /// Global cumulative execution counters at report time; the per-node
+    /// rows (live + retired) sum exactly to these.
+    pub stats: ExecStats,
+    /// Adaptive re-optimizations performed so far.
+    pub replans: u64,
+    /// The most recent adaptive replan decision (the observed/predicted
+    /// rate drift that triggered it), if any.
+    pub last_replan: Option<ReplanRecord>,
+    /// Live plan nodes, in plan order.
+    pub nodes: Vec<NodeReport>,
+    /// Counters of windows that left the plan in a replan: no predicted
+    /// side, but required for the observed totals to reconcile with
+    /// [`PlanProfile::stats`].
+    pub retired: Vec<NodeReport>,
+}
+
+impl PlanProfile {
+    /// Joins a plan's predicted flow with a set of observed node
+    /// profiles into a report.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        plan: &QueryPlan,
+        model: &CostModel,
+        choice: PlanChoice,
+        cost: Cost,
+        level: ProfileLevel,
+        analyze: bool,
+        watermark: u64,
+        stats: ExecStats,
+        observed: Vec<NodeProfile>,
+        replans: u64,
+        last_replan: Option<ReplanRecord>,
+    ) -> fw_core::Result<PlanProfile> {
+        let flows = plan.node_flows(model)?;
+        Ok(Self::assemble_from_flows(
+            flows,
+            choice,
+            cost,
+            level,
+            analyze,
+            watermark,
+            stats,
+            observed,
+            replans,
+            last_replan,
+        ))
+    }
+
+    /// Joins an already-computed predicted flow set with observed node
+    /// profiles. Used directly by per-query groups, whose members'
+    /// per-plan flows are merged by window identity before the join.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble_from_flows(
+        flows: Vec<fw_core::NodeFlow>,
+        choice: PlanChoice,
+        cost: Cost,
+        level: ProfileLevel,
+        analyze: bool,
+        watermark: u64,
+        stats: ExecStats,
+        mut observed: Vec<NodeProfile>,
+        replans: u64,
+        last_replan: Option<ReplanRecord>,
+    ) -> PlanProfile {
+        let total_pred: Cost = flows.iter().map(fw_core::NodeFlow::elements).sum();
+        let total_obs: u64 = observed.iter().map(|p| p.updates + p.combines).sum();
+        let mut nodes = Vec::with_capacity(flows.len());
+        for f in &flows {
+            let obs = take_observed(&mut observed, f.node, f.window.range(), f.window.slide());
+            let mut row = NodeReport {
+                node: f.node,
+                label: f.label.clone(),
+                range: f.window.range(),
+                slide: f.window.slide(),
+                exposed: f.exposed,
+                raw_fed: f.fed_by.is_none(),
+                predicted_updates: f.updates,
+                predicted_combines: f.combines,
+                predicted_cost: f.cost,
+                updates: obs.updates,
+                combines: obs.combines,
+                agg_ops: obs.agg_ops,
+                seals: obs.seals,
+                emitted: obs.emitted,
+                pane_live_hw: obs.pane_live_hw,
+                nanos: obs.nanos,
+                flow_ratio: None,
+            };
+            if analyze && total_obs > 0 && total_pred > 0 && f.elements() > 0 {
+                let obs_share = row.observed_elements() as f64 / total_obs as f64;
+                let pred_share = f.elements() as f64 / total_pred as f64;
+                row.flow_ratio = Some(obs_share / pred_share);
+            }
+            nodes.push(row);
+        }
+        // Whatever observed counters found no flow row belong to windows
+        // of retired plan generations: keep them so totals reconcile.
+        let retired = observed
+            .into_iter()
+            .map(|p| NodeReport {
+                node: RETIRED_NODE,
+                label: String::new(),
+                range: p.range,
+                slide: p.slide,
+                exposed: p.exposed,
+                raw_fed: p.raw_fed,
+                predicted_updates: 0,
+                predicted_combines: 0,
+                predicted_cost: 0,
+                updates: p.updates,
+                combines: p.combines,
+                agg_ops: p.agg_ops,
+                seals: p.seals,
+                emitted: p.emitted,
+                pane_live_hw: p.pane_live_hw,
+                nanos: p.nanos,
+                flow_ratio: None,
+            })
+            .collect();
+        PlanProfile {
+            choice,
+            cost,
+            level,
+            analyze,
+            watermark,
+            stats,
+            replans,
+            last_replan,
+            nodes,
+            retired,
+        }
+    }
+
+    /// Observed totals over every row, live and retired, as
+    /// `(updates, combines, agg_ops)`. On a settled pipeline (no events
+    /// staged in shard queues) these equal the global
+    /// [`PlanProfile::stats`] exactly.
+    #[must_use]
+    pub fn observed_totals(&self) -> (u64, u64, u64) {
+        let mut totals = (0, 0, 0);
+        for r in self.nodes.iter().chain(&self.retired) {
+            totals.0 += r.updates;
+            totals.1 += r.combines;
+            totals.2 += r.agg_ops;
+        }
+        totals
+    }
+
+    /// Renders the report as fixed-layout text: `EXPLAIN` shows the
+    /// predicted columns only; `EXPLAIN ANALYZE` appends the observed
+    /// columns, the reconciliation totals, and the last replan's drift.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let verb = if self.analyze {
+            "EXPLAIN ANALYZE"
+        } else {
+            "EXPLAIN"
+        };
+        let _ = write!(
+            out,
+            "{verb}  plan={:?}  cost/period={}",
+            self.choice, self.cost
+        );
+        if self.analyze {
+            let _ = write!(
+                out,
+                "  profiling={:?}  watermark={}  replans={}",
+                self.level, self.watermark, self.replans
+            );
+        }
+        out.push('\n');
+        let name_w = self
+            .nodes
+            .iter()
+            .map(|r| r.label.len())
+            .max()
+            .unwrap_or(0)
+            .max(6);
+        let _ = write!(
+            out,
+            "{:<6} {:<name_w$} {:>14} {:<12} {:>12} {:>12} {:>12}",
+            "node", "window", "[range/slide]", "role", "pred.upd", "pred.cmb", "pred.cost"
+        );
+        if self.analyze {
+            let _ = write!(
+                out,
+                " | {:>12} {:>12} {:>12} {:>8} {:>8} {:>8} {:>10} {:>6}",
+                "updates", "combines", "agg_ops", "seals", "rows", "pane_hw", "time_ms", "flow"
+            );
+        }
+        out.push('\n');
+        for r in self.nodes.iter().chain(&self.retired) {
+            let id = if r.node == RETIRED_NODE {
+                "-".to_string()
+            } else {
+                format!("#{}", r.node)
+            };
+            let label = if r.node == RETIRED_NODE {
+                "(retired)"
+            } else {
+                r.label.as_str()
+            };
+            let _ = write!(
+                out,
+                "{:<6} {:<name_w$} {:>14} {:<12} {:>12} {:>12} {:>12}",
+                id,
+                label,
+                format!("[{}/{}]", r.range, r.slide),
+                r.role(),
+                r.predicted_updates,
+                r.predicted_combines,
+                r.predicted_cost
+            );
+            if self.analyze {
+                let flow = r
+                    .flow_ratio
+                    .map_or_else(|| "-".to_string(), |x| format!("{x:.2}"));
+                let _ = write!(
+                    out,
+                    " | {:>12} {:>12} {:>12} {:>8} {:>8} {:>8} {:>10.2} {:>6}",
+                    r.updates,
+                    r.combines,
+                    r.agg_ops,
+                    r.seals,
+                    r.emitted,
+                    r.pane_live_hw,
+                    r.nanos as f64 / 1e6,
+                    flow
+                );
+            }
+            out.push('\n');
+        }
+        if self.analyze {
+            let (u, c, a) = self.observed_totals();
+            let _ = writeln!(
+                out,
+                "totals  updates={u}/{}  combines={c}/{}  agg_ops={a}/{}  (observed/ExecStats)",
+                self.stats.updates, self.stats.combines, self.stats.agg_ops
+            );
+            match &self.last_replan {
+                Some(r) => {
+                    let _ = writeln!(
+                        out,
+                        "last replan  observed={:.2}  planned={:.2}  drift={:.2}x  plan_changed={}",
+                        r.observed, r.planned, r.ratio, r.plan_changed
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "last replan  none");
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Extracts the observed profile for a flow row: matched by live node id
+/// first, then by window identity (tolerates id reassignment across
+/// replans). Returns zeroed counters when nothing was observed.
+fn take_observed(
+    observed: &mut Vec<NodeProfile>,
+    node: usize,
+    range: u64,
+    slide: u64,
+) -> NodeProfile {
+    let by_id = observed.iter().position(|p| p.node == node);
+    let idx = by_id.or_else(|| {
+        observed
+            .iter()
+            .position(|p| p.range == range && p.slide == slide)
+    });
+    match idx {
+        Some(i) => observed.swap_remove(i),
+        None => NodeProfile::default(),
+    }
+}
+
+/// Encodes a float as a JSON string with fixed precision (the in-tree
+/// JSON codec is integer-only by design; ratios ride as strings).
+fn json_f64(v: f64) -> JsonValue {
+    JsonValue::String(format!("{v:.6}"))
+}
+
+fn json_cost(v: Cost) -> JsonValue {
+    JsonValue::Number(i128::try_from(v).unwrap_or(i128::MAX))
+}
+
+impl ToJson for NodeReport {
+    fn to_json_value(&self) -> JsonValue {
+        let mut fields = vec![
+            (
+                "node".to_string(),
+                if self.node == RETIRED_NODE {
+                    JsonValue::Null
+                } else {
+                    JsonValue::Number(self.node as i128)
+                },
+            ),
+            ("label".to_string(), JsonValue::String(self.label.clone())),
+            (
+                "range".to_string(),
+                JsonValue::Number(i128::from(self.range)),
+            ),
+            (
+                "slide".to_string(),
+                JsonValue::Number(i128::from(self.slide)),
+            ),
+            ("exposed".to_string(), JsonValue::Bool(self.exposed)),
+            ("raw_fed".to_string(), JsonValue::Bool(self.raw_fed)),
+            (
+                "predicted_updates".to_string(),
+                json_cost(self.predicted_updates),
+            ),
+            (
+                "predicted_combines".to_string(),
+                json_cost(self.predicted_combines),
+            ),
+            ("predicted_cost".to_string(), json_cost(self.predicted_cost)),
+            (
+                "updates".to_string(),
+                JsonValue::Number(i128::from(self.updates)),
+            ),
+            (
+                "combines".to_string(),
+                JsonValue::Number(i128::from(self.combines)),
+            ),
+            (
+                "agg_ops".to_string(),
+                JsonValue::Number(i128::from(self.agg_ops)),
+            ),
+            (
+                "seals".to_string(),
+                JsonValue::Number(i128::from(self.seals)),
+            ),
+            (
+                "emitted".to_string(),
+                JsonValue::Number(i128::from(self.emitted)),
+            ),
+            (
+                "pane_live_hw".to_string(),
+                JsonValue::Number(i128::from(self.pane_live_hw)),
+            ),
+            (
+                "nanos".to_string(),
+                JsonValue::Number(i128::from(self.nanos)),
+            ),
+        ];
+        fields.push((
+            "flow_ratio".to_string(),
+            self.flow_ratio.map_or(JsonValue::Null, json_f64),
+        ));
+        JsonValue::Object(fields)
+    }
+}
+
+impl ToJson for PlanProfile {
+    fn to_json_value(&self) -> JsonValue {
+        let replan = self.last_replan.as_ref().map_or(JsonValue::Null, |r| {
+            JsonValue::Object(vec![
+                ("observed".to_string(), json_f64(r.observed)),
+                ("planned".to_string(), json_f64(r.planned)),
+                ("ratio".to_string(), json_f64(r.ratio)),
+                ("plan_changed".to_string(), JsonValue::Bool(r.plan_changed)),
+            ])
+        });
+        let (u, c, a) = self.observed_totals();
+        JsonValue::Object(vec![
+            (
+                "choice".to_string(),
+                JsonValue::String(format!("{:?}", self.choice)),
+            ),
+            ("cost".to_string(), json_cost(self.cost)),
+            (
+                "level".to_string(),
+                JsonValue::String(format!("{:?}", self.level)),
+            ),
+            ("analyze".to_string(), JsonValue::Bool(self.analyze)),
+            (
+                "watermark".to_string(),
+                JsonValue::Number(i128::from(self.watermark)),
+            ),
+            (
+                "stats".to_string(),
+                JsonValue::Object(vec![
+                    (
+                        "updates".to_string(),
+                        JsonValue::Number(i128::from(self.stats.updates)),
+                    ),
+                    (
+                        "combines".to_string(),
+                        JsonValue::Number(i128::from(self.stats.combines)),
+                    ),
+                    (
+                        "agg_ops".to_string(),
+                        JsonValue::Number(i128::from(self.stats.agg_ops)),
+                    ),
+                    (
+                        "replans".to_string(),
+                        JsonValue::Number(i128::from(self.stats.replans)),
+                    ),
+                ]),
+            ),
+            (
+                "observed_totals".to_string(),
+                JsonValue::Object(vec![
+                    ("updates".to_string(), JsonValue::Number(i128::from(u))),
+                    ("combines".to_string(), JsonValue::Number(i128::from(c))),
+                    ("agg_ops".to_string(), JsonValue::Number(i128::from(a))),
+                ]),
+            ),
+            (
+                "replans".to_string(),
+                JsonValue::Number(i128::from(self.replans)),
+            ),
+            ("last_replan".to_string(), replan),
+            (
+                "nodes".to_string(),
+                JsonValue::Array(self.nodes.iter().map(ToJson::to_json_value).collect()),
+            ),
+            (
+                "retired".to_string(),
+                JsonValue::Array(self.retired.iter().map(ToJson::to_json_value).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Session;
+    use fw_engine::Event;
+
+    fn fig1_session() -> Session {
+        Session::from_sql(fw_sql::FIG1_SQL).unwrap()
+    }
+
+    #[test]
+    fn plain_explain_reports_predicted_flow_only() {
+        let profile = fig1_session().plan_profile().unwrap();
+        assert!(!profile.analyze);
+        assert!(!profile.nodes.is_empty());
+        assert!(profile.retired.is_empty());
+        let cost_sum: Cost = profile.nodes.iter().map(|n| n.predicted_cost).sum();
+        assert_eq!(cost_sum, profile.cost, "node costs decompose plan cost");
+        let text = profile.render();
+        assert!(text.starts_with("EXPLAIN  plan="), "{text}");
+        assert!(
+            !text.contains("totals"),
+            "plain EXPLAIN has no observed side"
+        );
+    }
+
+    #[test]
+    fn analyze_reconciles_with_exec_stats() {
+        let mut pipeline = fig1_session()
+            .profiling(ProfileLevel::Counters)
+            .build()
+            .unwrap();
+        for t in 0..1200u64 {
+            pipeline
+                .push(Event::new(t, (t % 3) as u32, (t % 17) as f64))
+                .unwrap();
+        }
+        pipeline.advance_watermark(1200).unwrap();
+        let profile = pipeline.profile().unwrap();
+        assert!(profile.analyze);
+        let (u, c, a) = profile.observed_totals();
+        assert_eq!(u, profile.stats.updates);
+        assert_eq!(c, profile.stats.combines);
+        assert_eq!(a, profile.stats.agg_ops);
+        assert!(u > 0);
+        let text = pipeline.explain().unwrap();
+        assert!(text.contains("EXPLAIN ANALYZE"), "{text}");
+        assert!(text.contains("totals"), "{text}");
+    }
+
+    #[test]
+    fn profile_json_round_trips_through_the_parser() {
+        let profile = fig1_session().plan_profile().unwrap();
+        let text = profile.to_json();
+        let doc = fw_core::json::parse(&text).unwrap();
+        assert_eq!(doc.get("analyze"), Some(&JsonValue::Bool(false)), "{text}");
+        let nodes = doc.get("nodes").unwrap();
+        match nodes {
+            JsonValue::Array(items) => assert_eq!(items.len(), profile.nodes.len()),
+            other => panic!("nodes should be an array, got {other:?}"),
+        }
+    }
+}

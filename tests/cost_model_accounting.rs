@@ -41,6 +41,7 @@ fn count_elements(plan: &fw_core::QueryPlan, events: &[Event]) -> u64 {
         collect: false,
         element_work: 0,
         out_of_order: 0,
+        profile: Default::default(),
     };
     let out = PlanPipeline::run(plan, events, opts).expect("plan executes");
     out.stats.elements()

@@ -1,0 +1,86 @@
+//! Golden EXPLAIN fixtures: the predicted-flow explain output (text and
+//! JSON) for the Figure 1(a) query under each concrete plan choice is
+//! committed under `tests/fixtures/`, so any drift in plan shape, node
+//! numbering, or modeled cost shows up as a loud fixture diff in review
+//! rather than a silent behavior change.
+//!
+//! To refresh after an *intentional* plan or cost-model change:
+//!
+//! ```text
+//! cargo test --test golden_explain -- --ignored regenerate
+//! ```
+
+use factor_windows::{PlanChoice, ProfileLevel, Session};
+use std::path::PathBuf;
+
+const CHOICES: [PlanChoice; 3] = [
+    PlanChoice::Original,
+    PlanChoice::Rewritten,
+    PlanChoice::Factored,
+];
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// The predicted-only explain for FIG1 under `choice` — deterministic:
+/// no events run, so the report depends only on the optimizer, the cost
+/// model's defaults, and the renderer.
+fn explain_outputs(choice: PlanChoice) -> (String, String) {
+    use factor_windows::core::json::ToJson;
+    let profile = Session::from_sql(factor_windows::sql::FIG1_SQL)
+        .unwrap()
+        .plan_choice(choice)
+        .profiling(ProfileLevel::Counters)
+        .plan_profile()
+        .unwrap();
+    (profile.render(), profile.to_json())
+}
+
+fn file_stem(choice: PlanChoice) -> String {
+    format!("explain_fig1_{}", choice.to_string().to_lowercase())
+}
+
+#[test]
+fn fig1_explain_matches_committed_fixtures() {
+    for choice in CHOICES {
+        let (text, json) = explain_outputs(choice);
+        let stem = file_stem(choice);
+        for (ext, produced) in [("txt", &text), ("json", &json)] {
+            let path = fixture_path(&format!("{stem}.{ext}"));
+            let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                panic!(
+                    "missing fixture {} ({e}) — run \
+                     `cargo test --test golden_explain -- --ignored regenerate`",
+                    path.display()
+                )
+            });
+            assert_eq!(
+                produced.trim_end(),
+                committed.trim_end(),
+                "{choice} explain {ext} drifted from {} — if the plan/cost \
+                 change is intentional, regenerate the fixtures",
+                path.display()
+            );
+        }
+    }
+}
+
+/// Rewrites the committed fixtures from the current optimizer output.
+/// Ignored by default: run explicitly (see the module doc) after an
+/// intentional plan or cost-model change, and commit the diff.
+#[test]
+#[ignore = "regenerates the committed golden fixtures"]
+fn regenerate() {
+    for choice in CHOICES {
+        let (text, json) = explain_outputs(choice);
+        let stem = file_stem(choice);
+        for (ext, produced) in [("txt", &text), ("json", &json)] {
+            let path = fixture_path(&format!("{stem}.{ext}"));
+            std::fs::write(&path, produced).unwrap();
+            println!("wrote {}", path.display());
+        }
+    }
+}

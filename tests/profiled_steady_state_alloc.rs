@@ -1,0 +1,110 @@
+//! Steady-state allocation audit for the *instrumented* pipeline: with
+//! per-plan-node counters on and the structured trace ring wired, the hot
+//! loop — columnar push, watermark seal (which records a trace event per
+//! boundary), periodic trace drain — must still perform **zero** heap
+//! allocations. Node counters live inline in the executor, the ring
+//! overwrites its oldest slot instead of growing, and draining into a
+//! pre-reserved buffer reuses its capacity.
+//!
+//! The engine-level audit (`crates/engine/tests/steady_state_alloc.rs`)
+//! covers the unprofiled path; this file holds exactly one test for the
+//! same reason — the counting global allocator would attribute a
+//! concurrent test's allocations to the measurement.
+
+use factor_windows::prelude::*;
+use fw_engine::{EventBatch, TraceEvent, DEFAULT_TRACE_CAP};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Wraps the system allocator, counting every allocation and
+/// reallocation (deallocations are free and not counted).
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn profiled_steady_state_with_trace_ring_is_allocation_free() {
+    const KEYS: u64 = 8;
+    const ROUND: u64 = 120; // one period of the 20/30/40 window set
+    let round_columns = |start: u64| {
+        let mut batch = EventBatch::with_capacity(ROUND as usize);
+        for t in start..start + ROUND {
+            batch.push_parts(t, (t % KEYS) as u32, (t % 13) as f64);
+        }
+        batch
+    };
+
+    let session = Session::from_sql(
+        "SELECT k, SUM(v) FROM S GROUP BY k, \
+         Windows(Window('a', TumblingWindow(second, 20)), \
+                 Window('b', TumblingWindow(second, 30)), \
+                 Window('c', TumblingWindow(second, 40)))",
+    )
+    .unwrap()
+    .profiling(ProfileLevel::Counters)
+    .element_work(0);
+    let mut pipeline = session.build().unwrap();
+    let mut trace: Vec<TraceEvent> = Vec::with_capacity(DEFAULT_TRACE_CAP);
+
+    // Pre-build the rounds' columns so the generator's own allocations
+    // stay outside the measurement.
+    let warmup_rounds: Vec<EventBatch> = (0..8).map(|r| round_columns(r * ROUND)).collect();
+    let measured_rounds: Vec<EventBatch> = (8..24).map(|r| round_columns(r * ROUND)).collect();
+
+    for batch in &warmup_rounds {
+        let (times, keys, values) = batch.columns();
+        pipeline.push_columns(times, keys, values).unwrap();
+        pipeline
+            .advance_watermark(times[times.len() - 1] + 1)
+            .unwrap();
+        trace.clear();
+        pipeline.drain_trace(&mut trace);
+    }
+    assert!(!trace.is_empty(), "warm-up must have recorded seal events");
+
+    let before = allocations();
+    for batch in &measured_rounds {
+        let (times, keys, values) = batch.columns();
+        pipeline.push_columns(times, keys, values).unwrap();
+        pipeline
+            .advance_watermark(times[times.len() - 1] + 1)
+            .unwrap();
+        trace.clear();
+        pipeline.drain_trace(&mut trace);
+    }
+    let during = allocations() - before;
+    assert_eq!(
+        during, 0,
+        "profiled steady-state push/seal/trace performed {during} allocations"
+    );
+
+    // Sanity: counters flowed and the measured rounds really sealed.
+    assert!(!trace.is_empty());
+    assert_eq!(pipeline.trace_dropped(), 0);
+    let profiles = pipeline.node_profiles();
+    assert!(profiles.iter().any(|p| p.updates > 0));
+    assert_eq!(pipeline.events_processed(), 24 * ROUND);
+}
