@@ -1,0 +1,134 @@
+//! Distributed scatter/gather throughput: worker *processes* over
+//! loopback sockets vs the same worker count as in-process shard
+//! threads, per plan choice, on the synthetic constant-pace stream.
+//!
+//! Emits `BENCH_dist.json` (events/sec per configuration; see
+//! `fw_bench::write_throughput_json`). `shards = 0` rows are the
+//! single-threaded baseline; `dist_scatter/<plan>/workers=N` rows run
+//! the fw-dist coordinator (columnar FWB1 frames, vectored writes,
+//! decode-in-place on the worker side); `dist_scatter/<plan>/shards=N`
+//! rows are the in-process channel-based backend at equal parallelism —
+//! the number the wire hot path is judged against.
+//!
+//! The `fw-worker` binary must exist next to this bench's profile
+//! directory (`cargo build --release` builds it; `FW_WORKER_BIN`
+//! overrides the path).
+//!
+//! Environment knobs: `DIST_SCATTER_SMOKE=1` shrinks the sweep for CI;
+//! `DIST_SCATTER_EVENTS` / `DIST_SCATTER_ITERS` override the stream
+//! length and iteration count.
+
+use factor_windows::{Parallelism, Session};
+use fw_bench::{bench_events, report_throughput, write_throughput_json, ThroughputRecord};
+use fw_core::{AggregateFunction, PlanChoice, Window, WindowQuery, WindowSet};
+
+const KEYS: u32 = 64;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn session(choice: PlanChoice, parallelism: Parallelism) -> Session {
+    let windows = WindowSet::new(vec![
+        Window::tumbling(20).unwrap(),
+        Window::tumbling(30).unwrap(),
+        Window::tumbling(40).unwrap(),
+    ])
+    .unwrap();
+    let query = WindowQuery::new(windows, AggregateFunction::Sum);
+    Session::from_query(query)
+        .plan_choice(choice)
+        .parallelism(parallelism)
+}
+
+fn main() {
+    let smoke = std::env::var_os("DIST_SCATTER_SMOKE").is_some();
+    let events_n = env_u64("DIST_SCATTER_EVENTS", if smoke { 60_000 } else { 300_000 });
+    let iters = env_u64("DIST_SCATTER_ITERS", if smoke { 2 } else { 5 }) as u32;
+    let worker_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4] };
+    let events = bench_events(events_n, KEYS);
+
+    println!("# dist_scatter: worker processes over loopback, {events_n} events, {KEYS} keys");
+    let mut records = Vec::new();
+    for choice in PlanChoice::CONCRETE {
+        // Single-threaded baseline.
+        {
+            let session = session(choice, Parallelism::Sequential);
+            session.optimize().expect("query optimizes");
+            let label = format!("dist_scatter/{choice}/shards=0");
+            let m = report_throughput(&label, events_n, iters, || {
+                session.run_batch(&events).expect("plan executes");
+            });
+            records.push(ThroughputRecord::from_measurement(
+                &label,
+                &choice.to_string(),
+                0,
+                events_n,
+                KEYS,
+                m,
+            ));
+        }
+        for &n in worker_counts {
+            // In-process shard threads at the same parallelism: the
+            // socket hop's reference point.
+            let session_threads = session(choice, Parallelism::Fixed(n));
+            session_threads.optimize().expect("query optimizes");
+            let label = format!("dist_scatter/{choice}/shards={n}");
+            let m = report_throughput(&label, events_n, iters, || {
+                session_threads.run_batch(&events).expect("plan executes");
+            });
+            records.push(ThroughputRecord::from_measurement(
+                &label,
+                &choice.to_string(),
+                n,
+                events_n,
+                KEYS,
+                m,
+            ));
+
+            // Worker processes over loopback sockets.
+            let session_procs = session(choice, Parallelism::Distributed { workers: n });
+            session_procs.optimize().expect("query optimizes");
+            let label = format!("dist_scatter/{choice}/workers={n}");
+            let m = report_throughput(&label, events_n, iters, || {
+                session_procs.run_batch(&events).expect("plan executes");
+            });
+            records.push(ThroughputRecord::from_measurement(
+                &label,
+                &choice.to_string(),
+                n,
+                events_n,
+                KEYS,
+                m,
+            ));
+        }
+    }
+
+    match write_throughput_json("dist", &records) {
+        Ok(path) => println!("# wrote {}", path.display()),
+        Err(e) => eprintln!("# could not write BENCH_dist.json: {e}"),
+    }
+
+    // Wire-tax summary: socket workers vs equal-count shard threads.
+    for choice in PlanChoice::CONCRETE {
+        for &n in worker_counts {
+            let eps = |label: String| {
+                records
+                    .iter()
+                    .find(|r| r.label == label)
+                    .map_or(0.0, |r| r.mean_eps as f64)
+            };
+            let threads = eps(format!("dist_scatter/{choice}/shards={n}"));
+            let procs = eps(format!("dist_scatter/{choice}/workers={n}"));
+            if threads > 0.0 {
+                println!(
+                    "# {choice} n={n}: sockets at {:.0}% of in-process shards",
+                    100.0 * procs / threads
+                );
+            }
+        }
+    }
+}

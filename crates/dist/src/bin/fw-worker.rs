@@ -1,0 +1,52 @@
+//! `fw-worker` — one distributed execution worker process.
+//!
+//! ```text
+//! fw-worker [--listen ADDR]
+//! ```
+//!
+//! Binds `ADDR` (default `127.0.0.1:0`, an ephemeral loopback port),
+//! prints `LISTENING <addr>` on stdout once bound (the coordinator's
+//! spawn path parses this line), and serves coordinator connections
+//! forever. Each connection runs one local pipeline over its key slice
+//! of the stream; see `fw_dist::worker`.
+
+use fw_dist::Worker;
+use std::io::Write;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut listen = String::from("127.0.0.1:0");
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => match args.next() {
+                Some(addr) => listen = addr,
+                None => fail("--listen requires an address"),
+            },
+            "--help" | "-h" => {
+                println!("usage: fw-worker [--listen ADDR]   (default 127.0.0.1:0)");
+                return;
+            }
+            other => fail(&format!("unknown argument {other:?}")),
+        }
+    }
+    let worker = match Worker::bind(&listen) {
+        Ok(worker) => worker,
+        Err(e) => fail(&format!("bind {listen}: {e}")),
+    };
+    let addr = match worker.local_addr() {
+        Ok(addr) => addr,
+        Err(e) => fail(&format!("local_addr: {e}")),
+    };
+    // The spawn protocol: announce the bound address, flushed, before
+    // accepting — the parent blocks on this line.
+    println!("LISTENING {addr}");
+    let _ = std::io::stdout().flush();
+    if let Err(e) = worker.run() {
+        fail(&format!("accept loop: {e}"));
+    }
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("fw-worker: {msg}");
+    std::process::exit(2);
+}

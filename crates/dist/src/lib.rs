@@ -1,0 +1,38 @@
+//! # fw-dist — distributed shard execution over sockets
+//!
+//! The socket-backed sibling of fw-engine's in-process
+//! [`ShardedPipeline`](fw_engine::ShardedPipeline): a coordinator
+//! ([`DistPipeline`]) hash-routes columnar event batches to N
+//! `fw-worker` *processes*, each running an ordinary local
+//! [`PlanPipeline`](fw_engine::PlanPipeline) over its key slice, and
+//! gathers sealed rows back into the engine's canonical result order —
+//! bit-identical (`f64::to_bits`) to the sequential engine.
+//!
+//! Layers:
+//!
+//! - [`proto`] — the FWD1 frame protocol, layered on fw-serve's FWS1
+//!   framing and FWB1 columnar batch encoding.
+//! - [`coordinator`] ([`DistPipeline`], [`DistFactory`]) — scatter,
+//!   watermark broadcast, gather/merge, checkpoint partition/merge,
+//!   loud-failure supervision.
+//! - [`worker`] ([`Worker`]) — the accept loop and per-connection
+//!   engine loop that `fw-worker` runs.
+//! - [`spawn`] ([`WorkerProc`]) — local process supervision: spawn,
+//!   address discovery, kill-on-drop.
+//!
+//! Both hot paths are allocation-free at steady state: the coordinator
+//! ships staged columns with vectored writes from recycled scratch
+//! buffers, and workers decode frames in place into one recycled
+//! [`EventBatch`](fw_engine::EventBatch) per connection.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod coordinator;
+pub mod proto;
+pub mod spawn;
+pub mod worker;
+
+pub use coordinator::{DistFactory, DistPipeline, REPLY_TIMEOUT, SCATTER_CHUNK};
+pub use spawn::{WorkerProc, WORKER_BIN_ENV};
+pub use worker::{Worker, HANDSHAKE_TIMEOUT};

@@ -1,0 +1,141 @@
+//! Spawning and supervising local `fw-worker` processes.
+//!
+//! The coordinator's default deployment is loopback: it spawns one
+//! `fw-worker --listen 127.0.0.1:0` process per shard, reads the
+//! `LISTENING <addr>` line the worker prints once bound, and connects.
+//! The process is killed (and reaped) when its [`WorkerProc`] drops, so
+//! a coordinator can never leak worker processes.
+//!
+//! The binary is resolved from the `FW_WORKER_BIN` environment variable
+//! when set, else as a sibling of the current executable (stripping a
+//! trailing `deps` directory, so both installed binaries and cargo test
+//! binaries find the workspace's own `fw-worker`).
+
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+/// Environment variable overriding the worker binary path.
+pub const WORKER_BIN_ENV: &str = "FW_WORKER_BIN";
+
+/// A supervised local worker process: killed and reaped on drop.
+#[derive(Debug)]
+pub struct WorkerProc {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl WorkerProc {
+    /// Spawns a worker listening on an ephemeral loopback port and waits
+    /// for it to announce its address.
+    pub fn spawn() -> std::io::Result<WorkerProc> {
+        let bin = worker_bin()?;
+        let mut child = Command::new(&bin)
+            .args(["--listen", "127.0.0.1:0"])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .stdin(Stdio::null())
+            .spawn()
+            .map_err(|e| {
+                std::io::Error::new(
+                    e.kind(),
+                    format!(
+                        "spawning {}: {e} (set {WORKER_BIN_ENV} to override)",
+                        bin.display()
+                    ),
+                )
+            })?;
+        let stdout = child.stdout.take().expect("stdout was piped");
+        let mut lines = BufReader::new(stdout).lines();
+        let addr = loop {
+            match lines.next() {
+                Some(Ok(line)) => {
+                    if let Some(rest) = line.strip_prefix("LISTENING ") {
+                        match rest.trim().parse::<SocketAddr>() {
+                            Ok(addr) => break addr,
+                            Err(_) => {
+                                let _ = child.kill();
+                                let _ = child.wait();
+                                return Err(std::io::Error::new(
+                                    std::io::ErrorKind::InvalidData,
+                                    format!("worker announced unparseable address {rest:?}"),
+                                ));
+                            }
+                        }
+                    }
+                }
+                Some(Err(e)) => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    return Err(e);
+                }
+                None => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "worker exited before announcing its address",
+                    ));
+                }
+            }
+        };
+        Ok(WorkerProc { child, addr })
+    }
+
+    /// The worker's announced listen address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The worker's OS process id (for failure-injection tests).
+    #[must_use]
+    pub fn pid(&self) -> u32 {
+        self.child.id()
+    }
+
+    /// Kills the worker immediately (mid-stream failure injection). The
+    /// process is reaped; dropping afterwards is a no-op.
+    pub fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for WorkerProc {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+/// Resolves the `fw-worker` binary (see module docs).
+fn worker_bin() -> std::io::Result<PathBuf> {
+    if let Some(path) = std::env::var_os(WORKER_BIN_ENV) {
+        return Ok(PathBuf::from(path));
+    }
+    let mut dir = std::env::current_exe()?;
+    dir.pop(); // the executable's own file name
+    if dir.file_name().is_some_and(|name| name == "deps") {
+        dir.pop(); // cargo test binaries live one level down
+    }
+    let candidate = dir.join("fw-worker");
+    if candidate.exists() {
+        return Ok(candidate);
+    }
+    // Benches run from target/<profile>/deps too, but examples/criterion
+    // may nest further; walk up a couple of levels looking for the bin.
+    for ancestor in dir.ancestors().take(3) {
+        let candidate = ancestor.join("fw-worker");
+        if candidate.exists() {
+            return Ok(candidate);
+        }
+    }
+    Err(std::io::Error::new(
+        std::io::ErrorKind::NotFound,
+        format!(
+            "fw-worker binary not found near {}; set {WORKER_BIN_ENV}",
+            dir.display()
+        ),
+    ))
+}

@@ -961,6 +961,91 @@ impl PipelineImage {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Byte-level snapshot surgery for the distributed coordinator (fw-dist).
+//
+// Worker processes emit ordinary `KIND_PIPELINE` documents through
+// `PlanPipeline::checkpoint`; the coordinator merges them into the one
+// shard-count-free document the rest of the system understands, and
+// splits a global document back into per-worker documents on restore.
+// Both directions go through [`PipelineImage`], so distributed snapshots
+// are byte-compatible with in-process ones — a checkpoint taken at N
+// worker processes restores into M threads (or sequentially) unchanged.
+
+/// Envelope counters of a `KIND_PIPELINE` snapshot, surfaced so a
+/// restoring coordinator can adopt the global accounting without decoding
+/// pane state itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotSummary {
+    /// The replay cursor: events of the original stream the snapshot
+    /// fully accounts for (fed into panes or held in the reorder buffer).
+    pub events_pushed: u64,
+    /// The sealing watermark at checkpoint time.
+    pub watermark: u64,
+    /// Maximum event time fed before the checkpoint.
+    pub last_event_time: u64,
+    /// Results emitted over the pipeline's lifetime.
+    pub results_emitted: u64,
+    /// Plan swaps applied before the checkpoint.
+    pub replans: u64,
+}
+
+pub(crate) fn decode_pipeline_doc(doc: &[u8]) -> CheckpointResult<PipelineImage> {
+    let mut r = doc;
+    let version = read_header(&mut r, KIND_PIPELINE)?;
+    let image = PipelineImage::decode(&mut r, version)?;
+    if !r.is_empty() {
+        return Err(CheckpointError::BadValue {
+            what: "trailing bytes after the pipeline image",
+        });
+    }
+    Ok(image)
+}
+
+pub(crate) fn encode_pipeline_doc(image: &PipelineImage) -> CheckpointResult<Vec<u8>> {
+    let mut doc = Vec::new();
+    write_header(&mut doc, KIND_PIPELINE)?;
+    image.encode(&mut doc)?;
+    Ok(doc)
+}
+
+/// Merges per-worker `KIND_PIPELINE` snapshot documents into the one
+/// global, shard-count-free document (see `PipelineImage::merge`).
+/// `replans` is the façade-level plan-swap count, which per-worker
+/// snapshots cannot know.
+pub fn merge_pipeline_snapshots(parts: &[Vec<u8>], replans: u64) -> CheckpointResult<Vec<u8>> {
+    let images = parts
+        .iter()
+        .map(|doc| decode_pipeline_doc(doc))
+        .collect::<CheckpointResult<Vec<_>>>()?;
+    encode_pipeline_doc(&PipelineImage::merge(images, replans)?)
+}
+
+/// Splits a global `KIND_PIPELINE` snapshot document into `shards`
+/// per-worker documents by re-hashing every key through the live scatter
+/// route ([`crate::shard::route_of`]), returning the global envelope
+/// counters alongside (worker 0's document carries them on the wire; the
+/// summary lets the coordinator adopt them without trusting any worker).
+pub fn partition_pipeline_snapshot(
+    doc: &[u8],
+    shards: usize,
+) -> CheckpointResult<(SnapshotSummary, Vec<Vec<u8>>)> {
+    let image = decode_pipeline_doc(doc)?;
+    let summary = SnapshotSummary {
+        events_pushed: image.events_pushed(),
+        watermark: image.watermark,
+        last_event_time: image.last_event_time,
+        results_emitted: image.results,
+        replans: image.stats.replans,
+    };
+    let parts = image
+        .partition(shards)
+        .iter()
+        .map(encode_pipeline_doc)
+        .collect::<CheckpointResult<Vec<_>>>()?;
+    Ok((summary, parts))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

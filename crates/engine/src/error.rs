@@ -27,6 +27,11 @@ pub enum EngineError {
     /// strategy would have to change mid-stream). Only pipelines compiled
     /// through the grouped/slot path support live plan swaps.
     RebuildUnsupported { reason: &'static str },
+    /// A distributed backend lost a worker: transport failure, a worker
+    /// process dying mid-stream, or a protocol violation on the shard
+    /// link. The backend is poisoned — results already gathered remain
+    /// valid, further pushes fail.
+    Distributed(String),
 }
 
 impl fmt::Display for EngineError {
@@ -55,6 +60,7 @@ impl fmt::Display for EngineError {
             EngineError::RebuildUnsupported { reason } => {
                 write!(f, "pipeline cannot be rebuilt in place: {reason}")
             }
+            EngineError::Distributed(msg) => write!(f, "distributed backend failed: {msg}"),
         }
     }
 }

@@ -165,7 +165,7 @@ impl Default for ExecOptions {
 }
 
 /// Options for compiling a [`PlanPipeline`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PipelineOptions {
     /// Gather results for [`PlanPipeline::poll_results`] /
     /// [`RunOutput::results`] (tests and consumers) instead of counting

@@ -29,9 +29,76 @@ use crate::error::{EngineError, Result};
 use crate::event::{Event, WindowResult};
 use crate::executor::{ExecStats, PipelineOptions, PlanPipeline, RunOutput};
 use crate::shard::ShardedPipeline;
-use fw_core::{GroupPlan, GroupStrategy, QueryId, Route, Window};
+use fw_core::{GroupPlan, GroupStrategy, QueryId, QueryPlan, Route, Window};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Duration;
+
+/// An execution backend that can stand in for the in-process pipelines
+/// behind [`GroupExec`] (and the `factor_windows::Session` façade): the
+/// method surface [`PlanPipeline`] and [`ShardedPipeline`] share, object-
+/// safe so a backend living in a downstream crate (the socket-distributed
+/// coordinator of `fw-dist`) can be injected without fw-engine depending
+/// on it.
+///
+/// Error-deferral contract: infallible-looking methods
+/// ([`Self::poll_results`], the read-only accessors) may encounter I/O
+/// failures in a remote implementation; such failures are recorded
+/// internally and surfaced by the next fallible call, exactly as
+/// [`ShardedPipeline`] defers worker-thread errors.
+pub trait ExecBackend: Send + std::fmt::Debug {
+    /// Pushes one columnar batch (see [`PlanPipeline::push_columns`]).
+    fn push_columns(&mut self, times: &[u64], keys: &[u32], values: &[f64]) -> Result<()>;
+    /// Announces a watermark (see [`PlanPipeline::advance_watermark`]).
+    fn advance_watermark(&mut self, watermark: u64) -> Result<()>;
+    /// Drains collected results in canonical order.
+    fn poll_results(&mut self) -> Vec<WindowResult>;
+    /// Swaps the executing plan at a watermark boundary.
+    fn rebuild(&mut self, plan: &QueryPlan, watermark: u64) -> Result<()>;
+    /// Ends the stream and merges the accounting.
+    fn finish(self: Box<Self>) -> Result<RunOutput>;
+    /// The sealing watermark.
+    fn watermark(&self) -> u64;
+    /// Cumulative cost-model accounting.
+    fn stats(&self) -> ExecStats;
+    /// Key-interner high-water `(slots, bytes)`.
+    fn interner_stats(&self) -> (u64, u64);
+    /// Per-plan-node profile counters (empty when profiling is off).
+    fn node_profiles(&self) -> Vec<crate::profile::NodeProfile>;
+    /// Events currently buffered on the ingest side.
+    fn buffered(&self) -> usize;
+    /// Exports a full `KIND_PIPELINE` snapshot document (header included,
+    /// byte-compatible with [`PlanPipeline::checkpoint`]) and keeps
+    /// streaming.
+    fn export_snapshot(&mut self, plan: &QueryPlan) -> CheckpointResult<Vec<u8>>;
+}
+
+/// Constructs [`ExecBackend`] instances for [`GroupExec`]: the injection
+/// point that lets a group's pipelines run on a backend fw-engine does
+/// not know about (worker processes over sockets). The factory is kept
+/// for the group's lifetime — per-query rebuilds compile arriving
+/// members' pipelines through it.
+pub trait BackendFactory: Send + Sync {
+    /// Compiles a fresh backend for `plan`. `grouped` requests the
+    /// slot-based group core (live plan swaps and checkpoints; see
+    /// [`PlanPipeline::compile_grouped`]).
+    fn compile(
+        &self,
+        plan: &QueryPlan,
+        opts: PipelineOptions,
+        grouped: bool,
+    ) -> Result<Box<dyn ExecBackend>>;
+
+    /// Restores a backend from a full `KIND_PIPELINE` snapshot document
+    /// (as produced by [`ExecBackend::export_snapshot`] or
+    /// [`PlanPipeline::checkpoint`]).
+    fn restore(
+        &self,
+        plan: &QueryPlan,
+        opts: PipelineOptions,
+        snapshot: &[u8],
+    ) -> CheckpointResult<Box<dyn ExecBackend>>;
+}
 
 /// One result of a group run: a window value tagged with the member query
 /// that subscribed to it. `result.agg` is the member's *query-local*
@@ -150,15 +217,23 @@ impl RouteIndex {
 enum AnyPipeline {
     Single(Box<PlanPipeline>),
     Sharded(ShardedPipeline),
+    /// An injected [`ExecBackend`] (the distributed coordinator).
+    Remote(Box<dyn ExecBackend>),
 }
 
 impl AnyPipeline {
+    /// Compiles onto the injected factory when one is present, otherwise
+    /// onto the in-process backend `shards` selects.
     fn compile(
         plan: &fw_core::QueryPlan,
         opts: PipelineOptions,
         shards: usize,
         grouped: bool,
+        factory: Option<&Arc<dyn BackendFactory>>,
     ) -> Result<Self> {
+        if let Some(factory) = factory {
+            return Ok(AnyPipeline::Remote(factory.compile(plan, opts, grouped)?));
+        }
         Ok(match (shards, grouped) {
             (0, true) => AnyPipeline::Single(Box::new(PlanPipeline::compile_grouped(plan, opts)?)),
             (0, false) => AnyPipeline::Single(Box::new(PlanPipeline::compile(plan, opts)?)),
@@ -171,6 +246,7 @@ impl AnyPipeline {
         match self {
             AnyPipeline::Single(p) => p.push(event),
             AnyPipeline::Sharded(p) => p.push(event),
+            AnyPipeline::Remote(p) => p.push_columns(&[event.time], &[event.key], &[event.value]),
         }
     }
 
@@ -178,6 +254,13 @@ impl AnyPipeline {
         match self {
             AnyPipeline::Single(p) => p.push_batch(events),
             AnyPipeline::Sharded(p) => p.push_batch(events),
+            AnyPipeline::Remote(p) => {
+                // Correctness path, not the columnar hot path: transpose
+                // once and hand the remote backend whole columns.
+                let batch = crate::batch::EventBatch::from_events(events);
+                let (times, keys, values) = batch.columns();
+                p.push_columns(times, keys, values)
+            }
         }
     }
 
@@ -185,6 +268,7 @@ impl AnyPipeline {
         match self {
             AnyPipeline::Single(p) => p.push_columns(times, keys, values),
             AnyPipeline::Sharded(p) => p.push_columns(times, keys, values),
+            AnyPipeline::Remote(p) => p.push_columns(times, keys, values),
         }
     }
 
@@ -192,6 +276,7 @@ impl AnyPipeline {
         match self {
             AnyPipeline::Single(p) => p.advance_watermark(watermark),
             AnyPipeline::Sharded(p) => p.advance_watermark(watermark),
+            AnyPipeline::Remote(p) => p.advance_watermark(watermark),
         }
     }
 
@@ -199,6 +284,7 @@ impl AnyPipeline {
         match self {
             AnyPipeline::Single(p) => p.poll_results(),
             AnyPipeline::Sharded(p) => p.poll_results(),
+            AnyPipeline::Remote(p) => p.poll_results(),
         }
     }
 
@@ -206,6 +292,7 @@ impl AnyPipeline {
         match self {
             AnyPipeline::Single(p) => p.rebuild(plan, watermark),
             AnyPipeline::Sharded(p) => p.rebuild(plan, watermark),
+            AnyPipeline::Remote(p) => p.rebuild(plan, watermark),
         }
     }
 
@@ -213,6 +300,7 @@ impl AnyPipeline {
         match self {
             AnyPipeline::Single(p) => p.finish(),
             AnyPipeline::Sharded(p) => p.finish(),
+            AnyPipeline::Remote(p) => p.finish(),
         }
     }
 
@@ -220,6 +308,7 @@ impl AnyPipeline {
         match self {
             AnyPipeline::Single(p) => p.watermark(),
             AnyPipeline::Sharded(p) => p.watermark(),
+            AnyPipeline::Remote(p) => p.watermark(),
         }
     }
 
@@ -227,6 +316,7 @@ impl AnyPipeline {
         match self {
             AnyPipeline::Single(p) => p.stats(),
             AnyPipeline::Sharded(p) => p.snapshot().2,
+            AnyPipeline::Remote(p) => p.stats(),
         }
     }
 
@@ -234,6 +324,7 @@ impl AnyPipeline {
         match self {
             AnyPipeline::Single(p) => p.interner_stats(),
             AnyPipeline::Sharded(p) => p.interner_stats(),
+            AnyPipeline::Remote(p) => p.interner_stats(),
         }
     }
 
@@ -241,6 +332,7 @@ impl AnyPipeline {
         match self {
             AnyPipeline::Single(p) => p.node_profiles(),
             AnyPipeline::Sharded(p) => p.node_profiles(),
+            AnyPipeline::Remote(p) => p.node_profiles(),
         }
     }
 
@@ -248,28 +340,39 @@ impl AnyPipeline {
         match self {
             AnyPipeline::Single(p) => p.buffered(),
             AnyPipeline::Sharded(p) => p.buffered(),
+            AnyPipeline::Remote(p) => p.buffered(),
         }
     }
 
     /// Exports a merged, shard-count-free snapshot of the pipeline's state
     /// (the engine keeps streaming afterwards; see
-    /// `PlanPipeline::export_image`).
+    /// `PlanPipeline::export_image`). A remote backend ships a full
+    /// snapshot document, decoded here so every backend's state lands in
+    /// the group checkpoint as the same image bytes.
     fn export_image(&mut self, plan: &fw_core::QueryPlan) -> CheckpointResult<PipelineImage> {
         match self {
             AnyPipeline::Single(p) => p.export_image(plan),
             AnyPipeline::Sharded(p) => p.export_merged_image(plan),
+            AnyPipeline::Remote(p) => checkpoint::decode_pipeline_doc(&p.export_snapshot(plan)?),
         }
     }
 
     /// Rebuilds a backend from a snapshot at the requested parallelism
-    /// (`shards = 0` selects the single-threaded backend). The snapshot is
-    /// shard-count-free, so any `N → M` rescale is legal here.
+    /// (`shards = 0` selects the single-threaded backend; a factory, when
+    /// injected, wins and receives the image re-encoded as a snapshot
+    /// document). The snapshot is shard-count-free, so any `N → M`
+    /// rescale is legal here.
     fn restore_image(
         plan: &fw_core::QueryPlan,
         opts: PipelineOptions,
         shards: usize,
         image: PipelineImage,
+        factory: Option<&Arc<dyn BackendFactory>>,
     ) -> CheckpointResult<Self> {
+        if let Some(factory) = factory {
+            let doc = checkpoint::encode_pipeline_doc(&image)?;
+            return Ok(AnyPipeline::Remote(factory.restore(plan, opts, &doc)?));
+        }
         Ok(if shards == 0 {
             AnyPipeline::Single(Box::new(PlanPipeline::restore_image(plan, opts, image)?))
         } else {
@@ -322,6 +425,10 @@ pub struct GroupExec {
     /// core so they can be checkpointed ([`Self::compile_durable`]). The
     /// shared backend always can.
     durable: bool,
+    /// Injected backend constructor ([`Self::compile_with_backend`]);
+    /// kept so per-query rebuilds compile arriving members on the same
+    /// backend the group started on. `None` runs in process.
+    factory: Option<Arc<dyn BackendFactory>>,
 }
 
 impl std::fmt::Debug for GroupExec {
@@ -339,7 +446,7 @@ impl GroupExec {
     /// backend; `shards ≥ 1` the key-partitioned one. The shared strategy
     /// requires the plan to carry a merged [`fw_core::SharedPlan`].
     pub fn compile(plan: &GroupPlan, opts: PipelineOptions, shards: usize) -> Result<Self> {
-        Self::compile_with(plan, opts, shards, false)
+        Self::compile_with(plan, opts, shards, false, None)
     }
 
     /// Compiles a group plan whose state can be checkpointed. Identical to
@@ -348,7 +455,24 @@ impl GroupExec {
     /// export its pane state (see [`Self::checkpoint`]). Shared-strategy
     /// groups are always durable.
     pub fn compile_durable(plan: &GroupPlan, opts: PipelineOptions, shards: usize) -> Result<Self> {
-        Self::compile_with(plan, opts, shards, true)
+        Self::compile_with(plan, opts, shards, true, None)
+    }
+
+    /// Compiles a group plan onto an injected [`BackendFactory`]: every
+    /// pipeline the group runs — the shared merged pipeline, or each
+    /// per-query member, including members arriving through later
+    /// [`Self::rebuild`]s — is constructed by `factory` instead of the
+    /// in-process engine. This is how the group's route table becomes the
+    /// multi-tenant unit of distribution: routing, registration
+    /// boundaries, and `since` filters stay coordinator-side while the
+    /// pane flow itself runs wherever the factory puts it. Always
+    /// durable (a factory backend must be able to export its snapshot).
+    pub fn compile_with_backend(
+        plan: &GroupPlan,
+        opts: PipelineOptions,
+        factory: Arc<dyn BackendFactory>,
+    ) -> Result<Self> {
+        Self::compile_with(plan, opts, 0, true, Some(factory))
     }
 
     fn compile_with(
@@ -356,13 +480,20 @@ impl GroupExec {
         opts: PipelineOptions,
         shards: usize,
         durable: bool,
+        factory: Option<Arc<dyn BackendFactory>>,
     ) -> Result<Self> {
         let (backend, routes) = match plan.strategy {
             GroupStrategy::Shared => {
                 let shared = plan.shared.as_ref().ok_or_else(|| {
                     EngineError::InvalidPlan("shared strategy without a merged plan".to_string())
                 })?;
-                let pipeline = AnyPipeline::compile(&shared.bundle.plan, opts, shards, true)?;
+                let pipeline = AnyPipeline::compile(
+                    &shared.bundle.plan,
+                    opts,
+                    shards,
+                    true,
+                    factory.as_ref(),
+                )?;
                 (Backend::Shared(pipeline), RouteIndex::new(&shared.routes))
             }
             GroupStrategy::PerQuery => {
@@ -371,7 +502,13 @@ impl GroupExec {
                     members.push(MemberExec {
                         id: member.id,
                         since: member.since,
-                        pipeline: AnyPipeline::compile(&member.bundle.plan, opts, shards, durable)?,
+                        pipeline: AnyPipeline::compile(
+                            &member.bundle.plan,
+                            opts,
+                            shards,
+                            durable,
+                            factory.as_ref(),
+                        )?,
                     });
                 }
                 (Backend::PerQuery(members), RouteIndex::new(&[]))
@@ -388,6 +525,7 @@ impl GroupExec {
             opts,
             shards,
             durable,
+            factory,
         })
     }
 
@@ -627,6 +765,7 @@ impl GroupExec {
                             self.opts,
                             self.shards,
                             self.durable,
+                            self.factory.as_ref(),
                         )?,
                     });
                 }
@@ -739,6 +878,29 @@ impl GroupExec {
         shards: usize,
         r: &mut R,
     ) -> CheckpointResult<Self> {
+        Self::restore_with(plan, opts, shards, None, r)
+    }
+
+    /// Rebuilds a group from a [`Self::checkpoint`] snapshot onto an
+    /// injected [`BackendFactory`] (see [`Self::compile_with_backend`]).
+    /// The snapshot carries no backend identity — a group checkpointed in
+    /// process restores onto a factory backend and vice versa.
+    pub fn restore_with_backend<R: std::io::Read + ?Sized>(
+        plan: &GroupPlan,
+        opts: PipelineOptions,
+        factory: Arc<dyn BackendFactory>,
+        r: &mut R,
+    ) -> CheckpointResult<Self> {
+        Self::restore_with(plan, opts, 0, Some(factory), r)
+    }
+
+    fn restore_with<R: std::io::Read + ?Sized>(
+        plan: &GroupPlan,
+        opts: PipelineOptions,
+        shards: usize,
+        factory: Option<Arc<dyn BackendFactory>>,
+        r: &mut R,
+    ) -> CheckpointResult<Self> {
         let version = checkpoint::read_header(r, checkpoint::KIND_GROUP)?;
         let strategy = checkpoint::get_u8(r, "group strategy")?;
         let expected = match plan.strategy {
@@ -767,8 +929,13 @@ impl GroupExec {
                     what: "shared strategy without a merged plan",
                 })?;
                 let image = PipelineImage::decode(r, version)?;
-                let pipeline =
-                    AnyPipeline::restore_image(&shared.bundle.plan, opts, shards, image)?;
+                let pipeline = AnyPipeline::restore_image(
+                    &shared.bundle.plan,
+                    opts,
+                    shards,
+                    image,
+                    factory.as_ref(),
+                )?;
                 (Backend::Shared(pipeline), RouteIndex::new(&shared.routes))
             }
             GroupStrategy::PerQuery => {
@@ -796,6 +963,7 @@ impl GroupExec {
                             opts,
                             shards,
                             image,
+                            factory.as_ref(),
                         )?,
                     });
                 }
@@ -813,6 +981,7 @@ impl GroupExec {
             opts,
             shards,
             durable: true,
+            factory,
         })
     }
 

@@ -54,7 +54,9 @@ pub mod trace;
 
 pub use agg::{Aggregate, AvgAgg, CountAgg, MaxAgg, MedianAgg, MinAgg, SumAgg};
 pub use batch::{EventBatch, BATCH_SPARE_CAP};
-pub use checkpoint::CheckpointError;
+pub use checkpoint::{
+    merge_pipeline_snapshots, partition_pipeline_snapshot, CheckpointError, SnapshotSummary,
+};
 pub use error::{EngineError, Result};
 pub use event::{sorted_results, Event, ResultSink, WindowResult};
 // The deprecated batch wrappers `executor::execute` / `executor::execute_with`
@@ -66,12 +68,14 @@ pub use executor::{
     ExecOptions, ExecStats, PipelineOptions, PlanPipeline, RunOutput, PROFILE_CLOCK_STRIDE,
 };
 pub use fasthash::{FastBuildHasher, FastMap, FastU32BuildHasher, FastU32Map};
-pub use group::{sorted_group_results, GroupExec, GroupResult, GroupRunOutput};
+pub use group::{
+    sorted_group_results, BackendFactory, ExecBackend, GroupExec, GroupResult, GroupRunOutput,
+};
 pub use pane::DEFAULT_ELEMENT_WORK;
 pub use profile::{NodeProfile, ProfileLevel, RETIRED_NODE};
 pub use reference::reference_results;
 pub use reorder::ReorderBuffer;
-pub use shard::{Parallelism, ShardedPipeline};
+pub use shard::{route_of, Parallelism, ShardedPipeline};
 pub use slab::{KeyInterner, Slab};
 pub use throughput::{measure_throughput, Throughput};
 pub use trace::{TraceEvent, TraceEventKind, TraceRing, DEFAULT_TRACE_CAP};

@@ -54,17 +54,31 @@ pub enum Parallelism {
     /// still runs the sharded backend with one worker, which is the
     /// baseline the scaling benchmarks compare against.
     Fixed(usize),
+    /// Exactly `workers` *processes* (clamped to at least 1), each fed
+    /// routed columnar batches over a socket — the distributed backend
+    /// (`fw-dist`). Call sites that cannot distribute (the serve host,
+    /// plain [`ShardedPipeline`] construction through
+    /// [`Self::shard_count`]) degrade gracefully to `workers` in-process
+    /// shard threads; the `factor_windows::Session` façade dispatches on
+    /// this variant explicitly before consulting the shard count.
+    Distributed {
+        /// Worker process count.
+        workers: usize,
+    },
 }
 
 impl Parallelism {
     /// Number of shard workers to spawn; `0` means "run sequentially,
-    /// in-process".
+    /// in-process". [`Parallelism::Distributed`] reports its worker count
+    /// here so shard-only call sites fall back to equivalent in-process
+    /// parallelism instead of silently running sequentially.
     #[must_use]
     pub fn shard_count(self) -> usize {
         match self {
             Parallelism::Sequential => 0,
             Parallelism::Auto => thread::available_parallelism().map_or(1, NonZeroUsize::get),
             Parallelism::Fixed(n) => n.max(1),
+            Parallelism::Distributed { workers } => workers.max(1),
         }
     }
 
@@ -124,10 +138,14 @@ enum Command {
 
 /// The shard a key routes to among `shards` workers: Fibonacci
 /// multiplicative hash, high bits, multiply-shift range reduction. Shared
-/// with the checkpoint re-partitioner ([`PipelineImage::partition`]), so
-/// restored pane state always lands on the shard live scatter would pick.
+/// with the checkpoint re-partitioner (`PipelineImage::partition`) and
+/// the distributed coordinator's scatter (`fw-dist`), so routed pane
+/// state always lands on the shard live scatter would pick — the property
+/// both elastic rescale and coordinator/worker checkpoint agreement rest
+/// on.
 #[inline]
-pub(crate) fn route_of(key: u32, shards: usize) -> usize {
+#[must_use]
+pub fn route_of(key: u32, shards: usize) -> usize {
     let h = u64::from(key).wrapping_mul(0x9E37_79B9_7F4A_7C15);
     (((h >> 32) * shards as u64) >> 32) as usize
 }
@@ -965,6 +983,8 @@ mod tests {
         assert_eq!(Parallelism::Fixed(4).shard_count(), 4);
         assert_eq!(Parallelism::Fixed(0).shard_count(), 1);
         assert!(Parallelism::Auto.shard_count() >= 1);
+        assert_eq!(Parallelism::Distributed { workers: 3 }.shard_count(), 3);
+        assert_eq!(Parallelism::Distributed { workers: 0 }.shard_count(), 1);
         assert_eq!(Parallelism::from_workers(0), Parallelism::Auto);
         assert_eq!(Parallelism::from_workers(1), Parallelism::Sequential);
         assert_eq!(Parallelism::from_workers(6), Parallelism::Fixed(6));

@@ -343,6 +343,7 @@ mod tests {
             runs: 2,
             repeats: 1,
             parallelism: 1,
+            distributed: 0,
         };
         let report = run_experiment("table1", &config).unwrap();
         assert!(report.contains("R-5-tumbling"), "{report}");
@@ -357,6 +358,7 @@ mod tests {
             runs: 2,
             repeats: 1,
             parallelism: 1,
+            distributed: 0,
         };
         let report = run_experiment("fig12", &config).unwrap();
         assert!(report.contains("R-5"), "{report}");
@@ -370,6 +372,7 @@ mod tests {
             runs: 1,
             repeats: 1,
             parallelism: 1,
+            distributed: 0,
         };
         let report = run_experiment("fig15", &config).unwrap();
         assert!(report.contains("Figure 15"), "{report}");
@@ -386,6 +389,7 @@ mod tests {
             runs: 1,
             repeats: 1,
             parallelism: 1,
+            distributed: 0,
         };
         let report = run_experiment("fig22", &config).unwrap();
         assert!(report.contains("Scotty"), "{report}");
@@ -399,6 +403,7 @@ mod tests {
             runs: 2,
             repeats: 1,
             parallelism: 1,
+            distributed: 0,
         };
         let report = run_experiment("fig19", &config).unwrap();
         assert!(report.contains("Pearson r ="), "{report}");

@@ -61,6 +61,9 @@ fn run(args: &[String]) -> Result<(), String> {
             "--parallelism" => {
                 config.parallelism = parse_value(args, &mut i, "--parallelism")?;
             }
+            "--distributed" => {
+                config.distributed = parse_value(args, &mut i, "--distributed")?;
+            }
             "--out" => {
                 i += 1;
                 let dir = args.get(i).ok_or("--out requires a directory")?;
@@ -117,10 +120,11 @@ fn run(args: &[String]) -> Result<(), String> {
         std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
     }
 
-    let parallelism = match config.parallelism {
-        0 => "auto".to_string(),
-        1 => "sequential".to_string(),
-        n => format!("{n} shards"),
+    let parallelism = match (config.distributed, config.parallelism) {
+        (n, _) if n > 0 => format!("{n} worker process(es)"),
+        (_, 0) => "auto".to_string(),
+        (_, 1) => "sequential".to_string(),
+        (_, n) => format!("{n} shards"),
     };
     println!(
         "# factor-windows experiment harness — scale 1/{}, {} window sets, {} repeat(s), {parallelism}\n",
@@ -290,17 +294,21 @@ fn explain(input: &str, out_dir: Option<&PathBuf>) -> Result<(), String> {
 
 /// Runs the streaming ingress server on `addr` until killed, printing a
 /// one-line metrics digest every few seconds. `--parallelism` selects
-/// the shared group's shard workers (0 = one per core).
+/// the shared group's shard workers (0 = one per core). The ingress
+/// host runs its shared group in-process only, so `--distributed` is
+/// rejected here rather than silently degraded.
 fn serve(addr: &str, config: &HarnessConfig) -> Result<(), String> {
     use factor_windows::serve::host::HostConfig;
     use factor_windows::serve::{ServeConfig, Server};
-    use factor_windows::Parallelism;
 
-    let parallelism = match config.parallelism {
-        0 => Parallelism::Auto,
-        1 => Parallelism::Sequential,
-        n => Parallelism::Fixed(n),
-    };
+    if config.distributed > 0 {
+        return Err(
+            "--serve runs its shared group in-process; --distributed applies to the \
+             experiment pipelines only"
+                .to_string(),
+        );
+    }
+    let parallelism = config.parallelism_choice();
     let serve_config = ServeConfig {
         host: HostConfig {
             parallelism,
@@ -396,6 +404,11 @@ fn print_help() {
            --parallelism N  shard workers per pipeline: 1 = single-threaded\n\
                             (default, the paper's setting), 0 = one per core,\n\
                             N = exactly N workers\n\
+           --distributed N  run every pipeline over N fw-worker processes\n\
+                            on loopback sockets instead of in-process\n\
+                            shards (overrides --parallelism; the fw-worker\n\
+                            binary is found next to fw-experiments or via\n\
+                            the FW_WORKER_BIN environment variable)\n\
            --out DIR        also write each report to DIR/<id>.txt\n\
            --dump-wcg SQL   print the query's window coverage graph in\n\
                             Graphviz dot format and exit; `;`-separated\n\

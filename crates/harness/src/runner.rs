@@ -29,13 +29,23 @@ pub struct HarnessConfig {
     /// setting), `0` = one worker per available core, `n` = exactly `n`
     /// workers.
     pub parallelism: usize,
+    /// Worker *processes* per pipeline: `0` = off (in-process execution
+    /// per `parallelism`), `n` = spawn `n` `fw-worker` processes and run
+    /// every pipeline over loopback sockets. Overrides `parallelism`.
+    pub distributed: usize,
 }
 
 impl HarnessConfig {
     /// The engine-level parallelism this configuration maps to.
     #[must_use]
     pub fn parallelism_choice(&self) -> Parallelism {
-        Parallelism::from_workers(self.parallelism)
+        if self.distributed > 0 {
+            Parallelism::Distributed {
+                workers: self.distributed,
+            }
+        } else {
+            Parallelism::from_workers(self.parallelism)
+        }
     }
 }
 
@@ -46,6 +56,7 @@ impl Default for HarnessConfig {
             runs: 10,
             repeats: 1,
             parallelism: 1,
+            distributed: 0,
         }
     }
 }
@@ -493,6 +504,7 @@ mod tests {
             runs: 3,
             repeats: 1,
             parallelism: 1,
+            distributed: 0,
         };
         let m = measure_overhead(Generator::RandomGen, 5, &config);
         assert_eq!(m.setup, "R-5");

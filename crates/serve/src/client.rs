@@ -10,10 +10,10 @@
 //! request via [`ServeClient::poll`].
 
 use crate::metrics::MetricsSnapshot;
-use crate::wire::{read_frame, tag_rows, write_frame, Frame, LagKind};
+use crate::wire::{tag_rows, Frame, FrameReader, FrameWriter, LagKind, KIND_PUSH_COLUMNS};
 use crate::ServeError;
 use fw_engine::{Event, EventBatch, GroupResult};
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
@@ -48,7 +48,11 @@ impl Default for RetryPolicy {
 pub struct ServeClient {
     stream: TcpStream,
     reader: BufReader<TcpStream>,
-    writer: BufWriter<TcpStream>,
+    writer: TcpStream,
+    /// Reusable encode scratch: steady-state sends allocate nothing.
+    frames_out: FrameWriter,
+    /// Reusable frame-body buffer for the read side.
+    frames_in: FrameReader,
     results: Vec<GroupResult>,
     ingest_lag: u64,
     results_lag: u64,
@@ -69,11 +73,13 @@ impl ServeClient {
         let stream = TcpStream::connect(addr).map_err(crate::wire::WireError::Io)?;
         let _ = stream.set_nodelay(true);
         let reader = BufReader::new(stream.try_clone().map_err(crate::wire::WireError::Io)?);
-        let writer = BufWriter::new(stream.try_clone().map_err(crate::wire::WireError::Io)?);
+        let writer = stream.try_clone().map_err(crate::wire::WireError::Io)?;
         let mut client = ServeClient {
             stream,
             reader,
             writer,
+            frames_out: FrameWriter::new(),
+            frames_in: FrameReader::new(),
             results: Vec::new(),
             ingest_lag: 0,
             results_lag: 0,
@@ -157,18 +163,23 @@ impl ServeClient {
         })
     }
 
-    /// Pushes equal-length timestamp/key/value columns (fire-and-forget).
+    /// Pushes equal-length timestamp/key/value columns (fire-and-forget)
+    /// straight from the caller's slices — the wire hot path: no
+    /// [`EventBatch`] is materialized and (on little-endian targets) the
+    /// columns go to the socket with one vectored write.
     pub fn push_columns(
         &mut self,
         times: &[u64],
         keys: &[u32],
         values: &[f64],
     ) -> Result<(), ServeError> {
-        let mut batch = EventBatch::with_capacity(times.len());
-        for i in 0..times.len() {
-            batch.push_parts(times[i], keys[i], values[i]);
-        }
-        self.push_batch(&batch)
+        assert!(
+            times.len() == keys.len() && times.len() == values.len(),
+            "column length mismatch"
+        );
+        self.frames_out
+            .write_columns(&mut self.writer, KIND_PUSH_COLUMNS, times, keys, values)?;
+        Ok(())
     }
 
     /// Pushes a row-oriented batch (fire-and-forget).
@@ -271,7 +282,7 @@ impl ServeClient {
             self.stream
                 .set_read_timeout(None)
                 .map_err(crate::wire::WireError::Io)?;
-            let frame = read_frame(&mut self.reader)?;
+            let frame = self.frames_in.read(&mut self.reader)?;
             self.stash(frame)?;
             drained += 1;
         }
@@ -300,8 +311,7 @@ impl ServeClient {
     }
 
     fn send(&mut self, frame: &Frame) -> Result<(), ServeError> {
-        write_frame(&mut self.writer, frame)?;
-        self.writer.flush().map_err(crate::wire::WireError::Io)?;
+        self.frames_out.write(&mut self.writer, frame)?;
         Ok(())
     }
 
@@ -310,7 +320,7 @@ impl ServeClient {
     /// [`ServeError::Remote`].
     fn wait_for(&mut self, pred: impl Fn(&Frame) -> bool) -> Result<Frame, ServeError> {
         loop {
-            let frame = read_frame(&mut self.reader)?;
+            let frame = self.frames_in.read(&mut self.reader)?;
             if pred(&frame) {
                 return Ok(frame);
             }

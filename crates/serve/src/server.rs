@@ -41,7 +41,7 @@ use crate::expo;
 use crate::host::{GroupHost, HostConfig};
 use crate::metrics::Metrics;
 use crate::wire::{
-    error_code, read_frame, write_frame, Frame, LagKind, WireError, PROTOCOL_MAGIC,
+    error_code, Frame, FrameReader, FrameWriter, LagKind, WireError, PROTOCOL_MAGIC,
     PROTOCOL_VERSION,
 };
 use crate::ServeError;
@@ -49,7 +49,7 @@ use fw_core::QueryId;
 use fw_engine::checkpoint::{self as ckpt, CheckpointResult};
 use fw_engine::{EventBatch, GroupResult, TraceEventKind, TraceRing};
 use std::collections::HashMap;
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
@@ -420,8 +420,11 @@ fn connection_loop(
     };
 
     let mut reader = BufReader::new(stream);
+    // One reusable frame-body buffer for the connection's lifetime:
+    // steady-state reads allocate nothing.
+    let mut frames = FrameReader::new();
     // Handshake: the first frame must be a well-formed Hello.
-    match read_frame(&mut reader) {
+    match frames.read(&mut reader) {
         Ok(Frame::Hello { .. }) => {
             Metrics::add(&metrics.frames_in, 1);
             outbox.send(
@@ -463,7 +466,7 @@ fn connection_loop(
     // into the next notice instead of being lost.
     let mut shed_pending = 0u64;
     loop {
-        let frame = match read_frame(&mut reader) {
+        let frame = match frames.read(&mut reader) {
             Ok(frame) => frame,
             // A malformed payload of a well-delimited frame leaves the
             // stream in sync: report and keep going.
@@ -597,28 +600,26 @@ fn try_enqueue(tx: &SyncSender<Cmd>, cmd: Cmd, metrics: &Metrics) -> Result<(), 
     Ok(())
 }
 
-/// One connection's writer: drains the outbox onto the socket, batching
-/// pending frames per flush.
-fn writer_loop(stream: TcpStream, rx: &Receiver<Frame>, depth: &AtomicU64, metrics: &Metrics) {
-    let mut writer = BufWriter::new(stream);
+/// One connection's writer: drains the outbox onto the socket. Frames
+/// are encoded into one reusable scratch buffer ([`FrameWriter`]) —
+/// zero allocations per frame at steady state — and whatever else is
+/// queued is opportunistically coalesced into the same `write_all`, so a
+/// burst of result frames costs one syscall.
+fn writer_loop(mut stream: TcpStream, rx: &Receiver<Frame>, depth: &AtomicU64, metrics: &Metrics) {
+    let mut writer = FrameWriter::new();
     while let Ok(frame) = rx.recv() {
         depth.fetch_sub(1, Ordering::Relaxed);
-        if write_frame(&mut writer, &frame).is_err() {
-            break;
-        }
-        Metrics::add(&metrics.frames_out, 1);
-        // Opportunistically coalesce whatever else is queued before the
-        // flush — one syscall for a burst of result frames.
+        writer.stage(&frame);
+        let mut staged = 1u64;
         while let Ok(frame) = rx.try_recv() {
             depth.fetch_sub(1, Ordering::Relaxed);
-            if write_frame(&mut writer, &frame).is_err() {
-                return;
-            }
-            Metrics::add(&metrics.frames_out, 1);
+            writer.stage(&frame);
+            staged += 1;
         }
-        if writer.flush().is_err() {
+        if writer.flush_to(&mut stream).is_err() {
             break;
         }
+        Metrics::add(&metrics.frames_out, staged);
     }
 }
 

@@ -297,7 +297,10 @@ pub mod error_code {
 const KIND_HELLO: u8 = 0x01;
 const KIND_REGISTER: u8 = 0x02;
 const KIND_DEREGISTER: u8 = 0x03;
-const KIND_PUSH_COLUMNS: u8 = 0x04;
+/// Wire kind byte of [`Frame::PushColumns`] — public so the columnar
+/// fast path ([`FrameWriter::write_columns`]) can emit the frame without
+/// materializing an [`EventBatch`].
+pub const KIND_PUSH_COLUMNS: u8 = 0x04;
 const KIND_WATERMARK: u8 = 0x05;
 const KIND_STATS: u8 = 0x06;
 const KIND_FINISH: u8 = 0x07;
@@ -582,7 +585,266 @@ impl Frame {
     }
 }
 
-/// Writes one frame to `w` (caller flushes).
+/// Spare capacity cap for the reusable wire buffers ([`FrameWriter`]
+/// scratch, [`FrameReader`] body). A buffer grown past this by one
+/// outsized frame is shrunk back so a single large registration or
+/// results frame does not pin memory for the connection's lifetime.
+pub const WIRE_SPARE_CAP: usize = 64 * 1024;
+
+/// A frame encoder with a reusable scratch buffer.
+///
+/// [`write_frame`] allocates a fresh `Vec` per frame; a `FrameWriter`
+/// encodes into the same scratch buffer every time, so a steady-state
+/// writer loop performs **zero allocations** per frame (pinned by the
+/// serve crate's counting-allocator test). Frames can also be *staged*
+/// ([`FrameWriter::stage`]) and flushed together ([`FrameWriter::flush_to`]),
+/// coalescing many small Results/Watermark frames into one `write_all`
+/// syscall.
+#[derive(Debug, Default)]
+pub struct FrameWriter {
+    scratch: Vec<u8>,
+}
+
+impl FrameWriter {
+    /// A writer with an empty scratch buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        FrameWriter::default()
+    }
+
+    /// Encodes `frame` onto the scratch buffer without writing it.
+    /// Staged frames accumulate until [`FrameWriter::flush_to`].
+    pub fn stage(&mut self, frame: &Frame) {
+        frame.encode(&mut self.scratch);
+    }
+
+    /// Stages a raw frame of `kind` whose payload is produced by `build`
+    /// appending onto the scratch buffer; the length prefix is
+    /// back-patched afterwards. This is the extension point for sibling
+    /// protocols (the fw-dist coordinator/worker frames) that reuse the
+    /// `[len][kind][payload]` substrate with their own kinds.
+    pub fn stage_with(&mut self, kind: u8, build: impl FnOnce(&mut Vec<u8>)) {
+        let at = self.scratch.len();
+        self.scratch.extend_from_slice(&0u32.to_le_bytes()); // patched below
+        self.scratch.push(kind);
+        build(&mut self.scratch);
+        let len = (self.scratch.len() - at - 4) as u32;
+        debug_assert!((1..=MAX_FRAME_LEN).contains(&len));
+        self.scratch[at..at + 4].copy_from_slice(&len.to_le_bytes());
+    }
+
+    /// Bytes currently staged and not yet flushed.
+    #[must_use]
+    pub fn staged(&self) -> usize {
+        self.scratch.len()
+    }
+
+    /// Writes everything staged to `w` in one `write_all` and clears the
+    /// scratch buffer (capping its spare capacity at [`WIRE_SPARE_CAP`]).
+    /// A no-op when nothing is staged. The caller flushes `w`.
+    pub fn flush_to<W: Write>(&mut self, w: &mut W) -> Result<(), WireError> {
+        if !self.scratch.is_empty() {
+            w.write_all(&self.scratch)?;
+            self.reset_scratch();
+        }
+        Ok(())
+    }
+
+    /// Stages `frame` and flushes immediately: the zero-allocation
+    /// equivalent of [`write_frame`]. Any frames already staged are
+    /// coalesced into the same write.
+    pub fn write<W: Write>(&mut self, w: &mut W, frame: &Frame) -> Result<(), WireError> {
+        self.stage(frame);
+        self.flush_to(w)
+    }
+
+    /// Writes one columnar batch frame of `kind` carrying `times`,
+    /// `keys`, and `values` in the [`BATCH_MAGIC`] codec, without
+    /// materializing an [`EventBatch`]. On little-endian targets the
+    /// three column slices are handed to the OS directly with one
+    /// vectored write — only the frame header transits the scratch
+    /// buffer, the column payload is never copied. Any frames already
+    /// staged are coalesced into the same write. The columns must be of
+    /// equal length.
+    pub fn write_columns<W: Write>(
+        &mut self,
+        w: &mut W,
+        kind: u8,
+        times: &[u64],
+        keys: &[u32],
+        values: &[f64],
+    ) -> Result<(), WireError> {
+        assert!(
+            times.len() == keys.len() && times.len() == values.len(),
+            "column length mismatch"
+        );
+        let n = times.len();
+        let payload = 4 + 1 + 4 + n * (8 + 4 + 8); // batch codec: magic, version, count, columns
+        let frame_len = 1 + payload as u64; // kind byte + payload
+        if frame_len > u64::from(MAX_FRAME_LEN) {
+            return Err(WireError::BadLength {
+                len: u32::try_from(frame_len.min(u64::from(u32::MAX))).unwrap_or(u32::MAX),
+            });
+        }
+        self.scratch
+            .extend_from_slice(&(frame_len as u32).to_le_bytes());
+        self.scratch.push(kind);
+        self.scratch.extend_from_slice(&BATCH_MAGIC.to_le_bytes());
+        self.scratch.push(BATCH_VERSION);
+        self.scratch.extend_from_slice(&(n as u32).to_le_bytes());
+        #[cfg(target_endian = "little")]
+        {
+            write_all_vectored4(
+                w,
+                [
+                    &self.scratch,
+                    le::u64_bytes(times),
+                    le::u32_bytes(keys),
+                    le::f64_bytes(values),
+                ],
+            )?;
+        }
+        #[cfg(not(target_endian = "little"))]
+        {
+            for t in times {
+                self.scratch.extend_from_slice(&t.to_le_bytes());
+            }
+            for k in keys {
+                self.scratch.extend_from_slice(&k.to_le_bytes());
+            }
+            for v in values {
+                self.scratch.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+            w.write_all(&self.scratch)?;
+        }
+        self.reset_scratch();
+        Ok(())
+    }
+
+    fn reset_scratch(&mut self) {
+        self.scratch.clear();
+        if self.scratch.capacity() > WIRE_SPARE_CAP {
+            self.scratch.shrink_to(WIRE_SPARE_CAP);
+        }
+    }
+}
+
+/// Zero-copy reinterpretation of plain-scalar columns as wire bytes.
+/// Only valid on little-endian targets, where the in-memory
+/// representation of `u64`/`u32`/IEEE-754 `f64` is exactly the codec's
+/// little-endian encoding (`f64` travels as its `to_bits` pattern, which
+/// shares the float's memory representation).
+#[cfg(target_endian = "little")]
+mod le {
+    /// `&[u64]` viewed as its raw bytes.
+    pub(super) fn u64_bytes(s: &[u64]) -> &[u8] {
+        // SAFETY: u64 has no padding, size 8, and alignment stricter
+        // than u8; the pointer and length cover exactly the slice.
+        unsafe { std::slice::from_raw_parts(s.as_ptr().cast::<u8>(), std::mem::size_of_val(s)) }
+    }
+
+    /// `&[u32]` viewed as its raw bytes.
+    pub(super) fn u32_bytes(s: &[u32]) -> &[u8] {
+        // SAFETY: as above for u32.
+        unsafe { std::slice::from_raw_parts(s.as_ptr().cast::<u8>(), std::mem::size_of_val(s)) }
+    }
+
+    /// `&[f64]` viewed as its raw bytes (the `to_bits` encoding).
+    pub(super) fn f64_bytes(s: &[f64]) -> &[u8] {
+        // SAFETY: as above for f64 (no padding; every bit pattern of the
+        // underlying bytes is a valid u8).
+        unsafe { std::slice::from_raw_parts(s.as_ptr().cast::<u8>(), std::mem::size_of_val(s)) }
+    }
+}
+
+/// `write_all` over up to four buffers using vectored I/O, retrying
+/// partial and interrupted writes. Used by the columnar fast path so the
+/// frame header (from scratch) and the three borrowed column slices reach
+/// the socket in one syscall without being copied into one buffer first.
+#[cfg(target_endian = "little")]
+fn write_all_vectored4<W: Write>(w: &mut W, bufs: [&[u8]; 4]) -> std::io::Result<()> {
+    use std::io::IoSlice;
+    let total: usize = bufs.iter().map(|b| b.len()).sum();
+    let mut done = 0usize;
+    while done < total {
+        let mut slices = [IoSlice::new(&[]); 4];
+        let mut cnt = 0usize;
+        let mut start = 0usize;
+        for b in &bufs {
+            let end = start + b.len();
+            if end > done {
+                slices[cnt] = IoSlice::new(&b[done.saturating_sub(start)..]);
+                cnt += 1;
+            }
+            start = end;
+        }
+        match w.write_vectored(&slices[..cnt]) {
+            Ok(0) => return Err(std::io::ErrorKind::WriteZero.into()),
+            Ok(k) => done += k,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// A frame decoder with a reusable body buffer.
+///
+/// [`read_frame`] allocates a fresh `Vec` per frame; a `FrameReader`
+/// reads every frame body into the same buffer, so a steady-state reader
+/// loop performs **zero allocations** per frame for fixed-size frames,
+/// and [`FrameReader::read_raw`] + [`decode_batch_into`] extend that to
+/// columnar batches (decode-in-place into a recycled [`EventBatch`]).
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    body: Vec<u8>,
+}
+
+impl FrameReader {
+    /// A reader with an empty body buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        FrameReader::default()
+    }
+
+    /// Reads one frame, reusing the internal body buffer. Semantics
+    /// match [`read_frame`]: blocks until the frame is complete, a clean
+    /// close at a frame boundary is [`WireError::Closed`], a close
+    /// mid-frame is [`WireError::Io`]. Decoding still copies owned
+    /// payloads (strings, batches); use [`FrameReader::read_raw`] for
+    /// the allocation-free path.
+    pub fn read<R: Read>(&mut self, r: &mut R) -> Result<Frame, WireError> {
+        let (kind, payload) = self.read_raw(r)?;
+        Frame::decode(kind, payload)
+    }
+
+    /// Reads one frame and returns its raw `(kind, payload)` without
+    /// decoding, borrowing from the internal buffer — no allocation once
+    /// the buffer is warm. This is the hot-path entry for columnar
+    /// batches (pass the payload to [`decode_batch_into`]) and for
+    /// sibling protocols with their own frame kinds.
+    pub fn read_raw<R: Read>(&mut self, r: &mut R) -> Result<(u8, &[u8]), WireError> {
+        let mut len_bytes = [0u8; 4];
+        if !read_exact_or_close(r, &mut len_bytes)? {
+            return Err(WireError::Closed);
+        }
+        let len = u32::from_le_bytes(len_bytes);
+        if len == 0 || len > MAX_FRAME_LEN {
+            return Err(WireError::BadLength { len });
+        }
+        let len = len as usize;
+        self.body.clear();
+        if self.body.capacity() > WIRE_SPARE_CAP && len <= WIRE_SPARE_CAP {
+            self.body.shrink_to(WIRE_SPARE_CAP);
+        }
+        self.body.resize(len, 0);
+        r.read_exact(&mut self.body)?;
+        Ok((self.body[0], &self.body[1..]))
+    }
+}
+
+/// Writes one frame to `w` (caller flushes). Allocates a fresh buffer
+/// per call — hot loops should hold a [`FrameWriter`] instead.
 pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> Result<(), WireError> {
     let mut buf = Vec::with_capacity(64);
     frame.encode(&mut buf);
@@ -646,6 +908,24 @@ pub fn encode_batch(batch: &EventBatch, buf: &mut Vec<u8>) {
 }
 
 fn decode_batch(r: &mut Cursor<'_>) -> Result<EventBatch, WireError> {
+    let mut batch = EventBatch::new();
+    decode_batch_cursor(r, &mut batch)?;
+    Ok(batch)
+}
+
+/// Decodes a [`BATCH_MAGIC`]-framed payload **in place** into `batch`
+/// (cleared first). The column slices are read straight out of
+/// `payload`; once `batch` has warm capacity (it recycles up to
+/// [`fw_engine::BATCH_SPARE_CAP`] events across [`EventBatch::clear`])
+/// the decode performs zero allocations — the receive half of the wire
+/// hot path. The payload must contain exactly one batch.
+pub fn decode_batch_into(payload: &[u8], batch: &mut EventBatch) -> Result<(), WireError> {
+    let mut r = Cursor::new(payload);
+    decode_batch_cursor(&mut r, batch)
+}
+
+fn decode_batch_cursor(r: &mut Cursor<'_>, batch: &mut EventBatch) -> Result<(), WireError> {
+    batch.clear();
     let magic = r.u32("batch header")?;
     if magic != BATCH_MAGIC {
         return Err(WireError::BadMagic {
@@ -665,23 +945,23 @@ fn decode_batch(r: &mut Cursor<'_>) -> Result<EventBatch, WireError> {
             what: "batch columns",
         });
     }
-    let mut batch = EventBatch::with_capacity(n);
-    let mut times = Vec::with_capacity(n);
-    for _ in 0..n {
-        times.push(r.u64("batch times")?);
-    }
-    let mut keys = Vec::with_capacity(n);
-    for _ in 0..n {
-        keys.push(r.u32("batch keys")?);
-    }
+    let times = r.take(n * 8, "batch times")?;
+    let keys = r.take(n * 4, "batch keys")?;
+    let values = r.take(n * 8, "batch values")?;
     for i in 0..n {
-        let value = f64::from_bits(r.u64("batch values")?);
-        batch.push_parts(times[i], keys[i], value);
+        let time = u64::from_le_bytes(times[i * 8..i * 8 + 8].try_into().unwrap());
+        let key = u32::from_le_bytes(keys[i * 4..i * 4 + 4].try_into().unwrap());
+        let value = f64::from_bits(u64::from_le_bytes(
+            values[i * 8..i * 8 + 8].try_into().unwrap(),
+        ));
+        batch.push_parts(time, key, value);
     }
-    Ok(batch)
+    Ok(())
 }
 
-fn encode_result_row(row: &WindowResult, buf: &mut Vec<u8>) {
+/// Encodes one [`RESULT_ROW_LEN`]-byte result row. Public for sibling
+/// protocols (fw-dist) that gather rows in the same codec.
+pub fn encode_result_row(row: &WindowResult, buf: &mut Vec<u8>) {
     buf.extend_from_slice(&row.window.range().to_le_bytes());
     buf.extend_from_slice(&row.window.slide().to_le_bytes());
     buf.extend_from_slice(&row.interval.start.to_le_bytes());
@@ -691,7 +971,9 @@ fn encode_result_row(row: &WindowResult, buf: &mut Vec<u8>) {
     buf.extend_from_slice(&row.value.to_bits().to_le_bytes());
 }
 
-fn decode_result_row(r: &mut Cursor<'_>) -> Result<WindowResult, WireError> {
+/// Decodes one [`RESULT_ROW_LEN`]-byte result row. Public for sibling
+/// protocols (fw-dist) that gather rows in the same codec.
+pub fn decode_result_row(r: &mut Cursor<'_>) -> Result<WindowResult, WireError> {
     let range = r.u64("result row")?;
     let slide = r.u64("result row")?;
     let start = r.u64("result row")?;
@@ -721,22 +1003,31 @@ pub fn tag_rows(query_id: u32, rows: Vec<WindowResult>) -> Vec<GroupResult> {
         .collect()
 }
 
-/// A bounds-checked little-endian payload reader.
-struct Cursor<'a> {
+/// A bounds-checked little-endian payload reader. Public so sibling
+/// protocols built on the same `[len][kind][payload]` substrate (the
+/// fw-dist coordinator/worker frames) can decode their payloads with the
+/// same strictness guarantees.
+pub struct Cursor<'a> {
     buf: &'a [u8],
     at: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    /// A cursor over `buf`, positioned at its start.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
         Cursor { buf, at: 0 }
     }
 
-    fn remaining(&self) -> usize {
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
         self.buf.len() - self.at
     }
 
-    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+    /// Consumes and returns the next `n` bytes, or
+    /// [`WireError::Truncated`] tagged `what` if fewer remain.
+    pub fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
         if self.remaining() < n {
             return Err(WireError::Truncated { what });
         }
@@ -745,23 +1036,28 @@ impl<'a> Cursor<'a> {
         Ok(slice)
     }
 
-    fn u8(&mut self, what: &'static str) -> Result<u8, WireError> {
+    /// Consumes one byte.
+    pub fn u8(&mut self, what: &'static str) -> Result<u8, WireError> {
         Ok(self.take(1, what)?[0])
     }
 
-    fn u16(&mut self, what: &'static str) -> Result<u16, WireError> {
+    /// Consumes a little-endian `u16`.
+    pub fn u16(&mut self, what: &'static str) -> Result<u16, WireError> {
         Ok(u16::from_le_bytes(self.take(2, what)?.try_into().unwrap()))
     }
 
-    fn u32(&mut self, what: &'static str) -> Result<u32, WireError> {
+    /// Consumes a little-endian `u32`.
+    pub fn u32(&mut self, what: &'static str) -> Result<u32, WireError> {
         Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
     }
 
-    fn u64(&mut self, what: &'static str) -> Result<u64, WireError> {
+    /// Consumes a little-endian `u64`.
+    pub fn u64(&mut self, what: &'static str) -> Result<u64, WireError> {
         Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
     }
 
-    fn utf8_rest(&mut self) -> Result<String, WireError> {
+    /// Consumes the rest of the payload as a UTF-8 string.
+    pub fn utf8_rest(&mut self) -> Result<String, WireError> {
         let rest = &self.buf[self.at..];
         self.at = self.buf.len();
         String::from_utf8(rest.to_vec()).map_err(|_| WireError::BadUtf8)

@@ -1,0 +1,163 @@
+//! Steady-state allocation audit for the wire hot path: after warm-up,
+//! a writer loop staging/flushing frames through a [`FrameWriter`]
+//! (including the vectored columnar fast path) and a reader loop pulling
+//! raw frames through a [`FrameReader`] and decoding batches in place
+//! with [`decode_batch_into`] must perform **zero** heap allocations.
+//! The scratch/body buffers and the recycled [`EventBatch`] absorb every
+//! frame once warm.
+//!
+//! The audit uses a counting global allocator with a **per-thread**
+//! counter: the test harness's own threads (the runner waiting on its
+//! channel, output capture) allocate at unpredictable moments, and a
+//! process-global count flakes on that noise. Counting thread-locally
+//! pins the measurement to exactly the code under test.
+
+use fw_core::{Interval, Window};
+use fw_engine::{EventBatch, WindowResult};
+use fw_serve::wire::{decode_batch_into, Frame, FrameReader, FrameWriter, KIND_PUSH_COLUMNS};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+/// Wraps the system allocator, counting every allocation and
+/// reallocation (deallocations are free and not counted) on the calling
+/// thread only.
+struct CountingAllocator;
+
+thread_local! {
+    // const-init: first access performs no heap allocation, so the
+    // counter can be touched from inside the allocator itself.
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Bumps the calling thread's counter; silently skipped during thread
+/// teardown when the thread-local is already gone.
+fn count() {
+    let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count();
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count();
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.try_with(Cell::get).unwrap_or(0)
+}
+
+/// An `io::Write` sink that swallows bytes without storing them — the
+/// measured writer loop must not be charged for a growing sink `Vec`.
+struct NullSink {
+    bytes: u64,
+}
+
+impl std::io::Write for NullSink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.bytes += buf.len() as u64;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn steady_state_wire_loops_are_allocation_free() {
+    const N: usize = 1024; // one coordinator scatter chunk
+    let times: Vec<u64> = (0..N as u64).collect();
+    let keys: Vec<u32> = (0..N as u32).map(|k| k % 64).collect();
+    let values: Vec<f64> = (0..N).map(|i| i as f64 * 0.5).collect();
+
+    // Pre-built control/result frames, staged repeatedly (encode borrows).
+    let watermark = Frame::Watermark { watermark: 12345 };
+    let results = Frame::Results {
+        query_id: 7,
+        rows: (0..16)
+            .map(|i| WindowResult {
+                window: Window::new(20, 20).unwrap(),
+                interval: Interval::new(i * 20, (i + 1) * 20),
+                key: i as u32,
+                agg: 0,
+                value: i as f64,
+            })
+            .collect(),
+    };
+
+    // One round of reader input, encoded once: a columnar batch frame
+    // followed by a watermark frame.
+    let mut stream_round = Vec::new();
+    {
+        let mut enc = FrameWriter::new();
+        enc.stage(&Frame::PushColumns {
+            batch: {
+                let mut b = EventBatch::with_capacity(N);
+                for i in 0..N {
+                    b.push_parts(times[i], keys[i], values[i]);
+                }
+                b
+            },
+        });
+        enc.stage(&watermark);
+        enc.flush_to(&mut stream_round).unwrap();
+    }
+
+    let mut writer = FrameWriter::new();
+    let mut reader = FrameReader::new();
+    let mut sink = NullSink { bytes: 0 };
+    let mut decoded = EventBatch::new();
+
+    let writer_round = |w: &mut FrameWriter, sink: &mut NullSink| {
+        // Coalesced control frames: stage a burst, flush once.
+        w.stage(&watermark);
+        w.stage(&results);
+        w.flush_to(sink).unwrap();
+        // Columnar fast path: header from scratch, columns vectored.
+        w.write_columns(sink, KIND_PUSH_COLUMNS, &times, &keys, &values)
+            .unwrap();
+    };
+    let reader_round = |r: &mut FrameReader, decoded: &mut EventBatch| {
+        let mut src = &stream_round[..];
+        let (kind, payload) = r.read_raw(&mut src).unwrap();
+        assert_eq!(kind, KIND_PUSH_COLUMNS);
+        decode_batch_into(payload, decoded).unwrap();
+        assert_eq!(decoded.len(), N);
+        let (kind, _) = r.read_raw(&mut src).unwrap();
+        assert_eq!(kind, 0x05, "watermark frame kind");
+    };
+
+    // Warm-up: buffers grow to their steady-state capacity.
+    for _ in 0..4 {
+        writer_round(&mut writer, &mut sink);
+        reader_round(&mut reader, &mut decoded);
+    }
+
+    let before = allocations();
+    for _ in 0..64 {
+        writer_round(&mut writer, &mut sink);
+        reader_round(&mut reader, &mut decoded);
+    }
+    let during = allocations() - before;
+    assert_eq!(
+        during, 0,
+        "steady-state wire writer/reader loops performed {during} allocations"
+    );
+
+    // Sanity: the measured rounds really moved bytes and events.
+    assert!(sink.bytes > 64 * (N as u64) * 20);
+    assert_eq!(decoded.len(), N);
+    assert_eq!(decoded.times()[N - 1], times[N - 1]);
+}

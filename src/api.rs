@@ -46,6 +46,7 @@ use fw_core::{
     AdaptivePlanner, CostModel, Error as CoreError, OptimizationOutcome, Optimizer, PlanBundle,
     PlanChoice, QueryPlan, RateEstimator, Semantics, WindowQuery,
 };
+use fw_dist::DistPipeline;
 use fw_engine::{
     CheckpointError, EngineError, Event, ExecStats, NodeProfile, Parallelism, PipelineOptions,
     PlanPipeline, ProfileLevel, RunOutput, ShardedPipeline, Throughput, TraceEvent, TraceEventKind,
@@ -416,6 +417,30 @@ impl Session {
         // Adaptive pipelines swap plans in place and durable pipelines
         // export their pane state, both of which only the slot-based
         // group core supports.
+        // Distributed parallelism dispatches on the variant, not the
+        // shard count: the same worker number means processes there,
+        // threads here.
+        if let Parallelism::Distributed { workers } = self.parallelism {
+            let grouped = adaptive.is_some() || self.durable;
+            let backend = Backend::Dist(Box::new(DistPipeline::compile(
+                &bundle.plan,
+                options,
+                grouped,
+                workers,
+            )?));
+            return Ok(Pipeline {
+                backend,
+                bundle,
+                choice,
+                semantics,
+                adaptive,
+                model: self.model,
+                profile: self.profile,
+                trace: TraceRing::default(),
+                seen_emitted: 0,
+                seen_compactions: 0,
+            });
+        }
         let backend = match (
             self.parallelism.shard_count(),
             adaptive.is_some() || self.durable,
@@ -497,9 +522,28 @@ impl Session {
             profile: self.profile,
         };
         let adaptive = self.adaptive_state(semantics)?;
-        let backend = match self.parallelism.shard_count() {
-            0 => Backend::Single(Box::new(PlanPipeline::restore(&bundle.plan, options, r)?)),
-            shards => Backend::Sharded(ShardedPipeline::restore(&bundle.plan, options, shards, r)?),
+        let backend = if let Parallelism::Distributed { workers } = self.parallelism {
+            // The distributed restore re-partitions the document itself;
+            // slurp the reader (checkpoints are in-memory/file sized).
+            let mut doc = Vec::new();
+            r.read_to_end(&mut doc).map_err(|e| CheckpointError::Io {
+                kind: e.kind(),
+                message: e.to_string(),
+            })?;
+            Backend::Dist(Box::new(DistPipeline::restore(
+                &bundle.plan,
+                options,
+                true,
+                workers,
+                &doc,
+            )?))
+        } else {
+            match self.parallelism.shard_count() {
+                0 => Backend::Single(Box::new(PlanPipeline::restore(&bundle.plan, options, r)?)),
+                shards => {
+                    Backend::Sharded(ShardedPipeline::restore(&bundle.plan, options, shards, r)?)
+                }
+            }
         };
         let mut pipeline = Pipeline {
             backend,
@@ -558,6 +602,7 @@ impl Session {
 enum Backend {
     Single(Box<PlanPipeline>),
     Sharded(ShardedPipeline),
+    Dist(Box<DistPipeline>),
 }
 
 /// EWMA weight of the newest rate observation for adaptive sessions: a
@@ -628,6 +673,7 @@ impl Pipeline {
         match &mut self.backend {
             Backend::Single(p) => p.push(event)?,
             Backend::Sharded(p) => p.push(event)?,
+            Backend::Dist(p) => p.push(event)?,
         }
         if let Some(state) = &mut self.adaptive {
             state.observe(event.time);
@@ -641,6 +687,7 @@ impl Pipeline {
         match &mut self.backend {
             Backend::Single(p) => p.push_batch(events)?,
             Backend::Sharded(p) => p.push_batch(events)?,
+            Backend::Dist(p) => p.push_batch(events)?,
         }
         if let Some(state) = &mut self.adaptive {
             for event in events {
@@ -662,6 +709,7 @@ impl Pipeline {
         match &mut self.backend {
             Backend::Single(p) => p.push_columns(times, keys, values)?,
             Backend::Sharded(p) => p.push_columns(times, keys, values)?,
+            Backend::Dist(p) => p.push_columns(times, keys, values)?,
         }
         if let Some(state) = &mut self.adaptive {
             for &time in times {
@@ -684,6 +732,7 @@ impl Pipeline {
         match &mut self.backend {
             Backend::Single(p) => p.advance_watermark(watermark)?,
             Backend::Sharded(p) => p.advance_watermark(watermark)?,
+            Backend::Dist(p) => p.advance_watermark(watermark)?,
         }
         self.note_boundary(watermark);
         self.maybe_replan(watermark)
@@ -698,7 +747,7 @@ impl Pipeline {
     fn note_boundary(&mut self, watermark: u64) {
         let (emitted, compactions) = match &self.backend {
             Backend::Single(p) => (p.results_emitted(), p.compactions()),
-            Backend::Sharded(_) => (self.seen_emitted, self.seen_compactions),
+            Backend::Sharded(_) | Backend::Dist(_) => (self.seen_emitted, self.seen_compactions),
         };
         self.trace
             .record(TraceEventKind::Seal, watermark, emitted - self.seen_emitted);
@@ -735,6 +784,7 @@ impl Pipeline {
         match &mut self.backend {
             Backend::Single(p) => p.rebuild(&bundle.plan, watermark)?,
             Backend::Sharded(p) => p.rebuild(&bundle.plan, watermark)?,
+            Backend::Dist(p) => p.rebuild(&bundle.plan, watermark)?,
         }
         self.bundle = bundle;
         self.choice = choice;
@@ -771,6 +821,7 @@ impl Pipeline {
         match &mut self.backend {
             Backend::Single(p) => p.checkpoint(&self.bundle.plan, w)?,
             Backend::Sharded(p) => p.checkpoint(&self.bundle.plan, w)?,
+            Backend::Dist(p) => p.checkpoint(w)?,
         }
         let watermark = self.watermark();
         let events = self.events_processed();
@@ -788,6 +839,7 @@ impl Pipeline {
         match &mut self.backend {
             Backend::Single(p) => p.poll_results(),
             Backend::Sharded(p) => p.poll_results(),
+            Backend::Dist(p) => p.poll_results(),
         }
     }
 
@@ -797,6 +849,7 @@ impl Pipeline {
         match self.backend {
             Backend::Single(p) => Ok(p.finish()?),
             Backend::Sharded(p) => Ok(p.finish()?),
+            Backend::Dist(p) => Ok(p.finish()?),
         }
     }
 
@@ -850,6 +903,7 @@ impl Pipeline {
         match &self.backend {
             Backend::Single(p) => p.events_processed() + p.buffered() as u64,
             Backend::Sharded(p) => p.events_pushed(),
+            Backend::Dist(p) => p.events_pushed(),
         }
     }
 
@@ -860,6 +914,7 @@ impl Pipeline {
         match &self.backend {
             Backend::Single(p) => p.results_emitted(),
             Backend::Sharded(p) => p.snapshot().1,
+            Backend::Dist(p) => p.results_emitted(),
         }
     }
 
@@ -869,6 +924,7 @@ impl Pipeline {
         match &self.backend {
             Backend::Single(p) => p.watermark(),
             Backend::Sharded(p) => p.watermark(),
+            Backend::Dist(p) => p.watermark(),
         }
     }
 
@@ -880,6 +936,7 @@ impl Pipeline {
         match &self.backend {
             Backend::Single(p) => p.stats(),
             Backend::Sharded(p) => p.snapshot().2,
+            Backend::Dist(p) => p.stats(),
         }
     }
 
@@ -892,6 +949,7 @@ impl Pipeline {
         match &self.backend {
             Backend::Single(p) => p.interner_stats(),
             Backend::Sharded(p) => p.interner_stats(),
+            Backend::Dist(p) => p.interner_stats(),
         }
     }
 
@@ -905,6 +963,7 @@ impl Pipeline {
         match &self.backend {
             Backend::Single(p) => p.node_profiles(),
             Backend::Sharded(p) => p.node_profiles(),
+            Backend::Dist(p) => p.node_profiles(),
         }
     }
 
@@ -994,6 +1053,7 @@ impl Pipeline {
         match &self.backend {
             Backend::Single(p) => p.buffered(),
             Backend::Sharded(p) => p.buffered(),
+            Backend::Dist(p) => p.buffered(),
         }
     }
 
@@ -1004,6 +1064,7 @@ impl Pipeline {
         match &self.backend {
             Backend::Single(_) => 0,
             Backend::Sharded(p) => p.shards(),
+            Backend::Dist(p) => p.workers(),
         }
     }
 }

@@ -240,7 +240,15 @@ impl QueryGroup {
             out_of_order: self.out_of_order,
             profile: self.profile,
         };
-        let exec = if self.durable {
+        let exec = if let Parallelism::Distributed { workers } = self.parallelism {
+            // The group's route table stays coordinator-side; every
+            // pipeline it routes into runs on worker processes.
+            GroupExec::compile_with_backend(
+                &plan,
+                options,
+                std::sync::Arc::new(fw_dist::DistFactory { workers }),
+            )?
+        } else if self.durable {
             GroupExec::compile_durable(&plan, options, self.parallelism.shard_count())?
         } else {
             GroupExec::compile(&plan, options, self.parallelism.shard_count())?
@@ -349,7 +357,16 @@ impl QueryGroup {
             out_of_order: self.out_of_order,
             profile: self.profile,
         };
-        let exec = GroupExec::restore(&plan, options, self.parallelism.shard_count(), r)?;
+        let exec = if let Parallelism::Distributed { workers } = self.parallelism {
+            GroupExec::restore_with_backend(
+                &plan,
+                options,
+                std::sync::Arc::new(fw_dist::DistFactory { workers }),
+                r,
+            )?
+        } else {
+            GroupExec::restore(&plan, options, self.parallelism.shard_count(), r)?
+        };
         Ok(GroupPipeline {
             exec,
             members,
